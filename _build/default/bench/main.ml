@@ -1,0 +1,751 @@
+(* Benchmark harness: regenerates every table and figure of the paper.
+
+     dune exec bench/main.exe              -- run everything
+     dune exec bench/main.exe -- fig5 fig7 -- run selected experiments
+
+   Experiments: table1 fig5 fig6 fig7 fig8 fig9 tagoverhead netcost
+   dcache power ablation micro. Absolute numbers come from the
+   simulator's cost model; the claims reproduced are the paper's
+   *shapes* (who wins, where the knees fall, which ratios hold). *)
+
+let fmt_f = Printf.sprintf "%.3f"
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: dynamically- and statically-linked text segment sizes *)
+
+let table1 () =
+  Report.section
+    "Table 1: application dynamic vs static .text (paper: 21K/193K, 1K/139K, \
+     23K/205K, 135K/590K; scaled ~1/8 here)";
+  let t =
+    Report.Table.create ~title:"text segment sizes"
+      ~columns:
+        [ "app"; "dynamic .text"; "static .text"; "dyn/static";
+          "paper dyn/static" ]
+  in
+  let paper_ratio =
+    [ ("compress95", 21. /. 193.); ("adpcm_encode", 1. /. 139.);
+      ("hextobdd", 23. /. 205.); ("mpeg2enc", 135. /. 590.) ]
+  in
+  List.iter
+    (fun (e : Workloads.Registry.entry) ->
+      let img = e.build () in
+      let prof, _ = Profiler.profile img in
+      let dyn = Profiler.dynamic_text_bytes prof in
+      let st = Isa.Image.static_text_bytes img in
+      Report.Table.add_row t
+        [
+          e.name;
+          Report.fmt_bytes dyn;
+          Report.fmt_bytes st;
+          fmt_f (float_of_int dyn /. float_of_int st);
+          fmt_f (List.assoc e.name paper_ratio);
+        ])
+    Workloads.Registry.table1;
+  Report.Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5: relative execution time of the software I-cache *)
+
+let fig5 () =
+  Report.section
+    "Figure 5: relative execution time, 129.compress-like workload (paper: \
+     ideal 1.00, 48KB 1.17, 24KB 1.19, 1KB >> 1)";
+  let img = Workloads.Compress.image () in
+  let native = Softcache.Runner.native img in
+  Report.kv "ideal (native)" "1.000";
+  List.iter
+    (fun (label, bytes) ->
+      let cfg = Softcache.Config.sparc_prototype ~tcache_bytes:bytes () in
+      let cached, ctrl = Softcache.Runner.cached cfg img in
+      assert (cached.outputs = native.outputs);
+      Report.kv label
+        (Printf.sprintf "%.3f  (%d translations, %d evicted blocks)"
+           (Softcache.Runner.slowdown ~native ~cached)
+           ctrl.stats.translations ctrl.stats.evicted_blocks))
+    [
+      ("48KB tcache (infinite)", 48 * 1024);
+      ("24KB tcache", 24 * 1024);
+      ("12KB tcache", 12 * 1024);
+      ("1KB tcache (thrashes)", 1024);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Figures 6 and 7: miss rate vs cache size, hardware vs software *)
+
+let sweep_sizes = [ 256; 512; 1024; 2048; 4096; 8192; 16384; 32768; 65536 ]
+
+let fig6 () =
+  Report.section
+    "Figure 6: hardware I-cache miss rate vs size (direct-mapped, 16B \
+     blocks); knees should sit at each program's working set";
+  List.iter
+    (fun (e : Workloads.Registry.entry) ->
+      let img = e.build () in
+      let caches =
+        List.map (fun s -> (s, Hwcache.create ~size_bytes:s ())) sweep_sizes
+      in
+      let cpu = Machine.Cpu.of_image img in
+      cpu.on_fetch <-
+        Some
+          (fun a -> List.iter (fun (_, c) -> ignore (Hwcache.access c a)) caches);
+      let _ = Machine.Cpu.run cpu in
+      let series =
+        Report.Series.create
+          ~title:(Printf.sprintf "%s (hardware)" e.name)
+          ~xlabel:"cache KB" ~ylabel:"miss %"
+      in
+      List.iter
+        (fun (s, c) ->
+          Report.Series.add series
+            (float_of_int s /. 1024.)
+            (100. *. Hwcache.miss_rate c))
+        caches;
+      Report.Series.print series)
+    Workloads.Registry.table1
+
+let fig7 () =
+  Report.section
+    "Figure 7: software tcache miss rate vs size (miss rate = blocks \
+     translated / instructions executed)";
+  List.iter
+    (fun (e : Workloads.Registry.entry) ->
+      let img = e.build () in
+      let series =
+        Report.Series.create
+          ~title:(Printf.sprintf "%s (software)" e.name)
+          ~xlabel:"tcache KB" ~ylabel:"miss %"
+      in
+      List.iter
+        (fun bytes ->
+          let cfg = Softcache.Config.sparc_prototype ~tcache_bytes:bytes () in
+          match Softcache.Runner.cached cfg img with
+          | cached, ctrl ->
+            Report.Series.add series
+              (float_of_int bytes /. 1024.)
+              (100.
+              *. Softcache.Stats.miss_rate ctrl.stats ~retired:cached.retired)
+          | exception Softcache.Controller.Chunk_too_large _ -> ())
+        sweep_sizes;
+      Report.Series.print series)
+    Workloads.Registry.table1
+
+(* ------------------------------------------------------------------ *)
+(* Full associativity: the softcache's architectural argument *)
+
+let associativity () =
+  Report.section
+    "Full associativity (\"the instruction cache is effectively fully \
+     associative ... a module can be guaranteed free of conflict misses \
+     provided the module fits\"): two hot procedures placed exactly one \
+     cache-size apart, so they alias in a direct-mapped cache";
+  let cache_size = 4096 in
+  (* two ~64-instruction hot loops separated by cold padding so their
+     addresses conflict in a direct-mapped cache of [cache_size] *)
+  let img =
+    let b = Isa.Builder.create "alias" in
+    let r = Workloads.Gen.rng 0xA11A5 in
+    let reg = Isa.Reg.r in
+    let fa = Isa.Builder.new_label b in
+    let fb = Isa.Builder.new_label b in
+    let main = Isa.Builder.new_label b in
+    Isa.Builder.entry b main;
+    let hot name l =
+      Isa.Builder.func b name l (fun () ->
+          for k = 1 to 60 do
+            Isa.Builder.ins b
+              (Isa.Instr.Alui (Add, reg 2, reg 2, k land 7))
+          done;
+          Isa.Builder.ins b (Isa.Instr.Jr Isa.Reg.ra))
+    in
+    hot "mode_a" fa;
+    Workloads.Gen.pad_cold_to b r ~prefix:"pad" ~target_bytes:(cache_size - 300);
+    (* align mode_b to exactly one cache size after mode_a so both map
+       to the same direct-mapped sets *)
+    while Isa.Builder.code_size_bytes b < cache_size do
+      Isa.Builder.ins b Isa.Instr.Nop
+    done;
+    hot "mode_b" fb;
+    Isa.Builder.func b "main" main (fun () ->
+        Isa.Builder.li b (reg 16) 4000;
+        let loop = Isa.Builder.label b in
+        Isa.Builder.jal b fa;
+        Isa.Builder.jal b fb;
+        Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 16, reg 16, -1));
+        Isa.Builder.br b Ne (reg 16) Isa.Reg.zero loop;
+        Isa.Builder.ins b (Isa.Instr.Out (reg 2));
+        Isa.Builder.ins b Isa.Instr.Halt);
+    Isa.Builder.build b
+  in
+  let dm = Hwcache.create ~assoc:1 ~size_bytes:cache_size () in
+  let fa_c = Hwcache.create ~assoc:0 ~size_bytes:cache_size () in
+  let cpu = Machine.Cpu.of_image img in
+  cpu.on_fetch <-
+    Some
+      (fun a ->
+        ignore (Hwcache.access dm a);
+        ignore (Hwcache.access fa_c a));
+  let _ = Machine.Cpu.run cpu in
+  let sw, swslow =
+    let native = Softcache.Runner.native img in
+    let cfg = Softcache.Config.sparc_prototype ~tcache_bytes:cache_size () in
+    let cached, ctrl = Softcache.Runner.cached cfg img in
+    ( Softcache.Stats.miss_rate ctrl.stats ~retired:cached.retired,
+      Softcache.Runner.slowdown ~native ~cached )
+  in
+  let pct x = Printf.sprintf "%.3f%%" (100. *. x) in
+  Report.kv "HW direct-mapped miss rate"
+    (pct (Hwcache.miss_rate dm) ^ "  (the two modes evict each other)");
+  Report.kv "HW fully associative" (pct (Hwcache.miss_rate fa_c));
+  Report.kv "softcache miss rate"
+    (Printf.sprintf "%s  (slowdown %.3f; both modes coexist regardless of \
+                     their addresses)"
+       (pct sw) swslow)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8: paging vs CC memory size over time *)
+
+let fig8 () =
+  Report.section
+    "Figure 8: evictions over time vs CC memory (adpcm encode, procedure \
+     chunks; paper: 800B pages in steady state, 900B only at start + end \
+     blip, 1KB less still)";
+  let img = Workloads.Adpcm.encode_image () in
+  List.iter
+    (fun bytes ->
+      let cfg =
+        Softcache.Config.make ~tcache_bytes:bytes
+          ~chunking:Softcache.Config.Procedure ()
+      in
+      let cached, ctrl = Softcache.Runner.cached cfg img in
+      let total_cycles = max 1 cached.cycles in
+      let buckets = 10 in
+      let counts = Array.make buckets 0 in
+      List.iter
+        (fun (cycle, n) ->
+          let i = min (buckets - 1) (cycle * buckets / total_cycles) in
+          counts.(i) <- counts.(i) + n)
+        (Softcache.Stats.eviction_series ctrl.stats);
+      let series =
+        Report.Series.create
+          ~title:(Printf.sprintf "CC memory = %d B" bytes)
+          ~xlabel:"run decile" ~ylabel:"evictions"
+      in
+      Array.iteri
+        (fun i n -> Report.Series.add series (float_of_int (i + 1)) (float_of_int n))
+        counts;
+      Report.Series.print series)
+    [ 800; 900; 1024 ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 9: normalised dynamic footprint of the hot code *)
+
+let fig9 () =
+  Report.section
+    "Figure 9: hot code (90% of samples) / application text (paper: 0.09, \
+     0.07, 0.09, 0.13 — a 7-14x reduction)";
+  let paper =
+    [ ("adpcm_encode", 0.09); ("adpcm_decode", 0.07); ("gzip", 0.09);
+      ("cjpeg", 0.13) ]
+  in
+  let t =
+    Report.Table.create ~title:"normalised dynamic footprint"
+      ~columns:[ "app"; "hot code"; "app text"; "measured"; "paper" ]
+  in
+  List.iter
+    (fun (e : Workloads.Registry.entry) ->
+      let img = e.build () in
+      let prof, _ = Profiler.profile img in
+      let hot = Profiler.hot_bytes prof in
+      let app =
+        List.fold_left
+          (fun a (s : Isa.Image.symbol) ->
+            let libc =
+              String.length s.sym_name >= 5
+              && String.sub s.sym_name 0 5 = "libc_"
+            in
+            if libc then a else a + s.sym_size)
+          0 img.symbols
+      in
+      Report.Table.add_row t
+        [
+          e.name;
+          Report.fmt_bytes hot;
+          Report.fmt_bytes app;
+          fmt_f (float_of_int hot /. float_of_int app);
+          fmt_f (List.assoc e.name paper);
+        ])
+    Workloads.Registry.fig9;
+  Report.Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* Hardware tag overhead: the "11-18% extra" claim *)
+
+let tagoverhead () =
+  Report.section
+    "Hardware tag-array overhead (paper: \"tags for 32-bit addresses would \
+     add an extra 11-18%\", direct-mapped 16B blocks)";
+  let t =
+    Report.Table.create ~title:"tag overhead"
+      ~columns:[ "cache size"; "tag+valid bits/block"; "overhead" ]
+  in
+  List.iter
+    (fun size ->
+      let c = Hwcache.create ~size_bytes:size () in
+      let ov = Hwcache.tag_overhead c in
+      Report.Table.add_row t
+        [
+          Report.fmt_bytes size;
+          string_of_int (int_of_float (ov *. 128.));
+          Printf.sprintf "%.1f%%" (100. *. ov);
+        ])
+    [ 1024; 4096; 16384; 65536; 262144 ];
+  Report.Table.print t;
+  Report.kv "softcache equivalent"
+    "no tag array; metadata reported per run via Controller.metadata_bytes"
+
+(* ------------------------------------------------------------------ *)
+(* Space overhead: softcache metadata vs the hardware tag array *)
+
+let spaceoverhead () =
+  Report.section
+    "Space overhead (abstract: \"a comparable hardware cache would have      space overhead of 12-18% for its tag array\"; the softcache's      overheads are \"an adjustable tradeoff\")";
+  let img = Workloads.Compress.image () in
+  let t =
+    Report.Table.create ~title:"softcache space overheads (compress95)"
+      ~columns:
+        [ "tcache"; "code expansion"; "map+stub metadata"; "total";
+          "hw tag array" ]
+  in
+  List.iter
+    (fun size ->
+      let cfg = Softcache.Config.sparc_prototype ~tcache_bytes:size () in
+      let _, ctrl = Softcache.Runner.cached cfg img in
+      let s = ctrl.stats in
+      let expansion =
+        float_of_int s.overhead_words /. float_of_int s.translated_words
+      in
+      let metadata =
+        float_of_int (Softcache.Controller.metadata_bytes ctrl)
+        /. float_of_int size
+      in
+      let hw = Hwcache.tag_overhead (Hwcache.create ~size_bytes:size ()) in
+      let pct x = Printf.sprintf "%.1f%%" (100. *. x) in
+      Report.Table.add_row t
+        [
+          Report.fmt_bytes size;
+          pct expansion;
+          pct metadata;
+          pct (expansion +. metadata);
+          pct hw;
+        ])
+    [ 4096; 8192; 16384; 32768 ];
+  Report.Table.print t;
+  Report.kv "note"
+    "code expansion = pads/islands/fall slots per translated word;      metadata = tcache map + stub table relative to tcache size"
+
+(* ------------------------------------------------------------------ *)
+(* Network overhead: the 60-bytes-per-chunk measurement *)
+
+let netcost () =
+  Report.section
+    "Network overhead per chunk (paper: \"60 application bytes ... exchanged \
+     between CC and MC\" per downloaded chunk)";
+  let img = Workloads.Adpcm.encode_image () in
+  let net = Netmodel.ethernet_10mbps () in
+  let cfg =
+    Softcache.Config.make ~tcache_bytes:4096
+      ~chunking:Softcache.Config.Procedure ~net ()
+  in
+  let _, ctrl = Softcache.Runner.cached cfg img in
+  let msgs = Netmodel.messages net in
+  Report.kv "chunks downloaded" (string_of_int msgs);
+  Report.kv "application payload" (Report.fmt_bytes (Netmodel.payload_bytes net));
+  Report.kv "protocol overhead"
+    (Printf.sprintf "%d B (= %d B/chunk)"
+       (msgs * Netmodel.overhead_bytes_per_message net)
+       (Netmodel.overhead_bytes_per_message net));
+  Report.kv "total on the wire" (Report.fmt_bytes (Netmodel.total_bytes net));
+  ignore ctrl
+
+(* ------------------------------------------------------------------ *)
+(* Section 3 / Figure 10: the software data cache *)
+
+let dcache () =
+  Report.section
+    "Section 3 design: software D-cache (stack cache + fully associative \
+     predicted dcache; Figure 10 access sequences)";
+  let cfg = Dcache.Config.make () in
+  Report.kv "specialised constant access"
+    (Printf.sprintf "%d cycles (rewritten direct load)" cfg.const_cycles);
+  Report.kv "predicted hit"
+    (Printf.sprintf "%d cycles (Fig. 10 check sequence)"
+       cfg.predicted_hit_cycles);
+  Report.kv "guaranteed (slow hit)"
+    (Printf.sprintf "%d cycles (binary search of the sorted dcache)"
+       (Dcache.Sim.guaranteed_latency_cycles cfg));
+  let t =
+    Report.Table.create ~title:"per-workload behaviour"
+      ~columns:
+        [ "app"; "prediction"; "const"; "fast"; "slow"; "miss";
+          "tag checks avoided"; "overhead"; "hw D$ miss" ]
+  in
+  List.iter
+    (fun (e : Workloads.Registry.entry) ->
+      let img = e.build () in
+      (* hardware data-cache baseline on the same access stream *)
+      let hw = Hwcache.create ~assoc:2 ~block_bytes:32 ~size_bytes:8192 () in
+      let native =
+        let cpu = Machine.Cpu.of_image img in
+        let feed a = ignore (Hwcache.access hw a) in
+        cpu.on_load <- Some feed;
+        cpu.on_store <- Some feed;
+        let outcome = Machine.Cpu.run cpu in
+        {
+          Softcache.Runner.outcome;
+          outputs = Machine.Cpu.outputs cpu;
+          cycles = cpu.cycles;
+          retired = cpu.retired;
+        }
+      in
+      List.iter
+        (fun (pname, pred) ->
+          let cfg = Dcache.Config.make ~prediction:pred () in
+          let outcome, cpu, st = Dcache.Sim.run cfg img in
+          assert (outcome = Machine.Cpu.Halted);
+          let pct n =
+            if st.data_accesses = 0 then "-"
+            else
+              Printf.sprintf "%.1f%%"
+                (100. *. float_of_int n /. float_of_int st.data_accesses)
+          in
+          Report.Table.add_row t
+            [
+              e.name;
+              pname;
+              pct st.const_hits;
+              pct (st.fast_hits + st.second_chance_hits);
+              pct st.slow_hits;
+              pct st.misses;
+              Printf.sprintf "%.1f%%" (100. *. Dcache.Sim.tag_checks_avoided st);
+              Printf.sprintf "+%.1f%%"
+                (100.
+                *. float_of_int (cpu.cycles - native.cycles)
+                /. float_of_int native.cycles);
+              Printf.sprintf "%.2f%%" (100. *. Hwcache.miss_rate hw);
+            ])
+        [ ("same-idx", Dcache.Config.Same_index);
+          ("2nd-chance", Dcache.Config.Second_chance) ])
+    [ List.nth Workloads.Registry.all 0 (* compress *);
+      List.nth Workloads.Registry.all 3 (* hextobdd *);
+      List.nth Workloads.Registry.all 5 (* gzip *) ];
+  Report.Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* Section 4: power *)
+
+let power () =
+  Report.section
+    "Section 4: power (StrongARM: I$ 27% + D$ 16% + WB 2% = 45% of chip \
+     power; bank power-down over deduced working sets)";
+  let banks = Powermodel.Banks.make ~bank_bytes:4096 ~banks:8 () in
+  let t =
+    Report.Table.create ~title:"bank power-down (32KB in 8 x 4KB banks)"
+      ~columns:[ "app"; "working set"; "active banks"; "chip power saved" ]
+  in
+  List.iter
+    (fun (e : Workloads.Registry.entry) ->
+      let img = e.build () in
+      let prof, _ = Profiler.profile img in
+      let ws = Profiler.hot_bytes prof * 5 / 4 in
+      Report.Table.add_row t
+        [
+          e.name;
+          Report.fmt_bytes ws;
+          string_of_int (Powermodel.Banks.active_banks banks ~working_set:ws);
+          Printf.sprintf "%.1f%%"
+            (100. *. Powermodel.Banks.chip_saving banks ~working_set:ws);
+        ])
+    Workloads.Registry.all;
+  Report.Table.print t;
+  (* net memory-energy effect of dropping the tag array *)
+  let img = Workloads.Compress.image () in
+  let native = Softcache.Runner.native img in
+  let cached, _ =
+    Softcache.Runner.cached (Softcache.Config.sparc_prototype ()) img
+  in
+  let overhead = cached.retired - native.retired in
+  List.iter
+    (fun size ->
+      let te =
+        Powermodel.Tag_energy.of_cache ~size_bytes:size ~block_bytes:16
+          ~assoc:1
+      in
+      Report.kv
+        (Printf.sprintf "tag energy saved (%s I-cache)" (Report.fmt_bytes size))
+        (Printf.sprintf "%.1f%%"
+           (100.
+           *. Powermodel.Tag_energy.sw_saving te ~accesses:native.retired
+                ~overhead_instrs:overhead)))
+    [ 8192; 32768 ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablations: the design choices the two prototypes differ on *)
+
+let ablation () =
+  Report.section
+    "Ablation: chunk granularity x eviction policy (4KB tcache, forcing \
+     paging)";
+  let t =
+    Report.Table.create ~title:"chunking x eviction"
+      ~columns:
+        [ "app"; "config"; "slowdown"; "translations"; "evicted"; "flushes";
+          "net bytes" ]
+  in
+  List.iter
+    (fun (e : Workloads.Registry.entry) ->
+      let img = e.build () in
+      let native = Softcache.Runner.native img in
+      List.iter
+        (fun (cname, chunking, eviction) ->
+          let net = Netmodel.create ~overhead_bytes:60 () in
+          let cfg =
+            Softcache.Config.make ~tcache_bytes:4096 ~chunking ~eviction ~net
+              ()
+          in
+          match Softcache.Runner.cached cfg img with
+          | cached, ctrl ->
+            assert (cached.outputs = native.outputs);
+            Report.Table.add_row t
+              [
+                e.name;
+                cname;
+                fmt_f (Softcache.Runner.slowdown ~native ~cached);
+                string_of_int ctrl.stats.translations;
+                string_of_int ctrl.stats.evicted_blocks;
+                string_of_int ctrl.stats.flushes;
+                Report.fmt_bytes (Netmodel.total_bytes net);
+              ]
+          | exception Softcache.Controller.Chunk_too_large _ ->
+            Report.Table.add_row t
+              [ e.name; cname; "chunk too large"; "-"; "-"; "-"; "-" ])
+        [
+          ("bb/fifo", Softcache.Config.Basic_block, Softcache.Config.Fifo);
+          ("bb/flush", Softcache.Config.Basic_block, Softcache.Config.Flush_all);
+          ("proc/fifo", Softcache.Config.Procedure, Softcache.Config.Fifo);
+          ("proc/flush", Softcache.Config.Procedure, Softcache.Config.Flush_all);
+        ])
+    [ List.hd Workloads.Registry.all; List.nth Workloads.Registry.all 3 ];
+  Report.Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* The complete Section 3 memory system: tcache + scache + dcache *)
+
+let fullsystem () =
+  Report.section
+    "Full system (Section 3.1): local memory statically divided into      tcache + scache + dcache — instruction and data caching together";
+  let t =
+    Report.Table.create ~title:"whole-hierarchy overhead"
+      ~columns:
+        [ "app"; "local memory"; "I-only slowdown"; "I+D slowdown";
+          "D tag checks avoided" ]
+  in
+  List.iter
+    (fun (e : Workloads.Registry.entry) ->
+      let img = e.build () in
+      let native = Softcache.Runner.native img in
+      let icfg = Softcache.Config.make ~tcache_bytes:(16 * 1024) () in
+      let dcfg = Dcache.Config.make () in
+      let icached, _ = Softcache.Runner.cached icfg img in
+      let full, _ = Dcache.Fullsystem.run icfg dcfg img in
+      assert (full.outputs = native.outputs);
+      Report.Table.add_row t
+        [
+          e.name;
+          Report.fmt_bytes (Dcache.Fullsystem.local_memory_bytes icfg dcfg);
+          fmt_f (Softcache.Runner.slowdown ~native ~cached:icached);
+          fmt_f (float_of_int full.cycles /. float_of_int native.cycles);
+          Printf.sprintf "%.1f%%"
+            (100. *. Dcache.Sim.tag_checks_avoided full.dcache_stats);
+        ])
+    [ List.hd Workloads.Registry.all (* compress *);
+      List.nth Workloads.Registry.all 1 (* adpcm enc *);
+      List.nth Workloads.Registry.all 7 (* sensor *) ];
+  Report.Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* Translate-time binding ablation *)
+
+let bindablation () =
+  Report.section
+    "Ablation: translate-time direct binding (MC binds resident targets      while rewriting) vs trap-first patching";
+  let t =
+    Report.Table.create ~title:"bind at translate"
+      ~columns:[ "app"; "binding"; "slowdown"; "patches"; "cycles" ]
+  in
+  List.iter
+    (fun (e : Workloads.Registry.entry) ->
+      let img = e.build () in
+      let native = Softcache.Runner.native img in
+      List.iter
+        (fun (label, bind) ->
+          let cfg =
+            Softcache.Config.make ~tcache_bytes:(16 * 1024)
+              ~bind_at_translate:bind ()
+          in
+          let cached, ctrl = Softcache.Runner.cached cfg img in
+          assert (cached.outputs = native.outputs);
+          Report.Table.add_row t
+            [
+              e.name;
+              label;
+              fmt_f (Softcache.Runner.slowdown ~native ~cached);
+              string_of_int ctrl.stats.patches;
+              string_of_int cached.cycles;
+            ])
+        [ ("at translate", true); ("trap first", false) ])
+    [ List.hd Workloads.Registry.all; List.nth Workloads.Registry.all 1 ];
+  Report.Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* Network latency sweep: when is remote paging viable? *)
+
+let netsweep () =
+  Report.section
+    "Network latency sweep (adpcm encode, procedure chunks): remote paging      is viable when the working set fits; thrashing multiplies every RTT";
+  let img = Workloads.Adpcm.encode_image () in
+  let native = Softcache.Runner.native img in
+  let t =
+    Report.Table.create ~title:"slowdown vs round-trip latency"
+      ~columns:[ "RTT (cycles)"; "1KB CC (fits)"; "800B CC (pages)" ]
+  in
+  List.iter
+    (fun rtt ->
+      let run bytes =
+        let net =
+          Netmodel.create ~latency_cycles:rtt ~cycles_per_byte:160
+            ~overhead_bytes:60 ()
+        in
+        let cfg =
+          Softcache.Config.make ~tcache_bytes:bytes
+            ~chunking:Softcache.Config.Procedure ~net ()
+        in
+        let cached, _ = Softcache.Runner.cached cfg img in
+        assert (cached.outputs = native.outputs);
+        Softcache.Runner.slowdown ~native ~cached
+      in
+      Report.Table.add_row t
+        [
+          string_of_int rtt; fmt_f (run 1024); fmt_f (run 800);
+        ])
+    [ 0; 1_000; 10_000; 100_000; 1_000_000 ];
+  Report.Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the simulator's hot paths *)
+
+let micro () =
+  Report.section "Micro-benchmarks (host wall time of simulator hot paths)";
+  let open Bechamel in
+  let sum_img =
+    let b = Isa.Builder.create "bench_loop" in
+    let r1 = Isa.Reg.r 1 and r2 = Isa.Reg.r 2 in
+    Isa.Builder.li b r1 1000;
+    Isa.Builder.li b r2 0;
+    let top = Isa.Builder.label b in
+    Isa.Builder.ins b (Isa.Instr.Alu (Add, r2, r2, r1));
+    Isa.Builder.ins b (Isa.Instr.Alui (Add, r1, r1, -1));
+    Isa.Builder.br b Ne r1 Isa.Reg.zero top;
+    Isa.Builder.ins b Isa.Instr.Halt;
+    Isa.Builder.build b
+  in
+  let word =
+    Isa.Encode.encode (Isa.Instr.Alui (Add, Isa.Reg.r 1, Isa.Reg.r 2, 42))
+  in
+  let hw = Hwcache.create ~size_bytes:8192 () in
+  let assoc = Dcache.Assoc.create ~blocks:256 in
+  for i = 0 to 255 do
+    ignore (Dcache.Assoc.insert assoc ~tag:(i * 7))
+  done;
+  let counter = ref 0 in
+  let tests =
+    Test.make_grouped ~name:"softcache"
+      [
+        Test.make ~name:"encode+decode instruction"
+          (Staged.stage (fun () -> Isa.Encode.decode word));
+        Test.make ~name:"interpret 3k-instr loop"
+          (Staged.stage (fun () ->
+               let cpu = Machine.Cpu.of_image ~mem_bytes:(2 * 1024 * 1024) sum_img in
+               Machine.Cpu.run cpu));
+        Test.make ~name:"hwcache access"
+          (Staged.stage (fun () ->
+               incr counter;
+               Hwcache.access hw (!counter * 16 land 0xFFFF)));
+        Test.make ~name:"dcache assoc lookup"
+          (Staged.stage (fun () ->
+               incr counter;
+               Dcache.Assoc.lookup assoc ~pred:0 ~tag:(!counter mod 256 * 7)));
+        Test.make ~name:"create controller + translate entry"
+          (Staged.stage (fun () ->
+               let ctrl =
+                 Softcache.Controller.create
+                   (Softcache.Config.make ~tcache_bytes:2048 ())
+                   sum_img
+               in
+               Softcache.Controller.start ctrl));
+      ]
+  in
+  let instances = Bechamel.Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~quota:(Time.second 0.25) ~stabilize:false () in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols (List.hd instances) raw in
+  let rows = Hashtbl.fold (fun name res acc -> (name, res) :: acc) results [] in
+  List.iter
+    (fun (name, res) ->
+      match Analyze.OLS.estimates res with
+      | Some [ ns ] -> Report.kv name (Printf.sprintf "%.1f ns/run" ns)
+      | Some _ | None -> Report.kv name "n/a")
+    (List.sort compare rows)
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("table1", table1);
+    ("fig5", fig5);
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("associativity", associativity);
+    ("fig8", fig8);
+    ("fig9", fig9);
+    ("tagoverhead", tagoverhead);
+    ("spaceoverhead", spaceoverhead);
+    ("netcost", netcost);
+    ("dcache", dcache);
+    ("power", power);
+    ("ablation", ablation);
+    ("fullsystem", fullsystem);
+    ("bindablation", bindablation);
+    ("netsweep", netsweep);
+    ("micro", micro);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst experiments
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f -> f ()
+      | None ->
+        Printf.eprintf "unknown experiment %S; available: %s\n" name
+          (String.concat " " (List.map fst experiments));
+        exit 1)
+    requested;
+  print_newline ()

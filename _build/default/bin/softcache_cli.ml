@@ -1,0 +1,343 @@
+(* The softcache command-line tool.
+
+   Subcommands:
+     list                      workloads in the suite
+     run      <workload>       run natively and under the SoftCache
+     profile  <workload>       flat profile + footprint numbers
+     sweep    <workload>       tcache miss-rate curve
+     hwsweep  <workload>       hardware-cache miss-rate curve
+     dcache   <workload>       run under the software data cache
+     asm      <file.s>         assemble and run an ERISC source file *)
+
+open Cmdliner
+
+let setup_logs verbose =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+let verbose_arg =
+  let doc = "Log SoftCache controller events (translations, evictions)." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let find_workload name =
+  match Workloads.Registry.find name with
+  | Some e -> Ok e
+  | None ->
+    Error
+      (Printf.sprintf "unknown workload %S (try: %s)" name
+         (String.concat ", " (Workloads.Registry.names ())))
+
+let workload_arg =
+  let doc = "Workload name (see $(b,list))." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc)
+
+let tcache_arg =
+  let doc = "Translation-cache size in bytes." in
+  Arg.(value & opt int (48 * 1024) & info [ "tcache" ] ~docv:"BYTES" ~doc)
+
+let chunking_arg =
+  let doc = "Chunk granularity: $(b,bb) (basic blocks) or $(b,proc)." in
+  Arg.(value & opt (enum [ ("bb", Softcache.Config.Basic_block);
+                           ("proc", Softcache.Config.Procedure) ])
+         Softcache.Config.Basic_block
+       & info [ "chunking" ] ~docv:"MODE" ~doc)
+
+let eviction_arg =
+  let doc = "Eviction policy: $(b,fifo) or $(b,flush)." in
+  Arg.(value & opt (enum [ ("fifo", Softcache.Config.Fifo);
+                           ("flush", Softcache.Config.Flush_all) ])
+         Softcache.Config.Fifo
+       & info [ "eviction" ] ~docv:"POLICY" ~doc)
+
+let network_arg =
+  let doc = "Interconnect: $(b,local) (SPARC prototype) or $(b,ethernet) \
+             (ARM prototype, 10 Mbps)." in
+  Arg.(value & opt (enum [ ("local", `Local); ("ethernet", `Ethernet) ])
+         `Local
+       & info [ "net" ] ~docv:"NET" ~doc)
+
+let make_config tcache chunking eviction network =
+  let net =
+    match network with
+    | `Local -> Netmodel.local ()
+    | `Ethernet -> Netmodel.ethernet_10mbps ()
+  in
+  Softcache.Config.make ~tcache_bytes:tcache ~chunking ~eviction ~net ()
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (e : Workloads.Registry.entry) ->
+        Printf.printf "%-14s %s\n" e.name e.description)
+      Workloads.Registry.all;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the workload suite") Term.(const run $ const ())
+
+let run_cmd =
+  let run name tcache chunking eviction network verbose =
+    setup_logs verbose;
+    match find_workload name with
+    | Error e -> prerr_endline e; 1
+    | Ok entry ->
+      let img = entry.build () in
+      Format.printf "%a@." Isa.Image.pp_summary img;
+      let native = Softcache.Runner.native img in
+      let cfg = make_config tcache chunking eviction network in
+      let cached, ctrl = Softcache.Runner.cached cfg img in
+      Report.kv "native cycles" (string_of_int native.cycles);
+      Report.kv "softcache cycles" (string_of_int cached.cycles);
+      Report.kv "relative execution time"
+        (Printf.sprintf "%.3f" (Softcache.Runner.slowdown ~native ~cached));
+      Report.kv "tcache miss rate"
+        (Printf.sprintf "%.6f (%d translations / %d instrs)"
+           (Softcache.Stats.miss_rate ctrl.stats ~retired:cached.retired)
+           ctrl.stats.translations cached.retired);
+      Report.kv "outputs match"
+        (string_of_bool (native.outputs = cached.outputs));
+      Format.printf "  stats: %a@." Softcache.Stats.pp ctrl.stats;
+      Format.printf "  %a@." Netmodel.pp cfg.net;
+      if native.outputs = cached.outputs then 0 else 2
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a workload natively and under the SoftCache")
+    Term.(const run $ workload_arg $ tcache_arg $ chunking_arg $ eviction_arg
+          $ network_arg $ verbose_arg)
+
+let profile_cmd =
+  let run name =
+    match find_workload name with
+    | Error e -> prerr_endline e; 1
+    | Ok entry ->
+      let img = entry.build () in
+      let prof, cpu = Profiler.profile img in
+      Format.printf "%a@." Profiler.pp prof;
+      Report.kv "retired instructions" (string_of_int cpu.retired);
+      Report.kv "static .text" (Report.fmt_bytes (Isa.Image.static_text_bytes img));
+      Report.kv "dynamic .text" (Report.fmt_bytes (Profiler.dynamic_text_bytes prof));
+      Report.kv "hot code (90%)" (Report.fmt_bytes (Profiler.hot_bytes prof));
+      0
+  in
+  Cmd.v (Cmd.info "profile" ~doc:"Flat profile and footprints")
+    Term.(const run $ workload_arg)
+
+let sweep_cmd =
+  let run name chunking =
+    match find_workload name with
+    | Error e -> prerr_endline e; 1
+    | Ok entry ->
+      let img = entry.build () in
+      let series =
+        Report.Series.create
+          ~title:(Printf.sprintf "tcache miss rate vs size — %s" name)
+          ~xlabel:"tcache KB" ~ylabel:"miss rate %"
+      in
+      List.iter
+        (fun kb ->
+          let cfg =
+            Softcache.Config.make ~tcache_bytes:(kb * 1024 / 8) ~chunking ()
+          in
+          (* kb is in eighths of a KB to get sub-KB points *)
+          match Softcache.Runner.cached cfg img with
+          | cached, ctrl ->
+            Report.Series.add series
+              (float_of_int kb /. 8.0)
+              (100.0
+              *. Softcache.Stats.miss_rate ctrl.stats ~retired:cached.retired)
+          | exception Softcache.Controller.Chunk_too_large _ -> ())
+        [ 2; 4; 8; 16; 32; 64; 128; 256; 512; 800 ];
+      Report.Series.print series;
+      0
+  in
+  Cmd.v (Cmd.info "sweep" ~doc:"Software-cache miss rate vs tcache size")
+    Term.(const run $ workload_arg $ chunking_arg)
+
+let hwsweep_cmd =
+  let run name =
+    match find_workload name with
+    | Error e -> prerr_endline e; 1
+    | Ok entry ->
+      let img = entry.build () in
+      let sizes = [ 128; 256; 512; 1024; 2048; 4096; 8192; 16384; 32768 ] in
+      let caches =
+        List.map (fun s -> (s, Hwcache.create ~size_bytes:s ())) sizes
+      in
+      let cpu = Machine.Cpu.of_image img in
+      cpu.on_fetch <-
+        Some (fun a -> List.iter (fun (_, c) -> ignore (Hwcache.access c a)) caches);
+      let _ = Machine.Cpu.run cpu in
+      let series =
+        Report.Series.create
+          ~title:(Printf.sprintf "hardware I-cache miss rate vs size — %s" name)
+          ~xlabel:"cache KB" ~ylabel:"miss rate %"
+      in
+      List.iter
+        (fun (s, c) ->
+          Report.Series.add series
+            (float_of_int s /. 1024.0)
+            (100.0 *. Hwcache.miss_rate c))
+        caches;
+      Report.Series.print series;
+      0
+  in
+  Cmd.v
+    (Cmd.info "hwsweep" ~doc:"Hardware-cache miss rate vs size (baseline)")
+    Term.(const run $ workload_arg)
+
+let dcache_cmd =
+  let run name =
+    match find_workload name with
+    | Error e -> prerr_endline e; 1
+    | Ok entry ->
+      let img = entry.build () in
+      let cfg = Dcache.Config.make () in
+      let outcome, cpu, stats = Dcache.Sim.run cfg img in
+      Report.kv "outcome"
+        (match outcome with
+        | Machine.Cpu.Halted -> "halted"
+        | Machine.Cpu.Out_of_fuel -> "out of fuel");
+      Format.printf "  %a@." Dcache.Sim.pp_stats stats;
+      Report.kv "cycles (with d-cache)" (string_of_int cpu.cycles);
+      Report.kv "guaranteed latency"
+        (Printf.sprintf "%d cycles (slow hit)"
+           (Dcache.Sim.guaranteed_latency_cycles cfg));
+      0
+  in
+  Cmd.v (Cmd.info "dcache" ~doc:"Run under the Section 3 software data cache")
+    Term.(const run $ workload_arg)
+
+let fullsystem_cmd =
+  let run name tcache =
+    match find_workload name with
+    | Error e -> prerr_endline e; 1
+    | Ok entry ->
+      let img = entry.build () in
+      let native = Softcache.Runner.native img in
+      let icfg = Softcache.Config.make ~tcache_bytes:tcache () in
+      let dcfg = Dcache.Config.make () in
+      let full, _ = Dcache.Fullsystem.run icfg dcfg img in
+      Report.kv "local memory"
+        (Report.fmt_bytes (Dcache.Fullsystem.local_memory_bytes icfg dcfg));
+      Report.kv "I+D slowdown"
+        (Printf.sprintf "%.3f"
+           (float_of_int full.cycles /. float_of_int native.cycles));
+      Format.printf "  icache: %a@." Softcache.Stats.pp full.icache_stats;
+      Format.printf "  dcache: %a@." Dcache.Sim.pp_stats full.dcache_stats;
+      Report.kv "outputs match" (string_of_bool (full.outputs = native.outputs));
+      if full.outputs = native.outputs then 0 else 2
+  in
+  Cmd.v
+    (Cmd.info "fullsystem"
+       ~doc:"Run with the complete memory system: tcache + scache + dcache")
+    Term.(const run $ workload_arg $ tcache_arg)
+
+let trace_cmd =
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE" ~doc:"Write CSV there (default stdout).")
+  in
+  let limit_arg =
+    Arg.(value & opt int 10_000
+         & info [ "limit" ] ~docv:"N" ~doc:"Record at most N events.")
+  in
+  let run name out limit =
+    match find_workload name with
+    | Error e -> prerr_endline e; 1
+    | Ok entry ->
+      let img = entry.build () in
+      let cpu = Machine.Cpu.of_image img in
+      let buf = Buffer.create (limit * 16) in
+      Buffer.add_string buf "kind,address\n";
+      let n = ref 0 in
+      let record kind a =
+        if !n < limit then begin
+          incr n;
+          Buffer.add_string buf (Printf.sprintf "%s,0x%x\n" kind a)
+        end
+      in
+      cpu.on_fetch <- Some (record "fetch");
+      cpu.on_load <- Some (record "load");
+      cpu.on_store <- Some (record "store");
+      let _ = Machine.Cpu.run ~fuel:(limit * 2) cpu in
+      (match out with
+      | Some f -> Out_channel.with_open_text f (fun oc ->
+          Out_channel.output_string oc (Buffer.contents buf));
+        Printf.printf "wrote %d events to %s\n" !n f
+      | None -> print_string (Buffer.contents buf));
+      0
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Export a fetch/load/store address trace as CSV")
+    Term.(const run $ workload_arg $ out_arg $ limit_arg)
+
+let disasm_cmd =
+  let tcache_flag =
+    Arg.(value & flag
+         & info [ "tcache-view" ]
+             ~doc:"Run briefly under the SoftCache and dump the rewritten \
+                   translation-cache contents instead of the source image.")
+  in
+  let run name tcache_view =
+    match find_workload name with
+    | Error e -> prerr_endline e; 1
+    | Ok entry ->
+      let img = entry.build () in
+      if not tcache_view then begin
+        print_string (Isa.Disasm.image img);
+        0
+      end
+      else begin
+        let ctrl =
+          Softcache.Controller.create
+            (Softcache.Config.make ~tcache_bytes:4096 ())
+            img
+        in
+        let _ = Softcache.Controller.run ~fuel:50_000 ctrl in
+        print_string (Softcache.Debug.summary ctrl);
+        print_newline ();
+        print_string (Softcache.Debug.dump_blocks ctrl);
+        (match Softcache.Debug.disasm_block ctrl img.entry with
+        | Some s ->
+          Printf.printf "\nentry chunk as rewritten:\n%s" s
+        | None -> ());
+        0
+      end
+  in
+  Cmd.v
+    (Cmd.info "disasm"
+       ~doc:"Disassemble a workload (or its rewritten tcache contents)")
+    Term.(const run $ workload_arg $ tcache_flag)
+
+let asm_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"ERISC assembly source")
+  in
+  let run file tcache =
+    let source = In_channel.with_open_text file In_channel.input_all in
+    match Isa.Assembler.assemble ~name:file source with
+    | Error e -> Printf.eprintf "%s: %s\n" file e; 1
+    | Ok img ->
+      let native = Softcache.Runner.native img in
+      let cfg = Softcache.Config.make ~tcache_bytes:tcache () in
+      let cached, ctrl = Softcache.Runner.cached cfg img in
+      Report.kv "outputs"
+        (String.concat ", " (List.map string_of_int native.outputs));
+      Report.kv "native cycles" (string_of_int native.cycles);
+      Report.kv "softcache cycles" (string_of_int cached.cycles);
+      Report.kv "outputs match" (string_of_bool (native.outputs = cached.outputs));
+      Format.printf "  stats: %a@." Softcache.Stats.pp ctrl.stats;
+      if native.outputs = cached.outputs then 0 else 2
+  in
+  Cmd.v (Cmd.info "asm" ~doc:"Assemble and run an ERISC source file")
+    Term.(const run $ file_arg $ tcache_arg)
+
+let () =
+  let doc = "software caching using dynamic binary rewriting" in
+  let info = Cmd.info "softcache" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ list_cmd; run_cmd; profile_cmd; sweep_cmd; hwsweep_cmd;
+            dcache_cmd; fullsystem_cmd; disasm_cmd; trace_cmd; asm_cmd ]))

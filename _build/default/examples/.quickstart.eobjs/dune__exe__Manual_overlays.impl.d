@@ -1,0 +1,1 @@
+examples/manual_overlays.ml: Isa List Machine Printf Softcache Workloads

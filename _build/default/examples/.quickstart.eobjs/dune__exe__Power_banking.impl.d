@@ -1,0 +1,1 @@
+examples/power_banking.ml: List Powermodel Printf Profiler Softcache Workloads

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Isa List Machine Printf Softcache String

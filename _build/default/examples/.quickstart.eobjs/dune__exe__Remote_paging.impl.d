@@ -1,0 +1,1 @@
+examples/remote_paging.ml: Format Isa List Machine Netmodel Option Printf Softcache Workloads

@@ -1,0 +1,1 @@
+examples/remote_paging.mli:

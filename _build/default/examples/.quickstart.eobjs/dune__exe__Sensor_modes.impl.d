@@ -1,0 +1,1 @@
+examples/sensor_modes.ml: Format Isa List Printf Softcache Workloads

@@ -1,0 +1,79 @@
+; 4-tap FIR filter over a synthesised signal, in ERISC assembly.
+; Run it through the CLI (natively and under the SoftCache):
+;
+;   dune exec bin/softcache_cli.exe -- asm examples/fir.s
+;
+; Registers: r16 sample index, r17 accumulator/checksum, r20-r23 delay
+; line, r5-r9 temporaries.
+
+.data
+taps:   .word 3, 7, 7, 3          ; symmetric low-pass, sum 20
+nsamp:  .word 4096
+
+.text
+.entry main
+
+; synthesise the next input sample from the index in r1 -> r2
+.func next_sample
+next_sample:
+    andi r5, r1, 255
+    slli r2, r5, 3                ; ramp
+    andi r6, r1, 64
+    beq  r6, zero, ns_done
+    sub  r2, zero, r2             ; flip phase every 64 samples
+ns_done:
+    ret
+.endfunc
+
+; one FIR step: input in r1, result -> r2; delay line r20-r23
+.func fir_step
+fir_step:
+    la   r9, taps
+    ld   r5, 0(r9)
+    mul  r2, r1, r5
+    ld   r5, 4(r9)
+    mul  r6, r20, r5
+    add  r2, r2, r6
+    ld   r5, 8(r9)
+    mul  r6, r21, r5
+    add  r2, r2, r6
+    ld   r5, 12(r9)
+    mul  r6, r22, r5
+    add  r2, r2, r6
+    srai r2, r2, 5                ; normalise by ~sum(taps)
+    ; shift the delay line
+    mov  r22, r21
+    mov  r21, r20
+    mov  r20, r1
+    ret
+.endfunc
+
+.func main
+main:
+    li   r16, 0
+    li   r17, 0
+    li   r20, 0
+    li   r21, 0
+    li   r22, 0
+    la   r9, nsamp
+    ld   r18, 0(r9)
+loop:
+    mov  r1, r16
+    ; save ra around the nested calls
+    addi sp, sp, -8
+    st   ra, 4(sp)
+    jal  next_sample
+    mov  r1, r2
+    jal  fir_step
+    ld   ra, 4(sp)
+    addi sp, sp, 8
+    ; checksum = checksum * 31 + y
+    li   r5, 31
+    mul  r17, r17, r5
+    add  r17, r17, r2
+    addi r16, r16, 1
+    bne  r16, r18, loop
+    out  r17
+    out  r16
+    halt
+.endfunc

@@ -1,0 +1,1 @@
+lib/core/chunker.ml: Array Config Format Isa List

@@ -1,0 +1,1 @@
+lib/core/chunker.mli: Config Format Isa

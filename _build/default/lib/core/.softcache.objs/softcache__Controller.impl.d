@@ -1,0 +1,1 @@
+lib/core/controller.ml: Array Bytes Chunker Config Hashtbl Isa List Logs Machine Netmodel Printf Rewriter Stats String Stub Sys Tcache

@@ -1,0 +1,1 @@
+lib/core/controller.mli: Config Hashtbl Isa Machine Stats Stub Tcache

@@ -1,0 +1,1 @@
+lib/core/debug.ml: Buffer Config Controller Format Isa List Machine Printf Stats Tcache

@@ -1,0 +1,1 @@
+lib/core/rewriter.ml: Array Chunker Format Isa Stub

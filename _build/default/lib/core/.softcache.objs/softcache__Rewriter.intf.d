@@ -1,0 +1,1 @@
+lib/core/rewriter.mli: Chunker Stub

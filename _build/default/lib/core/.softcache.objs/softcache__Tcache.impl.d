@@ -1,0 +1,1 @@
+lib/core/tcache.ml: Format Hashtbl List

@@ -1,0 +1,52 @@
+type t = { vaddr : int; instrs : Isa.Instr.t array }
+
+exception Bad_address of int
+exception Trap_in_source of int
+
+let max_chunk_instrs = 16384
+
+let decode_at img addr =
+  match Isa.Image.fetch img addr with
+  | Isa.Instr.Trap _ -> raise (Trap_in_source addr)
+  | i -> i
+  | exception Invalid_argument _ -> raise (Bad_address addr)
+  | exception Isa.Encode.Encode_error _ -> raise (Bad_address addr)
+
+(* [v, limit): decode until the first block terminator (inclusive) or
+   until [limit]. *)
+let scan img v limit =
+  let rec go acc addr n =
+    if addr >= limit || n >= max_chunk_instrs then List.rev acc
+    else
+      let i = decode_at img addr in
+      if Isa.Instr.is_block_terminator i then List.rev (i :: acc)
+      else go (i :: acc) (addr + 4) (n + 1)
+  in
+  Array.of_list (go [] v 0)
+
+let chunk_at img mode v =
+  if v land 3 <> 0 || not (Isa.Image.contains_code img v) then
+    raise (Bad_address v);
+  let limit =
+    match mode with
+    | Config.Basic_block -> Isa.Image.code_end img
+    | Config.Procedure -> (
+      match Isa.Image.symbol_at img v with
+      | Some s -> s.sym_addr + s.sym_size
+      | None -> Isa.Image.code_end img)
+  in
+  let instrs =
+    match mode with
+    | Config.Basic_block -> scan img v limit
+    | Config.Procedure ->
+      let n = (limit - v) / 4 in
+      let n = min n max_chunk_instrs in
+      Array.init n (fun i -> decode_at img (v + (4 * i)))
+  in
+  if Array.length instrs = 0 then raise (Bad_address v);
+  { vaddr = v; instrs }
+
+let span_bytes t = Array.length t.instrs * Isa.Instr.word_size
+
+let pp ppf t =
+  Format.fprintf ppf "chunk 0x%x (%d instrs)" t.vaddr (Array.length t.instrs)

@@ -1,0 +1,38 @@
+(** MC-side chunk extraction.
+
+    "On the MC instructions from the original program are broken into
+    chunks — for our purposes, a chunk is a basic block, although it
+    could certainly be a larger sequence of instructions."
+
+    A chunk starting at virtual address [v] extends
+    - in basic-block mode, to the first control-flow instruction at or
+      after [v] (inclusive) — branch targets landing mid-block start
+      fresh chunks, i.e. tail duplication, exactly as in the paper's
+      Figure 3 where blocks are copied on demand per branch target;
+    - in procedure mode, to the end of the procedure symbol containing
+      [v] (falling back to basic-block extent for symbol-less code). *)
+
+type t = {
+  vaddr : int;  (** first instruction's virtual address *)
+  instrs : Isa.Instr.t array;
+}
+
+exception Bad_address of int
+(** The requested address is unaligned or outside the image's text
+    segment — the embedded program jumped somewhere that is not code. *)
+
+exception Trap_in_source of int
+(** Source images must not contain [Trap]; it is reserved for the
+    rewriter. Carries the offending address. *)
+
+val max_chunk_instrs : int
+(** Safety bound on chunk length (16384 instructions). *)
+
+val chunk_at : Isa.Image.t -> Config.chunking -> int -> t
+(** Extract the chunk starting at a virtual address.
+    @raise Bad_address / Trap_in_source as above. *)
+
+val span_bytes : t -> int
+(** Original footprint of the chunk in the source image. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,54 @@
+type chunking = Basic_block | Procedure
+type eviction = Flush_all | Fifo
+
+type t = {
+  tcache_bytes : int;
+  tcache_base : int;
+  chunking : chunking;
+  eviction : eviction;
+  lookup_cycles : int;
+  patch_cycles : int;
+  miss_fixed_cycles : int;
+  translate_cycles_per_word : int;
+  scrub_cycles_per_word : int;
+  bind_at_translate : bool;
+  net : Netmodel.t;
+}
+
+let make ?(tcache_bytes = 48 * 1024) ?(tcache_base = 0x10000)
+    ?(chunking = Basic_block) ?(eviction = Fifo) ?(lookup_cycles = 12)
+    ?(patch_cycles = 4) ?(miss_fixed_cycles = 30)
+    ?(translate_cycles_per_word = 2) ?(scrub_cycles_per_word = 2)
+    ?(bind_at_translate = true) ?net () =
+  let net = match net with Some n -> n | None -> Netmodel.local () in
+  if tcache_bytes < 64 then invalid_arg "Config.make: tcache too small";
+  if tcache_base land 3 <> 0 then invalid_arg "Config.make: unaligned base";
+  {
+    tcache_bytes;
+    tcache_base;
+    chunking;
+    eviction;
+    lookup_cycles;
+    patch_cycles;
+    miss_fixed_cycles;
+    translate_cycles_per_word;
+    scrub_cycles_per_word;
+    bind_at_translate;
+    net;
+  }
+
+let sparc_prototype ?tcache_bytes () =
+  make ?tcache_bytes ~chunking:Basic_block ~eviction:Fifo
+    ~net:(Netmodel.local ()) ()
+
+let arm_prototype ?tcache_bytes () =
+  make ?tcache_bytes ~chunking:Procedure ~eviction:Fifo
+    ~net:(Netmodel.ethernet_10mbps ()) ()
+
+let pp ppf t =
+  Format.fprintf ppf "tcache %dB @0x%x, %s chunks, %s eviction"
+    t.tcache_bytes t.tcache_base
+    (match t.chunking with
+    | Basic_block -> "basic-block"
+    | Procedure -> "procedure")
+    (match t.eviction with Flush_all -> "flush-all" | Fifo -> "fifo")

@@ -1,0 +1,70 @@
+(** SoftCache configuration.
+
+    Mirrors the knobs the paper's two prototypes differ on: chunk
+    granularity (basic blocks on SPARC, procedures on ARM), the eviction
+    policy, the interconnect, and the client-side cycle prices of the
+    cache-controller operations. *)
+
+type chunking =
+  | Basic_block  (** SPARC prototype: translate one basic block at a time *)
+  | Procedure
+      (** ARM prototype: "code is chunked by procedures rather than by
+          basic blocks" *)
+
+type eviction =
+  | Flush_all
+      (** invalidate the whole tcache when full, the strategy of the
+          dynamic rewriters the paper cites (Dynamo, Shade, Embra) *)
+  | Fifo  (** evict oldest blocks in allocation order, one at a time *)
+
+type t = {
+  tcache_bytes : int;  (** CC translation-cache memory, bytes *)
+  tcache_base : int;  (** physical base of the tcache region *)
+  chunking : chunking;
+  eviction : eviction;
+  lookup_cycles : int;
+      (** client cost of one tcache-map hash probe (ambiguous-pointer
+          fallback) *)
+  patch_cycles : int;  (** client cost of rewriting one code word *)
+  miss_fixed_cycles : int;
+      (** fixed client-side bookkeeping per miss, on top of network and
+          per-word costs *)
+  translate_cycles_per_word : int;
+      (** MC-side rewriting work, charged per emitted word; "could
+          easily be reduced to near zero by more powerful MC systems" *)
+  scrub_cycles_per_word : int;
+      (** cost per stack word scanned when evicting live landing pads *)
+  bind_at_translate : bool;
+      (** when the MC rewrites a chunk, bind exits whose targets are
+          already resident directly (the paper's design); disabling it
+          makes every exit trap once before being patched — an ablation
+          of translate-time specialisation *)
+  net : Netmodel.t;
+}
+
+val make :
+  ?tcache_bytes:int ->
+  ?tcache_base:int ->
+  ?chunking:chunking ->
+  ?eviction:eviction ->
+  ?lookup_cycles:int ->
+  ?patch_cycles:int ->
+  ?miss_fixed_cycles:int ->
+  ?translate_cycles_per_word:int ->
+  ?scrub_cycles_per_word:int ->
+  ?bind_at_translate:bool ->
+  ?net:Netmodel.t ->
+  unit ->
+  t
+(** Defaults: 48 KiB tcache at [0x10000], basic-block chunking, FIFO
+    eviction, lookup 12, patch 4, miss fixed 30, translate 2/word,
+    scrub 2/word, local (SPARC-style) interconnect. *)
+
+val sparc_prototype : ?tcache_bytes:int -> unit -> t
+(** Basic-block chunking, local MC (no network), FIFO eviction. *)
+
+val arm_prototype : ?tcache_bytes:int -> unit -> t
+(** Procedure chunking and a 10 Mbps Ethernet MC link, as on the Skiff
+    boards. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,526 @@
+type t = {
+  cfg : Config.t;
+  image : Isa.Image.t;
+  cpu : Machine.Cpu.t;
+  tc : Tcache.t;
+  stats : Stats.t;
+  mutable stubs : Stub.t array;
+  mutable nstubs : int;
+  ret_stubs : (int, int * int) Hashtbl.t;
+  stack_top : int;
+  mutable next_block_id : int;
+  mutable started : bool;
+  mutable ra_regions : (int * int) list;
+      (* registered non-stack storage holding return addresses *)
+  mutable free_stubs : int list;
+      (* recycled stub-table entries from evicted blocks *)
+  mutable live_stubs : int;
+}
+
+exception Chunk_too_large of int
+exception Tcache_too_small
+
+let log_src =
+  Logs.Src.create "softcache.controller"
+    ~doc:"SoftCache cache-controller events"
+
+module Log = (val Logs.src_log log_src)
+
+let enc = Isa.Encode.encode
+let charge t c = t.cpu.cycles <- t.cpu.cycles + c
+let write_word t addr w = Machine.Memory.write32 t.cpu.mem addr w
+
+let add_stub t make =
+  t.live_stubs <- t.live_stubs + 1;
+  match t.free_stubs with
+  | k :: rest ->
+    t.free_stubs <- rest;
+    t.stubs.(k) <- make k;
+    k
+  | [] ->
+    if t.nstubs = Array.length t.stubs then begin
+      let bigger =
+        Array.make (max 64 (2 * t.nstubs)) (Stub.Computed { rs = Isa.Reg.ra })
+      in
+      Array.blit t.stubs 0 bigger 0 t.nstubs;
+      t.stubs <- bigger
+    end;
+    let k = t.nstubs in
+    t.stubs.(k) <- make k;
+    t.nstubs <- k + 1;
+    k
+
+(* A dead block's stub entries can never fire again (its memory is
+   unreachable once the resume redirect has run), so they are recycled
+   — this is what keeps CC metadata proportional to residency. *)
+let free_block_stubs t victims =
+  List.iter
+    (fun (b : Tcache.block) ->
+      List.iter
+        (fun k ->
+          t.free_stubs <- k :: t.free_stubs;
+          t.live_stubs <- t.live_stubs - 1)
+        b.stubs)
+    victims
+
+let record_incoming (b : Tcache.block) ~from_block ~site_paddr ~revert_word =
+  b.incoming <-
+    { Tcache.from_block; site_paddr; revert_word } :: b.incoming
+
+(* Allocate (or reuse) the persistent return stub for a return target.
+   May evict blocks to grow the stub area; [on_evicted] handles them. *)
+let rec persistent_ret_stub t ~on_evicted ret_vaddr =
+  match Hashtbl.find_opt t.ret_stubs ret_vaddr with
+  | Some (paddr, _) -> paddr
+  | None -> (
+    match Tcache.alloc_persistent t.tc ~words:1 with
+    | Error `Too_large -> raise Tcache_too_small
+    | Ok (paddr, victims) ->
+      on_evicted victims;
+      let k =
+        add_stub t (fun _k ->
+            Stub.Ret_stub { site_paddr = paddr; target = ret_vaddr })
+      in
+      write_word t paddr (enc (Isa.Instr.Trap k));
+      Hashtbl.replace t.ret_stubs ret_vaddr (paddr, k);
+      t.stats.ret_stubs <- t.stats.ret_stubs + 1;
+      paddr)
+
+(* Redirect any live landing-pad address held in [ra] or on the stack
+   into a persistent return stub. [padtbl] maps pad paddr -> return
+   vaddr for the pads that just died. *)
+and scrub_stack t ~on_evicted padtbl =
+  let fixup v =
+    match Hashtbl.find_opt padtbl v with
+    | Some ret_vaddr -> Some (persistent_ret_stub t ~on_evicted ret_vaddr)
+    | None -> None
+  in
+  (match fixup (Machine.Cpu.reg t.cpu Isa.Reg.ra) with
+  | Some p -> Machine.Cpu.set_reg t.cpu Isa.Reg.ra p
+  | None -> ());
+  let sp = Machine.Cpu.reg t.cpu Isa.Reg.sp in
+  let scanned = ref 0 in
+  let scan_range lo hi =
+    let addr = ref (lo land lnot 3) in
+    while !addr + 4 <= hi do
+      incr scanned;
+      (match fixup (Machine.Memory.read32 t.cpu.mem !addr) with
+      | Some p -> write_word t !addr p
+      | None -> ());
+      addr := !addr + 4
+    done
+  in
+  scan_range (max 0 sp) t.stack_top;
+  (* "any non-stack storage (e.g. thread control blocks) must be
+     registered with the runtime system" *)
+  List.iter (fun (lo, hi) -> scan_range lo hi) t.ra_regions;
+  t.stats.scrubbed_words <- t.stats.scrubbed_words + !scanned;
+  charge t (t.cfg.scrub_cycles_per_word * !scanned)
+
+and debug_check_stale t victims =
+  (* SOFTCACHE_DEBUG: detect return addresses pointing into freed blocks *)
+  let in_victim v =
+    List.exists
+      (fun (b : Tcache.block) ->
+        v >= b.paddr && v < b.paddr + (4 * b.words))
+      victims
+  in
+  let ra = Machine.Cpu.reg t.cpu Isa.Reg.ra in
+  if in_victim ra then
+    Printf.eprintf "STALE ra=0x%x after scrub! pc=0x%x\n%!" ra t.cpu.pc;
+  let sp = max 0 (Machine.Cpu.reg t.cpu Isa.Reg.sp land lnot 3) in
+  let addr = ref sp in
+  while !addr + 4 <= t.stack_top do
+    let v = Machine.Memory.read32 t.cpu.mem !addr in
+    if in_victim v then
+      Printf.eprintf "STALE stack[0x%x]=0x%x after scrub! pc=0x%x sp=0x%x\n%!"
+        !addr v t.cpu.pc sp;
+    addr := !addr + 4
+  done
+
+and revert_incoming t victims =
+  (* unlink: revert every recorded incoming pointer whose own block
+     still exists *)
+  List.iter
+    (fun (b : Tcache.block) ->
+      List.iter
+        (fun (inc : Tcache.incoming) ->
+          if inc.from_block = -1 || Tcache.is_alive t.tc inc.from_block
+          then begin
+            write_word t inc.site_paddr inc.revert_word;
+            t.stats.reverts <- t.stats.reverts + 1;
+            charge t t.cfg.patch_cycles
+          end)
+        b.incoming)
+    victims
+
+and process_evicted t victims =
+  if victims <> [] then begin
+    let n = List.length victims in
+    Log.debug (fun m ->
+        m "evict %d block(s): %s" n
+          (String.concat ","
+             (List.map
+                (fun (b : Tcache.block) -> Printf.sprintf "v=0x%x" b.vaddr)
+                victims)));
+    t.stats.evicted_blocks <- t.stats.evicted_blocks + n;
+    t.stats.eviction_events <- (t.cpu.cycles, n) :: t.stats.eviction_events;
+    revert_incoming t victims;
+    (* landing pads that may be live in return addresses *)
+    let padtbl = Hashtbl.create 16 in
+    List.iter
+      (fun (b : Tcache.block) ->
+        List.iter (fun (p, rv) -> Hashtbl.replace padtbl p rv) b.pads)
+      victims;
+    if Hashtbl.length padtbl > 0 then
+      scrub_stack t ~on_evicted:(process_evicted t) padtbl;
+    (* if the CPU is parked inside a dead block (invalidate between
+       runs), park it on a persistent stub for its resume address *)
+    List.iter
+      (fun (b : Tcache.block) ->
+        let pc = t.cpu.pc in
+        if pc >= b.paddr && pc < b.paddr + (4 * b.words) then
+          let rv = b.resume.((pc - b.paddr) asr 2) in
+          t.cpu.pc <-
+            persistent_ret_stub t ~on_evicted:(process_evicted t) rv)
+      victims;
+    free_block_stubs t victims;
+    if Sys.getenv_opt "SOFTCACHE_DEBUG" <> None then
+      debug_check_stale t victims
+  end
+
+let do_flush t =
+  (* collect live pad references before tearing everything down;
+     pinned blocks survive, so their pads stay valid *)
+  let padtbl = Hashtbl.create 64 in
+  List.iter
+    (fun (b : Tcache.block) ->
+      if not (Tcache.is_pinned t.tc b.id) then
+        List.iter (fun (p, rv) -> Hashtbl.replace padtbl p rv) b.pads)
+    (Tcache.blocks t.tc);
+  let ra_ref =
+    Hashtbl.find_opt padtbl (Machine.Cpu.reg t.cpu Isa.Reg.ra)
+  in
+  (* where must the CPU resume if it is parked in doomed code?
+     (persistent return stubs survive the flush, so a pc parked on one
+     needs no fixing) *)
+  let pc_resume =
+    let pc = t.cpu.pc in
+    let in_block =
+      List.find_opt
+        (fun (b : Tcache.block) ->
+          pc >= b.paddr && pc < b.paddr + (4 * b.words))
+        (Tcache.blocks t.tc)
+    in
+    match in_block with
+    | Some b -> Some b.resume.((pc - b.paddr) asr 2)
+    | None -> None
+  in
+  let stack_refs = ref [] in
+  let sp = max 0 (Machine.Cpu.reg t.cpu Isa.Reg.sp land lnot 3) in
+  let scanned = ref 0 in
+  let scan_range lo hi =
+    let addr = ref (lo land lnot 3) in
+    while !addr + 4 <= hi do
+      incr scanned;
+      (match
+         Hashtbl.find_opt padtbl (Machine.Memory.read32 t.cpu.mem !addr)
+       with
+      | Some rv -> stack_refs := (!addr, rv) :: !stack_refs
+      | None -> ());
+      addr := !addr + 4
+    done
+  in
+  scan_range sp t.stack_top;
+  List.iter (fun (lo, hi) -> scan_range lo hi) t.ra_regions;
+  t.stats.scrubbed_words <- t.stats.scrubbed_words + !scanned;
+  charge t (t.cfg.scrub_cycles_per_word * !scanned);
+  Log.debug (fun m ->
+      m "flush: %d resident blocks, pc=0x%x" (Tcache.resident_blocks t.tc)
+        t.cpu.pc);
+  let former = Tcache.reset t.tc in
+  (* pinned survivors may have patched exits into flushed blocks *)
+  revert_incoming t former;
+  free_block_stubs t former;
+  t.stats.evicted_blocks <- t.stats.evicted_blocks + List.length former;
+  t.stats.flushes <- t.stats.flushes + 1;
+  (* persistent return stubs survive the flush, but any that had been
+     specialised into direct jumps must trap again *)
+  Hashtbl.iter
+    (fun _rv (paddr, k) -> write_word t paddr (enc (Isa.Instr.Trap k)))
+    t.ret_stubs;
+  let no_evictions victims = assert (victims = []) in
+  (match ra_ref with
+  | Some rv ->
+    Machine.Cpu.set_reg t.cpu Isa.Reg.ra
+      (persistent_ret_stub t ~on_evicted:no_evictions rv)
+  | None -> ());
+  List.iter
+    (fun (a, rv) ->
+      write_word t a (persistent_ret_stub t ~on_evicted:no_evictions rv))
+    !stack_refs;
+  match pc_resume with
+  | Some rv ->
+    t.cpu.pc <- persistent_ret_stub t ~on_evicted:no_evictions rv
+  | None -> ()
+
+let resident_oracle t v =
+  match Tcache.lookup t.tc v with
+  | Some b -> Some (b.id, b.paddr)
+  | None -> None
+
+let translate t v =
+  let chunk = Chunker.chunk_at t.image t.cfg.chunking v in
+  let words_needed = Rewriter.layout_words chunk in
+  let base =
+    match t.cfg.eviction with
+    | Config.Fifo ->
+      (* processing the evictions can grow the persistent stub area
+         down into the range we just reserved (stack scrubbing creates
+         return stubs); re-allocate until the placement is clear *)
+      let rec alloc_loop guard =
+        if guard = 0 then raise Tcache_too_small
+        else
+          match Tcache.alloc_fifo t.tc ~words:words_needed with
+          | Error `Too_large -> raise (Chunk_too_large v)
+          | Ok (p, victims) ->
+            process_evicted t victims;
+            if p + (4 * words_needed) <= Tcache.persist_base t.tc then p
+            else alloc_loop (guard - 1)
+      in
+      alloc_loop 64
+    | Config.Flush_all -> (
+      match Tcache.alloc_append t.tc ~words:words_needed with
+      | Ok p -> p
+      | Error `Too_large -> raise (Chunk_too_large v)
+      | Error `Full -> (
+        do_flush t;
+        match Tcache.alloc_append t.tc ~words:words_needed with
+        | Ok p -> p
+        | Error (`Full | `Too_large) -> raise (Chunk_too_large v)))
+  in
+  let id = t.next_block_id in
+  t.next_block_id <- id + 1;
+  let resident =
+    if t.cfg.bind_at_translate then resident_oracle t else fun _ -> None
+  in
+  let allocated = ref [] in
+  let alloc_stub make =
+    let k = add_stub t make in
+    allocated := k :: !allocated;
+    k
+  in
+  let emission =
+    Rewriter.translate chunk ~block_id:id ~base ~resident ~alloc_stub
+  in
+  Array.iteri
+    (fun i w -> write_word t (base + (4 * i)) w)
+    emission.words;
+  let emitted = Array.length emission.words in
+  let block =
+    {
+      Tcache.id;
+      vaddr = v;
+      paddr = base;
+      words = emitted;
+      orig_words = Array.length chunk.instrs;
+      incoming = [];
+      pads = emission.pads;
+      resume = emission.resume;
+      stubs = !allocated;
+    }
+  in
+  Tcache.register t.tc block;
+  List.iter
+    (fun (tb, site_paddr, revert_word) ->
+      match Tcache.find_by_id t.tc tb with
+      | Some target_block ->
+        record_incoming target_block ~from_block:id ~site_paddr ~revert_word
+      | None -> assert false (* resident during this translation *))
+    emission.bound;
+  Log.debug (fun m ->
+      m "translate v=0x%x -> @0x%x (%d words, id=%d)" v base emitted id);
+  t.stats.translations <- t.stats.translations + 1;
+  t.stats.translated_words <- t.stats.translated_words + emitted;
+  t.stats.overhead_words <- t.stats.overhead_words + emission.overhead_words;
+  t.stats.max_resident_blocks <-
+    max t.stats.max_resident_blocks (Tcache.resident_blocks t.tc);
+  t.stats.max_occupied_bytes <-
+    max t.stats.max_occupied_bytes (Tcache.occupied_bytes t.tc);
+  charge t
+    (t.cfg.miss_fixed_cycles
+    + (t.cfg.translate_cycles_per_word * emitted)
+    + Netmodel.request t.cfg.net ~payload_bytes:(emitted * 4));
+  block
+
+let ensure_resident t v =
+  match Tcache.lookup t.tc v with Some b -> b | None -> translate t v
+
+let patch_exit t k ~block ~site_paddr ~kind ~revert_word
+    (target_block : Tcache.block) =
+  if Tcache.is_alive t.tc block then begin
+    let patched =
+      match kind with
+      | Stub.Patch_jmp ->
+        write_word t site_paddr (enc (Isa.Instr.Jmp target_block.paddr));
+        record_incoming target_block ~from_block:block ~site_paddr
+          ~revert_word;
+        true
+      | Stub.Patch_jal ->
+        write_word t site_paddr (enc (Isa.Instr.Jal target_block.paddr));
+        record_incoming target_block ~from_block:block ~site_paddr
+          ~revert_word;
+        true
+      | Stub.Patch_br -> (
+        match
+          Isa.Encode.decode (Machine.Memory.read32 t.cpu.mem site_paddr)
+        with
+        | Some (Isa.Instr.Br (c, r1, r2, _)) ->
+          let d = (target_block.paddr - site_paddr) asr 2 in
+          if Isa.Encode.branch_offset_fits d then begin
+            write_word t site_paddr (enc (Isa.Instr.Br (c, r1, r2, d)));
+            record_incoming target_block ~from_block:block ~site_paddr
+              ~revert_word;
+            true
+          end
+          else begin
+            (* out of reach: specialise the island (where we trapped)
+               into a direct jump instead *)
+            let island = t.cpu.pc in
+            write_word t island (enc (Isa.Instr.Jmp target_block.paddr));
+            record_incoming target_block ~from_block:block
+              ~site_paddr:island
+              ~revert_word:(enc (Isa.Instr.Trap k));
+            true
+          end
+        | Some _ | None -> false)
+    in
+    if patched then begin
+      t.stats.patches <- t.stats.patches + 1;
+      charge t t.cfg.patch_cycles
+    end
+  end
+
+let handle_trap t k =
+  match t.stubs.(k) with
+  | Stub.Exit { block; site_paddr; kind; target; revert_word } ->
+    let b = ensure_resident t target in
+    patch_exit t k ~block ~site_paddr ~kind ~revert_word b;
+    t.cpu.pc <- b.paddr
+  | Stub.Computed { rs } ->
+    t.stats.lookups <- t.stats.lookups + 1;
+    charge t t.cfg.lookup_cycles;
+    let target = Machine.Cpu.reg t.cpu rs in
+    let b = ensure_resident t target in
+    t.cpu.pc <- b.paddr
+  | Stub.Icall { rd; rs; pad_paddr } ->
+    t.stats.lookups <- t.stats.lookups + 1;
+    charge t t.cfg.lookup_cycles;
+    let target = Machine.Cpu.reg t.cpu rs in
+    Machine.Cpu.set_reg t.cpu rd pad_paddr;
+    let b = ensure_resident t target in
+    t.cpu.pc <- b.paddr
+  | Stub.Ret_stub { site_paddr; target } ->
+    t.stats.lookups <- t.stats.lookups + 1;
+    charge t t.cfg.lookup_cycles;
+    let b = ensure_resident t target in
+    (* specialise this stub into a direct jump while the target lives,
+       unless a flush has re-purposed the stub area in the meantime *)
+    (match Hashtbl.find_opt t.ret_stubs target with
+    | Some (p, _) when p = site_paddr ->
+      write_word t site_paddr (enc (Isa.Instr.Jmp b.paddr));
+      (match Tcache.find_by_id t.tc b.id with
+      | Some tb ->
+        record_incoming tb ~from_block:(-1) ~site_paddr
+          ~revert_word:(enc (Isa.Instr.Trap k));
+        t.stats.patches <- t.stats.patches + 1;
+        charge t t.cfg.patch_cycles
+      | None -> ())
+    | Some _ | None -> ());
+    t.cpu.pc <- b.paddr
+
+let create ?cost ?(mem_bytes = 8 * 1024 * 1024) (cfg : Config.t) image =
+  let data_end =
+    image.Isa.Image.data_base + Bytes.length image.Isa.Image.data
+  in
+  let tcache_end = cfg.tcache_base + cfg.tcache_bytes in
+  if
+    cfg.tcache_base < data_end && tcache_end > image.Isa.Image.data_base
+  then invalid_arg "Controller.create: tcache overlaps data segment";
+  if tcache_end > mem_bytes then
+    invalid_arg "Controller.create: tcache outside memory";
+  let mem = Machine.Memory.create mem_bytes in
+  Machine.Memory.load_data mem image;
+  let cpu = Machine.Cpu.create ?cost ~mem ~pc:0 () in
+  let t =
+    {
+      cfg;
+      image;
+      cpu;
+      tc = Tcache.create ~base:cfg.tcache_base ~bytes:cfg.tcache_bytes;
+      stats = Stats.create ();
+      stubs = [||];
+      nstubs = 0;
+      ret_stubs = Hashtbl.create 64;
+      stack_top = mem_bytes - 16;
+      next_block_id = 0;
+      started = false;
+      ra_regions = [];
+      free_stubs = [];
+      live_stubs = 0;
+    }
+  in
+  cpu.trap_handler <- Some (fun _cpu k -> handle_trap t k);
+  t
+
+let start t =
+  let b = ensure_resident t t.image.Isa.Image.entry in
+  t.cpu.pc <- b.paddr;
+  t.started <- true
+
+let run ?fuel t =
+  if not t.started then start t;
+  Machine.Cpu.run ?fuel t.cpu
+
+let invalidate t ~lo ~hi =
+  Log.info (fun m -> m "invalidate [0x%x, 0x%x)" lo hi);
+  let victims =
+    List.filter
+      (fun (b : Tcache.block) ->
+        b.vaddr < hi && b.vaddr + (4 * b.orig_words) > lo)
+      (Tcache.blocks t.tc)
+  in
+  List.iter (Tcache.remove t.tc) victims;
+  process_evicted t victims
+
+let flush t = do_flush t
+
+let register_ra_region t ~lo ~hi =
+  if lo land 3 <> 0 || hi < lo then
+    invalid_arg "Controller.register_ra_region";
+  t.ra_regions <- (lo, hi) :: t.ra_regions
+
+let pin t v =
+  let b = ensure_resident t v in
+  Tcache.pin t.tc b
+
+let unpin t v =
+  match Tcache.lookup t.tc v with
+  | Some b -> Tcache.unpin t.tc b
+  | None -> ()
+
+let is_pinned t v =
+  match Tcache.lookup t.tc v with
+  | Some b -> Tcache.is_pinned t.tc b.id
+  | None -> false
+
+let preload t ~lo ~hi =
+  let v = ref lo in
+  while !v < hi do
+    let b = ensure_resident t !v in
+    v := !v + (4 * b.orig_words)
+  done
+
+let metadata_bytes t = (Tcache.map_entries t.tc * 12) + (t.live_stubs * 8)
+
+let resident t v = Tcache.lookup t.tc v <> None

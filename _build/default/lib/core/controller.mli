@@ -1,0 +1,119 @@
+(** The SoftCache controller: CC (client) + MC (server) orchestration.
+
+    Owns the simulated embedded client — an ERISC CPU whose memory holds
+    the application's data segment and the tcache region, but none of
+    its code — and the server-side memory controller, which holds the
+    program image and rewrites chunks on demand.
+
+    Execution starts by translating the entry chunk. Every [Trap] the
+    rewriter planted lands here:
+    - unresolved direct exits are translated (an MC round trip, charged
+      through the interconnect model), backpatched to point at the
+      in-cache copy, and recorded as incoming pointers on the target;
+    - computed jumps and indirect calls do a tcache-map lookup each
+      time (the paper's ambiguous-pointer fallback);
+    - persistent return stubs re-translate evicted return targets.
+
+    Eviction unlinks a block by reverting all recorded incoming
+    pointers to miss stubs and scrubs the stack: live landing-pad
+    addresses in [ra] or stack slots are redirected to persistent
+    return stubs ("the runtime system must know the layout of all such
+    data"). Flush-all resets the whole tcache, preserving return
+    continuity the same way. *)
+
+type t = {
+  cfg : Config.t;
+  image : Isa.Image.t;
+  cpu : Machine.Cpu.t;
+  tc : Tcache.t;
+  stats : Stats.t;
+  mutable stubs : Stub.t array;
+  mutable nstubs : int;
+  ret_stubs : (int, int * int) Hashtbl.t;
+      (** return vaddr -> (stub paddr, stub index); persistent across
+          flushes because program stacks may hold the addresses *)
+  stack_top : int;
+  mutable next_block_id : int;
+  mutable started : bool;
+  mutable ra_regions : (int * int) list;
+      (** registered non-stack return-address storage, scanned by the
+          scrubber alongside the stack *)
+  mutable free_stubs : int list;
+      (** recycled stub-table entries from evicted blocks *)
+  mutable live_stubs : int;
+}
+
+exception Chunk_too_large of int
+(** A single chunk does not fit the configured tcache (carries the
+    chunk's virtual address). *)
+
+exception Tcache_too_small
+(** The persistent stub area cannot grow any further. *)
+
+val create :
+  ?cost:Machine.Cost.t -> ?mem_bytes:int -> Config.t -> Isa.Image.t -> t
+(** Build the client machine (default 8 MiB of memory: data segment +
+    tcache + stack) and wire the trap handler.
+    @raise Invalid_argument if the tcache region overlaps the image's
+    data segment. *)
+
+val start : t -> unit
+(** Translate the entry chunk and point the CPU at it. *)
+
+val run : ?fuel:int -> t -> Machine.Cpu.outcome
+(** [start] (if not already started) then run to completion. *)
+
+val ensure_resident : t -> int -> Tcache.block
+(** Translate (or find) the chunk at a virtual address — the miss
+    path, also usable for prefetching. *)
+
+val invalidate : t -> lo:int -> hi:int -> unit
+(** Evict every translated block overlapping the virtual address range
+    [lo, hi) — the contract self-modifying programs must follow. *)
+
+val flush : t -> unit
+(** Invalidate the entire tcache (keeps return continuity via
+    persistent stubs). *)
+
+val register_ra_region : t -> lo:int -> hi:int -> unit
+(** Register a data region that may hold return addresses — the
+    paper's thread-system interface: "the current return address is
+    stored in a particular register and a particular place in the
+    stack frame ... any non-stack storage (e.g. thread control blocks)
+    must be registered with the runtime system. The interface to the
+    thread system is the only new requirement (and we have not yet
+    implemented it)." This reproduction implements it: registered
+    regions are scanned during eviction scrubbing and flushes, so
+    programs that park return addresses in thread control blocks stay
+    correct under paging.
+    @raise Invalid_argument on an unaligned or inverted range. *)
+
+val pin : t -> int -> unit
+(** Pin the chunk at a virtual address: translate it if needed and
+    exempt it from eviction and flushes — Section 4's "more flexible
+    version of data pinning ... we can pin or fix pages in memory and
+    prevent their eviction without wasting space". [invalidate] and
+    persistent-stub-area growth override pins (correctness beats the
+    timing hint).
+    @raise Chunk_too_large / Tcache_too_small as for any translation. *)
+
+val unpin : t -> int -> unit
+(** Release a pin. No-op if the chunk is absent or unpinned. *)
+
+val is_pinned : t -> int -> bool
+
+val preload : t -> lo:int -> hi:int -> unit
+(** Translate every chunk in the virtual address range [lo, hi) —
+    fetch a whole module ahead of a mode switch so that the switch
+    itself runs without misses (the Figure 2 predictability story).
+    @raise Chunk_too_large if a chunk cannot fit. *)
+
+val metadata_bytes : t -> int
+(** CC-side bookkeeping footprint: tcache map entries plus *live* stub
+    table entries (12 bytes per map entry, 8 per stub). Stub entries
+    are recycled when their block is evicted, so this stays
+    proportional to residency — the paper's "adjustable tradeoff" —
+    rather than growing with run length. *)
+
+val resident : t -> int -> bool
+(** Is the chunk at this virtual address in the tcache? *)

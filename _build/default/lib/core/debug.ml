@@ -1,0 +1,45 @@
+let symbol_of (t : Controller.t) vaddr =
+  match Isa.Image.symbol_at t.image vaddr with
+  | Some s when s.sym_addr = vaddr -> s.sym_name
+  | Some s -> Printf.sprintf "%s+0x%x" s.sym_name (vaddr - s.sym_addr)
+  | None -> "?"
+
+let dump_blocks (t : Controller.t) =
+  let blocks =
+    List.sort
+      (fun (a : Tcache.block) b -> compare a.paddr b.paddr)
+      (Tcache.blocks t.tc)
+  in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (b : Tcache.block) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  #%-5d v=0x%06x (%-20s) @0x%06x  %3d->%3d words%s  in:%d\n" b.id
+           b.vaddr (symbol_of t b.vaddr) b.paddr b.orig_words b.words
+           (if Tcache.is_pinned t.tc b.id then " [pinned]" else "")
+           (List.length b.incoming)))
+    blocks;
+  Buffer.contents buf
+
+let disasm_block (t : Controller.t) vaddr =
+  match Tcache.lookup t.tc vaddr with
+  | None -> None
+  | Some b ->
+    Some
+      (Isa.Disasm.range
+         ~read:(Machine.Memory.read32 t.cpu.mem)
+         ~lo:b.paddr
+         ~hi:(b.paddr + (4 * b.words)))
+
+let summary (t : Controller.t) =
+  Format.asprintf
+    "%a@.  resident: %d blocks, %d B occupied, %d map entries, %d stubs \
+     (%d B metadata)@.  stats: %a"
+    Config.pp t.cfg
+    (Tcache.resident_blocks t.tc)
+    (Tcache.occupied_bytes t.tc)
+    (Tcache.map_entries t.tc)
+    t.nstubs
+    (Controller.metadata_bytes t)
+    Stats.pp t.stats

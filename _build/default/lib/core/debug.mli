@@ -1,0 +1,17 @@
+(** Inspection helpers for the translation cache.
+
+    These are read-only views over controller state, meant for the CLI,
+    for tests and for understanding what the rewriter produced — the
+    software-cache equivalent of dumping a JIT's code cache. *)
+
+val dump_blocks : Controller.t -> string
+(** One line per resident block: id, source vaddr (with symbol, when
+    the image has one), placement, sizes, pin state, incoming-pointer
+    count. Sorted by tcache address. *)
+
+val disasm_block : Controller.t -> int -> string option
+(** Disassemble the translated code of the chunk at a virtual address,
+    if resident — rewritten branches, traps, pads and islands included. *)
+
+val summary : Controller.t -> string
+(** Occupancy, map entries, stub counts and statistics in one blob. *)

@@ -1,0 +1,64 @@
+(** The dynamic binary rewriter (MC side).
+
+    Translates one chunk into tcache words, specialising the cache
+    tag checks away: direct control transfers whose targets are already
+    resident are bound straight to their in-cache copies; unresolved
+    exits become [Trap] miss stubs that the controller patches on first
+    use; ambiguous pointers (computed jumps, indirect calls) become
+    permanent runtime-lookup traps.
+
+    Emitted layout of a chunk with [n] source instructions:
+    {v
+    [ rewritten instructions, 1-2 words each ]
+    [ fall-through slot, if the chunk can run off its end ]
+    [ branch/call islands, one word per unresolved direct exit ]
+    v}
+    - a conditional branch keeps its own word; its island holds the
+      miss trap the branch aims at until the taken target is bound;
+    - [Jal] occupies two words: the call itself and the return landing
+      pad directly after it (so the link register naturally points at
+      the pad) — the ARM prototype's "redirector stub";
+    - [Jalr] becomes a lookup trap plus a landing pad;
+    - [Jr ra] is a procedure return and is copied verbatim: return
+      addresses always hold pad addresses, so returns run at full speed
+      with no tag check;
+    - any other [Jr] becomes a permanent hash-lookup trap.
+
+    The "two new instructions per translated basic block" of the
+    SPARC prototype are the fall-through slot plus the island (or pad)
+    of the block's terminator. *)
+
+exception Rewrite_error of string
+(** An intra-chunk branch offset does not fit its field (chunk too
+    large) — translate at finer granularity instead. *)
+
+type emission = {
+  words : int array;  (** encoded tcache words, in placement order *)
+  bound : (int * int * int) list;
+      (** (target block id, site paddr, revert word) for every exit
+          bound directly at translation time; the controller records
+          these as incoming pointers on the target blocks *)
+  pads : (int * int) list;  (** (pad paddr, return vaddr) *)
+  resume : int array;
+      (** for each emitted word, the source virtual address at which
+          execution can correctly resume if the CPU is parked on that
+          word when the block is invalidated *)
+  overhead_words : int;  (** words beyond the source instruction count *)
+}
+
+val layout_words : Chunker.t -> int
+(** Emitted size of a chunk, computable before placement (it does not
+    depend on cache state). *)
+
+val translate :
+  Chunker.t ->
+  block_id:int ->
+  base:int ->
+  resident:(int -> (int * int) option) ->
+  alloc_stub:((int -> Stub.t) -> int) ->
+  emission
+(** Rewrite a chunk for placement at physical address [base].
+    [resident v] returns [(block id, paddr)] for chunks already in the
+    tcache. [alloc_stub make] allocates a stub-table index [k] and
+    stores [make k].
+    @raise Rewrite_error as above. *)

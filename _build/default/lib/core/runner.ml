@@ -1,0 +1,28 @@
+type result = {
+  outcome : Machine.Cpu.outcome;
+  outputs : int list;
+  cycles : int;
+  retired : int;
+}
+
+let of_cpu outcome (cpu : Machine.Cpu.t) =
+  {
+    outcome;
+    outputs = Machine.Cpu.outputs cpu;
+    cycles = cpu.cycles;
+    retired = cpu.retired;
+  }
+
+let native ?cost ?fuel img =
+  let cpu = Machine.Cpu.of_image ?cost img in
+  let outcome = Machine.Cpu.run ?fuel cpu in
+  of_cpu outcome cpu
+
+let cached ?cost ?fuel cfg img =
+  let ctrl = Controller.create ?cost cfg img in
+  let outcome = Controller.run ?fuel ctrl in
+  (of_cpu outcome ctrl.cpu, ctrl)
+
+let slowdown ~native ~cached =
+  if native.cycles = 0 then nan
+  else float_of_int cached.cycles /. float_of_int native.cycles

@@ -1,0 +1,25 @@
+(** Convenience drivers used by tests, examples and benches. *)
+
+type result = {
+  outcome : Machine.Cpu.outcome;
+  outputs : int list;  (** the program's observable output *)
+  cycles : int;
+  retired : int;
+}
+
+val native : ?cost:Machine.Cost.t -> ?fuel:int -> Isa.Image.t -> result
+(** Run the image directly, with no caching — the paper's "ideal"
+    baseline. *)
+
+val cached :
+  ?cost:Machine.Cost.t ->
+  ?fuel:int ->
+  Config.t ->
+  Isa.Image.t ->
+  result * Controller.t
+(** Run the image under the SoftCache; also returns the controller for
+    statistics inspection. *)
+
+val slowdown : native:result -> cached:result -> float
+(** Relative execution time, cached cycles / native cycles — the Fig. 5
+    metric. *)

@@ -1,0 +1,62 @@
+type t = {
+  mutable translations : int;
+  mutable translated_words : int;
+  mutable overhead_words : int;
+  mutable lookups : int;
+  mutable patches : int;
+  mutable reverts : int;
+  mutable evicted_blocks : int;
+  mutable eviction_events : (int * int) list;
+  mutable flushes : int;
+  mutable scrubbed_words : int;
+  mutable ret_stubs : int;
+  mutable max_resident_blocks : int;
+  mutable max_occupied_bytes : int;
+}
+
+let create () =
+  {
+    translations = 0;
+    translated_words = 0;
+    overhead_words = 0;
+    lookups = 0;
+    patches = 0;
+    reverts = 0;
+    evicted_blocks = 0;
+    eviction_events = [];
+    flushes = 0;
+    scrubbed_words = 0;
+    ret_stubs = 0;
+    max_resident_blocks = 0;
+    max_occupied_bytes = 0;
+  }
+
+let reset t =
+  t.translations <- 0;
+  t.translated_words <- 0;
+  t.overhead_words <- 0;
+  t.lookups <- 0;
+  t.patches <- 0;
+  t.reverts <- 0;
+  t.evicted_blocks <- 0;
+  t.eviction_events <- [];
+  t.flushes <- 0;
+  t.scrubbed_words <- 0;
+  t.ret_stubs <- 0;
+  t.max_resident_blocks <- 0;
+  t.max_occupied_bytes <- 0
+
+let miss_rate t ~retired =
+  if retired = 0 then 0.0
+  else float_of_int t.translations /. float_of_int retired
+
+let eviction_series t = List.rev t.eviction_events
+
+let pp ppf t =
+  Format.fprintf ppf
+    "translations=%d words=%d (overhead %d), lookups=%d, patches=%d, \
+     reverts=%d, evicted=%d, flushes=%d, scrubbed=%d, ret-stubs=%d, \
+     peak=%d blocks/%d B"
+    t.translations t.translated_words t.overhead_words t.lookups t.patches
+    t.reverts t.evicted_blocks t.flushes t.scrubbed_words t.ret_stubs
+    t.max_resident_blocks t.max_occupied_bytes

@@ -1,0 +1,36 @@
+(** SoftCache statistics.
+
+    [translations] is the paper's miss count: "the software miss rate is
+    the number of basic blocks translated divided by the number of
+    instructions executed" (Fig. 7). [eviction_events] carries the
+    cycle-stamped paging activity behind Fig. 8. *)
+
+type t = {
+  mutable translations : int;  (** chunks translated = misses *)
+  mutable translated_words : int;  (** words emitted into the tcache *)
+  mutable overhead_words : int;
+      (** emitted words beyond the original instruction count (pads,
+          islands, fall-through slots) *)
+  mutable lookups : int;  (** runtime hash-table lookups *)
+  mutable patches : int;  (** words rewritten to point into the tcache *)
+  mutable reverts : int;  (** words rewritten back to miss stubs *)
+  mutable evicted_blocks : int;
+  mutable eviction_events : (int * int) list;
+      (** (cycle stamp, blocks evicted), most recent first *)
+  mutable flushes : int;  (** whole-tcache invalidations *)
+  mutable scrubbed_words : int;  (** stack words scanned for live pads *)
+  mutable ret_stubs : int;  (** persistent return stubs created *)
+  mutable max_resident_blocks : int;
+  mutable max_occupied_bytes : int;
+}
+
+val create : unit -> t
+val reset : t -> unit
+
+val miss_rate : t -> retired:int -> float
+(** Translations per retired instruction — the Fig. 7 metric. *)
+
+val eviction_series : t -> (int * int) list
+(** Eviction events in chronological order. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,29 @@
+type site_kind = Patch_jmp | Patch_jal | Patch_br
+
+type t =
+  | Exit of {
+      block : int;
+      site_paddr : int;
+      kind : site_kind;
+      target : int;
+      revert_word : int;
+    }
+  | Computed of { rs : Isa.Reg.t }
+  | Icall of { rd : Isa.Reg.t; rs : Isa.Reg.t; pad_paddr : int }
+  | Ret_stub of { site_paddr : int; target : int }
+
+let pp_kind ppf = function
+  | Patch_jmp -> Format.pp_print_string ppf "jmp"
+  | Patch_jal -> Format.pp_print_string ppf "jal"
+  | Patch_br -> Format.pp_print_string ppf "br"
+
+let pp ppf = function
+  | Exit e ->
+    Format.fprintf ppf "exit[%a] block=%d site=0x%x target=0x%x" pp_kind
+      e.kind e.block e.site_paddr e.target
+  | Computed c -> Format.fprintf ppf "computed[%a]" Isa.Reg.pp c.rs
+  | Icall c ->
+    Format.fprintf ppf "icall[%a,%a] pad=0x%x" Isa.Reg.pp c.rd Isa.Reg.pp c.rs
+      c.pad_paddr
+  | Ret_stub r ->
+    Format.fprintf ppf "ret-stub site=0x%x target=0x%x" r.site_paddr r.target

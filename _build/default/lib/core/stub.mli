@@ -1,0 +1,41 @@
+(** Miss-stub descriptors.
+
+    Every [Trap k] the rewriter plants in the translation cache indexes
+    an entry in the controller's stub table. The entry tells the cache
+    controller what the trap means: an unresolved direct exit to patch,
+    an ambiguous pointer to look up through the tcache map, or a
+    persistent return stub created by stack scrubbing.
+
+    In the paper's terms, stub entries are the part of the cache state
+    that could not be specialised into the instructions themselves. *)
+
+type site_kind =
+  | Patch_jmp  (** site word is rewritten to [Jmp paddr] *)
+  | Patch_jal  (** site word is rewritten to [Jal paddr] *)
+  | Patch_br
+      (** site is a conditional branch whose offset field is rewritten
+          to aim at the in-cache target; falls back to patching the
+          branch island to a [Jmp] when the offset does not reach *)
+
+type t =
+  | Exit of {
+      block : int;  (** id of the block containing the site *)
+      site_paddr : int;  (** address of the word to patch *)
+      kind : site_kind;
+      target : int;  (** virtual address of the missing chunk *)
+      revert_word : int;
+          (** encoded word that un-patches the site when the target is
+              evicted (a [Trap] back to this stub, or the original
+              branch aimed at its island) *)
+    }
+  | Computed of { rs : Isa.Reg.t }
+      (** computed jump: look the register's virtual address up in the
+          tcache map at runtime — the paper's fallback strategy *)
+  | Icall of { rd : Isa.Reg.t; rs : Isa.Reg.t; pad_paddr : int }
+      (** indirect call: as [Computed], plus the link register receives
+          the call site's return landing pad *)
+  | Ret_stub of { site_paddr : int; target : int }
+      (** persistent return stub planted by stack scrubbing when a
+          block with live landing pads is evicted *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,177 @@
+type incoming = { from_block : int; site_paddr : int; revert_word : int }
+
+type block = {
+  id : int;
+  vaddr : int;
+  paddr : int;
+  words : int;
+  orig_words : int;
+  mutable incoming : incoming list;
+  pads : (int * int) list;
+  resume : int array;
+  stubs : int list; (* stub-table entries owned by this block *)
+}
+
+type t = {
+  base : int;
+  top : int;  (* one past the region *)
+  mutable alloc_ptr : int;  (* next candidate placement *)
+  mutable persist_base : int;  (* persistent stubs occupy [persist_base, top) *)
+  by_vaddr : (int, block) Hashtbl.t;
+  by_id : (int, block) Hashtbl.t;
+  pinned : (int, unit) Hashtbl.t;  (* block ids exempt from eviction *)
+}
+
+let create ~base ~bytes =
+  if base land 3 <> 0 then invalid_arg "Tcache.create: unaligned base";
+  if bytes < 16 then invalid_arg "Tcache.create: region too small";
+  {
+    base;
+    top = base + (bytes land lnot 3);
+    alloc_ptr = base;
+    persist_base = base + (bytes land lnot 3);
+    by_vaddr = Hashtbl.create 256;
+    by_id = Hashtbl.create 256;
+    pinned = Hashtbl.create 8;
+  }
+
+let lookup t vaddr = Hashtbl.find_opt t.by_vaddr vaddr
+let find_by_id t id = Hashtbl.find_opt t.by_id id
+let is_alive t id = Hashtbl.mem t.by_id id
+
+let register t b =
+  Hashtbl.replace t.by_vaddr b.vaddr b;
+  Hashtbl.replace t.by_id b.id b
+
+let pin t (b : block) =
+  if Hashtbl.mem t.by_id b.id then Hashtbl.replace t.pinned b.id ()
+
+let unpin t (b : block) = Hashtbl.remove t.pinned b.id
+let is_pinned t id = Hashtbl.mem t.pinned id
+let pinned_blocks t = Hashtbl.length t.pinned
+
+let remove t b =
+  Hashtbl.remove t.pinned b.id;
+  (match Hashtbl.find_opt t.by_vaddr b.vaddr with
+  | Some b' when b'.id = b.id -> Hashtbl.remove t.by_vaddr b.vaddr
+  | Some _ | None -> ());
+  Hashtbl.remove t.by_id b.id
+
+let blocks t = Hashtbl.fold (fun _ b acc -> b :: acc) t.by_id []
+let resident_blocks t = Hashtbl.length t.by_id
+
+let occupied_bytes t =
+  let code =
+    Hashtbl.fold (fun _ b acc -> acc + (b.words * 4)) t.by_id 0
+  in
+  code + (t.top - t.persist_base)
+
+let map_entries t = Hashtbl.length t.by_vaddr
+
+let overlapping t lo hi =
+  Hashtbl.fold
+    (fun _ b acc ->
+      let b_lo = b.paddr and b_hi = b.paddr + (b.words * 4) in
+      if b_lo < hi && b_hi > lo then b :: acc else acc)
+    t.by_id []
+
+let evict_range t lo hi =
+  let victims = overlapping t lo hi in
+  List.iter (remove t) victims;
+  victims
+
+(* Pinned blocks are immovable obstacles for the sweep: when the
+   candidate range would overlap one, skip past it. [budget] bounds the
+   number of skips so a region crowded with pins terminates in
+   [`Too_large]. *)
+let rec place_skipping_pinned t ~bytes ~budget ~can_evict =
+  if budget = 0 then Error `Too_large
+  else if t.alloc_ptr + bytes > t.persist_base then
+    if can_evict then begin
+      t.alloc_ptr <- t.base;
+      place_skipping_pinned t ~bytes ~budget:(budget - 1) ~can_evict
+    end
+    else Error `Full
+  else
+    let lo = t.alloc_ptr in
+    let hi = lo + bytes in
+    let overlapping = overlapping t lo hi in
+    let pinned_overlap =
+      List.filter (fun b -> is_pinned t b.id) overlapping
+    in
+    match pinned_overlap with
+    | [] ->
+      if overlapping <> [] && not can_evict then Error `Full
+      else begin
+        List.iter (remove t) overlapping;
+        t.alloc_ptr <- hi;
+        Ok (lo, overlapping)
+      end
+    | _ ->
+      (* hop past the furthest pinned obstacle *)
+      let skip_to =
+        List.fold_left
+          (fun acc b -> max acc (b.paddr + (b.words * 4)))
+          lo pinned_overlap
+      in
+      t.alloc_ptr <- skip_to;
+      place_skipping_pinned t ~bytes ~budget:(budget - 1) ~can_evict
+
+let alloc_fifo t ~words =
+  let bytes = words * 4 in
+  if bytes > t.persist_base - t.base then Error `Too_large
+  else
+    match
+      place_skipping_pinned t ~bytes
+        ~budget:(2 * (Hashtbl.length t.pinned + 2))
+        ~can_evict:true
+    with
+    | Ok _ as ok -> ok
+    | Error (`Too_large | `Full) -> Error `Too_large
+
+let alloc_append t ~words =
+  let bytes = words * 4 in
+  if bytes > t.persist_base - t.base then Error `Too_large
+  else
+    match
+      place_skipping_pinned t ~bytes
+        ~budget:(Hashtbl.length t.pinned + 2)
+        ~can_evict:false
+    with
+    | Ok (lo, victims) ->
+      assert (victims = []);
+      Ok lo
+    | Error _ as e -> e
+
+let persist_base t = t.persist_base
+
+let alloc_persistent t ~words =
+  let bytes = words * 4 in
+  if bytes > t.persist_base - t.base then Error `Too_large
+  else begin
+    let lo = t.persist_base - bytes in
+    let victims = evict_range t lo t.persist_base in
+    t.persist_base <- lo;
+    (* keep the FIFO sweep out of the shrunken code area *)
+    if t.alloc_ptr > t.persist_base then t.alloc_ptr <- t.base;
+    Ok (lo, victims)
+  end
+
+let reset t =
+  (* pinned blocks survive the flush *)
+  let former = List.filter (fun b -> not (is_pinned t b.id)) (blocks t) in
+  List.iter
+    (fun b ->
+      Hashtbl.remove t.pinned b.id;
+      (match Hashtbl.find_opt t.by_vaddr b.vaddr with
+      | Some b' when b'.id = b.id -> Hashtbl.remove t.by_vaddr b.vaddr
+      | Some _ | None -> ());
+      Hashtbl.remove t.by_id b.id)
+    former;
+  t.alloc_ptr <- t.base;
+  former
+
+let pp ppf t =
+  Format.fprintf ppf
+    "tcache [0x%x,0x%x): %d blocks, ptr=0x%x, persist=0x%x" t.base t.top
+    (resident_blocks t) t.alloc_ptr t.persist_base

@@ -1,0 +1,93 @@
+(** Translation-cache bookkeeping (the CC side's data structures).
+
+    Tracks the tcache region of client memory: which translated blocks
+    occupy it, the tcache map from virtual chunk addresses to physical
+    tcache addresses (the paper's hash table, Figure 4), the FIFO
+    allocation order, incoming patched pointers per block (recorded "at
+    the time they are created" so that eviction can unlink a block), and
+    the landing pads that may be live in return addresses.
+
+    The region is split in two: translated blocks are allocated upward
+    from the base with a circular (FIFO) sweep; persistent return stubs
+    grow downward from the top and survive block eviction. This module
+    only does bookkeeping; the controller performs the actual memory
+    writes. *)
+
+type incoming = {
+  from_block : int;  (** block id containing the site; -1 = persistent *)
+  site_paddr : int;
+  revert_word : int;  (** word restoring the site to its miss stub *)
+}
+
+type block = {
+  id : int;
+  vaddr : int;  (** chunk start in the original program *)
+  paddr : int;  (** placement in the tcache *)
+  words : int;  (** emitted size *)
+  orig_words : int;  (** source footprint, for invalidation by range *)
+  mutable incoming : incoming list;
+  pads : (int * int) list;  (** (pad paddr, return vaddr) *)
+  resume : int array;
+      (** per emitted word: the source vaddr execution resumes at if the
+          CPU is parked on that word when the block dies *)
+  stubs : int list;
+      (** stub-table indices allocated for this block's sites; recycled
+          by the controller when the block is evicted, keeping CC
+          metadata bounded by residency rather than by run length *)
+}
+
+type t
+
+val create : base:int -> bytes:int -> t
+
+val lookup : t -> int -> block option
+(** tcache-map probe by chunk virtual address. *)
+
+val find_by_id : t -> int -> block option
+val is_alive : t -> int -> bool
+val register : t -> block -> unit
+val blocks : t -> block list
+(** All resident blocks, unordered. *)
+
+val resident_blocks : t -> int
+val occupied_bytes : t -> int
+(** Blocks plus persistent stubs. *)
+
+val map_entries : t -> int
+
+val alloc_fifo : t -> words:int -> (int * block list, [ `Too_large ]) result
+(** Allocate with the circular FIFO sweep. Returns the placement and
+    the blocks that had to be evicted (already deregistered). *)
+
+val alloc_append : t -> words:int -> (int, [ `Full | `Too_large ]) result
+(** Allocate without evicting (flush-all policy): fail when the sweep
+    pointer cannot fit the block before the persistent region. Skips
+    over pinned blocks left behind by a flush. *)
+
+val persist_base : t -> int
+(** Lower bound of the persistent stub area — block placements must end
+    at or below it. *)
+
+val alloc_persistent : t -> words:int -> (int * block list, [ `Too_large ]) result
+(** Carve words off the top of the region for persistent return stubs,
+    evicting any blocks the stub area grows over. *)
+
+val pin : t -> block -> unit
+(** Exempt a resident block from eviction and flushes. The allocator
+    treats it as an immovable obstacle. No-op if not resident. *)
+
+val unpin : t -> block -> unit
+val is_pinned : t -> int -> bool
+val pinned_blocks : t -> int
+
+val remove : t -> block -> unit
+(** Deregister one block (invalidation; also clears its pin). Its
+    space is reclaimed when the FIFO sweep passes over it. *)
+
+val reset : t -> block list
+(** Flush: deregister every unpinned block, rewind the FIFO sweep, and
+    return the former residents. Pinned blocks and the persistent stub
+    region are preserved — return addresses saved on program stacks may
+    reference the latter across flushes. *)
+
+val pp : Format.formatter -> t -> unit

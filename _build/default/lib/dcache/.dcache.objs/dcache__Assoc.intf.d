@@ -1,0 +1,1 @@
+lib/dcache/assoc.mli:

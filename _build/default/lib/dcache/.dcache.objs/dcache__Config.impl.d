@@ -1,0 +1,1 @@
+lib/dcache/config.ml: Format Netmodel

@@ -1,0 +1,1 @@
+lib/dcache/config.mli: Format Netmodel

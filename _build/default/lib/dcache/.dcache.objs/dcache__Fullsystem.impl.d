@@ -1,0 +1,1 @@
+lib/dcache/fullsystem.ml: Config Machine Sim Softcache

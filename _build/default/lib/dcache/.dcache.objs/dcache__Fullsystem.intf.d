@@ -1,0 +1,1 @@
+lib/dcache/fullsystem.mli: Config Isa Machine Sim Softcache

@@ -1,0 +1,1 @@
+lib/dcache/sim.ml: Assoc Bytes Config Format Hashtbl Isa Machine Netmodel Scache

@@ -1,0 +1,1 @@
+lib/dcache/sim.mli: Config Format Isa Machine

@@ -1,0 +1,82 @@
+type t = {
+  tags : int array; (* sorted; only [0, n) live *)
+  stamps : int array; (* recency, parallel to tags *)
+  mutable n : int;
+  mutable clock : int;
+}
+
+type outcome = Fast_hit | Slow_hit of int | Miss
+
+let create ~blocks =
+  if blocks <= 0 then invalid_arg "Dcache.Assoc.create";
+  { tags = Array.make blocks 0; stamps = Array.make blocks 0; n = 0; clock = 0 }
+
+let capacity t = Array.length t.tags
+let occupancy t = t.n
+
+(* binary search over the live prefix; returns (found, index) where
+   index is the match or the insertion point, plus the probe count *)
+let search t tag =
+  let lo = ref 0 and hi = ref t.n and probes = ref 0 in
+  let found = ref false in
+  while (not !found) && !lo < !hi do
+    incr probes;
+    let mid = (!lo + !hi) / 2 in
+    let v = t.tags.(mid) in
+    if v = tag then begin
+      lo := mid;
+      found := true
+    end
+    else if v < tag then lo := mid + 1
+    else hi := mid
+  done;
+  (!found, !lo, !probes)
+
+let touch t i =
+  t.clock <- t.clock + 1;
+  t.stamps.(i) <- t.clock
+
+let lookup t ~pred ~tag =
+  if t.n > 0 && pred >= 0 && pred < t.n && t.tags.(pred) = tag then begin
+    touch t pred;
+    (Fast_hit, pred)
+  end
+  else
+    let found, idx, probes = search t tag in
+    if found then begin
+      touch t idx;
+      (Slow_hit probes, idx)
+    end
+    else (Miss, idx)
+
+let probe2 t ~pred ~tag =
+  let i = pred + 1 in
+  t.n > 0 && i >= 0 && i < t.n && t.tags.(i) = tag
+
+let mem t ~tag =
+  let found, _, _ = search t tag in
+  found
+
+let insert t ~tag =
+  let evicted =
+    if t.n = capacity t then begin
+      (* evict the least recently used *)
+      let victim = ref 0 in
+      for i = 1 to t.n - 1 do
+        if t.stamps.(i) < t.stamps.(!victim) then victim := i
+      done;
+      let etag = t.tags.(!victim) in
+      Array.blit t.tags (!victim + 1) t.tags !victim (t.n - !victim - 1);
+      Array.blit t.stamps (!victim + 1) t.stamps !victim (t.n - !victim - 1);
+      t.n <- t.n - 1;
+      Some etag
+    end
+    else None
+  in
+  let _, idx, _ = search t tag in
+  Array.blit t.tags idx t.tags (idx + 1) (t.n - idx);
+  Array.blit t.stamps idx t.stamps (idx + 1) (t.n - idx);
+  t.tags.(idx) <- tag;
+  t.n <- t.n + 1;
+  touch t idx;
+  (idx, evicted)

@@ -1,0 +1,36 @@
+(** The fully associative block store of the software data cache.
+
+    "The data cache is fully associative using fixed-size blocks with
+    tags. The blocks and corresponding tags are kept in sorted order"
+    (§3.1). Lookup first probes a predicted index; a mismatch falls
+    back to binary search over the sorted tag array (a "slow hit");
+    absence is a miss. Replacement evicts the least recently used
+    block, and the array is re-sorted on insert — predictions are
+    allowed to go stale, exactly as the paper allows. *)
+
+type t
+
+type outcome =
+  | Fast_hit  (** predicted index was right *)
+  | Slow_hit of int  (** found by binary search; carries probe count *)
+  | Miss
+
+val create : blocks:int -> t
+(** Capacity in blocks. @raise Invalid_argument if not positive. *)
+
+val lookup : t -> pred:int -> tag:int -> outcome * int
+(** [lookup t ~pred ~tag] probes the predicted index then searches.
+    Returns the outcome and the index where the tag now resides (for
+    hits) or would be inserted (for misses). Updates recency. *)
+
+val probe2 : t -> pred:int -> tag:int -> bool
+(** Second-chance probe: true if the tag sits at [pred + 1]. *)
+
+val insert : t -> tag:int -> int * int option
+(** Insert a missing tag, evicting the LRU block if full. Returns the
+    new index of the tag and the evicted tag, if any. Keeps the array
+    sorted. *)
+
+val occupancy : t -> int
+val capacity : t -> int
+val mem : t -> tag:int -> bool

@@ -1,0 +1,35 @@
+(** The specialised stack cache (§3.1).
+
+    "The stack cache holds stack frames in a circular buffer managed as
+    a linked list. A presence check is made at procedure entrance and
+    exit time. The stack cache is assumed to hold at least two frames
+    so leaf procedures can avoid the exit check."
+
+    Frames are pushed on procedure entry and popped on exit; when the
+    buffer overflows, the deepest frames spill to the server, and a
+    pop of a spilled frame refills it. *)
+
+type t
+
+type event =
+  | Entered  (** frame fits, no traffic *)
+  | Entered_spilling of int  (** had to spill this many frames *)
+  | Left  (** frame resident, no traffic *)
+  | Left_refilling  (** frame had been spilled; refilled *)
+
+val create : frames:int -> t
+(** @raise Invalid_argument if [frames < 2]. *)
+
+val enter : t -> event
+val leave : t -> event
+(** Leaving below an empty logical stack is tolerated (the initial
+    frame is implicit) and counts as [Left]. *)
+
+val depth : t -> int
+(** Current logical call depth. *)
+
+val resident : t -> int
+(** Frames actually held in the buffer. *)
+
+val spills : t -> int
+val refills : t -> int

@@ -1,0 +1,98 @@
+type t = {
+  size : int;
+  block : int;
+  ways : int;
+  sets : int;
+  block_shift : int;
+  tags : int array; (* sets * ways; -1 = invalid *)
+  stamps : int array; (* LRU timestamps *)
+  mutable clock : int;
+  mutable accesses : int;
+  mutable misses : int;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let create ?(assoc = 1) ?(block_bytes = 16) ~size_bytes () =
+  if not (is_pow2 size_bytes) then
+    invalid_arg "Hwcache.create: size must be a power of two";
+  if not (is_pow2 block_bytes) then
+    invalid_arg "Hwcache.create: block size must be a power of two";
+  if size_bytes < block_bytes then
+    invalid_arg "Hwcache.create: size smaller than one block";
+  let nblocks = size_bytes / block_bytes in
+  let ways = if assoc = 0 then nblocks else assoc in
+  if ways > nblocks || nblocks mod ways <> 0 then
+    invalid_arg "Hwcache.create: associativity does not divide block count";
+  let sets = nblocks / ways in
+  if not (is_pow2 sets) then
+    invalid_arg "Hwcache.create: set count must be a power of two";
+  {
+    size = size_bytes;
+    block = block_bytes;
+    ways;
+    sets;
+    block_shift = log2 block_bytes;
+    tags = Array.make nblocks (-1);
+    stamps = Array.make nblocks 0;
+    clock = 0;
+    accesses = 0;
+    misses = 0;
+  }
+
+let size_bytes t = t.size
+let block_bytes t = t.block
+let assoc t = t.ways
+
+let access t addr =
+  t.accesses <- t.accesses + 1;
+  t.clock <- t.clock + 1;
+  let blk = addr lsr t.block_shift in
+  let set = blk land (t.sets - 1) in
+  let tag = blk lsr log2 t.sets in
+  let base = set * t.ways in
+  let rec find i =
+    if i = t.ways then None
+    else if t.tags.(base + i) = tag then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some i ->
+    t.stamps.(base + i) <- t.clock;
+    true
+  | None ->
+    t.misses <- t.misses + 1;
+    (* evict LRU way *)
+    let victim = ref 0 in
+    for i = 1 to t.ways - 1 do
+      if t.stamps.(base + i) < t.stamps.(base + !victim) then victim := i
+    done;
+    t.tags.(base + !victim) <- tag;
+    t.stamps.(base + !victim) <- t.clock;
+    false
+
+let accesses t = t.accesses
+let misses t = t.misses
+
+let miss_rate t =
+  if t.accesses = 0 then 0.0 else float_of_int t.misses /. float_of_int t.accesses
+
+let reset_stats t =
+  t.accesses <- 0;
+  t.misses <- 0
+
+let invalidate_all t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.stamps 0 (Array.length t.stamps) 0
+
+let tag_overhead ?(addr_bits = 32) ?(valid_bits = 1) t =
+  let tag_bits = addr_bits - log2 t.sets - t.block_shift in
+  float_of_int (tag_bits + valid_bits) /. float_of_int (8 * t.block)
+
+let pp ppf t =
+  Format.fprintf ppf "%dB cache, %dB blocks, %d-way, %d sets" t.size t.block
+    t.ways t.sets

@@ -1,0 +1,1 @@
+lib/isa/assembler.ml: Array Buffer Char Encode Format Hashtbl Image Instr Int32 List Printf Reg String

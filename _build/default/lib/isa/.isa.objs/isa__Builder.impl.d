@@ -1,0 +1,1 @@
+lib/isa/builder.ml: Array Buffer Encode Image Instr Int32 List Printf Reg String

@@ -1,0 +1,1 @@
+lib/isa/disasm.ml: Array Buffer Encode Image Instr List Printf

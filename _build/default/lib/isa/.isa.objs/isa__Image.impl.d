@@ -1,0 +1,1 @@
+lib/isa/image.ml: Array Bytes Encode Format Instr List Printf

@@ -1,0 +1,331 @@
+type section = Text | Data
+
+type operand =
+  | Oreg of Reg.t
+  | Oimm of int
+  | Omem of int * Reg.t (* imm(reg) *)
+  | Oname of string (* label reference *)
+  | Ooff of int (* +n / -n raw branch offset *)
+
+type line = {
+  lnum : int;
+  mnemonic : string;
+  operands : operand list;
+}
+
+exception Asm_error of int * string
+
+let err lnum fmt = Format.kasprintf (fun s -> raise (Asm_error (lnum, s))) fmt
+
+let parse_int s =
+  let s, neg =
+    if String.length s > 0 && s.[0] = '-' then
+      (String.sub s 1 (String.length s - 1), true)
+    else (s, false)
+  in
+  match int_of_string_opt s with
+  | Some v -> Some (if neg then -v else v)
+  | None -> None
+
+let parse_operand lnum s =
+  let s = String.trim s in
+  if s = "" then err lnum "empty operand"
+  else
+    match Reg.of_string s with
+    | Some r -> Oreg r
+    | None -> (
+      if s.[0] = '+' && String.length s > 1 then
+        match parse_int (String.sub s 1 (String.length s - 1)) with
+        | Some v -> Ooff v
+        | None -> err lnum "bad offset %S" s
+      else
+        match parse_int s with
+        | Some v -> Oimm v
+        | None ->
+          (* imm(reg) ? *)
+          (match String.index_opt s '(' with
+          | Some i when String.length s > 0 && s.[String.length s - 1] = ')' ->
+            let imm_str = String.trim (String.sub s 0 i) in
+            let reg_str = String.sub s (i + 1) (String.length s - i - 2) in
+            let imm =
+              if imm_str = "" then 0
+              else
+                match parse_int imm_str with
+                | Some v -> v
+                | None -> err lnum "bad displacement %S" imm_str
+            in
+            (match Reg.of_string (String.trim reg_str) with
+            | Some r -> Omem (imm, r)
+            | None -> err lnum "bad base register %S" reg_str)
+          | Some _ | None ->
+            if
+              String.length s > 0
+              && (s.[0] = '_' || (s.[0] >= 'a' && s.[0] <= 'z')
+                 || (s.[0] >= 'A' && s.[0] <= 'Z'))
+            then Oname s
+            else err lnum "cannot parse operand %S" s))
+
+let split_operands s =
+  if String.trim s = "" then []
+  else String.split_on_char ',' s |> List.map String.trim
+
+let strip_comment s =
+  let cut c s = match String.index_opt s c with
+    | Some i -> String.sub s 0 i
+    | None -> s
+  in
+  cut ';' (cut '#' s)
+
+let aluops =
+  [
+    ("add", Instr.Add); ("sub", Sub); ("mul", Mul); ("div", Div);
+    ("and", And); ("or", Or); ("xor", Xor); ("sll", Sll); ("srl", Srl);
+    ("sra", Sra); ("slt", Slt); ("sltu", Sltu);
+  ]
+
+let conds =
+  [ ("beq", Instr.Eq); ("bne", Ne); ("blt", Lt); ("bge", Ge);
+    ("bltu", Ltu); ("bgeu", Geu) ]
+
+(* Size in words of one parsed instruction line (pass 1). *)
+let size_of lnum mnemonic operands =
+  match mnemonic with
+  | "la" -> 2
+  | "li" -> (
+    match operands with
+    | [ Oreg _; Oimm v ] ->
+      if Encode.imm16_fits v then 1
+      else if v land 0xFFFF = 0 then 1
+      else 2
+    | _ -> err lnum "li expects: li rd, imm"
+  )
+  | _ -> 1
+
+type env = {
+  labels : (string, section * int) Hashtbl.t; (* word idx / data offset *)
+  code_base : int;
+  data_base : int;
+}
+
+let resolve_code env lnum name =
+  match Hashtbl.find_opt env.labels name with
+  | Some (Text, idx) -> (idx, env.code_base + (idx * Instr.word_size))
+  | Some (Data, _) -> err lnum "label %s is a data label" name
+  | None -> err lnum "undefined label %s" name
+
+let resolve_any env lnum name =
+  match Hashtbl.find_opt env.labels name with
+  | Some (Text, idx) -> env.code_base + (idx * Instr.word_size)
+  | Some (Data, off) -> env.data_base + off
+  | None -> err lnum "undefined label %s" name
+
+let sext16 v = if v land 0x8000 <> 0 then v - 0x10000 else v
+
+(* Emit instructions for one line (pass 2). [idx] is the word index of
+   the line's first instruction. *)
+let emit env idx { lnum; mnemonic; operands } : Instr.t list =
+  let reg = function Oreg r -> r | _ -> err lnum "expected register" in
+  match (mnemonic, operands) with
+  | "nop", [] -> [ Nop ]
+  | "halt", [] -> [ Halt ]
+  | "ret", [] -> [ Jr Reg.ra ]
+  | "out", [ r ] -> [ Out (reg r) ]
+  | "trap", [ Oimm k ] -> [ Trap k ]
+  | "jr", [ r ] -> [ Jr (reg r) ]
+  | "jalr", [ rd; rs ] -> [ Jalr (reg rd, reg rs) ]
+  | "mov", [ rd; rs ] -> [ Alu (Add, reg rd, reg rs, Reg.zero) ]
+  | "lui", [ rd; Oimm v ] -> [ Lui (reg rd, v) ]
+  | "ld", [ rd; Omem (imm, rs) ] -> [ Ld (reg rd, rs, imm) ]
+  | "st", [ rv; Omem (imm, rs) ] -> [ St (reg rv, rs, imm) ]
+  | "ldb", [ rd; Omem (imm, rs) ] -> [ Ldb (reg rd, rs, imm) ]
+  | "stb", [ rv; Omem (imm, rs) ] -> [ Stb (reg rv, rs, imm) ]
+  | "jmp", [ Oname n ] -> [ Jmp (snd (resolve_code env lnum n)) ]
+  | "jmp", [ Oimm a ] -> [ Jmp a ]
+  | "jal", [ Oname n ] -> [ Jal (snd (resolve_code env lnum n)) ]
+  | "jal", [ Oimm a ] -> [ Jal a ]
+  | "li", [ Oreg rd; Oimm v ] ->
+    let v32 = v land 0xFFFFFFFF in
+    if Encode.imm16_fits v then [ Alui (Add, rd, Reg.zero, v) ]
+    else if v32 land 0xFFFF = 0 then [ Lui (rd, (v32 lsr 16) land 0xFFFF) ]
+    else
+      [ Lui (rd, (v32 lsr 16) land 0xFFFF);
+        Alui (Or, rd, rd, sext16 (v32 land 0xFFFF)) ]
+  | "la", [ Oreg rd; Oname n ] ->
+    let a = resolve_any env lnum n in
+    [ Lui (rd, (a lsr 16) land 0xFFFF); Alui (Or, rd, rd, sext16 (a land 0xFFFF)) ]
+  | _, _ -> (
+    (* ALU reg / immediate forms and branches *)
+    match List.assoc_opt mnemonic aluops with
+    | Some op -> (
+      match operands with
+      | [ rd; rs1; Oreg rs2 ] -> [ Alu (op, reg rd, reg rs1, rs2) ]
+      | _ -> err lnum "%s expects: %s rd, rs1, rs2" mnemonic mnemonic)
+    | None -> (
+      let immop =
+        if String.length mnemonic > 1 && mnemonic.[String.length mnemonic - 1] = 'i'
+        then
+          List.assoc_opt
+            (String.sub mnemonic 0 (String.length mnemonic - 1))
+            aluops
+        else None
+      in
+      match immop with
+      | Some op -> (
+        match operands with
+        | [ rd; rs1; Oimm v ] -> [ Alui (op, reg rd, reg rs1, v) ]
+        | _ -> err lnum "%s expects: %s rd, rs1, imm" mnemonic mnemonic)
+      | None -> (
+        match List.assoc_opt mnemonic conds with
+        | Some c -> (
+          match operands with
+          | [ rs1; rs2; Oname n ] ->
+            let tgt_idx, _ = resolve_code env lnum n in
+            [ Br (c, reg rs1, reg rs2, tgt_idx - idx) ]
+          | [ rs1; rs2; (Ooff o | Oimm o) ] ->
+            [ Br (c, reg rs1, reg rs2, o) ]
+          | _ -> err lnum "%s expects: %s rs1, rs2, label" mnemonic mnemonic)
+        | None -> err lnum "unknown mnemonic %S" mnemonic)))
+
+let assemble ?(name = "asm") ?(code_base = 0x1000) ?(data_base = 0x100000)
+    source =
+  try
+    let labels = Hashtbl.create 64 in
+    let env = { labels; code_base; data_base } in
+    let lines = String.split_on_char '\n' source in
+    let code_lines = ref [] (* (word_idx, line) reversed *) in
+    let nwords = ref 0 in
+    let data = Buffer.create 256 in
+    let entry_name = ref None in
+    let section = ref Text in
+    let symbols = ref [] in
+    let open_func = ref None (* (name, start_idx, lnum) *) in
+    let close_func lnum =
+      match !open_func with
+      | None -> err lnum ".endfunc without .func"
+      | Some (fname, start, _) ->
+        symbols :=
+          {
+            Image.sym_name = fname;
+            sym_addr = code_base + (start * Instr.word_size);
+            sym_size = (!nwords - start) * Instr.word_size;
+          }
+          :: !symbols;
+        open_func := None
+    in
+    let align4_data () =
+      while Buffer.length data land 3 <> 0 do Buffer.add_char data '\000' done
+    in
+    let def_label lnum l =
+      if Hashtbl.mem labels l then err lnum "duplicate label %s" l;
+      match !section with
+      | Text -> Hashtbl.add labels l (Text, !nwords)
+      | Data ->
+        align4_data ();
+        Hashtbl.add labels l (Data, Buffer.length data)
+    in
+    (* pass 1: label addresses, sizes, data contents *)
+    List.iteri
+      (fun i raw ->
+        let lnum = i + 1 in
+        let s = String.trim (strip_comment raw) in
+        if s <> "" then begin
+          (* label definitions, possibly followed by an instruction *)
+          let s =
+            match String.index_opt s ':' with
+            | Some ci
+              when (not (String.contains s ' ')
+                   || ci < String.index s ' ') ->
+              def_label lnum (String.trim (String.sub s 0 ci));
+              String.trim (String.sub s (ci + 1) (String.length s - ci - 1))
+            | Some _ | None -> s
+          in
+          if s <> "" then
+            let mnemonic, rest =
+              match String.index_opt s ' ' with
+              | Some i ->
+                ( String.lowercase_ascii (String.sub s 0 i),
+                  String.sub s i (String.length s - i) )
+              | None -> (String.lowercase_ascii s, "")
+            in
+            match mnemonic with
+            | ".text" -> section := Text
+            | ".data" -> section := Data
+            | ".entry" -> entry_name := Some (lnum, String.trim rest)
+            | ".func" ->
+              if !open_func <> None then err lnum "nested .func";
+              if !section <> Text then err lnum ".func outside .text";
+              open_func := Some (String.trim rest, !nwords, lnum)
+            | ".endfunc" -> close_func lnum
+            | ".word" ->
+              if !section <> Data then err lnum ".word outside .data";
+              align4_data ();
+              List.iter
+                (fun tok ->
+                  match parse_int tok with
+                  | Some v -> Buffer.add_int32_le data (Int32.of_int v)
+                  | None -> err lnum "bad .word value %S" tok)
+                (split_operands rest)
+            | ".byte" ->
+              if !section <> Data then err lnum ".byte outside .data";
+              List.iter
+                (fun tok ->
+                  match parse_int tok with
+                  | Some v -> Buffer.add_char data (Char.chr (v land 0xFF))
+                  | None -> err lnum "bad .byte value %S" tok)
+                (split_operands rest)
+            | ".space" -> (
+              if !section <> Data then err lnum ".space outside .data";
+              align4_data ();
+              match parse_int (String.trim rest) with
+              | Some n when n >= 0 ->
+                Buffer.add_string data (String.make n '\000')
+              | Some _ | None -> err lnum "bad .space size")
+            | m when String.length m > 0 && m.[0] = '.' ->
+              err lnum "unknown directive %s" m
+            | _ ->
+              if !section <> Text then
+                err lnum "instruction outside .text";
+              let operands =
+                List.map (parse_operand lnum) (split_operands rest)
+              in
+              let line = { lnum; mnemonic; operands } in
+              code_lines := (!nwords, line) :: !code_lines;
+              nwords := !nwords + size_of lnum mnemonic operands
+        end)
+      lines;
+    (match !open_func with
+    | Some (_, _, lnum) -> err lnum ".func not closed"
+    | None -> ());
+    (* pass 2: emit *)
+    let code = Array.make !nwords (Encode.encode Instr.Nop) in
+    List.iter
+      (fun (idx, line) ->
+        let instrs = emit env idx line in
+        List.iteri
+          (fun j i ->
+            try code.(idx + j) <- Encode.encode i
+            with Encode.Encode_error m -> err line.lnum "%s" m)
+          instrs)
+      !code_lines;
+    let entry =
+      match !entry_name with
+      | None -> code_base
+      | Some (lnum, n) -> snd (resolve_code env lnum n)
+    in
+    if !nwords = 0 then Error "no code"
+    else
+      Ok
+        (Image.make ~name ~code_base ~code ~data_base
+           ~data:(Buffer.to_bytes data) ~entry
+           ~symbols:
+             (List.sort
+                (fun a b -> compare a.Image.sym_addr b.Image.sym_addr)
+                !symbols))
+  with
+  | Asm_error (lnum, msg) -> Error (Printf.sprintf "line %d: %s" lnum msg)
+  | Invalid_argument msg -> Error msg
+
+let assemble_exn ?name ?code_base ?data_base source =
+  match assemble ?name ?code_base ?data_base source with
+  | Ok img -> img
+  | Error msg -> failwith ("assembler: " ^ msg)

@@ -1,0 +1,47 @@
+(** Textual ERISC assembler.
+
+    A small two-pass assembler, useful for tests, the CLI (which can run
+    [.s] files) and writing workloads outside OCaml. Syntax, one
+    instruction per line:
+
+    {v
+    ; comment (also #)
+    .text                 ; switch to text section (default)
+    .data                 ; switch to data section
+    .entry main           ; set entry point
+    .func compress        ; open a procedure symbol
+    .endfunc
+    label:                ; define a label (code or data section)
+        li   r1, 1000     ; pseudo: load 32-bit constant (1-2 words)
+        la   r2, table    ; pseudo: load label address (always 2 words)
+        mov  r3, r1       ; pseudo: add r3, r1, zero
+        addi r1, r1, -1
+        add  r4, r1, r2
+        ld   r5, 8(r2)
+        st   r5, 0(r2)
+        beq  r1, zero, label
+        jmp  label
+        jal  compress
+        jr   r5
+        ret               ; pseudo: jr ra
+        out  r1
+        trap 3
+        nop
+        halt
+    table:
+        .word 1, 2, 3
+        .byte 65, 66
+        .space 64
+    v}
+
+    Numeric literals accept decimal and [0x] hexadecimal. Branch targets
+    may also be written as [+n]/[-n] raw word offsets. *)
+
+val assemble :
+  ?name:string -> ?code_base:int -> ?data_base:int -> string ->
+  (Image.t, string) result
+(** Assemble a full source text. Errors carry a line number. *)
+
+val assemble_exn :
+  ?name:string -> ?code_base:int -> ?data_base:int -> string -> Image.t
+(** @raise Failure on assembly errors. *)

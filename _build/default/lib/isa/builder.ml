@@ -1,0 +1,178 @@
+type label = int
+
+type item =
+  | Ins of Instr.t
+  | Br_to of Instr.cond * Reg.t * Reg.t * label
+  | Jmp_to of label
+  | Jal_to of label
+  | La_hi of Reg.t * label (* lui part of [la] *)
+  | La_lo of Reg.t * label (* ori part of [la] *)
+
+type t = {
+  name : string;
+  code_base : int;
+  data_base : int;
+  mutable items : item list; (* reversed *)
+  mutable nitems : int;
+  mutable label_pos : int option array; (* word index *)
+  mutable label_names : string array;
+  mutable nlabels : int;
+  data : Buffer.t;
+  mutable entry : label option;
+  mutable symbols : Image.symbol list; (* reversed *)
+  mutable open_symbol : bool;
+}
+
+let create ?(code_base = 0x1000) ?(data_base = 0x100000) name =
+  if code_base land 3 <> 0 then invalid_arg "Builder.create: unaligned code_base";
+  {
+    name;
+    code_base;
+    data_base;
+    items = [];
+    nitems = 0;
+    label_pos = Array.make 16 None;
+    label_names = Array.make 16 "";
+    nlabels = 0;
+    data = Buffer.create 256;
+    entry = None;
+    symbols = [];
+    open_symbol = false;
+  }
+
+let new_label ?(name = "") t =
+  if t.nlabels = Array.length t.label_pos then begin
+    let pos = Array.make (2 * t.nlabels) None in
+    Array.blit t.label_pos 0 pos 0 t.nlabels;
+    t.label_pos <- pos;
+    let names = Array.make (2 * t.nlabels) "" in
+    Array.blit t.label_names 0 names 0 t.nlabels;
+    t.label_names <- names
+  end;
+  let l = t.nlabels in
+  t.label_names.(l) <- name;
+  t.nlabels <- t.nlabels + 1;
+  l
+
+let here t l =
+  match t.label_pos.(l) with
+  | Some _ ->
+    invalid_arg
+      (Printf.sprintf "Builder.here: label %s#%d already placed"
+         t.label_names.(l) l)
+  | None -> t.label_pos.(l) <- Some t.nitems
+
+let label t =
+  let l = new_label t in
+  here t l;
+  l
+
+let push t item =
+  t.items <- item :: t.items;
+  t.nitems <- t.nitems + 1
+
+let ins t i = push t (Ins i)
+let br t c rs1 rs2 l = push t (Br_to (c, rs1, rs2, l))
+let jmp t l = push t (Jmp_to l)
+let jal t l = push t (Jal_to l)
+
+let la t rd l =
+  push t (La_hi (rd, l));
+  push t (La_lo (rd, l))
+
+let sext16 v = if v land 0x8000 <> 0 then v - 0x10000 else v
+
+let li t rd v =
+  let v32 = v land 0xFFFFFFFF in
+  if Encode.imm16_fits v then ins t (Alui (Add, rd, Reg.zero, v))
+  else begin
+    ins t (Lui (rd, (v32 lsr 16) land 0xFFFF));
+    if v32 land 0xFFFF <> 0 then
+      ins t (Alui (Or, rd, rd, sext16 (v32 land 0xFFFF)))
+  end
+
+let align4 t =
+  while Buffer.length t.data land 3 <> 0 do
+    Buffer.add_char t.data '\000'
+  done
+
+let word t v =
+  align4 t;
+  let addr = t.data_base + Buffer.length t.data in
+  Buffer.add_int32_le t.data (Int32.of_int v);
+  addr
+
+let words t arr =
+  align4 t;
+  let addr = t.data_base + Buffer.length t.data in
+  Array.iter (fun v -> Buffer.add_int32_le t.data (Int32.of_int v)) arr;
+  addr
+
+let space t n =
+  align4 t;
+  let addr = t.data_base + Buffer.length t.data in
+  Buffer.add_string t.data (String.make n '\000');
+  addr
+
+let func t name l body =
+  if t.open_symbol then invalid_arg "Builder.func: symbols must not nest";
+  t.open_symbol <- true;
+  here t l;
+  let start = t.nitems in
+  body ();
+  t.open_symbol <- false;
+  t.symbols <-
+    {
+      Image.sym_name = name;
+      sym_addr = t.code_base + (start * Instr.word_size);
+      sym_size = (t.nitems - start) * Instr.word_size;
+    }
+    :: t.symbols
+
+let entry t l = t.entry <- Some l
+
+let code_size_bytes t = t.nitems * Instr.word_size
+
+let build t =
+  let items = Array.of_list (List.rev t.items) in
+  let resolve what l =
+    match t.label_pos.(l) with
+    | Some pos -> pos
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Builder.build: %s references unplaced label %s#%d"
+           what t.label_names.(l) l)
+  in
+  let addr_of_idx idx = t.code_base + (idx * Instr.word_size) in
+  let instr_at idx = function
+    | Ins i -> i
+    | Br_to (c, rs1, rs2, l) ->
+      let off = resolve "branch" l - idx in
+      if not (Encode.branch_offset_fits off) then
+        invalid_arg
+          (Printf.sprintf "Builder.build: branch offset %d out of range" off);
+      Instr.Br (c, rs1, rs2, off)
+    | Jmp_to l -> Instr.Jmp (addr_of_idx (resolve "jmp" l))
+    | Jal_to l -> Instr.Jal (addr_of_idx (resolve "jal" l))
+    | La_hi (rd, l) ->
+      let a = addr_of_idx (resolve "la" l) in
+      Instr.Lui (rd, (a lsr 16) land 0xFFFF)
+    | La_lo (rd, l) ->
+      let a = addr_of_idx (resolve "la" l) in
+      Instr.Alui (Or, rd, rd, sext16 (a land 0xFFFF))
+  in
+  let code = Array.mapi (fun idx item -> Encode.encode (instr_at idx item)) items in
+  let entry =
+    match t.entry with
+    | Some l -> addr_of_idx (resolve "entry" l)
+    | None -> t.code_base
+  in
+  let symbols =
+    List.sort
+      (fun a b -> compare a.Image.sym_addr b.Image.sym_addr)
+      t.symbols
+  in
+  Image.make ~name:t.name ~code_base:t.code_base ~code
+    ~data_base:t.data_base
+    ~data:(Buffer.to_bytes t.data)
+    ~entry ~symbols

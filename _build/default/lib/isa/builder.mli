@@ -1,0 +1,70 @@
+(** Program-builder DSL.
+
+    A two-pass builder for ERISC images: instructions are appended to
+    the text segment, labels may be referenced before they are placed,
+    and data is allocated at known addresses in the data segment. The
+    synthetic workloads (lib/workloads) are written against this
+    interface.
+
+    Code layout is linear: the image's text segment is exactly the
+    sequence of emitted instructions. *)
+
+type t
+type label
+
+val create : ?code_base:int -> ?data_base:int -> string -> t
+(** [create name] starts an empty program. Defaults: code at [0x1000],
+    data at [0x100000]. *)
+
+val new_label : ?name:string -> t -> label
+(** A fresh, not-yet-placed label. *)
+
+val here : t -> label -> unit
+(** Place [label] at the current end of the text segment.
+    @raise Invalid_argument if already placed. *)
+
+val label : t -> label
+(** [label t] is [new_label] + [here]. *)
+
+val ins : t -> Instr.t -> unit
+(** Append a fixed instruction. *)
+
+val br : t -> Instr.cond -> Reg.t -> Reg.t -> label -> unit
+(** Conditional branch to a label (offset resolved at [build] time). *)
+
+val jmp : t -> label -> unit
+val jal : t -> label -> unit
+
+val la : t -> Reg.t -> label -> unit
+(** Load the byte address of a code label into a register. Always emits
+    two instructions ([lui] + [ori]). *)
+
+val li : t -> Reg.t -> int -> unit
+(** Load a 32-bit constant, emitting one or two instructions. *)
+
+val word : t -> int -> int
+(** Append an initialised 32-bit word to the data segment; returns its
+    byte address. *)
+
+val words : t -> int array -> int
+(** Append several words; returns the address of the first. *)
+
+val space : t -> int -> int
+(** Reserve [n] zeroed bytes in the data segment (4-aligned start);
+    returns the start address. *)
+
+val func : t -> string -> label -> (unit -> unit) -> unit
+(** [func t name entry body] places [entry] here, runs [body] to emit
+    the procedure's instructions, and records a symbol covering the
+    emitted range. Symbols must not nest. *)
+
+val entry : t -> label -> unit
+(** Set the image entry point (defaults to the first instruction). *)
+
+val code_size_bytes : t -> int
+(** Bytes of code emitted so far. *)
+
+val build : t -> Image.t
+(** Resolve all labels and produce the image.
+    @raise Invalid_argument if a label was never placed or a branch
+    offset does not fit. *)

@@ -1,0 +1,35 @@
+let word ?addr w =
+  match Encode.decode w with
+  | None -> Printf.sprintf ".word 0x%08x" w
+  | Some i -> (
+    match (i, addr) with
+    | Instr.Br (_, _, _, off), Some a ->
+      Printf.sprintf "%s\t; -> 0x%x" (Instr.to_string i) (a + (4 * off))
+    | _ -> Instr.to_string i)
+
+let line addr w = Printf.sprintf "%08x:  %08x  %s" addr w (word ~addr w)
+
+let image ?(with_symbols = true) (img : Image.t) =
+  let buf = Buffer.create 4096 in
+  Array.iteri
+    (fun idx w ->
+      let addr = img.code_base + (4 * idx) in
+      if with_symbols then begin
+        match List.find_opt (fun s -> s.Image.sym_addr = addr) img.symbols with
+        | Some s -> Buffer.add_string buf (Printf.sprintf "\n<%s>:\n" s.sym_name)
+        | None -> ()
+      end;
+      Buffer.add_string buf (line addr w);
+      Buffer.add_char buf '\n')
+    img.code;
+  Buffer.contents buf
+
+let range ~read ~lo ~hi =
+  let buf = Buffer.create 256 in
+  let addr = ref (lo land lnot 3) in
+  while !addr < hi do
+    Buffer.add_string buf (line !addr (read !addr));
+    Buffer.add_char buf '\n';
+    addr := !addr + 4
+  done;
+  Buffer.contents buf

@@ -1,0 +1,16 @@
+(** Disassembler for ERISC images and memory ranges. *)
+
+val word : ?addr:int -> int -> string
+(** Disassemble one encoded word; undecodable words render as
+    [.word 0x...]. [addr] is used to annotate branch targets with
+    absolute addresses. *)
+
+val image : ?with_symbols:bool -> Image.t -> string
+(** Full listing of an image's text segment: address, raw word,
+    mnemonic; procedure symbols become section headers (default on). *)
+
+val range :
+  read:(int -> int) -> lo:int -> hi:int -> string
+(** Disassemble an arbitrary 4-aligned byte range through a word-read
+    function (e.g. simulated memory) — used to inspect rewritten code
+    in the translation cache. *)

@@ -1,0 +1,60 @@
+type symbol = { sym_name : string; sym_addr : int; sym_size : int }
+
+type t = {
+  name : string;
+  code_base : int;
+  code : int array;
+  data_base : int;
+  data : Bytes.t;
+  entry : int;
+  symbols : symbol list;
+}
+
+let code_end t = t.code_base + (Array.length t.code * Instr.word_size)
+let contains_code t addr = addr >= t.code_base && addr < code_end t
+
+let make ~name ~code_base ~code ~data_base ~data ~entry ~symbols =
+  if code_base land 3 <> 0 then invalid_arg "Image.make: unaligned code_base";
+  if entry land 3 <> 0 then invalid_arg "Image.make: unaligned entry";
+  let t = { name; code_base; code; data_base; data; entry; symbols } in
+  if not (contains_code t entry) then
+    invalid_arg "Image.make: entry outside text segment";
+  let rec check_syms = function
+    | [] | [ _ ] -> ()
+    | a :: (b :: _ as rest) ->
+      if a.sym_addr + a.sym_size > b.sym_addr then
+        invalid_arg
+          (Printf.sprintf "Image.make: symbols %s and %s overlap" a.sym_name
+             b.sym_name);
+      check_syms rest
+  in
+  List.iter
+    (fun s ->
+      if s.sym_addr < code_base || s.sym_addr + s.sym_size > code_end t then
+        invalid_arg
+          (Printf.sprintf "Image.make: symbol %s outside text" s.sym_name))
+    symbols;
+  check_syms symbols;
+  t
+
+let static_text_bytes t = Array.length t.code * Instr.word_size
+
+let fetch t addr =
+  if not (contains_code t addr) then
+    invalid_arg (Printf.sprintf "Image.fetch: 0x%x outside text" addr);
+  if addr land 3 <> 0 then
+    invalid_arg (Printf.sprintf "Image.fetch: unaligned 0x%x" addr);
+  Encode.decode_exn t.code.((addr - t.code_base) lsr 2)
+
+let symbol_at t addr =
+  List.find_opt
+    (fun s -> addr >= s.sym_addr && addr < s.sym_addr + s.sym_size)
+    t.symbols
+
+let find_symbol t name = List.find_opt (fun s -> s.sym_name = name) t.symbols
+
+let pp_summary ppf t =
+  Format.fprintf ppf
+    "%s: text %d B @ 0x%x, data %d B @ 0x%x, entry 0x%x, %d symbols" t.name
+    (static_text_bytes t) t.code_base (Bytes.length t.data) t.data_base
+    t.entry (List.length t.symbols)

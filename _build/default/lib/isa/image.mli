@@ -1,0 +1,55 @@
+(** Program images.
+
+    An image is the MC-side representation of an application: an encoded
+    text segment, an initialised data segment (including zeroed BSS
+    space), an entry point and a symbol table of procedures. It is the
+    unit handed to the memory controller, the native machine loader and
+    the profiler. *)
+
+type symbol = {
+  sym_name : string;
+  sym_addr : int;  (** byte address of first instruction *)
+  sym_size : int;  (** size in bytes *)
+}
+
+type t = {
+  name : string;
+  code_base : int;  (** byte address of the first code word *)
+  code : int array;  (** encoded instruction words *)
+  data_base : int;  (** byte address of the data segment *)
+  data : Bytes.t;  (** initial data contents (BSS included, zeroed) *)
+  entry : int;  (** entry-point byte address *)
+  symbols : symbol list;  (** sorted by address, non-overlapping *)
+}
+
+val make :
+  name:string ->
+  code_base:int ->
+  code:int array ->
+  data_base:int ->
+  data:Bytes.t ->
+  entry:int ->
+  symbols:symbol list ->
+  t
+(** Validates alignment, entry within code, symbol sort order and
+    bounds. @raise Invalid_argument when malformed. *)
+
+val static_text_bytes : t -> int
+(** Size of the text segment in bytes — the paper's "static .text". *)
+
+val code_end : t -> int
+(** One past the last code byte. *)
+
+val contains_code : t -> int -> bool
+(** True if the byte address points into the text segment. *)
+
+val fetch : t -> int -> Instr.t
+(** Decode the instruction at a byte address.
+    @raise Invalid_argument if outside the text segment or unaligned.
+    @raise Encode.Encode_error if the word is not a valid encoding. *)
+
+val symbol_at : t -> int -> symbol option
+(** The procedure symbol covering a byte address, if any. *)
+
+val find_symbol : t -> string -> symbol option
+val pp_summary : Format.formatter -> t -> unit

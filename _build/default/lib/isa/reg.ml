@@ -1,0 +1,34 @@
+type t = int
+
+let count = 32
+
+let r n =
+  if n < 0 || n >= count then
+    invalid_arg (Printf.sprintf "Reg.r: %d out of range" n)
+  else n
+
+let to_int t = t
+let zero = 0
+let sp = 30
+let ra = 31
+let equal = Int.equal
+let compare = Int.compare
+
+let pp ppf t =
+  match t with
+  | 0 -> Format.pp_print_string ppf "zero"
+  | 30 -> Format.pp_print_string ppf "sp"
+  | 31 -> Format.pp_print_string ppf "ra"
+  | n -> Format.fprintf ppf "r%d" n
+
+let of_string s =
+  match s with
+  | "zero" -> Some zero
+  | "sp" -> Some sp
+  | "ra" -> Some ra
+  | _ ->
+    if String.length s >= 2 && s.[0] = 'r' then
+      match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+      | Some n when n >= 0 && n < count -> Some n
+      | Some _ | None -> None
+    else None

@@ -1,0 +1,37 @@
+(** Registers of the ERISC ISA.
+
+    ERISC has 32 general-purpose registers. Register 0 is hardwired to
+    zero (writes are ignored), register 30 is the stack pointer by
+    convention and register 31 is the link register written by [Jal] /
+    [Jalr]. *)
+
+type t
+(** A register number in [0, 31]. *)
+
+val count : int
+(** Number of architectural registers (32). *)
+
+val r : int -> t
+(** [r n] is register [n]. @raise Invalid_argument if [n] is not in
+    [0, 31]. *)
+
+val to_int : t -> int
+(** Architectural register number. *)
+
+val zero : t
+(** Register 0: hardwired zero. *)
+
+val sp : t
+(** Register 30: stack pointer (software convention). *)
+
+val ra : t
+(** Register 31: link register, written by call instructions. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [r4], or [zero]/[sp]/[ra] for the conventional registers. *)
+
+val of_string : string -> t option
+(** Parses ["r7"], ["zero"], ["sp"], ["ra"]. *)

@@ -1,0 +1,1 @@
+lib/machine/memory.ml: Array Bytes Char Int32 Isa

@@ -1,0 +1,36 @@
+type t = {
+  alu : int;
+  load : int;
+  store : int;
+  branch_not_taken : int;
+  branch_taken : int;
+  jump : int;
+  trap_dispatch : int;
+}
+
+let default =
+  {
+    alu = 1;
+    load = 2;
+    store = 2;
+    branch_not_taken = 1;
+    branch_taken = 2;
+    jump = 2;
+    trap_dispatch = 8;
+  }
+
+let uniform c =
+  {
+    alu = c;
+    load = c;
+    store = c;
+    branch_not_taken = c;
+    branch_taken = c;
+    jump = c;
+    trap_dispatch = c;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "{alu=%d; load=%d; store=%d; br=%d/%d; jump=%d; trap=%d}" t.alu t.load
+    t.store t.branch_not_taken t.branch_taken t.jump t.trap_dispatch

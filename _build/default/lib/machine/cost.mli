@@ -1,0 +1,29 @@
+(** Cycle cost model for the interpreter.
+
+    The paper reports relative execution times (Fig. 5); a deterministic
+    per-class cycle price makes native and softcached runs comparable on
+    equal terms. All prices are in cycles per retired instruction; the
+    SoftCache additionally charges miss-handling and lookup costs
+    through the trap interface. *)
+
+type t = {
+  alu : int;  (** ALU, [Lui], [Out], [Nop] *)
+  load : int;
+  store : int;
+  branch_not_taken : int;
+  branch_taken : int;
+  jump : int;  (** [Jmp], [Jal], [Jr], [Jalr], [Halt] *)
+  trap_dispatch : int;
+      (** charged when a [Trap] reaches the runtime, before the handler
+          adds its own cost — models the exception/upcall price on the
+          embedded core *)
+}
+
+val default : t
+(** A single-issue embedded core: alu 1, load 2, store 2, branches 1/2
+    (taken costs 2), jump 2, trap dispatch 8. *)
+
+val uniform : int -> t
+(** Every class costs the same; useful in tests. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,229 @@
+type fault =
+  | Invalid_opcode of int
+  | Unaligned_fetch of int
+  | Unaligned_access of int
+  | Out_of_bounds of int
+  | Division_by_zero
+  | Unhandled_trap of int
+
+exception Fault of fault * int
+
+type outcome = Halted | Out_of_fuel
+
+type t = {
+  mem : Memory.t;
+  regs : int array;
+  mutable pc : int;
+  mutable cycles : int;
+  mutable retired : int;
+  cost : Cost.t;
+  mutable halted : bool;
+  mutable outputs_rev : int list;
+  mutable trap_handler : (t -> int -> unit) option;
+  mutable on_fetch : (int -> unit) option;
+  mutable on_load : (int -> unit) option;
+  mutable on_store : (int -> unit) option;
+}
+
+let create ?(cost = Cost.default) ~mem ~pc () =
+  let regs = Array.make Isa.Reg.count 0 in
+  regs.(Isa.Reg.to_int Isa.Reg.sp) <- Memory.size mem - 16;
+  {
+    mem;
+    regs;
+    pc;
+    cycles = 0;
+    retired = 0;
+    cost;
+    halted = false;
+    outputs_rev = [];
+    trap_handler = None;
+    on_fetch = None;
+    on_load = None;
+    on_store = None;
+  }
+
+let of_image ?cost ?(mem_bytes = 8 * 1024 * 1024) img =
+  let mem = Memory.create mem_bytes in
+  Memory.load_image mem img;
+  create ?cost ~mem ~pc:img.Isa.Image.entry ()
+
+let reg t r = if Isa.Reg.to_int r = 0 then 0 else t.regs.(Isa.Reg.to_int r)
+
+let set_reg t r v =
+  let i = Isa.Reg.to_int r in
+  if i <> 0 then t.regs.(i) <- v
+
+(* Normalise to signed 32-bit represented as an OCaml int. *)
+let norm v =
+  let v = v land 0xFFFFFFFF in
+  if v land 0x80000000 <> 0 then v - 0x100000000 else v
+
+let u32 v = v land 0xFFFFFFFF
+
+let alu_op (op : Isa.Instr.aluop) a b =
+  match op with
+  | Add -> norm (a + b)
+  | Sub -> norm (a - b)
+  | Mul -> norm (a * b)
+  | Div -> if b = 0 then raise Exit else norm (a / b)
+  | And -> norm (a land b)
+  | Or -> norm (a lor b)
+  | Xor -> norm (a lxor b)
+  | Sll -> norm (a lsl (b land 31))
+  | Srl -> norm (u32 a lsr (b land 31))
+  | Sra -> norm (a asr (b land 31))
+  | Slt -> if a < b then 1 else 0
+  | Sltu -> if u32 a < u32 b then 1 else 0
+
+(* Bitwise immediates are zero-extended (MIPS andi/ori/xori); arithmetic
+   and comparison immediates are sign-extended. *)
+let imm_for (op : Isa.Instr.aluop) imm =
+  match op with And | Or | Xor -> imm land 0xFFFF | _ -> imm
+
+let cond_holds (c : Isa.Instr.cond) a b =
+  match c with
+  | Eq -> a = b
+  | Ne -> a <> b
+  | Lt -> a < b
+  | Ge -> a >= b
+  | Ltu -> u32 a < u32 b
+  | Geu -> u32 a >= u32 b
+
+let fault t f = raise (Fault (f, t.pc))
+
+let step t =
+  let pc = t.pc in
+  (match t.on_fetch with Some f -> f pc | None -> ());
+  let word =
+    try Memory.read32 t.mem pc with
+    | Memory.Out_of_bounds a -> fault t (Out_of_bounds a)
+    | Memory.Unaligned a -> fault t (Unaligned_fetch a)
+  in
+  let instr =
+    match Isa.Encode.decode word with
+    | Some i -> i
+    | None -> fault t (Invalid_opcode word)
+  in
+  let cost = t.cost in
+  let rd_write r v = set_reg t r v in
+  let mem_load32 a =
+    (match t.on_load with Some f -> f a | None -> ());
+    try Memory.read32 t.mem a with
+    | Memory.Out_of_bounds a -> fault t (Out_of_bounds a)
+    | Memory.Unaligned a -> fault t (Unaligned_access a)
+  in
+  let mem_load8 a =
+    (match t.on_load with Some f -> f a | None -> ());
+    try Memory.read8 t.mem a
+    with Memory.Out_of_bounds a -> fault t (Out_of_bounds a)
+  in
+  let mem_store32 a v =
+    (match t.on_store with Some f -> f a | None -> ());
+    try Memory.write32 t.mem a v with
+    | Memory.Out_of_bounds a -> fault t (Out_of_bounds a)
+    | Memory.Unaligned a -> fault t (Unaligned_access a)
+  in
+  let mem_store8 a v =
+    (match t.on_store with Some f -> f a | None -> ());
+    try Memory.write8 t.mem a v
+    with Memory.Out_of_bounds a -> fault t (Out_of_bounds a)
+  in
+  (match instr with
+  | Alu (op, rd, rs1, rs2) ->
+    let v =
+      try alu_op op (reg t rs1) (reg t rs2)
+      with Exit -> fault t Division_by_zero
+    in
+    rd_write rd v;
+    t.cycles <- t.cycles + cost.alu;
+    t.pc <- pc + 4
+  | Alui (op, rd, rs1, imm) ->
+    let v =
+      try alu_op op (reg t rs1) (imm_for op imm)
+      with Exit -> fault t Division_by_zero
+    in
+    rd_write rd v;
+    t.cycles <- t.cycles + cost.alu;
+    t.pc <- pc + 4
+  | Lui (rd, imm) ->
+    rd_write rd (norm (imm lsl 16));
+    t.cycles <- t.cycles + cost.alu;
+    t.pc <- pc + 4
+  | Ld (rd, rs, imm) ->
+    rd_write rd (mem_load32 (reg t rs + imm));
+    t.cycles <- t.cycles + cost.load;
+    t.pc <- pc + 4
+  | Ldb (rd, rs, imm) ->
+    rd_write rd (mem_load8 (reg t rs + imm));
+    t.cycles <- t.cycles + cost.load;
+    t.pc <- pc + 4
+  | St (rv, rs, imm) ->
+    mem_store32 (reg t rs + imm) (reg t rv);
+    t.cycles <- t.cycles + cost.store;
+    t.pc <- pc + 4
+  | Stb (rv, rs, imm) ->
+    mem_store8 (reg t rs + imm) (reg t rv);
+    t.cycles <- t.cycles + cost.store;
+    t.pc <- pc + 4
+  | Br (c, rs1, rs2, off) ->
+    if cond_holds c (reg t rs1) (reg t rs2) then begin
+      t.cycles <- t.cycles + cost.branch_taken;
+      t.pc <- pc + (4 * off)
+    end
+    else begin
+      t.cycles <- t.cycles + cost.branch_not_taken;
+      t.pc <- pc + 4
+    end
+  | Jmp target ->
+    t.cycles <- t.cycles + cost.jump;
+    t.pc <- target
+  | Jal target ->
+    rd_write Isa.Reg.ra (pc + 4);
+    t.cycles <- t.cycles + cost.jump;
+    t.pc <- target
+  | Jr rs ->
+    t.cycles <- t.cycles + cost.jump;
+    t.pc <- reg t rs
+  | Jalr (rd, rs) ->
+    let target = reg t rs in
+    rd_write rd (pc + 4);
+    t.cycles <- t.cycles + cost.jump;
+    t.pc <- target
+  | Trap k -> (
+    t.cycles <- t.cycles + cost.trap_dispatch;
+    match t.trap_handler with
+    | Some h -> h t k
+    | None -> fault t (Unhandled_trap k))
+  | Out rs ->
+    t.outputs_rev <- reg t rs :: t.outputs_rev;
+    t.cycles <- t.cycles + cost.alu;
+    t.pc <- pc + 4
+  | Nop ->
+    t.cycles <- t.cycles + cost.alu;
+    t.pc <- pc + 4
+  | Halt ->
+    t.cycles <- t.cycles + cost.jump;
+    t.halted <- true);
+  t.retired <- t.retired + 1
+
+let run ?(fuel = max_int) t =
+  let rec go remaining =
+    if t.halted then Halted
+    else if remaining <= 0 then Out_of_fuel
+    else begin
+      step t;
+      go (remaining - 1)
+    end
+  in
+  go fuel
+
+let outputs t = List.rev t.outputs_rev
+
+let pp_fault ppf = function
+  | Invalid_opcode w -> Format.fprintf ppf "invalid opcode 0x%08x" w
+  | Unaligned_fetch a -> Format.fprintf ppf "unaligned fetch 0x%x" a
+  | Unaligned_access a -> Format.fprintf ppf "unaligned access 0x%x" a
+  | Out_of_bounds a -> Format.fprintf ppf "out of bounds 0x%x" a
+  | Division_by_zero -> Format.pp_print_string ppf "division by zero"
+  | Unhandled_trap k -> Format.fprintf ppf "unhandled trap %d" k

@@ -1,0 +1,51 @@
+type t = Bytes.t
+
+exception Out_of_bounds of int
+exception Unaligned of int
+
+let create n = Bytes.make n '\000'
+let size = Bytes.length
+
+let check32 t addr =
+  if addr < 0 || addr + 4 > Bytes.length t then raise (Out_of_bounds addr);
+  if addr land 3 <> 0 then raise (Unaligned addr)
+
+let read32 t addr =
+  check32 t addr;
+  Int32.to_int (Bytes.get_int32_le t addr)
+
+let write32 t addr v =
+  check32 t addr;
+  Bytes.set_int32_le t addr (Int32.of_int v)
+
+let read8 t addr =
+  if addr < 0 || addr >= Bytes.length t then raise (Out_of_bounds addr);
+  Char.code (Bytes.get t addr)
+
+let write8 t addr v =
+  if addr < 0 || addr >= Bytes.length t then raise (Out_of_bounds addr);
+  Bytes.set t addr (Char.chr (v land 0xFF))
+
+let blit_code t ~addr (img : Isa.Image.t) =
+  Array.iteri
+    (fun i w -> write32 t (addr + (i * Isa.Instr.word_size)) w)
+    img.code
+
+let load_data t (img : Isa.Image.t) =
+  let len = Bytes.length img.data in
+  if len > 0 then begin
+    if img.data_base < 0 || img.data_base + len > Bytes.length t then
+      raise (Out_of_bounds img.data_base);
+    Bytes.blit img.data 0 t img.data_base len
+  end
+
+let load_image t (img : Isa.Image.t) =
+  blit_code t ~addr:img.code_base img;
+  load_data t img
+
+let hash t ~lo ~hi =
+  let h = ref 0x811C9DC5 in
+  for i = lo to hi - 1 do
+    h := (!h lxor Char.code (Bytes.get t i)) * 0x01000193 land 0x3FFFFFFFFFFFFFFF
+  done;
+  !h

@@ -1,0 +1,34 @@
+(** Flat byte-addressed memory.
+
+    Little-endian, fixed size. 32-bit reads return sign-extended values
+    (the machine's registers hold signed 32-bit values represented as
+    OCaml ints); byte reads are zero-extended. *)
+
+type t
+
+exception Out_of_bounds of int
+(** Raised with the offending byte address. *)
+
+exception Unaligned of int
+(** Raised by 32-bit accesses to addresses that are not 4-aligned. *)
+
+val create : int -> t
+(** [create n] is [n] bytes of zeroed memory. *)
+
+val size : t -> int
+val read32 : t -> int -> int
+val write32 : t -> int -> int -> unit
+val read8 : t -> int -> int
+val write8 : t -> int -> int -> unit
+
+val load_image : t -> Isa.Image.t -> unit
+(** Copy an image's text and data segments into memory. *)
+
+val load_data : t -> Isa.Image.t -> unit
+(** Copy only the data segment (the SoftCache CC has no native text). *)
+
+val blit_code : t -> addr:int -> Isa.Image.t -> unit
+(** Copy the text segment to an arbitrary 4-aligned address. *)
+
+val hash : t -> lo:int -> hi:int -> int
+(** FNV-1a hash of the byte range [lo, hi); used by equivalence tests. *)

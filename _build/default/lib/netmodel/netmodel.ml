@@ -1,0 +1,36 @@
+type t = {
+  latency_cycles : int;
+  cycles_per_byte : int;
+  overhead_bytes : int;
+  mutable messages : int;
+  mutable payload : int;
+}
+
+let create ?(latency_cycles = 0) ?(cycles_per_byte = 0) ?(overhead_bytes = 0)
+    () =
+  { latency_cycles; cycles_per_byte; overhead_bytes; messages = 0; payload = 0 }
+
+let local () = create ()
+
+let ethernet_10mbps ?(cpu_mhz = 200) () =
+  let cycles_per_byte = cpu_mhz * 1_000_000 * 8 / 10_000_000 in
+  create ~latency_cycles:(cpu_mhz * 500) ~cycles_per_byte ~overhead_bytes:60 ()
+
+let request t ~payload_bytes =
+  t.messages <- t.messages + 1;
+  t.payload <- t.payload + payload_bytes;
+  t.latency_cycles + (t.cycles_per_byte * (payload_bytes + t.overhead_bytes))
+
+let messages t = t.messages
+let payload_bytes t = t.payload
+let total_bytes t = t.payload + (t.messages * t.overhead_bytes)
+let overhead_bytes_per_message t = t.overhead_bytes
+
+let reset_stats t =
+  t.messages <- 0;
+  t.payload <- 0
+
+let pp ppf t =
+  Format.fprintf ppf
+    "net: %d msgs, %d payload B, %d total B (latency %d cyc, %d cyc/B)"
+    t.messages t.payload (total_bytes t) t.latency_cycles t.cycles_per_byte

@@ -1,0 +1,41 @@
+(** MC <-> CC interconnect model.
+
+    The ARM prototype measured "60 application bytes (not counting
+    Ethernet framing)" of protocol overhead per code chunk exchanged
+    between cache controller and memory controller. This channel charges
+    a fixed request/response latency plus a per-byte cost, and accounts
+    messages, payload bytes and total bytes, so benches can report the
+    paper's network-overhead numbers. *)
+
+type t
+
+val create :
+  ?latency_cycles:int ->
+  ?cycles_per_byte:int ->
+  ?overhead_bytes:int ->
+  unit ->
+  t
+(** Defaults are the [local] preset (all zeros). *)
+
+val local : unit -> t
+(** The SPARC prototype: MC and CC in the same address space —
+    communication "by jumping back and forth", no network cost. *)
+
+val ethernet_10mbps : ?cpu_mhz:int -> unit -> t
+(** The ARM prototype's link: two Skiff boards on 10 Mbps Ethernet,
+     200 MHz SA-110 by default. 10 Mbps = 1.25 MB/s = 160 cycles/byte at
+    200 MHz; round-trip latency modelled as 0.5 ms = 100k cycles;
+    60 bytes protocol overhead per chunk. *)
+
+val request : t -> payload_bytes:int -> int
+(** Cost in cycles of one MC round trip delivering [payload_bytes] of
+    application data; accounts the message. *)
+
+val messages : t -> int
+val payload_bytes : t -> int
+val total_bytes : t -> int
+(** Payload plus per-message protocol overhead. *)
+
+val overhead_bytes_per_message : t -> int
+val reset_stats : t -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,63 @@
+module Strongarm = struct
+  let icache_fraction = 0.27
+  let dcache_fraction = 0.16
+  let write_buffer_fraction = 0.02
+
+  let cache_total_fraction =
+    icache_fraction +. dcache_fraction +. write_buffer_fraction
+end
+
+module Tag_energy = struct
+  type t = { tag_bits : int; data_bits : int }
+
+  let log2 n =
+    let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+    go 0 n
+
+  let of_cache ~size_bytes ~block_bytes ~assoc =
+    if size_bytes <= 0 || block_bytes <= 0 || assoc <= 0 then
+      invalid_arg "Tag_energy.of_cache";
+    let sets = size_bytes / block_bytes / assoc in
+    let tag = 32 - log2 sets - log2 block_bytes + 1 (* + valid *) in
+    (* all ways probe their tags in parallel *)
+    { tag_bits = tag * assoc; data_bits = 32 }
+
+  let hw_energy t ~accesses =
+    float_of_int accesses
+    *. (1.0 +. (float_of_int t.tag_bits /. float_of_int t.data_bits))
+
+  let sw_energy _t ~accesses ~overhead_instrs =
+    float_of_int accesses +. float_of_int overhead_instrs
+
+  let sw_saving t ~accesses ~overhead_instrs =
+    let hw = hw_energy t ~accesses in
+    if hw = 0.0 then 0.0
+    else (hw -. sw_energy t ~accesses ~overhead_instrs) /. hw
+end
+
+module Banks = struct
+  type t = { bank_bytes : int; banks : int; sleep_fraction : float }
+
+  let make ?(sleep_fraction = 0.08) ~bank_bytes ~banks () =
+    if bank_bytes <= 0 || banks <= 0 then invalid_arg "Banks.make";
+    if sleep_fraction < 0.0 || sleep_fraction > 1.0 then
+      invalid_arg "Banks.make: sleep fraction outside [0,1]";
+    { bank_bytes; banks; sleep_fraction }
+
+  let total_bytes t = t.bank_bytes * t.banks
+
+  let active_banks t ~working_set =
+    let needed = (max 1 working_set + t.bank_bytes - 1) / t.bank_bytes in
+    min t.banks (max 1 needed)
+
+  let memory_power_fraction t ~working_set =
+    let active = active_banks t ~working_set in
+    let sleeping = t.banks - active in
+    (float_of_int active
+    +. (float_of_int sleeping *. t.sleep_fraction))
+    /. float_of_int t.banks
+
+  let chip_saving t ~working_set =
+    Strongarm.cache_total_fraction
+    *. (1.0 -. memory_power_fraction t ~working_set)
+end

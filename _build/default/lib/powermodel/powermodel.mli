@@ -1,0 +1,81 @@
+(** Power model for the paper's Section 4 claims.
+
+    Three pieces:
+    - the published StrongARM SA-110 component breakdown the paper
+      quotes (Montanaro et al. [10]): "I-cache 27%, D-cache 16%, Write
+      Buffer 2% ... 45% of the total power consumption lies in the
+      cache alone";
+    - a tag-check energy model: a hardware cache reads its tag array on
+      every access, a software cache spends instructions instead —
+      "even though a program using the software cache likely requires
+      additional cycles it can avoid a larger fraction of tag checks
+      for a net savings in memory system power";
+    - a multi-bank SRAM sleep model for the novel capability of
+      powering down banks outside the working set. *)
+
+module Strongarm : sig
+  val icache_fraction : float
+  (** 0.27 *)
+
+  val dcache_fraction : float
+  (** 0.16 *)
+
+  val write_buffer_fraction : float
+  (** 0.02 *)
+
+  val cache_total_fraction : float
+  (** 0.45 — the share of chip power a software cache can attack. *)
+end
+
+module Tag_energy : sig
+  type t = {
+    tag_bits : int;  (** tag + valid bits read per access *)
+    data_bits : int;  (** data bits read per access (e.g. 32) *)
+  }
+
+  val of_cache : size_bytes:int -> block_bytes:int -> assoc:int -> t
+  (** Derive tag-array geometry for 32-bit addresses; [assoc] ways all
+      probe their tags in parallel. *)
+
+  val hw_energy : t -> accesses:int -> float
+  (** Energy of a hardware cache in data-bit-read units: every access
+      reads tags and data. *)
+
+  val sw_energy : t -> accesses:int -> overhead_instrs:int -> float
+  (** Software cache: accesses read data only; each overhead
+      instruction costs one data-width read (its fetch). *)
+
+  val sw_saving :
+    t -> accesses:int -> overhead_instrs:int -> float
+  (** Fractional memory-energy saving of software over hardware
+      caching; negative when the overhead instructions outweigh the
+      avoided tag checks. *)
+end
+
+module Banks : sig
+  type t = {
+    bank_bytes : int;
+    banks : int;
+    sleep_fraction : float;
+        (** residual power of a sleeping bank (e.g. 0.08) — data is
+            retained, per the drowsy-SRAM work the paper cites *)
+  }
+
+  val make : ?sleep_fraction:float -> bank_bytes:int -> banks:int -> unit -> t
+  (** Default sleep fraction 0.08.
+      @raise Invalid_argument on non-positive geometry. *)
+
+  val total_bytes : t -> int
+
+  val active_banks : t -> working_set:int -> int
+  (** Banks that must stay awake to hold a compacted working set (at
+      least one). The fully associative software cache can place the
+      working set contiguously; a conventional cache cannot. *)
+
+  val memory_power_fraction : t -> working_set:int -> float
+  (** Memory power with power-down, as a fraction of all-banks-on. *)
+
+  val chip_saving : t -> working_set:int -> float
+  (** Fraction of total chip power saved, assuming on-chip memory
+      accounts for {!Strongarm.cache_total_fraction} of it. *)
+end

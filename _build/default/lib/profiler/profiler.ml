@@ -1,0 +1,143 @@
+type entry = {
+  name : string;
+  addr : int;
+  size_bytes : int;
+  samples : int;
+  fraction : float;
+}
+
+type t = {
+  image : Isa.Image.t;
+  counts : int array; (* per instruction word of the text segment *)
+  mutable total : int;
+  mutable unattributed : int;
+}
+
+let create (image : Isa.Image.t) =
+  {
+    image;
+    counts = Array.make (Array.length image.code) 0;
+    total = 0;
+    unattributed = 0;
+  }
+
+let record t addr =
+  t.total <- t.total + 1;
+  if Isa.Image.contains_code t.image addr then begin
+    let i = (addr - t.image.code_base) lsr 2 in
+    t.counts.(i) <- t.counts.(i) + 1
+  end
+  else t.unattributed <- t.unattributed + 1
+
+let attach t (cpu : Machine.Cpu.t) =
+  let previous = cpu.on_fetch in
+  cpu.on_fetch <-
+    Some
+      (match previous with
+      | None -> record t
+      | Some f ->
+        fun addr ->
+          f addr;
+          record t addr)
+
+let profile ?cost ?fuel img =
+  let t = create img in
+  let cpu = Machine.Cpu.of_image ?cost img in
+  attach t cpu;
+  (match Machine.Cpu.run ?fuel cpu with
+  | Machine.Cpu.Halted | Machine.Cpu.Out_of_fuel -> ());
+  (t, cpu)
+
+let total_samples t = t.total
+
+let samples_in t ~lo ~hi =
+  let base = t.image.code_base in
+  let i0 = max 0 ((lo - base) asr 2) in
+  let i1 = min (Array.length t.counts) ((hi - base) asr 2) in
+  let s = ref 0 in
+  for i = i0 to i1 - 1 do
+    s := !s + t.counts.(i)
+  done;
+  !s
+
+let entries t =
+  let syms = t.image.symbols in
+  let covered = Hashtbl.create 64 in
+  let sym_entries =
+    List.filter_map
+      (fun (s : Isa.Image.symbol) ->
+        for
+          i = (s.sym_addr - t.image.code_base) asr 2
+          to ((s.sym_addr + s.sym_size - t.image.code_base) asr 2) - 1
+        do
+          Hashtbl.replace covered i ()
+        done;
+        let n = samples_in t ~lo:s.sym_addr ~hi:(s.sym_addr + s.sym_size) in
+        if n = 0 then None
+        else
+          Some
+            {
+              name = s.sym_name;
+              addr = s.sym_addr;
+              size_bytes = s.sym_size;
+              samples = n;
+              fraction =
+                (if t.total = 0 then 0.0
+                 else float_of_int n /. float_of_int t.total);
+            })
+      syms
+  in
+  (* instructions executed outside any symbol *)
+  let stray = ref t.unattributed in
+  Array.iteri
+    (fun i c -> if c > 0 && not (Hashtbl.mem covered i) then stray := !stray + c)
+    t.counts;
+  let all =
+    if !stray = 0 then sym_entries
+    else
+      {
+        name = "<unattributed>";
+        addr = 0;
+        size_bytes = 0;
+        samples = !stray;
+        fraction =
+          (if t.total = 0 then 0.0
+           else float_of_int !stray /. float_of_int t.total);
+      }
+      :: sym_entries
+  in
+  List.sort (fun a b -> compare b.samples a.samples) all
+
+let hot_set ?(threshold = 0.9) t =
+  let rec take acc cum = function
+    | [] -> List.rev acc
+    | e :: rest ->
+      let cum = cum +. e.fraction in
+      if cum >= threshold then List.rev (e :: acc)
+      else take (e :: acc) cum rest
+  in
+  take [] 0.0 (entries t)
+
+let hot_bytes ?threshold t =
+  List.fold_left (fun a e -> a + e.size_bytes) 0 (hot_set ?threshold t)
+
+let dynamic_text_bytes t =
+  Array.fold_left (fun a c -> if c > 0 then a + 4 else a) 0 t.counts
+
+let touched_in t ~lo ~hi =
+  let base = t.image.code_base in
+  let i0 = max 0 ((lo - base) asr 2) in
+  let i1 = min (Array.length t.counts) ((hi - base) asr 2) in
+  let s = ref 0 in
+  for i = i0 to i1 - 1 do
+    if t.counts.(i) > 0 then s := !s + 4
+  done;
+  !s
+
+let pp ppf t =
+  Format.fprintf ppf "flat profile of %s (%d samples):@." t.image.name t.total;
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "  %6.2f%%  %8d  %6d B  %s@." (100.0 *. e.fraction)
+        e.samples e.size_bytes e.name)
+    (entries t)

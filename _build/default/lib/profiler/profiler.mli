@@ -1,0 +1,50 @@
+(** Flat execution profiler — the reproduction's gprof.
+
+    The paper sized CC memory by profiling: "the hot code was initially
+    identified by using gprof to determine which functions constituted
+    at least 90% of the application run time" (§2.4). This profiler
+    attaches to the interpreter's fetch hook during a native run, counts
+    samples per procedure symbol, and extracts the hot set and the
+    footprint numbers behind Table 1 and Figure 9. *)
+
+type entry = {
+  name : string;
+  addr : int;
+  size_bytes : int;  (** static size of the procedure *)
+  samples : int;  (** instruction fetches attributed to it *)
+  fraction : float;  (** samples / total samples *)
+}
+
+type t
+
+val create : Isa.Image.t -> t
+
+val attach : t -> Machine.Cpu.t -> unit
+(** Install the fetch hook (chains any hook already present). *)
+
+val profile :
+  ?cost:Machine.Cost.t -> ?fuel:int -> Isa.Image.t -> t * Machine.Cpu.t
+(** Run the image natively to completion with profiling attached. *)
+
+val total_samples : t -> int
+
+val entries : t -> entry list
+(** Per-symbol flat profile, hottest first. Fetches outside any symbol
+    are collected under the pseudo-entry ["<unattributed>"]. *)
+
+val hot_set : ?threshold:float -> t -> entry list
+(** Smallest prefix of the flat profile covering at least [threshold]
+    (default 0.9) of all samples — the paper's 90% rule. *)
+
+val hot_bytes : ?threshold:float -> t -> int
+(** Static footprint of the hot set. *)
+
+val dynamic_text_bytes : t -> int
+(** Bytes of distinct instructions fetched at least once — Table 1's
+    "dynamic .text". *)
+
+val touched_in : t -> lo:int -> hi:int -> int
+(** Distinct instruction bytes executed within an address range. *)
+
+val pp : Format.formatter -> t -> unit
+(** The flat profile, gprof-style. *)

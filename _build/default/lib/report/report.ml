@@ -1,0 +1,94 @@
+module Table = struct
+  type t = {
+    title : string;
+    columns : string list;
+    mutable rows : string list list; (* reversed *)
+  }
+
+  let create ~title ~columns = { title; columns; rows = [] }
+
+  let add_row t cells =
+    if List.length cells <> List.length t.columns then
+      invalid_arg "Report.Table.add_row: wrong number of cells";
+    t.rows <- cells :: t.rows
+
+  let widths t =
+    let all = t.columns :: List.rev t.rows in
+    List.fold_left
+      (fun acc row -> List.map2 (fun w c -> max w (String.length c)) acc row)
+      (List.map (fun _ -> 0) t.columns)
+      all
+
+  let print t =
+    let ws = widths t in
+    let pad w s = s ^ String.make (w - String.length s) ' ' in
+    let line row =
+      "  " ^ String.concat "  " (List.map2 pad ws row)
+    in
+    Printf.printf "%s\n" t.title;
+    Printf.printf "%s\n" (line t.columns);
+    let total = List.fold_left (fun a w -> a + w + 2) 0 ws in
+    Printf.printf "  %s\n" (String.make total '-');
+    List.iter (fun r -> Printf.printf "%s\n" (line r)) (List.rev t.rows)
+
+  let to_csv t =
+    let esc s =
+      if String.exists (fun c -> c = ',' || c = '"') s then
+        "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+      else s
+    in
+    let row r = String.concat "," (List.map esc r) in
+    String.concat "\n" (row t.columns :: List.rev_map row t.rows)
+end
+
+module Series = struct
+  type t = {
+    title : string;
+    xlabel : string;
+    ylabel : string;
+    mutable pts : (float * float) list; (* reversed *)
+  }
+
+  let create ~title ~xlabel ~ylabel = { title; xlabel; ylabel; pts = [] }
+  let add t x y = t.pts <- (x, y) :: t.pts
+  let points t = List.rev t.pts
+
+  let print ?(bar_width = 40) t =
+    Printf.printf "%s\n" t.title;
+    let pts = points t in
+    let ymax = List.fold_left (fun a (_, y) -> Float.max a y) 0.0 pts in
+    Printf.printf "  %14s  %12s\n" t.xlabel t.ylabel;
+    List.iter
+      (fun (x, y) ->
+        let n =
+          if ymax <= 0.0 then 0
+          else int_of_float (y /. ymax *. float_of_int bar_width +. 0.5)
+        in
+        Printf.printf "  %14.4g  %12.5g  |%s\n" x y (String.make n '#'))
+      pts
+
+  let to_csv t =
+    String.concat "\n"
+      (Printf.sprintf "%s,%s" t.xlabel t.ylabel
+      :: List.map (fun (x, y) -> Printf.sprintf "%g,%g" x y) (points t))
+end
+
+let mean = function
+  | [] -> 0.0
+  | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+let geomean = function
+  | [] -> 0.0
+  | l ->
+    exp (List.fold_left (fun a x -> a +. log x) 0.0 l /. float_of_int (List.length l))
+
+let fmt_bytes n =
+  if n < 1024 then Printf.sprintf "%d B" n
+  else if n < 1024 * 1024 then Printf.sprintf "%.1f KB" (float_of_int n /. 1024.)
+  else Printf.sprintf "%.1f MB" (float_of_int n /. (1024. *. 1024.))
+
+let section title =
+  let bar = String.make 72 '=' in
+  Printf.printf "\n%s\n%s\n%s\n" bar title bar
+
+let kv key value = Printf.printf "  %-28s : %s\n" key value

@@ -1,0 +1,48 @@
+(** Result rendering for the benchmark harness.
+
+    Plain-text tables, data series (the "figures"), ASCII bar charts
+    and CSV output, plus the summary statistics the harness reports. *)
+
+module Table : sig
+  type t
+
+  val create : title:string -> columns:string list -> t
+
+  val add_row : t -> string list -> unit
+  (** @raise Invalid_argument if the cell count differs from the
+      column count. *)
+
+  val print : t -> unit
+  (** Render with aligned columns to stdout. *)
+
+  val to_csv : t -> string
+end
+
+module Series : sig
+  type t
+
+  val create : title:string -> xlabel:string -> ylabel:string -> t
+  val add : t -> float -> float -> unit
+  val points : t -> (float * float) list
+
+  val print : ?bar_width:int -> t -> unit
+  (** Render as an aligned x/y listing with proportional ASCII bars —
+      the textual stand-in for the paper's figures. *)
+
+  val to_csv : t -> string
+end
+
+val mean : float list -> float
+(** 0 on the empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean; 0 on the empty list. *)
+
+val fmt_bytes : int -> string
+(** "800 B", "24.0 KB", "1.5 MB". *)
+
+val section : string -> unit
+(** Print a banner separating experiments in the harness output. *)
+
+val kv : string -> string -> unit
+(** [kv key value] prints an aligned "  key : value" line. *)

@@ -1,0 +1,1 @@
+lib/workloads/cjpegw.ml: Array Dctgen Gen Isa List

@@ -1,0 +1,1 @@
+lib/workloads/cjpegw.mli: Isa

@@ -1,0 +1,1 @@
+lib/workloads/compress.ml: Array Gen Isa List

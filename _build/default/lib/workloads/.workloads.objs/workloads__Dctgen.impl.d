@@ -1,0 +1,1 @@
+lib/workloads/dctgen.ml: Array Float Isa

@@ -1,0 +1,1 @@
+lib/workloads/dctgen.mli: Isa

@@ -1,0 +1,1 @@
+lib/workloads/gzipw.ml: Gen Isa List

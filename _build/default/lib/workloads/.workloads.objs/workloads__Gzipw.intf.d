@@ -1,0 +1,1 @@
+lib/workloads/gzipw.mli: Isa

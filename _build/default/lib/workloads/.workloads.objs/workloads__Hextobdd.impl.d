@@ -1,0 +1,1 @@
+lib/workloads/hextobdd.ml: Gen Isa

@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Adpcm Cjpegw Compress Gzipw Hextobdd Isa List Mpeg2 Sensor

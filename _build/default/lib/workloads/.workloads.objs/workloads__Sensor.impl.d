@@ -1,0 +1,1 @@
+lib/workloads/sensor.ml: Gen Isa List

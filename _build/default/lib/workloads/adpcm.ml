@@ -1,0 +1,508 @@
+let name_encode = "adpcm_encode"
+let name_decode = "adpcm_decode"
+
+let reg = Isa.Reg.r
+
+let step_table =
+  [|
+    7; 8; 9; 10; 11; 12; 13; 14; 16; 17; 19; 21; 23; 25; 28; 31; 34; 37; 41;
+    45; 50; 55; 60; 66; 73; 80; 88; 97; 107; 118; 130; 143; 157; 173; 190;
+    209; 230; 253; 279; 307; 337; 371; 408; 449; 494; 544; 598; 658; 724;
+    796; 876; 963; 1060; 1166; 1282; 1411; 1552; 1707; 1878; 2066; 2272;
+    2499; 2749; 3024; 3327; 3660; 4026; 4428; 4871; 5358; 5894; 6484; 7132;
+    7845; 8630; 9493; 10442; 11487; 12635; 13899; 15289; 16818; 18500;
+    20350; 22385; 24623; 27086; 29794; 32767;
+  |]
+
+let index_table =
+  [| -1; -1; -1; -1; 2; 4; 6; 8; -1; -1; -1; -1; 2; 4; 6; 8 |]
+
+(* Clamp r_v into [lo, hi] using r_t as scratch. *)
+let emit_clamp b r_v r_t lo hi =
+  let ok1 = Isa.Builder.new_label b in
+  Isa.Builder.li b r_t lo;
+  Isa.Builder.br b Ge r_v r_t ok1;
+  Isa.Builder.ins b (Isa.Instr.Alu (Add, r_v, r_t, Isa.Reg.zero));
+  Isa.Builder.here b ok1;
+  let ok2 = Isa.Builder.new_label b in
+  Isa.Builder.li b r_t hi;
+  Isa.Builder.br b Lt r_v r_t ok2;
+  Isa.Builder.ins b (Isa.Instr.Alu (Add, r_v, r_t, Isa.Reg.zero));
+  Isa.Builder.here b ok2
+
+(* Shared tail: cold app code, terminal stats, library padding. *)
+let finish_image b r ~l_stats ~vars ~app_bytes ~static_bytes =
+  (* terminal statistics routine: cold, runs once at the very end —
+     the source of Fig. 8's end-of-run paging blip *)
+  Isa.Builder.func b "print_stats" l_stats (fun () ->
+      List.iter
+        (fun v ->
+          Isa.Builder.li b (reg 5) v;
+          Isa.Builder.ins b (Isa.Instr.Ld (reg 6, reg 5, 0));
+          (* a little summarisation work, as real stats code would do *)
+          Isa.Builder.ins b (Isa.Instr.Alui (Srl, reg 7, reg 6, 16));
+          Isa.Builder.ins b (Isa.Instr.Alu (Xor, reg 7, reg 7, reg 6));
+          Isa.Builder.ins b (Isa.Instr.Out (reg 6));
+          Isa.Builder.ins b (Isa.Instr.Out (reg 7)))
+        vars;
+      Isa.Builder.ins b (Isa.Instr.Jr Isa.Reg.ra));
+  Gen.pad_cold_to b r ~prefix:"app_cold" ~target_bytes:app_bytes;
+  Gen.pad_cold_to b r ~prefix:"libc_pad" ~target_bytes:static_bytes
+
+let encode_image ?(samples = 20000) ?(app_bytes = 9900)
+    ?(static_bytes = 18 * 1024) () =
+  let b = Isa.Builder.create "adpcm_encode" in
+  let r = Gen.rng 0xADC0DE in
+  let steps = Isa.Builder.words b step_table in
+  let idxadj = Isa.Builder.words b index_table in
+  let inbuf = Isa.Builder.space b (samples * 4) in
+  let var_cksum = Isa.Builder.word b 0 in
+  let var_energy = Isa.Builder.word b 0 in
+  let var_bytes = Isa.Builder.word b 0 in
+  let var_hist1 = Isa.Builder.word b 0 in
+  let var_hist2 = Isa.Builder.word b 0 in
+  let var_dc = Isa.Builder.word b 0 in
+  let l_main = Isa.Builder.new_label b in
+  let l_init = Isa.Builder.new_label b in
+  let l_kernel = Isa.Builder.new_label b in
+  let l_quant = Isa.Builder.new_label b in
+  let l_prefilter = Isa.Builder.new_label b in
+  let l_bias = Isa.Builder.new_label b in
+  let l_emit = Isa.Builder.new_label b in
+  let l_stats = Isa.Builder.new_label b in
+  Isa.Builder.entry b l_main;
+
+  (* --- prefilter: r1 = raw sample -> r2 = conditioned sample.
+         Weighted moving average over the last two samples, slow DC
+         tracker subtraction, and a soft clip — the front half of a real
+         speech coder's conditioning chain. Clobbers r5-r9. --- *)
+  Isa.Builder.func b "adpcm_prefilter" l_prefilter (fun () ->
+      Isa.Builder.li b (reg 5) var_hist1;
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 6, reg 5, 0));
+      Isa.Builder.li b (reg 7) var_hist2;
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 8, reg 7, 0));
+      (* y = (2x + h1 + h2) >> 2 *)
+      Isa.Builder.ins b (Isa.Instr.Alui (Sll, reg 2, reg 1, 1));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 2, reg 2, reg 6));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 2, reg 2, reg 8));
+      Isa.Builder.ins b (Isa.Instr.Alui (Sra, reg 2, reg 2, 2));
+      (* history shift *)
+      Isa.Builder.ins b (Isa.Instr.St (reg 6, reg 7, 0));
+      Isa.Builder.ins b (Isa.Instr.St (reg 1, reg 5, 0));
+      (* dc tracker: dc += (y - dc) >> 6; y -= dc *)
+      Isa.Builder.li b (reg 5) var_dc;
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 6, reg 5, 0));
+      Isa.Builder.ins b (Isa.Instr.Alu (Sub, reg 8, reg 2, reg 6));
+      Isa.Builder.ins b (Isa.Instr.Alui (Sra, reg 8, reg 8, 6));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 6, reg 6, reg 8));
+      Isa.Builder.ins b (Isa.Instr.St (reg 6, reg 5, 0));
+      Isa.Builder.ins b (Isa.Instr.Alu (Sub, reg 2, reg 2, reg 6));
+      (* soft clip to +/- 30000 with 3/4 compression above the knee *)
+      let pos_ok = Isa.Builder.new_label b in
+      Isa.Builder.li b (reg 9) 24000;
+      Isa.Builder.br b Lt (reg 2) (reg 9) pos_ok;
+      Isa.Builder.ins b (Isa.Instr.Alu (Sub, reg 5, reg 2, reg 9));
+      Isa.Builder.ins b (Isa.Instr.Alui (Sra, reg 5, reg 5, 2));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 2, reg 9, reg 5));
+      Isa.Builder.here b pos_ok;
+      let neg_ok = Isa.Builder.new_label b in
+      Isa.Builder.li b (reg 9) (-24000);
+      Isa.Builder.br b Ge (reg 2) (reg 9) neg_ok;
+      Isa.Builder.ins b (Isa.Instr.Alu (Sub, reg 5, reg 2, reg 9));
+      Isa.Builder.ins b (Isa.Instr.Alui (Sra, reg 5, reg 5, 2));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 2, reg 9, reg 5));
+      Isa.Builder.here b neg_ok;
+      (* pre-emphasis: y = y - (prev_y >> 2), prev_y in hist2's mate *)
+      Isa.Builder.li b (reg 5) var_dc;
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 6, reg 5, 0));
+      Isa.Builder.ins b (Isa.Instr.Alui (Sra, reg 7, reg 6, 2));
+      Isa.Builder.ins b (Isa.Instr.Alu (Sub, reg 2, reg 2, reg 7));
+      (* dither: triangular PDF from a tiny LCG kept in var_hist2's
+         high half — decorrelates quantisation error *)
+      Isa.Builder.li b (reg 5) var_hist2;
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 6, reg 5, 0));
+      Isa.Builder.li b (reg 7) 1103515245;
+      Isa.Builder.ins b (Isa.Instr.Alu (Mul, reg 8, reg 6, reg 7));
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 8, reg 8, 12345));
+      Isa.Builder.ins b (Isa.Instr.Alui (Srl, reg 9, reg 8, 18));
+      Isa.Builder.ins b (Isa.Instr.Alui (And, reg 9, reg 9, 3));
+      Isa.Builder.ins b (Isa.Instr.Alui (Srl, reg 7, reg 8, 22));
+      Isa.Builder.ins b (Isa.Instr.Alui (And, reg 7, reg 7, 3));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 9, reg 9, reg 7));
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 9, reg 9, -3));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 2, reg 2, reg 9));
+      Isa.Builder.ins b (Isa.Instr.Jr Isa.Reg.ra));
+
+  (* --- quantise: r1 = diff (>= 0), r2 = step -> r2 = delta(0..7),
+         r3 = vpdiff; clobbers r5-r7 --- *)
+  Isa.Builder.func b "adpcm_quantize" l_quant (fun () ->
+      Isa.Builder.li b (reg 5) 0 (* delta *);
+      Isa.Builder.ins b (Isa.Instr.Alui (Srl, reg 3, reg 2, 3));
+      let no4 = Isa.Builder.new_label b in
+      Isa.Builder.br b Lt (reg 1) (reg 2) no4;
+      Isa.Builder.ins b (Isa.Instr.Alui (Or, reg 5, reg 5, 4));
+      Isa.Builder.ins b (Isa.Instr.Alu (Sub, reg 1, reg 1, reg 2));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 3, reg 3, reg 2));
+      Isa.Builder.here b no4;
+      Isa.Builder.ins b (Isa.Instr.Alui (Srl, reg 2, reg 2, 1));
+      let no2 = Isa.Builder.new_label b in
+      Isa.Builder.br b Lt (reg 1) (reg 2) no2;
+      Isa.Builder.ins b (Isa.Instr.Alui (Or, reg 5, reg 5, 2));
+      Isa.Builder.ins b (Isa.Instr.Alu (Sub, reg 1, reg 1, reg 2));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 3, reg 3, reg 2));
+      Isa.Builder.here b no2;
+      Isa.Builder.ins b (Isa.Instr.Alui (Srl, reg 2, reg 2, 1));
+      let no1 = Isa.Builder.new_label b in
+      Isa.Builder.br b Lt (reg 1) (reg 2) no1;
+      Isa.Builder.ins b (Isa.Instr.Alui (Or, reg 5, reg 5, 1));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 3, reg 3, reg 2));
+      Isa.Builder.here b no1;
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 2, reg 5, Isa.Reg.zero));
+      Isa.Builder.ins b (Isa.Instr.Jr Isa.Reg.ra));
+
+  (* --- index bias: r1 = index, r2 = energy -> r2 = biased index.
+         Nudges adaptation toward the long-term signal level. --- *)
+  Isa.Builder.func b "adpcm_index_bias" l_bias (fun () ->
+      Isa.Builder.ins b (Isa.Instr.Alui (Srl, reg 5, reg 2, 14));
+      Isa.Builder.li b (reg 6) 4;
+      let capped = Isa.Builder.new_label b in
+      Isa.Builder.br b Lt (reg 5) (reg 6) capped;
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 5, reg 6, Isa.Reg.zero));
+      Isa.Builder.here b capped;
+      Isa.Builder.ins b (Isa.Instr.Alui (And, reg 7, reg 1, 1));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 2, reg 1, reg 7));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 2, reg 2, reg 5));
+      Isa.Builder.ins b (Isa.Instr.Alui (Sra, reg 5, reg 2, 1));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 2, reg 1, Isa.Reg.zero));
+      let no_adj = Isa.Builder.new_label b in
+      Isa.Builder.li b (reg 6) 80;
+      Isa.Builder.br b Lt (reg 5) (reg 6) no_adj;
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 2, reg 2, -1));
+      Isa.Builder.here b no_adj;
+      Isa.Builder.ins b (Isa.Instr.Jr Isa.Reg.ra));
+
+  (* --- emit byte: r1 = byte; checksum and count; clobbers r5-r7 --- *)
+  Isa.Builder.func b "adpcm_emit" l_emit (fun () ->
+      Isa.Builder.li b (reg 5) var_cksum;
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 6, reg 5, 0));
+      Isa.Builder.li b (reg 7) 13;
+      Isa.Builder.ins b (Isa.Instr.Alu (Mul, reg 6, reg 6, reg 7));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 6, reg 6, reg 1));
+      Isa.Builder.ins b (Isa.Instr.St (reg 6, reg 5, 0));
+      Isa.Builder.li b (reg 5) var_bytes;
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 6, reg 5, 0));
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 6, reg 6, 1));
+      Isa.Builder.ins b (Isa.Instr.St (reg 6, reg 5, 0));
+      Isa.Builder.ins b (Isa.Instr.Jr Isa.Reg.ra));
+
+  (* --- encode kernel --- *)
+  Isa.Builder.func b "adpcm_coder" l_kernel (fun () ->
+      Gen.prologue b;
+      Isa.Builder.li b (reg 16) inbuf;
+      Isa.Builder.li b (reg 17) (inbuf + (samples * 4));
+      Isa.Builder.li b (reg 18) 0 (* valprev *);
+      Isa.Builder.li b (reg 19) 0 (* index *);
+      Isa.Builder.li b (reg 20) steps;
+      Isa.Builder.li b (reg 21) idxadj;
+      Isa.Builder.li b (reg 22) 0 (* pending nibble flag/value *);
+      Isa.Builder.li b (reg 23) 0 (* energy accumulator *);
+      Isa.Builder.li b (reg 13) 0 (* sign run length *);
+      Isa.Builder.li b (reg 14) 0 (* previous sign *);
+      Isa.Builder.li b (reg 11) 32767 (* envelope min *);
+      Isa.Builder.li b (reg 12) (-32768) (* envelope max *);
+      let loop = Isa.Builder.label b in
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 1, reg 16, 0));
+      Isa.Builder.jal b l_prefilter;
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 4, reg 2, Isa.Reg.zero));
+      (* energy += |sample| >> 4 *)
+      Isa.Builder.ins b (Isa.Instr.Alui (Sra, reg 5, reg 4, 31));
+      Isa.Builder.ins b (Isa.Instr.Alu (Xor, reg 6, reg 4, reg 5));
+      Isa.Builder.ins b (Isa.Instr.Alu (Sub, reg 6, reg 6, reg 5));
+      Isa.Builder.ins b (Isa.Instr.Alui (Srl, reg 6, reg 6, 4));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 23, reg 23, reg 6));
+      (* windowed min/max envelope over the conditioned signal *)
+      let env_min_ok = Isa.Builder.new_label b in
+      Isa.Builder.br b Ge (reg 4) (reg 11) env_min_ok;
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 11, reg 4, Isa.Reg.zero));
+      Isa.Builder.here b env_min_ok;
+      let env_max_ok = Isa.Builder.new_label b in
+      Isa.Builder.br b Lt (reg 4) (reg 12) env_max_ok;
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 12, reg 4, Isa.Reg.zero));
+      Isa.Builder.here b env_max_ok;
+      (* decay the envelope toward each other *)
+      Isa.Builder.ins b (Isa.Instr.Alu (Sub, reg 5, reg 12, reg 11));
+      Isa.Builder.ins b (Isa.Instr.Alui (Sra, reg 5, reg 5, 9));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 11, reg 11, reg 5));
+      Isa.Builder.ins b (Isa.Instr.Alu (Sub, reg 12, reg 12, reg 5));
+      (* zero-crossing detector feeds the energy metric *)
+      Isa.Builder.ins b (Isa.Instr.Alui (Srl, reg 7, reg 4, 31));
+      Isa.Builder.ins b (Isa.Instr.Alui (Srl, reg 8, reg 18, 31));
+      Isa.Builder.ins b (Isa.Instr.Alu (Xor, reg 7, reg 7, reg 8));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 23, reg 23, reg 7));
+      (* step = steps[index] *)
+      Isa.Builder.ins b (Isa.Instr.Alui (Sll, reg 5, reg 19, 2));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 5, reg 5, reg 20));
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 2, reg 5, 0));
+      (* diff = sample - valprev; sign in r15 *)
+      Isa.Builder.ins b (Isa.Instr.Alu (Sub, reg 1, reg 4, reg 18));
+      Isa.Builder.li b (reg 15) 0;
+      let pos = Isa.Builder.new_label b in
+      Isa.Builder.br b Ge (reg 1) Isa.Reg.zero pos;
+      Isa.Builder.li b (reg 15) 8;
+      Isa.Builder.ins b (Isa.Instr.Alu (Sub, reg 1, Isa.Reg.zero, reg 1));
+      Isa.Builder.here b pos;
+      Isa.Builder.jal b l_quant;
+      (* r2 = delta, r3 = vpdiff *)
+      let subtract = Isa.Builder.new_label b in
+      let upd_done = Isa.Builder.new_label b in
+      Isa.Builder.br b Ne (reg 15) Isa.Reg.zero subtract;
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 18, reg 18, reg 3));
+      Isa.Builder.jmp b upd_done;
+      Isa.Builder.here b subtract;
+      Isa.Builder.ins b (Isa.Instr.Alu (Sub, reg 18, reg 18, reg 3));
+      Isa.Builder.here b upd_done;
+      emit_clamp b (reg 18) (reg 5) (-32768) 32767;
+      (* index += idxadj[delta]; clamp 0..88 *)
+      Isa.Builder.ins b (Isa.Instr.Alui (Sll, reg 5, reg 2, 2));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 5, reg 5, reg 21));
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 6, reg 5, 0));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 19, reg 19, reg 6));
+      emit_clamp b (reg 19) (reg 5) 0 88;
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 1, reg 19, Isa.Reg.zero));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 2, reg 23, Isa.Reg.zero));
+      Isa.Builder.jal b l_bias;
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 19, reg 2, Isa.Reg.zero));
+      emit_clamp b (reg 19) (reg 5) 0 88;
+      (* noise-gate hysteresis: damp tiny deltas when energy is low *)
+      let no_gate = Isa.Builder.new_label b in
+      Isa.Builder.li b (reg 5) 3;
+      Isa.Builder.br b Ge (reg 2) (reg 5) no_gate;
+      Isa.Builder.ins b (Isa.Instr.Alui (Srl, reg 6, reg 23, 12));
+      Isa.Builder.br b Ne (reg 6) Isa.Reg.zero no_gate;
+      Isa.Builder.ins b (Isa.Instr.Alui (And, reg 2, reg 2, 6));
+      Isa.Builder.here b no_gate;
+      (* sign run-length feeds the adaptation bias *)
+      let run_done = Isa.Builder.new_label b in
+      let run_reset = Isa.Builder.new_label b in
+      Isa.Builder.br b Ne (reg 15) (reg 14) run_reset;
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 13, reg 13, 1));
+      Isa.Builder.li b (reg 5) 16;
+      Isa.Builder.br b Lt (reg 13) (reg 5) run_done;
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 19, reg 19, 1));
+      emit_clamp b (reg 19) (reg 5) 0 88;
+      Isa.Builder.li b (reg 13) 0;
+      Isa.Builder.jmp b run_done;
+      Isa.Builder.here b run_reset;
+      Isa.Builder.li b (reg 13) 0;
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 14, reg 15, Isa.Reg.zero));
+      Isa.Builder.here b run_done;
+      (* code = delta | sign; pack two per byte *)
+      Isa.Builder.ins b (Isa.Instr.Alu (Or, reg 2, reg 2, reg 15));
+      let second = Isa.Builder.new_label b in
+      let packed = Isa.Builder.new_label b in
+      Isa.Builder.ins b (Isa.Instr.Alui (And, reg 5, reg 22, 0x100));
+      Isa.Builder.br b Ne (reg 5) Isa.Reg.zero second;
+      (* first nibble: remember it *)
+      Isa.Builder.ins b (Isa.Instr.Alui (Or, reg 22, reg 2, 0x100));
+      Isa.Builder.jmp b packed;
+      Isa.Builder.here b second;
+      Isa.Builder.ins b (Isa.Instr.Alui (And, reg 1, reg 22, 0x0F));
+      Isa.Builder.ins b (Isa.Instr.Alui (Sll, reg 1, reg 1, 4));
+      Isa.Builder.ins b (Isa.Instr.Alu (Or, reg 1, reg 1, reg 2));
+      Isa.Builder.li b (reg 22) 0;
+      Isa.Builder.jal b l_emit;
+      Isa.Builder.here b packed;
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 16, reg 16, 4));
+      Isa.Builder.br b Ne (reg 16) (reg 17) loop;
+      (* store energy (folded with the envelope) for the stats pass *)
+      Isa.Builder.ins b (Isa.Instr.Alu (Sub, reg 12, reg 12, reg 11));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 23, reg 23, reg 12));
+      Isa.Builder.li b (reg 5) var_energy;
+      Isa.Builder.ins b (Isa.Instr.St (reg 23, reg 5, 0));
+      Gen.epilogue b);
+
+  (* --- input synthesis: jittered triangle wave --- *)
+  Isa.Builder.func b "init_input" l_init (fun () ->
+      Isa.Builder.li b (reg 5) inbuf;
+      Isa.Builder.li b (reg 6) (inbuf + (samples * 4));
+      Isa.Builder.li b (reg 7) 0 (* n *);
+      Isa.Builder.li b (reg 8) 0x5EED2 (* noise state *);
+      let top = Isa.Builder.label b in
+      Isa.Builder.ins b (Isa.Instr.Alui (And, reg 9, reg 7, 1023));
+      let down = Isa.Builder.new_label b in
+      let store = Isa.Builder.new_label b in
+      Isa.Builder.li b (reg 10) 512;
+      Isa.Builder.br b Ge (reg 9) (reg 10) down;
+      Isa.Builder.ins b (Isa.Instr.Alui (Sll, reg 11, reg 9, 6));
+      Isa.Builder.jmp b store;
+      Isa.Builder.here b down;
+      Isa.Builder.li b (reg 11) 1023;
+      Isa.Builder.ins b (Isa.Instr.Alu (Sub, reg 11, reg 11, reg 9));
+      Isa.Builder.ins b (Isa.Instr.Alui (Sll, reg 11, reg 11, 6));
+      Isa.Builder.here b store;
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 11, reg 11, -16384));
+      (* jitter: xorshift low bits *)
+      Isa.Builder.ins b (Isa.Instr.Alui (Sll, reg 12, reg 8, 13));
+      Isa.Builder.ins b (Isa.Instr.Alu (Xor, reg 8, reg 8, reg 12));
+      Isa.Builder.ins b (Isa.Instr.Alui (Srl, reg 12, reg 8, 17));
+      Isa.Builder.ins b (Isa.Instr.Alu (Xor, reg 8, reg 8, reg 12));
+      Isa.Builder.ins b (Isa.Instr.Alui (And, reg 12, reg 8, 255));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 11, reg 11, reg 12));
+      Isa.Builder.ins b (Isa.Instr.St (reg 11, reg 5, 0));
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 5, reg 5, 4));
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 7, reg 7, 1));
+      Isa.Builder.br b Ne (reg 5) (reg 6) top;
+      Isa.Builder.ins b (Isa.Instr.Jr Isa.Reg.ra));
+
+  Isa.Builder.func b "main" l_main (fun () ->
+      Isa.Builder.jal b l_init;
+      Isa.Builder.jal b l_kernel;
+      Isa.Builder.jal b l_stats;
+      Isa.Builder.ins b Isa.Instr.Halt);
+
+  finish_image b r ~l_stats
+    ~vars:[ var_bytes; var_cksum; var_energy ]
+    ~app_bytes ~static_bytes;
+  Isa.Builder.build b
+
+let decode_image ?(nibbles = 40000) ?(app_bytes = 5400)
+    ?(static_bytes = 17 * 1024) () =
+  let b = Isa.Builder.create "adpcm_decode" in
+  let r = Gen.rng 0xDEC0DE in
+  let steps = Isa.Builder.words b step_table in
+  let idxadj = Isa.Builder.words b index_table in
+  let inbuf = Isa.Builder.space b (nibbles / 2) in
+  let var_cksum = Isa.Builder.word b 0 in
+  let var_peak = Isa.Builder.word b 0 in
+  let var_smooth = Isa.Builder.word b 0 in
+  let var_outsum = Isa.Builder.word b 0 in
+  let l_main = Isa.Builder.new_label b in
+  let l_init = Isa.Builder.new_label b in
+  let l_kernel = Isa.Builder.new_label b in
+  let l_recon = Isa.Builder.new_label b in
+  let l_post = Isa.Builder.new_label b in
+  let l_stats = Isa.Builder.new_label b in
+  Isa.Builder.entry b l_main;
+
+  (* --- postfilter: r1 = reconstructed sample. One-pole smoother plus
+         an output checksum over the smoothed signal — the playback
+         half of a decoder. Clobbers r5-r8. --- *)
+  Isa.Builder.func b "adpcm_postfilter" l_post (fun () ->
+      Isa.Builder.li b (reg 5) var_smooth;
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 6, reg 5, 0));
+      (* s += (x - s) >> 3 *)
+      Isa.Builder.ins b (Isa.Instr.Alu (Sub, reg 7, reg 1, reg 6));
+      Isa.Builder.ins b (Isa.Instr.Alui (Sra, reg 7, reg 7, 3));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 6, reg 6, reg 7));
+      Isa.Builder.ins b (Isa.Instr.St (reg 6, reg 5, 0));
+      (* outsum = outsum * 7 + (s >> 2), with overflow fold *)
+      Isa.Builder.li b (reg 5) var_outsum;
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 7, reg 5, 0));
+      Isa.Builder.li b (reg 8) 7;
+      Isa.Builder.ins b (Isa.Instr.Alu (Mul, reg 7, reg 7, reg 8));
+      Isa.Builder.ins b (Isa.Instr.Alui (Sra, reg 8, reg 6, 2));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 7, reg 7, reg 8));
+      Isa.Builder.ins b (Isa.Instr.Alui (Srl, reg 8, reg 7, 24));
+      Isa.Builder.ins b (Isa.Instr.Alu (Xor, reg 7, reg 7, reg 8));
+      Isa.Builder.ins b (Isa.Instr.St (reg 7, reg 5, 0));
+      Isa.Builder.ins b (Isa.Instr.Jr Isa.Reg.ra));
+
+  (* --- reconstruct: r1 = delta(0..7), r2 = step -> r3 = vpdiff --- *)
+  Isa.Builder.func b "adpcm_recon" l_recon (fun () ->
+      Isa.Builder.ins b (Isa.Instr.Alui (Srl, reg 3, reg 2, 3));
+      let no4 = Isa.Builder.new_label b in
+      Isa.Builder.ins b (Isa.Instr.Alui (And, reg 5, reg 1, 4));
+      Isa.Builder.br b Eq (reg 5) Isa.Reg.zero no4;
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 3, reg 3, reg 2));
+      Isa.Builder.here b no4;
+      let no2 = Isa.Builder.new_label b in
+      Isa.Builder.ins b (Isa.Instr.Alui (And, reg 5, reg 1, 2));
+      Isa.Builder.br b Eq (reg 5) Isa.Reg.zero no2;
+      Isa.Builder.ins b (Isa.Instr.Alui (Srl, reg 6, reg 2, 1));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 3, reg 3, reg 6));
+      Isa.Builder.here b no2;
+      let no1 = Isa.Builder.new_label b in
+      Isa.Builder.ins b (Isa.Instr.Alui (And, reg 5, reg 1, 1));
+      Isa.Builder.br b Eq (reg 5) Isa.Reg.zero no1;
+      Isa.Builder.ins b (Isa.Instr.Alui (Srl, reg 6, reg 2, 2));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 3, reg 3, reg 6));
+      Isa.Builder.here b no1;
+      Isa.Builder.ins b (Isa.Instr.Jr Isa.Reg.ra));
+
+  (* --- decode kernel --- *)
+  Isa.Builder.func b "adpcm_decoder" l_kernel (fun () ->
+      Gen.prologue b;
+      Isa.Builder.li b (reg 16) inbuf;
+      Isa.Builder.li b (reg 17) (inbuf + (nibbles / 2));
+      Isa.Builder.li b (reg 18) 0 (* valprev *);
+      Isa.Builder.li b (reg 19) 0 (* index *);
+      Isa.Builder.li b (reg 20) steps;
+      Isa.Builder.li b (reg 21) idxadj;
+      Isa.Builder.li b (reg 22) 0 (* checksum *);
+      Isa.Builder.li b (reg 23) 0 (* peak *);
+      let loop = Isa.Builder.label b in
+      Isa.Builder.ins b (Isa.Instr.Ldb (reg 14, reg 16, 0));
+      (* two nibbles per byte, high first *)
+      Isa.Builder.li b (reg 13) 2;
+      let nibble_loop = Isa.Builder.label b in
+      Isa.Builder.ins b (Isa.Instr.Alui (Srl, reg 4, reg 14, 4));
+      Isa.Builder.ins b (Isa.Instr.Alui (And, reg 4, reg 4, 0x0F));
+      Isa.Builder.ins b (Isa.Instr.Alui (Sll, reg 14, reg 14, 4));
+      (* delta = code & 7, sign = code & 8 *)
+      Isa.Builder.ins b (Isa.Instr.Alui (And, reg 1, reg 4, 7));
+      Isa.Builder.ins b (Isa.Instr.Alui (And, reg 15, reg 4, 8));
+      (* step = steps[index] *)
+      Isa.Builder.ins b (Isa.Instr.Alui (Sll, reg 5, reg 19, 2));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 5, reg 5, reg 20));
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 2, reg 5, 0));
+      Isa.Builder.jal b l_recon;
+      let subtract = Isa.Builder.new_label b in
+      let upd_done = Isa.Builder.new_label b in
+      Isa.Builder.br b Ne (reg 15) Isa.Reg.zero subtract;
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 18, reg 18, reg 3));
+      Isa.Builder.jmp b upd_done;
+      Isa.Builder.here b subtract;
+      Isa.Builder.ins b (Isa.Instr.Alu (Sub, reg 18, reg 18, reg 3));
+      Isa.Builder.here b upd_done;
+      emit_clamp b (reg 18) (reg 5) (-32768) 32767;
+      (* index += idxadj[delta of full code]; clamp *)
+      Isa.Builder.ins b (Isa.Instr.Alui (Sll, reg 5, reg 1, 2));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 5, reg 5, reg 21));
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 6, reg 5, 0));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 19, reg 19, reg 6));
+      emit_clamp b (reg 19) (reg 5) 0 88;
+      (* playback-side smoothing *)
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 1, reg 18, Isa.Reg.zero));
+      Isa.Builder.jal b l_post;
+      (* checksum and peak tracking *)
+      Isa.Builder.li b (reg 5) 29;
+      Isa.Builder.ins b (Isa.Instr.Alu (Mul, reg 22, reg 22, reg 5));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 22, reg 22, reg 18));
+      let no_peak = Isa.Builder.new_label b in
+      Isa.Builder.br b Lt (reg 18) (reg 23) no_peak;
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 23, reg 18, Isa.Reg.zero));
+      Isa.Builder.here b no_peak;
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 13, reg 13, -1));
+      Isa.Builder.br b Ne (reg 13) Isa.Reg.zero nibble_loop;
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 16, reg 16, 1));
+      Isa.Builder.br b Ne (reg 16) (reg 17) loop;
+      Isa.Builder.li b (reg 5) var_cksum;
+      Isa.Builder.ins b (Isa.Instr.St (reg 22, reg 5, 0));
+      Isa.Builder.li b (reg 5) var_peak;
+      Isa.Builder.ins b (Isa.Instr.St (reg 23, reg 5, 0));
+      Gen.epilogue b);
+
+  Isa.Builder.func b "init_input" l_init (fun () ->
+      Gen.fill_xorshift b ~buf_addr:inbuf ~bytes:(nibbles / 2) ~seed:0x5EED3;
+      Isa.Builder.ins b (Isa.Instr.Jr Isa.Reg.ra));
+
+  Isa.Builder.func b "main" l_main (fun () ->
+      Isa.Builder.jal b l_init;
+      Isa.Builder.jal b l_kernel;
+      Isa.Builder.jal b l_stats;
+      Isa.Builder.ins b Isa.Instr.Halt);
+
+  finish_image b r ~l_stats
+    ~vars:[ var_cksum; var_peak; var_outsum ]
+    ~app_bytes ~static_bytes;
+  Isa.Builder.build b

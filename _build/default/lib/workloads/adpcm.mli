@@ -1,0 +1,28 @@
+(** MediaBench-like IMA ADPCM encoder and decoder workloads.
+
+    Real IMA ADPCM arithmetic: the standard 89-entry step-size table,
+    the 4-bit quantiser with sign handling, predictor update with
+    clamping, and index adaptation. The encoder synthesises a jittered
+    triangle-wave input; the decoder consumes a deterministic nibble
+    stream. Both emit checksums.
+
+    Their code shape matches the paper's ARM experiments: a small hot
+    working set split across a kernel and two helper procedures
+    (quantise, byte emit) — sized so that the steady state fits in
+    roughly 900 bytes of CC memory but not 800 (Fig. 8) — plus a
+    terminal statistics routine that causes the end-of-run paging blip
+    the paper describes, and cold application + library code giving the
+    Fig. 9 footprint ratios (≈ 0.09 encode, ≈ 0.07 decode). *)
+
+val name_encode : string
+val name_decode : string
+
+val encode_image :
+  ?samples:int -> ?app_bytes:int -> ?static_bytes:int -> unit -> Isa.Image.t
+(** Defaults: 20000 samples, ≈ 9.9 KB application text, ≈ 18 KB total
+    static text. *)
+
+val decode_image :
+  ?nibbles:int -> ?app_bytes:int -> ?static_bytes:int -> unit -> Isa.Image.t
+(** Defaults: 40000 nibbles, ≈ 5.4 KB application text, ≈ 17 KB total
+    static text. *)

@@ -1,0 +1,185 @@
+let name = "cjpeg"
+
+let reg = Isa.Reg.r
+
+let zigzag = Dctgen.zigzag
+let qshift = Array.init 64 (fun i -> 1 + (i / 12))
+
+let image ?(width = 48) ?(height = 32) ?(passes = 6)
+    ?(app_bytes = 16500) ?(static_bytes = 30 * 1024) () =
+  if width mod 8 <> 0 || height mod 8 <> 0 then
+    invalid_arg "Cjpegw.image: dimensions must be multiples of 8";
+  let b = Isa.Builder.create "cjpeg" in
+  let r = Gen.rng 0xC19E6 in
+  let rgb = Isa.Builder.space b (width * height * 3) in
+  let blockbuf = Isa.Builder.space b (64 * 4) in
+  let dctbuf = Isa.Builder.space b (64 * 4) in
+  let dct2 = Isa.Builder.space b (64 * 4) in
+  let zz = Isa.Builder.words b zigzag in
+  let qs = Isa.Builder.words b qshift in
+  let var_cksum = Isa.Builder.word b 0 in
+  let var_bits = Isa.Builder.word b 0 in
+  let var_cb = Isa.Builder.word b 0 in
+  let var_cr = Isa.Builder.word b 0 in
+  let l_main = Isa.Builder.new_label b in
+  let l_init = Isa.Builder.new_label b in
+  let l_ycc = Isa.Builder.new_label b in
+  let l_dctrow = Isa.Builder.new_label b in
+  let l_dctcol = Isa.Builder.new_label b in
+  let l_dctblk = Isa.Builder.new_label b in
+  let l_entropy = Isa.Builder.new_label b in
+  let l_image = Isa.Builder.new_label b in
+  Isa.Builder.entry b l_main;
+
+  Dctgen.emit_pass b ~name:"cj_dct_row" ~in_stride:4 ~out_stride:4 l_dctrow;
+  Dctgen.emit_pass b ~name:"cj_dct_col" ~in_stride:32 ~out_stride:32 l_dctcol;
+  Dctgen.emit_block_driver b ~name:"cj_dct_block" ~src:blockbuf ~tmp:dctbuf
+    ~dst:dct2 ~row_pass:l_dctrow ~col_pass:l_dctcol l_dctblk;
+
+  (* --- colour conversion of one 8x8 block:
+         r1 = RGB byte address of the block's top-left pixel.
+         Luma goes to blockbuf; chroma accumulates into vars. --- *)
+  Isa.Builder.func b "rgb_to_ycc" l_ycc (fun () ->
+      Isa.Builder.li b (reg 2) blockbuf;
+      Isa.Builder.li b (reg 5) 8 (* rows *);
+      let row = Isa.Builder.label b in
+      Isa.Builder.li b (reg 6) 8 (* cols *);
+      let col = Isa.Builder.label b in
+      Isa.Builder.ins b (Isa.Instr.Ldb (reg 7, reg 1, 0));
+      Isa.Builder.ins b (Isa.Instr.Ldb (reg 8, reg 1, 1));
+      Isa.Builder.ins b (Isa.Instr.Ldb (reg 9, reg 1, 2));
+      (* y = (77 r + 150 g + 29 b) >> 8, centred *)
+      Isa.Builder.li b (reg 10) 77;
+      Isa.Builder.ins b (Isa.Instr.Alu (Mul, reg 10, reg 10, reg 7));
+      Isa.Builder.li b (reg 11) 150;
+      Isa.Builder.ins b (Isa.Instr.Alu (Mul, reg 11, reg 11, reg 8));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 10, reg 10, reg 11));
+      Isa.Builder.li b (reg 11) 29;
+      Isa.Builder.ins b (Isa.Instr.Alu (Mul, reg 11, reg 11, reg 9));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 10, reg 10, reg 11));
+      Isa.Builder.ins b (Isa.Instr.Alui (Srl, reg 10, reg 10, 8));
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 10, reg 10, -128));
+      Isa.Builder.ins b (Isa.Instr.St (reg 10, reg 2, 0));
+      (* cb += b - y', cr += r - y' (subsampled accumulation) *)
+      Isa.Builder.li b (reg 11) var_cb;
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 12, reg 11, 0));
+      Isa.Builder.ins b (Isa.Instr.Alu (Sub, reg 13, reg 9, reg 10));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 12, reg 12, reg 13));
+      Isa.Builder.ins b (Isa.Instr.St (reg 12, reg 11, 0));
+      Isa.Builder.li b (reg 11) var_cr;
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 12, reg 11, 0));
+      Isa.Builder.ins b (Isa.Instr.Alu (Sub, reg 13, reg 7, reg 10));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 12, reg 12, reg 13));
+      Isa.Builder.ins b (Isa.Instr.St (reg 12, reg 11, 0));
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 1, reg 1, 3));
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 2, reg 2, 4));
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 6, reg 6, -1));
+      Isa.Builder.br b Ne (reg 6) Isa.Reg.zero col;
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 1, reg 1, (width - 8) * 3));
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 5, reg 5, -1));
+      Isa.Builder.br b Ne (reg 5) Isa.Reg.zero row;
+      Isa.Builder.ins b (Isa.Instr.Jr Isa.Reg.ra));
+
+  (* --- quantise + entropy size estimate over the zigzag scan --- *)
+  Isa.Builder.func b "entropy_block" l_entropy (fun () ->
+      Isa.Builder.li b (reg 5) 0 (* i *);
+      Isa.Builder.li b (reg 6) 0 (* bits *);
+      Isa.Builder.li b (reg 7) 0 (* cksum *);
+      Isa.Builder.li b (reg 8) 0 (* zero run *);
+      let loop = Isa.Builder.label b in
+      Isa.Builder.ins b (Isa.Instr.Alui (Sll, reg 9, reg 5, 2));
+      Isa.Builder.li b (reg 10) zz;
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 10, reg 10, reg 9));
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 11, reg 10, 0));
+      Isa.Builder.ins b (Isa.Instr.Alui (Sll, reg 11, reg 11, 2));
+      Isa.Builder.li b (reg 10) dct2;
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 10, reg 10, reg 11));
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 12, reg 10, 0));
+      Isa.Builder.li b (reg 10) qs;
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 10, reg 10, reg 9));
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 13, reg 10, 0));
+      Isa.Builder.ins b (Isa.Instr.Alu (Sra, reg 12, reg 12, reg 13));
+      let zero = Isa.Builder.new_label b in
+      let cont = Isa.Builder.new_label b in
+      Isa.Builder.br b Eq (reg 12) Isa.Reg.zero zero;
+      (* |q| magnitude bits *)
+      Isa.Builder.ins b (Isa.Instr.Alui (Sra, reg 13, reg 12, 31));
+      Isa.Builder.ins b (Isa.Instr.Alu (Xor, reg 14, reg 12, reg 13));
+      Isa.Builder.ins b (Isa.Instr.Alu (Sub, reg 14, reg 14, reg 13));
+      let bits = Isa.Builder.label b in
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 6, reg 6, 1));
+      Isa.Builder.ins b (Isa.Instr.Alui (Srl, reg 14, reg 14, 1));
+      Isa.Builder.br b Ne (reg 14) Isa.Reg.zero bits;
+      (* fold (run, level) *)
+      Isa.Builder.li b (reg 13) 41;
+      Isa.Builder.ins b (Isa.Instr.Alu (Mul, reg 7, reg 7, reg 13));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 7, reg 7, reg 12));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 7, reg 7, reg 8));
+      Isa.Builder.li b (reg 8) 0;
+      Isa.Builder.jmp b cont;
+      Isa.Builder.here b zero;
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 8, reg 8, 1));
+      Isa.Builder.here b cont;
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 5, reg 5, 1));
+      Isa.Builder.li b (reg 9) 64;
+      Isa.Builder.br b Ne (reg 5) (reg 9) loop;
+      Isa.Builder.li b (reg 5) var_cksum;
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 9, reg 5, 0));
+      Isa.Builder.li b (reg 10) 8191;
+      Isa.Builder.ins b (Isa.Instr.Alu (Mul, reg 9, reg 9, reg 10));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 9, reg 9, reg 7));
+      Isa.Builder.ins b (Isa.Instr.St (reg 9, reg 5, 0));
+      Isa.Builder.li b (reg 5) var_bits;
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 9, reg 5, 0));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 9, reg 9, reg 6));
+      Isa.Builder.ins b (Isa.Instr.St (reg 9, reg 5, 0));
+      Isa.Builder.ins b (Isa.Instr.Jr Isa.Reg.ra));
+
+  (* --- sweep all blocks of the image --- *)
+  Isa.Builder.func b "compress_image" l_image (fun () ->
+      Gen.prologue b;
+      Isa.Builder.li b (reg 16) 0 (* by *);
+      let byloop = Isa.Builder.label b in
+      Isa.Builder.li b (reg 17) 0 (* bx *);
+      let bxloop = Isa.Builder.label b in
+      Isa.Builder.li b (reg 5) (8 * width * 3);
+      Isa.Builder.ins b (Isa.Instr.Alu (Mul, reg 5, reg 5, reg 16));
+      Isa.Builder.li b (reg 6) 24;
+      Isa.Builder.ins b (Isa.Instr.Alu (Mul, reg 6, reg 6, reg 17));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 5, reg 5, reg 6));
+      Isa.Builder.li b (reg 1) rgb;
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 1, reg 1, reg 5));
+      Isa.Builder.jal b l_ycc;
+      Isa.Builder.jal b l_dctblk;
+      Isa.Builder.jal b l_entropy;
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 17, reg 17, 1));
+      Isa.Builder.li b (reg 5) (width / 8);
+      Isa.Builder.br b Ne (reg 17) (reg 5) bxloop;
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 16, reg 16, 1));
+      Isa.Builder.li b (reg 5) (height / 8);
+      Isa.Builder.br b Ne (reg 16) (reg 5) byloop;
+      Gen.epilogue b);
+
+  Isa.Builder.func b "init_image" l_init (fun () ->
+      Gen.fill_xorshift b ~buf_addr:rgb ~bytes:(width * height * 3)
+        ~seed:0x5EED7;
+      Isa.Builder.ins b (Isa.Instr.Jr Isa.Reg.ra));
+
+  Isa.Builder.func b "main" l_main (fun () ->
+      Isa.Builder.jal b l_init;
+      Isa.Builder.li b (reg 20) passes;
+      let ploop = Isa.Builder.label b in
+      Isa.Builder.jal b l_image;
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 20, reg 20, -1));
+      Isa.Builder.br b Ne (reg 20) Isa.Reg.zero ploop;
+      List.iter
+        (fun v ->
+          Isa.Builder.li b (reg 5) v;
+          Isa.Builder.ins b (Isa.Instr.Ld (reg 6, reg 5, 0));
+          Isa.Builder.ins b (Isa.Instr.Out (reg 6)))
+        [ var_cksum; var_bits; var_cb; var_cr ];
+      Isa.Builder.ins b Isa.Instr.Halt);
+
+  Gen.pad_cold_to b r ~prefix:"app_cold" ~target_bytes:app_bytes;
+  Gen.pad_cold_to b r ~prefix:"libc_pad" ~target_bytes:static_bytes;
+  Isa.Builder.build b

@@ -1,0 +1,21 @@
+(** cjpeg-like workload (ARM prototype benchmark).
+
+    A JPEG-compression front end: per 8x8 block, fixed-point RGB to
+    YCbCr conversion with chroma accumulation, the shared unrolled 2-D
+    DCT, quantisation, and a bit-size entropy estimate (magnitude bits
+    plus zero-run statistics) standing in for Huffman coding. The
+    unrolled DCT makes its hot set the largest of the four Fig. 9
+    programs (≈ 0.13 of application text). *)
+
+val name : string
+
+val image :
+  ?width:int ->
+  ?height:int ->
+  ?passes:int ->
+  ?app_bytes:int ->
+  ?static_bytes:int ->
+  unit ->
+  Isa.Image.t
+(** Defaults: a 48x32 image swept 6 times, ≈ 16.5 KB application text,
+    ≈ 30 KB total static text. *)

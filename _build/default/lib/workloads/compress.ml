@@ -1,0 +1,216 @@
+let name = "compress95"
+
+let reg = Isa.Reg.r
+
+(* hash table geometry *)
+let hsize = 1024
+let hmask = hsize - 1
+
+let image ?(input_bytes = 12000) ?(stages = 24) ?(stage_instrs = 55)
+    ?(static_bytes = 56 * 1024) () =
+  let b = Isa.Builder.create "compress95" in
+  let r = Gen.rng 0xC0135 in
+  (* data *)
+  let input = Isa.Builder.space b input_bytes in
+  let table = Isa.Builder.space b (hsize * 8) in
+  let state = Isa.Builder.space b (stages * 8) in
+  let var_checksum = Isa.Builder.word b 0 in
+  let var_outsum = Isa.Builder.word b 0 in
+  let var_count = Isa.Builder.word b 0 in
+  let var_bitbuf = Isa.Builder.word b 0 in
+  let var_bitcnt = Isa.Builder.word b 0 in
+  (* labels *)
+  let l_main = Isa.Builder.new_label b in
+  let l_init = Isa.Builder.new_label b in
+  let l_clear = Isa.Builder.new_label b in
+  let l_lookup = Isa.Builder.new_label b in
+  let l_insert = Isa.Builder.new_label b in
+  let l_emit = Isa.Builder.new_label b in
+  let l_run = Isa.Builder.new_label b in
+  let l_flush = Isa.Builder.new_label b in
+  Isa.Builder.entry b l_main;
+
+  (* --- hot generated stages --- *)
+  let stage_labels =
+    Gen.stage_functions b r ~prefix:"stage" ~state_addr:state ~count:stages
+      ~body_instrs:stage_instrs
+  in
+
+  (* --- hash_lookup: r1 = key -> r2 = code or -1, r3 = slot addr --- *)
+  Isa.Builder.func b "hash_lookup" l_lookup (fun () ->
+      Isa.Builder.li b (reg 5) 0x9E3779B1;
+      Isa.Builder.ins b (Isa.Instr.Alu (Mul, reg 5, reg 1, reg 5));
+      Isa.Builder.ins b (Isa.Instr.Alui (Srl, reg 5, reg 5, 20));
+      Isa.Builder.ins b (Isa.Instr.Alui (And, reg 5, reg 5, hmask));
+      Isa.Builder.li b (reg 6) table;
+      let probe = Isa.Builder.label b in
+      Isa.Builder.ins b (Isa.Instr.Alui (Sll, reg 3, reg 5, 3));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 3, reg 3, reg 6));
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 7, reg 3, 0));
+      let found = Isa.Builder.new_label b in
+      let missing = Isa.Builder.new_label b in
+      Isa.Builder.br b Eq (reg 7) (reg 1) found;
+      Isa.Builder.li b (reg 8) (-1);
+      Isa.Builder.br b Eq (reg 7) (reg 8) missing;
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 5, reg 5, 1));
+      Isa.Builder.ins b (Isa.Instr.Alui (And, reg 5, reg 5, hmask));
+      Isa.Builder.jmp b probe;
+      Isa.Builder.here b found;
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 2, reg 3, 4));
+      Isa.Builder.ins b (Isa.Instr.Jr Isa.Reg.ra);
+      Isa.Builder.here b missing;
+      Isa.Builder.li b (reg 2) (-1);
+      Isa.Builder.ins b (Isa.Instr.Jr Isa.Reg.ra));
+
+  (* --- table_insert: r1 = key, r2 = code, r3 = slot addr --- *)
+  Isa.Builder.func b "table_insert" l_insert (fun () ->
+      Isa.Builder.ins b (Isa.Instr.St (reg 1, reg 3, 0));
+      Isa.Builder.ins b (Isa.Instr.St (reg 2, reg 3, 4));
+      Isa.Builder.ins b (Isa.Instr.Jr Isa.Reg.ra));
+
+  (* --- emit_code: r1 = code; 9-bit pack + running checksums --- *)
+  Isa.Builder.func b "emit_code" l_emit (fun () ->
+      (* checksum = checksum * 31 + code *)
+      Isa.Builder.li b (reg 5) var_checksum;
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 6, reg 5, 0));
+      Isa.Builder.li b (reg 7) 31;
+      Isa.Builder.ins b (Isa.Instr.Alu (Mul, reg 6, reg 6, reg 7));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 6, reg 6, reg 1));
+      Isa.Builder.ins b (Isa.Instr.St (reg 6, reg 5, 0));
+      (* count++ *)
+      Isa.Builder.li b (reg 5) var_count;
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 6, reg 5, 0));
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 6, reg 6, 1));
+      Isa.Builder.ins b (Isa.Instr.St (reg 6, reg 5, 0));
+      (* bitbuf |= code << bitcnt; bitcnt += 9 *)
+      Isa.Builder.li b (reg 5) var_bitbuf;
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 6, reg 5, 0));
+      Isa.Builder.li b (reg 8) var_bitcnt;
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 9, reg 8, 0));
+      Isa.Builder.ins b (Isa.Instr.Alu (Sll, reg 7, reg 1, reg 9));
+      Isa.Builder.ins b (Isa.Instr.Alu (Or, reg 6, reg 6, reg 7));
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 9, reg 9, 9));
+      (* while bitcnt >= 8: outsum = outsum*17 + (bitbuf & 255) *)
+      let drain = Isa.Builder.label b in
+      let done_ = Isa.Builder.new_label b in
+      Isa.Builder.li b (reg 10) 8;
+      Isa.Builder.br b Lt (reg 9) (reg 10) done_;
+      Isa.Builder.ins b (Isa.Instr.Alui (And, reg 10, reg 6, 255));
+      Isa.Builder.li b (reg 11) var_outsum;
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 12, reg 11, 0));
+      Isa.Builder.li b (reg 13) 17;
+      Isa.Builder.ins b (Isa.Instr.Alu (Mul, reg 12, reg 12, reg 13));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 12, reg 12, reg 10));
+      Isa.Builder.ins b (Isa.Instr.St (reg 12, reg 11, 0));
+      Isa.Builder.ins b (Isa.Instr.Alui (Srl, reg 6, reg 6, 8));
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 9, reg 9, -8));
+      Isa.Builder.jmp b drain;
+      Isa.Builder.here b done_;
+      Isa.Builder.ins b (Isa.Instr.St (reg 6, reg 5, 0));
+      Isa.Builder.ins b (Isa.Instr.St (reg 9, reg 8, 0));
+      Isa.Builder.ins b (Isa.Instr.Jr Isa.Reg.ra));
+
+  (* --- clear_table: keys := -1 --- *)
+  Isa.Builder.func b "clear_table" l_clear (fun () ->
+      Isa.Builder.li b (reg 5) table;
+      Isa.Builder.li b (reg 6) (table + (hsize * 8));
+      Isa.Builder.li b (reg 7) (-1);
+      let top = Isa.Builder.label b in
+      Isa.Builder.ins b (Isa.Instr.St (reg 7, reg 5, 0));
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 5, reg 5, 8));
+      Isa.Builder.br b Ne (reg 5) (reg 6) top;
+      Isa.Builder.ins b (Isa.Instr.Jr Isa.Reg.ra));
+
+  (* --- init_input: fill the buffer, touch a little library code --- *)
+  let crt = Gen.cold_functions b r ~prefix:"libc_crt" ~count:3 ~body_instrs:25 in
+  Isa.Builder.func b "init_input" l_init (fun () ->
+      Gen.prologue b;
+      Gen.fill_xorshift b ~buf_addr:input ~bytes:input_bytes ~seed:0x5EED1;
+      Array.iter (fun l -> Isa.Builder.jal b l) crt;
+      Gen.epilogue b);
+
+  (* --- compress_run: the hot kernel --- *)
+  Isa.Builder.func b "compress_run" l_run (fun () ->
+      Gen.prologue b;
+      Isa.Builder.li b (reg 16) input;
+      Isa.Builder.li b (reg 17) (input + input_bytes);
+      Isa.Builder.li b (reg 18) 0 (* prefix *);
+      Isa.Builder.li b (reg 19) 1 (* stage accumulator *);
+      Isa.Builder.li b (reg 22) 256 (* next_code *);
+      Isa.Builder.li b (reg 23) 0 (* table fill *);
+      let loop = Isa.Builder.label b in
+      Isa.Builder.ins b (Isa.Instr.Ldb (reg 5, reg 16, 0));
+      (* key = prefix << 8 | byte *)
+      Isa.Builder.ins b (Isa.Instr.Alui (Sll, reg 20, reg 18, 8));
+      Isa.Builder.ins b (Isa.Instr.Alu (Or, reg 20, reg 20, reg 5));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 1, reg 20, Isa.Reg.zero));
+      Isa.Builder.ins b (Isa.Instr.St (reg 5, Isa.Reg.sp, 0) (* save byte *));
+      Isa.Builder.jal b l_lookup;
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 5, Isa.Reg.sp, 0));
+      let miss = Isa.Builder.new_label b in
+      let next = Isa.Builder.new_label b in
+      Isa.Builder.li b (reg 6) (-1);
+      Isa.Builder.br b Eq (reg 2) (reg 6) miss;
+      (* hit: extend prefix *)
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 18, reg 2, Isa.Reg.zero));
+      Isa.Builder.jmp b next;
+      Isa.Builder.here b miss;
+      (* emit prefix, insert (key -> next_code), restart at byte *)
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 21, reg 3, Isa.Reg.zero));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 1, reg 18, Isa.Reg.zero));
+      Isa.Builder.jal b l_emit;
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 1, reg 20, Isa.Reg.zero));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 2, reg 22, Isa.Reg.zero));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 3, reg 21, Isa.Reg.zero));
+      Isa.Builder.jal b l_insert;
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 22, reg 22, 1));
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 23, reg 23, 1));
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 5, Isa.Reg.sp, 0));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 18, reg 5, Isa.Reg.zero));
+      (* dictionary reset when the table gets crowded *)
+      Isa.Builder.li b (reg 6) 700;
+      let no_reset = Isa.Builder.new_label b in
+      Isa.Builder.br b Lt (reg 23) (reg 6) no_reset;
+      Isa.Builder.jal b l_clear;
+      Isa.Builder.li b (reg 22) 256;
+      Isa.Builder.li b (reg 23) 0;
+      Isa.Builder.here b no_reset;
+      Isa.Builder.here b next;
+      (* run the transform stages on every 16th byte *)
+      let skip_stages = Isa.Builder.new_label b in
+      Isa.Builder.ins b (Isa.Instr.Alui (And, reg 6, reg 16, 0x3C));
+      Isa.Builder.br b Ne (reg 6) Isa.Reg.zero skip_stages;
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 1, reg 19, Isa.Reg.zero));
+      Gen.call_stages b stage_labels;
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 19, reg 1, Isa.Reg.zero));
+      Isa.Builder.here b skip_stages;
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 16, reg 16, 1));
+      Isa.Builder.br b Ne (reg 16) (reg 17) loop;
+      (* final emit of the last prefix *)
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 1, reg 18, Isa.Reg.zero));
+      Isa.Builder.jal b l_emit;
+      Gen.epilogue b);
+
+  (* --- flush_stats: observable outputs --- *)
+  Isa.Builder.func b "flush_stats" l_flush (fun () ->
+      List.iter
+        (fun v ->
+          Isa.Builder.li b (reg 5) v;
+          Isa.Builder.ins b (Isa.Instr.Ld (reg 6, reg 5, 0));
+          Isa.Builder.ins b (Isa.Instr.Out (reg 6)))
+        [ var_count; var_checksum; var_outsum; var_bitcnt ];
+      Isa.Builder.ins b (Isa.Instr.Jr Isa.Reg.ra));
+
+  (* --- main --- *)
+  Isa.Builder.func b "main" l_main (fun () ->
+      (* reserve one scratch slot used by compress_run *)
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, Isa.Reg.sp, Isa.Reg.sp, -16));
+      Isa.Builder.jal b l_clear;
+      Isa.Builder.jal b l_init;
+      Isa.Builder.jal b l_run;
+      Isa.Builder.jal b l_flush;
+      Isa.Builder.ins b Isa.Instr.Halt);
+
+  (* --- cold library padding up to the static target --- *)
+  Gen.pad_cold_to b r ~prefix:"libc_pad" ~target_bytes:static_bytes;
+  Isa.Builder.build b

@@ -1,0 +1,25 @@
+(** 129.compress-like workload.
+
+    An LZW-style compressor matched in structure to SPEC95's
+    129.compress: a byte-at-a-time main loop probing an open-addressing
+    hash table of (prefix, char) strings, code emission with bit
+    packing, periodic dictionary resets, plus generated hot transform
+    stages that size the steady-state working set and cold library
+    padding that sizes the static footprint (Table 1's 21 KB dynamic /
+    193 KB static shape, scaled).
+
+    The program fills its own input with biased deterministic noise,
+    compresses it, and emits four checksums ([Out]) that equivalence
+    tests compare against native execution. *)
+
+val name : string
+
+val image :
+  ?input_bytes:int ->
+  ?stages:int ->
+  ?stage_instrs:int ->
+  ?static_bytes:int ->
+  unit ->
+  Isa.Image.t
+(** Defaults: 12000 input bytes, 24 stages of ~55 instructions
+    (≈ 6 KB hot code), 56 KB static text. *)

@@ -1,0 +1,82 @@
+let reg = Isa.Reg.r
+
+(* zigzag scan order for an 8x8 block *)
+let zigzag =
+  [|
+    0; 1; 8; 16; 9; 2; 3; 10; 17; 24; 32; 25; 18; 11; 4; 5; 12; 19; 26; 33;
+    40; 48; 41; 34; 27; 20; 13; 6; 7; 14; 21; 28; 35; 42; 49; 56; 57; 50;
+    43; 36; 29; 22; 15; 23; 30; 37; 44; 51; 58; 59; 52; 45; 38; 31; 39; 46;
+    53; 60; 61; 54; 47; 55; 62; 63;
+  |]
+
+(* DCT-II coefficients scaled by 64: c.(k).(n) for output k, input n. *)
+let coeffs =
+  Array.init 8 (fun k ->
+      Array.init 8 (fun n ->
+          let c =
+            cos (Float.pi *. float_of_int ((2 * n) + 1) *. float_of_int k /. 16.0)
+          in
+          int_of_float (Float.round (64.0 *. c))))
+
+let emit_pass b ~name ~in_stride ~out_stride label =
+  Isa.Builder.func b name label (fun () ->
+      (* load the 8 inputs into r5..r12 *)
+      for n = 0 to 7 do
+        Isa.Builder.ins b (Isa.Instr.Ld (reg (5 + n), reg 1, n * in_stride))
+      done;
+      (* each output: unrolled multiply-accumulate chain *)
+      for k = 0 to 7 do
+        Isa.Builder.li b (reg 13) 0;
+        for n = 0 to 7 do
+          let c = coeffs.(k).(n) in
+          if c <> 0 then begin
+            Isa.Builder.li b (reg 14) c;
+            Isa.Builder.ins b (Isa.Instr.Alu (Mul, reg 14, reg 14, reg (5 + n)));
+            Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 13, reg 13, reg 14))
+          end
+        done;
+        Isa.Builder.ins b (Isa.Instr.Alui (Sra, reg 13, reg 13, 6));
+        Isa.Builder.ins b (Isa.Instr.St (reg 13, reg 2, k * out_stride))
+      done;
+      Isa.Builder.ins b (Isa.Instr.Jr Isa.Reg.ra))
+
+let sad8 b ~name label =
+  Isa.Builder.func b name label (fun () ->
+      Isa.Builder.li b (reg 15) 0;
+      for n = 0 to 7 do
+        Isa.Builder.ins b (Isa.Instr.Ld (reg 5, reg 1, n * 4));
+        Isa.Builder.ins b (Isa.Instr.Ld (reg 6, reg 2, n * 4));
+        Isa.Builder.ins b (Isa.Instr.Alu (Sub, reg 5, reg 5, reg 6));
+        Isa.Builder.ins b (Isa.Instr.Alui (Sra, reg 7, reg 5, 31));
+        Isa.Builder.ins b (Isa.Instr.Alu (Xor, reg 5, reg 5, reg 7));
+        Isa.Builder.ins b (Isa.Instr.Alu (Sub, reg 5, reg 5, reg 7));
+        Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 15, reg 15, reg 5))
+      done;
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 2, reg 15, Isa.Reg.zero));
+      Isa.Builder.ins b (Isa.Instr.Jr Isa.Reg.ra))
+
+let emit_block_driver b ~name ~src ~tmp ~dst ~row_pass ~col_pass label =
+  Isa.Builder.func b name label (fun () ->
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, Isa.Reg.sp, Isa.Reg.sp, -8));
+      Isa.Builder.ins b (Isa.Instr.St (Isa.Reg.ra, Isa.Reg.sp, 4));
+      let emit_loop src dst shift pass =
+        Isa.Builder.ins b (Isa.Instr.St (Isa.Reg.zero, Isa.Reg.sp, 0));
+        let loop = Isa.Builder.label b in
+        Isa.Builder.ins b (Isa.Instr.Ld (reg 5, Isa.Reg.sp, 0));
+        Isa.Builder.ins b (Isa.Instr.Alui (Sll, reg 6, reg 5, shift));
+        Isa.Builder.li b (reg 1) src;
+        Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 1, reg 1, reg 6));
+        Isa.Builder.li b (reg 2) dst;
+        Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 2, reg 2, reg 6));
+        Isa.Builder.jal b pass;
+        Isa.Builder.ins b (Isa.Instr.Ld (reg 5, Isa.Reg.sp, 0));
+        Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 5, reg 5, 1));
+        Isa.Builder.ins b (Isa.Instr.St (reg 5, Isa.Reg.sp, 0));
+        Isa.Builder.li b (reg 6) 8;
+        Isa.Builder.br b Ne (reg 5) (reg 6) loop
+      in
+      emit_loop src tmp 5 row_pass;
+      emit_loop tmp dst 2 col_pass;
+      Isa.Builder.ins b (Isa.Instr.Ld (Isa.Reg.ra, Isa.Reg.sp, 4));
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, Isa.Reg.sp, Isa.Reg.sp, 8));
+      Isa.Builder.ins b (Isa.Instr.Jr Isa.Reg.ra))

@@ -1,0 +1,42 @@
+(** Emitter for unrolled 8-point DCT passes.
+
+    Real fixed-point DCT-II arithmetic (coefficients scaled by 64,
+    accumulator renormalised by an arithmetic shift), fully unrolled the
+    way performance-tuned codecs ship it — which is exactly what gives
+    MPEG- and JPEG-class programs their large hot code footprints. Used
+    by the mpeg2enc and cjpeg workloads. *)
+
+val zigzag : int array
+(** The canonical zigzag scan order of an 8x8 coefficient block. *)
+
+val emit_pass :
+  Isa.Builder.t ->
+  name:string ->
+  in_stride:int ->
+  out_stride:int ->
+  Isa.Builder.label ->
+  unit
+(** Emit a procedure transforming 8 32-bit values: r1 = source base,
+    r2 = destination base (distinct buffers), elements [in_stride] /
+    [out_stride] bytes apart. Clobbers r5-r15. Roughly 250
+    instructions (~1 KB). *)
+
+val emit_block_driver :
+  Isa.Builder.t ->
+  name:string ->
+  src:int ->
+  tmp:int ->
+  dst:int ->
+  row_pass:Isa.Builder.label ->
+  col_pass:Isa.Builder.label ->
+  Isa.Builder.label ->
+  unit
+(** Emit a procedure running a full 2-D 8x8 transform: 8 row passes
+    [src] -> [tmp], then 8 column passes [tmp] -> [dst]. The buffers
+    are fixed data addresses (64 words each). Non-leaf; keeps its loop
+    counter in its frame because the passes clobber r5-r15. *)
+
+val sad8 :
+  Isa.Builder.t -> name:string -> Isa.Builder.label -> unit
+(** Emit a procedure computing the sum of absolute differences of two
+    8-word vectors: r1 = base a, r2 = base b -> r2 = SAD. Unrolled. *)

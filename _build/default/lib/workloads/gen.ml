@@ -1,0 +1,151 @@
+type rng = { mutable s : int }
+
+let rng seed = { s = (if seed = 0 then 0x9E3779B9 else seed land 0x3FFFFFFF) }
+
+let next r =
+  let x = r.s in
+  let x = x lxor (x lsl 13) land 0x3FFFFFFF in
+  let x = x lxor (x lsr 17) in
+  let x = x lxor (x lsl 5) land 0x3FFFFFFF in
+  r.s <- x;
+  x
+
+let range r n =
+  if n <= 0 then invalid_arg "Gen.range";
+  next r mod n
+
+let reg = Isa.Reg.r
+
+let prologue b =
+  Isa.Builder.ins b (Isa.Instr.Alui (Add, Isa.Reg.sp, Isa.Reg.sp, -8));
+  Isa.Builder.ins b (Isa.Instr.St (Isa.Reg.ra, Isa.Reg.sp, 4))
+
+let epilogue b =
+  Isa.Builder.ins b (Isa.Instr.Ld (Isa.Reg.ra, Isa.Reg.sp, 4));
+  Isa.Builder.ins b (Isa.Instr.Alui (Add, Isa.Reg.sp, Isa.Reg.sp, 8));
+  Isa.Builder.ins b (Isa.Instr.Jr Isa.Reg.ra)
+
+(* One random ALU operation over the working registers. Division is
+   avoided (fault risk); multiplication is rationed (cost). *)
+let emit_mix_op b r regs acc =
+  let pick () = regs.(range r (Array.length regs)) in
+  let dst = pick () and src = pick () in
+  match range r 8 with
+  | 0 -> Isa.Builder.ins b (Isa.Instr.Alu (Add, dst, src, acc))
+  | 1 -> Isa.Builder.ins b (Isa.Instr.Alu (Xor, dst, dst, src))
+  | 2 -> Isa.Builder.ins b (Isa.Instr.Alui (Add, dst, src, range r 256 - 128))
+  | 3 -> Isa.Builder.ins b (Isa.Instr.Alui (Sll, dst, src, 1 + range r 4))
+  | 4 -> Isa.Builder.ins b (Isa.Instr.Alui (Srl, dst, src, 1 + range r 8))
+  | 5 -> Isa.Builder.ins b (Isa.Instr.Alu (Sub, dst, acc, src))
+  | 6 -> Isa.Builder.ins b (Isa.Instr.Alui (Xor, dst, src, range r 4096))
+  | _ -> Isa.Builder.ins b (Isa.Instr.Alu (Or, dst, dst, src))
+
+(* A data-dependent forward skip over a few operations. *)
+let emit_skip b r regs acc =
+  let skip = Isa.Builder.new_label b in
+  let t = regs.(range r (Array.length regs)) in
+  Isa.Builder.ins b (Isa.Instr.Alui (And, reg 12, t, 1 + range r 3));
+  Isa.Builder.br b Ne (reg 12) Isa.Reg.zero skip;
+  for _ = 0 to 1 + range r 2 do
+    emit_mix_op b r regs acc
+  done;
+  Isa.Builder.here b skip
+
+(* A short counted loop. *)
+let emit_mini_loop b r regs acc =
+  let n = 2 + range r 4 in
+  Isa.Builder.li b (reg 13) n;
+  let top = Isa.Builder.label b in
+  for _ = 0 to range r 2 do
+    emit_mix_op b r regs acc
+  done;
+  Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 13, reg 13, -1));
+  Isa.Builder.br b Ne (reg 13) Isa.Reg.zero top
+
+let stage_functions b r ~prefix ~state_addr ~count ~body_instrs =
+  let labels = Array.init count (fun _ -> Isa.Builder.new_label b) in
+  Array.iteri
+    (fun i l ->
+      Isa.Builder.func b (Printf.sprintf "%s%d" prefix i) l (fun () ->
+          let regs = [| reg 1; reg 6; reg 7; reg 8; reg 9; reg 10 |] in
+          let acc = reg 1 in
+          Isa.Builder.li b (reg 5) (state_addr + (8 * i));
+          Isa.Builder.ins b (Isa.Instr.Ld (reg 6, reg 5, 0));
+          Isa.Builder.ins b (Isa.Instr.Ld (reg 7, reg 5, 4));
+          let budget = ref body_instrs in
+          while !budget > 0 do
+            (match range r 10 with
+            | 0 | 1 ->
+              emit_skip b r regs acc;
+              budget := !budget - 6
+            | 2 ->
+              emit_mini_loop b r regs acc;
+              budget := !budget - 5
+            | _ ->
+              emit_mix_op b r regs acc;
+              decr budget)
+          done;
+          (* fold the temporaries back into state and the result *)
+          Isa.Builder.ins b (Isa.Instr.Alu (Xor, reg 6, reg 6, reg 9));
+          Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 7, reg 7, reg 10));
+          Isa.Builder.ins b (Isa.Instr.St (reg 6, reg 5, 0));
+          Isa.Builder.ins b (Isa.Instr.St (reg 7, reg 5, 4));
+          Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 2, reg 1, reg 8));
+          Isa.Builder.ins b (Isa.Instr.Alu (Xor, reg 2, reg 2, reg 6));
+          Isa.Builder.ins b (Isa.Instr.Jr Isa.Reg.ra)))
+    labels;
+  labels
+
+let call_stages b labels =
+  Array.iter
+    (fun l ->
+      Isa.Builder.jal b l;
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 1, reg 2, Isa.Reg.zero)))
+    labels
+
+let cold_functions b r ~prefix ~count ~body_instrs =
+  let labels = Array.init count (fun _ -> Isa.Builder.new_label b) in
+  Array.iteri
+    (fun i l ->
+      Isa.Builder.func b (Printf.sprintf "%s%d" prefix i) l (fun () ->
+          let regs = [| reg 5; reg 6; reg 7; reg 8; reg 9 |] in
+          Isa.Builder.li b (reg 5) (next r land 0xFFFF);
+          for _ = 2 to body_instrs do
+            emit_mix_op b r regs (reg 5)
+          done;
+          Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 2, reg 5, reg 9));
+          Isa.Builder.ins b (Isa.Instr.Jr Isa.Reg.ra)))
+    labels;
+  labels
+
+let pad_cold_to b r ~prefix ~target_bytes =
+  let i = ref 0 in
+  while Isa.Builder.code_size_bytes b < target_bytes - 200 do
+    let body = 30 + range r 40 in
+    ignore
+      (cold_functions b r
+         ~prefix:(Printf.sprintf "%s_%d_" prefix !i)
+         ~count:1 ~body_instrs:body);
+    incr i
+  done
+
+let fill_xorshift b ~buf_addr ~bytes ~seed =
+  Isa.Builder.li b (reg 5) buf_addr;
+  Isa.Builder.li b (reg 6) (buf_addr + bytes);
+  Isa.Builder.li b (reg 7) seed;
+  let top = Isa.Builder.label b in
+  (* xorshift step *)
+  Isa.Builder.ins b (Isa.Instr.Alui (Sll, reg 8, reg 7, 13));
+  Isa.Builder.ins b (Isa.Instr.Alu (Xor, reg 7, reg 7, reg 8));
+  Isa.Builder.ins b (Isa.Instr.Alui (Srl, reg 8, reg 7, 17));
+  Isa.Builder.ins b (Isa.Instr.Alu (Xor, reg 7, reg 7, reg 8));
+  Isa.Builder.ins b (Isa.Instr.Alui (Sll, reg 8, reg 7, 5));
+  Isa.Builder.ins b (Isa.Instr.Alu (Xor, reg 7, reg 7, reg 8));
+  (* bias towards few distinct bytes so the data compresses *)
+  Isa.Builder.ins b (Isa.Instr.Alui (And, reg 9, reg 7, 0x0F));
+  Isa.Builder.ins b (Isa.Instr.Alui (And, reg 8, reg 7, 0x300));
+  Isa.Builder.ins b (Isa.Instr.Alui (Srl, reg 8, reg 8, 4));
+  Isa.Builder.ins b (Isa.Instr.Alu (Or, reg 9, reg 9, reg 8));
+  Isa.Builder.ins b (Isa.Instr.Stb (reg 9, reg 5, 0));
+  Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 5, reg 5, 1));
+  Isa.Builder.br b Ne (reg 5) (reg 6) top

@@ -1,0 +1,78 @@
+(** Shared machinery for the synthetic workload suite.
+
+    The paper evaluates on 129.compress (SPEC95), MediaBench codecs and
+    local applications. Those binaries and inputs are not available
+    here, so each workload is a synthetic ERISC program whose *code
+    shape* is controlled: a hand-written semantic kernel (real LZW
+    hashing, real ADPCM quantisation, real DCT arithmetic, ...) plus
+    generated hot "stage" procedures that bulk the steady-state working
+    set to the intended size, plus generated cold library code that
+    sets the static footprint. All generation is driven by a seeded
+    deterministic PRNG, so images are reproducible and executions are
+    checkable against native runs.
+
+    Register convention used by all workloads: r1-r4 arguments and
+    results, r5-r15 caller-saved temporaries, r16-r23 callee-saved,
+    r24-r29 workload globals, [sp]/[ra] as architected. *)
+
+type rng
+
+val rng : int -> rng
+(** Seeded xorshift generator. *)
+
+val next : rng -> int
+(** Next 30-bit non-negative value. *)
+
+val range : rng -> int -> int
+(** [range r n] is uniform-ish in [0, n). [n > 0]. *)
+
+val prologue : Isa.Builder.t -> unit
+(** Non-leaf function entry: push [ra] (8-byte frame). *)
+
+val epilogue : Isa.Builder.t -> unit
+(** Pop [ra] and return. *)
+
+val stage_functions :
+  Isa.Builder.t ->
+  rng ->
+  prefix:string ->
+  state_addr:int ->
+  count:int ->
+  body_instrs:int ->
+  Isa.Builder.label array
+(** Generate [count] hot leaf procedures named [prefix0..]. Each takes
+    a value in r1, mixes it with two words of per-stage state at
+    [state_addr + 8*i] through ~[body_instrs] ALU operations seasoned
+    with data-dependent forward branches and small counted loops, and
+    returns the mixed value in r2. The state reads/writes make stages
+    genuine dataflow, not dead code. *)
+
+val call_stages :
+  Isa.Builder.t -> Isa.Builder.label array -> unit
+(** Emit direct calls to every stage in order, threading r2 back into
+    r1 — the "wide hot loop body" pattern that sets a workload's
+    steady-state footprint. Caller must have pushed [ra]. *)
+
+val cold_functions :
+  Isa.Builder.t ->
+  rng ->
+  prefix:string ->
+  count:int ->
+  body_instrs:int ->
+  Isa.Builder.label array
+(** Generate cold leaf procedures (straight-line arithmetic on
+    temporaries, no memory traffic). They exist to give images
+    realistic static footprints; callers may invoke a few during
+    initialisation so that "cold" is not "dead". *)
+
+val pad_cold_to :
+  Isa.Builder.t -> rng -> prefix:string -> target_bytes:int -> unit
+(** Append cold functions until the text segment reaches
+    [target_bytes] (approximately; it never overshoots by more than
+    one small function). *)
+
+val fill_xorshift :
+  Isa.Builder.t -> buf_addr:int -> bytes:int -> seed:int -> unit
+(** Emit an initialisation loop that fills a byte buffer with a
+    deterministic xorshift sequence, byte-reduced with a bias that
+    creates repetitions (compressible data). Clobbers r5-r9. *)

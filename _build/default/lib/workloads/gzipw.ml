@@ -1,0 +1,190 @@
+let name = "gzip"
+
+let reg = Isa.Reg.r
+let hsize = 512
+let hmask = hsize - 1
+let wsize = 2048 (* prev-chain table entries *)
+let wmask = wsize - 1
+let window = 4096
+let max_match = 64
+let max_chain = 8
+
+let image ?(input_bytes = 16 * 1024) ?(app_bytes = 4800)
+    ?(static_bytes = 20 * 1024) () =
+  let b = Isa.Builder.create "gzip" in
+  let r = Gen.rng 0x621B5 in
+  let input = Isa.Builder.space b (input_bytes + 8) in
+  let head = Isa.Builder.space b (hsize * 4) in
+  let prev = Isa.Builder.space b (wsize * 4) in
+  let var_cksum = Isa.Builder.word b 0 in
+  let var_lits = Isa.Builder.word b 0 in
+  let var_matches = Isa.Builder.word b 0 in
+  let var_matched_bytes = Isa.Builder.word b 0 in
+  let l_main = Isa.Builder.new_label b in
+  let l_init = Isa.Builder.new_label b in
+  let l_matchlen = Isa.Builder.new_label b in
+  let l_emit = Isa.Builder.new_label b in
+  let l_deflate = Isa.Builder.new_label b in
+  let l_stats = Isa.Builder.new_label b in
+  Isa.Builder.entry b l_main;
+
+  (* --- match length: r1 = addr a, r2 = addr b -> r2 = common prefix
+         length, capped at max_match. Clobbers r5-r7. --- *)
+  Isa.Builder.func b "gz_match_len" l_matchlen (fun () ->
+      Isa.Builder.li b (reg 5) 0;
+      let loop = Isa.Builder.label b in
+      let fin = Isa.Builder.new_label b in
+      Isa.Builder.ins b (Isa.Instr.Ldb (reg 6, reg 1, 0));
+      Isa.Builder.ins b (Isa.Instr.Ldb (reg 7, reg 2, 0));
+      Isa.Builder.br b Ne (reg 6) (reg 7) fin;
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 5, reg 5, 1));
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 1, reg 1, 1));
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 2, reg 2, 1));
+      Isa.Builder.li b (reg 6) max_match;
+      Isa.Builder.br b Ne (reg 5) (reg 6) loop;
+      Isa.Builder.here b fin;
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 2, reg 5, Isa.Reg.zero));
+      Isa.Builder.ins b (Isa.Instr.Jr Isa.Reg.ra));
+
+  (* --- emit token: r1 = tag (0 literal / 1 match), r2 = a, r3 = b.
+         Folds into the checksum and counters. Clobbers r5-r8. --- *)
+  Isa.Builder.func b "gz_emit" l_emit (fun () ->
+      Isa.Builder.li b (reg 5) var_cksum;
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 6, reg 5, 0));
+      Isa.Builder.li b (reg 7) 131;
+      Isa.Builder.ins b (Isa.Instr.Alu (Mul, reg 6, reg 6, reg 7));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 6, reg 6, reg 2));
+      Isa.Builder.li b (reg 7) 7;
+      Isa.Builder.ins b (Isa.Instr.Alu (Mul, reg 8, reg 3, reg 7));
+      Isa.Builder.ins b (Isa.Instr.Alu (Xor, reg 6, reg 6, reg 8));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 6, reg 6, reg 1));
+      Isa.Builder.ins b (Isa.Instr.St (reg 6, reg 5, 0));
+      let is_match = Isa.Builder.new_label b in
+      let fin = Isa.Builder.new_label b in
+      Isa.Builder.br b Ne (reg 1) Isa.Reg.zero is_match;
+      Isa.Builder.li b (reg 5) var_lits;
+      Isa.Builder.jmp b fin;
+      Isa.Builder.here b is_match;
+      Isa.Builder.li b (reg 5) var_matches;
+      Isa.Builder.here b fin;
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 6, reg 5, 0));
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 6, reg 6, 1));
+      Isa.Builder.ins b (Isa.Instr.St (reg 6, reg 5, 0));
+      Isa.Builder.ins b (Isa.Instr.Jr Isa.Reg.ra));
+
+  (* --- the deflate kernel --- *)
+  Isa.Builder.func b "deflate_run" l_deflate (fun () ->
+      Gen.prologue b;
+      Isa.Builder.li b (reg 16) 0 (* pos *);
+      Isa.Builder.li b (reg 17) (input_bytes - 2) (* limit *);
+      Isa.Builder.li b (reg 18) input;
+      let loop = Isa.Builder.label b in
+      let fin = Isa.Builder.new_label b in
+      Isa.Builder.br b Ge (reg 16) (reg 17) fin;
+      (* rolling hash of 3 bytes *)
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 5, reg 18, reg 16));
+      Isa.Builder.ins b (Isa.Instr.Ldb (reg 6, reg 5, 0));
+      Isa.Builder.ins b (Isa.Instr.Ldb (reg 7, reg 5, 1));
+      Isa.Builder.ins b (Isa.Instr.Ldb (reg 8, reg 5, 2));
+      Isa.Builder.li b (reg 9) 131;
+      Isa.Builder.ins b (Isa.Instr.Alu (Mul, reg 9, reg 9, reg 6));
+      Isa.Builder.ins b (Isa.Instr.Alui (Sll, reg 10, reg 7, 5));
+      Isa.Builder.ins b (Isa.Instr.Alu (Xor, reg 9, reg 9, reg 10));
+      Isa.Builder.ins b (Isa.Instr.Alu (Xor, reg 9, reg 9, reg 8));
+      Isa.Builder.ins b (Isa.Instr.Alui (And, reg 9, reg 9, hmask));
+      (* candidate = head[h] - 1; install pos *)
+      Isa.Builder.ins b (Isa.Instr.Alui (Sll, reg 9, reg 9, 2));
+      Isa.Builder.li b (reg 10) head;
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 9, reg 9, reg 10));
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 19, reg 9, 0));
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 19, reg 19, -1));
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 5, reg 16, 1));
+      Isa.Builder.ins b (Isa.Instr.St (reg 5, reg 9, 0));
+      (* prev[pos & wmask] = old candidate + 1 *)
+      Isa.Builder.ins b (Isa.Instr.Alui (And, reg 5, reg 16, wmask));
+      Isa.Builder.ins b (Isa.Instr.Alui (Sll, reg 5, reg 5, 2));
+      Isa.Builder.li b (reg 10) prev;
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 5, reg 5, reg 10));
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 6, reg 19, 1));
+      Isa.Builder.ins b (Isa.Instr.St (reg 6, reg 5, 0));
+      (* chain walk *)
+      Isa.Builder.li b (reg 20) 0 (* best length *);
+      Isa.Builder.li b (reg 21) max_chain;
+      let chain = Isa.Builder.label b in
+      let chain_done = Isa.Builder.new_label b in
+      Isa.Builder.br b Lt (reg 19) Isa.Reg.zero chain_done;
+      Isa.Builder.br b Eq (reg 21) Isa.Reg.zero chain_done;
+      (* window check: pos - cand <= window *)
+      Isa.Builder.ins b (Isa.Instr.Alu (Sub, reg 5, reg 16, reg 19));
+      Isa.Builder.li b (reg 6) window;
+      let in_window = Isa.Builder.new_label b in
+      Isa.Builder.br b Lt (reg 5) (reg 6) in_window;
+      Isa.Builder.jmp b chain_done;
+      Isa.Builder.here b in_window;
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 1, reg 18, reg 19));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 2, reg 18, reg 16));
+      Isa.Builder.jal b l_matchlen;
+      let not_better = Isa.Builder.new_label b in
+      Isa.Builder.br b Ge (reg 20) (reg 2) not_better;
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 20, reg 2, Isa.Reg.zero));
+      Isa.Builder.here b not_better;
+      (* next candidate *)
+      Isa.Builder.ins b (Isa.Instr.Alui (And, reg 5, reg 19, wmask));
+      Isa.Builder.ins b (Isa.Instr.Alui (Sll, reg 5, reg 5, 2));
+      Isa.Builder.li b (reg 10) prev;
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 5, reg 5, reg 10));
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 19, reg 5, 0));
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 19, reg 19, -1));
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 21, reg 21, -1));
+      Isa.Builder.jmp b chain;
+      Isa.Builder.here b chain_done;
+      (* match or literal? *)
+      let literal = Isa.Builder.new_label b in
+      let advanced = Isa.Builder.new_label b in
+      Isa.Builder.li b (reg 5) 3;
+      Isa.Builder.br b Lt (reg 20) (reg 5) literal;
+      Isa.Builder.li b (reg 1) 1;
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 2, reg 20, Isa.Reg.zero));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 3, reg 16, Isa.Reg.zero));
+      Isa.Builder.jal b l_emit;
+      (* matched bytes counter *)
+      Isa.Builder.li b (reg 5) var_matched_bytes;
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 6, reg 5, 0));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 6, reg 6, reg 20));
+      Isa.Builder.ins b (Isa.Instr.St (reg 6, reg 5, 0));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 16, reg 16, reg 20));
+      Isa.Builder.jmp b advanced;
+      Isa.Builder.here b literal;
+      Isa.Builder.li b (reg 1) 0;
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 5, reg 18, reg 16));
+      Isa.Builder.ins b (Isa.Instr.Ldb (reg 2, reg 5, 0));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 3, reg 16, Isa.Reg.zero));
+      Isa.Builder.jal b l_emit;
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 16, reg 16, 1));
+      Isa.Builder.here b advanced;
+      Isa.Builder.jmp b loop;
+      Isa.Builder.here b fin;
+      Gen.epilogue b);
+
+  Isa.Builder.func b "init_input" l_init (fun () ->
+      Gen.fill_xorshift b ~buf_addr:input ~bytes:input_bytes ~seed:0x5EED6;
+      Isa.Builder.ins b (Isa.Instr.Jr Isa.Reg.ra));
+
+  Isa.Builder.func b "print_stats" l_stats (fun () ->
+      List.iter
+        (fun v ->
+          Isa.Builder.li b (reg 5) v;
+          Isa.Builder.ins b (Isa.Instr.Ld (reg 6, reg 5, 0));
+          Isa.Builder.ins b (Isa.Instr.Out (reg 6)))
+        [ var_cksum; var_lits; var_matches; var_matched_bytes ];
+      Isa.Builder.ins b (Isa.Instr.Jr Isa.Reg.ra));
+
+  Isa.Builder.func b "main" l_main (fun () ->
+      Isa.Builder.jal b l_init;
+      Isa.Builder.jal b l_deflate;
+      Isa.Builder.jal b l_stats;
+      Isa.Builder.ins b Isa.Instr.Halt);
+
+  Gen.pad_cold_to b r ~prefix:"app_cold" ~target_bytes:app_bytes;
+  Gen.pad_cold_to b r ~prefix:"libc_pad" ~target_bytes:static_bytes;
+  Isa.Builder.build b

@@ -1,0 +1,16 @@
+(** gzip-like workload (ARM prototype benchmark).
+
+    A real greedy LZ77 deflate front-end: a 3-byte rolling hash into a
+    head table, hash-chain candidate walking through a prev table,
+    match extension against a 4 KB window, and (literal | match)
+    emission folded into running checksums. The hot set is the match
+    finder; Fig. 9 reports its footprint at ≈ 0.09 of the application
+    text. *)
+
+val name : string
+
+val image :
+  ?input_bytes:int -> ?app_bytes:int -> ?static_bytes:int -> unit ->
+  Isa.Image.t
+(** Defaults: 16 KB of compressible input, ≈ 4.8 KB application text,
+    ≈ 20 KB total static text. *)

@@ -1,0 +1,384 @@
+let name = "hextobdd"
+
+let reg = Isa.Reg.r
+let node_cap = 4096
+let hsize = 4096
+let hmask = hsize - 1
+let msize = 1024
+let mmask = msize - 1
+
+(* Terminals are node indices 0 (FALSE) and 1 (TRUE); arena slots hold
+   nodes with index >= 2. *)
+let image ?(vars = 12) ?(ops = 2600) ?(stages = 20)
+    ?(static_bytes = 58 * 1024) () =
+  let b = Isa.Builder.create "hextobdd" in
+  let r = Gen.rng 0xB0DD5 in
+  let arena = Isa.Builder.space b (node_cap * 12) in
+  let unique = Isa.Builder.space b (hsize * 4) in
+  let memo = Isa.Builder.space b (msize * 16) in
+  let varnodes = Isa.Builder.space b (vars * 4) in
+  let ring = Isa.Builder.space b (8 * 4) in
+  let state = Isa.Builder.space b (stages * 8) in
+  let var_next = Isa.Builder.word b 2 in
+  let var_cksum = Isa.Builder.word b 0 in
+  let l_main = Isa.Builder.new_label b in
+  let l_mk = Isa.Builder.new_label b in
+  let l_apply = Isa.Builder.new_label b in
+  let l_clear_memo = Isa.Builder.new_label b in
+  let l_checksum = Isa.Builder.new_label b in
+  Isa.Builder.entry b l_main;
+
+  let stage_labels =
+    Gen.stage_functions b r ~prefix:"an_stage" ~state_addr:state
+      ~count:stages ~body_instrs:55
+  in
+
+  (* arena field address of node r_idx into r_dst (clobbers r_dst) *)
+  let arena_addr r_dst r_idx =
+    Isa.Builder.ins b (Isa.Instr.Alui (Add, r_dst, r_idx, -2));
+    Isa.Builder.li b (reg 15) 12;
+    Isa.Builder.ins b (Isa.Instr.Alu (Mul, r_dst, r_dst, reg 15));
+    Isa.Builder.li b (reg 15) arena;
+    Isa.Builder.ins b (Isa.Instr.Alu (Add, r_dst, r_dst, reg 15))
+  in
+
+  (* --- mk_node: r1 = var, r2 = lo, r3 = hi -> r2 = node index.
+         Hash-consing through the unique table. Clobbers r5-r15. --- *)
+  Isa.Builder.func b "mk_node" l_mk (fun () ->
+      let ret = Isa.Builder.new_label b in
+      (* reduction rule: lo = hi -> lo *)
+      let reduce = Isa.Builder.new_label b in
+      Isa.Builder.br b Eq (reg 2) (reg 3) reduce;
+      (* h = (var*31 + lo*7 + hi*131071) & hmask *)
+      Isa.Builder.li b (reg 5) 31;
+      Isa.Builder.ins b (Isa.Instr.Alu (Mul, reg 5, reg 5, reg 1));
+      Isa.Builder.li b (reg 6) 7;
+      Isa.Builder.ins b (Isa.Instr.Alu (Mul, reg 6, reg 6, reg 2));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 5, reg 5, reg 6));
+      Isa.Builder.li b (reg 6) 131071;
+      Isa.Builder.ins b (Isa.Instr.Alu (Mul, reg 6, reg 6, reg 3));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 5, reg 5, reg 6));
+      Isa.Builder.ins b (Isa.Instr.Alui (And, reg 5, reg 5, hmask));
+      let probe = Isa.Builder.label b in
+      Isa.Builder.ins b (Isa.Instr.Alui (Sll, reg 6, reg 5, 2));
+      Isa.Builder.li b (reg 7) unique;
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 6, reg 6, reg 7));
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 8, reg 6, 0));
+      let empty = Isa.Builder.new_label b in
+      Isa.Builder.br b Eq (reg 8) Isa.Reg.zero empty;
+      (* match? *)
+      arena_addr (reg 9) (reg 8);
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 10, reg 9, 0));
+      let next_probe = Isa.Builder.new_label b in
+      Isa.Builder.br b Ne (reg 10) (reg 1) next_probe;
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 10, reg 9, 4));
+      Isa.Builder.br b Ne (reg 10) (reg 2) next_probe;
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 10, reg 9, 8));
+      Isa.Builder.br b Ne (reg 10) (reg 3) next_probe;
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 2, reg 8, Isa.Reg.zero));
+      Isa.Builder.jmp b ret;
+      Isa.Builder.here b next_probe;
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 5, reg 5, 1));
+      Isa.Builder.ins b (Isa.Instr.Alui (And, reg 5, reg 5, hmask));
+      Isa.Builder.jmp b probe;
+      Isa.Builder.here b empty;
+      (* allocate a fresh node, or degrade to lo when the arena is
+         full (deterministic, keeps long runs bounded) *)
+      Isa.Builder.li b (reg 9) var_next;
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 10, reg 9, 0));
+      Isa.Builder.li b (reg 11) node_cap;
+      let room = Isa.Builder.new_label b in
+      Isa.Builder.br b Lt (reg 10) (reg 11) room;
+      Isa.Builder.jmp b ret (* r2 already = lo *);
+      Isa.Builder.here b room;
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 11, reg 10, 1));
+      Isa.Builder.ins b (Isa.Instr.St (reg 11, reg 9, 0));
+      Isa.Builder.ins b (Isa.Instr.St (reg 10, reg 6, 0));
+      arena_addr (reg 9) (reg 10);
+      Isa.Builder.ins b (Isa.Instr.St (reg 1, reg 9, 0));
+      Isa.Builder.ins b (Isa.Instr.St (reg 2, reg 9, 4));
+      Isa.Builder.ins b (Isa.Instr.St (reg 3, reg 9, 8));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 2, reg 10, Isa.Reg.zero));
+      Isa.Builder.jmp b ret;
+      Isa.Builder.here b reduce;
+      (* r2 already = lo *)
+      Isa.Builder.here b ret;
+      Isa.Builder.ins b (Isa.Instr.Jr Isa.Reg.ra));
+
+  (* --- bdd_apply: r1 = op (0 and, 1 or, 2 xor), r2 = u, r3 = v ->
+         r2 = result. Recursive with memoisation. --- *)
+  Isa.Builder.func b "bdd_apply" l_apply (fun () ->
+      let ret = Isa.Builder.new_label b in
+      let terminal_done = Isa.Builder.new_label b in
+      (* terminal case: both u and v constant *)
+      let not_terminal = Isa.Builder.new_label b in
+      Isa.Builder.li b (reg 5) 2;
+      Isa.Builder.br b Ge (reg 2) (reg 5) not_terminal;
+      Isa.Builder.br b Ge (reg 3) (reg 5) not_terminal;
+      let op_or = Isa.Builder.new_label b in
+      let op_xor = Isa.Builder.new_label b in
+      Isa.Builder.br b Eq (reg 1) (reg 5) op_xor;
+      Isa.Builder.li b (reg 6) 1;
+      Isa.Builder.br b Eq (reg 1) (reg 6) op_or;
+      Isa.Builder.ins b (Isa.Instr.Alu (And, reg 2, reg 2, reg 3));
+      Isa.Builder.jmp b terminal_done;
+      Isa.Builder.here b op_or;
+      Isa.Builder.ins b (Isa.Instr.Alu (Or, reg 2, reg 2, reg 3));
+      Isa.Builder.jmp b terminal_done;
+      Isa.Builder.here b op_xor;
+      Isa.Builder.ins b (Isa.Instr.Alu (Xor, reg 2, reg 2, reg 3));
+      Isa.Builder.here b terminal_done;
+      Isa.Builder.ins b (Isa.Instr.Jr Isa.Reg.ra);
+      Isa.Builder.here b not_terminal;
+      (* memo probe: slot = (op*3 + u*97 + v*89) & mmask *)
+      Isa.Builder.li b (reg 5) 97;
+      Isa.Builder.ins b (Isa.Instr.Alu (Mul, reg 5, reg 5, reg 2));
+      Isa.Builder.li b (reg 6) 89;
+      Isa.Builder.ins b (Isa.Instr.Alu (Mul, reg 6, reg 6, reg 3));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 5, reg 5, reg 6));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 5, reg 5, reg 1));
+      Isa.Builder.ins b (Isa.Instr.Alui (And, reg 5, reg 5, mmask));
+      Isa.Builder.ins b (Isa.Instr.Alui (Sll, reg 5, reg 5, 4));
+      Isa.Builder.li b (reg 6) memo;
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 5, reg 5, reg 6));
+      (* entry: [op+1; u; v; res] *)
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 7, reg 5, 0));
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 8, reg 1, 1));
+      let memo_miss = Isa.Builder.new_label b in
+      Isa.Builder.br b Ne (reg 7) (reg 8) memo_miss;
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 7, reg 5, 4));
+      Isa.Builder.br b Ne (reg 7) (reg 2) memo_miss;
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 7, reg 5, 8));
+      Isa.Builder.br b Ne (reg 7) (reg 3) memo_miss;
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 2, reg 5, 12));
+      Isa.Builder.ins b (Isa.Instr.Jr Isa.Reg.ra);
+      Isa.Builder.here b memo_miss;
+      (* frame: ra, op, u, v, m, rlo, memo slot *)
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, Isa.Reg.sp, Isa.Reg.sp, -28));
+      Isa.Builder.ins b (Isa.Instr.St (Isa.Reg.ra, Isa.Reg.sp, 0));
+      Isa.Builder.ins b (Isa.Instr.St (reg 1, Isa.Reg.sp, 4));
+      Isa.Builder.ins b (Isa.Instr.St (reg 2, Isa.Reg.sp, 8));
+      Isa.Builder.ins b (Isa.Instr.St (reg 3, Isa.Reg.sp, 12));
+      Isa.Builder.ins b (Isa.Instr.St (reg 5, Isa.Reg.sp, 24));
+      (* vu / vv, 9999 for terminals *)
+      let vu_done = Isa.Builder.new_label b in
+      Isa.Builder.li b (reg 9) 9999;
+      Isa.Builder.li b (reg 5) 2;
+      Isa.Builder.br b Lt (reg 2) (reg 5) vu_done;
+      arena_addr (reg 9) (reg 2);
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 9, reg 9, 0));
+      Isa.Builder.here b vu_done;
+      let vv_done = Isa.Builder.new_label b in
+      Isa.Builder.li b (reg 10) 9999;
+      Isa.Builder.br b Lt (reg 3) (reg 5) vv_done;
+      arena_addr (reg 10) (reg 3);
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 10, reg 10, 0));
+      Isa.Builder.here b vv_done;
+      (* m = min(vu, vv) *)
+      let m_done = Isa.Builder.new_label b in
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 11, reg 9, Isa.Reg.zero));
+      Isa.Builder.br b Ge (reg 10) (reg 9) m_done;
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 11, reg 10, Isa.Reg.zero));
+      Isa.Builder.here b m_done;
+      Isa.Builder.ins b (Isa.Instr.St (reg 11, Isa.Reg.sp, 16));
+      (* cofactors of u into r12 (lo), r13 (hi) *)
+      let u_cof_done = Isa.Builder.new_label b in
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 12, reg 2, Isa.Reg.zero));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 13, reg 2, Isa.Reg.zero));
+      Isa.Builder.br b Ne (reg 9) (reg 11) u_cof_done;
+      arena_addr (reg 14) (reg 2);
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 12, reg 14, 4));
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 13, reg 14, 8));
+      Isa.Builder.here b u_cof_done;
+      (* cofactors of v into r9 (lo), r14 (hi); vv still in r10 *)
+      let v_cof_done = Isa.Builder.new_label b in
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 9, reg 3, Isa.Reg.zero));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 14, reg 3, Isa.Reg.zero));
+      Isa.Builder.br b Ne (reg 10) (reg 11) v_cof_done;
+      arena_addr (reg 5) (reg 3);
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 9, reg 5, 4));
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 14, reg 5, 8));
+      Isa.Builder.here b v_cof_done;
+      (* stash the hi cofactors in the callee half of the frame:
+         recurse on (lo_u, lo_v) *)
+      Isa.Builder.ins b (Isa.Instr.St (reg 13, Isa.Reg.sp, 20) (* hi_u *));
+      (* rlo = apply(op, lo_u, lo_v); hi_v must survive: keep it in the
+         memo-slot frame word temporarily *)
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 5, Isa.Reg.sp, 24));
+      Isa.Builder.ins b (Isa.Instr.St (reg 14, Isa.Reg.sp, 24));
+      Isa.Builder.ins b (Isa.Instr.St (reg 5, Isa.Reg.sp, 16));
+      (* NOTE: frame word 16 now holds the memo slot; m is recomputed
+         from the saved operands after the recursions *)
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 2, reg 12, Isa.Reg.zero));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 3, reg 9, Isa.Reg.zero));
+      Isa.Builder.jal b l_apply;
+      (* rhi = apply(op, hi_u, hi_v) *)
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 1, Isa.Reg.sp, 4));
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 5, Isa.Reg.sp, 20));
+      Isa.Builder.ins b (Isa.Instr.St (reg 2, Isa.Reg.sp, 20) (* rlo *));
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 3, Isa.Reg.sp, 24) (* hi_v *));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 2, reg 5, Isa.Reg.zero));
+      Isa.Builder.jal b l_apply;
+      (* m: recompute min var of the saved operands *)
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 6, Isa.Reg.sp, 8) (* u *));
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 7, Isa.Reg.sp, 12) (* v *));
+      let vu2_done = Isa.Builder.new_label b in
+      Isa.Builder.li b (reg 9) 9999;
+      Isa.Builder.li b (reg 5) 2;
+      Isa.Builder.br b Lt (reg 6) (reg 5) vu2_done;
+      arena_addr (reg 9) (reg 6);
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 9, reg 9, 0));
+      Isa.Builder.here b vu2_done;
+      let vv2_done = Isa.Builder.new_label b in
+      Isa.Builder.li b (reg 10) 9999;
+      Isa.Builder.br b Lt (reg 7) (reg 5) vv2_done;
+      arena_addr (reg 10) (reg 7);
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 10, reg 10, 0));
+      Isa.Builder.here b vv2_done;
+      let m2_done = Isa.Builder.new_label b in
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 1, reg 9, Isa.Reg.zero));
+      Isa.Builder.br b Ge (reg 10) (reg 9) m2_done;
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 1, reg 10, Isa.Reg.zero));
+      Isa.Builder.here b m2_done;
+      (* r = mk_node(m, rlo, rhi) *)
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 3, reg 2, Isa.Reg.zero));
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 2, Isa.Reg.sp, 20));
+      Isa.Builder.jal b l_mk;
+      (* memo insert *)
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 5, Isa.Reg.sp, 16));
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 6, Isa.Reg.sp, 4));
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 6, reg 6, 1));
+      Isa.Builder.ins b (Isa.Instr.St (reg 6, reg 5, 0));
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 6, Isa.Reg.sp, 8));
+      Isa.Builder.ins b (Isa.Instr.St (reg 6, reg 5, 4));
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 6, Isa.Reg.sp, 12));
+      Isa.Builder.ins b (Isa.Instr.St (reg 6, reg 5, 8));
+      Isa.Builder.ins b (Isa.Instr.St (reg 2, reg 5, 12));
+      Isa.Builder.ins b (Isa.Instr.Ld (Isa.Reg.ra, Isa.Reg.sp, 0));
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, Isa.Reg.sp, Isa.Reg.sp, 28));
+      Isa.Builder.here b ret;
+      Isa.Builder.ins b (Isa.Instr.Jr Isa.Reg.ra));
+
+  (* --- clear_memo --- *)
+  Isa.Builder.func b "clear_memo" l_clear_memo (fun () ->
+      Isa.Builder.li b (reg 5) memo;
+      Isa.Builder.li b (reg 6) (memo + (msize * 16));
+      let top = Isa.Builder.label b in
+      Isa.Builder.ins b (Isa.Instr.St (Isa.Reg.zero, reg 5, 0));
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 5, reg 5, 16));
+      Isa.Builder.br b Ne (reg 5) (reg 6) top;
+      Isa.Builder.ins b (Isa.Instr.Jr Isa.Reg.ra));
+
+  (* --- checksum walk over the arena --- *)
+  Isa.Builder.func b "arena_checksum" l_checksum (fun () ->
+      Isa.Builder.li b (reg 5) var_next;
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 5, reg 5, 0));
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 5, reg 5, -2));
+      Isa.Builder.li b (reg 6) arena;
+      Isa.Builder.li b (reg 7) 0;
+      let top = Isa.Builder.label b in
+      let fin = Isa.Builder.new_label b in
+      Isa.Builder.br b Eq (reg 5) Isa.Reg.zero fin;
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 8, reg 6, 0));
+      Isa.Builder.li b (reg 9) 5;
+      Isa.Builder.ins b (Isa.Instr.Alu (Mul, reg 7, reg 7, reg 9));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 7, reg 7, reg 8));
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 8, reg 6, 4));
+      Isa.Builder.ins b (Isa.Instr.Alu (Xor, reg 7, reg 7, reg 8));
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 8, reg 6, 8));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 7, reg 7, reg 8));
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 6, reg 6, 12));
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 5, reg 5, -1));
+      Isa.Builder.jmp b top;
+      Isa.Builder.here b fin;
+      Isa.Builder.li b (reg 5) var_cksum;
+      Isa.Builder.ins b (Isa.Instr.St (reg 7, reg 5, 0));
+      Isa.Builder.ins b (Isa.Instr.Jr Isa.Reg.ra));
+
+  (* --- main --- *)
+  Isa.Builder.func b "main" l_main (fun () ->
+      Isa.Builder.jal b l_clear_memo;
+      (* build variable nodes: mk_node(i, 0, 1) *)
+      Isa.Builder.li b (reg 16) 0;
+      let vloop = Isa.Builder.label b in
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 1, reg 16, Isa.Reg.zero));
+      Isa.Builder.li b (reg 2) 0;
+      Isa.Builder.li b (reg 3) 1;
+      Isa.Builder.jal b l_mk;
+      Isa.Builder.ins b (Isa.Instr.Alui (Sll, reg 5, reg 16, 2));
+      Isa.Builder.li b (reg 6) varnodes;
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 5, reg 5, reg 6));
+      Isa.Builder.ins b (Isa.Instr.St (reg 2, reg 5, 0));
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 16, reg 16, 1));
+      Isa.Builder.li b (reg 5) vars;
+      Isa.Builder.br b Ne (reg 16) (reg 5) vloop;
+      (* f = x0; ring primed with x0 *)
+      Isa.Builder.li b (reg 5) varnodes;
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 17, reg 5, 0));
+      Isa.Builder.li b (reg 5) ring;
+      Isa.Builder.li b (reg 6) (ring + 32);
+      let prime = Isa.Builder.label b in
+      Isa.Builder.ins b (Isa.Instr.St (reg 17, reg 5, 0));
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 5, reg 5, 4));
+      Isa.Builder.br b Ne (reg 5) (reg 6) prime;
+      (* operation loop *)
+      Isa.Builder.li b (reg 16) 1 (* i *);
+      let oloop = Isa.Builder.label b in
+      (* op = i mod 3 *)
+      Isa.Builder.li b (reg 5) 3;
+      Isa.Builder.ins b (Isa.Instr.Alu (Div, reg 6, reg 16, reg 5));
+      Isa.Builder.ins b (Isa.Instr.Alu (Mul, reg 6, reg 6, reg 5));
+      Isa.Builder.ins b (Isa.Instr.Alu (Sub, reg 1, reg 16, reg 6));
+      (* g: odd i -> variable node, even i -> ring entry *)
+      let from_ring = Isa.Builder.new_label b in
+      let g_done = Isa.Builder.new_label b in
+      Isa.Builder.ins b (Isa.Instr.Alui (And, reg 5, reg 16, 1));
+      Isa.Builder.br b Eq (reg 5) Isa.Reg.zero from_ring;
+      Isa.Builder.li b (reg 5) vars;
+      Isa.Builder.ins b (Isa.Instr.Alu (Div, reg 6, reg 16, reg 5));
+      Isa.Builder.ins b (Isa.Instr.Alu (Mul, reg 6, reg 6, reg 5));
+      Isa.Builder.ins b (Isa.Instr.Alu (Sub, reg 6, reg 16, reg 6));
+      Isa.Builder.ins b (Isa.Instr.Alui (Sll, reg 6, reg 6, 2));
+      Isa.Builder.li b (reg 5) varnodes;
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 6, reg 6, reg 5));
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 3, reg 6, 0));
+      Isa.Builder.jmp b g_done;
+      Isa.Builder.here b from_ring;
+      Isa.Builder.ins b (Isa.Instr.Alui (And, reg 6, reg 16, 28));
+      Isa.Builder.li b (reg 5) ring;
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 6, reg 6, reg 5));
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 3, reg 6, 0));
+      Isa.Builder.here b g_done;
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 2, reg 17, Isa.Reg.zero));
+      Isa.Builder.jal b l_apply;
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 17, reg 2, Isa.Reg.zero));
+      (* ring[i & 7] = f *)
+      Isa.Builder.ins b (Isa.Instr.Alui (And, reg 5, reg 16, 28));
+      Isa.Builder.li b (reg 6) ring;
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 5, reg 5, reg 6));
+      Isa.Builder.ins b (Isa.Instr.St (reg 17, reg 5, 0));
+      (* analysis stages over the node index *)
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 1, reg 17, Isa.Reg.zero));
+      Gen.call_stages b stage_labels;
+      (* periodic memo flush *)
+      Isa.Builder.ins b (Isa.Instr.Alui (And, reg 5, reg 16, 31));
+      let no_flush = Isa.Builder.new_label b in
+      Isa.Builder.br b Ne (reg 5) Isa.Reg.zero no_flush;
+      Isa.Builder.jal b l_clear_memo;
+      Isa.Builder.here b no_flush;
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 16, reg 16, 1));
+      Isa.Builder.li b (reg 5) ops;
+      Isa.Builder.br b Ne (reg 16) (reg 5) oloop;
+      (* final checksum *)
+      Isa.Builder.jal b l_checksum;
+      Isa.Builder.li b (reg 5) var_cksum;
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 6, reg 5, 0));
+      Isa.Builder.ins b (Isa.Instr.Out (reg 6));
+      Isa.Builder.ins b (Isa.Instr.Out (reg 17));
+      Isa.Builder.li b (reg 5) var_next;
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 6, reg 5, 0));
+      Isa.Builder.ins b (Isa.Instr.Out (reg 6));
+      Isa.Builder.ins b Isa.Instr.Halt);
+
+  Gen.pad_cold_to b r ~prefix:"libc_pad" ~target_bytes:static_bytes;
+  Isa.Builder.build b

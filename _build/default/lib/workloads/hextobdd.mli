@@ -1,0 +1,23 @@
+(** hextobdd-like workload — graph manipulation.
+
+    The paper's "local graph manipulation application" is reproduced as
+    a genuine BDD package: an arena of (var, lo, hi) nodes, a
+    hash-consing table (unique table), a memoised recursive apply over
+    AND/OR/XOR, periodic memo flushes, and a final arena checksum walk.
+    The control-flow character is what matters for the caching study:
+    pointer chasing through the unique table, deep recursion with
+    saved return addresses, and data-dependent branching. Generated
+    analysis stages size the working set; cold library padding sizes
+    the static footprint. *)
+
+val name : string
+
+val image :
+  ?vars:int ->
+  ?ops:int ->
+  ?stages:int ->
+  ?static_bytes:int ->
+  unit ->
+  Isa.Image.t
+(** Defaults: 12 variables, 2600 apply operations, 20 stages, 58 KB
+    static text. *)

@@ -1,0 +1,224 @@
+let name = "mpeg2enc"
+
+let reg = Isa.Reg.r
+
+let zigzag = Dctgen.zigzag
+
+(* quantiser shift per zigzag position: coarser for high frequencies *)
+let qshift = Array.init 64 (fun i -> 2 + (i / 16))
+
+let image ?(frames = 4) ?(width = 64) ?(height = 48) ?(stages = 40)
+    ?(static_bytes = 56 * 1024) () =
+  if width mod 8 <> 0 || height mod 8 <> 0 then
+    invalid_arg "Mpeg2.image: dimensions must be multiples of 8";
+  let b = Isa.Builder.create "mpeg2enc" in
+  let r = Gen.rng 0x93E62 in
+  let frame = Isa.Builder.space b (width * height) in
+  let refframe = Isa.Builder.space b (width * height) in
+  let blockbuf = Isa.Builder.space b (64 * 4) in
+  let refbuf = Isa.Builder.space b (64 * 4) in
+  let dctbuf = Isa.Builder.space b (64 * 4) in
+  let dct2 = Isa.Builder.space b (64 * 4) in
+  let zz = Isa.Builder.words b zigzag in
+  let qs = Isa.Builder.words b qshift in
+  let state = Isa.Builder.space b (stages * 8) in
+  let var_cksum = Isa.Builder.word b 0 in
+  let var_nz = Isa.Builder.word b 0 in
+  let var_sad = Isa.Builder.word b 0 in
+  let l_main = Isa.Builder.new_label b in
+  let l_init = Isa.Builder.new_label b in
+  let l_load = Isa.Builder.new_label b in
+  let l_loadref = Isa.Builder.new_label b in
+  let l_sad = Isa.Builder.new_label b in
+  let l_motion = Isa.Builder.new_label b in
+  let l_dctrow = Isa.Builder.new_label b in
+  let l_dctcol = Isa.Builder.new_label b in
+  let l_dctblk = Isa.Builder.new_label b in
+  let l_quant = Isa.Builder.new_label b in
+  let l_frame = Isa.Builder.new_label b in
+  Isa.Builder.entry b l_main;
+
+  let stage_labels =
+    Gen.stage_functions b r ~prefix:"rc_stage" ~state_addr:state ~count:stages
+      ~body_instrs:55
+  in
+  Dctgen.emit_pass b ~name:"dct_row" ~in_stride:4 ~out_stride:4 l_dctrow;
+  Dctgen.emit_pass b ~name:"dct_col" ~in_stride:32 ~out_stride:32 l_dctcol;
+  Dctgen.emit_block_driver b ~name:"dct_block" ~src:blockbuf ~tmp:dctbuf
+    ~dst:dct2 ~row_pass:l_dctrow ~col_pass:l_dctcol l_dctblk;
+  Dctgen.sad8 b ~name:"sad8" l_sad;
+
+  (* --- load an 8x8 block of bytes into a word buffer:
+         r1 = source byte address, r2 = destination word buffer --- *)
+  let emit_loader fname label =
+    Isa.Builder.func b fname label (fun () ->
+        Isa.Builder.li b (reg 5) 8 (* rows left *);
+        let row = Isa.Builder.label b in
+        Isa.Builder.li b (reg 6) 8 (* cols left *);
+        let col = Isa.Builder.label b in
+        Isa.Builder.ins b (Isa.Instr.Ldb (reg 7, reg 1, 0));
+        Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 7, reg 7, -128));
+        Isa.Builder.ins b (Isa.Instr.St (reg 7, reg 2, 0));
+        Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 1, reg 1, 1));
+        Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 2, reg 2, 4));
+        Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 6, reg 6, -1));
+        Isa.Builder.br b Ne (reg 6) Isa.Reg.zero col;
+        Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 1, reg 1, width - 8));
+        Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 5, reg 5, -1));
+        Isa.Builder.br b Ne (reg 5) Isa.Reg.zero row;
+        Isa.Builder.ins b (Isa.Instr.Jr Isa.Reg.ra))
+  in
+  emit_loader "load_block" l_load;
+  emit_loader "load_refblock" l_loadref;
+
+  (* --- motion probe: r1 = block byte offset in the frame.
+         Tries 3 candidate offsets in the reference frame, keeps the
+         minimum SAD, accumulates it. --- *)
+  Isa.Builder.func b "motion_probe" l_motion (fun () ->
+      Gen.prologue b;
+      Isa.Builder.ins b (Isa.Instr.St (reg 1, Isa.Reg.sp, 0));
+      Isa.Builder.li b (reg 13) 0x7FFFFFF (* best *);
+      (* candidate displacements: 0, +1, +width; sad8 leaves r13/r14/r9
+         alone, load_refblock only touches r1-r2 and r5-r7 *)
+      List.iter
+        (fun disp ->
+          Isa.Builder.ins b (Isa.Instr.Ld (reg 1, Isa.Reg.sp, 0));
+          Isa.Builder.li b (reg 5) (refframe + disp);
+          Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 1, reg 1, reg 5));
+          Isa.Builder.li b (reg 2) refbuf;
+          Isa.Builder.jal b l_loadref;
+          (* SAD of the 8 rows *)
+          Isa.Builder.li b (reg 14) 0;
+          Isa.Builder.li b (reg 9) 0 (* row *);
+          let rowloop = Isa.Builder.label b in
+          Isa.Builder.ins b (Isa.Instr.Alui (Sll, reg 5, reg 9, 5));
+          Isa.Builder.li b (reg 1) blockbuf;
+          Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 1, reg 1, reg 5));
+          Isa.Builder.li b (reg 2) refbuf;
+          Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 2, reg 2, reg 5));
+          Isa.Builder.jal b l_sad;
+          Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 14, reg 14, reg 2));
+          Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 9, reg 9, 1));
+          Isa.Builder.li b (reg 5) 8;
+          Isa.Builder.br b Ne (reg 9) (reg 5) rowloop;
+          let keep = Isa.Builder.new_label b in
+          Isa.Builder.br b Ge (reg 14) (reg 13) keep;
+          Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 13, reg 14, Isa.Reg.zero));
+          Isa.Builder.here b keep)
+        [ 0; 1; width ];
+      Isa.Builder.li b (reg 5) var_sad;
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 6, reg 5, 0));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 6, reg 6, reg 13));
+      Isa.Builder.ins b (Isa.Instr.St (reg 6, reg 5, 0));
+      Gen.epilogue b);
+
+  (* --- quantise + zigzag run-length statistics --- *)
+  Isa.Builder.func b "quant_block" l_quant (fun () ->
+      Isa.Builder.li b (reg 5) 0 (* i *);
+      Isa.Builder.li b (reg 6) 0 (* run of zeros *);
+      Isa.Builder.li b (reg 7) 0 (* local checksum *);
+      Isa.Builder.li b (reg 8) 0 (* nonzero count *);
+      let loop = Isa.Builder.label b in
+      (* coeff = dct2[zigzag[i]] >> qshift[i] *)
+      Isa.Builder.ins b (Isa.Instr.Alui (Sll, reg 9, reg 5, 2));
+      Isa.Builder.li b (reg 10) zz;
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 10, reg 10, reg 9));
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 11, reg 10, 0));
+      Isa.Builder.ins b (Isa.Instr.Alui (Sll, reg 11, reg 11, 2));
+      Isa.Builder.li b (reg 10) dct2;
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 10, reg 10, reg 11));
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 12, reg 10, 0));
+      Isa.Builder.li b (reg 10) qs;
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 10, reg 10, reg 9));
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 13, reg 10, 0));
+      Isa.Builder.ins b (Isa.Instr.Alu (Sra, reg 12, reg 12, reg 13));
+      let zero = Isa.Builder.new_label b in
+      let cont = Isa.Builder.new_label b in
+      Isa.Builder.br b Eq (reg 12) Isa.Reg.zero zero;
+      (* nonzero: fold (run, level) into the checksum *)
+      Isa.Builder.li b (reg 10) 37;
+      Isa.Builder.ins b (Isa.Instr.Alu (Mul, reg 7, reg 7, reg 10));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 7, reg 7, reg 12));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 7, reg 7, reg 6));
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 8, reg 8, 1));
+      Isa.Builder.li b (reg 6) 0;
+      Isa.Builder.jmp b cont;
+      Isa.Builder.here b zero;
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 6, reg 6, 1));
+      Isa.Builder.here b cont;
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 5, reg 5, 1));
+      Isa.Builder.li b (reg 9) 64;
+      Isa.Builder.br b Ne (reg 5) (reg 9) loop;
+      (* fold into the globals *)
+      Isa.Builder.li b (reg 5) var_cksum;
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 6, reg 5, 0));
+      Isa.Builder.li b (reg 9) 1009;
+      Isa.Builder.ins b (Isa.Instr.Alu (Mul, reg 6, reg 6, reg 9));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 6, reg 6, reg 7));
+      Isa.Builder.ins b (Isa.Instr.St (reg 6, reg 5, 0));
+      Isa.Builder.li b (reg 5) var_nz;
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 6, reg 5, 0));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 6, reg 6, reg 8));
+      Isa.Builder.ins b (Isa.Instr.St (reg 6, reg 5, 0));
+      Isa.Builder.ins b (Isa.Instr.Jr Isa.Reg.ra));
+
+  (* --- encode one frame: iterate blocks --- *)
+  Isa.Builder.func b "encode_frame" l_frame (fun () ->
+      Gen.prologue b;
+      Isa.Builder.li b (reg 16) 0 (* by *);
+      let byloop = Isa.Builder.label b in
+      Isa.Builder.li b (reg 17) 0 (* bx *);
+      let bxloop = Isa.Builder.label b in
+      (* src = frame + (by*8*width + bx*8) *)
+      Isa.Builder.li b (reg 5) (8 * width);
+      Isa.Builder.ins b (Isa.Instr.Alu (Mul, reg 5, reg 5, reg 16));
+      Isa.Builder.ins b (Isa.Instr.Alui (Sll, reg 6, reg 17, 3));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 18, reg 5, reg 6));
+      Isa.Builder.li b (reg 1) frame;
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 1, reg 1, reg 18));
+      Isa.Builder.li b (reg 2) blockbuf;
+      Isa.Builder.jal b l_load;
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 1, reg 18, Isa.Reg.zero));
+      Isa.Builder.jal b l_motion;
+      Isa.Builder.jal b l_dctblk;
+      Isa.Builder.jal b l_quant;
+      (* rate-control stages chew on the running checksum *)
+      Isa.Builder.li b (reg 5) var_cksum;
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 1, reg 5, 0));
+      Gen.call_stages b stage_labels;
+      Isa.Builder.li b (reg 5) var_sad;
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 6, reg 5, 0));
+      Isa.Builder.ins b (Isa.Instr.Alu (Xor, reg 6, reg 6, reg 1));
+      Isa.Builder.ins b (Isa.Instr.St (reg 6, reg 5, 0));
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 17, reg 17, 1));
+      Isa.Builder.li b (reg 5) (width / 8);
+      Isa.Builder.br b Ne (reg 17) (reg 5) bxloop;
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 16, reg 16, 1));
+      Isa.Builder.li b (reg 5) (height / 8);
+      Isa.Builder.br b Ne (reg 16) (reg 5) byloop;
+      Gen.epilogue b);
+
+  Isa.Builder.func b "init_frames" l_init (fun () ->
+      Gen.prologue b;
+      Gen.fill_xorshift b ~buf_addr:frame ~bytes:(width * height) ~seed:0x5EED4;
+      Gen.fill_xorshift b ~buf_addr:refframe ~bytes:(width * height)
+        ~seed:0x5EED5;
+      Gen.epilogue b);
+
+  Isa.Builder.func b "main" l_main (fun () ->
+      Isa.Builder.jal b l_init;
+      Isa.Builder.li b (reg 20) frames;
+      let floop = Isa.Builder.label b in
+      Isa.Builder.jal b l_frame;
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 20, reg 20, -1));
+      Isa.Builder.br b Ne (reg 20) Isa.Reg.zero floop;
+      List.iter
+        (fun v ->
+          Isa.Builder.li b (reg 5) v;
+          Isa.Builder.ins b (Isa.Instr.Ld (reg 6, reg 5, 0));
+          Isa.Builder.ins b (Isa.Instr.Out (reg 6)))
+        [ var_cksum; var_nz; var_sad ];
+      Isa.Builder.ins b Isa.Instr.Halt);
+
+  Gen.pad_cold_to b r ~prefix:"libc_pad" ~target_bytes:static_bytes;
+  Isa.Builder.build b

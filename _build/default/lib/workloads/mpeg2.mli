@@ -1,0 +1,23 @@
+(** mpeg2enc-like workload — the suite's largest program.
+
+    A video-encoder-shaped pipeline over synthetic frames: per 8x8
+    block, a SAD motion probe against the previous frame, an unrolled
+    fixed-point 2-D DCT (rows then columns), quantisation, zigzag
+    run-length statistics, and a large bank of generated transform
+    stages (rate-control / filtering stand-ins). The unrolled DCT and
+    the stage bank give it the paper's mpeg2enc character: by far the
+    biggest dynamic and static text of the suite (Table 1: 135 KB /
+    590 KB, reproduced scaled). *)
+
+val name : string
+
+val image :
+  ?frames:int ->
+  ?width:int ->
+  ?height:int ->
+  ?stages:int ->
+  ?static_bytes:int ->
+  unit ->
+  Isa.Image.t
+(** Defaults: 4 frames of 64x48, 40 stages, 56 KB static text
+    (≈ 13 KB dynamic). *)

@@ -1,0 +1,72 @@
+type entry = {
+  name : string;
+  build : unit -> Isa.Image.t;
+  description : string;
+}
+
+let compress =
+  {
+    name = Compress.name;
+    build = (fun () -> Compress.image ());
+    description = "LZW compressor in the image of SPEC95 129.compress";
+  }
+
+let adpcm_encode =
+  {
+    name = Adpcm.name_encode;
+    build = (fun () -> Adpcm.encode_image ());
+    description = "IMA ADPCM encoder (MediaBench)";
+  }
+
+let adpcm_decode =
+  {
+    name = Adpcm.name_decode;
+    build = (fun () -> Adpcm.decode_image ());
+    description = "IMA ADPCM decoder (MediaBench)";
+  }
+
+let hextobdd =
+  {
+    name = Hextobdd.name;
+    build = (fun () -> Hextobdd.image ());
+    description = "hash-consed BDD construction (graph manipulation)";
+  }
+
+let mpeg2enc =
+  {
+    name = Mpeg2.name;
+    build = (fun () -> Mpeg2.image ());
+    description = "video-encoder pipeline with unrolled 2-D DCT";
+  }
+
+let gzip =
+  {
+    name = Gzipw.name;
+    build = (fun () -> Gzipw.image ());
+    description = "LZ77 deflate front end with hash chains";
+  }
+
+let cjpeg =
+  {
+    name = Cjpegw.name;
+    build = (fun () -> Cjpegw.image ());
+    description = "JPEG front end: colour conversion, DCT, entropy sizing";
+  }
+
+let sensor =
+  {
+    name = Sensor.name;
+    build = (fun () -> Sensor.image ());
+    description = "Figure 2 sensor node with operating modes";
+  }
+
+let all =
+  [
+    compress; adpcm_encode; adpcm_decode; hextobdd; mpeg2enc; gzip; cjpeg;
+    sensor;
+  ]
+
+let find n = List.find_opt (fun e -> e.name = n) all
+let table1 = [ compress; adpcm_encode; hextobdd; mpeg2enc ]
+let fig9 = [ adpcm_encode; adpcm_decode; gzip; cjpeg ]
+let names () = List.map (fun e -> e.name) all

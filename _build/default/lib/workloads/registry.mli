@@ -1,0 +1,22 @@
+(** Catalogue of the workload suite. *)
+
+type entry = {
+  name : string;
+  build : unit -> Isa.Image.t;  (** default parameters *)
+  description : string;
+}
+
+val all : entry list
+(** Every workload, default parameters. *)
+
+val find : string -> entry option
+
+val table1 : entry list
+(** The four Table 1 / Figures 6-7 programs: compress95, adpcm_encode,
+    hextobdd, mpeg2enc. *)
+
+val fig9 : entry list
+(** The four ARM footprint programs: adpcm_encode, adpcm_decode, gzip,
+    cjpeg. *)
+
+val names : unit -> string list

@@ -1,0 +1,157 @@
+let name = "sensor_modes"
+
+let reg = Isa.Reg.r
+let mode_symbols = [ "sensor_init"; "calibrate"; "daytime"; "nighttime" ]
+
+let largest_mode_bytes (img : Isa.Image.t) =
+  List.fold_left
+    (fun acc n ->
+      match Isa.Image.find_symbol img n with
+      | Some s -> max acc s.sym_size
+      | None -> acc)
+    0 mode_symbols
+
+let image ?(day_night_cycles = 6) ?(samples_per_mode = 2000)
+    ?(mode_bulk = 45) () =
+  let b = Isa.Builder.create "sensor_modes" in
+  let trace = Isa.Builder.space b 4096 in
+  let var_offset = Isa.Builder.word b 0 in
+  let var_events = Isa.Builder.word b 0 in
+  let var_integral = Isa.Builder.word b 0 in
+  let var_cksum = Isa.Builder.word b 0 in
+  let l_main = Isa.Builder.new_label b in
+  let l_init = Isa.Builder.new_label b in
+  let l_cal = Isa.Builder.new_label b in
+  let l_day = Isa.Builder.new_label b in
+  let l_night = Isa.Builder.new_label b in
+  Isa.Builder.entry b l_main;
+
+  (* Extra per-sample work that bulks a mode's code: a chain of
+     distinct shift/add "filter taps" (straight-line, all hot). *)
+  let bulk_taps seed acc tmp =
+    for k = 0 to mode_bulk - 1 do
+      let sh = 1 + ((seed + k) mod 5) in
+      Isa.Builder.ins b (Isa.Instr.Alui (Sra, tmp, acc, sh));
+      Isa.Builder.ins b
+        (if k land 1 = 0 then Isa.Instr.Alu (Add, acc, acc, tmp)
+         else Isa.Instr.Alu (Xor, acc, acc, tmp))
+    done
+  in
+
+  (* --- initialisation: fill the sample trace --- *)
+  Isa.Builder.func b "sensor_init" l_init (fun () ->
+      Gen.fill_xorshift b ~buf_addr:trace ~bytes:4096 ~seed:0x5EED8;
+      Isa.Builder.ins b (Isa.Instr.Jr Isa.Reg.ra));
+
+  (* --- calibration: mean over the trace -> offset --- *)
+  Isa.Builder.func b "calibrate" l_cal (fun () ->
+      Isa.Builder.li b (reg 5) trace;
+      Isa.Builder.li b (reg 6) (trace + 4096);
+      Isa.Builder.li b (reg 7) 0;
+      let top = Isa.Builder.label b in
+      Isa.Builder.ins b (Isa.Instr.Ldb (reg 8, reg 5, 0));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 7, reg 7, reg 8));
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 5, reg 5, 1));
+      Isa.Builder.br b Ne (reg 5) (reg 6) top;
+      Isa.Builder.ins b (Isa.Instr.Alui (Srl, reg 7, reg 7, 12));
+      Isa.Builder.li b (reg 5) var_offset;
+      Isa.Builder.ins b (Isa.Instr.St (reg 7, reg 5, 0));
+      Isa.Builder.ins b (Isa.Instr.Jr Isa.Reg.ra));
+
+  (* --- daytime: 4-tap FIR + threshold event counting.
+         r1 = sample count. --- *)
+  Isa.Builder.func b "daytime" l_day (fun () ->
+      Isa.Builder.li b (reg 5) trace;
+      Isa.Builder.li b (reg 6) 0 (* i *);
+      Isa.Builder.li b (reg 7) 0 (* events *);
+      Isa.Builder.li b (reg 8) 0 (* fir state *);
+      Isa.Builder.li b (reg 14) 0 (* checksum *);
+      let top = Isa.Builder.label b in
+      Isa.Builder.ins b (Isa.Instr.Alui (And, reg 9, reg 6, 4095));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 9, reg 9, reg 5));
+      Isa.Builder.ins b (Isa.Instr.Ldb (reg 10, reg 9, 0));
+      (* fir = fir - fir/4 + x *)
+      Isa.Builder.ins b (Isa.Instr.Alui (Sra, reg 11, reg 8, 2));
+      Isa.Builder.ins b (Isa.Instr.Alu (Sub, reg 8, reg 8, reg 11));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 8, reg 8, reg 10));
+      bulk_taps 1 (reg 8) (reg 12);
+      (* event when filtered value exceeds offset * 4 + 64 *)
+      Isa.Builder.li b (reg 11) var_offset;
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 11, reg 11, 0));
+      Isa.Builder.ins b (Isa.Instr.Alui (Sll, reg 11, reg 11, 2));
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 11, reg 11, 64));
+      let no_event = Isa.Builder.new_label b in
+      Isa.Builder.br b Lt (reg 8) (reg 11) no_event;
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 7, reg 7, 1));
+      Isa.Builder.here b no_event;
+      Isa.Builder.ins b (Isa.Instr.Alu (Xor, reg 14, reg 14, reg 8));
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 6, reg 6, 1));
+      Isa.Builder.br b Ne (reg 6) (reg 1) top;
+      Isa.Builder.li b (reg 5) var_events;
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 6, reg 5, 0));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 6, reg 6, reg 7));
+      Isa.Builder.ins b (Isa.Instr.St (reg 6, reg 5, 0));
+      Isa.Builder.li b (reg 5) var_cksum;
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 6, reg 5, 0));
+      Isa.Builder.ins b (Isa.Instr.Alu (Xor, reg 6, reg 6, reg 14));
+      Isa.Builder.ins b (Isa.Instr.St (reg 6, reg 5, 0));
+      Isa.Builder.ins b (Isa.Instr.Jr Isa.Reg.ra));
+
+  (* --- nighttime: leaky integration + envelope. r1 = samples. --- *)
+  Isa.Builder.func b "nighttime" l_night (fun () ->
+      Isa.Builder.li b (reg 5) trace;
+      Isa.Builder.li b (reg 6) 0;
+      Isa.Builder.li b (reg 7) 0 (* integral *);
+      Isa.Builder.li b (reg 8) 0 (* envelope *);
+      Isa.Builder.li b (reg 14) 0 (* checksum *);
+      let top = Isa.Builder.label b in
+      Isa.Builder.ins b (Isa.Instr.Alui (And, reg 9, reg 6, 4095));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 9, reg 9, reg 5));
+      Isa.Builder.ins b (Isa.Instr.Ldb (reg 10, reg 9, 0));
+      (* integral = integral + x - integral/64 *)
+      Isa.Builder.ins b (Isa.Instr.Alui (Sra, reg 11, reg 7, 6));
+      Isa.Builder.ins b (Isa.Instr.Alu (Sub, reg 7, reg 7, reg 11));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 7, reg 7, reg 10));
+      bulk_taps 3 (reg 7) (reg 12);
+      (* envelope follows the integral upward, decays downward *)
+      let decay = Isa.Builder.new_label b in
+      let env_done = Isa.Builder.new_label b in
+      Isa.Builder.br b Lt (reg 7) (reg 8) decay;
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 8, reg 7, Isa.Reg.zero));
+      Isa.Builder.jmp b env_done;
+      Isa.Builder.here b decay;
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 8, reg 8, -1));
+      Isa.Builder.here b env_done;
+      Isa.Builder.ins b (Isa.Instr.Alu (Xor, reg 14, reg 14, reg 8));
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 6, reg 6, 1));
+      Isa.Builder.br b Ne (reg 6) (reg 1) top;
+      Isa.Builder.li b (reg 5) var_integral;
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 6, reg 5, 0));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 6, reg 6, reg 7));
+      Isa.Builder.ins b (Isa.Instr.St (reg 6, reg 5, 0));
+      Isa.Builder.li b (reg 5) var_cksum;
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 6, reg 5, 0));
+      Isa.Builder.ins b (Isa.Instr.Alu (Xor, reg 6, reg 6, reg 14));
+      Isa.Builder.ins b (Isa.Instr.St (reg 6, reg 5, 0));
+      Isa.Builder.ins b (Isa.Instr.Jr Isa.Reg.ra));
+
+  (* --- main: init, calibrate, then alternate modes --- *)
+  Isa.Builder.func b "main" l_main (fun () ->
+      Isa.Builder.jal b l_init;
+      Isa.Builder.jal b l_cal;
+      Isa.Builder.li b (reg 20) day_night_cycles;
+      let cycle = Isa.Builder.label b in
+      Isa.Builder.li b (reg 1) samples_per_mode;
+      Isa.Builder.jal b l_day;
+      Isa.Builder.li b (reg 1) samples_per_mode;
+      Isa.Builder.jal b l_night;
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 20, reg 20, -1));
+      Isa.Builder.br b Ne (reg 20) Isa.Reg.zero cycle;
+      List.iter
+        (fun v ->
+          Isa.Builder.li b (reg 5) v;
+          Isa.Builder.ins b (Isa.Instr.Ld (reg 6, reg 5, 0));
+          Isa.Builder.ins b (Isa.Instr.Out (reg 6)))
+        [ var_events; var_integral; var_cksum ];
+      Isa.Builder.ins b Isa.Instr.Halt);
+  Isa.Builder.build b

@@ -1,0 +1,31 @@
+(** The paper's Figure 2 scenario: a sensor node with operating modes.
+
+    "The code includes modules for initialization, calibration and two
+    modes of operation, but only one module is active at a given time.
+    The device physical memory can be sized to fit one module."
+
+    Four procedures with disjoint code — initialisation, calibration,
+    a daytime mode (FIR filtering + event thresholding) and a nighttime
+    mode (leaky integration + envelope tracking) — driven by a main
+    loop that switches mode infrequently. Because the SoftCache is
+    fully associative, sizing the tcache to the largest single mode
+    guarantees zero steady-state misses within a mode; only the
+    infrequent transitions page. The quickstart example and the
+    mode-sizing bench both build on this image. *)
+
+val name : string
+
+val image :
+  ?day_night_cycles:int -> ?samples_per_mode:int -> ?mode_bulk:int ->
+  unit -> Isa.Image.t
+(** Defaults: 6 day/night cycles of 2000 samples each; [mode_bulk]
+    (default 45) pads each mode's kernel with extra filter taps so a
+    single mode is ≈ 1 KB of code. *)
+
+val mode_symbols : string list
+(** Names of the four mode procedures, in address order:
+    ["sensor_init"; "calibrate"; "daytime"; "nighttime"]. *)
+
+val largest_mode_bytes : Isa.Image.t -> int
+(** Static size of the biggest mode procedure — the Figure 2 "minimum
+    memory required". *)

@@ -1,0 +1,1 @@
+test/test_core_units.ml: Alcotest Array Bytes Gen Isa List QCheck QCheck_alcotest Softcache String

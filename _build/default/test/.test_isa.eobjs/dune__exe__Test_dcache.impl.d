@@ -1,0 +1,1 @@
+test/test_dcache.ml: Alcotest Dcache Gen Isa List Machine Printf QCheck QCheck_alcotest Softcache

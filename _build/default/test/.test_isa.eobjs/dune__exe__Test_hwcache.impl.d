@@ -1,0 +1,1 @@
+test/test_hwcache.ml: Alcotest Array Gen Hwcache List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Bytes Char Gen In_channel Isa List Machine Option QCheck QCheck_alcotest Softcache String

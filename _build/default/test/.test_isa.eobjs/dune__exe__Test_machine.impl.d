@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Gen Isa List Machine QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_models.ml: Alcotest Gen Isa List Machine Netmodel Powermodel Profiler QCheck QCheck_alcotest Report

@@ -1,0 +1,1 @@
+test/test_softcache.ml: Alcotest Array Gen Isa List Machine Netmodel Option Printf QCheck QCheck_alcotest Softcache String

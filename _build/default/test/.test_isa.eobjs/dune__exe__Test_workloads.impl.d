@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Isa List Machine Printf Profiler Softcache String Workloads

@@ -1,0 +1,401 @@
+(* Tests for the ERISC interpreter: memory, ALU semantics, control
+   flow, faults, costs and hooks. *)
+
+let reg = Isa.Reg.r
+
+(* Build and run a straight-line program; return the CPU. *)
+let run_prog ?cost ?(fuel = 100_000) instrs =
+  let b = Isa.Builder.create "t" in
+  List.iter (Isa.Builder.ins b) instrs;
+  let img = Isa.Builder.build b in
+  let cpu = Machine.Cpu.of_image ?cost img in
+  let outcome = Machine.Cpu.run ~fuel cpu in
+  (cpu, outcome)
+
+let check_out name expected instrs =
+  let cpu, outcome = run_prog instrs in
+  Alcotest.(check bool) (name ^ " halted") true (outcome = Machine.Cpu.Halted);
+  Alcotest.(check (list int)) name expected (Machine.Cpu.outputs cpu)
+
+(* ------------------------------------------------------------------ *)
+(* Memory *)
+
+let test_memory_rw () =
+  let m = Machine.Memory.create 64 in
+  Machine.Memory.write32 m 0 0x12345678;
+  Alcotest.(check int) "read32" 0x12345678 (Machine.Memory.read32 m 0);
+  Alcotest.(check int) "little-endian byte 0" 0x78 (Machine.Memory.read8 m 0);
+  Alcotest.(check int) "little-endian byte 3" 0x12 (Machine.Memory.read8 m 3);
+  Machine.Memory.write32 m 4 (-1);
+  Alcotest.(check int) "negative roundtrip" (-1) (Machine.Memory.read32 m 4);
+  Machine.Memory.write8 m 8 0x1FF;
+  Alcotest.(check int) "write8 truncates" 0xFF (Machine.Memory.read8 m 8)
+
+let test_memory_faults () =
+  let m = Machine.Memory.create 64 in
+  (match Machine.Memory.read32 m 62 with
+  | exception Machine.Memory.Out_of_bounds _ -> ()
+  | _ -> Alcotest.fail "read32 past end");
+  (match Machine.Memory.read32 m 2 with
+  | exception Machine.Memory.Unaligned _ -> ()
+  | _ -> Alcotest.fail "unaligned read32");
+  (match Machine.Memory.read8 m (-1) with
+  | exception Machine.Memory.Out_of_bounds _ -> ()
+  | _ -> Alcotest.fail "negative read8");
+  match Machine.Memory.write32 m 64 0 with
+  | exception Machine.Memory.Out_of_bounds _ -> ()
+  | _ -> Alcotest.fail "write32 past end"
+
+let test_memory_hash () =
+  let m = Machine.Memory.create 64 in
+  let h0 = Machine.Memory.hash m ~lo:0 ~hi:64 in
+  Machine.Memory.write8 m 10 1;
+  let h1 = Machine.Memory.hash m ~lo:0 ~hi:64 in
+  Alcotest.(check bool) "hash changes" true (h0 <> h1);
+  Alcotest.(check int) "hash outside range unchanged" h0
+    (Machine.Memory.hash m ~lo:11 ~hi:64 * 0 + h0)
+
+(* ------------------------------------------------------------------ *)
+(* ALU semantics *)
+
+let li rd v = Isa.Instr.Alui (Add, rd, Isa.Reg.zero, v)
+
+let test_alu_wraparound () =
+  check_out "add wraps to negative"
+    [ -2147483648 ]
+    [
+      Isa.Instr.Lui (reg 1, 0x7FFF);
+      Isa.Instr.Alui (Or, reg 1, reg 1, -1) (* 0x7FFFFFFF via zero-extended imm *);
+      li (reg 2) 1;
+      Isa.Instr.Alu (Add, reg 3, reg 1, reg 2);
+      Isa.Instr.Out (reg 3);
+      Isa.Instr.Halt;
+    ]
+
+let test_alu_bitwise_zero_extends () =
+  check_out "ori zero-extends" [ 0xFFFF ]
+    [
+      li (reg 1) 0;
+      Isa.Instr.Alui (Or, reg 1, reg 1, -1);
+      Isa.Instr.Out (reg 1);
+      Isa.Instr.Halt;
+    ]
+
+let test_alu_shifts () =
+  check_out "shifts" [ 16; 0x3FFFFFFF; -1 ]
+    [
+      li (reg 1) 4;
+      Isa.Instr.Alui (Sll, reg 2, reg 1, 2);
+      Isa.Instr.Out (reg 2);
+      li (reg 3) (-1);
+      Isa.Instr.Alui (Srl, reg 4, reg 3, 2);
+      Isa.Instr.Out (reg 4);
+      Isa.Instr.Alui (Sra, reg 5, reg 3, 2);
+      Isa.Instr.Out (reg 5);
+      Isa.Instr.Halt;
+    ]
+
+let test_alu_compare () =
+  check_out "slt vs sltu" [ 1; 0 ]
+    [
+      li (reg 1) (-1);
+      li (reg 2) 1;
+      Isa.Instr.Alu (Slt, reg 3, reg 1, reg 2);
+      Isa.Instr.Out (reg 3);
+      Isa.Instr.Alu (Sltu, reg 4, reg 1, reg 2) (* 0xFFFFFFFF < 1 unsigned? no *);
+      Isa.Instr.Out (reg 4);
+      Isa.Instr.Halt;
+    ]
+
+let test_alu_div () =
+  check_out "signed division truncates" [ -2 ]
+    [
+      li (reg 1) (-7);
+      li (reg 2) 3;
+      Isa.Instr.Alu (Div, reg 3, reg 1, reg 2);
+      Isa.Instr.Out (reg 3);
+      Isa.Instr.Halt;
+    ]
+
+let test_div_by_zero () =
+  let b = Isa.Builder.create "t" in
+  Isa.Builder.ins b (li (reg 1) 1);
+  Isa.Builder.ins b (Isa.Instr.Alu (Div, reg 2, reg 1, Isa.Reg.zero));
+  Isa.Builder.ins b Isa.Instr.Halt;
+  let cpu = Machine.Cpu.of_image (Isa.Builder.build b) in
+  match Machine.Cpu.run cpu with
+  | exception Machine.Cpu.Fault (Machine.Cpu.Division_by_zero, _) -> ()
+  | _ -> Alcotest.fail "expected division fault"
+
+let test_r0_hardwired () =
+  check_out "writes to r0 ignored" [ 0 ]
+    [
+      li Isa.Reg.zero 42;
+      Isa.Instr.Out Isa.Reg.zero;
+      Isa.Instr.Halt;
+    ]
+
+let test_lui_ori_li () =
+  check_out "32-bit constant assembly" [ 0x12345678 ]
+    [
+      Isa.Instr.Lui (reg 1, 0x1234);
+      Isa.Instr.Alui (Or, reg 1, reg 1, 0x5678);
+      Isa.Instr.Out (reg 1);
+      Isa.Instr.Halt;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Loads / stores *)
+
+let test_load_store () =
+  let b = Isa.Builder.create "mem" in
+  let addr = Isa.Builder.word b 11 in
+  Isa.Builder.li b (reg 1) addr;
+  Isa.Builder.ins b (Isa.Instr.Ld (reg 2, reg 1, 0));
+  Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 2, reg 2, 1));
+  Isa.Builder.ins b (Isa.Instr.St (reg 2, reg 1, 0));
+  Isa.Builder.ins b (Isa.Instr.Ld (reg 3, reg 1, 0));
+  Isa.Builder.ins b (Isa.Instr.Out (reg 3));
+  Isa.Builder.ins b (Isa.Instr.Stb (reg 3, reg 1, 5));
+  Isa.Builder.ins b (Isa.Instr.Ldb (reg 4, reg 1, 5));
+  Isa.Builder.ins b (Isa.Instr.Out (reg 4));
+  Isa.Builder.ins b Isa.Instr.Halt;
+  let img = Isa.Builder.build b in
+  let cpu = Machine.Cpu.of_image img in
+  let _ = Machine.Cpu.run cpu in
+  Alcotest.(check (list int)) "load/store" [ 12; 12 ] (Machine.Cpu.outputs cpu)
+
+(* ------------------------------------------------------------------ *)
+(* Control flow *)
+
+let test_branch_loop () =
+  let b = Isa.Builder.create "loop" in
+  Isa.Builder.li b (reg 1) 5;
+  Isa.Builder.li b (reg 2) 0;
+  let top = Isa.Builder.label b in
+  Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 2, reg 2, reg 1));
+  Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 1, reg 1, -1));
+  Isa.Builder.br b Ne (reg 1) Isa.Reg.zero top;
+  Isa.Builder.ins b (Isa.Instr.Out (reg 2));
+  Isa.Builder.ins b Isa.Instr.Halt;
+  let cpu = Machine.Cpu.of_image (Isa.Builder.build b) in
+  let _ = Machine.Cpu.run cpu in
+  Alcotest.(check (list int)) "sum 1..5" [ 15 ] (Machine.Cpu.outputs cpu)
+
+let test_call_return () =
+  let b = Isa.Builder.create "call" in
+  let double = Isa.Builder.new_label b in
+  let main = Isa.Builder.new_label b in
+  Isa.Builder.entry b main;
+  Isa.Builder.func b "double" double (fun () ->
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 1, reg 1, reg 1));
+      Isa.Builder.ins b (Isa.Instr.Jr Isa.Reg.ra));
+  Isa.Builder.func b "main" main (fun () ->
+      Isa.Builder.li b (reg 1) 21;
+      Isa.Builder.jal b double;
+      Isa.Builder.ins b (Isa.Instr.Out (reg 1));
+      Isa.Builder.ins b Isa.Instr.Halt);
+  let cpu = Machine.Cpu.of_image (Isa.Builder.build b) in
+  let _ = Machine.Cpu.run cpu in
+  Alcotest.(check (list int)) "call/return" [ 42 ] (Machine.Cpu.outputs cpu)
+
+let test_jalr_indirect () =
+  let b = Isa.Builder.create "jalr" in
+  let f = Isa.Builder.new_label b in
+  let main = Isa.Builder.new_label b in
+  Isa.Builder.entry b main;
+  Isa.Builder.func b "f" f (fun () ->
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 1, reg 1, 100));
+      Isa.Builder.ins b (Isa.Instr.Jr Isa.Reg.ra));
+  Isa.Builder.func b "main" main (fun () ->
+      Isa.Builder.li b (reg 1) 1;
+      Isa.Builder.la b (reg 5) f;
+      Isa.Builder.ins b (Isa.Instr.Jalr (Isa.Reg.ra, reg 5));
+      Isa.Builder.ins b (Isa.Instr.Out (reg 1));
+      Isa.Builder.ins b Isa.Instr.Halt);
+  let cpu = Machine.Cpu.of_image (Isa.Builder.build b) in
+  let _ = Machine.Cpu.run cpu in
+  Alcotest.(check (list int)) "jalr" [ 101 ] (Machine.Cpu.outputs cpu)
+
+let test_out_of_fuel () =
+  let b = Isa.Builder.create "spin" in
+  let top = Isa.Builder.label b in
+  Isa.Builder.jmp b top;
+  let cpu = Machine.Cpu.of_image (Isa.Builder.build b) in
+  Alcotest.(check bool)
+    "spins forever" true
+    (Machine.Cpu.run ~fuel:1000 cpu = Machine.Cpu.Out_of_fuel);
+  Alcotest.(check int) "retired exactly fuel" 1000 cpu.retired
+
+let test_invalid_opcode_fault () =
+  let mem = Machine.Memory.create 1024 in
+  Machine.Memory.write32 mem 0 (63 lsl 26);
+  let cpu = Machine.Cpu.create ~mem ~pc:0 () in
+  match Machine.Cpu.run cpu with
+  | exception Machine.Cpu.Fault (Machine.Cpu.Invalid_opcode _, 0) -> ()
+  | _ -> Alcotest.fail "expected invalid opcode fault"
+
+let test_unhandled_trap_fault () =
+  let cpu, outcome =
+    match run_prog [ Isa.Instr.Trap 3; Isa.Instr.Halt ] with
+    | r -> r
+    | exception Machine.Cpu.Fault (Machine.Cpu.Unhandled_trap 3, _) ->
+      raise Exit
+  in
+  ignore cpu;
+  ignore outcome;
+  Alcotest.fail "expected unhandled trap fault"
+
+let test_unhandled_trap_fault () =
+  try test_unhandled_trap_fault () with Exit -> ()
+
+let test_trap_handler () =
+  let b = Isa.Builder.create "trap" in
+  Isa.Builder.ins b (Isa.Instr.Trap 7);
+  Isa.Builder.ins b Isa.Instr.Halt;
+  let img = Isa.Builder.build b in
+  let cpu = Machine.Cpu.of_image img in
+  let seen = ref (-1) in
+  cpu.trap_handler <-
+    Some
+      (fun c k ->
+        seen := k;
+        c.pc <- c.pc + 4);
+  let _ = Machine.Cpu.run cpu in
+  Alcotest.(check int) "handler saw index" 7 !seen;
+  Alcotest.(check bool) "halted after handler" true cpu.halted
+
+let test_unaligned_jump_fault () =
+  let b = Isa.Builder.create "uj" in
+  Isa.Builder.li b (reg 1) 0x1002;
+  Isa.Builder.ins b (Isa.Instr.Jr (reg 1));
+  let cpu = Machine.Cpu.of_image (Isa.Builder.build b) in
+  match Machine.Cpu.run cpu with
+  | exception Machine.Cpu.Fault (Machine.Cpu.Unaligned_fetch _, _) -> ()
+  | _ -> Alcotest.fail "expected unaligned fetch fault"
+
+(* ------------------------------------------------------------------ *)
+(* Cost accounting and hooks *)
+
+let test_cycle_accounting () =
+  let cost = Machine.Cost.default in
+  let cpu, _ =
+    run_prog ~cost
+      [
+        li (reg 1) 3 (* alu *);
+        Isa.Instr.St (reg 1, Isa.Reg.sp, -4) (* store *);
+        Isa.Instr.Ld (reg 2, Isa.Reg.sp, -4) (* load *);
+        Isa.Instr.Br (Eq, reg 1, reg 2, 2) (* taken *);
+        Isa.Instr.Nop (* skipped *);
+        Isa.Instr.Br (Ne, reg 1, reg 2, -1) (* not taken *);
+        Isa.Instr.Halt (* jump class *);
+      ]
+  in
+  let expected =
+    cost.alu + cost.store + cost.load + cost.branch_taken
+    + cost.branch_not_taken + cost.jump
+  in
+  Alcotest.(check int) "cycles" expected cpu.cycles;
+  Alcotest.(check int) "retired" 6 cpu.retired
+
+let test_uniform_cost () =
+  let cpu, _ = run_prog ~cost:(Machine.Cost.uniform 3) [ li (reg 1) 1; Isa.Instr.Halt ] in
+  Alcotest.(check int) "uniform" 6 cpu.cycles
+
+let test_fetch_hook () =
+  let fetches = ref [] in
+  let b = Isa.Builder.create "hook" in
+  Isa.Builder.ins b Isa.Instr.Nop;
+  Isa.Builder.ins b Isa.Instr.Nop;
+  Isa.Builder.ins b Isa.Instr.Halt;
+  let img = Isa.Builder.build b in
+  let cpu = Machine.Cpu.of_image img in
+  cpu.on_fetch <- Some (fun a -> fetches := a :: !fetches);
+  let _ = Machine.Cpu.run cpu in
+  Alcotest.(check (list int))
+    "fetch trace"
+    [ img.code_base; img.code_base + 4; img.code_base + 8 ]
+    (List.rev !fetches)
+
+let test_load_store_hooks () =
+  let loads = ref 0 and stores = ref 0 in
+  let b = Isa.Builder.create "hook2" in
+  let a = Isa.Builder.word b 5 in
+  Isa.Builder.li b (reg 1) a;
+  Isa.Builder.ins b (Isa.Instr.Ld (reg 2, reg 1, 0));
+  Isa.Builder.ins b (Isa.Instr.St (reg 2, reg 1, 0));
+  Isa.Builder.ins b Isa.Instr.Halt;
+  let cpu = Machine.Cpu.of_image (Isa.Builder.build b) in
+  cpu.on_load <- Some (fun _ -> incr loads);
+  cpu.on_store <- Some (fun _ -> incr stores);
+  let _ = Machine.Cpu.run cpu in
+  Alcotest.(check int) "loads" 1 !loads;
+  Alcotest.(check int) "stores" 1 !stores
+
+(* Deterministic execution: same program, same result, twice. *)
+let test_determinism =
+  QCheck.Test.make ~count:50 ~name:"execution is deterministic"
+    QCheck.(make Gen.(int_range 1 300))
+    (fun n ->
+      let build () =
+        let b = Isa.Builder.create "det" in
+        Isa.Builder.li b (reg 1) n;
+        Isa.Builder.li b (reg 2) 1;
+        let top = Isa.Builder.label b in
+        Isa.Builder.ins b (Isa.Instr.Alu (Mul, reg 2, reg 2, reg 1));
+        Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 1, reg 1, -1));
+        Isa.Builder.br b Ne (reg 1) Isa.Reg.zero top;
+        Isa.Builder.ins b (Isa.Instr.Out (reg 2));
+        Isa.Builder.ins b Isa.Instr.Halt;
+        Isa.Builder.build b
+      in
+      let r1 = Machine.Cpu.of_image (build ()) in
+      let r2 = Machine.Cpu.of_image (build ()) in
+      let _ = Machine.Cpu.run r1 and _ = Machine.Cpu.run r2 in
+      Machine.Cpu.outputs r1 = Machine.Cpu.outputs r2
+      && r1.cycles = r2.cycles && r1.retired = r2.retired)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "machine"
+    [
+      ( "memory",
+        [
+          Alcotest.test_case "read/write" `Quick test_memory_rw;
+          Alcotest.test_case "faults" `Quick test_memory_faults;
+          Alcotest.test_case "hash" `Quick test_memory_hash;
+        ] );
+      ( "alu",
+        [
+          Alcotest.test_case "wraparound" `Quick test_alu_wraparound;
+          Alcotest.test_case "bitwise imm zero-extends" `Quick
+            test_alu_bitwise_zero_extends;
+          Alcotest.test_case "shifts" `Quick test_alu_shifts;
+          Alcotest.test_case "compare" `Quick test_alu_compare;
+          Alcotest.test_case "division" `Quick test_alu_div;
+          Alcotest.test_case "division by zero" `Quick test_div_by_zero;
+          Alcotest.test_case "r0 hardwired" `Quick test_r0_hardwired;
+          Alcotest.test_case "lui/ori" `Quick test_lui_ori_li;
+        ] );
+      ( "mem-ops",
+        [ Alcotest.test_case "load/store" `Quick test_load_store ] );
+      ( "control",
+        [
+          Alcotest.test_case "branch loop" `Quick test_branch_loop;
+          Alcotest.test_case "call/return" `Quick test_call_return;
+          Alcotest.test_case "jalr" `Quick test_jalr_indirect;
+          Alcotest.test_case "out of fuel" `Quick test_out_of_fuel;
+          Alcotest.test_case "invalid opcode" `Quick test_invalid_opcode_fault;
+          Alcotest.test_case "unhandled trap" `Quick test_unhandled_trap_fault;
+          Alcotest.test_case "trap handler" `Quick test_trap_handler;
+          Alcotest.test_case "unaligned jump" `Quick test_unaligned_jump_fault;
+        ] );
+      ( "cost",
+        [
+          Alcotest.test_case "accounting" `Quick test_cycle_accounting;
+          Alcotest.test_case "uniform" `Quick test_uniform_cost;
+          Alcotest.test_case "fetch hook" `Quick test_fetch_hook;
+          Alcotest.test_case "load/store hooks" `Quick test_load_store_hooks;
+          qt test_determinism;
+        ] );
+    ]

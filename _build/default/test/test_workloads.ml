@@ -1,0 +1,298 @@
+(* Workload suite tests: every program halts with pinned golden
+   outputs, is observationally identical under the SoftCache in both
+   chunking modes (including cache sizes that force heavy paging — the
+   compress95 @ 1KB case is the regression test for the persistent-stub
+   collision bug), and has the footprint shape its paper counterpart
+   calls for. *)
+
+let golden =
+  [
+    ("compress95", [ 11129; -61270346; -93927114; 1 ]);
+    ( "adpcm_encode",
+      [ 10000; 10000; -653204598; -653247846; 4743634; 4743578 ] );
+    ( "adpcm_decode",
+      [ -1619557109; -1619584388; 32767; 32767; 2064535344; 2064528446 ] );
+    ("hextobdd", [ 694213438; 90; 110 ]);
+    ("mpeg2enc", [ 1693354336; 11316; -1205180161 ]);
+    ("gzip", [ -2080344789; 15998; 127; 384 ]);
+    ("cjpeg", [ -1472139696; 25458; 1181934; 1175916 ]);
+    ("sensor_modes", [ 240; 370540996; 0 ]);
+  ]
+
+let entry name =
+  match Workloads.Registry.find name with
+  | Some e -> e
+  | None -> Alcotest.failf "workload %s not registered" name
+
+let test_golden name () =
+  let e = entry name in
+  let r = Softcache.Runner.native (e.build ()) in
+  Alcotest.(check bool) "halts" true (r.outcome = Machine.Cpu.Halted);
+  Alcotest.(check (list int)) "golden outputs" (List.assoc name golden) r.outputs
+
+let test_cached_equiv name () =
+  let e = entry name in
+  let img = e.build () in
+  let native = Softcache.Runner.native img in
+  List.iter
+    (fun (label, cfg) ->
+      match Softcache.Runner.cached cfg img with
+      | cached, _ ->
+        Alcotest.(check (list int))
+          (Printf.sprintf "%s/%s" name label)
+          native.outputs cached.outputs
+      | exception Softcache.Controller.Chunk_too_large _ ->
+        (* only acceptable for procedure chunking at tiny sizes *)
+        Alcotest.(check bool)
+          (label ^ " too-large only in proc mode")
+          true
+          (String.length label >= 4 && String.sub label 0 4 = "proc"))
+    [
+      ("bb-large", Softcache.Config.sparc_prototype ());
+      ("bb-2KB", Softcache.Config.sparc_prototype ~tcache_bytes:2048 ());
+      ( "proc-8KB",
+        Softcache.Config.make ~tcache_bytes:8192
+          ~chunking:Softcache.Config.Procedure () );
+    ]
+
+(* Regression: compress95 in a 1KB tcache used to livelock when the
+   persistent stub area grew into a freshly reserved block. *)
+let test_compress_1kb_thrash () =
+  let img = Workloads.Compress.image () in
+  let native = Softcache.Runner.native img in
+  let cfg = Softcache.Config.sparc_prototype ~tcache_bytes:1024 () in
+  let cached, ctrl = Softcache.Runner.cached ~fuel:100_000_000 cfg img in
+  Alcotest.(check bool) "halts" true (cached.outcome = Machine.Cpu.Halted);
+  Alcotest.(check (list int)) "outputs" native.outputs cached.outputs;
+  Alcotest.(check bool) "thrashes" true (ctrl.stats.evicted_blocks > 1000);
+  Alcotest.(check bool)
+    "persistent stubs in use" true
+    (ctrl.stats.ret_stubs > 0);
+  (* stub recycling keeps CC metadata proportional to residency, not to
+     the 170k translations this run performs *)
+  Alcotest.(check bool)
+    (Printf.sprintf "metadata bounded (%d B)"
+       (Softcache.Controller.metadata_bytes ctrl))
+    true
+    (Softcache.Controller.metadata_bytes ctrl < 4 * 1024)
+
+let test_symbols name symbols () =
+  let img = (entry name).build () in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s has %s" name s)
+        true
+        (Isa.Image.find_symbol img s <> None))
+    symbols
+
+let app_bytes (img : Isa.Image.t) =
+  List.fold_left
+    (fun a (s : Isa.Image.symbol) ->
+      if String.length s.sym_name >= 5 && String.sub s.sym_name 0 5 = "libc_"
+      then a
+      else a + s.sym_size)
+    0 img.symbols
+
+let test_fig9_ratios () =
+  List.iter
+    (fun (name, lo, hi) ->
+      let img = (entry name).build () in
+      let prof, _ = Profiler.profile img in
+      let ratio =
+        float_of_int (Profiler.hot_bytes prof)
+        /. float_of_int (app_bytes img)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s hot/app %.3f in [%.2f, %.2f]" name ratio lo hi)
+        true
+        (ratio >= lo && ratio <= hi))
+    [
+      ("adpcm_encode", 0.06, 0.12);
+      ("adpcm_decode", 0.04, 0.10);
+      ("gzip", 0.06, 0.12);
+      ("cjpeg", 0.10, 0.16);
+    ]
+
+let test_table1_ratios () =
+  List.iter
+    (fun (name, lo, hi) ->
+      let img = (entry name).build () in
+      let prof, _ = Profiler.profile img in
+      let ratio =
+        float_of_int (Profiler.dynamic_text_bytes prof)
+        /. float_of_int (Isa.Image.static_text_bytes img)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s dyn/static %.3f in [%.2f, %.2f]" name ratio lo hi)
+        true
+        (ratio >= lo && ratio <= hi))
+    [
+      ("compress95", 0.08, 0.16);
+      ("hextobdd", 0.07, 0.15);
+      ("mpeg2enc", 0.17, 0.28);
+    ]
+
+(* The Fig. 8 shape: adpcm encode's steady state fits in 900 B of CC
+   memory but not 800 B. *)
+let test_adpcm_fig8_shape () =
+  let img = Workloads.Adpcm.encode_image () in
+  let evictions bytes =
+    let cfg =
+      Softcache.Config.make ~tcache_bytes:bytes
+        ~chunking:Softcache.Config.Procedure ()
+    in
+    let _, ctrl = Softcache.Runner.cached cfg img in
+    ctrl.stats.evicted_blocks
+  in
+  let e800 = evictions 800 and e900 = evictions 900 and e1k = evictions 1024 in
+  Alcotest.(check bool)
+    (Printf.sprintf "800B pages hard (%d >> %d)" e800 e900)
+    true
+    (e800 > 100 * max 1 e900);
+  Alcotest.(check bool)
+    (Printf.sprintf "1KB pages no more than 900B (%d <= %d)" e1k e900)
+    true (e1k <= e900)
+
+let test_sensor_mode_sizing () =
+  let img = Workloads.Sensor.image () in
+  Alcotest.(check bool)
+    "largest mode positive" true
+    (Workloads.Sensor.largest_mode_bytes img > 0);
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " exists") true
+        (Isa.Image.find_symbol img n <> None))
+    Workloads.Sensor.mode_symbols
+
+(* Images are deterministic: building twice gives identical code. *)
+let test_images_deterministic () =
+  List.iter
+    (fun (e : Workloads.Registry.entry) ->
+      let a = e.build () and b = e.build () in
+      Alcotest.(check bool) (e.name ^ " deterministic") true
+        (a.code = b.code && a.data = b.data && a.entry = b.entry))
+    Workloads.Registry.all
+
+(* Scaling knobs actually scale. *)
+let test_scaling_knobs () =
+  let small = Workloads.Compress.image ~input_bytes:2000 () in
+  let big = Workloads.Compress.image ~input_bytes:8000 () in
+  let rs = Softcache.Runner.native small in
+  let rb = Softcache.Runner.native big in
+  Alcotest.(check bool) "bigger input, more work" true (rb.retired > rs.retired);
+  let thin = Workloads.Mpeg2.image ~stages:4 ~frames:1 () in
+  let wide = Workloads.Mpeg2.image ~stages:40 ~frames:1 () in
+  Alcotest.(check bool)
+    "more stages, more code" true
+    (let p1, _ = Profiler.profile thin and p2, _ = Profiler.profile wide in
+     Profiler.dynamic_text_bytes p2 > Profiler.dynamic_text_bytes p1)
+
+let test_gen_rng () =
+  let r1 = Workloads.Gen.rng 42 and r2 = Workloads.Gen.rng 42 in
+  let a = List.init 100 (fun _ -> Workloads.Gen.next r1) in
+  let b = List.init 100 (fun _ -> Workloads.Gen.next r2) in
+  Alcotest.(check bool) "deterministic" true (a = b);
+  Alcotest.(check bool)
+    "non-constant" true
+    (List.length (List.sort_uniq compare a) > 50);
+  List.iter
+    (fun v -> Alcotest.(check bool) "range bound" true (v >= 0 && v < 17))
+    (List.init 200 (fun _ -> Workloads.Gen.range r1 17));
+  match Workloads.Gen.range r1 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "range 0 should raise"
+
+(* Generated stage functions are genuine dataflow: running a stage
+   changes its state words and the result depends on the input. *)
+let test_gen_stages_dataflow () =
+  let b = Isa.Builder.create "stages" in
+  let reg = Isa.Reg.r in
+  let state = Isa.Builder.space b (4 * 8) in
+  let main = Isa.Builder.new_label b in
+  Isa.Builder.entry b main;
+  let stages =
+    Workloads.Gen.stage_functions b (Workloads.Gen.rng 77) ~prefix:"s"
+      ~state_addr:state ~count:4 ~body_instrs:40
+  in
+  Isa.Builder.func b "main" main (fun () ->
+
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, Isa.Reg.sp, Isa.Reg.sp, -8));
+      Isa.Builder.ins b (Isa.Instr.St (Isa.Reg.ra, Isa.Reg.sp, 4));
+      Isa.Builder.li b (reg 1) 12345;
+      Workloads.Gen.call_stages b stages;
+      Isa.Builder.ins b (Isa.Instr.Out (reg 1));
+      Isa.Builder.li b (reg 1) 999;
+      Workloads.Gen.call_stages b stages;
+      Isa.Builder.ins b (Isa.Instr.Out (reg 1));
+      Isa.Builder.ins b Isa.Instr.Halt);
+  let img = Isa.Builder.build b in
+  let r = Softcache.Runner.native img in
+  Alcotest.(check bool) "halts" true (r.outcome = Machine.Cpu.Halted);
+  match r.outputs with
+  | [ a; b2 ] ->
+    Alcotest.(check bool) "stateful (second call differs)" true (a <> b2)
+  | _ -> Alcotest.fail "expected two outputs"
+
+let test_registry () =
+  Alcotest.(check int) "8 workloads" 8 (List.length Workloads.Registry.all);
+  Alcotest.(check int) "table1 has 4" 4 (List.length Workloads.Registry.table1);
+  Alcotest.(check int) "fig9 has 4" 4 (List.length Workloads.Registry.fig9);
+  Alcotest.(check bool) "find missing" true (Workloads.Registry.find "nope" = None);
+  List.iter
+    (fun (e : Workloads.Registry.entry) ->
+      Alcotest.(check bool) (e.name ^ " findable") true
+        (Workloads.Registry.find e.name <> None))
+    Workloads.Registry.all
+
+let () =
+  let golden_cases =
+    List.map
+      (fun (n, _) -> Alcotest.test_case n `Quick (test_golden n))
+      golden
+  in
+  let equiv_cases =
+    List.map
+      (fun (e : Workloads.Registry.entry) ->
+        Alcotest.test_case e.name `Slow (test_cached_equiv e.name))
+      Workloads.Registry.all
+  in
+  Alcotest.run "workloads"
+    [
+      ("golden outputs", golden_cases);
+      ("softcache equivalence", equiv_cases);
+      ( "regressions",
+        [
+          Alcotest.test_case "compress95 @ 1KB thrash" `Slow
+            test_compress_1kb_thrash;
+        ] );
+      ( "shape",
+        [
+          Alcotest.test_case "fig9 hot/app ratios" `Quick test_fig9_ratios;
+          Alcotest.test_case "table1 dyn/static ratios" `Quick
+            test_table1_ratios;
+          Alcotest.test_case "adpcm fig8 shape" `Slow test_adpcm_fig8_shape;
+          Alcotest.test_case "sensor mode sizing" `Quick
+            test_sensor_mode_sizing;
+          Alcotest.test_case "compress symbols" `Quick
+            (test_symbols "compress95"
+               [ "hash_lookup"; "table_insert"; "emit_code"; "compress_run" ]);
+          Alcotest.test_case "mpeg2 symbols" `Quick
+            (test_symbols "mpeg2enc"
+               [ "dct_row"; "dct_col"; "dct_block"; "motion_probe";
+                 "quant_block"; "encode_frame" ]);
+          Alcotest.test_case "adpcm symbols" `Quick
+            (test_symbols "adpcm_encode"
+               [ "adpcm_coder"; "adpcm_quantize"; "adpcm_prefilter";
+                 "print_stats" ]);
+        ] );
+      ( "infrastructure",
+        [
+          Alcotest.test_case "deterministic builds" `Quick
+            test_images_deterministic;
+          Alcotest.test_case "scaling knobs" `Quick test_scaling_knobs;
+          Alcotest.test_case "generator rng" `Quick test_gen_rng;
+          Alcotest.test_case "stage dataflow" `Quick test_gen_stages_dataflow;
+          Alcotest.test_case "registry" `Quick test_registry;
+        ] );
+    ]
