@@ -57,13 +57,82 @@ let network_arg =
          `Local
        & info [ "net" ] ~docv:"NET" ~doc)
 
-let make_config tcache chunking eviction network =
+(* --faults seed=7,drop=0.05,corrupt=0.01,dup=0.02,spike=0.1,spike-cycles=20000 *)
+let faults_conv =
+  let parse s =
+    let seed = ref 1 and spike_cycles = ref 10_000 in
+    let drop = ref 0.0 and corrupt = ref 0.0 and dup = ref 0.0
+    and spike = ref 0.0 in
+    let field kv =
+      match String.index_opt kv '=' with
+      | None -> Error (Printf.sprintf "bad fault field %S (want key=value)" kv)
+      | Some i -> (
+        let k = String.sub kv 0 i in
+        let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+        let into r = match int_of_string_opt v with
+          | Some n -> r := n; Ok ()
+          | None -> Error (Printf.sprintf "%s: not an integer: %S" k v)
+        in
+        let fnto r = match float_of_string_opt v with
+          | Some f -> r := f; Ok ()
+          | None -> Error (Printf.sprintf "%s: not a number: %S" k v)
+        in
+        match k with
+        | "seed" -> into seed
+        | "spike-cycles" -> into spike_cycles
+        | "drop" -> fnto drop
+        | "corrupt" -> fnto corrupt
+        | "dup" -> fnto dup
+        | "spike" -> fnto spike
+        | _ ->
+          Error
+            (Printf.sprintf
+               "unknown fault field %S (want seed, drop, corrupt, dup, \
+                spike, spike-cycles)" k))
+    in
+    let rec all = function
+      | [] -> (
+        match
+          Netmodel.Faults.make ~seed:!seed ~drop:!drop ~corrupt:!corrupt
+            ~duplicate:!dup ~delay_spike:!spike ~spike_cycles:!spike_cycles
+            ()
+        with
+        | f -> Ok f
+        | exception Invalid_argument m -> Error m)
+      | kv :: rest -> ( match field kv with Ok () -> all rest | Error _ as e -> e)
+    in
+    match all (String.split_on_char ',' s) with
+    | Ok f -> Ok f
+    | Error m -> Error (`Msg m)
+  in
+  let print ppf f = Netmodel.Faults.pp ppf f in
+  Arg.conv (parse, print)
+
+let faults_arg =
+  let doc =
+    "Inject interconnect faults: comma-separated $(b,seed=N), $(b,drop=P), \
+     $(b,corrupt=P), $(b,dup=P), $(b,spike=P), $(b,spike-cycles=N). \
+     Probabilities are per message; the schedule is deterministic in the \
+     seed."
+  in
+  Arg.(value & opt (some faults_conv) None
+       & info [ "faults" ] ~docv:"SPEC" ~doc)
+
+let audit_arg =
+  let doc =
+    "Run the tcache invariant auditor after every translation, patch, \
+     eviction and flush (slow; fails loudly on any bookkeeping violation)."
+  in
+  Arg.(value & flag & info [ "audit" ] ~doc)
+
+let make_config ?faults ?(audit = false) tcache chunking eviction network =
   let net =
     match network with
-    | `Local -> Netmodel.local ()
-    | `Ethernet -> Netmodel.ethernet_10mbps ()
+    | `Local -> Netmodel.local ?faults ()
+    | `Ethernet -> Netmodel.ethernet_10mbps ?faults ()
   in
-  Softcache.Config.make ~tcache_bytes:tcache ~chunking ~eviction ~net ()
+  Softcache.Config.make ~tcache_bytes:tcache ~chunking ~eviction ~net ~audit
+    ()
 
 let list_cmd =
   let run () =
@@ -76,7 +145,7 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List the workload suite") Term.(const run $ const ())
 
 let run_cmd =
-  let run name tcache chunking eviction network verbose =
+  let run name tcache chunking eviction network faults audit verbose =
     setup_logs verbose;
     match find_workload name with
     | Error e -> prerr_endline e; 1
@@ -84,26 +153,57 @@ let run_cmd =
       let img = entry.build () in
       Format.printf "%a@." Isa.Image.pp_summary img;
       let native = Softcache.Runner.native img in
-      let cfg = make_config tcache chunking eviction network in
-      let cached, ctrl = Softcache.Runner.cached cfg img in
+      let cfg = make_config ?faults ~audit tcache chunking eviction network in
+      let audits = ref None in
+      let prepare ctrl =
+        audits := Check.Audit.install_if_configured ctrl
+      in
+      let cached, ctrl = Softcache.Runner.cached_robust ~prepare cfg img in
       Report.kv "native cycles" (string_of_int native.cycles);
       Report.kv "softcache cycles" (string_of_int cached.cycles);
-      Report.kv "relative execution time"
-        (Printf.sprintf "%.3f" (Softcache.Runner.slowdown ~native ~cached));
-      Report.kv "tcache miss rate"
-        (Printf.sprintf "%.6f (%d translations / %d instrs)"
-           (Softcache.Stats.miss_rate ctrl.stats ~retired:cached.retired)
-           ctrl.stats.translations cached.retired);
-      Report.kv "outputs match"
-        (string_of_bool (native.outputs = cached.outputs));
+      Report.kv "status"
+        (Format.asprintf "%a" Softcache.Runner.pp_status cached.status);
+      (match cached.status with
+      | Softcache.Runner.Finished _ ->
+        Report.kv "relative execution time"
+          (Printf.sprintf "%.3f"
+             (if native.cycles = 0 then nan
+              else float_of_int cached.cycles /. float_of_int native.cycles));
+        Report.kv "tcache miss rate"
+          (Printf.sprintf "%.6f (%d translations / %d instrs)"
+             (Softcache.Stats.miss_rate ctrl.stats ~retired:cached.retired)
+             ctrl.stats.translations cached.retired)
+      | Softcache.Runner.Unavailable _ -> ());
+      let ok =
+        cached.status = Softcache.Runner.Finished Machine.Cpu.Halted
+        && native.outputs = cached.outputs
+      in
+      Report.kv "outputs match" (string_of_bool ok);
+      Report.transport
+        ~injected:(not (Netmodel.Faults.is_none (Netmodel.faults cfg.net)))
+        ~drops:(Netmodel.drops cfg.net)
+        ~corruptions:(Netmodel.corruptions cfg.net)
+        ~duplicates:(Netmodel.duplicates cfg.net)
+        ~delay_spikes:(Netmodel.delay_spikes cfg.net)
+        ~retries:ctrl.stats.net_retries
+        ~max_chunk_retries:ctrl.stats.max_chunk_retries
+        ~timeouts:ctrl.stats.net_timeouts
+        ~crc_failures:ctrl.stats.crc_failures
+        ~recoveries:ctrl.stats.recoveries
+        ~chunk_failures:ctrl.stats.chunk_failures;
+      (match !audits with
+      | Some n -> Report.kv "audit" (Printf.sprintf "on, %d audits passed" !n)
+      | None -> ());
       Format.printf "  stats: %a@." Softcache.Stats.pp ctrl.stats;
       Format.printf "  %a@." Netmodel.pp cfg.net;
-      if native.outputs = cached.outputs then 0 else 2
+      (match cached.status with
+      | Softcache.Runner.Unavailable _ -> 3
+      | Softcache.Runner.Finished _ -> if ok then 0 else 2)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a workload natively and under the SoftCache")
     Term.(const run $ workload_arg $ tcache_arg $ chunking_arg $ eviction_arg
-          $ network_arg $ verbose_arg)
+          $ network_arg $ faults_arg $ audit_arg $ verbose_arg)
 
 let profile_cmd =
   let run name =

@@ -1,0 +1,347 @@
+(* Tcache invariant auditor.
+
+   Walks the controller's concrete state — resident blocks, the stub
+   table, recorded incoming pointers, persistent return stubs, the pin
+   set — and cross-checks it against the encoded words actually sitting
+   in client memory. Every patched pointer must be accounted for: the
+   whole eviction protocol rests on "incoming pointers are recorded at
+   the time they are created", so a single missing record is a latent
+   wild branch after the target block dies. *)
+
+open Softcache
+
+type violation = { invariant : string; detail : string }
+
+exception Audit_failure of violation list
+
+let pp_violation ppf v = Format.fprintf ppf "[%s] %s" v.invariant v.detail
+
+let word (t : Controller.t) paddr = Machine.Memory.read32 t.cpu.mem paddr
+
+let block_range (b : Tcache.block) = (b.paddr, b.paddr + (4 * b.words))
+
+let in_block (b : Tcache.block) p =
+  let lo, hi = block_range b in
+  p >= lo && p < hi
+
+(* Does [w], fetched from [site], transfer control to the start of
+   [b]?  Branch offsets are pc-relative in words; jumps are absolute. *)
+let aims_at ~site ~(b : Tcache.block) w =
+  match Isa.Encode.decode w with
+  | Some (Isa.Instr.Jmp p) | Some (Isa.Instr.Jal p) -> p = b.paddr
+  | Some (Isa.Instr.Br (_, _, _, d)) -> site + (4 * d) = b.paddr
+  | Some _ | None -> false
+
+(* The control-flow target of [w] at [site], if it has a static one. *)
+let static_target ~site w =
+  match Isa.Encode.decode w with
+  | Some (Isa.Instr.Jmp p) | Some (Isa.Instr.Jal p) -> Some p
+  | Some (Isa.Instr.Br (_, _, _, d)) -> Some (site + (4 * d))
+  | Some _ | None -> None
+
+let has_incoming (b : Tcache.block) ~site_paddr =
+  List.exists
+    (fun (i : Tcache.incoming) -> i.site_paddr = site_paddr)
+    b.incoming
+
+let run (t : Controller.t) : violation list =
+  let viols = ref [] in
+  let add invariant fmt =
+    Format.kasprintf
+      (fun detail -> viols := { invariant; detail } :: !viols)
+      fmt
+  in
+  let tc = t.tc in
+  let blocks = Tcache.blocks tc in
+  let base = Tcache.base tc in
+  let pb = Tcache.persist_base tc in
+  let top = Tcache.top tc in
+  let by_paddr = Hashtbl.create 64 in
+  List.iter (fun (b : Tcache.block) -> Hashtbl.replace by_paddr b.paddr b) blocks;
+
+  (* -- blocks sit inside the code area and never overlap ------------- *)
+  List.iter
+    (fun (b : Tcache.block) ->
+      let lo, hi = block_range b in
+      if lo < base || hi > pb then
+        add "region" "block v=0x%x [0x%x,0x%x) outside code area [0x%x,0x%x)"
+          b.vaddr lo hi base pb)
+    blocks;
+  let sorted =
+    List.sort
+      (fun (a : Tcache.block) (b : Tcache.block) -> compare a.paddr b.paddr)
+      blocks
+  in
+  let rec overlap_chain = function
+    | (a : Tcache.block) :: ((b : Tcache.block) :: _ as rest) ->
+      if a.paddr + (4 * a.words) > b.paddr then
+        add "overlap" "blocks v=0x%x@0x%x and v=0x%x@0x%x overlap" a.vaddr
+          a.paddr b.vaddr b.paddr;
+      overlap_chain rest
+    | [ _ ] | [] -> ()
+  in
+  overlap_chain sorted;
+
+  (* -- tcache map agrees with residency ----------------------------- *)
+  if Tcache.map_entries tc <> Tcache.resident_blocks tc then
+    add "map" "map has %d entries but %d blocks are resident"
+      (Tcache.map_entries tc)
+      (Tcache.resident_blocks tc);
+  List.iter
+    (fun (b : Tcache.block) ->
+      match Tcache.lookup tc b.vaddr with
+      | Some b' when b'.id = b.id -> ()
+      | Some b' ->
+        add "map" "map[v=0x%x] names block id=%d, expected id=%d" b.vaddr
+          b'.id b.id
+      | None -> add "map" "resident block v=0x%x missing from map" b.vaddr)
+    blocks;
+
+  (* -- pinned ids name resident blocks ------------------------------ *)
+  List.iter
+    (fun id ->
+      if not (Tcache.is_alive tc id) then
+        add "pinned" "pinned id=%d is not resident" id)
+    (Tcache.pinned_ids tc);
+
+  (* -- every recorded incoming pointer decodes sensibly ------------- *)
+  List.iter
+    (fun (b : Tcache.block) ->
+      List.iter
+        (fun (inc : Tcache.incoming) ->
+          let live_src =
+            inc.from_block = -1 || Tcache.is_alive tc inc.from_block
+          in
+          if live_src then begin
+            let w = word t inc.site_paddr in
+            if w <> inc.revert_word && not (aims_at ~site:inc.site_paddr ~b w)
+            then
+              add "incoming"
+                "site 0x%x recorded on v=0x%x holds 0x%08x: neither the \
+                 revert word nor a branch to 0x%x"
+                inc.site_paddr b.vaddr w b.paddr
+          end)
+        b.incoming)
+    blocks;
+
+  (* -- exit stubs: each site is in its revert state or patched at a
+        resident, recorded target ------------------------------------ *)
+  let check_exit b k = function
+    | Stub.Exit { block; site_paddr; kind; target; revert_word } ->
+      let b = (b : Tcache.block) in
+      if block <> b.id then
+        add "stub" "stub %d owned by block id=%d but records block=%d" k
+          b.id block;
+      if not (in_block b site_paddr) then
+        add "stub" "exit stub %d site 0x%x outside its block v=0x%x" k
+          site_paddr b.vaddr;
+      let w = word t site_paddr in
+      if w = revert_word then begin
+        (* branch exits trap through an in-block island; when the site
+           is in its miss state the island must either still trap or be
+           specialised into a recorded direct jump *)
+        match kind with
+        | Stub.Patch_br -> (
+          match Isa.Encode.decode revert_word with
+          | Some (Isa.Instr.Br (_, _, _, d)) -> (
+            let island = site_paddr + (4 * d) in
+            if not (in_block b island) then
+              add "stub" "stub %d br island 0x%x outside block v=0x%x" k
+                island b.vaddr
+            else
+              match Isa.Encode.decode (word t island) with
+              | Some (Isa.Instr.Trap j) ->
+                if j <> k then
+                  add "stub" "island 0x%x traps to %d, expected stub %d"
+                    island j k
+              | Some (Isa.Instr.Jmp p) -> (
+                match Tcache.lookup tc target with
+                | Some tb when tb.paddr = p ->
+                  if not (has_incoming tb ~site_paddr:island) then
+                    add "incoming"
+                      "island 0x%x jumps to v=0x%x but is not recorded as \
+                       an incoming pointer"
+                      island target
+                | Some tb ->
+                  add "stub"
+                    "island 0x%x jumps to 0x%x but v=0x%x resides at 0x%x"
+                    island p target tb.paddr
+                | None ->
+                  add "stub"
+                    "island 0x%x specialised for dead target v=0x%x" island
+                    target)
+              | _ ->
+                add "stub" "island 0x%x holds neither trap nor jump" island)
+          | _ ->
+            add "stub" "br stub %d revert word is not a branch" k)
+        | Stub.Patch_jmp | Stub.Patch_jal -> ()
+      end
+      else begin
+        (* site patched: must aim at the resident target block, and the
+           target must know about it *)
+        match Tcache.lookup tc target with
+        | None ->
+          add "stub"
+            "exit site 0x%x is patched but its target v=0x%x is dead"
+            site_paddr target
+        | Some tb ->
+          if not (aims_at ~site:site_paddr ~b:tb w) then
+            add "stub"
+              "exit site 0x%x holds 0x%08x, not a branch to v=0x%x@0x%x"
+              site_paddr w target tb.paddr
+          else if not (has_incoming tb ~site_paddr) then
+            add "incoming"
+              "patched exit site 0x%x not recorded on target v=0x%x"
+              site_paddr target
+      end
+    | Stub.Computed _ -> ()
+    | Stub.Icall { pad_paddr; _ } ->
+      if not (in_block b pad_paddr) then
+        add "stub" "icall stub %d pad 0x%x outside its block" k pad_paddr
+    | Stub.Ret_stub _ ->
+      add "stub" "block v=0x%x owns stub %d, which is a return stub"
+        b.Tcache.vaddr k
+  in
+  List.iter
+    (fun (b : Tcache.block) ->
+      List.iter
+        (fun k ->
+          if k < 0 || k >= t.nstubs then
+            add "stub" "block v=0x%x owns out-of-range stub %d" b.vaddr k
+          else check_exit b k t.stubs.(k))
+        b.stubs)
+    blocks;
+
+  (* -- reverse scan: every encoded branch out of a block lands on a
+        block start and is recorded there.  This is the completeness
+        direction — it catches incoming pointers that were created but
+        never recorded, the bug class [chaos_drop_incoming] seeds. ----- *)
+  List.iter
+    (fun (b : Tcache.block) ->
+      for i = 0 to b.words - 1 do
+        let site = b.paddr + (4 * i) in
+        let w = word t site in
+        (match static_target ~site w with
+        | Some p when not (in_block b p) -> (
+          match Hashtbl.find_opt by_paddr p with
+          | Some tb ->
+            if not (has_incoming tb ~site_paddr:site) then
+              add "incoming"
+                "word at 0x%x (block v=0x%x) branches to v=0x%x@0x%x \
+                 without an incoming record"
+                site b.vaddr tb.vaddr p
+          | None ->
+            add "wild"
+              "word at 0x%x (block v=0x%x) branches to 0x%x, which is not \
+               a block start"
+              site b.vaddr p)
+        | Some _ | None -> ());
+        match Isa.Encode.decode w with
+        | Some (Isa.Instr.Trap j) ->
+          if j < 0 || j >= t.nstubs then
+            add "trap" "word at 0x%x traps to out-of-range stub %d" site j
+          else if not (List.mem j b.stubs) then
+            add "trap"
+              "word at 0x%x (block v=0x%x) traps to stub %d, which the \
+               block does not own"
+              site b.vaddr j
+        | _ -> ()
+      done)
+    blocks;
+
+  (* -- persistent return stubs -------------------------------------- *)
+  Hashtbl.iter
+    (fun rv (paddr, k) ->
+      if paddr < pb || paddr >= top then
+        add "ret-stub" "return stub for v=0x%x at 0x%x outside stub area"
+          rv paddr;
+      (if k < 0 || k >= t.nstubs then
+         add "ret-stub" "return stub for v=0x%x has bad index %d" rv k
+       else
+         match t.stubs.(k) with
+         | Stub.Ret_stub { site_paddr; target } ->
+           if site_paddr <> paddr || target <> rv then
+             add "ret-stub" "stub %d disagrees with the return-stub table" k
+         | _ ->
+           add "ret-stub" "stub %d for return v=0x%x is not a return stub"
+             k rv);
+      match Isa.Encode.decode (word t paddr) with
+      | Some (Isa.Instr.Trap j) ->
+        if j <> k then
+          add "ret-stub" "return stub 0x%x traps to %d, expected %d" paddr
+            j k
+      | Some (Isa.Instr.Jmp p) -> (
+        match Tcache.lookup tc rv with
+        | Some tb when tb.paddr = p ->
+          if not (has_incoming tb ~site_paddr:paddr) then
+            add "incoming"
+              "specialised return stub 0x%x not recorded on v=0x%x" paddr
+              rv
+        | Some tb ->
+          add "ret-stub"
+            "return stub 0x%x jumps to 0x%x but v=0x%x resides at 0x%x"
+            paddr p rv tb.paddr
+        | None ->
+          add "ret-stub" "return stub 0x%x specialised for dead v=0x%x"
+            paddr rv)
+      | _ ->
+        add "ret-stub" "return stub 0x%x holds neither trap nor jump" paddr)
+    t.ret_stubs;
+
+  (* -- stub-table accounting ---------------------------------------- *)
+  let owned =
+    List.fold_left
+      (fun acc (b : Tcache.block) -> acc + List.length b.stubs)
+      0 blocks
+    + Hashtbl.length t.ret_stubs
+  in
+  if t.live_stubs <> owned then
+    add "accounting" "live_stubs=%d but blocks+return stubs own %d"
+      t.live_stubs owned;
+  let free = List.length t.free_stubs in
+  if t.live_stubs + free <> t.nstubs then
+    add "accounting" "live=%d + free=%d <> allocated=%d" t.live_stubs free
+      t.nstubs;
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun k ->
+      if Hashtbl.mem seen k then
+        add "accounting" "stub %d appears twice on the free list" k;
+      Hashtbl.replace seen k ())
+    t.free_stubs;
+  let check_live_not_free where k =
+    if Hashtbl.mem seen k then
+      add "accounting" "stub %d is both %s and on the free list" k where
+  in
+  List.iter
+    (fun (b : Tcache.block) ->
+      List.iter (check_live_not_free "owned by a block") b.stubs)
+    blocks;
+  Hashtbl.iter
+    (fun _ (_, k) -> check_live_not_free "a return stub" k)
+    t.ret_stubs;
+  let expected_md =
+    (Tcache.map_entries tc * 12) + (t.live_stubs * 8)
+  in
+  if Controller.metadata_bytes t <> expected_md then
+    add "accounting" "metadata_bytes=%d, recomputed %d"
+      (Controller.metadata_bytes t) expected_md;
+
+  List.rev !viols
+
+let check_exn t =
+  match run t with [] -> () | vs -> raise (Audit_failure vs)
+
+let install (t : Controller.t) =
+  let audits = ref 0 in
+  let prev = t.on_event in
+  t.on_event <-
+    Some
+      (fun ev ->
+        (match prev with Some f -> f ev | None -> ());
+        incr audits;
+        check_exn t);
+  audits
+
+let install_if_configured (t : Controller.t) =
+  if t.cfg.audit then Some (install t) else None

@@ -1,0 +1,47 @@
+(** Tcache invariant auditor.
+
+    After any state-changing controller operation the translation cache
+    must satisfy a set of structural invariants; this module checks all
+    of them against the encoded words actually present in client
+    memory:
+
+    - resident blocks lie inside the code area and never overlap;
+    - the tcache map agrees exactly with the set of resident blocks;
+    - every pinned id names a resident block;
+    - every recorded incoming pointer either still holds its revert
+      word or decodes to a branch aiming at its target block;
+    - every exit stub of a live block is in its miss state (trapping,
+      with a consistent branch island) or patched at a resident target
+      that has the site recorded;
+    - conversely, every encoded branch leaving a block lands on a block
+      start and is recorded there as an incoming pointer (completeness
+      — this is the direction that catches records that were never
+      made);
+    - every trap word names a stub its block owns;
+    - persistent return stubs agree with the return-stub table and are
+      either trapping or specialised at a recorded resident target;
+    - stub-table accounting balances: live + free = allocated, no stub
+      is both live and free, and [Controller.metadata_bytes] matches a
+      recomputation. *)
+
+type violation = { invariant : string; detail : string }
+
+exception Audit_failure of violation list
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val run : Softcache.Controller.t -> violation list
+(** All violations found in the controller's current state; [[]] when
+    the cache is consistent. *)
+
+val check_exn : Softcache.Controller.t -> unit
+(** @raise Audit_failure if {!run} reports anything. *)
+
+val install : Softcache.Controller.t -> int ref
+(** Attach the auditor to [Controller.on_event] (chaining any existing
+    subscriber) so the full invariant suite runs after every
+    translation, eviction, patch, invalidation and flush. Returns the
+    audit counter. *)
+
+val install_if_configured : Softcache.Controller.t -> int ref option
+(** [install] if the controller's [Config.audit] flag is set. *)

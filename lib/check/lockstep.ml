@@ -1,0 +1,169 @@
+(* Lockstep differential runner.
+
+   Runs the program natively first, recording the sequence of data
+   accesses, then replays it under the SoftCache and compares in the
+   CPU's load/store hooks, aborting at the first divergent access.
+
+   Loads and stores are the right observables: data addresses are
+   architecturally identical between the two runs (same data segment,
+   same initial sp), while fetch addresses and return-address *values*
+   legitimately differ — cached code runs out of the tcache and returns
+   land on landing pads. Controller bookkeeping writes go straight to
+   memory, bypassing the CPU hooks, so they never pollute the cached
+   stream. Output values are compared at the end. *)
+
+open Softcache
+
+type event = Load of int | Store of int | Output of int
+
+type divergence = {
+  index : int;  (** position in the event stream *)
+  native : event option;  (** [None]: native had already finished *)
+  cached : event option;  (** [None]: cached stopped short *)
+}
+
+type verdict =
+  | Equivalent of { events : int }
+  | Diverged of divergence
+  | Native_out_of_fuel
+  | Cached_out_of_fuel of { events : int }
+  | Unavailable of { vaddr : int; attempts : int; events : int }
+
+let pp_event ppf = function
+  | Load a -> Format.fprintf ppf "load 0x%x" a
+  | Store a -> Format.fprintf ppf "store 0x%x" a
+  | Output v -> Format.fprintf ppf "out %d" v
+
+let pp_verdict ppf = function
+  | Equivalent { events } ->
+    Format.fprintf ppf "equivalent (%d events)" events
+  | Diverged { index; native; cached } ->
+    let pp_opt ppf = function
+      | Some e -> pp_event ppf e
+      | None -> Format.pp_print_string ppf "(stream ended)"
+    in
+    Format.fprintf ppf "diverged at event %d: native %a, cached %a" index
+      pp_opt native pp_opt cached
+  | Native_out_of_fuel -> Format.pp_print_string ppf "native out of fuel"
+  | Cached_out_of_fuel { events } ->
+    Format.fprintf ppf "cached out of fuel after %d events" events
+  | Unavailable { vaddr; attempts; events } ->
+    Format.fprintf ppf
+      "chunk 0x%x unavailable after %d attempts (%d events matched)" vaddr
+      attempts events
+
+(* Growable int array; events are tagged as addr*2 + (0=load / 1=store). *)
+module Vec = struct
+  type t = { mutable a : int array; mutable n : int }
+
+  let create () = { a = Array.make 1024 0; n = 0 }
+
+  let push v x =
+    if v.n = Array.length v.a then begin
+      let bigger = Array.make (2 * v.n) 0 in
+      Array.blit v.a 0 bigger 0 v.n;
+      v.a <- bigger
+    end;
+    v.a.(v.n) <- x;
+    v.n <- v.n + 1
+end
+
+let untag x = if x land 1 = 0 then Load (x lsr 1) else Store (x lsr 1)
+
+exception Stop
+
+let run ?cost ?(fuel = 2_000_000) ?(ops = []) ?(audit = false)
+    (cfg : Config.t) img : verdict =
+  (* native reference run, trace collected *)
+  let ncpu = Machine.Cpu.of_image ?cost img in
+  let trace = Vec.create () in
+  ncpu.on_load <- Some (fun a -> Vec.push trace (a lsl 1));
+  ncpu.on_store <- Some (fun a -> Vec.push trace ((a lsl 1) lor 1));
+  match Machine.Cpu.run ~fuel ncpu with
+  | Machine.Cpu.Out_of_fuel -> Native_out_of_fuel
+  | Machine.Cpu.Halted -> (
+    let native_outs = Machine.Cpu.outputs ncpu in
+    (* cached run, compared in-hook *)
+    let ctrl = Controller.create ?cost cfg img in
+    if audit then ignore (Audit.install ctrl);
+    let idx = ref 0 in
+    let div = ref None in
+    let check tag ev =
+      if !idx >= trace.Vec.n then begin
+        div := Some { index = !idx; native = None; cached = Some ev };
+        raise Stop
+      end
+      else if trace.Vec.a.(!idx) <> tag then begin
+        div :=
+          Some
+            {
+              index = !idx;
+              native = Some (untag trace.Vec.a.(!idx));
+              cached = Some ev;
+            };
+        raise Stop
+      end
+      else incr idx
+    in
+    ctrl.cpu.on_load <- Some (fun a -> check (a lsl 1) (Load a));
+    ctrl.cpu.on_store <- Some (fun a -> check ((a lsl 1) lor 1) (Store a));
+    (* drive in slices, applying one mid-run op at each boundary *)
+    let nslices = List.length ops + 1 in
+    let slice = max 1 (fuel / nslices) in
+    let outcome =
+      try
+        let rec go left = function
+          | op :: rest -> (
+            match Controller.run ~fuel:slice ctrl with
+            | Machine.Cpu.Halted -> Ok Machine.Cpu.Halted
+            | Machine.Cpu.Out_of_fuel ->
+              op ctrl;
+              go (left - slice) rest)
+          | [] -> Ok (Controller.run ~fuel:(max slice left) ctrl)
+        in
+        go fuel ops
+      with
+      | Stop -> Error `Stopped
+      | Controller.Chunk_unavailable { vaddr; attempts } ->
+        Error (`Unavailable (vaddr, attempts))
+    in
+    match outcome with
+    | Error `Stopped -> (
+      match !div with
+      | Some d -> Diverged d
+      | None -> assert false)
+    | Error (`Unavailable (vaddr, attempts)) ->
+      Unavailable { vaddr; attempts; events = !idx }
+    | Ok Machine.Cpu.Out_of_fuel -> Cached_out_of_fuel { events = !idx }
+    | Ok Machine.Cpu.Halted ->
+      if !idx < trace.Vec.n then
+        Diverged
+          {
+            index = !idx;
+            native = Some (untag trace.Vec.a.(!idx));
+            cached = None;
+          }
+      else begin
+        (* access streams matched; compare observable output *)
+        let cached_outs = Machine.Cpu.outputs ctrl.cpu in
+        let rec cmp i ns cs =
+          match (ns, cs) with
+          | [], [] -> Equivalent { events = !idx + i }
+          | n :: ns', c :: cs' ->
+            if n = c then cmp (i + 1) ns' cs'
+            else
+              Diverged
+                {
+                  index = !idx + i;
+                  native = Some (Output n);
+                  cached = Some (Output c);
+                }
+          | n :: _, [] ->
+            Diverged
+              { index = !idx + i; native = Some (Output n); cached = None }
+          | [], c :: _ ->
+            Diverged
+              { index = !idx + i; native = None; cached = Some (Output c) }
+        in
+        cmp 0 native_outs cached_outs
+      end)

@@ -1,0 +1,45 @@
+(** Lockstep differential runner: native vs SoftCached execution, side
+    by side, reporting the first divergent data access.
+
+    The native run goes first and its load/store address stream is
+    recorded; the cached run then compares against it inside the CPU
+    hooks, so a divergence is caught at the exact access where the two
+    executions part ways rather than at end-of-run state comparison.
+    Output values are compared after both streams match. Fetch
+    addresses and return-address values are excluded by design: they
+    legitimately differ (tcache placement, landing pads). *)
+
+type event = Load of int | Store of int | Output of int
+
+type divergence = {
+  index : int;  (** position in the event stream *)
+  native : event option;  (** [None]: native had already finished *)
+  cached : event option;  (** [None]: cached stopped short *)
+}
+
+type verdict =
+  | Equivalent of { events : int }
+  | Diverged of divergence
+  | Native_out_of_fuel  (** reference run did not finish; no verdict *)
+  | Cached_out_of_fuel of { events : int }
+  | Unavailable of { vaddr : int; attempts : int; events : int }
+      (** the faulty interconnect gave up on a chunk; everything up to
+          that point matched *)
+
+val run :
+  ?cost:Machine.Cost.t ->
+  ?fuel:int ->
+  ?ops:(Softcache.Controller.t -> unit) list ->
+  ?audit:bool ->
+  Softcache.Config.t ->
+  Isa.Image.t ->
+  verdict
+(** [run cfg img] executes the differential pair. [ops] are applied to
+    the cached controller at evenly spaced fuel slices — use them to
+    invalidate or flush mid-run and check that execution still tracks
+    the native stream. [audit] additionally installs {!Audit.install}
+    on the cached controller. Default [fuel] is 2M instructions per
+    side. *)
+
+val pp_event : Format.formatter -> event -> unit
+val pp_verdict : Format.formatter -> verdict -> unit

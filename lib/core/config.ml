@@ -13,16 +13,25 @@ type t = {
   scrub_cycles_per_word : int;
   bind_at_translate : bool;
   net : Netmodel.t;
+  max_retries : int;
+  retry_backoff_cycles : int;
+  timeout_cycles : int;
+  audit : bool;
 }
 
 let make ?(tcache_bytes = 48 * 1024) ?(tcache_base = 0x10000)
     ?(chunking = Basic_block) ?(eviction = Fifo) ?(lookup_cycles = 12)
     ?(patch_cycles = 4) ?(miss_fixed_cycles = 30)
     ?(translate_cycles_per_word = 2) ?(scrub_cycles_per_word = 2)
-    ?(bind_at_translate = true) ?net () =
+    ?(bind_at_translate = true) ?net ?(max_retries = 8)
+    ?(retry_backoff_cycles = 64) ?(timeout_cycles = 1000) ?(audit = false) ()
+    =
   let net = match net with Some n -> n | None -> Netmodel.local () in
   if tcache_bytes < 64 then invalid_arg "Config.make: tcache too small";
   if tcache_base land 3 <> 0 then invalid_arg "Config.make: unaligned base";
+  if max_retries < 0 then invalid_arg "Config.make: negative max_retries";
+  if retry_backoff_cycles < 0 || timeout_cycles < 0 then
+    invalid_arg "Config.make: negative transport cycle cost";
   {
     tcache_bytes;
     tcache_base;
@@ -35,6 +44,10 @@ let make ?(tcache_bytes = 48 * 1024) ?(tcache_base = 0x10000)
     scrub_cycles_per_word;
     bind_at_translate;
     net;
+    max_retries;
+    retry_backoff_cycles;
+    timeout_cycles;
+    audit;
   }
 
 let sparc_prototype ?tcache_bytes () =

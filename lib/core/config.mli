@@ -40,6 +40,18 @@ type t = {
           makes every exit trap once before being patched — an ablation
           of translate-time specialisation *)
   net : Netmodel.t;
+  max_retries : int;
+      (** how many times the CC re-requests a chunk after a dropped or
+          corrupted frame before declaring it unavailable *)
+  retry_backoff_cycles : int;
+      (** base of the exponential backoff charged before retry [n]:
+          [retry_backoff_cycles * 2^(n-1)] cycles *)
+  timeout_cycles : int;
+      (** cycles the CC waits before concluding a frame was dropped *)
+  audit : bool;
+      (** run the [Check.Audit] tcache invariant auditor after every
+          controller event (installed via [Check.Audit.install_if_configured];
+          off by default, enabled in tests and by [--audit]) *)
 }
 
 val make :
@@ -54,11 +66,16 @@ val make :
   ?scrub_cycles_per_word:int ->
   ?bind_at_translate:bool ->
   ?net:Netmodel.t ->
+  ?max_retries:int ->
+  ?retry_backoff_cycles:int ->
+  ?timeout_cycles:int ->
+  ?audit:bool ->
   unit ->
   t
 (** Defaults: 48 KiB tcache at [0x10000], basic-block chunking, FIFO
     eviction, lookup 12, patch 4, miss fixed 30, translate 2/word,
-    scrub 2/word, local (SPARC-style) interconnect. *)
+    scrub 2/word, local (SPARC-style) interconnect, 8 retries with a
+    64-cycle backoff base and a 1000-cycle drop timeout, audit off. *)
 
 val sparc_prototype : ?tcache_bytes:int -> unit -> t
 (** Basic-block chunking, local MC (no network), FIFO eviction. *)

@@ -1,3 +1,10 @@
+type event =
+  | Translated of int
+  | Evicted of int
+  | Flushed
+  | Invalidated
+  | Patched
+
 type t = {
   cfg : Config.t;
   image : Isa.Image.t;
@@ -15,10 +22,18 @@ type t = {
   mutable free_stubs : int list;
       (* recycled stub-table entries from evicted blocks *)
   mutable live_stubs : int;
+  mutable on_event : (event -> unit) option;
+  mutable chaos_drop_incoming : int;
+      (* test hook: silently skip the next N incoming-pointer records,
+         seeding the bookkeeping bug the auditor must catch *)
 }
 
 exception Chunk_too_large of int
 exception Tcache_too_small
+exception Chunk_unavailable of { vaddr : int; attempts : int }
+
+let emit_event t ev =
+  match t.on_event with Some f -> f ev | None -> ()
 
 let log_src =
   Logs.Src.create "softcache.controller"
@@ -63,9 +78,13 @@ let free_block_stubs t victims =
         b.stubs)
     victims
 
-let record_incoming (b : Tcache.block) ~from_block ~site_paddr ~revert_word =
-  b.incoming <-
-    { Tcache.from_block; site_paddr; revert_word } :: b.incoming
+let record_incoming t (b : Tcache.block) ~from_block ~site_paddr ~revert_word
+    =
+  if t.chaos_drop_incoming > 0 then
+    t.chaos_drop_incoming <- t.chaos_drop_incoming - 1
+  else
+    b.incoming <-
+      { Tcache.from_block; site_paddr; revert_word } :: b.incoming
 
 (* Allocate (or reuse) the persistent return stub for a return target.
    May evict blocks to grow the stub area; [on_evicted] handles them. *)
@@ -166,6 +185,12 @@ and process_evicted t victims =
     t.stats.evicted_blocks <- t.stats.evicted_blocks + n;
     t.stats.eviction_events <- (t.cpu.cycles, n) :: t.stats.eviction_events;
     revert_incoming t victims;
+    (* recycle the victims' stub entries right away: once their
+       incoming pointers are reverted nothing references them, and the
+       scrubbing below can itself evict (persistent stub growth) —
+       leaving them allocated across that nested eviction would expose
+       a transiently inconsistent stub table to the event hook *)
+    free_block_stubs t victims;
     (* landing pads that may be live in return addresses *)
     let padtbl = Hashtbl.create 16 in
     List.iter
@@ -184,9 +209,9 @@ and process_evicted t victims =
           t.cpu.pc <-
             persistent_ret_stub t ~on_evicted:(process_evicted t) rv)
       victims;
-    free_block_stubs t victims;
     if Sys.getenv_opt "SOFTCACHE_DEBUG" <> None then
-      debug_check_stale t victims
+      debug_check_stale t victims;
+    emit_event t (Evicted n)
   end
 
 let do_flush t =
@@ -259,15 +284,60 @@ let do_flush t =
     (fun (a, rv) ->
       write_word t a (persistent_ret_stub t ~on_evicted:no_evictions rv))
     !stack_refs;
-  match pc_resume with
+  (match pc_resume with
   | Some rv ->
     t.cpu.pc <- persistent_ret_stub t ~on_evicted:no_evictions rv
-  | None -> ()
+  | None -> ());
+  emit_event t Flushed
 
 let resident_oracle t v =
   match Tcache.lookup t.tc v with
   | Some b -> Some (b.id, b.paddr)
   | None -> None
+
+(* Ship a rewritten chunk from the MC to the CC through the (possibly
+   faulty) interconnect. The MC stamps the frame with a CRC32 of the
+   payload; the CC verifies it on receipt, waits out dropped frames,
+   and re-requests with exponential backoff. All waiting, wire time and
+   backoff are charged through the cost model. *)
+let fetch_chunk t ~vaddr ~(words : int array) =
+  let n = Array.length words in
+  let payload = Bytes.create (4 * n) in
+  Array.iteri
+    (fun i w -> Bytes.set_int32_le payload (4 * i) (Int32.of_int w))
+    words;
+  let crc = Crc32.bytes payload in
+  let rec attempt tries =
+    if tries > t.cfg.max_retries then begin
+      t.stats.chunk_failures <- t.stats.chunk_failures + 1;
+      Log.warn (fun m ->
+          m "chunk v=0x%x unavailable after %d attempts" vaddr tries);
+      raise (Chunk_unavailable { vaddr; attempts = tries })
+    end;
+    if tries > 0 then begin
+      t.stats.net_retries <- t.stats.net_retries + 1;
+      t.stats.max_chunk_retries <- max t.stats.max_chunk_retries tries;
+      charge t (t.cfg.retry_backoff_cycles * (1 lsl (tries - 1)))
+    end;
+    match Netmodel.transfer t.cfg.net ~payload with
+    | Error (`Dropped wasted) ->
+      charge t (wasted + t.cfg.timeout_cycles);
+      t.stats.net_timeouts <- t.stats.net_timeouts + 1;
+      attempt (tries + 1)
+    | Ok (cycles, received) ->
+      charge t cycles;
+      if Crc32.bytes received <> crc then begin
+        t.stats.crc_failures <- t.stats.crc_failures + 1;
+        attempt (tries + 1)
+      end
+      else begin
+        if tries > 0 then t.stats.recoveries <- t.stats.recoveries + 1;
+        received
+      end
+  in
+  let received = attempt 0 in
+  Array.init n (fun i ->
+      Int32.to_int (Bytes.get_int32_le received (4 * i)) land 0xFFFFFFFF)
 
 let translate t v =
   let chunk = Chunker.chunk_at t.image t.cfg.chunking v in
@@ -313,9 +383,21 @@ let translate t v =
   let emission =
     Rewriter.translate chunk ~block_id:id ~base ~resident ~alloc_stub
   in
-  Array.iteri
-    (fun i w -> write_word t (base + (4 * i)) w)
-    emission.words;
+  (* the rewritten words travel MC -> CC over the link; a chunk that
+     cannot be delivered intact within the retry budget must leave the
+     cache state exactly as it was (minus any evictions already done) *)
+  let words =
+    match fetch_chunk t ~vaddr:v ~words:emission.words with
+    | w -> w
+    | exception (Chunk_unavailable _ as e) ->
+      List.iter
+        (fun k ->
+          t.free_stubs <- k :: t.free_stubs;
+          t.live_stubs <- t.live_stubs - 1)
+        !allocated;
+      raise e
+  in
+  Array.iteri (fun i w -> write_word t (base + (4 * i)) w) words;
   let emitted = Array.length emission.words in
   let block =
     {
@@ -335,7 +417,8 @@ let translate t v =
     (fun (tb, site_paddr, revert_word) ->
       match Tcache.find_by_id t.tc tb with
       | Some target_block ->
-        record_incoming target_block ~from_block:id ~site_paddr ~revert_word
+        record_incoming t target_block ~from_block:id ~site_paddr
+          ~revert_word
       | None -> assert false (* resident during this translation *))
     emission.bound;
   Log.debug (fun m ->
@@ -348,9 +431,8 @@ let translate t v =
   t.stats.max_occupied_bytes <-
     max t.stats.max_occupied_bytes (Tcache.occupied_bytes t.tc);
   charge t
-    (t.cfg.miss_fixed_cycles
-    + (t.cfg.translate_cycles_per_word * emitted)
-    + Netmodel.request t.cfg.net ~payload_bytes:(emitted * 4));
+    (t.cfg.miss_fixed_cycles + (t.cfg.translate_cycles_per_word * emitted));
+  emit_event t (Translated v);
   block
 
 let ensure_resident t v =
@@ -363,12 +445,12 @@ let patch_exit t k ~block ~site_paddr ~kind ~revert_word
       match kind with
       | Stub.Patch_jmp ->
         write_word t site_paddr (enc (Isa.Instr.Jmp target_block.paddr));
-        record_incoming target_block ~from_block:block ~site_paddr
+        record_incoming t target_block ~from_block:block ~site_paddr
           ~revert_word;
         true
       | Stub.Patch_jal ->
         write_word t site_paddr (enc (Isa.Instr.Jal target_block.paddr));
-        record_incoming target_block ~from_block:block ~site_paddr
+        record_incoming t target_block ~from_block:block ~site_paddr
           ~revert_word;
         true
       | Stub.Patch_br -> (
@@ -379,7 +461,7 @@ let patch_exit t k ~block ~site_paddr ~kind ~revert_word
           let d = (target_block.paddr - site_paddr) asr 2 in
           if Isa.Encode.branch_offset_fits d then begin
             write_word t site_paddr (enc (Isa.Instr.Br (c, r1, r2, d)));
-            record_incoming target_block ~from_block:block ~site_paddr
+            record_incoming t target_block ~from_block:block ~site_paddr
               ~revert_word;
             true
           end
@@ -388,7 +470,7 @@ let patch_exit t k ~block ~site_paddr ~kind ~revert_word
                into a direct jump instead *)
             let island = t.cpu.pc in
             write_word t island (enc (Isa.Instr.Jmp target_block.paddr));
-            record_incoming target_block ~from_block:block
+            record_incoming t target_block ~from_block:block
               ~site_paddr:island
               ~revert_word:(enc (Isa.Instr.Trap k));
             true
@@ -397,7 +479,8 @@ let patch_exit t k ~block ~site_paddr ~kind ~revert_word
     in
     if patched then begin
       t.stats.patches <- t.stats.patches + 1;
-      charge t t.cfg.patch_cycles
+      charge t t.cfg.patch_cycles;
+      emit_event t Patched
     end
   end
 
@@ -431,10 +514,11 @@ let handle_trap t k =
       write_word t site_paddr (enc (Isa.Instr.Jmp b.paddr));
       (match Tcache.find_by_id t.tc b.id with
       | Some tb ->
-        record_incoming tb ~from_block:(-1) ~site_paddr
+        record_incoming t tb ~from_block:(-1) ~site_paddr
           ~revert_word:(enc (Isa.Instr.Trap k));
         t.stats.patches <- t.stats.patches + 1;
-        charge t t.cfg.patch_cycles
+        charge t t.cfg.patch_cycles;
+        emit_event t Patched
       | None -> ())
     | Some _ | None -> ());
     t.cpu.pc <- b.paddr
@@ -468,6 +552,8 @@ let create ?cost ?(mem_bytes = 8 * 1024 * 1024) (cfg : Config.t) image =
       ra_regions = [];
       free_stubs = [];
       live_stubs = 0;
+      on_event = None;
+      chaos_drop_incoming = 0;
     }
   in
   cpu.trap_handler <- Some (fun _cpu k -> handle_trap t k);
@@ -491,7 +577,8 @@ let invalidate t ~lo ~hi =
       (Tcache.blocks t.tc)
   in
   List.iter (Tcache.remove t.tc) victims;
-  process_evicted t victims
+  process_evicted t victims;
+  emit_event t Invalidated
 
 let flush t = do_flush t
 

@@ -21,6 +21,13 @@
     data"). Flush-all resets the whole tcache, preserving return
     continuity the same way. *)
 
+type event =
+  | Translated of int  (** a chunk at this vaddr became resident *)
+  | Evicted of int  (** this many blocks were just unlinked *)
+  | Flushed
+  | Invalidated
+  | Patched  (** an exit or return stub was specialised in place *)
+
 type t = {
   cfg : Config.t;
   image : Isa.Image.t;
@@ -41,6 +48,15 @@ type t = {
   mutable free_stubs : int list;
       (** recycled stub-table entries from evicted blocks *)
   mutable live_stubs : int;
+  mutable on_event : (event -> unit) option;
+      (** fired after every state-changing controller operation, with
+          the cache in a consistent state — the hook the [Check.Audit]
+          invariant auditor attaches to *)
+  mutable chaos_drop_incoming : int;
+      (** test hook: silently skip the next N incoming-pointer records.
+          Seeds a real bookkeeping bug (an unlinked patched exit) so
+          tests can prove the auditor's invariants are not vacuous.
+          Leave at 0 in production. *)
 }
 
 exception Chunk_too_large of int
@@ -49,6 +65,12 @@ exception Chunk_too_large of int
 
 exception Tcache_too_small
 (** The persistent stub area cannot grow any further. *)
+
+exception Chunk_unavailable of { vaddr : int; attempts : int }
+(** The interconnect failed to deliver a chunk intact within
+    [Config.max_retries] re-requests. The cache state remains
+    consistent (allocated stubs are rolled back); [Runner.cached_robust]
+    surfaces this as a clean outcome rather than a crash. *)
 
 val create :
   ?cost:Machine.Cost.t -> ?mem_bytes:int -> Config.t -> Isa.Image.t -> t

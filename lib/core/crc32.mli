@@ -1,0 +1,9 @@
+(** CRC-32 (IEEE 802.3) over byte buffers.
+
+    The MC stamps every chunk it ships with the digest of the rewritten
+    words; the CC recomputes it on receipt and requests a retransmit on
+    mismatch. Digests are 32-bit values held in non-negative OCaml
+    ints. *)
+
+val bytes : ?pos:int -> ?len:int -> Bytes.t -> int
+val string : string -> int

@@ -23,6 +23,43 @@ let cached ?cost ?fuel cfg img =
   let outcome = Controller.run ?fuel ctrl in
   (of_cpu outcome ctrl.cpu, ctrl)
 
-let slowdown ~native ~cached =
+let slowdown ~(native : result) ~(cached : result) =
   if native.cycles = 0 then nan
   else float_of_int cached.cycles /. float_of_int native.cycles
+
+type status =
+  | Finished of Machine.Cpu.outcome
+  | Unavailable of { vaddr : int; attempts : int }
+
+type robust = {
+  status : status;
+  outputs : int list;
+  cycles : int;
+  retired : int;
+}
+
+let cached_robust ?cost ?fuel ?(prepare = fun (_ : Controller.t) -> ()) cfg
+    img =
+  let ctrl = Controller.create ?cost cfg img in
+  prepare ctrl;
+  let status =
+    match Controller.run ?fuel ctrl with
+    | outcome -> Finished outcome
+    | exception Controller.Chunk_unavailable { vaddr; attempts } ->
+      Unavailable { vaddr; attempts }
+  in
+  ( {
+      status;
+      outputs = Machine.Cpu.outputs ctrl.cpu;
+      cycles = ctrl.cpu.cycles;
+      retired = ctrl.cpu.retired;
+    },
+    ctrl )
+
+let pp_status ppf = function
+  | Finished Machine.Cpu.Halted -> Format.pp_print_string ppf "halted"
+  | Finished Machine.Cpu.Out_of_fuel ->
+    Format.pp_print_string ppf "out of fuel"
+  | Unavailable { vaddr; attempts } ->
+    Format.fprintf ppf "chunk 0x%x unavailable after %d attempts" vaddr
+      attempts

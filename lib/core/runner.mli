@@ -23,3 +23,30 @@ val cached :
 val slowdown : native:result -> cached:result -> float
 (** Relative execution time, cached cycles / native cycles — the Fig. 5
     metric. *)
+
+type status =
+  | Finished of Machine.Cpu.outcome
+  | Unavailable of { vaddr : int; attempts : int }
+      (** the interconnect never delivered this chunk intact within the
+          retry budget; execution stopped cleanly *)
+
+type robust = {
+  status : status;
+  outputs : int list;  (** outputs produced up to the stop point *)
+  cycles : int;
+  retired : int;
+}
+
+val cached_robust :
+  ?cost:Machine.Cost.t ->
+  ?fuel:int ->
+  ?prepare:(Controller.t -> unit) ->
+  Config.t ->
+  Isa.Image.t ->
+  robust * Controller.t
+(** Like [cached], but a [Controller.Chunk_unavailable] raised by a
+    faulty interconnect is surfaced as a clean [Unavailable] status
+    instead of an exception. [prepare] runs on the fresh controller
+    before execution starts (install an auditor, pin chunks, ...). *)
+
+val pp_status : Format.formatter -> status -> unit

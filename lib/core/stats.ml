@@ -12,6 +12,12 @@ type t = {
   mutable ret_stubs : int;
   mutable max_resident_blocks : int;
   mutable max_occupied_bytes : int;
+  mutable net_retries : int;
+  mutable net_timeouts : int;
+  mutable crc_failures : int;
+  mutable recoveries : int;
+  mutable chunk_failures : int;
+  mutable max_chunk_retries : int;
 }
 
 let create () =
@@ -29,6 +35,12 @@ let create () =
     ret_stubs = 0;
     max_resident_blocks = 0;
     max_occupied_bytes = 0;
+    net_retries = 0;
+    net_timeouts = 0;
+    crc_failures = 0;
+    recoveries = 0;
+    chunk_failures = 0;
+    max_chunk_retries = 0;
   }
 
 let reset t =
@@ -44,7 +56,13 @@ let reset t =
   t.scrubbed_words <- 0;
   t.ret_stubs <- 0;
   t.max_resident_blocks <- 0;
-  t.max_occupied_bytes <- 0
+  t.max_occupied_bytes <- 0;
+  t.net_retries <- 0;
+  t.net_timeouts <- 0;
+  t.crc_failures <- 0;
+  t.recoveries <- 0;
+  t.chunk_failures <- 0;
+  t.max_chunk_retries <- 0
 
 let miss_rate t ~retired =
   if retired = 0 then 0.0
@@ -59,4 +77,13 @@ let pp ppf t =
      peak=%d blocks/%d B"
     t.translations t.translated_words t.overhead_words t.lookups t.patches
     t.reverts t.evicted_blocks t.flushes t.scrubbed_words t.ret_stubs
-    t.max_resident_blocks t.max_occupied_bytes
+    t.max_resident_blocks t.max_occupied_bytes;
+  if
+    t.net_retries > 0 || t.net_timeouts > 0 || t.crc_failures > 0
+    || t.chunk_failures > 0
+  then
+    Format.fprintf ppf
+      "@.transport: retries=%d (max %d/chunk), timeouts=%d, crc-fail=%d, \
+       recovered=%d, unavailable=%d"
+      t.net_retries t.max_chunk_retries t.net_timeouts t.crc_failures
+      t.recoveries t.chunk_failures

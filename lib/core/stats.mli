@@ -22,6 +22,15 @@ type t = {
   mutable ret_stubs : int;  (** persistent return stubs created *)
   mutable max_resident_blocks : int;
   mutable max_occupied_bytes : int;
+  mutable net_retries : int;  (** chunk re-requests after a transport fault *)
+  mutable net_timeouts : int;  (** dropped frames the CC waited out *)
+  mutable crc_failures : int;  (** chunks rejected by the CRC32 check *)
+  mutable recoveries : int;
+      (** chunks eventually delivered intact after at least one retry *)
+  mutable chunk_failures : int;
+      (** chunks given up on after the retry budget was exhausted *)
+  mutable max_chunk_retries : int;
+      (** worst retry count any single chunk needed *)
 }
 
 val create : unit -> t

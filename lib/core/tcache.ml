@@ -35,6 +35,8 @@ let create ~base ~bytes =
     pinned = Hashtbl.create 8;
   }
 
+let base t = t.base
+let top t = t.top
 let lookup t vaddr = Hashtbl.find_opt t.by_vaddr vaddr
 let find_by_id t id = Hashtbl.find_opt t.by_id id
 let is_alive t id = Hashtbl.mem t.by_id id
@@ -49,6 +51,7 @@ let pin t (b : block) =
 let unpin t (b : block) = Hashtbl.remove t.pinned b.id
 let is_pinned t id = Hashtbl.mem t.pinned id
 let pinned_blocks t = Hashtbl.length t.pinned
+let pinned_ids t = Hashtbl.fold (fun id () acc -> id :: acc) t.pinned []
 
 let remove t b =
   Hashtbl.remove t.pinned b.id;

@@ -40,6 +40,12 @@ type t
 
 val create : base:int -> bytes:int -> t
 
+val base : t -> int
+(** Physical base of the tcache region. *)
+
+val top : t -> int
+(** One past the end of the tcache region. *)
+
 val lookup : t -> int -> block option
 (** tcache-map probe by chunk virtual address. *)
 
@@ -79,6 +85,10 @@ val pin : t -> block -> unit
 val unpin : t -> block -> unit
 val is_pinned : t -> int -> bool
 val pinned_blocks : t -> int
+
+val pinned_ids : t -> int list
+(** The raw pin set, for invariant auditing (every pinned id must name
+    a resident block). *)
 
 val remove : t -> block -> unit
 (** Deregister one block (invalidation; also clears its pin). Its

@@ -1,36 +1,181 @@
+(* Deterministic splitmix64: the fault schedule must be reproducible
+   from the seed alone, independent of global Random state. *)
+module Rng = struct
+  type t = { mutable s : int64 }
+
+  let golden = 0x9E3779B97F4A7C15L
+
+  let create seed = { s = Int64.mul (Int64.of_int (seed + 1)) golden }
+
+  let next t =
+    t.s <- Int64.add t.s golden;
+    let z = t.s in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+        0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+        0x94D049BB133111EBL in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  (* uniform in [0, 1) from the top 53 bits *)
+  let float t =
+    Int64.to_float (Int64.shift_right_logical (next t) 11) *. 0x1p-53
+
+  let int t bound =
+    if bound <= 0 then invalid_arg "Rng.int";
+    Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1)
+                    (Int64.of_int bound))
+end
+
+module Faults = struct
+  type t = {
+    seed : int;
+    drop : float;  (* P(frame lost in flight) *)
+    corrupt : float;  (* P(one payload bit flipped) *)
+    duplicate : float;  (* P(frame retransmitted spuriously) *)
+    delay_spike : float;  (* P(delivery delayed by [spike_cycles]) *)
+    spike_cycles : int;
+  }
+
+  let none =
+    { seed = 0; drop = 0.; corrupt = 0.; duplicate = 0.; delay_spike = 0.;
+      spike_cycles = 0 }
+
+  let check_prob name p =
+    if p < 0. || p > 1. then
+      invalid_arg (Printf.sprintf "Netmodel.Faults.make: %s not in [0,1]" name)
+
+  let make ?(seed = 1) ?(drop = 0.) ?(corrupt = 0.) ?(duplicate = 0.)
+      ?(delay_spike = 0.) ?(spike_cycles = 10_000) () =
+    check_prob "drop" drop;
+    check_prob "corrupt" corrupt;
+    check_prob "duplicate" duplicate;
+    check_prob "delay_spike" delay_spike;
+    if spike_cycles < 0 then
+      invalid_arg "Netmodel.Faults.make: negative spike_cycles";
+    { seed; drop; corrupt; duplicate; delay_spike; spike_cycles }
+
+  let is_none f =
+    f.drop = 0. && f.corrupt = 0. && f.duplicate = 0. && f.delay_spike = 0.
+
+  let pp ppf f =
+    if is_none f then Format.pp_print_string ppf "no faults"
+    else
+      Format.fprintf ppf
+        "faults seed=%d drop=%g corrupt=%g dup=%g spike=%g/%dcyc" f.seed
+        f.drop f.corrupt f.duplicate f.delay_spike f.spike_cycles
+end
+
 type t = {
   latency_cycles : int;
   cycles_per_byte : int;
   overhead_bytes : int;
+  faults : Faults.t;
+  rng : Rng.t;
   mutable messages : int;
   mutable payload : int;
+  mutable drops : int;
+  mutable corruptions : int;
+  mutable duplicates : int;
+  mutable delay_spikes : int;
 }
 
 let create ?(latency_cycles = 0) ?(cycles_per_byte = 0) ?(overhead_bytes = 0)
-    () =
-  { latency_cycles; cycles_per_byte; overhead_bytes; messages = 0; payload = 0 }
+    ?(faults = Faults.none) () =
+  {
+    latency_cycles;
+    cycles_per_byte;
+    overhead_bytes;
+    faults;
+    rng = Rng.create faults.Faults.seed;
+    messages = 0;
+    payload = 0;
+    drops = 0;
+    corruptions = 0;
+    duplicates = 0;
+    delay_spikes = 0;
+  }
 
-let local () = create ()
+let local ?faults () = create ?faults ()
 
-let ethernet_10mbps ?(cpu_mhz = 200) () =
+let ethernet_10mbps ?(cpu_mhz = 200) ?faults () =
   let cycles_per_byte = cpu_mhz * 1_000_000 * 8 / 10_000_000 in
-  create ~latency_cycles:(cpu_mhz * 500) ~cycles_per_byte ~overhead_bytes:60 ()
+  create ~latency_cycles:(cpu_mhz * 500) ~cycles_per_byte ~overhead_bytes:60
+    ?faults ()
+
+let wire_cost t bytes = t.cycles_per_byte * (bytes + t.overhead_bytes)
 
 let request t ~payload_bytes =
   t.messages <- t.messages + 1;
   t.payload <- t.payload + payload_bytes;
-  t.latency_cycles + (t.cycles_per_byte * (payload_bytes + t.overhead_bytes))
+  t.latency_cycles + wire_cost t payload_bytes
 
+type error = [ `Dropped of int ]
+
+let transfer t ~payload =
+  let len = Bytes.length payload in
+  t.messages <- t.messages + 1;
+  t.payload <- t.payload + len;
+  let cost = ref (t.latency_cycles + wire_cost t len) in
+  let f = t.faults in
+  if Faults.is_none f then Ok (!cost, payload)
+  else begin
+    let roll p = p > 0. && Rng.float t.rng < p in
+    (* fixed roll order per message keeps the schedule deterministic *)
+    let dropped = roll f.Faults.drop in
+    let corrupted = roll f.Faults.corrupt in
+    let duplicated = roll f.Faults.duplicate in
+    let spiked = roll f.Faults.delay_spike in
+    if spiked then begin
+      t.delay_spikes <- t.delay_spikes + 1;
+      cost := !cost + f.Faults.spike_cycles
+    end;
+    if duplicated then begin
+      (* spurious retransmission: a second copy burns wire time and is
+         discarded by the receiver *)
+      t.duplicates <- t.duplicates + 1;
+      t.messages <- t.messages + 1;
+      t.payload <- t.payload + len;
+      cost := !cost + wire_cost t len
+    end;
+    if dropped then begin
+      t.drops <- t.drops + 1;
+      Error (`Dropped !cost)
+    end
+    else if corrupted && len > 0 then begin
+      t.corruptions <- t.corruptions + 1;
+      let received = Bytes.copy payload in
+      let bit = Rng.int t.rng (8 * len) in
+      let byte = bit lsr 3 in
+      Bytes.set received byte
+        (Char.chr (Char.code (Bytes.get received byte) lxor (1 lsl (bit land 7))));
+      Ok (!cost, received)
+    end
+    else Ok (!cost, payload)
+  end
+
+let faults t = t.faults
 let messages t = t.messages
 let payload_bytes t = t.payload
 let total_bytes t = t.payload + (t.messages * t.overhead_bytes)
 let overhead_bytes_per_message t = t.overhead_bytes
+let drops t = t.drops
+let corruptions t = t.corruptions
+let duplicates t = t.duplicates
+let delay_spikes t = t.delay_spikes
 
 let reset_stats t =
   t.messages <- 0;
-  t.payload <- 0
+  t.payload <- 0;
+  t.drops <- 0;
+  t.corruptions <- 0;
+  t.duplicates <- 0;
+  t.delay_spikes <- 0
 
 let pp ppf t =
   Format.fprintf ppf
     "net: %d msgs, %d payload B, %d total B (latency %d cyc, %d cyc/B)"
-    t.messages t.payload (total_bytes t) t.latency_cycles t.cycles_per_byte
+    t.messages t.payload (total_bytes t) t.latency_cycles t.cycles_per_byte;
+  if not (Faults.is_none t.faults) then
+    Format.fprintf ppf
+      "@.     %a: %d dropped, %d corrupted, %d duplicated, %d delayed"
+      Faults.pp t.faults t.drops t.corruptions t.duplicates t.delay_spikes

@@ -5,7 +5,52 @@
     between cache controller and memory controller. This channel charges
     a fixed request/response latency plus a per-byte cost, and accounts
     messages, payload bytes and total bytes, so benches can report the
-    paper's network-overhead numbers. *)
+    paper's network-overhead numbers.
+
+    A networked deployment also sees faults. [Faults] describes a
+    deterministic, seedable per-message fault schedule — drop, payload
+    corruption, spurious duplication, latency spikes — and [transfer]
+    delivers real payload bytes through it, so the controller's CRC /
+    retry / timeout machinery can be exercised reproducibly. *)
+
+module Rng : sig
+  (** Deterministic splitmix64 stream, independent of [Stdlib.Random]. *)
+
+  type t
+
+  val create : int -> t
+  val float : t -> float  (** uniform in [0, 1) *)
+
+  val int : t -> int -> int  (** uniform in [0, bound) *)
+end
+
+module Faults : sig
+  type t = private {
+    seed : int;
+    drop : float;  (** P(frame lost in flight) *)
+    corrupt : float;  (** P(one payload bit flipped) *)
+    duplicate : float;  (** P(frame retransmitted spuriously) *)
+    delay_spike : float;  (** P(delivery delayed by [spike_cycles]) *)
+    spike_cycles : int;
+  }
+
+  val none : t
+  (** The fault-free schedule (all probabilities zero). *)
+
+  val make :
+    ?seed:int ->
+    ?drop:float ->
+    ?corrupt:float ->
+    ?duplicate:float ->
+    ?delay_spike:float ->
+    ?spike_cycles:int ->
+    unit ->
+    t
+  (** @raise Invalid_argument if a probability is outside [0, 1]. *)
+
+  val is_none : t -> bool
+  val pp : Format.formatter -> t -> unit
+end
 
 type t
 
@@ -13,15 +58,16 @@ val create :
   ?latency_cycles:int ->
   ?cycles_per_byte:int ->
   ?overhead_bytes:int ->
+  ?faults:Faults.t ->
   unit ->
   t
-(** Defaults are the [local] preset (all zeros). *)
+(** Defaults are the [local] preset (all zeros) with no faults. *)
 
-val local : unit -> t
+val local : ?faults:Faults.t -> unit -> t
 (** The SPARC prototype: MC and CC in the same address space —
     communication "by jumping back and forth", no network cost. *)
 
-val ethernet_10mbps : ?cpu_mhz:int -> unit -> t
+val ethernet_10mbps : ?cpu_mhz:int -> ?faults:Faults.t -> unit -> t
 (** The ARM prototype's link: two Skiff boards on 10 Mbps Ethernet,
      200 MHz SA-110 by default. 10 Mbps = 1.25 MB/s = 160 cycles/byte at
     200 MHz; round-trip latency modelled as 0.5 ms = 100k cycles;
@@ -29,13 +75,32 @@ val ethernet_10mbps : ?cpu_mhz:int -> unit -> t
 
 val request : t -> payload_bytes:int -> int
 (** Cost in cycles of one MC round trip delivering [payload_bytes] of
-    application data; accounts the message. *)
+    application data; accounts the message. Never faulted — the legacy
+    pure-cost path used where payload content does not matter. *)
 
+type error = [ `Dropped of int ]
+(** The frame was lost; the payload carries the cycles already burned
+    on the wire before the receiver could give up. *)
+
+val transfer : t -> payload:Bytes.t -> (int * Bytes.t, error) result
+(** One MC round trip carrying [payload] through the fault schedule.
+    [Ok (cycles, received)] delivers the (possibly bit-flipped) frame;
+    [Error (`Dropped cycles)] models a lost frame. Duplicates and delay
+    spikes only add cost and accounting. Deterministic given the
+    [Faults.seed] and the call sequence. *)
+
+val faults : t -> Faults.t
 val messages : t -> int
 val payload_bytes : t -> int
 val total_bytes : t -> int
 (** Payload plus per-message protocol overhead. *)
 
 val overhead_bytes_per_message : t -> int
+
+val drops : t -> int
+val corruptions : t -> int
+val duplicates : t -> int
+val delay_spikes : t -> int
+
 val reset_stats : t -> unit
 val pp : Format.formatter -> t -> unit

@@ -92,3 +92,20 @@ let section title =
   Printf.printf "\n%s\n%s\n%s\n" bar title bar
 
 let kv key value = Printf.printf "  %-28s : %s\n" key value
+
+let transport ~injected ~drops ~corruptions ~duplicates ~delay_spikes
+    ~retries ~max_chunk_retries ~timeouts ~crc_failures ~recoveries
+    ~chunk_failures =
+  if injected || drops + corruptions + duplicates + delay_spikes + retries
+                 + timeouts + crc_failures + recoveries + chunk_failures
+                 > 0
+  then begin
+    kv "faults injected"
+      (Printf.sprintf "%d dropped, %d corrupted, %d duplicated, %d delayed"
+         drops corruptions duplicates delay_spikes);
+    kv "recovery"
+      (Printf.sprintf "%d retries (max %d per chunk), %d timeouts, %d CRC rejects"
+         retries max_chunk_retries timeouts crc_failures);
+    kv "chunks recovered" (string_of_int recoveries);
+    kv "chunks unavailable" (string_of_int chunk_failures)
+  end

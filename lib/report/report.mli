@@ -46,3 +46,20 @@ val section : string -> unit
 
 val kv : string -> string -> unit
 (** [kv key value] prints an aligned "  key : value" line. *)
+
+val transport :
+  injected:bool ->
+  drops:int ->
+  corruptions:int ->
+  duplicates:int ->
+  delay_spikes:int ->
+  retries:int ->
+  max_chunk_retries:int ->
+  timeouts:int ->
+  crc_failures:int ->
+  recoveries:int ->
+  chunk_failures:int ->
+  unit
+(** Interconnect fault and recovery summary as [kv] rows. Prints
+    nothing when [injected] is false and every counter is zero, so
+    fault-free runs stay unchanged. *)

@@ -1,0 +1,228 @@
+(* Tests of the lib/check subsystem itself: the invariant auditor must
+   pass on healthy runs, FAIL when a real bookkeeping bug is seeded
+   (proving the invariants are not vacuous), and the lockstep
+   differential runner must track native execution access-for-access —
+   including across mid-run invalidations and flushes. *)
+
+let reg = Isa.Reg.r
+
+let prog_sum n =
+  let b = Isa.Builder.create "sum" in
+  Isa.Builder.li b (reg 1) n;
+  Isa.Builder.li b (reg 2) 0;
+  let top = Isa.Builder.label b in
+  Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 2, reg 2, reg 1));
+  Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 1, reg 1, -1));
+  Isa.Builder.br b Ne (reg 1) Isa.Reg.zero top;
+  Isa.Builder.ins b (Isa.Instr.Out (reg 2));
+  Isa.Builder.ins b Isa.Instr.Halt;
+  Isa.Builder.build b
+
+let prog_fib n =
+  let b = Isa.Builder.create "fib" in
+  let fib = Isa.Builder.new_label b in
+  let base = Isa.Builder.new_label b in
+  let main = Isa.Builder.new_label b in
+  Isa.Builder.entry b main;
+  Isa.Builder.func b "fib" fib (fun () ->
+      Isa.Builder.li b (reg 3) 2;
+      Isa.Builder.br b Lt (reg 1) (reg 3) base;
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, Isa.Reg.sp, Isa.Reg.sp, -12));
+      Isa.Builder.ins b (Isa.Instr.St (Isa.Reg.ra, Isa.Reg.sp, 0));
+      Isa.Builder.ins b (Isa.Instr.St (reg 1, Isa.Reg.sp, 4));
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 1, reg 1, -1));
+      Isa.Builder.jal b fib;
+      Isa.Builder.ins b (Isa.Instr.St (reg 2, Isa.Reg.sp, 8));
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 1, Isa.Reg.sp, 4));
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 1, reg 1, -2));
+      Isa.Builder.jal b fib;
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 3, Isa.Reg.sp, 8));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 2, reg 2, reg 3));
+      Isa.Builder.ins b (Isa.Instr.Ld (Isa.Reg.ra, Isa.Reg.sp, 0));
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, Isa.Reg.sp, Isa.Reg.sp, 12));
+      Isa.Builder.ins b (Isa.Instr.Jr Isa.Reg.ra);
+      Isa.Builder.here b base;
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 2, reg 1, Isa.Reg.zero));
+      Isa.Builder.ins b (Isa.Instr.Jr Isa.Reg.ra));
+  Isa.Builder.func b "main" main (fun () ->
+      Isa.Builder.li b (reg 1) n;
+      Isa.Builder.jal b fib;
+      Isa.Builder.ins b (Isa.Instr.Out (reg 2));
+      Isa.Builder.ins b Isa.Instr.Halt);
+  Isa.Builder.build b
+
+let small_cfg ?(tcache_bytes = 1024) ?(eviction = Softcache.Config.Fifo) ()
+    =
+  Softcache.Config.make ~tcache_bytes
+    ~chunking:Softcache.Config.Basic_block ~eviction ()
+
+(* ------------------------------------------------------------------ *)
+(* Auditor on healthy runs *)
+
+let test_audit_clean_thrashing () =
+  (* a real workload in a 2 KB cache: evictions, scrubbing, persistent
+     stubs — the auditor must stay silent through all of it *)
+  let img = (Option.get (Workloads.Registry.find "cjpeg")).build () in
+  List.iter
+    (fun eviction ->
+      let ctrl =
+        Softcache.Controller.create
+          (small_cfg ~tcache_bytes:2048 ~eviction ())
+          img
+      in
+      let audits = Check.Audit.install ctrl in
+      let outcome = Softcache.Controller.run ~fuel:3_000_000 ctrl in
+      Alcotest.(check bool) "halts" true (outcome = Machine.Cpu.Halted);
+      Alcotest.(check bool) "auditor exercised" true (!audits > 100);
+      Alcotest.(check bool) "cache actually thrashed" true
+        (ctrl.stats.evicted_blocks > 0))
+    [ Softcache.Config.Fifo; Softcache.Config.Flush_all ]
+
+let test_audit_counts_events () =
+  let ctrl = Softcache.Controller.create (small_cfg ()) (prog_sum 50) in
+  let audits = Check.Audit.install ctrl in
+  ignore (Softcache.Controller.run ctrl);
+  (* at minimum one Translated event per translation *)
+  Alcotest.(check bool) "audits >= translations" true
+    (!audits >= ctrl.stats.translations)
+
+let test_install_if_configured () =
+  let off = Softcache.Controller.create (small_cfg ()) (prog_sum 5) in
+  Alcotest.(check bool) "off by default" true
+    (Check.Audit.install_if_configured off = None);
+  let cfg =
+    Softcache.Config.make ~tcache_bytes:1024 ~audit:true
+      ~chunking:Softcache.Config.Basic_block ()
+  in
+  let on = Softcache.Controller.create cfg (prog_sum 5) in
+  Alcotest.(check bool) "on when configured" true
+    (Check.Audit.install_if_configured on <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Mutation test: seed a real bookkeeping bug, the auditor must object *)
+
+let test_audit_catches_dropped_incoming () =
+  (* chaos_drop_incoming silently skips the next incoming-pointer
+     record — exactly the bug class the eviction protocol cannot
+     tolerate. The auditor's completeness scan must flag it at the
+     next consistent point. *)
+  let ctrl = Softcache.Controller.create (small_cfg ()) (prog_fib 12) in
+  ignore (Check.Audit.install ctrl);
+  ctrl.chaos_drop_incoming <- 1;
+  match Softcache.Controller.run ctrl with
+  | _ -> Alcotest.fail "auditor missed the dropped incoming record"
+  | exception Check.Audit.Audit_failure vs ->
+    Alcotest.(check bool) "names the incoming invariant" true
+      (List.exists (fun (v : Check.Audit.violation) ->
+           v.invariant = "incoming") vs)
+
+let test_audit_run_reports_without_raising () =
+  (* Audit.run returns violations as data; only check_exn throws. Stop
+     at the first violation — running on with a seeded bookkeeping bug
+     would eventually execute through a stale pointer. *)
+  let ctrl = Softcache.Controller.create (small_cfg ()) (prog_fib 12) in
+  ctrl.chaos_drop_incoming <- 1;
+  let saw = ref [] in
+  ctrl.on_event <-
+    Some
+      (fun _ ->
+        match Check.Audit.run ctrl with
+        | [] -> ()
+        | vs ->
+          saw := vs;
+          raise Exit);
+  (match Softcache.Controller.run ctrl with
+  | _ -> ()
+  | exception Exit -> ());
+  match !saw with
+  | _ :: _ -> ()
+  | [] -> Alcotest.fail "expected at least one violation"
+
+(* ------------------------------------------------------------------ *)
+(* Lockstep differential runner *)
+
+let check_equiv name verdict =
+  match verdict with
+  | Check.Lockstep.Equivalent { events } ->
+    Alcotest.(check bool) (name ^ " compared something") true (events > 0)
+  | v ->
+    Alcotest.failf "%s: expected equivalence, got %a" name
+      Check.Lockstep.pp_verdict v
+
+let test_lockstep_equivalent () =
+  check_equiv "sum"
+    (Check.Lockstep.run (small_cfg ~tcache_bytes:768 ()) (prog_sum 200));
+  check_equiv "fib/fifo"
+    (Check.Lockstep.run ~audit:true (small_cfg ()) (prog_fib 12));
+  check_equiv "fib/flush"
+    (Check.Lockstep.run
+       (small_cfg ~eviction:Softcache.Config.Flush_all ())
+       (prog_fib 12))
+
+let test_lockstep_midrun_invalidate () =
+  (* invalidate the whole image range twice mid-run: execution must
+     still track the native access stream exactly *)
+  let img = prog_fib 13 in
+  let hi = 0x1000 + Isa.Image.static_text_bytes img in
+  let inv ctrl = Softcache.Controller.invalidate ctrl ~lo:0 ~hi in
+  check_equiv "invalidate mid-run"
+    (Check.Lockstep.run ~audit:true ~ops:[ inv; inv ] (small_cfg ()) img)
+
+let test_lockstep_midrun_flush () =
+  let img = prog_fib 13 in
+  check_equiv "flush mid-run"
+    (Check.Lockstep.run ~audit:true
+       ~ops:[ Softcache.Controller.flush; Softcache.Controller.flush ]
+       (small_cfg ()) img)
+
+let test_lockstep_unavailable () =
+  (* a dead link: the verdict must be Unavailable, not an exception *)
+  let faults = Netmodel.Faults.make ~seed:1 ~drop:1.0 () in
+  let cfg =
+    Softcache.Config.make ~tcache_bytes:1024
+      ~chunking:Softcache.Config.Basic_block
+      ~net:(Netmodel.local ~faults ()) ()
+  in
+  match Check.Lockstep.run cfg (prog_sum 10) with
+  | Check.Lockstep.Unavailable _ -> ()
+  | v ->
+    Alcotest.failf "expected Unavailable, got %a" Check.Lockstep.pp_verdict v
+
+let test_lockstep_native_fuel () =
+  match Check.Lockstep.run ~fuel:10 (small_cfg ()) (prog_sum 1000) with
+  | Check.Lockstep.Native_out_of_fuel -> ()
+  | v ->
+    Alcotest.failf "expected Native_out_of_fuel, got %a"
+      Check.Lockstep.pp_verdict v
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "audit",
+        [
+          Alcotest.test_case "clean under thrashing" `Quick
+            test_audit_clean_thrashing;
+          Alcotest.test_case "fires per event" `Quick test_audit_counts_events;
+          Alcotest.test_case "wired behind Config.audit" `Quick
+            test_install_if_configured;
+        ] );
+      ( "mutation",
+        [
+          Alcotest.test_case "catches a dropped incoming record" `Quick
+            test_audit_catches_dropped_incoming;
+          Alcotest.test_case "run returns violations as data" `Quick
+            test_audit_run_reports_without_raising;
+        ] );
+      ( "lockstep",
+        [
+          Alcotest.test_case "equivalent streams" `Quick
+            test_lockstep_equivalent;
+          Alcotest.test_case "invalidate mid-run" `Quick
+            test_lockstep_midrun_invalidate;
+          Alcotest.test_case "flush mid-run" `Quick test_lockstep_midrun_flush;
+          Alcotest.test_case "unavailable surfaces cleanly" `Quick
+            test_lockstep_unavailable;
+          Alcotest.test_case "native fuel exhaustion" `Quick
+            test_lockstep_native_fuel;
+        ] );
+    ]

@@ -1,0 +1,90 @@
+(* Golden tests of the CLI's fault/audit surface: exit codes and the
+   transport/recovery rows printed by `softcache run`. The binary is a
+   dune dependency, available next to the test as ../bin/. *)
+
+let exe = Filename.concat (Filename.concat ".." "bin") "softcache_cli.exe"
+
+let run_cli args =
+  let out = Filename.temp_file "softcache_cli" ".out" in
+  let code =
+    Sys.command
+      (Printf.sprintf "%s %s > %s 2>&1" (Filename.quote exe)
+         (String.concat " " args) (Filename.quote out))
+  in
+  let text = In_channel.with_open_text out In_channel.input_all in
+  Sys.remove out;
+  (code, text)
+
+let contains text needle =
+  let n = String.length needle and h = String.length text in
+  let rec go i = i + n <= h && (String.sub text i n = needle || go (i + 1)) in
+  go 0
+
+let expect_contains text what needle =
+  Alcotest.(check bool)
+    (Printf.sprintf "output mentions %s (%S)" what needle)
+    true (contains text needle)
+
+let test_run_clean () =
+  let code, out = run_cli [ "run"; "sensor_modes"; "--tcache"; "2048" ] in
+  Alcotest.(check int) "exit code" 0 code;
+  expect_contains out "match" "outputs match";
+  expect_contains out "match value" ": true";
+  (* fault-free runs must not grow fault rows *)
+  Alcotest.(check bool) "no fault rows" false (contains out "faults injected")
+
+let test_run_faults_audit () =
+  let code, out =
+    run_cli
+      [
+        "run"; "sensor_modes"; "--tcache"; "2048"; "--net"; "ethernet";
+        "--faults"; "seed=7,drop=0.1,corrupt=0.05,dup=0.05,spike=0.1";
+        "--audit";
+      ]
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  expect_contains out "status row" "status";
+  expect_contains out "status value" "halted";
+  expect_contains out "fault row" "faults injected";
+  expect_contains out "recovery row" "recovery";
+  expect_contains out "retry detail" "retries (max";
+  expect_contains out "recovered row" "chunks recovered";
+  expect_contains out "unavailable row" "chunks unavailable";
+  expect_contains out "audit row" "audits passed";
+  expect_contains out "outputs" "outputs match"
+
+let test_run_dead_link_exit_3 () =
+  let code, out =
+    run_cli
+      [
+        "run"; "sensor_modes"; "--tcache"; "2048";
+        "--faults"; "seed=1,drop=1.0";
+      ]
+  in
+  Alcotest.(check int) "exit code" 3 code;
+  expect_contains out "status" "unavailable"
+
+let test_bad_faults_spec_rejected () =
+  let code, _ =
+    run_cli [ "run"; "sensor_modes"; "--faults"; "drop=eleven" ]
+  in
+  Alcotest.(check bool) "cmdliner rejects the spec" true (code <> 0);
+  let code2, _ =
+    run_cli [ "run"; "sensor_modes"; "--faults"; "warp=0.5" ]
+  in
+  Alcotest.(check bool) "unknown key rejected" true (code2 <> 0)
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "run",
+        [
+          Alcotest.test_case "clean run, no fault rows" `Quick test_run_clean;
+          Alcotest.test_case "faults + audit rows" `Quick
+            test_run_faults_audit;
+          Alcotest.test_case "dead link exits 3" `Quick
+            test_run_dead_link_exit_3;
+          Alcotest.test_case "bad --faults rejected" `Quick
+            test_bad_faults_spec_rejected;
+        ] );
+    ]

@@ -1,0 +1,296 @@
+(* Fault-injection tests: the CRC32 checksum, the deterministic fault
+   schedule, and the headline robustness property — under ANY fault
+   schedule the SoftCache either produces exactly the native output or
+   stops cleanly with Chunk_unavailable, never silently corrupts. *)
+
+let reg = Isa.Reg.r
+
+(* Recursive Fibonacci (deep stack, cross-chunk calls) — the program
+   that exercises the most cache machinery per instruction. *)
+let prog_fib n =
+  let b = Isa.Builder.create "fib" in
+  let fib = Isa.Builder.new_label b in
+  let base = Isa.Builder.new_label b in
+  let main = Isa.Builder.new_label b in
+  Isa.Builder.entry b main;
+  Isa.Builder.func b "fib" fib (fun () ->
+      Isa.Builder.li b (reg 3) 2;
+      Isa.Builder.br b Lt (reg 1) (reg 3) base;
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, Isa.Reg.sp, Isa.Reg.sp, -12));
+      Isa.Builder.ins b (Isa.Instr.St (Isa.Reg.ra, Isa.Reg.sp, 0));
+      Isa.Builder.ins b (Isa.Instr.St (reg 1, Isa.Reg.sp, 4));
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 1, reg 1, -1));
+      Isa.Builder.jal b fib;
+      Isa.Builder.ins b (Isa.Instr.St (reg 2, Isa.Reg.sp, 8));
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 1, Isa.Reg.sp, 4));
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 1, reg 1, -2));
+      Isa.Builder.jal b fib;
+      Isa.Builder.ins b (Isa.Instr.Ld (reg 3, Isa.Reg.sp, 8));
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 2, reg 2, reg 3));
+      Isa.Builder.ins b (Isa.Instr.Ld (Isa.Reg.ra, Isa.Reg.sp, 0));
+      Isa.Builder.ins b (Isa.Instr.Alui (Add, Isa.Reg.sp, Isa.Reg.sp, 12));
+      Isa.Builder.ins b (Isa.Instr.Jr Isa.Reg.ra);
+      Isa.Builder.here b base;
+      Isa.Builder.ins b (Isa.Instr.Alu (Add, reg 2, reg 1, Isa.Reg.zero));
+      Isa.Builder.ins b (Isa.Instr.Jr Isa.Reg.ra));
+  Isa.Builder.func b "main" main (fun () ->
+      Isa.Builder.li b (reg 1) n;
+      Isa.Builder.jal b fib;
+      Isa.Builder.ins b (Isa.Instr.Out (reg 2));
+      Isa.Builder.ins b Isa.Instr.Halt);
+  Isa.Builder.build b
+
+(* ------------------------------------------------------------------ *)
+(* CRC32 *)
+
+let test_crc32_vector () =
+  (* the IEEE 802.3 check value *)
+  Alcotest.(check int)
+    "crc32(\"123456789\")" 0xCBF43926
+    (Softcache.Crc32.string "123456789");
+  Alcotest.(check int) "crc32(\"\")" 0 (Softcache.Crc32.string "")
+
+let test_crc32_bit_flip =
+  QCheck.Test.make ~count:200 ~name:"crc32 detects any single bit flip"
+    QCheck.(
+      pair (string_of_size (QCheck.Gen.int_range 1 64)) (pair small_nat small_nat))
+    (fun (s, (byte, bit)) ->
+      let b = Bytes.of_string s in
+      let i = byte mod Bytes.length b in
+      let mask = 1 lsl (bit mod 8) in
+      let orig = Softcache.Crc32.bytes b in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor mask));
+      Softcache.Crc32.bytes b <> orig)
+
+let test_crc32_range () =
+  let b = Bytes.of_string "xx123456789yy" in
+  Alcotest.(check int)
+    "pos/len window" 0xCBF43926
+    (Softcache.Crc32.bytes ~pos:2 ~len:9 b)
+
+(* ------------------------------------------------------------------ *)
+(* Fault schedule determinism *)
+
+let drain net n =
+  let payload = Bytes.of_string "deterministic-payload!" in
+  List.init n (fun _ ->
+      match Netmodel.transfer net ~payload with
+      | Ok (cycles, bytes) -> (true, cycles, Bytes.to_string bytes)
+      | Error (`Dropped cycles) -> (false, cycles, ""))
+
+let test_schedule_deterministic () =
+  let faults =
+    Netmodel.Faults.make ~seed:99 ~drop:0.2 ~corrupt:0.2 ~duplicate:0.2
+      ~delay_spike:0.2 ()
+  in
+  let a = drain (Netmodel.local ~faults ()) 200 in
+  let b = drain (Netmodel.local ~faults ()) 200 in
+  Alcotest.(check bool) "same seed, same outcomes" true (a = b);
+  let c = drain (Netmodel.local ~faults:(Netmodel.Faults.make ~seed:100
+                                           ~drop:0.2 ~corrupt:0.2
+                                           ~duplicate:0.2 ~delay_spike:0.2 ())
+                   ()) 200 in
+  Alcotest.(check bool) "different seed, different outcomes" false (a = c)
+
+let test_fault_free_transfer_matches_request () =
+  (* without faults, [transfer] must charge exactly what [request]
+     does and account messages identically *)
+  let n1 = Netmodel.ethernet_10mbps () in
+  let n2 = Netmodel.ethernet_10mbps () in
+  let payload = Bytes.create 120 in
+  let c1 = Netmodel.request n1 ~payload_bytes:120 in
+  match Netmodel.transfer n2 ~payload with
+  | Ok (c2, bytes) ->
+    Alcotest.(check int) "cost" c1 c2;
+    Alcotest.(check bytes) "payload intact" payload bytes;
+    Alcotest.(check int) "messages" (Netmodel.messages n1)
+      (Netmodel.messages n2);
+    Alcotest.(check int) "payload bytes" (Netmodel.payload_bytes n1)
+      (Netmodel.payload_bytes n2)
+  | Error _ -> Alcotest.fail "fault-free transfer dropped"
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end recovery *)
+
+let run_faulted ~seed ~drop ~corrupt ~duplicate ~delay_spike ~tcache_bytes
+    ~chunking ~eviction img =
+  let faults =
+    Netmodel.Faults.make ~seed ~drop ~corrupt ~duplicate ~delay_spike ()
+  in
+  let cfg =
+    Softcache.Config.make ~tcache_bytes ~chunking ~eviction
+      ~net:(Netmodel.local ~faults ()) ()
+  in
+  Softcache.Runner.cached_robust cfg img
+
+(* The robustness property: any fault schedule, any chunking, any
+   eviction policy, any (viable) tcache size — the run either matches
+   native behaviour exactly or stops cleanly, and the retry ceiling is
+   respected. *)
+let test_random_fault_robustness =
+  let print (seed, sz, knobs, (ch, ev)) =
+    Printf.sprintf "seed=%d size=%d faults=%d chunking=%d eviction=%d" seed
+      sz knobs ch ev
+  in
+  QCheck.Test.make ~count:60
+    ~name:"faulted runs: native-equivalent or cleanly unavailable"
+    QCheck.(
+      make ~print
+        Gen.(
+          quad (int_range 1 10_000) (int_range 700 4096) (int_bound 80)
+            (pair (int_bound 1) (int_bound 1))))
+    (fun (seed, size, knobs, (ch, ev)) ->
+      let img = prog_fib 11 in
+      let native = Softcache.Runner.native img in
+      (* derive three fault probabilities from one small int so the
+         generator shrinks nicely *)
+      let drop = float_of_int (knobs mod 5) /. 20.0 in
+      let corrupt = float_of_int (knobs / 5 mod 4) /. 20.0 in
+      let duplicate = float_of_int (knobs / 20 mod 4) /. 20.0 in
+      let chunking =
+        if ch = 0 then Softcache.Config.Basic_block
+        else Softcache.Config.Procedure
+      in
+      let eviction =
+        if ev = 0 then Softcache.Config.Fifo else Softcache.Config.Flush_all
+      in
+      match
+        run_faulted ~seed ~drop ~corrupt ~duplicate ~delay_spike:0.1
+          ~tcache_bytes:size ~chunking ~eviction img
+      with
+      | cached, ctrl -> (
+        if ctrl.stats.max_chunk_retries > ctrl.cfg.max_retries then false
+        else
+          match cached.status with
+          | Softcache.Runner.Finished Machine.Cpu.Halted ->
+            cached.outputs = native.outputs
+          | Softcache.Runner.Finished Machine.Cpu.Out_of_fuel -> false
+          | Softcache.Runner.Unavailable { attempts; _ } ->
+            attempts = ctrl.cfg.max_retries + 1)
+      | exception Softcache.Controller.Chunk_too_large _ ->
+        QCheck.assume_fail ())
+
+let test_hopeless_link_unavailable () =
+  (* a link that drops everything must give up after exactly
+     max_retries re-requests, with the backoff charged *)
+  let img = prog_fib 8 in
+  let cached, ctrl =
+    run_faulted ~seed:5 ~drop:1.0 ~corrupt:0.0 ~duplicate:0.0
+      ~delay_spike:0.0 ~tcache_bytes:4096
+      ~chunking:Softcache.Config.Basic_block ~eviction:Softcache.Config.Fifo
+      img
+  in
+  (match cached.status with
+  | Softcache.Runner.Unavailable { attempts; _ } ->
+    Alcotest.(check int) "attempts" (ctrl.cfg.max_retries + 1) attempts
+  | _ -> Alcotest.fail "expected Unavailable");
+  Alcotest.(check int) "timeouts counted" (ctrl.cfg.max_retries + 1)
+    ctrl.stats.net_timeouts;
+  let backoff =
+    (* sum of retry_backoff_cycles * 2^(n-1) for n = 1..max_retries *)
+    ctrl.cfg.retry_backoff_cycles * ((1 lsl ctrl.cfg.max_retries) - 1)
+  in
+  let floor =
+    backoff + ((ctrl.cfg.max_retries + 1) * ctrl.cfg.timeout_cycles)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "charged at least %d backoff+timeout cycles" floor)
+    true (cached.cycles >= floor);
+  Alcotest.(check int) "no translation completed" 0 ctrl.stats.translations
+
+let test_corrupt_link_crc_rejects () =
+  (* every frame corrupted: CRC must reject each one, never letting a
+     bad chunk into the tcache *)
+  let img = prog_fib 8 in
+  let cached, ctrl =
+    run_faulted ~seed:5 ~drop:0.0 ~corrupt:1.0 ~duplicate:0.0
+      ~delay_spike:0.0 ~tcache_bytes:4096
+      ~chunking:Softcache.Config.Basic_block ~eviction:Softcache.Config.Fifo
+      img
+  in
+  (match cached.status with
+  | Softcache.Runner.Unavailable _ -> ()
+  | _ -> Alcotest.fail "expected Unavailable");
+  Alcotest.(check int) "every attempt CRC-rejected"
+    (ctrl.cfg.max_retries + 1) ctrl.stats.crc_failures;
+  Alcotest.(check int) "nothing recovered" 0 ctrl.stats.recoveries;
+  Alcotest.(check int) "no translation completed" 0 ctrl.stats.translations
+
+let test_recovery_accounting () =
+  (* a moderately lossy link: the run completes, outputs match, and
+     every recovery is accounted *)
+  let img = prog_fib 12 in
+  let native = Softcache.Runner.native img in
+  let cached, ctrl =
+    run_faulted ~seed:11 ~drop:0.25 ~corrupt:0.15 ~duplicate:0.1
+      ~delay_spike:0.1 ~tcache_bytes:1024
+      ~chunking:Softcache.Config.Basic_block ~eviction:Softcache.Config.Fifo
+      img
+  in
+  (match cached.status with
+  | Softcache.Runner.Finished Machine.Cpu.Halted -> ()
+  | s ->
+    Alcotest.failf "expected clean finish, got %a" Softcache.Runner.pp_status
+      s);
+  Alcotest.(check (list int)) "outputs" native.outputs cached.outputs;
+  Alcotest.(check bool) "faults actually fired" true
+    (ctrl.stats.net_retries > 0);
+  Alcotest.(check bool) "recoveries <= retries" true
+    (ctrl.stats.recoveries <= ctrl.stats.net_retries);
+  Alcotest.(check bool) "every drop timed out" true
+    (Netmodel.drops ctrl.cfg.net = ctrl.stats.net_timeouts);
+  Alcotest.(check int) "nothing permanently lost" 0
+    ctrl.stats.chunk_failures
+
+let test_retry_budget_config () =
+  (* a larger retry budget turns an unavailable run into a finished
+     one on a bad-but-not-hopeless link *)
+  let img = prog_fib 8 in
+  let faults = Netmodel.Faults.make ~seed:3 ~drop:0.7 () in
+  let run max_retries =
+    let cfg =
+      Softcache.Config.make ~tcache_bytes:4096 ~max_retries
+        ~net:(Netmodel.local ~faults ()) ()
+    in
+    Softcache.Runner.cached_robust cfg img
+  in
+  let small, _ = run 1 in
+  let big, _ = run 30 in
+  (match small.status with
+  | Softcache.Runner.Unavailable _ -> ()
+  | _ -> Alcotest.fail "expected tiny budget to fail");
+  match big.status with
+  | Softcache.Runner.Finished Machine.Cpu.Halted -> ()
+  | s ->
+    Alcotest.failf "expected big budget to finish, got %a"
+      Softcache.Runner.pp_status s
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "crc32",
+        [
+          Alcotest.test_case "known vector" `Quick test_crc32_vector;
+          Alcotest.test_case "window" `Quick test_crc32_range;
+          QCheck_alcotest.to_alcotest test_crc32_bit_flip;
+        ] );
+      ( "schedule",
+        [
+          Alcotest.test_case "deterministic in seed" `Quick
+            test_schedule_deterministic;
+          Alcotest.test_case "fault-free transfer = request" `Quick
+            test_fault_free_transfer_matches_request;
+        ] );
+      ( "recovery",
+        [
+          QCheck_alcotest.to_alcotest test_random_fault_robustness;
+          Alcotest.test_case "hopeless link gives up cleanly" `Quick
+            test_hopeless_link_unavailable;
+          Alcotest.test_case "corrupt link CRC-rejected" `Quick
+            test_corrupt_link_crc_rejects;
+          Alcotest.test_case "recovery accounting" `Quick
+            test_recovery_accounting;
+          Alcotest.test_case "retry budget is a config knob" `Quick
+            test_retry_budget_config;
+        ] );
+    ]

@@ -156,20 +156,26 @@ let prog_phases ?(pad = 20) ?(inner = 50) () =
 (* ------------------------------------------------------------------ *)
 (* Equivalence harness *)
 
-let configs ~tiny =
+let configs ?(audit = false) ~tiny () =
   let open Softcache.Config in
   let base = if tiny then 768 else 48 * 1024 in
   [
-    ("bb/fifo", make ~tcache_bytes:base ~chunking:Basic_block ~eviction:Fifo ());
+    ( "bb/fifo",
+      make ~tcache_bytes:base ~chunking:Basic_block ~eviction:Fifo ~audit () );
     ( "bb/flush",
-      make ~tcache_bytes:base ~chunking:Basic_block ~eviction:Flush_all () );
+      make ~tcache_bytes:base ~chunking:Basic_block ~eviction:Flush_all
+        ~audit () );
     ( "proc/fifo",
-      make ~tcache_bytes:(max base 2048) ~chunking:Procedure ~eviction:Fifo () );
+      make ~tcache_bytes:(max base 2048) ~chunking:Procedure ~eviction:Fifo
+        ~audit () );
     ( "proc/flush",
       make ~tcache_bytes:(max base 2048) ~chunking:Procedure
-        ~eviction:Flush_all () );
+        ~eviction:Flush_all ~audit () );
   ]
 
+(* The whole matrix runs with the tcache invariant auditor attached:
+   every translation, patch, eviction, invalidation and flush is
+   followed by a full structural audit of the cache. *)
 let check_equivalence ?(tiny = false) name img =
   let native = Softcache.Runner.native img in
   Alcotest.(check bool)
@@ -177,15 +183,29 @@ let check_equivalence ?(tiny = false) name img =
     (native.outcome = Machine.Cpu.Halted);
   List.iter
     (fun (cname, cfg) ->
-      let cached, _ctrl = Softcache.Runner.cached cfg img in
+      let audits = ref None in
+      let prepare ctrl = audits := Check.Audit.install_if_configured ctrl in
+      let cached, ctrl = Softcache.Runner.cached_robust ~prepare cfg img in
       Alcotest.(check bool)
         (Printf.sprintf "%s/%s halts" name cname)
         true
-        (cached.outcome = Machine.Cpu.Halted);
+        (cached.status = Softcache.Runner.Finished Machine.Cpu.Halted);
       Alcotest.(check (list int))
         (Printf.sprintf "%s/%s outputs" name cname)
-        native.outputs cached.outputs)
-    (configs ~tiny)
+        native.outputs cached.outputs;
+      (match !audits with
+      | Some n when !n > 0 -> ()
+      | Some _ -> Alcotest.failf "%s/%s: auditor never ran" name cname
+      | None -> Alcotest.failf "%s/%s: auditor not installed" name cname);
+      match Check.Audit.run ctrl with
+      | [] -> ()
+      | vs ->
+        Alcotest.failf "%s/%s: final audit failed: %s" name cname
+          (String.concat "; "
+             (List.map
+                (fun v -> Format.asprintf "%a" Check.Audit.pp_violation v)
+                vs)))
+    (configs ~audit:true ~tiny ())
 
 let test_equiv_sum () = check_equivalence "sum" (prog_sum 1000)
 let test_equiv_fib () = check_equivalence "fib" (prog_fib 15)
