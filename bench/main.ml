@@ -691,6 +691,83 @@ let faultsweep () =
      means the retry budget was exhausted and the run stopped cleanly"
 
 (* ------------------------------------------------------------------ *)
+(* Decoded vs interpretive dispatch: host wall time of the two CPU
+   engines over the full workload registry, emitted as
+   BENCH_micro.json so CI can gate on the speedup. *)
+
+let failures = ref 0
+
+let micro_engines () =
+  Report.section
+    "Dispatch engines (host wall time): predecoded fetch vs per-fetch \
+     interpretive decode";
+  (* CPU construction stays outside the timed region; best-of-n damps
+     scheduler noise on shared CI runners *)
+  let time_run mk =
+    ignore (Machine.Cpu.run (mk ()));
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let cpu = mk () in
+      let t0 = Unix.gettimeofday () in
+      ignore (Machine.Cpu.run cpu);
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let t =
+    Report.Table.create ~title:"native run, per engine"
+      ~columns:[ "app"; "interpretive (ms)"; "decoded (ms)"; "speedup" ]
+  in
+  let rows =
+    List.map
+      (fun (e : Workloads.Registry.entry) ->
+        let img = e.build () in
+        let mk engine () =
+          Machine.Cpu.of_image ~engine ~mem_bytes:(2 * 1024 * 1024) img
+        in
+        let ti = time_run (mk Machine.Cpu.Interpretive) in
+        let td = time_run (mk Machine.Cpu.Decoded) in
+        let sp = ti /. td in
+        Report.Table.add_row t
+          [
+            e.name;
+            Printf.sprintf "%.3f" (1e3 *. ti);
+            Printf.sprintf "%.3f" (1e3 *. td);
+            fmt_f sp;
+          ];
+        (e.name, ti, td, sp))
+      Workloads.Registry.all
+  in
+  Report.Table.print t;
+  let gm = Report.geomean (List.map (fun (_, _, _, s) -> s) rows) in
+  Report.kv "geomean speedup" (fmt_f gm);
+  let oc = open_out "BENCH_micro.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"micro_engines\",\n\
+    \  \"workloads\": [\n\
+     %s\n\
+    \  ],\n\
+    \  \"geomean_speedup\": %.4f\n\
+     }\n"
+    (String.concat ",\n"
+       (List.map
+          (fun (n, ti, td, s) ->
+            Printf.sprintf
+              "    { \"name\": %S, \"interpretive_s\": %.6f, \
+               \"decoded_s\": %.6f, \"speedup\": %.4f }"
+              n ti td s)
+          rows))
+    gm;
+  close_out oc;
+  Report.kv "written" "BENCH_micro.json";
+  if gm <= 1.0 then begin
+    incr failures;
+    Report.kv "FAIL" "decoded dispatch is not faster than interpretive"
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the simulator's hot paths *)
 
 let micro () =
@@ -757,7 +834,8 @@ let micro () =
       match Analyze.OLS.estimates res with
       | Some [ ns ] -> Report.kv name (Printf.sprintf "%.1f ns/run" ns)
       | Some _ | None -> Report.kv name "n/a")
-    (List.sort compare rows)
+    (List.sort compare rows);
+  micro_engines ()
 
 (* ------------------------------------------------------------------ *)
 
@@ -798,4 +876,5 @@ let () =
           (String.concat " " (List.map fst experiments));
         exit 1)
     requested;
-  print_newline ()
+  print_newline ();
+  if !failures > 0 then exit 1

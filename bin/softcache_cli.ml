@@ -125,14 +125,26 @@ let audit_arg =
   in
   Arg.(value & flag & info [ "audit" ] ~doc)
 
-let make_config ?faults ?(audit = false) tcache chunking eviction network =
+let engine_arg =
+  let doc =
+    "CPU dispatch engine: $(b,decoded) (predecode cache, the default) or \
+     $(b,interp) (re-decode every fetch; the differential-testing \
+     reference)."
+  in
+  Arg.(value & opt (enum [ ("decoded", Machine.Cpu.Decoded);
+                           ("interp", Machine.Cpu.Interpretive) ])
+         Machine.Cpu.Decoded
+       & info [ "engine" ] ~docv:"ENGINE" ~doc)
+
+let make_config ?faults ?(audit = false) ?(engine = Machine.Cpu.Decoded)
+    tcache chunking eviction network =
   let net =
     match network with
     | `Local -> Netmodel.local ?faults ()
     | `Ethernet -> Netmodel.ethernet_10mbps ?faults ()
   in
   Softcache.Config.make ~tcache_bytes:tcache ~chunking ~eviction ~net ~audit
-    ()
+    ~engine ()
 
 let list_cmd =
   let run () =
@@ -145,7 +157,7 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List the workload suite") Term.(const run $ const ())
 
 let run_cmd =
-  let run name tcache chunking eviction network faults audit verbose =
+  let run name tcache chunking eviction network faults audit engine verbose =
     setup_logs verbose;
     match find_workload name with
     | Error e -> prerr_endline e; 1
@@ -153,7 +165,9 @@ let run_cmd =
       let img = entry.build () in
       Format.printf "%a@." Isa.Image.pp_summary img;
       let native = Softcache.Runner.native img in
-      let cfg = make_config ?faults ~audit tcache chunking eviction network in
+      let cfg =
+        make_config ?faults ~audit ~engine tcache chunking eviction network
+      in
       let audits = ref None in
       let prepare ctrl =
         audits := Check.Audit.install_if_configured ctrl
@@ -203,7 +217,7 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run a workload natively and under the SoftCache")
     Term.(const run $ workload_arg $ tcache_arg $ chunking_arg $ eviction_arg
-          $ network_arg $ faults_arg $ audit_arg $ verbose_arg)
+          $ network_arg $ faults_arg $ audit_arg $ engine_arg $ verbose_arg)
 
 let profile_cmd =
   let run name =

@@ -327,6 +327,18 @@ let run (t : Controller.t) : violation list =
     add "accounting" "metadata_bytes=%d, recomputed %d"
       (Controller.metadata_bytes t) expected_md;
 
+  (* -- decode-cache coherence ---------------------------------------- *)
+  (* The rewriter has just patched words all over the tcache; every
+     valid predecode line must still agree with what a fresh decode of
+     the underlying memory word produces.  A disagreement means a write
+     path skipped the in-memory invalidation — the stale-instruction
+     bug class the decode cache's design forbids by construction. *)
+  List.iter
+    (fun addr ->
+      add "decode-coherence"
+        "decode cache entry at 0x%x disagrees with the word in memory" addr)
+    (Machine.Memory.decode_audit t.cpu.mem);
+
   List.rev !viols
 
 let check_exn t =

@@ -167,3 +167,131 @@ let run ?cost ?(fuel = 2_000_000) ?(ops = []) ?(audit = false)
         in
         cmp 0 native_outs cached_outs
       end)
+
+(* ------------------------------------------------------------------ *)
+(* Decoded vs interpretive dispatch, in true instruction lockstep.
+
+   Unlike [run] — which compares a cached run against a *different*
+   execution (the native one) and therefore can only observe data
+   accesses — the two engines run the *same* softcached execution, so
+   every piece of architectural state must match after every single
+   retired instruction: pc, registers, cycles, and at the end outputs
+   and full memory. Mid-run ops (invalidate / flush) are applied to
+   both controllers at the same instruction boundaries, which is
+   exactly when the decode cache is most at risk of serving stale
+   words. *)
+
+type engine_verdict =
+  | Engines_equivalent of { steps : int }
+  | Engines_diverged of { step : int; detail : string }
+  | Engines_out_of_fuel of { steps : int }
+      (** every compared step matched; the budget ran out first *)
+  | Engines_unavailable of { vaddr : int; attempts : int; steps : int }
+
+let pp_engine_verdict ppf = function
+  | Engines_equivalent { steps } ->
+    Format.fprintf ppf "engines equivalent (%d steps)" steps
+  | Engines_diverged { step; detail } ->
+    Format.fprintf ppf "engines diverged at step %d: %s" step detail
+  | Engines_out_of_fuel { steps } ->
+    Format.fprintf ppf "engines out of fuel after %d matching steps" steps
+  | Engines_unavailable { vaddr; attempts; steps } ->
+    Format.fprintf ppf
+      "chunk 0x%x unavailable after %d attempts (%d steps matched)" vaddr
+      attempts steps
+
+let state_mismatch (a : Softcache.Controller.t) (b : Softcache.Controller.t)
+    =
+  if a.cpu.pc <> b.cpu.pc then
+    Some (Printf.sprintf "pc 0x%x (decoded) vs 0x%x (interpretive)" a.cpu.pc
+            b.cpu.pc)
+  else if a.cpu.retired <> b.cpu.retired then
+    Some (Printf.sprintf "retired %d vs %d" a.cpu.retired b.cpu.retired)
+  else if a.cpu.cycles <> b.cpu.cycles then
+    Some (Printf.sprintf "cycles %d vs %d" a.cpu.cycles b.cpu.cycles)
+  else if a.cpu.halted <> b.cpu.halted then
+    Some (Printf.sprintf "halted %b vs %b" a.cpu.halted b.cpu.halted)
+  else if a.cpu.regs <> b.cpu.regs then begin
+    let detail = ref "registers differ" in
+    Array.iteri
+      (fun i v ->
+        if v <> b.cpu.regs.(i) && !detail = "registers differ" then
+          detail :=
+            Printf.sprintf "r%d = %d (decoded) vs %d (interpretive)" i v
+              b.cpu.regs.(i))
+      a.cpu.regs;
+    Some !detail
+  end
+  else None
+
+let engines ?cost ?(fuel = 2_000_000) ?(ops = []) ?(audit = false) mk_cfg
+    img : engine_verdict =
+  (* each side gets its own Config (and thus its own Netmodel state) so
+     shared transport RNG/counters cannot desynchronise the pair *)
+  let mk engine =
+    let cfg = { (mk_cfg ()) with Config.engine } in
+    Controller.create ?cost cfg img
+  in
+  let cd = mk Machine.Cpu.Decoded in
+  let ci = mk Machine.Cpu.Interpretive in
+  if audit then ignore (Audit.install cd);
+  let steps = ref 0 in
+  let step_pair () =
+    (* run returns immediately once halted, so over-stepping is safe *)
+    let od = Controller.run ~fuel:1 cd in
+    let oi = Controller.run ~fuel:1 ci in
+    incr steps;
+    (od, oi)
+  in
+  let nslices = List.length ops + 1 in
+  let slice = max 1 (fuel / nslices) in
+  let exception Divergence of string in
+  let check () =
+    match state_mismatch cd ci with
+    | Some d -> raise (Divergence d)
+    | None -> ()
+  in
+  let rec drive budget ops =
+    if cd.cpu.halted && ci.cpu.halted then `Halted
+    else if budget <= 0 then
+      match ops with
+      | op :: rest ->
+        op cd;
+        op ci;
+        check ();
+        drive slice rest
+      | [] -> `Out_of_fuel
+    else begin
+      let od, oi = step_pair () in
+      if od <> oi then
+        raise
+          (Divergence
+             (Printf.sprintf "outcome %s vs %s"
+                (match od with
+                | Machine.Cpu.Halted -> "halted"
+                | Machine.Cpu.Out_of_fuel -> "running")
+                (match oi with
+                | Machine.Cpu.Halted -> "halted"
+                | Machine.Cpu.Out_of_fuel -> "running")));
+      check ();
+      drive (budget - 1) ops
+    end
+  in
+  match drive slice ops with
+  | exception Divergence detail ->
+    Engines_diverged { step = !steps; detail }
+  | exception Controller.Chunk_unavailable { vaddr; attempts } ->
+    Engines_unavailable { vaddr; attempts; steps = !steps }
+  | `Out_of_fuel -> Engines_out_of_fuel { steps = !steps }
+  | `Halted -> (
+    let souts = Machine.Cpu.outputs cd.cpu
+    and iouts = Machine.Cpu.outputs ci.cpu in
+    if souts <> iouts then
+      Engines_diverged { step = !steps; detail = "output streams differ" }
+    else
+      let sz = Machine.Memory.size cd.cpu.mem in
+      let hd = Machine.Memory.hash cd.cpu.mem ~lo:0 ~hi:sz
+      and hi_ = Machine.Memory.hash ci.cpu.mem ~lo:0 ~hi:sz in
+      if hd <> hi_ then
+        Engines_diverged { step = !steps; detail = "final memory differs" }
+      else Engines_equivalent { steps = !steps })

@@ -43,3 +43,44 @@ val run :
 
 val pp_event : Format.formatter -> event -> unit
 val pp_verdict : Format.formatter -> verdict -> unit
+
+(** {2 Decoded vs interpretive dispatch}
+
+    A second differential axis: the same softcached execution run twice,
+    once through the predecoded engine and once through reference
+    interpretive dispatch, stepped one instruction at a time. Because
+    both sides run the {e same} execution, the full architectural state
+    — pc, registers, cycle and retire counts — must match after every
+    step, and outputs plus the entire memory image at the end. This is
+    the proof obligation of the decode cache's coherence rule: if any
+    memory write failed to invalidate its predecode line, the decoded
+    side executes a stale instruction and the pair diverges at that
+    exact step. *)
+
+type engine_verdict =
+  | Engines_equivalent of { steps : int }
+  | Engines_diverged of { step : int; detail : string }
+  | Engines_out_of_fuel of { steps : int }
+      (** every compared step matched; the budget ran out first *)
+  | Engines_unavailable of { vaddr : int; attempts : int; steps : int }
+      (** the faulty interconnect gave up on a chunk; all steps up to
+          that point matched *)
+
+val engines :
+  ?cost:Machine.Cost.t ->
+  ?fuel:int ->
+  ?ops:(Softcache.Controller.t -> unit) list ->
+  ?audit:bool ->
+  (unit -> Softcache.Config.t) ->
+  Isa.Image.t ->
+  engine_verdict
+(** [engines mk_cfg img] builds one controller per engine — each from a
+    fresh [mk_cfg ()] so the pair never shares mutable transport state —
+    and steps them in lockstep. [ops] are applied to {e both} controllers
+    at evenly spaced fuel slices (state is re-compared right after), so
+    mid-run patches, evictions and flushes are exercised at identical
+    instruction boundaries. [audit] installs {!Audit.install} (including
+    its decode-coherence section) on the decoded side. Default [fuel] is
+    2M instructions. *)
+
+val pp_engine_verdict : Format.formatter -> engine_verdict -> unit

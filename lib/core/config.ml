@@ -17,6 +17,7 @@ type t = {
   retry_backoff_cycles : int;
   timeout_cycles : int;
   audit : bool;
+  engine : Machine.Cpu.engine;
 }
 
 let make ?(tcache_bytes = 48 * 1024) ?(tcache_base = 0x10000)
@@ -24,8 +25,8 @@ let make ?(tcache_bytes = 48 * 1024) ?(tcache_base = 0x10000)
     ?(patch_cycles = 4) ?(miss_fixed_cycles = 30)
     ?(translate_cycles_per_word = 2) ?(scrub_cycles_per_word = 2)
     ?(bind_at_translate = true) ?net ?(max_retries = 8)
-    ?(retry_backoff_cycles = 64) ?(timeout_cycles = 1000) ?(audit = false) ()
-    =
+    ?(retry_backoff_cycles = 64) ?(timeout_cycles = 1000) ?(audit = false)
+    ?(engine = Machine.Cpu.Decoded) () =
   let net = match net with Some n -> n | None -> Netmodel.local () in
   if tcache_bytes < 64 then invalid_arg "Config.make: tcache too small";
   if tcache_base land 3 <> 0 then invalid_arg "Config.make: unaligned base";
@@ -48,6 +49,7 @@ let make ?(tcache_bytes = 48 * 1024) ?(tcache_base = 0x10000)
     retry_backoff_cycles;
     timeout_cycles;
     audit;
+    engine;
   }
 
 let sparc_prototype ?tcache_bytes () =
@@ -59,9 +61,12 @@ let arm_prototype ?tcache_bytes () =
     ~net:(Netmodel.ethernet_10mbps ()) ()
 
 let pp ppf t =
-  Format.fprintf ppf "tcache %dB @0x%x, %s chunks, %s eviction"
+  Format.fprintf ppf "tcache %dB @0x%x, %s chunks, %s eviction%s"
     t.tcache_bytes t.tcache_base
     (match t.chunking with
     | Basic_block -> "basic-block"
     | Procedure -> "procedure")
     (match t.eviction with Flush_all -> "flush-all" | Fifo -> "fifo")
+    (match t.engine with
+    | Machine.Cpu.Decoded -> ""
+    | Machine.Cpu.Interpretive -> ", interpretive dispatch")

@@ -52,6 +52,11 @@ type t = {
       (** run the [Check.Audit] tcache invariant auditor after every
           controller event (installed via [Check.Audit.install_if_configured];
           off by default, enabled in tests and by [--audit]) *)
+  engine : Machine.Cpu.engine;
+      (** CPU dispatch engine for the cached run: [Decoded] (default)
+          fetches through the memory-coherent predecode cache;
+          [Interpretive] re-decodes every fetch — kept for differential
+          testing of the decode cache against reference dispatch *)
 }
 
 val make :
@@ -70,12 +75,14 @@ val make :
   ?retry_backoff_cycles:int ->
   ?timeout_cycles:int ->
   ?audit:bool ->
+  ?engine:Machine.Cpu.engine ->
   unit ->
   t
 (** Defaults: 48 KiB tcache at [0x10000], basic-block chunking, FIFO
     eviction, lookup 12, patch 4, miss fixed 30, translate 2/word,
     scrub 2/word, local (SPARC-style) interconnect, 8 retries with a
-    64-cycle backoff base and a 1000-cycle drop timeout, audit off. *)
+    64-cycle backoff base and a 1000-cycle drop timeout, audit off,
+    decoded dispatch. *)
 
 val sparc_prototype : ?tcache_bytes:int -> unit -> t
 (** Basic-block chunking, local MC (no network), FIFO eviction. *)

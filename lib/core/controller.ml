@@ -535,7 +535,7 @@ let create ?cost ?(mem_bytes = 8 * 1024 * 1024) (cfg : Config.t) image =
     invalid_arg "Controller.create: tcache outside memory";
   let mem = Machine.Memory.create mem_bytes in
   Machine.Memory.load_data mem image;
-  let cpu = Machine.Cpu.create ?cost ~mem ~pc:0 () in
+  let cpu = Machine.Cpu.create ?cost ~engine:cfg.engine ~mem ~pc:0 () in
   let t =
     {
       cfg;

@@ -10,9 +10,12 @@ exception Fault of fault * int
 
 type outcome = Halted | Out_of_fuel
 
+type engine = Decoded | Interpretive
+
 type t = {
   mem : Memory.t;
   regs : int array;
+  engine : engine;
   mutable pc : int;
   mutable cycles : int;
   mutable retired : int;
@@ -25,12 +28,13 @@ type t = {
   mutable on_store : (int -> unit) option;
 }
 
-let create ?(cost = Cost.default) ~mem ~pc () =
+let create ?(cost = Cost.default) ?(engine = Decoded) ~mem ~pc () =
   let regs = Array.make Isa.Reg.count 0 in
   regs.(Isa.Reg.to_int Isa.Reg.sp) <- Memory.size mem - 16;
   {
     mem;
     regs;
+    engine;
     pc;
     cycles = 0;
     retired = 0;
@@ -43,10 +47,10 @@ let create ?(cost = Cost.default) ~mem ~pc () =
     on_store = None;
   }
 
-let of_image ?cost ?(mem_bytes = 8 * 1024 * 1024) img =
+let of_image ?cost ?engine ?(mem_bytes = 8 * 1024 * 1024) img =
   let mem = Memory.create mem_bytes in
   Memory.load_image mem img;
-  create ?cost ~mem ~pc:img.Isa.Image.entry ()
+  create ?cost ?engine ~mem ~pc:img.Isa.Image.entry ()
 
 let reg t r = if Isa.Reg.to_int r = 0 then 0 else t.regs.(Isa.Reg.to_int r)
 
@@ -92,50 +96,44 @@ let cond_holds (c : Isa.Instr.cond) a b =
 
 let fault t f = raise (Fault (f, t.pc))
 
-let step t =
-  let pc = t.pc in
-  (match t.on_fetch with Some f -> f pc | None -> ());
-  let word =
-    try Memory.read32 t.mem pc with
-    | Memory.Out_of_bounds a -> fault t (Out_of_bounds a)
-    | Memory.Unaligned a -> fault t (Unaligned_fetch a)
-  in
-  let instr =
-    match Isa.Encode.decode word with
-    | Some i -> i
-    | None -> fault t (Invalid_opcode word)
-  in
+(* Data-access helpers are top-level (not per-step closures): [step] is
+   the hottest path in every experiment, and allocating six closures
+   per retired instruction was a measurable share of its cost. *)
+
+let mem_load32 t a =
+  (match t.on_load with Some f -> f a | None -> ());
+  try Memory.read32 t.mem a with
+  | Memory.Out_of_bounds a -> fault t (Out_of_bounds a)
+  | Memory.Unaligned a -> fault t (Unaligned_access a)
+
+let mem_load8 t a =
+  (match t.on_load with Some f -> f a | None -> ());
+  try Memory.read8 t.mem a
+  with Memory.Out_of_bounds a -> fault t (Out_of_bounds a)
+
+let mem_store32 t a v =
+  (match t.on_store with Some f -> f a | None -> ());
+  try Memory.write32 t.mem a v with
+  | Memory.Out_of_bounds a -> fault t (Out_of_bounds a)
+  | Memory.Unaligned a -> fault t (Unaligned_access a)
+
+let mem_store8 t a v =
+  (match t.on_store with Some f -> f a | None -> ());
+  try Memory.write8 t.mem a v
+  with Memory.Out_of_bounds a -> fault t (Out_of_bounds a)
+
+(* Execute one already-decoded instruction fetched from [pc]. Shared by
+   both engines, so decoded dispatch differs from interpretive dispatch
+   in nothing but how [instr] was obtained. *)
+let exec t pc (instr : Isa.Instr.t) =
   let cost = t.cost in
-  let rd_write r v = set_reg t r v in
-  let mem_load32 a =
-    (match t.on_load with Some f -> f a | None -> ());
-    try Memory.read32 t.mem a with
-    | Memory.Out_of_bounds a -> fault t (Out_of_bounds a)
-    | Memory.Unaligned a -> fault t (Unaligned_access a)
-  in
-  let mem_load8 a =
-    (match t.on_load with Some f -> f a | None -> ());
-    try Memory.read8 t.mem a
-    with Memory.Out_of_bounds a -> fault t (Out_of_bounds a)
-  in
-  let mem_store32 a v =
-    (match t.on_store with Some f -> f a | None -> ());
-    try Memory.write32 t.mem a v with
-    | Memory.Out_of_bounds a -> fault t (Out_of_bounds a)
-    | Memory.Unaligned a -> fault t (Unaligned_access a)
-  in
-  let mem_store8 a v =
-    (match t.on_store with Some f -> f a | None -> ());
-    try Memory.write8 t.mem a v
-    with Memory.Out_of_bounds a -> fault t (Out_of_bounds a)
-  in
   (match instr with
   | Alu (op, rd, rs1, rs2) ->
     let v =
       try alu_op op (reg t rs1) (reg t rs2)
       with Exit -> fault t Division_by_zero
     in
-    rd_write rd v;
+    set_reg t rd v;
     t.cycles <- t.cycles + cost.alu;
     t.pc <- pc + 4
   | Alui (op, rd, rs1, imm) ->
@@ -143,27 +141,27 @@ let step t =
       try alu_op op (reg t rs1) (imm_for op imm)
       with Exit -> fault t Division_by_zero
     in
-    rd_write rd v;
+    set_reg t rd v;
     t.cycles <- t.cycles + cost.alu;
     t.pc <- pc + 4
   | Lui (rd, imm) ->
-    rd_write rd (norm (imm lsl 16));
+    set_reg t rd (norm (imm lsl 16));
     t.cycles <- t.cycles + cost.alu;
     t.pc <- pc + 4
   | Ld (rd, rs, imm) ->
-    rd_write rd (mem_load32 (reg t rs + imm));
+    set_reg t rd (mem_load32 t (reg t rs + imm));
     t.cycles <- t.cycles + cost.load;
     t.pc <- pc + 4
   | Ldb (rd, rs, imm) ->
-    rd_write rd (mem_load8 (reg t rs + imm));
+    set_reg t rd (mem_load8 t (reg t rs + imm));
     t.cycles <- t.cycles + cost.load;
     t.pc <- pc + 4
   | St (rv, rs, imm) ->
-    mem_store32 (reg t rs + imm) (reg t rv);
+    mem_store32 t (reg t rs + imm) (reg t rv);
     t.cycles <- t.cycles + cost.store;
     t.pc <- pc + 4
   | Stb (rv, rs, imm) ->
-    mem_store8 (reg t rs + imm) (reg t rv);
+    mem_store8 t (reg t rs + imm) (reg t rv);
     t.cycles <- t.cycles + cost.store;
     t.pc <- pc + 4
   | Br (c, rs1, rs2, off) ->
@@ -179,7 +177,7 @@ let step t =
     t.cycles <- t.cycles + cost.jump;
     t.pc <- target
   | Jal target ->
-    rd_write Isa.Reg.ra (pc + 4);
+    set_reg t Isa.Reg.ra (pc + 4);
     t.cycles <- t.cycles + cost.jump;
     t.pc <- target
   | Jr rs ->
@@ -187,7 +185,7 @@ let step t =
     t.pc <- reg t rs
   | Jalr (rd, rs) ->
     let target = reg t rs in
-    rd_write rd (pc + 4);
+    set_reg t rd (pc + 4);
     t.cycles <- t.cycles + cost.jump;
     t.pc <- target
   | Trap k -> (
@@ -206,6 +204,28 @@ let step t =
     t.cycles <- t.cycles + cost.jump;
     t.halted <- true);
   t.retired <- t.retired + 1
+
+let fetch_interpretive t pc =
+  let word =
+    try Memory.read32 t.mem pc with
+    | Memory.Out_of_bounds a -> fault t (Out_of_bounds a)
+    | Memory.Unaligned a -> fault t (Unaligned_fetch a)
+  in
+  match Isa.Encode.decode word with
+  | Some i -> i
+  | None -> fault t (Invalid_opcode word)
+
+let step t =
+  let pc = t.pc in
+  (match t.on_fetch with Some f -> f pc | None -> ());
+  match t.engine with
+  | Decoded -> (
+    match Memory.fetch_decoded t.mem pc with
+    | i -> exec t pc i
+    | exception Memory.Undecodable w -> fault t (Invalid_opcode w)
+    | exception Memory.Out_of_bounds a -> fault t (Out_of_bounds a)
+    | exception Memory.Unaligned a -> fault t (Unaligned_fetch a))
+  | Interpretive -> exec t pc (fetch_interpretive t pc)
 
 let run ?(fuel = max_int) t =
   let rec go remaining =

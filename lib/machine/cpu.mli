@@ -1,10 +1,20 @@
 (** The ERISC interpreter.
 
-    Executes encoded instructions straight out of {!Memory}, which is
-    essential for the SoftCache: the rewriter patches encoded words in
-    the translation cache while the program runs, and the CPU picks up
-    the patched words on the next fetch, exactly as real hardware
-    without an incoherent I-cache would.
+    Executes encoded instructions out of {!Memory}, which is essential
+    for the SoftCache: the rewriter patches encoded words in the
+    translation cache while the program runs, and the CPU picks up the
+    patched words on the next fetch, exactly as real hardware without
+    an incoherent I-cache would.
+
+    Two dispatch engines exist. {!Decoded} (the default) fetches
+    through {!Memory.fetch_decoded}, the predecode cache whose lines
+    are invalidated by the memory writes themselves — so runtime code
+    rewriting is picked up on the next fetch exactly as under
+    {!Interpretive}, which decodes every fetched word from scratch.
+    The two are observationally identical by construction (they share
+    the execute stage); [Check.Lockstep.engines] proves it per
+    instruction, including across mid-run patches, evictions and
+    flushes.
 
     Observable behaviour of a program = the sequence of [Out] values,
     the final register file and the final data memory. The equivalence
@@ -25,9 +35,20 @@ exception Fault of fault * int
 
 type outcome = Halted | Out_of_fuel
 
+type engine =
+  | Decoded
+      (** fetch via the {!Memory} decode cache — the fast path, kept
+          coherent with runtime code rewriting by write-driven
+          invalidation inside {!Memory} *)
+  | Interpretive
+      (** decode every fetched word with [Isa.Encode.decode] — the
+          reference the decoded engine is differentially tested
+          against *)
+
 type t = {
   mem : Memory.t;
   regs : int array;  (** 32 signed 32-bit values; index 0 reads as 0 *)
+  engine : engine;
   mutable pc : int;
   mutable cycles : int;
   mutable retired : int;  (** instructions retired *)
@@ -42,11 +63,12 @@ type t = {
   mutable on_store : (int -> unit) option;
 }
 
-val create : ?cost:Cost.t -> mem:Memory.t -> pc:int -> unit -> t
+val create : ?cost:Cost.t -> ?engine:engine -> mem:Memory.t -> pc:int -> unit -> t
 (** A CPU over existing memory. [sp] is initialised to 16 bytes below
-    the top of memory; all other registers are zero. *)
+    the top of memory; all other registers are zero. [engine] defaults
+    to {!Decoded}. *)
 
-val of_image : ?cost:Cost.t -> ?mem_bytes:int -> Isa.Image.t -> t
+val of_image : ?cost:Cost.t -> ?engine:engine -> ?mem_bytes:int -> Isa.Image.t -> t
 (** Load an image into fresh memory (default 8 MiB) and point [pc] at
     its entry — the "native", cache-less execution the paper's Fig. 5
     normalises against. *)

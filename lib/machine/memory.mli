@@ -1,8 +1,18 @@
-(** Flat byte-addressed memory.
+(** Flat byte-addressed memory with a rewrite-coherent decode cache.
 
     Little-endian, fixed size. 32-bit reads return sign-extended values
     (the machine's registers hold signed 32-bit values represented as
-    OCaml ints); byte reads are zero-extended. *)
+    OCaml ints); byte reads are zero-extended.
+
+    The decode cache predecodes instruction words so the interpreter
+    does not re-decode on every fetch. Its coherence rule lives in this
+    module and nowhere else: {b every} mutation of memory —
+    [write32], [write8], and the bulk loaders — invalidates the
+    covering decode-cache line(s). Code that patches instructions at
+    runtime (the SoftCache controller backpatches, reverts stubs,
+    unlinks evicted blocks, flushes) therefore needs no invalidation
+    protocol of its own, and [fetch_decoded] can never return a stale
+    instruction. *)
 
 type t
 
@@ -12,14 +22,44 @@ exception Out_of_bounds of int
 exception Unaligned of int
 (** Raised by 32-bit accesses to addresses that are not 4-aligned. *)
 
+exception Undecodable of int
+(** Raised by [fetch_decoded] with the fetched word when it does not
+    decode to an instruction. *)
+
 val create : int -> t
-(** [create n] is [n] bytes of zeroed memory. *)
+(** [create n] is [n] bytes of zeroed memory with an empty decode
+    cache. *)
 
 val size : t -> int
 val read32 : t -> int -> int
 val write32 : t -> int -> int -> unit
 val read8 : t -> int -> int
 val write8 : t -> int -> int -> unit
+
+val fetch_decoded : t -> int -> Isa.Instr.t
+(** Predecoded instruction fetch: consult the decode cache, filling it
+    from memory on a miss. Exactly [Isa.Encode.decode (read32 t addr)]
+    observationally — the cache is invisible except for speed.
+    @raise Out_of_bounds and @raise Unaligned as [read32] would.
+    @raise Undecodable with the word when it has no decoding. *)
+
+val decode_peek : t -> int -> Isa.Instr.t option
+(** The decode-cache line currently covering [addr], without filling.
+    [None] for invalid addresses, uncached words, and aliased lines.
+    Introspection for tests and the coherence auditor. *)
+
+type decode_stats = { hits : int; misses : int; invalidations : int }
+
+val decode_stats : t -> decode_stats
+val decode_flush : t -> unit
+(** Drop every decode-cache line (the loaders call this after bulk
+    blits; exposed for tests). *)
+
+val decode_audit : t -> int list
+(** Addresses of decode-cache lines whose cached instruction disagrees
+    with what the underlying word currently decodes to. Always [[]]
+    unless the write-driven invalidation rule has been broken — the
+    coherence invariant checked by [Check.Audit]. *)
 
 val load_image : t -> Isa.Image.t -> unit
 (** Copy an image's text and data segments into memory. *)

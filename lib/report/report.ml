@@ -19,22 +19,27 @@ module Table = struct
       (List.map (fun _ -> 0) t.columns)
       all
 
-  let print t =
+  let render t =
     let ws = widths t in
     let pad w s = s ^ String.make (w - String.length s) ' ' in
-    let line row =
-      "  " ^ String.concat "  " (List.map2 pad ws row)
-    in
-    Printf.printf "%s\n" t.title;
-    Printf.printf "%s\n" (line t.columns);
-    let total = List.fold_left (fun a w -> a + w + 2) 0 ws in
-    Printf.printf "  %s\n" (String.make total '-');
-    List.iter (fun r -> Printf.printf "%s\n" (line r)) (List.rev t.rows)
+    let line row = "  " ^ String.concat "  " (List.map2 pad ws row) in
+    let header = line t.columns in
+    (* underline exactly the rendered header (minus its two-space
+       indent), so the separator never over- or undershoots the rows *)
+    let sep = "  " ^ String.make (String.length header - 2) '-' in
+    String.concat "\n" (t.title :: header :: sep :: List.rev_map line t.rows)
+
+  let print t =
+    print_string (render t);
+    print_newline ()
 
   let to_csv t =
     let esc s =
-      if String.exists (fun c -> c = ',' || c = '"') s then
-        "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+      if
+        String.exists
+          (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r')
+          s
+      then "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
       else s
     in
     let row r = String.concat "," (List.map esc r) in
@@ -77,10 +82,28 @@ let mean = function
   | [] -> 0.0
   | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
 
-let geomean = function
+(* [log x] is -inf at 0 and nan below it, either of which silently
+   poisons the whole summary row — so non-positive inputs are handled
+   explicitly: rejected by default, or dropped on request. *)
+let geomean ?(on_nonpositive = `Error) l =
+  let usable =
+    match on_nonpositive with
+    | `Skip -> List.filter (fun x -> x > 0.0) l
+    | `Error ->
+      List.iter
+        (fun x ->
+          if x <= 0.0 then
+            invalid_arg
+              (Printf.sprintf "Report.geomean: non-positive value %g" x))
+        l;
+      l
+  in
+  match usable with
   | [] -> 0.0
   | l ->
-    exp (List.fold_left (fun a x -> a +. log x) 0.0 l /. float_of_int (List.length l))
+    exp
+      (List.fold_left (fun a x -> a +. log x) 0.0 l
+      /. float_of_int (List.length l))
 
 let fmt_bytes n =
   if n < 1024 then Printf.sprintf "%d B" n

@@ -12,10 +12,17 @@ module Table : sig
   (** @raise Invalid_argument if the cell count differs from the
       column count. *)
 
+  val render : t -> string
+  (** The aligned-column rendering as a string (no trailing newline);
+      the header underline is exactly as wide as the rendered header
+      line. *)
+
   val print : t -> unit
-  (** Render with aligned columns to stdout. *)
+  (** [render] to stdout, newline-terminated. *)
 
   val to_csv : t -> string
+  (** RFC-4180-style: cells containing commas, double quotes, or
+      CR/LF are double-quoted with embedded quotes doubled. *)
 end
 
 module Series : sig
@@ -35,8 +42,12 @@ end
 val mean : float list -> float
 (** 0 on the empty list. *)
 
-val geomean : float list -> float
-(** Geometric mean; 0 on the empty list. *)
+val geomean : ?on_nonpositive:[ `Error | `Skip ] -> float list -> float
+(** Geometric mean; 0 on the empty list. Non-positive inputs have no
+    logarithm, so they are never fed to [log]: with [`Error] (the
+    default) they raise [Invalid_argument]; with [`Skip] they are
+    dropped and the mean is taken over the remaining positive values
+    (0 if none remain). *)
 
 val fmt_bytes : int -> string
 (** "800 B", "24.0 KB", "1.5 MB". *)

@@ -195,6 +195,104 @@ let test_lockstep_native_fuel () =
     Alcotest.failf "expected Native_out_of_fuel, got %a"
       Check.Lockstep.pp_verdict v
 
+(* ------------------------------------------------------------------ *)
+(* Decoded vs interpretive dispatch in lockstep *)
+
+let check_engines_equiv name verdict =
+  match verdict with
+  | Check.Lockstep.Engines_equivalent { steps } ->
+    Alcotest.(check bool) (name ^ " stepped something") true (steps > 0)
+  | v ->
+    Alcotest.failf "%s: expected engine equivalence, got %a" name
+      Check.Lockstep.pp_engine_verdict v
+
+let test_engines_equivalent () =
+  check_engines_equiv "sum"
+    (Check.Lockstep.engines
+       (fun () -> small_cfg ~tcache_bytes:768 ())
+       (prog_sum 200));
+  check_engines_equiv "fib/fifo"
+    (Check.Lockstep.engines ~audit:true (fun () -> small_cfg ()) (prog_fib 10));
+  check_engines_equiv "fib/flush"
+    (Check.Lockstep.engines
+       (fun () -> small_cfg ~eviction:Softcache.Config.Flush_all ())
+       (prog_fib 10))
+
+let test_engines_midrun_ops () =
+  (* tcache invalidation, a full flush and a decode-cache flush fired
+     at identical instruction boundaries on both sides: the rewriting
+     storm that follows must leave the engines in identical state at
+     every subsequent step *)
+  let img = prog_fib 12 in
+  let native = Softcache.Runner.native img in
+  let hi = 0x1000 + Isa.Image.static_text_bytes img in
+  let inv c = Softcache.Controller.invalidate c ~lo:0 ~hi in
+  let dflush (c : Softcache.Controller.t) =
+    Machine.Memory.decode_flush c.cpu.mem
+  in
+  let fuel = native.retired in
+  let slice = fuel / 4 in
+  match
+    Check.Lockstep.engines ~audit:true ~fuel
+      ~ops:[ inv; Softcache.Controller.flush; dflush ]
+      (fun () -> small_cfg ())
+      img
+  with
+  | Check.Lockstep.Engines_equivalent { steps }
+  | Check.Lockstep.Engines_out_of_fuel { steps } ->
+    Alcotest.(check bool) "ops fired mid-run" true (steps >= slice)
+  | v ->
+    Alcotest.failf "mid-run ops: %a" Check.Lockstep.pp_engine_verdict v
+
+let test_engines_registry () =
+  (* every shipped workload, stepped under a thrashing 2 KB tcache;
+     out-of-fuel counts as success — every compared step matched *)
+  List.iter
+    (fun (e : Workloads.Registry.entry) ->
+      let img = e.build () in
+      match
+        Check.Lockstep.engines ~fuel:60_000
+          (fun () -> small_cfg ~tcache_bytes:2048 ())
+          img
+      with
+      | Check.Lockstep.Engines_equivalent { steps }
+      | Check.Lockstep.Engines_out_of_fuel { steps } ->
+        Alcotest.(check bool) (e.name ^ " stepped something") true (steps > 0)
+      | v ->
+        Alcotest.failf "%s: %a" e.name Check.Lockstep.pp_engine_verdict v)
+    Workloads.Registry.all
+
+let test_engines_detect_divergence () =
+  (* mutation test: skew one register on the decoded side only; the
+     very next comparison must object, proving the runner is not
+     vacuously equivalent *)
+  let skew (c : Softcache.Controller.t) =
+    if c.cpu.engine = Machine.Cpu.Decoded then
+      c.cpu.regs.(9) <- c.cpu.regs.(9) + 1
+  in
+  match
+    Check.Lockstep.engines ~fuel:100 ~ops:[ skew ]
+      (fun () -> small_cfg ())
+      (prog_fib 12)
+  with
+  | Check.Lockstep.Engines_diverged _ -> ()
+  | v ->
+    Alcotest.failf "expected divergence, got %a"
+      Check.Lockstep.pp_engine_verdict v
+
+let test_engines_unavailable () =
+  let mk () =
+    let faults = Netmodel.Faults.make ~seed:1 ~drop:1.0 () in
+    Softcache.Config.make ~tcache_bytes:1024
+      ~chunking:Softcache.Config.Basic_block
+      ~net:(Netmodel.local ~faults ()) ()
+  in
+  match Check.Lockstep.engines mk (prog_sum 10) with
+  | Check.Lockstep.Engines_unavailable _ -> ()
+  | v ->
+    Alcotest.failf "expected Engines_unavailable, got %a"
+      Check.Lockstep.pp_engine_verdict v
+
 let () =
   Alcotest.run "check"
     [
@@ -224,5 +322,18 @@ let () =
             test_lockstep_unavailable;
           Alcotest.test_case "native fuel exhaustion" `Quick
             test_lockstep_native_fuel;
+        ] );
+      ( "engines",
+        [
+          Alcotest.test_case "decoded = interpretive" `Quick
+            test_engines_equivalent;
+          Alcotest.test_case "mid-run invalidate/flush/decode-flush" `Quick
+            test_engines_midrun_ops;
+          Alcotest.test_case "every registry workload" `Quick
+            test_engines_registry;
+          Alcotest.test_case "detects seeded divergence" `Quick
+            test_engines_detect_divergence;
+          Alcotest.test_case "unavailable surfaces cleanly" `Quick
+            test_engines_unavailable;
         ] );
     ]

@@ -60,6 +60,27 @@ let test_canonical =
       | None -> true
       | Some i -> Isa.Encode.encode i = w)
 
+let test_predecode_identical =
+  (* any word the pure decoder accepts must come out of the memory
+     decode cache bit-identically, on the fill path and again on the
+     hit path; any word it rejects must raise [Undecodable] carrying
+     that word and install nothing *)
+  QCheck.Test.make ~count:2000
+    ~name:"decode cache predecodes every decodable word identically"
+    QCheck.(make Gen.(int_bound 0xFFFFFFFF))
+    (fun w ->
+      let mem = Machine.Memory.create 64 in
+      Machine.Memory.write32 mem 0 w;
+      match Isa.Encode.decode w with
+      | Some i ->
+        Machine.Memory.fetch_decoded mem 0 = i
+        && Machine.Memory.fetch_decoded mem 0 = i
+      | None -> (
+        match Machine.Memory.fetch_decoded mem 0 with
+        | exception Machine.Memory.Undecodable w' ->
+          w' = w && Machine.Memory.decode_peek mem 0 = None
+        | _ -> false))
+
 let test_encode_errors () =
   let open Isa.Instr in
   List.iter
@@ -418,6 +439,7 @@ let () =
         [
           qt test_roundtrip;
           qt test_canonical;
+          qt test_predecode_identical;
           Alcotest.test_case "encode errors" `Quick test_encode_errors;
           Alcotest.test_case "decode garbage" `Quick test_decode_garbage;
           Alcotest.test_case "pretty printing" `Quick test_pp;

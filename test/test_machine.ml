@@ -332,6 +332,130 @@ let test_load_store_hooks () =
   Alcotest.(check int) "loads" 1 !loads;
   Alcotest.(check int) "stores" 1 !stores
 
+(* ------------------------------------------------------------------ *)
+(* Decode cache: predecoded fetch, kept coherent by the writes
+   themselves — no caller-side invalidation anywhere in these tests *)
+
+let enc = Isa.Encode.encode
+
+let test_decode_hit_miss_stats () =
+  let m = Machine.Memory.create 64 in
+  Machine.Memory.write32 m 0 (enc (li (reg 1) 5));
+  Alcotest.(check bool)
+    "miss fill" true
+    (Machine.Memory.fetch_decoded m 0 = li (reg 1) 5);
+  Alcotest.(check bool)
+    "hit" true
+    (Machine.Memory.fetch_decoded m 0 = li (reg 1) 5);
+  let s = Machine.Memory.decode_stats m in
+  Alcotest.(check int) "hits" 1 s.Machine.Memory.hits;
+  Alcotest.(check int) "misses" 1 s.Machine.Memory.misses;
+  Alcotest.(check int) "invalidations" 0 s.Machine.Memory.invalidations;
+  Alcotest.(check bool)
+    "peek sees the line" true
+    (Machine.Memory.decode_peek m 0 = Some (li (reg 1) 5))
+
+let test_decode_write32_invalidates () =
+  let m = Machine.Memory.create 64 in
+  Machine.Memory.write32 m 0 (enc (li (reg 1) 5));
+  ignore (Machine.Memory.fetch_decoded m 0);
+  Machine.Memory.write32 m 0 (enc (li (reg 2) 9));
+  Alcotest.(check bool)
+    "refetch sees the new word" true
+    (Machine.Memory.fetch_decoded m 0 = li (reg 2) 9);
+  Alcotest.(check int)
+    "invalidation counted" 1
+    (Machine.Memory.decode_stats m).Machine.Memory.invalidations
+
+let test_decode_write8_invalidates () =
+  let m = Machine.Memory.create 64 in
+  let w_new = enc (Isa.Instr.Out (reg 1)) in
+  Machine.Memory.write32 m 4 (enc (li (reg 1) 5));
+  ignore (Machine.Memory.fetch_decoded m 4);
+  for i = 0 to 3 do
+    Machine.Memory.write8 m (4 + i) ((w_new lsr (8 * i)) land 0xFF)
+  done;
+  Alcotest.(check bool)
+    "byte writes invalidate the covering line" true
+    (Machine.Memory.fetch_decoded m 4 = Isa.Instr.Out (reg 1))
+
+let test_decode_undecodable () =
+  let m = Machine.Memory.create 64 in
+  Machine.Memory.write32 m 0 (63 lsl 26);
+  (match Machine.Memory.fetch_decoded m 0 with
+  | exception Machine.Memory.Undecodable w ->
+    Alcotest.(check int) "word reported" (63 lsl 26) w
+  | _ -> Alcotest.fail "expected Undecodable");
+  Alcotest.(check bool)
+    "no line installed for an undecodable word" true
+    (Machine.Memory.decode_peek m 0 = None)
+
+let test_decode_load_data_flushes () =
+  (* load_data blits bytes in bulk, bypassing write32/write8 — the
+     decode cache must be flushed wholesale *)
+  let b = Isa.Builder.create "flush" in
+  let _ = Isa.Builder.word b 0xDEAD in
+  Isa.Builder.ins b Isa.Instr.Halt;
+  let img = Isa.Builder.build b in
+  let m = Machine.Memory.create (2 * 1024 * 1024) in
+  Machine.Memory.write32 m img.data_base (enc (li (reg 1) 5));
+  ignore (Machine.Memory.fetch_decoded m img.data_base);
+  Machine.Memory.load_data m img;
+  Alcotest.(check bool)
+    "stale line gone after bulk load" true
+    (Machine.Memory.decode_peek m img.data_base = None)
+
+let test_decode_aliasing () =
+  (* more words than decode lines: addresses one line-array apart map
+     to the same line and take turns missing, always correctly *)
+  let m = Machine.Memory.create (256 * 1024) in
+  let a = 0 and b = 128 * 1024 in
+  Machine.Memory.write32 m a (enc (li (reg 1) 1));
+  Machine.Memory.write32 m b (enc (li (reg 2) 2));
+  for _ = 1 to 3 do
+    Alcotest.(check bool)
+      "alias a" true
+      (Machine.Memory.fetch_decoded m a = li (reg 1) 1);
+    Alcotest.(check bool)
+      "alias b" true
+      (Machine.Memory.fetch_decoded m b = li (reg 2) 2)
+  done;
+  Alcotest.(check (list int)) "audit clean" [] (Machine.Memory.decode_audit m)
+
+(* A program that rewrites its own code and re-executes the patched
+   word: the decoded engine must pick the store up on the next fetch. *)
+let selfmod_image () =
+  let b = Isa.Builder.create "selfmod" in
+  let patch = Isa.Builder.new_label b in
+  Isa.Builder.la b (reg 1) patch;
+  Isa.Builder.li b (reg 2) (enc (Isa.Instr.Out (reg 9)));
+  Isa.Builder.li b (reg 9) 42;
+  Isa.Builder.li b (reg 3) 2;
+  let top = Isa.Builder.label b in
+  Isa.Builder.here b patch;
+  Isa.Builder.ins b Isa.Instr.Nop (* becomes [out r9] mid-run *);
+  Isa.Builder.ins b (Isa.Instr.St (reg 2, reg 1, 0));
+  Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 3, reg 3, -1));
+  Isa.Builder.br b Ne (reg 3) Isa.Reg.zero top;
+  Isa.Builder.ins b Isa.Instr.Halt;
+  ignore top;
+  Isa.Builder.build b
+
+let test_selfmod_both_engines () =
+  let img = selfmod_image () in
+  let run engine =
+    let cpu = Machine.Cpu.of_image ~engine img in
+    let outcome = Machine.Cpu.run ~fuel:1000 cpu in
+    Alcotest.(check bool) "halted" true (outcome = Machine.Cpu.Halted);
+    Machine.Cpu.outputs cpu
+  in
+  Alcotest.(check (list int))
+    "decoded engine sees its own store" [ 42 ]
+    (run Machine.Cpu.Decoded);
+  Alcotest.(check (list int))
+    "interpretive engine agrees" [ 42 ]
+    (run Machine.Cpu.Interpretive)
+
 (* Deterministic execution: same program, same result, twice. *)
 let test_determinism =
   QCheck.Test.make ~count:50 ~name:"execution is deterministic"
@@ -379,6 +503,20 @@ let () =
         ] );
       ( "mem-ops",
         [ Alcotest.test_case "load/store" `Quick test_load_store ] );
+      ( "decode-cache",
+        [
+          Alcotest.test_case "hit/miss/stats" `Quick test_decode_hit_miss_stats;
+          Alcotest.test_case "write32 invalidates" `Quick
+            test_decode_write32_invalidates;
+          Alcotest.test_case "write8 invalidates" `Quick
+            test_decode_write8_invalidates;
+          Alcotest.test_case "undecodable" `Quick test_decode_undecodable;
+          Alcotest.test_case "load_data flushes" `Quick
+            test_decode_load_data_flushes;
+          Alcotest.test_case "aliasing" `Quick test_decode_aliasing;
+          Alcotest.test_case "self-modifying code, both engines" `Quick
+            test_selfmod_both_engines;
+        ] );
       ( "control",
         [
           Alcotest.test_case "branch loop" `Quick test_branch_loop;

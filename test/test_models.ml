@@ -195,6 +195,32 @@ let test_report_csv_escaping () =
   Alcotest.(check string) "escaped" "x\n\"a,b\"\n\"say \"\"hi\"\"\""
     (Report.Table.to_csv t)
 
+let test_report_csv_newlines () =
+  (* embedded CR/LF must be quoted, or the cell splits into bogus rows *)
+  let t = Report.Table.create ~title:"t" ~columns:[ "x"; "y" ] in
+  Report.Table.add_row t [ "line1\nline2"; "b" ];
+  Report.Table.add_row t [ "cr\rhere"; "c" ];
+  Alcotest.(check string) "quoted"
+    "x,y\n\"line1\nline2\",b\n\"cr\rhere\",c"
+    (Report.Table.to_csv t)
+
+let test_report_separator_width () =
+  (* the underline must be exactly as wide as the rendered header line
+     (indent excluded), whatever the column and cell widths *)
+  let t =
+    Report.Table.create ~title:"t" ~columns:[ "a"; "long header"; "c" ]
+  in
+  Report.Table.add_row t [ "wide cell value"; "x"; "y" ];
+  match String.split_on_char '\n' (Report.Table.render t) with
+  | _title :: header :: sep :: _rows ->
+    Alcotest.(check int)
+      "separator matches header width"
+      (String.length header) (String.length sep);
+    Alcotest.(check bool)
+      "separator is dashes" true
+      (String.for_all (fun c -> c = '-') (String.trim sep))
+  | _ -> Alcotest.fail "render produced fewer than three lines"
+
 let test_report_series () =
   let s = Report.Series.create ~title:"s" ~xlabel:"x" ~ylabel:"y" in
   Report.Series.add s 1.0 2.0;
@@ -206,6 +232,17 @@ let test_report_stats () =
   Alcotest.(check (float 1e-9)) "mean" 2.0 (Report.mean [ 1.0; 2.0; 3.0 ]);
   Alcotest.(check (float 1e-9)) "mean empty" 0.0 (Report.mean []);
   Alcotest.(check (float 1e-9)) "geomean" 2.0 (Report.geomean [ 1.0; 4.0 ]);
+  Alcotest.(check (float 1e-9)) "geomean empty" 0.0 (Report.geomean []);
+  (match Report.geomean [ 2.0; 0.0; 8.0 ] with
+  | exception Invalid_argument _ -> ()
+  | v -> Alcotest.failf "non-positive input should raise, got %g" v);
+  (match Report.geomean [ 2.0; -3.0 ] with
+  | exception Invalid_argument _ -> ()
+  | v -> Alcotest.failf "negative input should raise, got %g" v);
+  Alcotest.(check (float 1e-9)) "geomean skips non-positive" 4.0
+    (Report.geomean ~on_nonpositive:`Skip [ 2.0; 0.0; 8.0; -1.0 ]);
+  Alcotest.(check (float 1e-9)) "geomean all skipped" 0.0
+    (Report.geomean ~on_nonpositive:`Skip [ 0.0; -1.0 ]);
   Alcotest.(check string) "bytes small" "800 B" (Report.fmt_bytes 800);
   Alcotest.(check string) "bytes KB" "24.0 KB" (Report.fmt_bytes (24 * 1024));
   Alcotest.(check string) "bytes MB" "1.5 MB"
@@ -240,6 +277,10 @@ let () =
         [
           Alcotest.test_case "table" `Quick test_report_table;
           Alcotest.test_case "csv escaping" `Quick test_report_csv_escaping;
+          Alcotest.test_case "csv newline quoting" `Quick
+            test_report_csv_newlines;
+          Alcotest.test_case "separator width" `Quick
+            test_report_separator_width;
           Alcotest.test_case "series" `Quick test_report_series;
           Alcotest.test_case "stats helpers" `Quick test_report_stats;
         ] );
