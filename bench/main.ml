@@ -690,12 +690,187 @@ let faultsweep () =
     "every surviving run is output-equivalent to native; 'unavailable' \
      means the retry budget was exhausted and the run stopped cleanly"
 
+let failures = ref 0
+
+(* ------------------------------------------------------------------ *)
+(* Prefetch/batching sweep: link bandwidth x prefetch degree
+   sensitivity, plus the CI gate — on 10 Mbps ethernet, degree-2
+   profile-guided prefetch must beat prefetch-off on both message count
+   and total cycles for every registry workload, with the on/off
+   lockstep confirming prefetching is architecturally invisible.
+   Emits BENCH_prefetch.json. *)
+
+let prefetchsweep () =
+  Report.section
+    "Prefetch sweep: batched profile-guided chunk prefetch on the MC-CC \
+     link (bandwidth x degree sensitivity; gate: on 10 Mbps ethernet \
+     degree 2 must beat degree 0 for every workload)";
+  let tcache = 48 * 1024 in
+  let ranker_of img =
+    let prof, _ = Profiler.profile img in
+    Some (fun ~lo ~hi -> Profiler.samples_in prof ~lo ~hi)
+  in
+  let run ~ranker ~cycles_per_byte ~degree img =
+    let net =
+      Netmodel.create ~latency_cycles:100_000 ~cycles_per_byte
+        ~overhead_bytes:60 ()
+    in
+    let cfg =
+      Softcache.Config.make ~tcache_bytes:tcache ~net ~prefetch_degree:degree
+        ()
+    in
+    let prepare (ctrl : Softcache.Controller.t) =
+      ctrl.prefetch_ranker <- ranker
+    in
+    let cached, ctrl = Softcache.Runner.cached_robust ~prepare cfg img in
+    (cached, ctrl, net)
+  in
+  (* bandwidth x degree sensitivity on one paging-heavy workload *)
+  let degrees = [ 0; 1; 2; 4; 8 ] in
+  let links = [ ("1 Mbps", 1600); ("10 Mbps", 160); ("100 Mbps", 16) ] in
+  let sweep_img = Workloads.Adpcm.encode_image () in
+  let sweep_ranker = ranker_of sweep_img in
+  let st =
+    Report.Table.create ~title:"adpcm encode: cycles/messages per link x degree"
+      ~columns:
+        [ "link"; "degree"; "cycles"; "messages"; "wire bytes"; "prefetch" ]
+  in
+  let sweep_rows =
+    List.concat_map
+      (fun (lname, cpb) ->
+        List.map
+          (fun d ->
+            let cached, ctrl, net =
+              run ~ranker:sweep_ranker ~cycles_per_byte:cpb ~degree:d
+                sweep_img
+            in
+            let s = ctrl.Softcache.Controller.stats in
+            Report.Table.add_row st
+              [
+                lname;
+                string_of_int d;
+                string_of_int cached.Softcache.Runner.cycles;
+                string_of_int (Netmodel.messages net);
+                string_of_int (Netmodel.total_bytes net);
+                Printf.sprintf "%d issued / %d installed / %d wasted"
+                  s.prefetch_issued s.prefetch_installs s.prefetch_wasted;
+              ];
+            (lname, cpb, d, cached.Softcache.Runner.cycles,
+             Netmodel.messages net))
+          degrees)
+      links
+  in
+  Report.Table.print st;
+  (* the gate: every registry workload, ethernet, degree 2 vs 0 *)
+  let gt =
+    Report.Table.create
+      ~title:"gate: 10 Mbps ethernet, degree 2 vs prefetch off"
+      ~columns:
+        [ "app"; "cycles off"; "cycles on"; "ratio"; "msgs off"; "msgs on";
+          "lockstep" ]
+  in
+  let gate_rows =
+    List.map
+      (fun (e : Workloads.Registry.entry) ->
+        let img = e.build () in
+        let native = Softcache.Runner.native img in
+        let ranker = ranker_of img in
+        let off, _, net_off = run ~ranker ~cycles_per_byte:160 ~degree:0 img in
+        let on, _, net_on = run ~ranker ~cycles_per_byte:160 ~degree:2 img in
+        let ok_outputs =
+          off.Softcache.Runner.outputs = native.outputs
+          && on.Softcache.Runner.outputs = native.outputs
+        in
+        if not ok_outputs then begin
+          incr failures;
+          Report.kv "FAIL" (e.name ^ ": outputs diverge from native")
+        end;
+        let m_off = Netmodel.messages net_off in
+        let m_on = Netmodel.messages net_on in
+        if m_on >= m_off then begin
+          incr failures;
+          Report.kv "FAIL"
+            (Printf.sprintf "%s: prefetch does not reduce messages (%d -> %d)"
+               e.name m_off m_on)
+        end;
+        if on.cycles >= off.cycles then begin
+          incr failures;
+          Report.kv "FAIL"
+            (Printf.sprintf "%s: prefetch regresses cycles (%d -> %d)" e.name
+               off.cycles on.cycles)
+        end;
+        let mk_cfg () =
+          Softcache.Config.make ~tcache_bytes:tcache
+            ~net:(Netmodel.ethernet_10mbps ()) ~prefetch_degree:2 ()
+        in
+        let verdict = Check.Lockstep.prefetch ~fuel:150_000 ~audit:true mk_cfg img in
+        let lockstep_ok, lockstep_str =
+          match verdict with
+          | Check.Lockstep.Engines_equivalent { steps } ->
+            (true, Printf.sprintf "ok (%d steps)" steps)
+          | Check.Lockstep.Engines_out_of_fuel { steps } ->
+            (true, Printf.sprintf "ok (fuel, %d steps)" steps)
+          | v -> (false, Format.asprintf "%a" Check.Lockstep.pp_engine_verdict v)
+        in
+        if not lockstep_ok then begin
+          incr failures;
+          Report.kv "FAIL" (e.name ^ " lockstep: " ^ lockstep_str)
+        end;
+        Report.Table.add_row gt
+          [
+            e.name;
+            string_of_int off.cycles;
+            string_of_int on.cycles;
+            fmt_f (float_of_int on.cycles /. float_of_int off.cycles);
+            string_of_int m_off;
+            string_of_int m_on;
+            lockstep_str;
+          ];
+        (e.name, off.cycles, on.cycles, m_off, m_on, lockstep_ok))
+      Workloads.Registry.all
+  in
+  Report.Table.print gt;
+  let oc = open_out "BENCH_prefetch.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"prefetchsweep\",\n\
+    \  \"tcache_bytes\": %d,\n\
+    \  \"workloads\": [\n\
+     %s\n\
+    \  ],\n\
+    \  \"sweep\": [\n\
+     %s\n\
+    \  ],\n\
+    \  \"gate_failures\": %d\n\
+     }\n"
+    tcache
+    (String.concat ",\n"
+       (List.map
+          (fun (n, c0, c2, m0, m2, ls) ->
+            Printf.sprintf
+              "    { \"name\": %S, \"cycles_off\": %d, \"cycles_on\": %d, \
+               \"messages_off\": %d, \"messages_on\": %d, \
+               \"cycle_ratio\": %.4f, \"lockstep_ok\": %b }"
+              n c0 c2 m0 m2
+              (float_of_int c2 /. float_of_int c0)
+              ls)
+          gate_rows))
+    (String.concat ",\n"
+       (List.map
+          (fun (l, cpb, d, cyc, msgs) ->
+            Printf.sprintf
+              "    { \"link\": %S, \"cycles_per_byte\": %d, \"degree\": %d, \
+               \"cycles\": %d, \"messages\": %d }"
+              l cpb d cyc msgs)
+          sweep_rows))
+    !failures;
+  close_out oc;
+  Report.kv "written" "BENCH_prefetch.json"
+
 (* ------------------------------------------------------------------ *)
 (* Decoded vs interpretive dispatch: host wall time of the two CPU
    engines over the full workload registry, emitted as
    BENCH_micro.json so CI can gate on the speedup. *)
-
-let failures = ref 0
 
 let micro_engines () =
   Report.section
@@ -858,6 +1033,7 @@ let experiments =
     ("bindablation", bindablation);
     ("netsweep", netsweep);
     ("faultsweep", faultsweep);
+    ("prefetchsweep", prefetchsweep);
     ("micro", micro);
   ]
 

@@ -136,15 +136,30 @@ let engine_arg =
          Machine.Cpu.Decoded
        & info [ "engine" ] ~docv:"ENGINE" ~doc)
 
+let prefetch_arg =
+  let doc =
+    "Ship up to $(docv) predicted-next chunks with every demand miss in one \
+     batched frame (0 disables prefetch). Candidates are the chunk's static \
+     successors, ranked by a profiling pre-run."
+  in
+  Arg.(value & opt int 0 & info [ "prefetch" ] ~docv:"N" ~doc)
+
+let staging_arg =
+  let doc =
+    "Bound on the client-side staging buffer holding prefetched chunks \
+     awaiting first touch."
+  in
+  Arg.(value & opt int 8 & info [ "staging" ] ~docv:"N" ~doc)
+
 let make_config ?faults ?(audit = false) ?(engine = Machine.Cpu.Decoded)
-    tcache chunking eviction network =
+    ?(prefetch = 0) ?(staging = 8) tcache chunking eviction network =
   let net =
     match network with
     | `Local -> Netmodel.local ?faults ()
     | `Ethernet -> Netmodel.ethernet_10mbps ?faults ()
   in
   Softcache.Config.make ~tcache_bytes:tcache ~chunking ~eviction ~net ~audit
-    ~engine ()
+    ~engine ~prefetch_degree:prefetch ~staging_chunks:staging ()
 
 let list_cmd =
   let run () =
@@ -157,7 +172,8 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List the workload suite") Term.(const run $ const ())
 
 let run_cmd =
-  let run name tcache chunking eviction network faults audit engine verbose =
+  let run name tcache chunking eviction network faults audit engine prefetch
+      staging verbose =
     setup_logs verbose;
     match find_workload name with
     | Error e -> prerr_endline e; 1
@@ -166,10 +182,21 @@ let run_cmd =
       Format.printf "%a@." Isa.Image.pp_summary img;
       let native = Softcache.Runner.native img in
       let cfg =
-        make_config ?faults ~audit ~engine tcache chunking eviction network
+        make_config ?faults ~audit ~engine ~prefetch ~staging tcache chunking
+          eviction network
+      in
+      (* profile-guided prefetch ranking: a profiling pre-run supplies
+         the hot-set oracle the MC ranks candidates with *)
+      let ranker =
+        if prefetch > 0 then begin
+          let prof, _ = Profiler.profile img in
+          Some (fun ~lo ~hi -> Profiler.samples_in prof ~lo ~hi)
+        end
+        else None
       in
       let audits = ref None in
-      let prepare ctrl =
+      let prepare (ctrl : Softcache.Controller.t) =
+        ctrl.prefetch_ranker <- ranker;
         audits := Check.Audit.install_if_configured ctrl
       in
       let cached, ctrl = Softcache.Runner.cached_robust ~prepare cfg img in
@@ -205,6 +232,12 @@ let run_cmd =
         ~crc_failures:ctrl.stats.crc_failures
         ~recoveries:ctrl.stats.recoveries
         ~chunk_failures:ctrl.stats.chunk_failures;
+      Report.prefetch ~issued:ctrl.stats.prefetch_issued
+        ~installs:ctrl.stats.prefetch_installs
+        ~wasted:ctrl.stats.prefetch_wasted
+        ~crc_failures:ctrl.stats.prefetch_crc_failures
+        ~batches:ctrl.stats.batches ~batch_chunks:ctrl.stats.batch_chunks
+        ~max_batch_chunks:ctrl.stats.max_batch_chunks;
       (match !audits with
       | Some n -> Report.kv "audit" (Printf.sprintf "on, %d audits passed" !n)
       | None -> ());
@@ -217,7 +250,8 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run a workload natively and under the SoftCache")
     Term.(const run $ workload_arg $ tcache_arg $ chunking_arg $ eviction_arg
-          $ network_arg $ faults_arg $ audit_arg $ engine_arg $ verbose_arg)
+          $ network_arg $ faults_arg $ audit_arg $ engine_arg $ prefetch_arg
+          $ staging_arg $ verbose_arg)
 
 let profile_cmd =
   let run name =

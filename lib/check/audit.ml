@@ -327,6 +327,20 @@ let run (t : Controller.t) : violation list =
     add "accounting" "metadata_bytes=%d, recomputed %d"
       (Controller.metadata_bytes t) expected_md;
 
+  (* -- prefetch staging buffer ---------------------------------------- *)
+  (* Staged chunk bodies live CC-side only: a staged vaddr that is also
+     resident means first touch went to the wire (or a translate forgot
+     to consume its staged copy) — the copy can silently go stale. The
+     bound is what keeps staging memory finite on the client. *)
+  if Hashtbl.length t.staging > t.cfg.staging_chunks then
+    add "staging" "staging holds %d chunks, bound is %d"
+      (Hashtbl.length t.staging) t.cfg.staging_chunks;
+  Hashtbl.iter
+    (fun v (_ : Controller.staged) ->
+      if Tcache.lookup tc v <> None then
+        add "staging" "staged chunk v=0x%x aliases a resident block" v)
+    t.staging;
+
   (* -- decode-cache coherence ---------------------------------------- *)
   (* The rewriter has just patched words all over the tcache; every
      valid predecode line must still agree with what a fresh decode of

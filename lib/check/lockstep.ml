@@ -200,14 +200,15 @@ let pp_engine_verdict ppf = function
       "chunk 0x%x unavailable after %d attempts (%d steps matched)" vaddr
       attempts steps
 
-let state_mismatch (a : Softcache.Controller.t) (b : Softcache.Controller.t)
-    =
+let state_mismatch ?(labels = ("decoded", "interpretive"))
+    ?(compare_cycles = true) (a : Softcache.Controller.t)
+    (b : Softcache.Controller.t) =
+  let la, lb = labels in
   if a.cpu.pc <> b.cpu.pc then
-    Some (Printf.sprintf "pc 0x%x (decoded) vs 0x%x (interpretive)" a.cpu.pc
-            b.cpu.pc)
+    Some (Printf.sprintf "pc 0x%x (%s) vs 0x%x (%s)" a.cpu.pc la b.cpu.pc lb)
   else if a.cpu.retired <> b.cpu.retired then
     Some (Printf.sprintf "retired %d vs %d" a.cpu.retired b.cpu.retired)
-  else if a.cpu.cycles <> b.cpu.cycles then
+  else if compare_cycles && a.cpu.cycles <> b.cpu.cycles then
     Some (Printf.sprintf "cycles %d vs %d" a.cpu.cycles b.cpu.cycles)
   else if a.cpu.halted <> b.cpu.halted then
     Some (Printf.sprintf "halted %b vs %b" a.cpu.halted b.cpu.halted)
@@ -217,12 +218,76 @@ let state_mismatch (a : Softcache.Controller.t) (b : Softcache.Controller.t)
       (fun i v ->
         if v <> b.cpu.regs.(i) && !detail = "registers differ" then
           detail :=
-            Printf.sprintf "r%d = %d (decoded) vs %d (interpretive)" i v
-              b.cpu.regs.(i))
+            Printf.sprintf "r%d = %d (%s) vs %d (%s)" i v la b.cpu.regs.(i)
+              lb)
       a.cpu.regs;
     Some !detail
   end
   else None
+
+(* Drive two softcached executions of the same program one instruction
+   at a time, comparing architectural state after every step. *)
+let drive_pair ~fuel ~ops ~labels ~compare_cycles (ca : Controller.t)
+    (cb : Controller.t) : engine_verdict =
+  let steps = ref 0 in
+  let step_pair () =
+    (* run returns immediately once halted, so over-stepping is safe *)
+    let oa = Controller.run ~fuel:1 ca in
+    let ob = Controller.run ~fuel:1 cb in
+    incr steps;
+    (oa, ob)
+  in
+  let nslices = List.length ops + 1 in
+  let slice = max 1 (fuel / nslices) in
+  let exception Divergence of string in
+  let check () =
+    match state_mismatch ~labels ~compare_cycles ca cb with
+    | Some d -> raise (Divergence d)
+    | None -> ()
+  in
+  let rec drive budget ops =
+    if ca.cpu.halted && cb.cpu.halted then `Halted
+    else if budget <= 0 then
+      match ops with
+      | op :: rest ->
+        op ca;
+        op cb;
+        check ();
+        drive slice rest
+      | [] -> `Out_of_fuel
+    else begin
+      let oa, ob = step_pair () in
+      if oa <> ob then
+        raise
+          (Divergence
+             (Printf.sprintf "outcome %s vs %s"
+                (match oa with
+                | Machine.Cpu.Halted -> "halted"
+                | Machine.Cpu.Out_of_fuel -> "running")
+                (match ob with
+                | Machine.Cpu.Halted -> "halted"
+                | Machine.Cpu.Out_of_fuel -> "running")));
+      check ();
+      drive (budget - 1) ops
+    end
+  in
+  match drive slice ops with
+  | exception Divergence detail -> Engines_diverged { step = !steps; detail }
+  | exception Controller.Chunk_unavailable { vaddr; attempts } ->
+    Engines_unavailable { vaddr; attempts; steps = !steps }
+  | `Out_of_fuel -> Engines_out_of_fuel { steps = !steps }
+  | `Halted -> (
+    let aouts = Machine.Cpu.outputs ca.cpu
+    and bouts = Machine.Cpu.outputs cb.cpu in
+    if aouts <> bouts then
+      Engines_diverged { step = !steps; detail = "output streams differ" }
+    else
+      let sz = Machine.Memory.size ca.cpu.mem in
+      let ha = Machine.Memory.hash ca.cpu.mem ~lo:0 ~hi:sz
+      and hb = Machine.Memory.hash cb.cpu.mem ~lo:0 ~hi:sz in
+      if ha <> hb then
+        Engines_diverged { step = !steps; detail = "final memory differs" }
+      else Engines_equivalent { steps = !steps })
 
 let engines ?cost ?(fuel = 2_000_000) ?(ops = []) ?(audit = false) mk_cfg
     img : engine_verdict =
@@ -235,63 +300,30 @@ let engines ?cost ?(fuel = 2_000_000) ?(ops = []) ?(audit = false) mk_cfg
   let cd = mk Machine.Cpu.Decoded in
   let ci = mk Machine.Cpu.Interpretive in
   if audit then ignore (Audit.install cd);
-  let steps = ref 0 in
-  let step_pair () =
-    (* run returns immediately once halted, so over-stepping is safe *)
-    let od = Controller.run ~fuel:1 cd in
-    let oi = Controller.run ~fuel:1 ci in
-    incr steps;
-    (od, oi)
+  drive_pair ~fuel ~ops ~labels:("decoded", "interpretive")
+    ~compare_cycles:true cd ci
+
+(* Prefetch-on vs prefetch-off, in instruction lockstep.
+
+   Prefetching must be architecturally invisible: staged chunk bodies
+   live CC-side and install lazily on first touch, so pc, retired
+   count, registers, outputs and final memory must all match after
+   every instruction. Cycle accounting is the one thing allowed to
+   differ — saving cycles is the point — so it is excluded from the
+   per-step comparison. *)
+let prefetch ?cost ?(fuel = 2_000_000) ?(ops = []) ?(audit = false) mk_cfg
+    img : engine_verdict =
+  let mk degree_override =
+    let cfg = mk_cfg () in
+    let cfg =
+      match degree_override with
+      | Some d -> { cfg with Config.prefetch_degree = d }
+      | None -> cfg
+    in
+    Controller.create ?cost cfg img
   in
-  let nslices = List.length ops + 1 in
-  let slice = max 1 (fuel / nslices) in
-  let exception Divergence of string in
-  let check () =
-    match state_mismatch cd ci with
-    | Some d -> raise (Divergence d)
-    | None -> ()
-  in
-  let rec drive budget ops =
-    if cd.cpu.halted && ci.cpu.halted then `Halted
-    else if budget <= 0 then
-      match ops with
-      | op :: rest ->
-        op cd;
-        op ci;
-        check ();
-        drive slice rest
-      | [] -> `Out_of_fuel
-    else begin
-      let od, oi = step_pair () in
-      if od <> oi then
-        raise
-          (Divergence
-             (Printf.sprintf "outcome %s vs %s"
-                (match od with
-                | Machine.Cpu.Halted -> "halted"
-                | Machine.Cpu.Out_of_fuel -> "running")
-                (match oi with
-                | Machine.Cpu.Halted -> "halted"
-                | Machine.Cpu.Out_of_fuel -> "running")));
-      check ();
-      drive (budget - 1) ops
-    end
-  in
-  match drive slice ops with
-  | exception Divergence detail ->
-    Engines_diverged { step = !steps; detail }
-  | exception Controller.Chunk_unavailable { vaddr; attempts } ->
-    Engines_unavailable { vaddr; attempts; steps = !steps }
-  | `Out_of_fuel -> Engines_out_of_fuel { steps = !steps }
-  | `Halted -> (
-    let souts = Machine.Cpu.outputs cd.cpu
-    and iouts = Machine.Cpu.outputs ci.cpu in
-    if souts <> iouts then
-      Engines_diverged { step = !steps; detail = "output streams differ" }
-    else
-      let sz = Machine.Memory.size cd.cpu.mem in
-      let hd = Machine.Memory.hash cd.cpu.mem ~lo:0 ~hi:sz
-      and hi_ = Machine.Memory.hash ci.cpu.mem ~lo:0 ~hi:sz in
-      if hd <> hi_ then
-        Engines_diverged { step = !steps; detail = "final memory differs" }
-      else Engines_equivalent { steps = !steps })
+  let con = mk None in
+  let coff = mk (Some 0) in
+  if audit then ignore (Audit.install con);
+  drive_pair ~fuel ~ops ~labels:("prefetch", "baseline")
+    ~compare_cycles:false con coff

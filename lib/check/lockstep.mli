@@ -84,3 +84,21 @@ val engines :
     2M instructions. *)
 
 val pp_engine_verdict : Format.formatter -> engine_verdict -> unit
+
+val prefetch :
+  ?cost:Machine.Cost.t ->
+  ?fuel:int ->
+  ?ops:(Softcache.Controller.t -> unit) list ->
+  ?audit:bool ->
+  (unit -> Softcache.Config.t) ->
+  Isa.Image.t ->
+  engine_verdict
+(** [prefetch mk_cfg img] runs the configuration as given (typically
+    with [prefetch_degree > 0]) against the same configuration forced
+    to [prefetch_degree = 0], in instruction lockstep. Prefetching must
+    be architecturally invisible — staged chunks install lazily and
+    never touch client-visible state early — so everything the
+    {!engines} runner compares must match {e except} cycle counts,
+    which legitimately differ and are excluded. [ops] and [audit]
+    behave as in {!engines} (the audit, including its staging-buffer
+    section, goes on the prefetching side). *)

@@ -48,5 +48,42 @@ let chunk_at img mode v =
 
 let span_bytes t = Array.length t.instrs * Isa.Instr.word_size
 
+let successors img t =
+  let n = Array.length t.instrs in
+  let fallthrough = t.vaddr + (n * 4) in
+  let last = t.instrs.(n - 1) in
+  let static_exits =
+    (* fallthrough first: straight-line continuation is the likeliest
+       next miss unless the chunk ends in an unconditional transfer *)
+    (match last with
+    | Isa.Instr.Jmp _ | Isa.Instr.Jr _ | Isa.Instr.Halt | Isa.Instr.Trap _ ->
+      []
+    | _ -> [ fallthrough ])
+    @ List.concat
+        (List.mapi
+           (fun i instr ->
+             let a = t.vaddr + (4 * i) in
+             match instr with
+             | Isa.Instr.Br (_, _, _, off) -> [ a + (4 * off) ]
+             | Isa.Instr.Jmp target -> [ target ]
+             | Isa.Instr.Jal target -> [ target; a + 4 ]
+             | Isa.Instr.Jalr _ -> [ a + 4 ]
+             | _ -> [])
+           (Array.to_list t.instrs))
+  in
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun a ->
+      if
+        a land 3 <> 0 || a = t.vaddr
+        || (not (Isa.Image.contains_code img a))
+        || Hashtbl.mem seen a
+      then false
+      else begin
+        Hashtbl.add seen a ();
+        true
+      end)
+    static_exits
+
 let pp ppf t =
   Format.fprintf ppf "chunk 0x%x (%d instrs)" t.vaddr (Array.length t.instrs)

@@ -35,4 +35,13 @@ val chunk_at : Isa.Image.t -> Config.chunking -> int -> t
 val span_bytes : t -> int
 (** Original footprint of the chunk in the source image. *)
 
+val successors : Isa.Image.t -> t -> int list
+(** Static successor chunk addresses — the MC's prefetch candidates:
+    the fallthrough continuation (unless the chunk ends in an
+    unconditional transfer), conditional-branch targets, direct jump
+    and call targets, and call return sites, in that order, deduplicated,
+    restricted to aligned text-segment addresses other than the chunk's
+    own start. Computed jump targets ([Jr]/[Jalr]) are unknowable
+    statically and contribute only their return sites. *)
+
 val pp : Format.formatter -> t -> unit

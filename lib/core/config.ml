@@ -18,6 +18,8 @@ type t = {
   timeout_cycles : int;
   audit : bool;
   engine : Machine.Cpu.engine;
+  prefetch_degree : int;
+  staging_chunks : int;
 }
 
 let make ?(tcache_bytes = 48 * 1024) ?(tcache_base = 0x10000)
@@ -26,13 +28,17 @@ let make ?(tcache_bytes = 48 * 1024) ?(tcache_base = 0x10000)
     ?(translate_cycles_per_word = 2) ?(scrub_cycles_per_word = 2)
     ?(bind_at_translate = true) ?net ?(max_retries = 8)
     ?(retry_backoff_cycles = 64) ?(timeout_cycles = 1000) ?(audit = false)
-    ?(engine = Machine.Cpu.Decoded) () =
+    ?(engine = Machine.Cpu.Decoded) ?(prefetch_degree = 0)
+    ?(staging_chunks = 8) () =
   let net = match net with Some n -> n | None -> Netmodel.local () in
   if tcache_bytes < 64 then invalid_arg "Config.make: tcache too small";
   if tcache_base land 3 <> 0 then invalid_arg "Config.make: unaligned base";
   if max_retries < 0 then invalid_arg "Config.make: negative max_retries";
   if retry_backoff_cycles < 0 || timeout_cycles < 0 then
     invalid_arg "Config.make: negative transport cycle cost";
+  if prefetch_degree < 0 then
+    invalid_arg "Config.make: negative prefetch_degree";
+  if staging_chunks < 0 then invalid_arg "Config.make: negative staging_chunks";
   {
     tcache_bytes;
     tcache_base;
@@ -50,6 +56,8 @@ let make ?(tcache_bytes = 48 * 1024) ?(tcache_base = 0x10000)
     timeout_cycles;
     audit;
     engine;
+    prefetch_degree;
+    staging_chunks;
   }
 
 let sparc_prototype ?tcache_bytes () =

@@ -57,6 +57,15 @@ type t = {
           fetches through the memory-coherent predecode cache;
           [Interpretive] re-decodes every fetch — kept for differential
           testing of the decode cache against reference dispatch *)
+  prefetch_degree : int;
+      (** on a miss, how many predicted-next chunks the MC ships in the
+          same frame as the demand chunk (0 = prefetch off); the demand
+          response amortizes [latency_cycles] and the per-message
+          overhead across the batch *)
+  staging_chunks : int;
+      (** bound on the CC staging buffer holding prefetched chunks that
+          have not been touched yet; oldest entries are discarded when
+          the bound is hit *)
 }
 
 val make :
@@ -76,13 +85,15 @@ val make :
   ?timeout_cycles:int ->
   ?audit:bool ->
   ?engine:Machine.Cpu.engine ->
+  ?prefetch_degree:int ->
+  ?staging_chunks:int ->
   unit ->
   t
 (** Defaults: 48 KiB tcache at [0x10000], basic-block chunking, FIFO
     eviction, lookup 12, patch 4, miss fixed 30, translate 2/word,
     scrub 2/word, local (SPARC-style) interconnect, 8 retries with a
     64-cycle backoff base and a 1000-cycle drop timeout, audit off,
-    decoded dispatch. *)
+    decoded dispatch, prefetch off with an 8-chunk staging buffer. *)
 
 val sparc_prototype : ?tcache_bytes:int -> unit -> t
 (** Basic-block chunking, local MC (no network), FIFO eviction. *)

@@ -5,12 +5,17 @@ type event =
   | Invalidated
   | Patched
 
+type staged = { st_bytes : Bytes.t; st_crc : int }
+
 type t = {
   cfg : Config.t;
   image : Isa.Image.t;
   cpu : Machine.Cpu.t;
   tc : Tcache.t;
   stats : Stats.t;
+  staging : (int, staged) Hashtbl.t;
+  staging_order : int Queue.t;
+  mutable prefetch_ranker : (lo:int -> hi:int -> int) option;
   mutable stubs : Stub.t array;
   mutable nstubs : int;
   ret_stubs : (int, int * int) Hashtbl.t;
@@ -295,18 +300,73 @@ let resident_oracle t v =
   | Some b -> Some (b.id, b.paddr)
   | None -> None
 
+let bytes_of_words (words : int array) =
+  let b = Bytes.create (4 * Array.length words) in
+  Array.iteri (fun i w -> Bytes.set_int32_le b (4 * i) (Int32.of_int w)) words;
+  b
+
+let words_of_bytes b =
+  Array.init (Bytes.length b / 4) (fun i ->
+      Int32.to_int (Bytes.get_int32_le b (4 * i)) land 0xFFFFFFFF)
+
+(* -- CC staging buffer for prefetched chunks ------------------------- *)
+
+(* The queue tracks arrival order for bounded FIFO discard; consumed or
+   invalidated entries leave stale vaddrs behind that are skipped here. *)
+let rec make_staging_room t =
+  if Hashtbl.length t.staging >= t.cfg.staging_chunks then
+    match Queue.take_opt t.staging_order with
+    | None -> ()
+    | Some old ->
+      if Hashtbl.mem t.staging old then begin
+        Hashtbl.remove t.staging old;
+        t.stats.prefetch_wasted <- t.stats.prefetch_wasted + 1
+      end;
+      make_staging_room t
+
+let stage_chunk t vaddr st_bytes st_crc =
+  if not (Hashtbl.mem t.staging vaddr) then begin
+    make_staging_room t;
+    Hashtbl.replace t.staging vaddr { st_bytes; st_crc };
+    Queue.add vaddr t.staging_order;
+    t.stats.prefetch_issued <- t.stats.prefetch_issued + 1
+  end
+
+let take_staged t v =
+  match Hashtbl.find_opt t.staging v with
+  | None -> None
+  | Some s ->
+    Hashtbl.remove t.staging v;
+    Some s
+
+let drop_staged_in t ~lo ~hi =
+  let doomed =
+    Hashtbl.fold
+      (fun v (s : staged) acc ->
+        if v < hi && v + Bytes.length s.st_bytes > lo then v :: acc else acc)
+      t.staging []
+  in
+  List.iter
+    (fun v ->
+      Hashtbl.remove t.staging v;
+      t.stats.prefetch_wasted <- t.stats.prefetch_wasted + 1)
+    doomed
+
 (* Ship a rewritten chunk from the MC to the CC through the (possibly
-   faulty) interconnect. The MC stamps the frame with a CRC32 of the
-   payload; the CC verifies it on receipt, waits out dropped frames,
-   and re-requests with exponential backoff. All waiting, wire time and
-   backoff are charged through the cost model. *)
-let fetch_chunk t ~vaddr ~(words : int array) =
-  let n = Array.length words in
-  let payload = Bytes.create (4 * n) in
-  Array.iteri
-    (fun i w -> Bytes.set_int32_le payload (4 * i) (Int32.of_int w))
-    words;
+   faulty) interconnect, with up to [prefetch_degree] speculative chunk
+   bodies riding in the same frame. The MC stamps each segment with a
+   CRC32; the CC verifies the demand segment on receipt, waits out
+   dropped frames, and re-requests with exponential backoff. Prefetched
+   segments are staged unverified — their CRC is checked at install
+   time. All waiting, wire time and backoff are charged through the
+   cost model. *)
+let fetch_chunk t ~vaddr ~(words : int array) ~prefetch =
+  let payload = bytes_of_words words in
   let crc = Crc32.bytes payload in
+  let pf_segments =
+    List.map (fun (pv, pb) -> (pv, pb, Crc32.bytes pb)) prefetch
+  in
+  let payloads = payload :: List.map (fun (_, pb, _) -> pb) pf_segments in
   let rec attempt tries =
     if tries > t.cfg.max_retries then begin
       t.stats.chunk_failures <- t.stats.chunk_failures + 1;
@@ -319,28 +379,105 @@ let fetch_chunk t ~vaddr ~(words : int array) =
       t.stats.max_chunk_retries <- max t.stats.max_chunk_retries tries;
       charge t (t.cfg.retry_backoff_cycles * (1 lsl (tries - 1)))
     end;
-    match Netmodel.transfer t.cfg.net ~payload with
+    match Netmodel.transfer_batch t.cfg.net ~payloads with
     | Error (`Dropped wasted) ->
       charge t (wasted + t.cfg.timeout_cycles);
       t.stats.net_timeouts <- t.stats.net_timeouts + 1;
       attempt (tries + 1)
     | Ok (cycles, received) ->
       charge t cycles;
-      if Crc32.bytes received <> crc then begin
+      let demand, rest =
+        match received with d :: r -> (d, r) | [] -> assert false
+      in
+      if Crc32.bytes demand <> crc then begin
         t.stats.crc_failures <- t.stats.crc_failures + 1;
         attempt (tries + 1)
       end
       else begin
         if tries > 0 then t.stats.recoveries <- t.stats.recoveries + 1;
-        received
+        (demand, rest)
       end
   in
-  let received = attempt 0 in
-  Array.init n (fun i ->
-      Int32.to_int (Bytes.get_int32_le received (4 * i)) land 0xFFFFFFFF)
+  let demand, rest = attempt 0 in
+  List.iter2
+    (fun (pv, _, pcrc) received -> stage_chunk t pv received pcrc)
+    pf_segments rest;
+  if pf_segments <> [] then begin
+    let n = 1 + List.length pf_segments in
+    t.stats.batches <- t.stats.batches + 1;
+    t.stats.batch_chunks <- t.stats.batch_chunks + n;
+    t.stats.max_batch_chunks <- max t.stats.max_batch_chunks n
+  end;
+  words_of_bytes demand
+
+(* Which chunks should ride along with this demand miss? Static
+   successors of the chunk being translated, minus anything already
+   resident or staged, ranked by the attached hotness oracle (profile
+   samples over the chunk's source span) when there is one. *)
+let prefetch_candidates t (chunk : Chunker.t) =
+  if t.cfg.prefetch_degree = 0 || t.cfg.staging_chunks = 0 then []
+  else begin
+    let cands =
+      Chunker.successors t.image chunk
+      |> List.filter (fun a ->
+             Tcache.lookup t.tc a = None && not (Hashtbl.mem t.staging a))
+      |> List.filter_map (fun a ->
+             match Chunker.chunk_at t.image t.cfg.chunking a with
+             | c -> Some c
+             | exception (Chunker.Bad_address _ | Chunker.Trap_in_source _) ->
+               None)
+    in
+    let rank (c : Chunker.t) =
+      match t.prefetch_ranker with
+      | None -> 0
+      | Some f -> f ~lo:c.vaddr ~hi:(c.vaddr + Chunker.span_bytes c)
+    in
+    let keyed = List.map (fun c -> (rank c, c)) cands in
+    let ranked =
+      List.stable_sort (fun (ka, _) (kb, _) -> compare kb ka) keyed
+    in
+    let rec take n = function
+      | (_, c) :: rest when n > 0 -> c :: take (n - 1) rest
+      | _ -> []
+    in
+    take t.cfg.prefetch_degree ranked
+  end
+
+(* Rebuild a [Chunker.t] from a staged chunk body: CRC-check then
+   decode. [None] means the staged copy is unusable (corrupted in
+   flight) and the miss must go back to the wire. *)
+let chunk_of_staged v (s : staged) =
+  if Crc32.bytes s.st_bytes <> s.st_crc then None
+  else
+    let words = words_of_bytes s.st_bytes in
+    let n = Array.length words in
+    let rec decode_all i acc =
+      if i = n then Some (List.rev acc)
+      else
+        match Isa.Encode.decode words.(i) with
+        | Some instr -> decode_all (i + 1) (instr :: acc)
+        | None -> None
+    in
+    match decode_all 0 [] with
+    | Some (_ :: _ as instrs) ->
+      Some { Chunker.vaddr = v; instrs = Array.of_list instrs }
+    | Some [] | None -> None
 
 let translate t v =
-  let chunk = Chunker.chunk_at t.image t.cfg.chunking v in
+  (* a staged prefetched copy of this chunk skips the wire entirely;
+     a corrupted one is discarded and the miss pays the round trip *)
+  let chunk, from_staging =
+    match take_staged t v with
+    | None -> (Chunker.chunk_at t.image t.cfg.chunking v, false)
+    | Some s -> (
+      match chunk_of_staged v s with
+      | Some c ->
+        t.stats.prefetch_installs <- t.stats.prefetch_installs + 1;
+        (c, true)
+      | None ->
+        t.stats.prefetch_crc_failures <- t.stats.prefetch_crc_failures + 1;
+        (Chunker.chunk_at t.image t.cfg.chunking v, false))
+  in
   let words_needed = Rewriter.layout_words chunk in
   let base =
     match t.cfg.eviction with
@@ -353,6 +490,7 @@ let translate t v =
         else
           match Tcache.alloc_fifo t.tc ~words:words_needed with
           | Error `Too_large -> raise (Chunk_too_large v)
+          | Error `Full -> raise Tcache_too_small
           | Ok (p, victims) ->
             process_evicted t victims;
             if p + (4 * words_needed) <= Tcache.persist_base t.tc then p
@@ -367,7 +505,11 @@ let translate t v =
         do_flush t;
         match Tcache.alloc_append t.tc ~words:words_needed with
         | Ok p -> p
-        | Error (`Full | `Too_large) -> raise (Chunk_too_large v)))
+        | Error `Too_large -> raise (Chunk_too_large v)
+        | Error `Full ->
+          (* post-flush only pinned blocks remain in the way: a chunk
+             that fits the region's capacity is being crowded out *)
+          raise Tcache_too_small))
   in
   let id = t.next_block_id in
   t.next_block_id <- id + 1;
@@ -383,19 +525,28 @@ let translate t v =
   let emission =
     Rewriter.translate chunk ~block_id:id ~base ~resident ~alloc_stub
   in
-  (* the rewritten words travel MC -> CC over the link; a chunk that
-     cannot be delivered intact within the retry budget must leave the
-     cache state exactly as it was (minus any evictions already done) *)
+  (* the rewritten words travel MC -> CC over the link (unless a staged
+     prefetch already delivered the chunk body); a chunk that cannot be
+     delivered intact within the retry budget must leave the cache
+     state exactly as it was (minus any evictions already done) *)
   let words =
-    match fetch_chunk t ~vaddr:v ~words:emission.words with
-    | w -> w
-    | exception (Chunk_unavailable _ as e) ->
-      List.iter
-        (fun k ->
-          t.free_stubs <- k :: t.free_stubs;
-          t.live_stubs <- t.live_stubs - 1)
-        !allocated;
-      raise e
+    if from_staging then emission.words
+    else
+      let prefetch =
+        List.map
+          (fun (c : Chunker.t) ->
+            (c.vaddr, bytes_of_words (Array.map enc c.instrs)))
+          (prefetch_candidates t chunk)
+      in
+      match fetch_chunk t ~vaddr:v ~words:emission.words ~prefetch with
+      | w -> w
+      | exception (Chunk_unavailable _ as e) ->
+        List.iter
+          (fun k ->
+            t.free_stubs <- k :: t.free_stubs;
+            t.live_stubs <- t.live_stubs - 1)
+          !allocated;
+        raise e
   in
   Array.iteri (fun i w -> write_word t (base + (4 * i)) w) words;
   let emitted = Array.length emission.words in
@@ -543,6 +694,9 @@ let create ?cost ?(mem_bytes = 8 * 1024 * 1024) (cfg : Config.t) image =
       cpu;
       tc = Tcache.create ~base:cfg.tcache_base ~bytes:cfg.tcache_bytes;
       stats = Stats.create ();
+      staging = Hashtbl.create 16;
+      staging_order = Queue.create ();
+      prefetch_ranker = None;
       stubs = [||];
       nstubs = 0;
       ret_stubs = Hashtbl.create 64;
@@ -570,6 +724,8 @@ let run ?fuel t =
 
 let invalidate t ~lo ~hi =
   Log.info (fun m -> m "invalidate [0x%x, 0x%x)" lo hi);
+  (* staged copies of invalidated source ranges are stale code *)
+  drop_staged_in t ~lo ~hi;
   let victims =
     List.filter
       (fun (b : Tcache.block) ->

@@ -28,12 +28,28 @@ type event =
   | Invalidated
   | Patched  (** an exit or return stub was specialised in place *)
 
+type staged = {
+  st_bytes : Bytes.t;  (** encoded source instruction words of the chunk *)
+  st_crc : int;  (** MC-side CRC32, verified at install time *)
+}
+(** A prefetched chunk body parked in the CC staging buffer, not yet
+    rewritten or resident. *)
+
 type t = {
   cfg : Config.t;
   image : Isa.Image.t;
   cpu : Machine.Cpu.t;
   tc : Tcache.t;
   stats : Stats.t;
+  staging : (int, staged) Hashtbl.t;
+      (** staged prefetched chunks keyed by source vaddr; bounded by
+          [Config.staging_chunks], consumed on first touch *)
+  staging_order : int Queue.t;
+      (** staging arrival order for bounded FIFO discard; may hold
+          stale vaddrs of consumed entries (skipped lazily) *)
+  mutable prefetch_ranker : (lo:int -> hi:int -> int) option;
+      (** optional hotness oracle over a source byte range (typically
+          [Profiler.samples_in]); ranks prefetch candidates when set *)
   mutable stubs : Stub.t array;
   mutable nstubs : int;
   ret_stubs : (int, int * int) Hashtbl.t;

@@ -18,6 +18,13 @@ type t = {
   mutable recoveries : int;
   mutable chunk_failures : int;
   mutable max_chunk_retries : int;
+  mutable prefetch_issued : int;
+  mutable prefetch_installs : int;
+  mutable prefetch_wasted : int;
+  mutable prefetch_crc_failures : int;
+  mutable batches : int;
+  mutable batch_chunks : int;
+  mutable max_batch_chunks : int;
 }
 
 let create () =
@@ -41,6 +48,13 @@ let create () =
     recoveries = 0;
     chunk_failures = 0;
     max_chunk_retries = 0;
+    prefetch_issued = 0;
+    prefetch_installs = 0;
+    prefetch_wasted = 0;
+    prefetch_crc_failures = 0;
+    batches = 0;
+    batch_chunks = 0;
+    max_batch_chunks = 0;
   }
 
 let reset t =
@@ -62,7 +76,14 @@ let reset t =
   t.crc_failures <- 0;
   t.recoveries <- 0;
   t.chunk_failures <- 0;
-  t.max_chunk_retries <- 0
+  t.max_chunk_retries <- 0;
+  t.prefetch_issued <- 0;
+  t.prefetch_installs <- 0;
+  t.prefetch_wasted <- 0;
+  t.prefetch_crc_failures <- 0;
+  t.batches <- 0;
+  t.batch_chunks <- 0;
+  t.max_batch_chunks <- 0
 
 let miss_rate t ~retired =
   if retired = 0 then 0.0
@@ -86,4 +107,10 @@ let pp ppf t =
       "@.transport: retries=%d (max %d/chunk), timeouts=%d, crc-fail=%d, \
        recovered=%d, unavailable=%d"
       t.net_retries t.max_chunk_retries t.net_timeouts t.crc_failures
-      t.recoveries t.chunk_failures
+      t.recoveries t.chunk_failures;
+  if t.prefetch_issued > 0 then
+    Format.fprintf ppf
+      "@.prefetch: issued=%d, installed=%d, wasted=%d, crc-fail=%d, \
+       batches=%d (%d chunks, max %d)"
+      t.prefetch_issued t.prefetch_installs t.prefetch_wasted
+      t.prefetch_crc_failures t.batches t.batch_chunks t.max_batch_chunks

@@ -31,6 +31,17 @@ type t = {
       (** chunks given up on after the retry budget was exhausted *)
   mutable max_chunk_retries : int;
       (** worst retry count any single chunk needed *)
+  mutable prefetch_issued : int;
+      (** chunks the MC shipped speculatively alongside demand misses *)
+  mutable prefetch_installs : int;
+      (** staged chunks later installed on first touch (useful prefetch) *)
+  mutable prefetch_wasted : int;
+      (** staged chunks discarded without ever being touched *)
+  mutable prefetch_crc_failures : int;
+      (** staged chunks rejected by the install-time CRC check *)
+  mutable batches : int;  (** demand frames that carried ≥ 1 prefetch *)
+  mutable batch_chunks : int;  (** total chunks shipped across batches *)
+  mutable max_batch_chunks : int;  (** largest single batched frame *)
 }
 
 val create : unit -> t

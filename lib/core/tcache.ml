@@ -86,9 +86,10 @@ let evict_range t lo hi =
 (* Pinned blocks are immovable obstacles for the sweep: when the
    candidate range would overlap one, skip past it. [budget] bounds the
    number of skips so a region crowded with pins terminates in
-   [`Too_large]. *)
+   [`Full] — the chunk would fit an empty region, the pins are what is
+   in the way. *)
 let rec place_skipping_pinned t ~bytes ~budget ~can_evict =
-  if budget = 0 then Error `Too_large
+  if budget = 0 then Error `Full
   else if t.alloc_ptr + bytes > t.persist_base then
     if can_evict then begin
       t.alloc_ptr <- t.base;
@@ -130,7 +131,7 @@ let alloc_fifo t ~words =
         ~can_evict:true
     with
     | Ok _ as ok -> ok
-    | Error (`Too_large | `Full) -> Error `Too_large
+    | Error `Full -> Error `Full
 
 let alloc_append t ~words =
   let bytes = words * 4 in

@@ -61,9 +61,13 @@ val occupied_bytes : t -> int
 
 val map_entries : t -> int
 
-val alloc_fifo : t -> words:int -> (int * block list, [ `Too_large ]) result
+val alloc_fifo :
+  t -> words:int -> (int * block list, [ `Full | `Too_large ]) result
 (** Allocate with the circular FIFO sweep. Returns the placement and
-    the blocks that had to be evicted (already deregistered). *)
+    the blocks that had to be evicted (already deregistered).
+    [`Too_large] means the chunk exceeds the region's capacity outright;
+    [`Full] means it would fit an empty region but pinned blocks crowd
+    out every placement. *)
 
 val alloc_append : t -> words:int -> (int, [ `Full | `Too_large ]) result
 (** Allocate without evicting (flush-all policy): fail when the sweep

@@ -20,10 +20,22 @@ module Rng = struct
   let float t =
     Int64.to_float (Int64.shift_right_logical (next t) 11) *. 0x1p-53
 
+  (* Rejection sampling over the top 63 bits: plain [Int64.rem] would
+     bias non-power-of-two bounds toward low residues (the first
+     [2^63 mod bound] values appear once more often than the rest). *)
   let int t bound =
     if bound <= 0 then invalid_arg "Rng.int";
-    Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1)
-                    (Int64.of_int bound))
+    let b = Int64.of_int bound in
+    (* largest v with the full [bound] residues below it *)
+    let limit =
+      Int64.sub Int64.max_int
+        (Int64.rem (Int64.add (Int64.rem Int64.max_int b) 1L) b)
+    in
+    let rec draw () =
+      let v = Int64.shift_right_logical (next t) 1 in
+      if v > limit then draw () else Int64.to_int (Int64.rem v b)
+    in
+    draw ()
 end
 
 module Faults = struct
@@ -129,9 +141,10 @@ let transfer t ~payload =
       t.delay_spikes <- t.delay_spikes + 1;
       cost := !cost + f.Faults.spike_cycles
     end;
-    if duplicated then begin
+    if duplicated && not dropped then begin
       (* spurious retransmission: a second copy burns wire time and is
-         discarded by the receiver *)
+         discarded by the receiver; a dropped frame's retransmission is
+         lost with it, so only the drop is counted *)
       t.duplicates <- t.duplicates + 1;
       t.messages <- t.messages + 1;
       t.payload <- t.payload + len;
@@ -152,6 +165,25 @@ let transfer t ~payload =
     end
     else Ok (!cost, payload)
   end
+
+let transfer_batch t ~payloads =
+  (* One frame carries every segment, so a batch pays latency and
+     per-message overhead once; a fault hits the whole frame. Slicing
+     the received bytes back out keeps the per-segment view while the
+     rng draw stream stays identical to a single [transfer]. *)
+  let frame = Bytes.concat Bytes.empty payloads in
+  match transfer t ~payload:frame with
+  | Error _ as e -> e
+  | Ok (cost, received) ->
+      let segments =
+        List.fold_left
+          (fun (off, acc) p ->
+            let len = Bytes.length p in
+            (off + len, Bytes.sub received off len :: acc))
+          (0, []) payloads
+        |> snd |> List.rev
+      in
+      Ok (cost, segments)
 
 let faults t = t.faults
 let messages t = t.messages

@@ -86,8 +86,18 @@ val transfer : t -> payload:Bytes.t -> (int * Bytes.t, error) result
 (** One MC round trip carrying [payload] through the fault schedule.
     [Ok (cycles, received)] delivers the (possibly bit-flipped) frame;
     [Error (`Dropped cycles)] models a lost frame. Duplicates and delay
-    spikes only add cost and accounting. Deterministic given the
-    [Faults.seed] and the call sequence. *)
+    spikes only add cost and accounting; a dropped frame's spurious
+    retransmission is lost with it (only the drop is counted).
+    Deterministic given the [Faults.seed] and the call sequence. *)
+
+val transfer_batch :
+  t -> payloads:Bytes.t list -> (int * Bytes.t list, error) result
+(** One MC round trip carrying several payload segments in a single
+    frame: latency and per-message overhead are paid once for the whole
+    batch. Faults apply to the frame as a unit (a drop loses every
+    segment; a corruption flips one bit somewhere in the concatenated
+    payload). A single-segment batch is indistinguishable from
+    [transfer], including the rng draw stream. *)
 
 val faults : t -> Faults.t
 val messages : t -> int

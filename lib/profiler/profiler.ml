@@ -53,7 +53,8 @@ let total_samples t = t.total
 let samples_in t ~lo ~hi =
   let base = t.image.code_base in
   let i0 = max 0 ((lo - base) asr 2) in
-  let i1 = min (Array.length t.counts) ((hi - base) asr 2) in
+  (* round up: an unaligned [hi] still covers part of its final word *)
+  let i1 = min (Array.length t.counts) ((hi - base + 3) asr 2) in
   let s = ref 0 in
   for i = i0 to i1 - 1 do
     s := !s + t.counts.(i)
@@ -127,7 +128,8 @@ let dynamic_text_bytes t =
 let touched_in t ~lo ~hi =
   let base = t.image.code_base in
   let i0 = max 0 ((lo - base) asr 2) in
-  let i1 = min (Array.length t.counts) ((hi - base) asr 2) in
+  (* round up: an unaligned [hi] still covers part of its final word *)
+  let i1 = min (Array.length t.counts) ((hi - base + 3) asr 2) in
   let s = ref 0 in
   for i = i0 to i1 - 1 do
     if t.counts.(i) > 0 then s := !s + 4

@@ -43,8 +43,15 @@ val dynamic_text_bytes : t -> int
 (** Bytes of distinct instructions fetched at least once — Table 1's
     "dynamic .text". *)
 
+val samples_in : t -> lo:int -> hi:int -> int
+(** Fetch samples attributed to the address range [lo, hi). A final
+    word only partially covered by an unaligned [hi] counts — the
+    hotness oracle the prefetch ranker plugs into
+    [Controller.prefetch_ranker]. *)
+
 val touched_in : t -> lo:int -> hi:int -> int
-(** Distinct instruction bytes executed within an address range. *)
+(** Distinct instruction bytes executed within an address range. A
+    partially covered final word counts, as for [samples_in]. *)
 
 val pp : Format.formatter -> t -> unit
 (** The flat profile, gprof-style. *)

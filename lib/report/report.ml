@@ -132,3 +132,14 @@ let transport ~injected ~drops ~corruptions ~duplicates ~delay_spikes
     kv "chunks recovered" (string_of_int recoveries);
     kv "chunks unavailable" (string_of_int chunk_failures)
   end
+
+let prefetch ~issued ~installs ~wasted ~crc_failures ~batches ~batch_chunks
+    ~max_batch_chunks =
+  if issued + installs + wasted + crc_failures + batches > 0 then begin
+    kv "prefetch"
+      (Printf.sprintf "%d issued, %d installed, %d wasted, %d CRC rejects"
+         issued installs wasted crc_failures);
+    kv "batched frames"
+      (Printf.sprintf "%d (%d chunks total, largest %d)" batches batch_chunks
+         max_batch_chunks)
+  end

@@ -74,3 +74,15 @@ val transport :
 (** Interconnect fault and recovery summary as [kv] rows. Prints
     nothing when [injected] is false and every counter is zero, so
     fault-free runs stay unchanged. *)
+
+val prefetch :
+  issued:int ->
+  installs:int ->
+  wasted:int ->
+  crc_failures:int ->
+  batches:int ->
+  batch_chunks:int ->
+  max_batch_chunks:int ->
+  unit
+(** Prefetch and batching summary as [kv] rows. Prints nothing when
+    every counter is zero, so prefetch-off runs stay unchanged. *)

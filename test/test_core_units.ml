@@ -345,6 +345,74 @@ let test_tcache_fifo_wrap_evicts () =
     Alcotest.(check int) "evicts oldest" 0 victim.id
   | _ -> Alcotest.fail "expected one eviction"
 
+(* Regression: pin crowding is [`Full], not [`Too_large] — a chunk
+   that would fit an empty region but cannot be placed because pinned
+   blocks obstruct every candidate position must not be reported as
+   exceeding capacity. *)
+let test_tcache_pin_crowding_full () =
+  let tc = Softcache.Tcache.create ~base:0x20000 ~bytes:64 in
+  for i = 0 to 3 do
+    match Softcache.Tcache.alloc_fifo tc ~words:4 with
+    | Ok (p, []) ->
+      let b = block ~id:i ~vaddr:(0x1000 + (16 * i)) ~paddr:p ~words:4 in
+      Softcache.Tcache.register tc b;
+      Softcache.Tcache.pin tc b
+    | _ -> Alcotest.fail "unexpected eviction while filling"
+  done;
+  (match Softcache.Tcache.alloc_fifo tc ~words:4 with
+  | Error `Full -> ()
+  | Error `Too_large ->
+    Alcotest.fail "pin crowding misreported as Too_large"
+  | Ok _ -> Alcotest.fail "allocated over pinned blocks");
+  (* capacity overflow is still distinguished *)
+  match Softcache.Tcache.alloc_fifo tc ~words:100 with
+  | Error `Too_large -> ()
+  | _ -> Alcotest.fail "expected Too_large for oversize chunk"
+
+(* and at controller level: filling the tcache with pins must surface
+   as Tcache_too_small, never Chunk_too_large *)
+let test_controller_pin_crowding () =
+  let b = Isa.Builder.create "pins" in
+  let main = Isa.Builder.new_label b in
+  Isa.Builder.entry b main;
+  let labels = List.init 32 (fun _ -> Isa.Builder.new_label b) in
+  List.iteri
+    (fun i l ->
+      Isa.Builder.func b (Printf.sprintf "f%d" i) l (fun () ->
+          for k = 1 to 6 do
+            Isa.Builder.ins b (Isa.Instr.Alui (Add, reg 2, reg 2, k))
+          done;
+          Isa.Builder.ins b (Isa.Instr.Jr Isa.Reg.ra)))
+    labels;
+  Isa.Builder.func b "main" main (fun () ->
+      Isa.Builder.ins b (Isa.Instr.Out (reg 2));
+      Isa.Builder.ins b Isa.Instr.Halt);
+  let img = Isa.Builder.build b in
+  let cfg =
+    Softcache.Config.make ~tcache_bytes:512
+      ~chunking:Softcache.Config.Procedure ()
+  in
+  let ctrl = Softcache.Controller.create cfg img in
+  Softcache.Controller.start ctrl;
+  let addrs =
+    List.filter_map
+      (fun (s : Isa.Image.symbol) ->
+        if String.length s.sym_name > 0 && s.sym_name.[0] = 'f' then
+          Some s.sym_addr
+        else None)
+      img.symbols
+  in
+  let rec go = function
+    | [] -> Alcotest.fail "32 pins never filled a 512-byte tcache"
+    | a :: rest -> (
+      match Softcache.Controller.pin ctrl a with
+      | () -> go rest
+      | exception Softcache.Controller.Tcache_too_small -> ()
+      | exception Softcache.Controller.Chunk_too_large _ ->
+        Alcotest.fail "pin crowding misreported as Chunk_too_large")
+  in
+  go addrs
+
 let test_tcache_too_large () =
   let tc = Softcache.Tcache.create ~base:0x20000 ~bytes:64 in
   (match Softcache.Tcache.alloc_fifo tc ~words:100 with
@@ -450,6 +518,10 @@ let () =
           Alcotest.test_case "fifo wrap evicts" `Quick
             test_tcache_fifo_wrap_evicts;
           Alcotest.test_case "too large" `Quick test_tcache_too_large;
+          Alcotest.test_case "pin crowding is Full" `Quick
+            test_tcache_pin_crowding_full;
+          Alcotest.test_case "pin crowding raises Tcache_too_small" `Quick
+            test_controller_pin_crowding;
           Alcotest.test_case "append full" `Quick test_tcache_append_full;
           Alcotest.test_case "persistent shrinks space" `Quick
             test_tcache_persistent_shrinks_space;

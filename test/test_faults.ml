@@ -92,6 +92,129 @@ let test_schedule_deterministic () =
                    ()) 200 in
   Alcotest.(check bool) "different seed, different outcomes" false (a = c)
 
+(* Regression: a dropped frame's spurious retransmission is lost with
+   it. With drop=1 and duplicate=1 every frame rolls both faults, and
+   only the drop may be counted — no duplicate counter bumps, no ghost
+   wire traffic for the retransmission. *)
+let test_drop_duplicate_combined () =
+  let len = 24 in
+  let payload = Bytes.create len in
+  let n = 50 in
+  let net =
+    Netmodel.local
+      ~faults:(Netmodel.Faults.make ~seed:7 ~drop:1.0 ~duplicate:1.0 ())
+      ()
+  in
+  for _ = 1 to n do
+    match Netmodel.transfer net ~payload with
+    | Ok _ -> Alcotest.fail "drop=1 delivered a frame"
+    | Error (`Dropped _) -> ()
+  done;
+  Alcotest.(check int) "every frame dropped" n (Netmodel.drops net);
+  Alcotest.(check int) "no duplicate survives a drop" 0
+    (Netmodel.duplicates net);
+  Alcotest.(check int) "one message per send" n (Netmodel.messages net);
+  Alcotest.(check int) "no ghost payload" (n * len)
+    (Netmodel.payload_bytes net);
+  (* control: without drops the same duplicate schedule does count *)
+  let net2 =
+    Netmodel.local
+      ~faults:(Netmodel.Faults.make ~seed:7 ~duplicate:1.0 ())
+      ()
+  in
+  for _ = 1 to n do
+    match Netmodel.transfer net2 ~payload with
+    | Ok _ -> ()
+    | Error _ -> Alcotest.fail "duplicate-only schedule dropped a frame"
+  done;
+  Alcotest.(check int) "delivered duplicates counted" n
+    (Netmodel.duplicates net2);
+  Alcotest.(check int) "each duplicate is an extra message" (2 * n)
+    (Netmodel.messages net2)
+
+(* Regression: Rng.int must not carry the modulo bias of a plain
+   [rem]. With bound = 3*2^60, the biased scheme maps 3/4 of the raw
+   63-bit space onto the bottom two thirds of the range; rejection
+   sampling puts exactly 2/3 there. *)
+let test_rng_no_modulo_bias () =
+  let bound = 3 * (1 lsl 60) in
+  let cut = 2 * (1 lsl 60) in
+  let rng = Netmodel.Rng.create 2026 in
+  let n = 3000 in
+  let below = ref 0 in
+  for _ = 1 to n do
+    let v = Netmodel.Rng.int rng bound in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < bound);
+    if v < cut then incr below
+  done;
+  let frac = float_of_int !below /. float_of_int n in
+  (* unbiased: 2/3 (sigma ~ 0.009); the old modulo scheme gives 3/4 *)
+  Alcotest.(check bool)
+    (Printf.sprintf "fraction below 2/3 cut = %.3f, want ~0.667" frac)
+    true
+    (frac > 0.63 && frac < 0.70)
+
+(* qcheck: the whole fault schedule and every counter is a pure
+   function of the seed *)
+let test_schedule_deterministic_q =
+  QCheck.Test.make ~count:50 ~name:"per-seed schedule + counters deterministic"
+    QCheck.(pair (int_range 0 10_000) (int_bound 255))
+    (fun (seed, knobs) ->
+      let mk () =
+        Netmodel.local
+          ~faults:
+            (Netmodel.Faults.make ~seed
+               ~drop:(float_of_int (knobs land 3) /. 4.0)
+               ~corrupt:(float_of_int ((knobs lsr 2) land 3) /. 4.0)
+               ~duplicate:(float_of_int ((knobs lsr 4) land 3) /. 4.0)
+               ~delay_spike:(float_of_int ((knobs lsr 6) land 3) /. 4.0)
+               ())
+          ()
+      in
+      let n1 = mk () and n2 = mk () in
+      let a = drain n1 100 and b = drain n2 100 in
+      a = b
+      && Netmodel.messages n1 = Netmodel.messages n2
+      && Netmodel.payload_bytes n1 = Netmodel.payload_bytes n2
+      && Netmodel.drops n1 = Netmodel.drops n2
+      && Netmodel.corruptions n1 = Netmodel.corruptions n2
+      && Netmodel.duplicates n1 = Netmodel.duplicates n2
+      && Netmodel.delay_spikes n1 = Netmodel.delay_spikes n2)
+
+(* qcheck: message/payload/drop/duplicate counters stay conserved under
+   any combined-fault schedule — duplicates only on delivered frames,
+   exactly one payload accounted per message *)
+let test_counter_conservation_q =
+  QCheck.Test.make ~count:50
+    ~name:"counter conservation under combined faults"
+    QCheck.(pair (int_range 0 10_000) (int_bound 255))
+    (fun (seed, knobs) ->
+      let len = 16 in
+      let payload = Bytes.create len in
+      let net =
+        Netmodel.local
+          ~faults:
+            (Netmodel.Faults.make ~seed
+               ~drop:(float_of_int (knobs land 3) /. 4.0)
+               ~corrupt:(float_of_int ((knobs lsr 2) land 3) /. 4.0)
+               ~duplicate:(float_of_int ((knobs lsr 4) land 3) /. 4.0)
+               ~delay_spike:(float_of_int ((knobs lsr 6) land 3) /. 4.0)
+               ())
+          ()
+      in
+      let n = 200 in
+      let delivered = ref 0 in
+      for _ = 1 to n do
+        match Netmodel.transfer net ~payload with
+        | Ok _ -> incr delivered
+        | Error (`Dropped _) -> ()
+      done;
+      Netmodel.drops net + !delivered = n
+      && Netmodel.messages net = n + Netmodel.duplicates net
+      && Netmodel.payload_bytes net = len * Netmodel.messages net
+      && Netmodel.duplicates net <= !delivered
+      && Netmodel.corruptions net <= !delivered)
+
 let test_fault_free_transfer_matches_request () =
   (* without faults, [transfer] must charge exactly what [request]
      does and account messages identically *)
@@ -280,6 +403,12 @@ let () =
             test_schedule_deterministic;
           Alcotest.test_case "fault-free transfer = request" `Quick
             test_fault_free_transfer_matches_request;
+          Alcotest.test_case "dropped frame swallows its duplicate" `Quick
+            test_drop_duplicate_combined;
+          Alcotest.test_case "Rng.int is bias-free" `Quick
+            test_rng_no_modulo_bias;
+          QCheck_alcotest.to_alcotest test_schedule_deterministic_q;
+          QCheck_alcotest.to_alcotest test_counter_conservation_q;
         ] );
       ( "recovery",
         [

@@ -102,6 +102,32 @@ let test_profiler_hook_chaining () =
   Alcotest.(check int) "profiler counted too" cpu.retired
     (Profiler.total_samples prof)
 
+(* Regression: an unaligned upper bound must round up, so the final
+   partially covered word of an odd-sized symbol is still attributed
+   to the range. *)
+let test_profiler_unaligned_range () =
+  let img = profiled_image 50 in
+  let prof, _ = Profiler.profile img in
+  let hot =
+    List.find (fun (s : Isa.Image.symbol) -> s.sym_name = "hot") img.symbols
+  in
+  let lo = hot.sym_addr in
+  let full = Profiler.samples_in prof ~lo ~hi:(lo + 4) in
+  Alcotest.(check bool) "first word sampled" true (full > 0);
+  Alcotest.(check int) "hi = lo+1 still covers the word" full
+    (Profiler.samples_in prof ~lo ~hi:(lo + 1));
+  Alcotest.(check int) "touched_in rounds up too"
+    (Profiler.touched_in prof ~lo ~hi:(lo + 4))
+    (Profiler.touched_in prof ~lo ~hi:(lo + 1));
+  (* treat the symbol as odd-sized: chopping 3 bytes off its end must
+     not lose the samples of its (executed) final word *)
+  let sz = hot.sym_size in
+  Alcotest.(check bool) "final word executed" true
+    (Profiler.samples_in prof ~lo:(lo + sz - 4) ~hi:(lo + sz) > 0);
+  Alcotest.(check int) "odd-sized symbol = whole symbol"
+    (Profiler.samples_in prof ~lo ~hi:(lo + sz))
+    (Profiler.samples_in prof ~lo ~hi:(lo + sz - 3))
+
 let test_profiler_threshold () =
   let img = profiled_image 5000 in
   let prof, _ = Profiler.profile img in
@@ -264,6 +290,8 @@ let () =
           Alcotest.test_case "dynamic text" `Quick test_profiler_dynamic_text;
           Alcotest.test_case "hook chaining" `Quick test_profiler_hook_chaining;
           Alcotest.test_case "threshold" `Quick test_profiler_threshold;
+          Alcotest.test_case "unaligned range rounds up" `Quick
+            test_profiler_unaligned_range;
         ] );
       ( "powermodel",
         [
