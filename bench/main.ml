@@ -1013,6 +1013,111 @@ let micro () =
   micro_engines ()
 
 (* ------------------------------------------------------------------ *)
+(* Traced smoke run: the CI gate for the tracing subsystem. Every
+   registry workload runs once with a tracer attached; the JSONL
+   rendering is validated line by line against the event schema, the
+   Chrome rendering as well-formed JSON with nondecreasing timestamps
+   and matched async residency spans, the attribution ledger must
+   conserve exactly against the cycle counter, and the trace-on/off
+   lockstep confirms tracing is architecturally invisible. Exports
+   BENCH_trace.jsonl and BENCH_trace_chrome.json and re-validates them
+   from disk. *)
+
+let tracesmoke () =
+  Report.section
+    "Trace smoke: traced runs validated per exporter (gate: schema-valid \
+     exports, exact cycle attribution, zero perturbation)";
+  let mk_cfg () =
+    Softcache.Config.make ~tcache_bytes:(2 * 1024)
+      ~net:(Netmodel.ethernet_10mbps ()) ()
+  in
+  let t =
+    Report.Table.create ~title:"traced runs (2 KB tcache, 10 Mbps ethernet)"
+      ~columns:
+        [ "app"; "cycles"; "events"; "dropped"; "jsonl"; "chrome"; "lockstep" ]
+  in
+  let artifact = ref None in
+  List.iter
+    (fun (e : Workloads.Registry.entry) ->
+      let img = e.build () in
+      let ctrl = Softcache.Controller.create (mk_cfg ()) img in
+      let tr = Trace.create () in
+      Softcache.Controller.attach_tracer ctrl tr;
+      let outcome = Softcache.Controller.run ctrl in
+      if outcome <> Machine.Cpu.Halted then begin
+        incr failures;
+        Report.kv "FAIL" (e.name ^ ": did not halt")
+      end;
+      if !artifact = None then artifact := Some tr;
+      if not (Trace.conserved tr ~total:ctrl.cpu.cycles) then begin
+        incr failures;
+        Report.kv "FAIL"
+          (Printf.sprintf "%s: attribution does not conserve (sum %d vs %d)"
+             e.name (Trace.summary tr).Trace.s_total ctrl.cpu.cycles)
+      end;
+      let jsonl_str =
+        match Trace.Schema.validate_jsonl (Trace.to_jsonl tr) with
+        | Ok n -> Printf.sprintf "ok (%d lines)" n
+        | Error err ->
+          incr failures;
+          Report.kv "FAIL" (e.name ^ " jsonl: " ^ err);
+          "FAIL"
+      in
+      let chrome_str =
+        match Trace.Schema.validate_chrome (Trace.to_chrome tr) with
+        | Ok n -> Printf.sprintf "ok (%d events)" n
+        | Error err ->
+          incr failures;
+          Report.kv "FAIL" (e.name ^ " chrome: " ^ err);
+          "FAIL"
+      in
+      let lockstep_str =
+        match Check.Lockstep.trace ~fuel:150_000 (fun () -> mk_cfg ()) img with
+        | Check.Lockstep.Engines_equivalent { steps } ->
+          Printf.sprintf "ok (%d steps)" steps
+        | Check.Lockstep.Engines_out_of_fuel { steps } ->
+          Printf.sprintf "ok (fuel, %d steps)" steps
+        | v ->
+          incr failures;
+          let s = Format.asprintf "%a" Check.Lockstep.pp_engine_verdict v in
+          Report.kv "FAIL" (e.name ^ " lockstep: " ^ s);
+          s
+      in
+      Report.Table.add_row t
+        [
+          e.name;
+          string_of_int ctrl.cpu.cycles;
+          string_of_int (Trace.emitted tr);
+          string_of_int (Trace.dropped tr);
+          jsonl_str;
+          chrome_str;
+          lockstep_str;
+        ])
+    Workloads.Registry.all;
+  Report.Table.print t;
+  (* artifacts: export the first workload's trace in both formats and
+     validate what actually landed on disk *)
+  match !artifact with
+  | None ->
+    incr failures;
+    Report.kv "FAIL" "no trace to export"
+  | Some tr ->
+    let slurp f = In_channel.with_open_text f In_channel.input_all in
+    Trace.export tr ~format:`Jsonl "BENCH_trace.jsonl";
+    Trace.export tr ~format:`Chrome "BENCH_trace_chrome.json";
+    (match Trace.Schema.validate_jsonl (slurp "BENCH_trace.jsonl") with
+    | Ok _ -> ()
+    | Error err ->
+      incr failures;
+      Report.kv "FAIL" ("BENCH_trace.jsonl: " ^ err));
+    (match Trace.Schema.validate_chrome (slurp "BENCH_trace_chrome.json") with
+    | Ok _ -> ()
+    | Error err ->
+      incr failures;
+      Report.kv "FAIL" ("BENCH_trace_chrome.json: " ^ err));
+    Report.kv "written" "BENCH_trace.jsonl, BENCH_trace_chrome.json"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1034,6 +1139,7 @@ let experiments =
     ("netsweep", netsweep);
     ("faultsweep", faultsweep);
     ("prefetchsweep", prefetchsweep);
+    ("tracesmoke", tracesmoke);
     ("micro", micro);
   ]
 

@@ -151,15 +151,49 @@ let staging_arg =
   in
   Arg.(value & opt int 8 & info [ "staging" ] ~docv:"N" ~doc)
 
+let trace_out_arg =
+  let doc =
+    "Record a cycle-stamped structured event trace and write it to $(docv) \
+     (format per $(b,--trace-format)). Tracing is architecturally \
+     invisible: the traced run is cycle- and counter-identical to an \
+     untraced one."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let trace_format_arg =
+  let doc =
+    "Trace export format: $(b,jsonl) (one event object per line) or \
+     $(b,chrome) (Chrome trace-event JSON — load into Perfetto or \
+     chrome://tracing)."
+  in
+  Arg.(value & opt (enum [ ("jsonl", `Jsonl); ("chrome", `Chrome) ]) `Jsonl
+       & info [ "trace-format" ] ~docv:"FMT" ~doc)
+
+let trace_limit_arg =
+  let doc =
+    "Trace ring capacity: at most $(docv) events are retained; on overflow \
+     the oldest are overwritten and the drop count is reported."
+  in
+  Arg.(value & opt int 65_536 & info [ "trace-limit" ] ~docv:"N" ~doc)
+
+let print_trace_summary ~total tr =
+  let s = Trace.summary tr in
+  Report.trace_summary ~total ~execute:s.Trace.s_execute
+    ~translate:s.Trace.s_translate ~wire:s.Trace.s_wire ~trap:s.Trace.s_trap
+    ~dcache:s.Trace.s_dcache ~patch:s.Trace.s_patch ~scrub:s.Trace.s_scrub
+    ~lookup:s.Trace.s_lookup ~events:s.Trace.s_emitted
+    ~dropped:s.Trace.s_dropped ~capacity:s.Trace.s_capacity
+
 let make_config ?faults ?(audit = false) ?(engine = Machine.Cpu.Decoded)
-    ?(prefetch = 0) ?(staging = 8) tcache chunking eviction network =
+    ?(prefetch = 0) ?(staging = 8) ?(trace_limit = 65_536) tcache chunking
+    eviction network =
   let net =
     match network with
     | `Local -> Netmodel.local ?faults ()
     | `Ethernet -> Netmodel.ethernet_10mbps ?faults ()
   in
   Softcache.Config.make ~tcache_bytes:tcache ~chunking ~eviction ~net ~audit
-    ~engine ~prefetch_degree:prefetch ~staging_chunks:staging ()
+    ~engine ~prefetch_degree:prefetch ~staging_chunks:staging ~trace_limit ()
 
 let list_cmd =
   let run () =
@@ -173,7 +207,7 @@ let list_cmd =
 
 let run_cmd =
   let run name tcache chunking eviction network faults audit engine prefetch
-      staging verbose =
+      staging trace_out trace_format trace_limit verbose =
     setup_logs verbose;
     match find_workload name with
     | Error e -> prerr_endline e; 1
@@ -182,8 +216,8 @@ let run_cmd =
       Format.printf "%a@." Isa.Image.pp_summary img;
       let native = Softcache.Runner.native img in
       let cfg =
-        make_config ?faults ~audit ~engine ~prefetch ~staging tcache chunking
-          eviction network
+        make_config ?faults ~audit ~engine ~prefetch ~staging ~trace_limit
+          tcache chunking eviction network
       in
       (* profile-guided prefetch ranking: a profiling pre-run supplies
          the hot-set oracle the MC ranks candidates with *)
@@ -195,8 +229,15 @@ let run_cmd =
         else None
       in
       let audits = ref None in
+      let tracer = ref None in
       let prepare (ctrl : Softcache.Controller.t) =
         ctrl.prefetch_ranker <- ranker;
+        (match trace_out with
+        | Some _ ->
+          let tr = Trace.create ~limit:cfg.trace_limit () in
+          Softcache.Controller.attach_tracer ctrl tr;
+          tracer := Some tr
+        | None -> ());
         audits := Check.Audit.install_if_configured ctrl
       in
       let cached, ctrl = Softcache.Runner.cached_robust ~prepare cfg img in
@@ -241,6 +282,14 @@ let run_cmd =
       (match !audits with
       | Some n -> Report.kv "audit" (Printf.sprintf "on, %d audits passed" !n)
       | None -> ());
+      (match (trace_out, !tracer) with
+      | Some path, Some tr ->
+        Trace.export tr ~format:trace_format path;
+        Report.kv "trace"
+          (Printf.sprintf "%d events -> %s (%s)" (Trace.emitted tr) path
+             (match trace_format with `Jsonl -> "jsonl" | `Chrome -> "chrome"));
+        print_trace_summary ~total:ctrl.cpu.cycles tr
+      | _ -> ());
       Format.printf "  stats: %a@." Softcache.Stats.pp ctrl.stats;
       Format.printf "  %a@." Netmodel.pp cfg.net;
       (match cached.status with
@@ -251,7 +300,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run a workload natively and under the SoftCache")
     Term.(const run $ workload_arg $ tcache_arg $ chunking_arg $ eviction_arg
           $ network_arg $ faults_arg $ audit_arg $ engine_arg $ prefetch_arg
-          $ staging_arg $ verbose_arg)
+          $ staging_arg $ trace_out_arg $ trace_format_arg $ trace_limit_arg
+          $ verbose_arg)
 
 let profile_cmd =
   let run name =
@@ -334,13 +384,18 @@ let hwsweep_cmd =
     Term.(const run $ workload_arg)
 
 let dcache_cmd =
-  let run name =
+  let run name trace_out trace_format trace_limit =
     match find_workload name with
     | Error e -> prerr_endline e; 1
     | Ok entry ->
       let img = entry.build () in
       let cfg = Dcache.Config.make () in
-      let outcome, cpu, stats = Dcache.Sim.run cfg img in
+      let tracer =
+        match trace_out with
+        | Some _ -> Some (Trace.create ~limit:trace_limit ())
+        | None -> None
+      in
+      let outcome, cpu, stats = Dcache.Sim.run ?tracer cfg img in
       Report.kv "outcome"
         (match outcome with
         | Machine.Cpu.Halted -> "halted"
@@ -350,10 +405,19 @@ let dcache_cmd =
       Report.kv "guaranteed latency"
         (Printf.sprintf "%d cycles (slow hit)"
            (Dcache.Sim.guaranteed_latency_cycles cfg));
+      (match (trace_out, tracer) with
+      | Some path, Some tr ->
+        Trace.export tr ~format:trace_format path;
+        Report.kv "trace"
+          (Printf.sprintf "%d events -> %s (%s)" (Trace.emitted tr) path
+             (match trace_format with `Jsonl -> "jsonl" | `Chrome -> "chrome"));
+        print_trace_summary ~total:cpu.cycles tr
+      | _ -> ());
       0
   in
   Cmd.v (Cmd.info "dcache" ~doc:"Run under the Section 3 software data cache")
-    Term.(const run $ workload_arg)
+    Term.(const run $ workload_arg $ trace_out_arg $ trace_format_arg
+          $ trace_limit_arg)
 
 let fullsystem_cmd =
   let run name tcache =

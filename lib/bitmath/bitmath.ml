@@ -1,0 +1,7 @@
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let floor_log2 n =
+  let rec go k n = if n <= 1 then k else go (k + 1) (n lsr 1) in
+  go 0 n
+
+let ceil_log2 n = if n <= 1 then 0 else floor_log2 (n - 1) + 1

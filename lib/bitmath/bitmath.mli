@@ -1,0 +1,19 @@
+(** Small integer bit-twiddling helpers shared by the cache models.
+
+    Three libraries (Hwcache, Powermodel.Tag_energy, Dcache.Sim) each
+    carried a private copy of an integer log2; they are unified here so
+    the edge cases (0, 1, non-powers-of-two) are pinned down once. *)
+
+val is_pow2 : int -> bool
+(** [is_pow2 n] is true iff [n] is a positive power of two. *)
+
+val floor_log2 : int -> int
+(** [floor_log2 n] is the position of the highest set bit of [n]:
+    [floor_log2 8 = 3], [floor_log2 9 = 3]. For [n <= 1] the result is
+    0 — the convention the cache geometry code relies on (a one-set
+    cache contributes no index bits). *)
+
+val ceil_log2 : int -> int
+(** [ceil_log2 n] is the smallest [k] with [2^k >= n]:
+    [ceil_log2 8 = 3], [ceil_log2 9 = 4]. For [n <= 1] the result
+    is 0. *)

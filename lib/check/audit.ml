@@ -353,6 +353,27 @@ let run (t : Controller.t) : violation list =
         "decode cache entry at 0x%x disagrees with the word in memory" addr)
     (Machine.Memory.decode_audit t.cpu.mem);
 
+  (* -- trace attribution conserves ------------------------------------ *)
+  (* Every explicit charge site labels its cycles and the residual is
+     swept into execute, so the ledger must sum exactly to the CPU
+     cycle counter at any audit point.  A gap means a charge path lost
+     its label (or double-counted one) — the attribution numbers in the
+     report would silently lie. *)
+  (match t.tracer with
+  | None -> ()
+  | Some tr ->
+    if not (Trace.conserved tr ~total:t.cpu.cycles) then begin
+      let s = Trace.summary tr in
+      add "trace"
+        "attribution does not conserve: categories sum to %d, cpu.cycles=%d"
+        s.Trace.s_total t.cpu.cycles
+    end;
+    let s = Trace.summary tr in
+    if s.Trace.s_dropped <> max 0 (s.Trace.s_emitted - s.Trace.s_capacity)
+    then
+      add "trace" "ring accounting: emitted=%d capacity=%d but dropped=%d"
+        s.Trace.s_emitted s.Trace.s_capacity s.Trace.s_dropped);
+
   List.rev !viols
 
 let check_exn t =

@@ -327,3 +327,56 @@ let prefetch ?cost ?(fuel = 2_000_000) ?(ops = []) ?(audit = false) mk_cfg
   if audit then ignore (Audit.install con);
   drive_pair ~fuel ~ops ~labels:("prefetch", "baseline")
     ~compare_cycles:false con coff
+
+(* Trace-on vs trace-off, in instruction lockstep.
+
+   Observability must never perturb the experiment it observes: a run
+   with a tracer attached must be *cycle*- and *counter*-identical to
+   the same run without one, not merely architecturally equivalent. So
+   unlike [prefetch], cycles are part of the per-step comparison, and
+   after the drive the full statistics record and every interconnect
+   counter are compared too. Finally the tracer's own books are
+   checked: the attribution categories must sum exactly to the traced
+   run's cycle counter (the conservation law [Check.Audit] also
+   enforces). *)
+let trace ?cost ?(fuel = 2_000_000) ?(ops = []) ?(audit = false) mk_cfg img
+    : engine_verdict =
+  (* fresh Config per side: each gets its own Netmodel state, so the
+     comparison proves the tracer does not disturb the rng draw
+     stream *)
+  let traced = Controller.create ?cost (mk_cfg ()) img in
+  let plain = Controller.create ?cost (mk_cfg ()) img in
+  let tr = Trace.create ~limit:traced.cfg.Config.trace_limit () in
+  Controller.attach_tracer traced tr;
+  if audit then ignore (Audit.install traced);
+  let verdict =
+    drive_pair ~fuel ~ops ~labels:("traced", "untraced")
+      ~compare_cycles:true traced plain
+  in
+  match verdict with
+  | Engines_diverged _ | Engines_unavailable _ -> verdict
+  | Engines_equivalent { steps } | Engines_out_of_fuel { steps } ->
+    let diverged detail = Engines_diverged { step = steps; detail } in
+    let net_counters (c : Controller.t) =
+      let n = c.cfg.Config.net in
+      ( Netmodel.messages n,
+        Netmodel.payload_bytes n,
+        Netmodel.total_bytes n,
+        Netmodel.drops n,
+        Netmodel.corruptions n,
+        Netmodel.duplicates n,
+        Netmodel.delay_spikes n )
+    in
+    if traced.stats <> plain.stats then
+      diverged
+        (Format.asprintf "stats differ: %a (traced) vs %a (untraced)"
+           Stats.pp traced.stats Stats.pp plain.stats)
+    else if net_counters traced <> net_counters plain then
+      diverged "interconnect counters differ"
+    else if not (Trace.conserved tr ~total:traced.cpu.cycles) then
+      diverged
+        (Printf.sprintf
+           "attribution does not conserve: categories sum to %d, cpu.cycles \
+            = %d"
+           (Trace.summary tr).Trace.s_total traced.cpu.cycles)
+    else verdict

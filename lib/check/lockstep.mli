@@ -102,3 +102,25 @@ val prefetch :
     which legitimately differ and are excluded. [ops] and [audit]
     behave as in {!engines} (the audit, including its staging-buffer
     section, goes on the prefetching side). *)
+
+val trace :
+  ?cost:Machine.Cost.t ->
+  ?fuel:int ->
+  ?ops:(Softcache.Controller.t -> unit) list ->
+  ?audit:bool ->
+  (unit -> Softcache.Config.t) ->
+  Isa.Image.t ->
+  engine_verdict
+(** [trace mk_cfg img] proves that tracing is architecturally invisible:
+    the same configuration is run twice, once with a {!Trace.t} attached
+    via {!Softcache.Controller.attach_tracer} and once without, in
+    instruction lockstep. Recording an event only appends to the trace
+    ring — it never charges cycles, touches statistics or draws from the
+    interconnect's randomness — so {e everything} must match, cycle
+    counts included. On top of the step-wise state comparison the runner
+    checks end-of-run statistics and interconnect counters for equality,
+    and that the traced side's cycle attribution conserves exactly
+    against its final cycle counter ({!Trace.conserved}). [ops] are
+    applied to both controllers at evenly spaced fuel slices; [audit]
+    installs {!Audit.install} on the traced side. Default [fuel] is 2M
+    instructions. *)

@@ -20,6 +20,7 @@ type t = {
   engine : Machine.Cpu.engine;
   prefetch_degree : int;
   staging_chunks : int;
+  trace_limit : int;
 }
 
 let make ?(tcache_bytes = 48 * 1024) ?(tcache_base = 0x10000)
@@ -29,7 +30,7 @@ let make ?(tcache_bytes = 48 * 1024) ?(tcache_base = 0x10000)
     ?(bind_at_translate = true) ?net ?(max_retries = 8)
     ?(retry_backoff_cycles = 64) ?(timeout_cycles = 1000) ?(audit = false)
     ?(engine = Machine.Cpu.Decoded) ?(prefetch_degree = 0)
-    ?(staging_chunks = 8) () =
+    ?(staging_chunks = 8) ?(trace_limit = 65536) () =
   let net = match net with Some n -> n | None -> Netmodel.local () in
   if tcache_bytes < 64 then invalid_arg "Config.make: tcache too small";
   if tcache_base land 3 <> 0 then invalid_arg "Config.make: unaligned base";
@@ -39,6 +40,7 @@ let make ?(tcache_bytes = 48 * 1024) ?(tcache_base = 0x10000)
   if prefetch_degree < 0 then
     invalid_arg "Config.make: negative prefetch_degree";
   if staging_chunks < 0 then invalid_arg "Config.make: negative staging_chunks";
+  if trace_limit <= 0 then invalid_arg "Config.make: trace_limit must be positive";
   {
     tcache_bytes;
     tcache_base;
@@ -58,6 +60,7 @@ let make ?(tcache_bytes = 48 * 1024) ?(tcache_base = 0x10000)
     engine;
     prefetch_degree;
     staging_chunks;
+    trace_limit;
   }
 
 let sparc_prototype ?tcache_bytes () =

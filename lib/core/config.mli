@@ -66,6 +66,11 @@ type t = {
       (** bound on the CC staging buffer holding prefetched chunks that
           have not been touched yet; oldest entries are discarded when
           the bound is hit *)
+  trace_limit : int;
+      (** capacity of the structured-event trace ring when a tracer is
+          attached ([Controller.attach_tracer] / CLI [--trace]); the
+          oldest events are overwritten past this bound and reported as
+          dropped *)
 }
 
 val make :
@@ -87,13 +92,17 @@ val make :
   ?engine:Machine.Cpu.engine ->
   ?prefetch_degree:int ->
   ?staging_chunks:int ->
+  ?trace_limit:int ->
   unit ->
   t
 (** Defaults: 48 KiB tcache at [0x10000], basic-block chunking, FIFO
     eviction, lookup 12, patch 4, miss fixed 30, translate 2/word,
     scrub 2/word, local (SPARC-style) interconnect, 8 retries with a
     64-cycle backoff base and a 1000-cycle drop timeout, audit off,
-    decoded dispatch, prefetch off with an 8-chunk staging buffer. *)
+    decoded dispatch, prefetch off with an 8-chunk staging buffer, and
+    a 65536-event trace ring.
+    @raise Invalid_argument on out-of-range values (including
+    [trace_limit <= 0]). *)
 
 val sparc_prototype : ?tcache_bytes:int -> unit -> t
 (** Basic-block chunking, local MC (no network), FIFO eviction. *)

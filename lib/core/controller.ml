@@ -28,6 +28,7 @@ type t = {
       (* recycled stub-table entries from evicted blocks *)
   mutable live_stubs : int;
   mutable on_event : (event -> unit) option;
+  mutable tracer : Trace.t option;
   mutable chaos_drop_incoming : int;
       (* test hook: silently skip the next N incoming-pointer records,
          seeding the bookkeeping bug the auditor must catch *)
@@ -40,6 +41,8 @@ exception Chunk_unavailable of { vaddr : int; attempts : int }
 let emit_event t ev =
   match t.on_event with Some f -> f ev | None -> ()
 
+let trace t ev = match t.tracer with Some tr -> Trace.emit tr ev | None -> ()
+
 let log_src =
   Logs.Src.create "softcache.controller"
     ~doc:"SoftCache cache-controller events"
@@ -47,7 +50,13 @@ let log_src =
 module Log = (val Logs.src_log log_src)
 
 let enc = Isa.Encode.encode
-let charge t c = t.cpu.cycles <- t.cpu.cycles + c
+
+(* Every explicit client-side charge is labelled with its attribution
+   category so an attached tracer can conserve: the labelled categories
+   plus the execute residual sum exactly to [cpu.cycles]. *)
+let charge t cat c =
+  (match t.tracer with Some tr -> Trace.attribute tr cat c | None -> ());
+  t.cpu.cycles <- t.cpu.cycles + c
 let write_word t addr w = Machine.Memory.write32 t.cpu.mem addr w
 
 let add_stub t make =
@@ -139,7 +148,7 @@ and scrub_stack t ~on_evicted padtbl =
      registered with the runtime system" *)
   List.iter (fun (lo, hi) -> scan_range lo hi) t.ra_regions;
   t.stats.scrubbed_words <- t.stats.scrubbed_words + !scanned;
-  charge t (t.cfg.scrub_cycles_per_word * !scanned)
+  charge t Trace.Scrub (t.cfg.scrub_cycles_per_word * !scanned)
 
 and debug_check_stale t victims =
   (* SOFTCACHE_DEBUG: detect return addresses pointing into freed blocks *)
@@ -173,7 +182,7 @@ and revert_incoming t victims =
           then begin
             write_word t inc.site_paddr inc.revert_word;
             t.stats.reverts <- t.stats.reverts + 1;
-            charge t t.cfg.patch_cycles
+            charge t Trace.Patch t.cfg.patch_cycles
           end)
         b.incoming)
     victims
@@ -188,7 +197,18 @@ and process_evicted t victims =
                 (fun (b : Tcache.block) -> Printf.sprintf "v=0x%x" b.vaddr)
                 victims)));
     t.stats.evicted_blocks <- t.stats.evicted_blocks + n;
-    t.stats.eviction_events <- (t.cpu.cycles, n) :: t.stats.eviction_events;
+    Stats.record_eviction t.stats ~cycle:t.cpu.cycles ~blocks:n;
+    List.iter
+      (fun (b : Tcache.block) ->
+        trace t
+          (Trace.Cc_evict
+             {
+               chunk = b.vaddr;
+               base = b.paddr;
+               bytes = 4 * b.words;
+               incoming = List.length b.incoming;
+             }))
+      victims;
     revert_incoming t victims;
     (* recycle the victims' stub entries right away: once their
        incoming pointers are reverted nothing references them, and the
@@ -264,7 +284,7 @@ let do_flush t =
   scan_range sp t.stack_top;
   List.iter (fun (lo, hi) -> scan_range lo hi) t.ra_regions;
   t.stats.scrubbed_words <- t.stats.scrubbed_words + !scanned;
-  charge t (t.cfg.scrub_cycles_per_word * !scanned);
+  charge t Trace.Scrub (t.cfg.scrub_cycles_per_word * !scanned);
   Log.debug (fun m ->
       m "flush: %d resident blocks, pc=0x%x" (Tcache.resident_blocks t.tc)
         t.cpu.pc);
@@ -273,7 +293,22 @@ let do_flush t =
   revert_incoming t former;
   free_block_stubs t former;
   t.stats.evicted_blocks <- t.stats.evicted_blocks + List.length former;
+  if former <> [] then
+    Stats.record_eviction t.stats ~cycle:t.cpu.cycles
+      ~blocks:(List.length former);
   t.stats.flushes <- t.stats.flushes + 1;
+  List.iter
+    (fun (b : Tcache.block) ->
+      trace t
+        (Trace.Cc_evict
+           {
+             chunk = b.vaddr;
+             base = b.paddr;
+             bytes = 4 * b.words;
+             incoming = List.length b.incoming;
+           }))
+    former;
+  trace t (Trace.Cc_flush { chunks = List.length former });
   (* persistent return stubs survive the flush, but any that had been
      specialised into direct jumps must trap again *)
   Hashtbl.iter
@@ -377,15 +412,16 @@ let fetch_chunk t ~vaddr ~(words : int array) ~prefetch =
     if tries > 0 then begin
       t.stats.net_retries <- t.stats.net_retries + 1;
       t.stats.max_chunk_retries <- max t.stats.max_chunk_retries tries;
-      charge t (t.cfg.retry_backoff_cycles * (1 lsl (tries - 1)))
+      trace t (Trace.Cc_retry { chunk = vaddr; attempt = tries });
+      charge t Trace.Wire (t.cfg.retry_backoff_cycles * (1 lsl (tries - 1)))
     end;
     match Netmodel.transfer_batch t.cfg.net ~payloads with
     | Error (`Dropped wasted) ->
-      charge t (wasted + t.cfg.timeout_cycles);
+      charge t Trace.Wire (wasted + t.cfg.timeout_cycles);
       t.stats.net_timeouts <- t.stats.net_timeouts + 1;
       attempt (tries + 1)
     | Ok (cycles, received) ->
-      charge t cycles;
+      charge t Trace.Wire cycles;
       let demand, rest =
         match received with d :: r -> (d, r) | [] -> assert false
       in
@@ -464,6 +500,7 @@ let chunk_of_staged v (s : staged) =
     | Some [] | None -> None
 
 let translate t v =
+  trace t (Trace.Cc_miss { pc = v });
   (* a staged prefetched copy of this chunk skips the wire entirely;
      a corrupted one is discarded and the miss pays the round trip *)
   let chunk, from_staging =
@@ -473,6 +510,7 @@ let translate t v =
       match chunk_of_staged v s with
       | Some c ->
         t.stats.prefetch_installs <- t.stats.prefetch_installs + 1;
+        trace t (Trace.Cc_staged_install { chunk = v });
         (c, true)
       | None ->
         t.stats.prefetch_crc_failures <- t.stats.prefetch_crc_failures + 1;
@@ -511,6 +549,7 @@ let translate t v =
              that fits the region's capacity is being crowded out *)
           raise Tcache_too_small))
   in
+  trace t (Trace.Tc_alloc { chunk = v; base; bytes = 4 * words_needed });
   let id = t.next_block_id in
   t.next_block_id <- id + 1;
   let resident =
@@ -581,8 +620,9 @@ let translate t v =
     max t.stats.max_resident_blocks (Tcache.resident_blocks t.tc);
   t.stats.max_occupied_bytes <-
     max t.stats.max_occupied_bytes (Tcache.occupied_bytes t.tc);
-  charge t
+  charge t Trace.Translate
     (t.cfg.miss_fixed_cycles + (t.cfg.translate_cycles_per_word * emitted));
+  trace t (Trace.Cc_translated { chunk = v; base; words = emitted });
   emit_event t (Translated v);
   block
 
@@ -630,12 +670,20 @@ let patch_exit t k ~block ~site_paddr ~kind ~revert_word
     in
     if patched then begin
       t.stats.patches <- t.stats.patches + 1;
-      charge t t.cfg.patch_cycles;
+      charge t Trace.Patch t.cfg.patch_cycles;
+      trace t
+        (Trace.Cc_backpatch
+           { site = site_paddr; target = target_block.paddr });
       emit_event t Patched
     end
   end
 
 let handle_trap t k =
+  (* the CPU has already added [trap_dispatch] to the cycle counter
+     before handing control to us *)
+  (match t.tracer with
+  | Some tr -> Trace.attribute_included tr Trace.Trap t.cpu.cost.trap_dispatch
+  | None -> ());
   match t.stubs.(k) with
   | Stub.Exit { block; site_paddr; kind; target; revert_word } ->
     let b = ensure_resident t target in
@@ -643,20 +691,20 @@ let handle_trap t k =
     t.cpu.pc <- b.paddr
   | Stub.Computed { rs } ->
     t.stats.lookups <- t.stats.lookups + 1;
-    charge t t.cfg.lookup_cycles;
+    charge t Trace.Lookup t.cfg.lookup_cycles;
     let target = Machine.Cpu.reg t.cpu rs in
     let b = ensure_resident t target in
     t.cpu.pc <- b.paddr
   | Stub.Icall { rd; rs; pad_paddr } ->
     t.stats.lookups <- t.stats.lookups + 1;
-    charge t t.cfg.lookup_cycles;
+    charge t Trace.Lookup t.cfg.lookup_cycles;
     let target = Machine.Cpu.reg t.cpu rs in
     Machine.Cpu.set_reg t.cpu rd pad_paddr;
     let b = ensure_resident t target in
     t.cpu.pc <- b.paddr
   | Stub.Ret_stub { site_paddr; target } ->
     t.stats.lookups <- t.stats.lookups + 1;
-    charge t t.cfg.lookup_cycles;
+    charge t Trace.Lookup t.cfg.lookup_cycles;
     let b = ensure_resident t target in
     (* specialise this stub into a direct jump while the target lives,
        unless a flush has re-purposed the stub area in the meantime *)
@@ -668,7 +716,8 @@ let handle_trap t k =
         record_incoming t tb ~from_block:(-1) ~site_paddr
           ~revert_word:(enc (Isa.Instr.Trap k));
         t.stats.patches <- t.stats.patches + 1;
-        charge t t.cfg.patch_cycles;
+        charge t Trace.Patch t.cfg.patch_cycles;
+        trace t (Trace.Cc_backpatch { site = site_paddr; target = b.paddr });
         emit_event t Patched
       | None -> ())
     | Some _ | None -> ());
@@ -707,11 +756,23 @@ let create ?cost ?(mem_bytes = 8 * 1024 * 1024) (cfg : Config.t) image =
       free_stubs = [];
       live_stubs = 0;
       on_event = None;
+      tracer = None;
       chaos_drop_incoming = 0;
     }
   in
   cpu.trap_handler <- Some (fun _cpu k -> handle_trap t k);
   t
+
+(* Attach the observer last, after any pre-runs that share the config:
+   the tracer clock reads this controller's cycle counter and the
+   interconnect forwards its frame events to the same ring. Recording
+   only ever appends to the ring — no cycle counter, statistic or rng
+   draw is touched, so the traced run is identical to an untraced
+   one. *)
+let attach_tracer t tr =
+  t.tracer <- Some tr;
+  Trace.set_clock tr (fun () -> t.cpu.cycles);
+  Netmodel.set_tracer t.cfg.net (Some tr)
 
 let start t =
   let b = ensure_resident t t.image.Isa.Image.entry in
@@ -734,6 +795,7 @@ let invalidate t ~lo ~hi =
   in
   List.iter (Tcache.remove t.tc) victims;
   process_evicted t victims;
+  trace t (Trace.Cc_invalidate { chunks = List.length victims });
   emit_event t Invalidated
 
 let flush t = do_flush t

@@ -68,6 +68,9 @@ type t = {
       (** fired after every state-changing controller operation, with
           the cache in a consistent state — the hook the [Check.Audit]
           invariant auditor attaches to *)
+  mutable tracer : Trace.t option;
+      (** structured event ring attached by [attach_tracer]; [None]
+          (the default) records nothing *)
   mutable chaos_drop_incoming : int;
       (** test hook: silently skip the next N incoming-pointer records.
           Seeds a real bookkeeping bug (an unlinked patched exit) so
@@ -94,6 +97,17 @@ val create :
     tcache + stack) and wire the trap handler.
     @raise Invalid_argument if the tcache region overlaps the image's
     data segment. *)
+
+val attach_tracer : t -> Trace.t -> unit
+(** Attach a structured-event tracer: its clock is bound to this
+    controller's cycle counter, the interconnect forwards frame and
+    fault events into the same ring, and every subsequent client-side
+    charge is labelled in the tracer's cycle-attribution ledger (so
+    [Trace.conserved] holds against [cpu.cycles] — checked by
+    [Check.Audit] when a tracer is present). Tracing is architecturally
+    invisible: it never changes cycles, statistics, or the fault rng
+    draw stream ([Check.Lockstep.trace] proves this). Attach before
+    [start] so the ledger covers the whole run. *)
 
 val start : t -> unit
 (** Translate the entry chunk and point the CPU at it. *)

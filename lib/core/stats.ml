@@ -1,3 +1,5 @@
+let eviction_capacity = 4096
+
 type t = {
   mutable translations : int;
   mutable translated_words : int;
@@ -6,7 +8,8 @@ type t = {
   mutable patches : int;
   mutable reverts : int;
   mutable evicted_blocks : int;
-  mutable eviction_events : (int * int) list;
+  eviction_ring : (int * int) array;
+  mutable eviction_count : int;
   mutable flushes : int;
   mutable scrubbed_words : int;
   mutable ret_stubs : int;
@@ -36,7 +39,8 @@ let create () =
     patches = 0;
     reverts = 0;
     evicted_blocks = 0;
-    eviction_events = [];
+    eviction_ring = Array.make eviction_capacity (0, 0);
+    eviction_count = 0;
     flushes = 0;
     scrubbed_words = 0;
     ret_stubs = 0;
@@ -65,7 +69,8 @@ let reset t =
   t.patches <- 0;
   t.reverts <- 0;
   t.evicted_blocks <- 0;
-  t.eviction_events <- [];
+  Array.fill t.eviction_ring 0 eviction_capacity (0, 0);
+  t.eviction_count <- 0;
   t.flushes <- 0;
   t.scrubbed_words <- 0;
   t.ret_stubs <- 0;
@@ -89,7 +94,25 @@ let miss_rate t ~retired =
   if retired = 0 then 0.0
   else float_of_int t.translations /. float_of_int retired
 
-let eviction_series t = List.rev t.eviction_events
+let record_eviction t ~cycle ~blocks =
+  t.eviction_ring.(t.eviction_count mod eviction_capacity) <- (cycle, blocks);
+  t.eviction_count <- t.eviction_count + 1
+
+let eviction_recorded t = min t.eviction_count eviction_capacity
+
+let eviction_dropped t =
+  if t.eviction_count > eviction_capacity then
+    t.eviction_count - eviction_capacity
+  else 0
+
+let eviction_series t =
+  let len = eviction_recorded t in
+  let first =
+    if t.eviction_count > eviction_capacity then
+      t.eviction_count mod eviction_capacity
+    else 0
+  in
+  List.init len (fun i -> t.eviction_ring.((first + i) mod eviction_capacity))
 
 let pp ppf t =
   Format.fprintf ppf
@@ -99,6 +122,9 @@ let pp ppf t =
     t.translations t.translated_words t.overhead_words t.lookups t.patches
     t.reverts t.evicted_blocks t.flushes t.scrubbed_words t.ret_stubs
     t.max_resident_blocks t.max_occupied_bytes;
+  if eviction_dropped t > 0 then
+    Format.fprintf ppf "@.eviction series: kept %d of %d events (%d dropped)"
+      (eviction_recorded t) t.eviction_count (eviction_dropped t);
   if
     t.net_retries > 0 || t.net_timeouts > 0 || t.crc_failures > 0
     || t.chunk_failures > 0

@@ -2,8 +2,15 @@
 
     [translations] is the paper's miss count: "the software miss rate is
     the number of basic blocks translated divided by the number of
-    instructions executed" (Fig. 7). [eviction_events] carries the
-    cycle-stamped paging activity behind Fig. 8. *)
+    instructions executed" (Fig. 7). The eviction ring carries the
+    cycle-stamped paging activity behind Fig. 8, bounded so CC-side
+    metadata cannot grow with run length (the same bounded-by-residency
+    discipline the tcache stub recycling follows): the most recent
+    [eviction_capacity] events are retained and [eviction_dropped]
+    counts the overwritten tail. *)
+
+val eviction_capacity : int
+(** Fixed bound on retained eviction events (4096). *)
 
 type t = {
   mutable translations : int;  (** chunks translated = misses *)
@@ -15,8 +22,11 @@ type t = {
   mutable patches : int;  (** words rewritten to point into the tcache *)
   mutable reverts : int;  (** words rewritten back to miss stubs *)
   mutable evicted_blocks : int;
-  mutable eviction_events : (int * int) list;
-      (** (cycle stamp, blocks evicted), most recent first *)
+  eviction_ring : (int * int) array;
+      (** bounded ring of (cycle stamp, blocks evicted); use
+          [record_eviction] / [eviction_series], not the raw array *)
+  mutable eviction_count : int;
+      (** total eviction events recorded, including overwritten ones *)
   mutable flushes : int;  (** whole-tcache invalidations *)
   mutable scrubbed_words : int;  (** stack words scanned for live pads *)
   mutable ret_stubs : int;  (** persistent return stubs created *)
@@ -50,7 +60,18 @@ val reset : t -> unit
 val miss_rate : t -> retired:int -> float
 (** Translations per retired instruction — the Fig. 7 metric. *)
 
+val record_eviction : t -> cycle:int -> blocks:int -> unit
+(** Record one eviction event; overwrites the oldest retained event
+    once [eviction_capacity] have been recorded. *)
+
 val eviction_series : t -> (int * int) list
-(** Eviction events in chronological order. *)
+(** Retained eviction events in chronological order (at most
+    [eviction_capacity]; the oldest are dropped first). *)
+
+val eviction_recorded : t -> int
+(** Events currently retained in the ring. *)
+
+val eviction_dropped : t -> int
+(** Eviction events lost to the bound — explicit, never silent. *)
 
 val pp : Format.formatter -> t -> unit

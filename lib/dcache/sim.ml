@@ -41,9 +41,7 @@ type site = {
   mutable dead : bool; (* deoptimised once; never specialise again *)
 }
 
-let log2_ceil n =
-  let rec go acc v = if v >= n then acc else go (acc + 1) (v * 2) in
-  go 0 1
+let log2_ceil = Bitmath.ceil_log2
 
 let guaranteed_latency_cycles (cfg : Config.t) =
   let blocks = cfg.dcache_bytes / cfg.block_bytes in
@@ -54,8 +52,11 @@ let tag_checks_avoided s =
   if total = 0 then 0.0
   else float_of_int (s.stack_accesses + s.const_hits) /. float_of_int total
 
-let attach (cfg : Config.t) (cpu : Machine.Cpu.t) =
+let attach ?tracer (cfg : Config.t) (cpu : Machine.Cpu.t) =
   let stats = create_stats () in
+  let trace ev =
+    match tracer with Some tr -> Trace.emit tr ev | None -> ()
+  in
   let assoc = Assoc.create ~blocks:(cfg.dcache_bytes / cfg.block_bytes) in
   let scache = Scache.create ~frames:cfg.scache_frames in
   let sites : (int, site) Hashtbl.t = Hashtbl.create 256 in
@@ -78,7 +79,8 @@ let attach (cfg : Config.t) (cpu : Machine.Cpu.t) =
         s.mono_count <- s.mono_count + 1;
         if s.mono_count >= cfg.specialise_threshold then begin
           s.specialised <- true;
-          stats.specialised_sites <- stats.specialised_sites + 1
+          stats.specialised_sites <- stats.specialised_sites + 1;
+          trace (Trace.Dc_specialise { site = cpu.pc })
         end
       end
       else begin
@@ -98,7 +100,8 @@ let attach (cfg : Config.t) (cpu : Machine.Cpu.t) =
         (* the rewritten constant was wrong: deoptimise the site *)
         s.specialised <- false;
         s.dead <- true;
-        stats.deopts <- stats.deopts + 1
+        stats.deopts <- stats.deopts + 1;
+        trace (Trace.Dc_deopt { site = cpu.pc })
       end;
       let tag = addr / cfg.block_bytes in
       (match Assoc.lookup assoc ~pred:s.pred ~tag with
@@ -123,6 +126,7 @@ let attach (cfg : Config.t) (cpu : Machine.Cpu.t) =
         s.pred <- idx
       | Assoc.Miss, _ ->
         stats.misses <- stats.misses + 1;
+        trace (Trace.Dc_miss { addr });
         let probes = log2_ceil (max 2 (Assoc.occupancy assoc)) in
         charge
           (cfg.predicted_hit_cycles
@@ -167,6 +171,7 @@ let attach (cfg : Config.t) (cpu : Machine.Cpu.t) =
       | Scache.Entered -> ()
       | Scache.Entered_spilling n ->
         stats.scache_spills <- stats.scache_spills + n;
+        trace (Trace.Dc_spill { words = n });
         charge
           ((cfg.spill_refill_cycles * n)
           + Netmodel.request cfg.net ~payload_bytes:64)
@@ -186,6 +191,7 @@ let attach (cfg : Config.t) (cpu : Machine.Cpu.t) =
       | Scache.Left -> ()
       | Scache.Left_refilling ->
         stats.scache_refills <- stats.scache_refills + 1;
+        trace (Trace.Dc_refill { words = 1 });
         charge
           (cfg.spill_refill_cycles
           + Netmodel.request cfg.net ~payload_bytes:64)
@@ -200,15 +206,26 @@ let attach (cfg : Config.t) (cpu : Machine.Cpu.t) =
   in
   (stats, after_step)
 
-let run ?cost ?(fuel = max_int) (cfg : Config.t) img =
+let run ?cost ?(fuel = max_int) ?tracer (cfg : Config.t) img =
   let cpu = Machine.Cpu.of_image ?cost img in
-  let stats, after_step = attach cfg cpu in
+  (match tracer with
+  | Some tr ->
+    Trace.set_clock tr (fun () -> cpu.cycles);
+    Netmodel.set_tracer cfg.net (Some tr)
+  | None -> ());
+  let stats, after_step = attach ?tracer cfg cpu in
   let steps = ref 0 in
   while not cpu.halted && !steps < fuel do
     Machine.Cpu.step cpu;
     incr steps;
     after_step ()
   done;
+  (* the dcache model's charges are folded in at the end: label them as
+     dcache overhead so the attribution ledger conserves against the
+     final cycle counter *)
+  (match tracer with
+  | Some tr -> Trace.attribute tr Trace.Dcache stats.extra_cycles
+  | None -> ());
   cpu.cycles <- cpu.cycles + stats.extra_cycles;
   ((if cpu.halted then Machine.Cpu.Halted else Machine.Cpu.Out_of_fuel),
    cpu, stats)

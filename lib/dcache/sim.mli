@@ -32,25 +32,34 @@ type stats = {
       (** cycles charged on top of the baseline machine costs *)
 }
 
-val attach : Config.t -> Machine.Cpu.t -> stats * (unit -> unit)
+val attach :
+  ?tracer:Trace.t -> Config.t -> Machine.Cpu.t -> stats * (unit -> unit)
 (** Install the data-cache model on an existing CPU: hooks classify
     every load and store, and the returned thunk must be invoked after
     each [Machine.Cpu.step] (it watches the stack pointer to detect
     procedure entry and exit). [stats.extra_cycles] accumulates the
     charges; the caller decides when to fold them into the CPU's cycle
     counter. Replaces any load/store hooks already installed — attach
-    the data cache last. *)
+    the data cache last. With [tracer], state transitions (site
+    specialisation / deopt, misses, scache spills and refills) are
+    recorded as structured events; recording never changes behaviour
+    or cost. *)
 
 val run :
   ?cost:Machine.Cost.t ->
   ?fuel:int ->
+  ?tracer:Trace.t ->
   Config.t ->
   Isa.Image.t ->
   Machine.Cpu.outcome * Machine.Cpu.t * stats
 (** Execute the image to completion under the software data cache.
     The observable results are unchanged (the design never alters
     values, only costs); the returned statistics and the CPU's cycle
-    counter carry the measurements. *)
+    counter carry the measurements. With [tracer], its clock is bound
+    to this run's CPU, the channel's frame events are forwarded into
+    the ring, and [stats.extra_cycles] is labelled as dcache overhead
+    in the attribution ledger when folded in, so [Trace.conserved]
+    holds against the final cycle counter. *)
 
 val tag_checks_avoided : stats -> float
 (** Fraction of data accesses that paid no tag check at all (stack

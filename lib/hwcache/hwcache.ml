@@ -4,6 +4,7 @@ type t = {
   ways : int;
   sets : int;
   block_shift : int;
+  set_shift : int; (* log2 sets, fixed by the geometry at create time *)
   tags : int array; (* sets * ways; -1 = invalid *)
   stamps : int array; (* LRU timestamps *)
   mutable clock : int;
@@ -11,11 +12,7 @@ type t = {
   mutable misses : int;
 }
 
-let is_pow2 n = n > 0 && n land (n - 1) = 0
-
-let log2 n =
-  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
-  go 0 n
+let is_pow2 = Bitmath.is_pow2
 
 let create ?(assoc = 1) ?(block_bytes = 16) ~size_bytes () =
   if not (is_pow2 size_bytes) then
@@ -36,7 +33,8 @@ let create ?(assoc = 1) ?(block_bytes = 16) ~size_bytes () =
     block = block_bytes;
     ways;
     sets;
-    block_shift = log2 block_bytes;
+    block_shift = Bitmath.floor_log2 block_bytes;
+    set_shift = Bitmath.floor_log2 sets;
     tags = Array.make nblocks (-1);
     stamps = Array.make nblocks 0;
     clock = 0;
@@ -53,7 +51,7 @@ let access t addr =
   t.clock <- t.clock + 1;
   let blk = addr lsr t.block_shift in
   let set = blk land (t.sets - 1) in
-  let tag = blk lsr log2 t.sets in
+  let tag = blk lsr t.set_shift in
   let base = set * t.ways in
   let rec find i =
     if i = t.ways then None
@@ -90,7 +88,7 @@ let invalidate_all t =
   Array.fill t.stamps 0 (Array.length t.stamps) 0
 
 let tag_overhead ?(addr_bits = 32) ?(valid_bits = 1) t =
-  let tag_bits = addr_bits - log2 t.sets - t.block_shift in
+  let tag_bits = addr_bits - t.set_shift - t.block_shift in
   float_of_int (tag_bits + valid_bits) /. float_of_int (8 * t.block)
 
 let pp ppf t =

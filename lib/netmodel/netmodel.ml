@@ -89,6 +89,9 @@ type t = {
   mutable corruptions : int;
   mutable duplicates : int;
   mutable delay_spikes : int;
+  mutable tracer : Trace.t option;
+      (* observer only: emitting reads nothing back and never touches
+         the rng draw stream or the counters above *)
 }
 
 let create ?(latency_cycles = 0) ?(cycles_per_byte = 0) ?(overhead_bytes = 0)
@@ -105,7 +108,12 @@ let create ?(latency_cycles = 0) ?(cycles_per_byte = 0) ?(overhead_bytes = 0)
     corruptions = 0;
     duplicates = 0;
     delay_spikes = 0;
+    tracer = None;
   }
+
+let set_tracer t tr = t.tracer <- tr
+
+let trace t ev = match t.tracer with Some tr -> Trace.emit tr ev | None -> ()
 
 let local ?faults () = create ?faults ()
 
@@ -119,17 +127,26 @@ let wire_cost t bytes = t.cycles_per_byte * (bytes + t.overhead_bytes)
 let request t ~payload_bytes =
   t.messages <- t.messages + 1;
   t.payload <- t.payload + payload_bytes;
-  t.latency_cycles + wire_cost t payload_bytes
+  let cost = t.latency_cycles + wire_cost t payload_bytes in
+  trace t (Trace.Net_send { bytes = payload_bytes; segments = 1 });
+  trace t (Trace.Net_recv { bytes = payload_bytes; cycles = cost });
+  cost
 
 type error = [ `Dropped of int ]
 
-let transfer t ~payload =
+(* [segments] only annotates the trace events; a batched frame is
+   otherwise indistinguishable from a plain transfer. *)
+let transfer_frame t ~segments ~payload =
   let len = Bytes.length payload in
   t.messages <- t.messages + 1;
   t.payload <- t.payload + len;
+  trace t (Trace.Net_send { bytes = len; segments });
   let cost = ref (t.latency_cycles + wire_cost t len) in
   let f = t.faults in
-  if Faults.is_none f then Ok (!cost, payload)
+  if Faults.is_none f then begin
+    trace t (Trace.Net_recv { bytes = len; cycles = !cost });
+    Ok (!cost, payload)
+  end
   else begin
     let roll p = p > 0. && Rng.float t.rng < p in
     (* fixed roll order per message keeps the schedule deterministic *)
@@ -139,6 +156,7 @@ let transfer t ~payload =
     let spiked = roll f.Faults.delay_spike in
     if spiked then begin
       t.delay_spikes <- t.delay_spikes + 1;
+      trace t (Trace.Net_fault { fault = Trace.Delay_spike });
       cost := !cost + f.Faults.spike_cycles
     end;
     if duplicated && not dropped then begin
@@ -148,23 +166,32 @@ let transfer t ~payload =
       t.duplicates <- t.duplicates + 1;
       t.messages <- t.messages + 1;
       t.payload <- t.payload + len;
+      trace t (Trace.Net_fault { fault = Trace.Duplicate });
       cost := !cost + wire_cost t len
     end;
     if dropped then begin
       t.drops <- t.drops + 1;
+      trace t (Trace.Net_fault { fault = Trace.Drop });
       Error (`Dropped !cost)
     end
     else if corrupted && len > 0 then begin
       t.corruptions <- t.corruptions + 1;
+      trace t (Trace.Net_fault { fault = Trace.Corrupt });
       let received = Bytes.copy payload in
       let bit = Rng.int t.rng (8 * len) in
       let byte = bit lsr 3 in
       Bytes.set received byte
         (Char.chr (Char.code (Bytes.get received byte) lxor (1 lsl (bit land 7))));
+      trace t (Trace.Net_recv { bytes = len; cycles = !cost });
       Ok (!cost, received)
     end
-    else Ok (!cost, payload)
+    else begin
+      trace t (Trace.Net_recv { bytes = len; cycles = !cost });
+      Ok (!cost, payload)
+    end
   end
+
+let transfer t ~payload = transfer_frame t ~segments:1 ~payload
 
 let transfer_batch t ~payloads =
   (* One frame carries every segment, so a batch pays latency and
@@ -172,7 +199,7 @@ let transfer_batch t ~payloads =
      the received bytes back out keeps the per-segment view while the
      rng draw stream stays identical to a single [transfer]. *)
   let frame = Bytes.concat Bytes.empty payloads in
-  match transfer t ~payload:frame with
+  match transfer_frame t ~segments:(List.length payloads) ~payload:frame with
   | Error _ as e -> e
   | Ok (cost, received) ->
       let segments =

@@ -113,4 +113,13 @@ val duplicates : t -> int
 val delay_spikes : t -> int
 
 val reset_stats : t -> unit
+
+val set_tracer : t -> Trace.t option -> unit
+(** Attach (or detach) a structured-event observer: every frame put on
+    the wire, every delivery and every scheduled fault that fires is
+    recorded in the ring, cycle-stamped by the tracer's own clock.
+    Purely observational — counters, costs and the rng draw stream are
+    untouched, so a traced channel behaves identically to an untraced
+    one. *)
+
 val pp : Format.formatter -> t -> unit

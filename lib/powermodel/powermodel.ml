@@ -10,9 +10,7 @@ end
 module Tag_energy = struct
   type t = { tag_bits : int; data_bits : int }
 
-  let log2 n =
-    let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
-    go 0 n
+  let log2 = Bitmath.floor_log2
 
   let of_cache ~size_bytes ~block_bytes ~assoc =
     if size_bytes <= 0 || block_bytes <= 0 || assoc <= 0 then

@@ -1,3 +1,11 @@
+(* RFC-4180 CSV quoting, shared by [Table.to_csv] and [Series.to_csv]:
+   a cell containing a comma, quote or line break is quoted, with
+   embedded quotes doubled. *)
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+  then "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
 module Table = struct
   type t = {
     title : string;
@@ -34,15 +42,7 @@ module Table = struct
     print_newline ()
 
   let to_csv t =
-    let esc s =
-      if
-        String.exists
-          (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r')
-          s
-      then "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
-      else s
-    in
-    let row r = String.concat "," (List.map esc r) in
+    let row r = String.concat "," (List.map csv_escape r) in
     String.concat "\n" (row t.columns :: List.rev_map row t.rows)
 end
 
@@ -65,17 +65,27 @@ module Series = struct
     Printf.printf "  %14s  %12s\n" t.xlabel t.ylabel;
     List.iter
       (fun (x, y) ->
+        (* a negative point under a positive [ymax] yields a negative
+           length; clamp — the bar is simply empty below zero *)
         let n =
           if ymax <= 0.0 then 0
-          else int_of_float (y /. ymax *. float_of_int bar_width +. 0.5)
+          else
+            max 0 (int_of_float (y /. ymax *. float_of_int bar_width +. 0.5))
         in
         Printf.printf "  %14.4g  %12.5g  |%s\n" x y (String.make n '#'))
       pts
 
   let to_csv t =
+    (* labels are caller-supplied free text: quote them like
+       [Table.to_csv] does, or a comma in [xlabel] corrupts the header *)
     String.concat "\n"
-      (Printf.sprintf "%s,%s" t.xlabel t.ylabel
-      :: List.map (fun (x, y) -> Printf.sprintf "%g,%g" x y) (points t))
+      (Printf.sprintf "%s,%s" (csv_escape t.xlabel) (csv_escape t.ylabel)
+      :: List.map
+           (fun (x, y) ->
+             Printf.sprintf "%s,%s"
+               (csv_escape (Printf.sprintf "%g" x))
+               (csv_escape (Printf.sprintf "%g" y)))
+           (points t))
 end
 
 let mean = function
@@ -143,3 +153,31 @@ let prefetch ~issued ~installs ~wasted ~crc_failures ~batches ~batch_chunks
       (Printf.sprintf "%d (%d chunks total, largest %d)" batches batch_chunks
          max_batch_chunks)
   end
+
+let trace_summary ~total ~execute ~translate ~wire ~trap ~dcache ~patch
+    ~scrub ~lookup ~events ~dropped ~capacity =
+  let pct c =
+    if total = 0 then "0.0%"
+    else Printf.sprintf "%.1f%%" (100.0 *. float_of_int c /. float_of_int total)
+  in
+  let row name c = kv name (Printf.sprintf "%d cycles (%s)" c (pct c)) in
+  row "execute" execute;
+  row "translate" translate;
+  row "wire latency" wire;
+  row "trap dispatch" trap;
+  if dcache > 0 then row "dcache overhead" dcache;
+  row "patch" patch;
+  row "scrub" scrub;
+  row "lookup" lookup;
+  kv "attributed total"
+    (Printf.sprintf "%d cycles%s"
+       (execute + translate + wire + trap + dcache + patch + scrub + lookup)
+       (if execute + translate + wire + trap + dcache + patch + scrub + lookup
+           = total
+        then " (conserved)"
+        else Printf.sprintf " — DOES NOT CONSERVE against %d" total));
+  kv "events"
+    (Printf.sprintf "%d recorded%s (ring capacity %d)" events
+       (if dropped > 0 then Printf.sprintf ", %d dropped on wrap" dropped
+        else "")
+       capacity)

@@ -3,6 +3,11 @@
     Plain-text tables, data series (the "figures"), ASCII bar charts
     and CSV output, plus the summary statistics the harness reports. *)
 
+val csv_escape : string -> string
+(** RFC-4180 CSV quoting: a cell containing a comma, double quote or
+    CR/LF is double-quoted with embedded quotes doubled; anything else
+    passes through. Shared by [Table.to_csv] and [Series.to_csv]. *)
+
 module Table : sig
   type t
 
@@ -34,9 +39,12 @@ module Series : sig
 
   val print : ?bar_width:int -> t -> unit
   (** Render as an aligned x/y listing with proportional ASCII bars —
-      the textual stand-in for the paper's figures. *)
+      the textual stand-in for the paper's figures. Bar lengths are
+      clamped to zero for negative points (they render as an empty
+      bar, never a crash). *)
 
   val to_csv : t -> string
+  (** Header and cells quoted like [Table.to_csv] ([csv_escape]). *)
 end
 
 val mean : float list -> float
@@ -86,3 +94,22 @@ val prefetch :
   unit
 (** Prefetch and batching summary as [kv] rows. Prints nothing when
     every counter is zero, so prefetch-off runs stay unchanged. *)
+
+val trace_summary :
+  total:int ->
+  execute:int ->
+  translate:int ->
+  wire:int ->
+  trap:int ->
+  dcache:int ->
+  patch:int ->
+  scrub:int ->
+  lookup:int ->
+  events:int ->
+  dropped:int ->
+  capacity:int ->
+  unit
+(** Cycle-attribution summary as [kv] rows: per-category cycles with
+    their share of [total] (the CPU cycle counter), whether the
+    categories conserve against it, and the event-ring occupancy
+    including events dropped on wrap. *)

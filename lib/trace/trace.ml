@@ -1,0 +1,686 @@
+type fault = Drop | Corrupt | Duplicate | Delay_spike
+
+type event =
+  | Cc_miss of { pc : int }
+  | Cc_translated of { chunk : int; base : int; words : int }
+  | Cc_backpatch of { site : int; target : int }
+  | Cc_evict of { chunk : int; base : int; bytes : int; incoming : int }
+  | Cc_flush of { chunks : int }
+  | Cc_invalidate of { chunks : int }
+  | Cc_staged_install of { chunk : int }
+  | Cc_retry of { chunk : int; attempt : int }
+  | Tc_alloc of { chunk : int; base : int; bytes : int }
+  | Net_send of { bytes : int; segments : int }
+  | Net_recv of { bytes : int; cycles : int }
+  | Net_fault of { fault : fault }
+  | Dc_specialise of { site : int }
+  | Dc_deopt of { site : int }
+  | Dc_miss of { addr : int }
+  | Dc_spill of { words : int }
+  | Dc_refill of { words : int }
+
+let fault_name = function
+  | Drop -> "drop"
+  | Corrupt -> "corrupt"
+  | Duplicate -> "duplicate"
+  | Delay_spike -> "delay_spike"
+
+let event_type = function
+  | Cc_miss _ -> "cc_miss"
+  | Cc_translated _ -> "cc_translated"
+  | Cc_backpatch _ -> "cc_backpatch"
+  | Cc_evict _ -> "cc_evict"
+  | Cc_flush _ -> "cc_flush"
+  | Cc_invalidate _ -> "cc_invalidate"
+  | Cc_staged_install _ -> "cc_staged_install"
+  | Cc_retry _ -> "cc_retry"
+  | Tc_alloc _ -> "tc_alloc"
+  | Net_send _ -> "net_send"
+  | Net_recv _ -> "net_recv"
+  | Net_fault _ -> "net_fault"
+  | Dc_specialise _ -> "dc_specialise"
+  | Dc_deopt _ -> "dc_deopt"
+  | Dc_miss _ -> "dc_miss"
+  | Dc_spill _ -> "dc_spill"
+  | Dc_refill _ -> "dc_refill"
+
+(* The JSONL schema: every event is its type tag plus these integer
+   fields (faults carry a string). Exporters and the validator are both
+   derived from this single description so they cannot drift. *)
+let fields = function
+  | Cc_miss { pc } -> [ ("pc", pc) ]
+  | Cc_translated { chunk; base; words } ->
+      [ ("chunk", chunk); ("base", base); ("words", words) ]
+  | Cc_backpatch { site; target } -> [ ("site", site); ("target", target) ]
+  | Cc_evict { chunk; base; bytes; incoming } ->
+      [ ("chunk", chunk); ("base", base); ("bytes", bytes);
+        ("incoming", incoming) ]
+  | Cc_flush { chunks } -> [ ("chunks", chunks) ]
+  | Cc_invalidate { chunks } -> [ ("chunks", chunks) ]
+  | Cc_staged_install { chunk } -> [ ("chunk", chunk) ]
+  | Cc_retry { chunk; attempt } -> [ ("chunk", chunk); ("attempt", attempt) ]
+  | Tc_alloc { chunk; base; bytes } ->
+      [ ("chunk", chunk); ("base", base); ("bytes", bytes) ]
+  | Net_send { bytes; segments } ->
+      [ ("bytes", bytes); ("segments", segments) ]
+  | Net_recv { bytes; cycles } -> [ ("bytes", bytes); ("cycles", cycles) ]
+  | Net_fault _ -> []
+  | Dc_specialise { site } -> [ ("site", site) ]
+  | Dc_deopt { site } -> [ ("site", site) ]
+  | Dc_miss { addr } -> [ ("addr", addr) ]
+  | Dc_spill { words } -> [ ("words", words) ]
+  | Dc_refill { words } -> [ ("words", words) ]
+
+let schema_fields = function
+  | "cc_miss" -> Some [ "pc" ]
+  | "cc_translated" -> Some [ "chunk"; "base"; "words" ]
+  | "cc_backpatch" -> Some [ "site"; "target" ]
+  | "cc_evict" -> Some [ "chunk"; "base"; "bytes"; "incoming" ]
+  | "cc_flush" | "cc_invalidate" -> Some [ "chunks" ]
+  | "cc_staged_install" -> Some [ "chunk" ]
+  | "cc_retry" -> Some [ "chunk"; "attempt" ]
+  | "tc_alloc" -> Some [ "chunk"; "base"; "bytes" ]
+  | "net_send" -> Some [ "bytes"; "segments" ]
+  | "net_recv" -> Some [ "bytes"; "cycles" ]
+  | "net_fault" -> Some []
+  | "dc_specialise" | "dc_deopt" -> Some [ "site" ]
+  | "dc_miss" -> Some [ "addr" ]
+  | "dc_spill" | "dc_refill" -> Some [ "words" ]
+  | _ -> None
+
+let pp_event ppf ev =
+  Format.fprintf ppf "%s" (event_type ev);
+  (match ev with
+  | Net_fault { fault } -> Format.fprintf ppf " fault=%s" (fault_name fault)
+  | _ -> ());
+  List.iter (fun (k, v) -> Format.fprintf ppf " %s=%d" k v) (fields ev)
+
+(* ---------------------------------------------------------------- *)
+
+type t = {
+  ring : (int * event) array;
+  cap : int;
+  mutable n : int;  (* total emitted, including overwritten *)
+  mutable clock : unit -> int;
+  mutable last_sync : int;
+  mutable execute : int;
+  mutable translate : int;
+  mutable wire : int;
+  mutable trap : int;
+  mutable dcache : int;
+  mutable patch : int;
+  mutable scrub : int;
+  mutable lookup : int;
+}
+
+let create ?(limit = 65536) () =
+  if limit <= 0 then invalid_arg "Trace.create: limit must be positive";
+  {
+    ring = Array.make limit (0, Cc_flush { chunks = 0 });
+    cap = limit;
+    n = 0;
+    clock = (fun () -> 0);
+    last_sync = 0;
+    execute = 0;
+    translate = 0;
+    wire = 0;
+    trap = 0;
+    dcache = 0;
+    patch = 0;
+    scrub = 0;
+    lookup = 0;
+  }
+
+let set_clock t f =
+  t.clock <- f;
+  t.last_sync <- f ()
+
+let emit t ev =
+  t.ring.(t.n mod t.cap) <- (t.clock (), ev);
+  t.n <- t.n + 1
+
+let emitted t = t.n
+let dropped t = if t.n > t.cap then t.n - t.cap else 0
+let capacity t = t.cap
+
+let events t =
+  let len = min t.n t.cap in
+  let first = if t.n > t.cap then t.n mod t.cap else 0 in
+  List.init len (fun i -> t.ring.((first + i) mod t.cap))
+
+(* ---- cycle attribution ----------------------------------------- *)
+
+type category =
+  | Execute
+  | Translate
+  | Wire
+  | Trap
+  | Dcache
+  | Patch
+  | Scrub
+  | Lookup
+
+let bump t cat c =
+  match cat with
+  | Execute -> t.execute <- t.execute + c
+  | Translate -> t.translate <- t.translate + c
+  | Wire -> t.wire <- t.wire + c
+  | Trap -> t.trap <- t.trap + c
+  | Dcache -> t.dcache <- t.dcache + c
+  | Patch -> t.patch <- t.patch + c
+  | Scrub -> t.scrub <- t.scrub + c
+  | Lookup -> t.lookup <- t.lookup + c
+
+let attribute t cat c =
+  let now = t.clock () in
+  t.execute <- t.execute + (now - t.last_sync);
+  bump t cat c;
+  t.last_sync <- now + c
+
+let attribute_included t cat c =
+  let now = t.clock () in
+  t.execute <- t.execute + (now - c - t.last_sync);
+  bump t cat c;
+  t.last_sync <- now
+
+let sync t =
+  let now = t.clock () in
+  t.execute <- t.execute + (now - t.last_sync);
+  t.last_sync <- now
+
+type summary = {
+  s_execute : int;
+  s_translate : int;
+  s_wire : int;
+  s_trap : int;
+  s_dcache : int;
+  s_patch : int;
+  s_scrub : int;
+  s_lookup : int;
+  s_total : int;
+  s_emitted : int;
+  s_dropped : int;
+  s_capacity : int;
+}
+
+let summary t =
+  sync t;
+  {
+    s_execute = t.execute;
+    s_translate = t.translate;
+    s_wire = t.wire;
+    s_trap = t.trap;
+    s_dcache = t.dcache;
+    s_patch = t.patch;
+    s_scrub = t.scrub;
+    s_lookup = t.lookup;
+    s_total =
+      t.execute + t.translate + t.wire + t.trap + t.dcache + t.patch
+      + t.scrub + t.lookup;
+    s_emitted = t.n;
+    s_dropped = dropped t;
+    s_capacity = t.cap;
+  }
+
+let conserved t ~total = (summary t).s_total = total
+
+(* ---- exporters -------------------------------------------------- *)
+
+let json_escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let add_event_fields b ev =
+  (match ev with
+  | Net_fault { fault } ->
+      Buffer.add_string b ",\"fault\":\"";
+      json_escape b (fault_name fault);
+      Buffer.add_string b "\""
+  | _ -> ());
+  List.iter
+    (fun (k, v) -> Buffer.add_string b (Printf.sprintf ",%S:%d" k v))
+    (fields ev)
+
+let to_jsonl t =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun (cycle, ev) ->
+      Buffer.add_string b
+        (Printf.sprintf "{\"cycle\":%d,\"type\":%S" cycle (event_type ev));
+      add_event_fields b ev;
+      Buffer.add_string b "}\n")
+    (events t);
+  Buffer.contents b
+
+(* Chrome trace-event rendering: one process, one thread per layer,
+   instant events for every ring entry, and tcache residency as async
+   spans keyed by chunk id. A single chronological pass keeps the
+   timestamps nondecreasing across the whole file. *)
+
+let tid_of_event ev =
+  match ev with
+  | Cc_miss _ | Cc_translated _ | Cc_backpatch _ | Cc_evict _ | Cc_flush _
+  | Cc_invalidate _ | Cc_staged_install _ | Cc_retry _ ->
+      1
+  | Tc_alloc _ -> 2
+  | Net_send _ | Net_recv _ | Net_fault _ -> 3
+  | Dc_specialise _ | Dc_deopt _ | Dc_miss _ | Dc_spill _ | Dc_refill _ -> 4
+
+let residency_tid = 5
+
+let to_chrome t =
+  let b = Buffer.create 8192 in
+  let sep = ref "" in
+  let add fmt =
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string b !sep;
+        sep := ",\n";
+        Buffer.add_string b s)
+      fmt
+  in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  List.iter
+    (fun (tid, name) ->
+      add
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":%S}}"
+        tid name)
+    [
+      (1, "controller");
+      (2, "tcache");
+      (3, "network");
+      (4, "dcache");
+      (residency_tid, "tcache residency");
+    ];
+  let open_spans = Hashtbl.create 64 in
+  let span ph cycle chunk =
+    add
+      "{\"name\":\"chunk-%x\",\"cat\":\"residency\",\"ph\":%S,\"id\":%d,\"ts\":%d,\"pid\":1,\"tid\":%d}"
+      chunk ph chunk cycle residency_tid
+  in
+  let open_span cycle chunk =
+    if Hashtbl.mem open_spans chunk then span "e" cycle chunk;
+    Hashtbl.replace open_spans chunk ();
+    span "b" cycle chunk
+  in
+  let close_span cycle chunk =
+    if Hashtbl.mem open_spans chunk then begin
+      Hashtbl.remove open_spans chunk;
+      span "e" cycle chunk
+    end
+  in
+  let close_all cycle =
+    let chunks = Hashtbl.fold (fun k () acc -> k :: acc) open_spans [] in
+    List.iter (close_span cycle) (List.sort compare chunks)
+  in
+  let last_cycle = ref 0 in
+  List.iter
+    (fun (cycle, ev) ->
+      last_cycle := cycle;
+      let eb = Buffer.create 64 in
+      add_event_fields eb ev;
+      (* drop the leading comma of the field rendering *)
+      let args = Buffer.contents eb in
+      let args = if args = "" then "" else String.sub args 1 (String.length args - 1) in
+      add
+        "{\"name\":%S,\"ph\":\"i\",\"s\":\"t\",\"ts\":%d,\"pid\":1,\"tid\":%d,\"args\":{%s}}"
+        (event_type ev) cycle (tid_of_event ev) args;
+      (* the controller emits a [Cc_evict] per victim on every path —
+         FIFO eviction, invalidation and flush (where pinned blocks
+         survive) — so eviction events alone delimit residency *)
+      match ev with
+      | Cc_translated { chunk; _ } -> open_span cycle chunk
+      | Cc_evict { chunk; _ } -> close_span cycle chunk
+      | _ -> ())
+    (events t);
+  close_all !last_cycle;
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b
+
+let export t ~format path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc
+        (match format with `Jsonl -> to_jsonl t | `Chrome -> to_chrome t))
+
+(* ---- minimal JSON parser (no external deps available) ----------- *)
+
+module Json = struct
+  type value =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of value list
+    | Obj of (string * value) list
+
+  exception Fail of string
+
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Fail (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let skip_ws () =
+      while
+        !pos < n
+        && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+      do
+        advance ()
+      done
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected %C" c)
+    in
+    let literal lit v =
+      let l = String.length lit in
+      if !pos + l <= n && String.sub s !pos l = lit then begin
+        pos := !pos + l;
+        v
+      end
+      else fail (Printf.sprintf "expected %s" lit)
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string";
+        match s.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+            advance ();
+            (if !pos >= n then fail "unterminated escape"
+             else
+               match s.[!pos] with
+               | '"' -> Buffer.add_char b '"'; advance ()
+               | '\\' -> Buffer.add_char b '\\'; advance ()
+               | '/' -> Buffer.add_char b '/'; advance ()
+               | 'n' -> Buffer.add_char b '\n'; advance ()
+               | 't' -> Buffer.add_char b '\t'; advance ()
+               | 'r' -> Buffer.add_char b '\r'; advance ()
+               | 'b' -> Buffer.add_char b '\b'; advance ()
+               | 'f' -> Buffer.add_char b '\012'; advance ()
+               | 'u' ->
+                   advance ();
+                   if !pos + 4 > n then fail "truncated \\u escape";
+                   let hex = String.sub s !pos 4 in
+                   let code =
+                     try int_of_string ("0x" ^ hex)
+                     with _ -> fail "bad \\u escape"
+                   in
+                   pos := !pos + 4;
+                   (* enough for our ASCII-only exports *)
+                   if code < 0x80 then Buffer.add_char b (Char.chr code)
+                   else Buffer.add_string b (Printf.sprintf "\\u%s" hex)
+               | c -> fail (Printf.sprintf "bad escape %C" c));
+            go ()
+        | c when Char.code c < 0x20 -> fail "control char in string"
+        | c ->
+            Buffer.add_char b c;
+            advance ();
+            go ()
+      in
+      go ();
+      Buffer.contents b
+    in
+    let parse_number () =
+      let start = !pos in
+      let numchar c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < n && numchar s.[!pos] do
+        advance ()
+      done;
+      let lit = String.sub s start (!pos - start) in
+      match float_of_string_opt lit with
+      | Some f -> f
+      | None -> fail (Printf.sprintf "bad number %S" lit)
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then begin
+            advance ();
+            Obj []
+          end
+          else begin
+            let rec members acc =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  members ((k, v) :: acc)
+              | Some '}' ->
+                  advance ();
+                  List.rev ((k, v) :: acc)
+              | _ -> fail "expected ',' or '}'"
+            in
+            Obj (members [])
+          end
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then begin
+            advance ();
+            Arr []
+          end
+          else begin
+            let rec elements acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  elements (v :: acc)
+              | Some ']' ->
+                  advance ();
+                  List.rev (v :: acc)
+              | _ -> fail "expected ',' or ']'"
+            in
+            Arr (elements [])
+          end
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> Num (parse_number ())
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then fail "trailing garbage";
+      v
+    with
+    | v -> Ok v
+    | exception Fail msg -> Error msg
+
+  let member k = function
+    | Obj kvs -> List.assoc_opt k kvs
+    | _ -> None
+end
+
+(* ---- schema validation ------------------------------------------ *)
+
+module Schema = struct
+  let int_member k v =
+    match Json.member k v with
+    | Some (Json.Num f) when Float.is_integer f -> Some (int_of_float f)
+    | _ -> None
+
+  let validate_event_obj v =
+    match v with
+    | Json.Obj kvs -> (
+        match int_member "cycle" v with
+        | None -> Error "missing or non-integer \"cycle\""
+        | Some c when c < 0 -> Error "negative \"cycle\""
+        | Some _ -> (
+            match Json.member "type" v with
+            | Some (Json.Str ty) -> (
+                match schema_fields ty with
+                | None -> Error (Printf.sprintf "unknown event type %S" ty)
+                | Some required ->
+                    let missing =
+                      List.filter
+                        (fun f -> int_member f v = None)
+                        required
+                    in
+                    let extra =
+                      List.filter
+                        (fun (k, _) ->
+                          (not (List.mem k required))
+                          && k <> "cycle" && k <> "type"
+                          && not (ty = "net_fault" && k = "fault"))
+                        kvs
+                    in
+                    if missing <> [] then
+                      Error
+                        (Printf.sprintf "%s: missing field %S" ty
+                           (List.hd missing))
+                    else if extra <> [] then
+                      Error
+                        (Printf.sprintf "%s: unexpected field %S" ty
+                           (fst (List.hd extra)))
+                    else if
+                      ty = "net_fault"
+                      &&
+                      match Json.member "fault" v with
+                      | Some (Json.Str ("drop" | "corrupt" | "duplicate" | "delay_spike")) ->
+                          false
+                      | _ -> true
+                    then Error "net_fault: bad \"fault\" value"
+                    else Ok ())
+            | _ -> Error "missing or non-string \"type\""))
+    | _ -> Error "event is not an object"
+
+  let validate_jsonl_line line =
+    match Json.parse line with
+    | Error e -> Error (Printf.sprintf "malformed JSON: %s" e)
+    | Ok v -> validate_event_obj v
+
+  let validate_jsonl text =
+    let lines = String.split_on_char '\n' text in
+    let rec go i count = function
+      | [] -> Ok count
+      | "" :: rest -> go (i + 1) count rest
+      | line :: rest -> (
+          match validate_jsonl_line line with
+          | Ok () -> go (i + 1) (count + 1) rest
+          | Error e -> Error (Printf.sprintf "line %d: %s" i e))
+    in
+    go 1 0 lines
+
+  let validate_chrome text =
+    match Json.parse text with
+    | Error e -> Error (Printf.sprintf "malformed JSON: %s" e)
+    | Ok v -> (
+        match Json.member "traceEvents" v with
+        | Some (Json.Arr evs) ->
+            let last_ts = ref neg_infinity in
+            let open_async = Hashtbl.create 16 in
+            let rec go i count = function
+              | [] ->
+                  if Hashtbl.length open_async > 0 then
+                    Error "unclosed async span"
+                  else Ok count
+              | e :: rest -> (
+                  let str k =
+                    match Json.member k e with
+                    | Some (Json.Str s) -> Some s
+                    | _ -> None
+                  in
+                  let num k =
+                    match Json.member k e with
+                    | Some (Json.Num f) -> Some f
+                    | _ -> None
+                  in
+                  match (str "name", str "ph", num "pid", num "tid") with
+                  | None, _, _, _ ->
+                      Error (Printf.sprintf "event %d: missing name" i)
+                  | _, None, _, _ ->
+                      Error (Printf.sprintf "event %d: missing ph" i)
+                  | _, _, None, _ ->
+                      Error (Printf.sprintf "event %d: missing pid" i)
+                  | _, _, _, None ->
+                      Error (Printf.sprintf "event %d: missing tid" i)
+                  | Some _, Some "M", Some _, Some _ ->
+                      go (i + 1) (count + 1) rest
+                  | Some _, Some ph, Some _, Some _ -> (
+                      match num "ts" with
+                      | None ->
+                          Error (Printf.sprintf "event %d: missing ts" i)
+                      | Some ts when ts < !last_ts ->
+                          Error
+                            (Printf.sprintf
+                               "event %d: ts %g goes backwards (last %g)" i
+                               ts !last_ts)
+                      | Some ts -> (
+                          last_ts := ts;
+                          match ph with
+                          | "b" -> (
+                              match num "id" with
+                              | None ->
+                                  Error
+                                    (Printf.sprintf
+                                       "event %d: async begin without id" i)
+                              | Some id ->
+                                  if Hashtbl.mem open_async id then
+                                    Error
+                                      (Printf.sprintf
+                                         "event %d: nested async begin id %g"
+                                         i id)
+                                  else begin
+                                    Hashtbl.replace open_async id ();
+                                    go (i + 1) (count + 1) rest
+                                  end)
+                          | "e" -> (
+                              match num "id" with
+                              | None ->
+                                  Error
+                                    (Printf.sprintf
+                                       "event %d: async end without id" i)
+                              | Some id ->
+                                  if Hashtbl.mem open_async id then begin
+                                    Hashtbl.remove open_async id;
+                                    go (i + 1) (count + 1) rest
+                                  end
+                                  else
+                                    Error
+                                      (Printf.sprintf
+                                         "event %d: async end without begin \
+                                          (id %g)"
+                                         i id))
+                          | "i" -> go (i + 1) (count + 1) rest
+                          | ph ->
+                              Error
+                                (Printf.sprintf "event %d: unexpected ph %S"
+                                   i ph))))
+            in
+            go 0 0 evs
+        | _ -> Error "missing \"traceEvents\" array")
+end

@@ -1,0 +1,194 @@
+(** Cycle-stamped structured event tracing.
+
+    A bounded ring of typed events recorded from every layer of the
+    simulator — controller (miss / translate / backpatch / evict /
+    flush / invalidate / staged install), tcache placement, netmodel
+    frames and faults, and dcache-sim transitions — plus an exact
+    cycle-attribution ledger splitting [cpu.cycles] into execute,
+    translate, wire, trap-dispatch, dcache-overhead, patch, scrub and
+    lookup categories.
+
+    The tracer is architecturally invisible: recording an event only
+    appends to the ring and never touches cycle counters, statistics,
+    or the netmodel rng draw stream, so a traced run is cycle- and
+    counter-identical to an untraced one ([Check.Lockstep.trace] proves
+    this across the workload registry). The attribution ledger
+    conserves: the categories sum exactly to the CPU cycle counter
+    ([conserved], enforced by [Check.Audit] when a tracer is
+    attached).
+
+    When the ring wraps, the oldest events are overwritten and
+    [dropped] counts them — overflow is reported, never silent. *)
+
+(** {1 Events} *)
+
+type fault = Drop | Corrupt | Duplicate | Delay_spike
+
+type event =
+  | Cc_miss of { pc : int }  (** trap taken on a non-resident target *)
+  | Cc_translated of { chunk : int; base : int; words : int }
+      (** chunk [chunk] rewritten into the tcache at [base] *)
+  | Cc_backpatch of { site : int; target : int }
+      (** exit at [site] rewritten to jump straight to [target] *)
+  | Cc_evict of { chunk : int; base : int; bytes : int; incoming : int }
+      (** FIFO victim unlinked ([incoming] = inbound sites reverted) *)
+  | Cc_flush of { chunks : int }  (** whole-tcache flush of [chunks] chunks *)
+  | Cc_invalidate of { chunks : int }
+      (** image-write invalidation dropping [chunks] chunks *)
+  | Cc_staged_install of { chunk : int }
+      (** prefetched chunk installed from the staging buffer *)
+  | Cc_retry of { chunk : int; attempt : int }
+      (** re-request after a dropped or corrupted frame *)
+  | Tc_alloc of { chunk : int; base : int; bytes : int }
+      (** tcache placement decision for a chunk body *)
+  | Net_send of { bytes : int; segments : int }
+      (** frame put on the wire ([segments] > 1 for a batched frame) *)
+  | Net_recv of { bytes : int; cycles : int }
+      (** frame delivered after [cycles] on the wire *)
+  | Net_fault of { fault : fault }  (** scheduled fault fired *)
+  | Dc_specialise of { site : int }  (** site rewritten to a direct access *)
+  | Dc_deopt of { site : int }  (** specialised site torn down *)
+  | Dc_miss of { addr : int }  (** software data cache miss *)
+  | Dc_spill of { words : int }  (** scache frame spilled to memory *)
+  | Dc_refill of { words : int }  (** scache frame refilled *)
+
+val event_type : event -> string
+(** Stable snake_case tag, e.g. ["cc_miss"] — the ["type"] field of the
+    JSONL schema and the Chrome event name. *)
+
+val pp_event : Format.formatter -> event -> unit
+
+(** {1 Tracer} *)
+
+type t
+
+val create : ?limit:int -> unit -> t
+(** Ring capacity [limit] (default 65536, must be > 0).
+    @raise Invalid_argument if [limit <= 0]. *)
+
+val set_clock : t -> (unit -> int) -> unit
+(** Install the cycle source (normally [fun () -> cpu.cycles]); also
+    re-bases the attribution ledger at the clock's current value. *)
+
+val emit : t -> event -> unit
+(** Record one event at the current clock. Never raises, never touches
+    simulator state. *)
+
+val events : t -> (int * event) list
+(** Retained [(cycle, event)] pairs, chronological. At most [capacity]
+    entries; the oldest are dropped first on overflow. *)
+
+val emitted : t -> int
+(** Total events recorded, including overwritten ones. *)
+
+val dropped : t -> int
+(** Events lost to ring overflow: [max 0 (emitted - capacity)]. *)
+
+val capacity : t -> int
+
+(** {1 Cycle attribution}
+
+    The ledger splits the CPU cycle counter by cause. Explicit charges
+    are labelled at the charge site ([attribute] before the charge
+    lands, [attribute_included] after — used for the trap-dispatch cost
+    the CPU adds itself); everything between two labelled charges is
+    ordinary execution and is swept into [execute] as the residual.
+    [sync] folds the residual up to the present; it is idempotent and
+    called implicitly by [summary] and [conserved]. *)
+
+type category =
+  | Execute  (** instruction execution (the residual) *)
+  | Translate  (** miss bookkeeping + per-word rewriting *)
+  | Wire  (** interconnect latency, backoff, timeouts *)
+  | Trap  (** trap dispatch into the CC *)
+  | Dcache  (** software data-cache overhead *)
+  | Patch  (** code-word rewrites: backpatch, unlink, stubs *)
+  | Scrub  (** stack scans for live landing pads *)
+  | Lookup  (** tcache-map hash probes *)
+
+val attribute : t -> category -> int -> unit
+(** [attribute t cat c]: charge of [c] cycles about to land on the CPU
+    counter belongs to [cat]. *)
+
+val attribute_included : t -> category -> int -> unit
+(** Like [attribute], for a charge of [c] cycles that is already
+    included in the current clock value. *)
+
+val sync : t -> unit
+
+type summary = {
+  s_execute : int;
+  s_translate : int;
+  s_wire : int;
+  s_trap : int;
+  s_dcache : int;
+  s_patch : int;
+  s_scrub : int;
+  s_lookup : int;
+  s_total : int;  (** sum of all categories *)
+  s_emitted : int;
+  s_dropped : int;
+  s_capacity : int;
+}
+
+val summary : t -> summary
+
+val conserved : t -> total:int -> bool
+(** [conserved t ~total] — do the attributed categories sum exactly to
+    [total] (the CPU cycle counter)? The conservation law checked by
+    [Check.Audit]. *)
+
+(** {1 Exporters} *)
+
+val to_jsonl : t -> string
+(** One JSON object per line:
+    [{"cycle":C,"type":"cc_miss","pc":N}]. *)
+
+val to_chrome : t -> string
+(** Chrome trace-event JSON (open in Perfetto / [chrome://tracing]):
+    one instant event per ring entry on a per-layer thread, plus
+    per-chunk tcache-residency intervals as async spans ([ph:"b"/"e"])
+    reconstructed from translate / evict / flush events. Timestamps are
+    cycles and are emitted in nondecreasing order. *)
+
+val export : t -> format:[ `Jsonl | `Chrome ] -> string -> unit
+(** Write the chosen rendering to a file. *)
+
+(** {1 JSON utilities}
+
+    A dependency-free JSON parser, enough to validate our own
+    exports — the test suite and the bench smoke gate check every JSONL
+    line against the event schema and the Chrome export for
+    well-formedness and timestamp monotonicity. *)
+
+module Json : sig
+  type value =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of value list
+    | Obj of (string * value) list
+
+  val parse : string -> (value, string) result
+  (** Parse a complete JSON document (trailing whitespace allowed). *)
+
+  val member : string -> value -> value option
+  (** Field lookup in an [Obj]. *)
+end
+
+module Schema : sig
+  val validate_jsonl_line : string -> (unit, string) result
+  (** Is this line a well-formed event object: a ["cycle"] >= 0, a
+      known ["type"], exactly the fields that type requires? *)
+
+  val validate_jsonl : string -> (int, string) result
+  (** Validate every non-empty line; returns the number of events or
+      the first error (prefixed with its line number). *)
+
+  val validate_chrome : string -> (int, string) result
+  (** Well-formed JSON, a ["traceEvents"] array whose entries carry
+      [name]/[ph]/[pid]/[tid], with ["ts"] nondecreasing across the
+      file and every async begin matched by an end. Returns the number
+      of trace events. *)
+end

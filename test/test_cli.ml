@@ -64,6 +64,79 @@ let test_run_dead_link_exit_3 () =
   Alcotest.(check int) "exit code" 3 code;
   expect_contains out "status" "unavailable"
 
+let test_run_traced () =
+  (* --trace writes a schema-shaped JSONL file, prints the attribution
+     summary, and the traced run still exits clean *)
+  let out_file = Filename.temp_file "softcache_trace" ".jsonl" in
+  let code, out =
+    run_cli
+      [
+        "run"; "sensor_modes"; "--tcache"; "2048"; "--trace"; out_file;
+        "--trace-limit"; "50000";
+      ]
+  in
+  let trace_text = In_channel.with_open_text out_file In_channel.input_all in
+  Sys.remove out_file;
+  Alcotest.(check int) "exit code" 0 code;
+  expect_contains out "trace row" "trace";
+  expect_contains out "attribution rows" "execute";
+  expect_contains out "conservation marker" "(conserved)";
+  expect_contains out "ring occupancy" "ring capacity";
+  Alcotest.(check bool) "file is non-empty jsonl" true
+    (String.length trace_text > 0 && trace_text.[0] = '{');
+  expect_contains trace_text "cycle stamps" "\"cycle\":";
+  expect_contains trace_text "event types" "\"type\":\"cc_translated\""
+
+let test_run_traced_chrome () =
+  let out_file = Filename.temp_file "softcache_trace" ".json" in
+  let code, _ =
+    run_cli
+      [
+        "run"; "sensor_modes"; "--tcache"; "2048"; "--trace"; out_file;
+        "--trace-format"; "chrome";
+      ]
+  in
+  let trace_text = In_channel.with_open_text out_file In_channel.input_all in
+  Sys.remove out_file;
+  Alcotest.(check int) "exit code" 0 code;
+  expect_contains trace_text "chrome envelope" "\"traceEvents\"";
+  expect_contains trace_text "thread metadata" "\"thread_name\"";
+  expect_contains trace_text "residency spans" "\"residency\""
+
+let test_trace_is_invisible_in_output () =
+  (* the cycle counts printed with and without --trace must be
+     identical — the user-facing face of the zero-perturbation rule *)
+  let file = Filename.temp_file "softcache_trace" ".jsonl" in
+  let _, plain = run_cli [ "run"; "sensor_modes"; "--tcache"; "2048" ] in
+  let _, traced =
+    run_cli [ "run"; "sensor_modes"; "--tcache"; "2048"; "--trace"; file ]
+  in
+  Sys.remove file;
+  let cycles_line text =
+    List.find_opt
+      (fun l -> contains l "softcache cycles")
+      (String.split_on_char '\n' text)
+  in
+  match (cycles_line plain, cycles_line traced) with
+  | Some a, Some b -> Alcotest.(check string) "identical cycle row" a b
+  | _ -> Alcotest.fail "missing softcache cycles row"
+
+let test_bad_trace_args_rejected () =
+  let code, _ =
+    run_cli [ "run"; "sensor_modes"; "--trace-format"; "xml" ]
+  in
+  Alcotest.(check bool) "unknown format rejected" true (code <> 0)
+
+let test_dcache_traced () =
+  let out_file = Filename.temp_file "softcache_dtrace" ".jsonl" in
+  let code, out = run_cli [ "dcache"; "cjpeg"; "--trace"; out_file ] in
+  let trace_text = In_channel.with_open_text out_file In_channel.input_all in
+  Sys.remove out_file;
+  Alcotest.(check int) "exit code" 0 code;
+  expect_contains out "attribution row" "dcache overhead";
+  expect_contains out "conservation marker" "(conserved)";
+  Alcotest.(check bool) "file is non-empty" true (String.length trace_text > 0)
+
 let test_bad_faults_spec_rejected () =
   let code, _ =
     run_cli [ "run"; "sensor_modes"; "--faults"; "drop=eleven" ]
@@ -86,5 +159,17 @@ let () =
             test_run_dead_link_exit_3;
           Alcotest.test_case "bad --faults rejected" `Quick
             test_bad_faults_spec_rejected;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "--trace writes jsonl + summary" `Quick
+            test_run_traced;
+          Alcotest.test_case "--trace-format chrome" `Quick
+            test_run_traced_chrome;
+          Alcotest.test_case "cycle counts unchanged by --trace" `Quick
+            test_trace_is_invisible_in_output;
+          Alcotest.test_case "bad --trace-format rejected" `Quick
+            test_bad_trace_args_rejected;
+          Alcotest.test_case "dcache --trace" `Quick test_dcache_traced;
         ] );
     ]

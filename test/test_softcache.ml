@@ -527,8 +527,12 @@ let test_stats_consistency () =
     (s.translated_words >= s.translations);
   Alcotest.(check bool)
     "eviction events sum to evicted blocks" true
-    (List.fold_left (fun a (_, n) -> a + n) 0 s.eviction_events
-    = s.evicted_blocks);
+    (Softcache.Stats.eviction_dropped s = 0
+    && List.fold_left
+         (fun a (_, n) -> a + n)
+         0
+         (Softcache.Stats.eviction_series s)
+       = s.evicted_blocks);
   Alcotest.(check bool)
     "events stamped in nondecreasing cycle order" true
     (let series = Softcache.Stats.eviction_series s in
