@@ -693,6 +693,67 @@ let faultsweep () =
 let failures = ref 0
 
 (* ------------------------------------------------------------------ *)
+(* Shared harness plumbing. Every sweep used to hand-roll these three
+   things — registry iteration, best-of-N wall timing, and the
+   BENCH_*.json emitter — and each new sweep copied the previous one's
+   version. One copy each, used by prefetchsweep, micro_engines,
+   tracesmoke and policysweep. *)
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      incr failures;
+      Report.kv "FAIL" s)
+    fmt
+
+(* Map over the workload registry, building each image once. *)
+let over_registry f =
+  List.map
+    (fun (e : Workloads.Registry.entry) -> f e (e.build ()))
+    Workloads.Registry.all
+
+(* Host wall time of [run (mk ())]: one warmup, then best of [n] —
+   construction stays outside the timed region, and best-of damps
+   scheduler noise on shared CI runners. *)
+let best_of ?(n = 3) mk run =
+  ignore (run (mk ()));
+  let best = ref infinity in
+  for _ = 1 to n do
+    let x = mk () in
+    let t0 = Unix.gettimeofday () in
+    ignore (run x);
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  !best
+
+(* Render an engine-lockstep verdict as a gate cell, counting a
+   failure for anything that is not clean or out-of-fuel-while-equal. *)
+let lockstep_cell ~name verdict =
+  match verdict with
+  | Check.Lockstep.Engines_equivalent { steps } ->
+    Printf.sprintf "ok (%d steps)" steps
+  | Check.Lockstep.Engines_out_of_fuel { steps } ->
+    Printf.sprintf "ok (fuel, %d steps)" steps
+  | v ->
+    let s = Format.asprintf "%a" Check.Lockstep.pp_engine_verdict v in
+    fail "%s lockstep: %s" name s;
+    s
+
+(* Emit a BENCH_*.json artifact. [fields] are (key, preformatted JSON
+   value) pairs appended after the "benchmark" tag. *)
+let emit_json ~file ~benchmark fields =
+  let oc = open_out file in
+  Printf.fprintf oc "{\n  \"benchmark\": %S%s\n}\n" benchmark
+    (String.concat ""
+       (List.map (fun (k, v) -> Printf.sprintf ",\n  %S: %s" k v) fields));
+  close_out oc;
+  Report.kv "written" file
+
+let json_array rows =
+  Printf.sprintf "[\n%s\n  ]" (String.concat ",\n" rows)
+
+(* ------------------------------------------------------------------ *)
 (* Prefetch/batching sweep: link bandwidth x prefetch degree
    sensitivity, plus the CI gate — on 10 Mbps ethernet, degree-2
    profile-guided prefetch must beat prefetch-off on both message count
@@ -770,9 +831,7 @@ let prefetchsweep () =
           "lockstep" ]
   in
   let gate_rows =
-    List.map
-      (fun (e : Workloads.Registry.entry) ->
-        let img = e.build () in
+    over_registry (fun e img ->
         let native = Softcache.Runner.native img in
         let ranker = ranker_of img in
         let off, _, net_off = run ~ranker ~cycles_per_byte:160 ~degree:0 img in
@@ -781,41 +840,24 @@ let prefetchsweep () =
           off.Softcache.Runner.outputs = native.outputs
           && on.Softcache.Runner.outputs = native.outputs
         in
-        if not ok_outputs then begin
-          incr failures;
-          Report.kv "FAIL" (e.name ^ ": outputs diverge from native")
-        end;
+        if not ok_outputs then fail "%s: outputs diverge from native" e.name;
         let m_off = Netmodel.messages net_off in
         let m_on = Netmodel.messages net_on in
-        if m_on >= m_off then begin
-          incr failures;
-          Report.kv "FAIL"
-            (Printf.sprintf "%s: prefetch does not reduce messages (%d -> %d)"
-               e.name m_off m_on)
-        end;
-        if on.cycles >= off.cycles then begin
-          incr failures;
-          Report.kv "FAIL"
-            (Printf.sprintf "%s: prefetch regresses cycles (%d -> %d)" e.name
-               off.cycles on.cycles)
-        end;
+        if m_on >= m_off then
+          fail "%s: prefetch does not reduce messages (%d -> %d)" e.name
+            m_off m_on;
+        if on.cycles >= off.cycles then
+          fail "%s: prefetch regresses cycles (%d -> %d)" e.name off.cycles
+            on.cycles;
         let mk_cfg () =
           Softcache.Config.make ~tcache_bytes:tcache
             ~net:(Netmodel.ethernet_10mbps ()) ~prefetch_degree:2 ()
         in
-        let verdict = Check.Lockstep.prefetch ~fuel:150_000 ~audit:true mk_cfg img in
-        let lockstep_ok, lockstep_str =
-          match verdict with
-          | Check.Lockstep.Engines_equivalent { steps } ->
-            (true, Printf.sprintf "ok (%d steps)" steps)
-          | Check.Lockstep.Engines_out_of_fuel { steps } ->
-            (true, Printf.sprintf "ok (fuel, %d steps)" steps)
-          | v -> (false, Format.asprintf "%a" Check.Lockstep.pp_engine_verdict v)
+        let before = !failures in
+        let lockstep_str =
+          lockstep_cell ~name:e.name
+            (Check.Lockstep.prefetch ~fuel:150_000 ~audit:true mk_cfg img)
         in
-        if not lockstep_ok then begin
-          incr failures;
-          Report.kv "FAIL" (e.name ^ " lockstep: " ^ lockstep_str)
-        end;
         Report.Table.add_row gt
           [
             e.name;
@@ -826,46 +868,35 @@ let prefetchsweep () =
             string_of_int m_on;
             lockstep_str;
           ];
-        (e.name, off.cycles, on.cycles, m_off, m_on, lockstep_ok))
-      Workloads.Registry.all
+        (e.name, off.cycles, on.cycles, m_off, m_on, !failures = before))
   in
   Report.Table.print gt;
-  let oc = open_out "BENCH_prefetch.json" in
-  Printf.fprintf oc
-    "{\n\
-    \  \"benchmark\": \"prefetchsweep\",\n\
-    \  \"tcache_bytes\": %d,\n\
-    \  \"workloads\": [\n\
-     %s\n\
-    \  ],\n\
-    \  \"sweep\": [\n\
-     %s\n\
-    \  ],\n\
-    \  \"gate_failures\": %d\n\
-     }\n"
-    tcache
-    (String.concat ",\n"
-       (List.map
-          (fun (n, c0, c2, m0, m2, ls) ->
-            Printf.sprintf
-              "    { \"name\": %S, \"cycles_off\": %d, \"cycles_on\": %d, \
-               \"messages_off\": %d, \"messages_on\": %d, \
-               \"cycle_ratio\": %.4f, \"lockstep_ok\": %b }"
-              n c0 c2 m0 m2
-              (float_of_int c2 /. float_of_int c0)
-              ls)
-          gate_rows))
-    (String.concat ",\n"
-       (List.map
-          (fun (l, cpb, d, cyc, msgs) ->
-            Printf.sprintf
-              "    { \"link\": %S, \"cycles_per_byte\": %d, \"degree\": %d, \
-               \"cycles\": %d, \"messages\": %d }"
-              l cpb d cyc msgs)
-          sweep_rows))
-    !failures;
-  close_out oc;
-  Report.kv "written" "BENCH_prefetch.json"
+  emit_json ~file:"BENCH_prefetch.json" ~benchmark:"prefetchsweep"
+    [
+      ("tcache_bytes", string_of_int tcache);
+      ( "workloads",
+        json_array
+          (List.map
+             (fun (n, c0, c2, m0, m2, ls) ->
+               Printf.sprintf
+                 "    { \"name\": %S, \"cycles_off\": %d, \"cycles_on\": %d, \
+                  \"messages_off\": %d, \"messages_on\": %d, \
+                  \"cycle_ratio\": %.4f, \"lockstep_ok\": %b }"
+                 n c0 c2 m0 m2
+                 (float_of_int c2 /. float_of_int c0)
+                 ls)
+             gate_rows) );
+      ( "sweep",
+        json_array
+          (List.map
+             (fun (l, cpb, d, cyc, msgs) ->
+               Printf.sprintf
+                 "    { \"link\": %S, \"cycles_per_byte\": %d, \"degree\": \
+                  %d, \"cycles\": %d, \"messages\": %d }"
+                 l cpb d cyc msgs)
+             sweep_rows) );
+      ("gate_failures", string_of_int !failures);
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Decoded vs interpretive dispatch: host wall time of the two CPU
@@ -876,33 +907,17 @@ let micro_engines () =
   Report.section
     "Dispatch engines (host wall time): predecoded fetch vs per-fetch \
      interpretive decode";
-  (* CPU construction stays outside the timed region; best-of-n damps
-     scheduler noise on shared CI runners *)
-  let time_run mk =
-    ignore (Machine.Cpu.run (mk ()));
-    let best = ref infinity in
-    for _ = 1 to 3 do
-      let cpu = mk () in
-      let t0 = Unix.gettimeofday () in
-      ignore (Machine.Cpu.run cpu);
-      let dt = Unix.gettimeofday () -. t0 in
-      if dt < !best then best := dt
-    done;
-    !best
-  in
   let t =
     Report.Table.create ~title:"native run, per engine"
       ~columns:[ "app"; "interpretive (ms)"; "decoded (ms)"; "speedup" ]
   in
   let rows =
-    List.map
-      (fun (e : Workloads.Registry.entry) ->
-        let img = e.build () in
+    over_registry (fun e img ->
         let mk engine () =
           Machine.Cpu.of_image ~engine ~mem_bytes:(2 * 1024 * 1024) img
         in
-        let ti = time_run (mk Machine.Cpu.Interpretive) in
-        let td = time_run (mk Machine.Cpu.Decoded) in
+        let ti = best_of (mk Machine.Cpu.Interpretive) Machine.Cpu.run in
+        let td = best_of (mk Machine.Cpu.Decoded) Machine.Cpu.run in
         let sp = ti /. td in
         Report.Table.add_row t
           [
@@ -912,35 +927,24 @@ let micro_engines () =
             fmt_f sp;
           ];
         (e.name, ti, td, sp))
-      Workloads.Registry.all
   in
   Report.Table.print t;
   let gm = Report.geomean (List.map (fun (_, _, _, s) -> s) rows) in
   Report.kv "geomean speedup" (fmt_f gm);
-  let oc = open_out "BENCH_micro.json" in
-  Printf.fprintf oc
-    "{\n\
-    \  \"benchmark\": \"micro_engines\",\n\
-    \  \"workloads\": [\n\
-     %s\n\
-    \  ],\n\
-    \  \"geomean_speedup\": %.4f\n\
-     }\n"
-    (String.concat ",\n"
-       (List.map
-          (fun (n, ti, td, s) ->
-            Printf.sprintf
-              "    { \"name\": %S, \"interpretive_s\": %.6f, \
-               \"decoded_s\": %.6f, \"speedup\": %.4f }"
-              n ti td s)
-          rows))
-    gm;
-  close_out oc;
-  Report.kv "written" "BENCH_micro.json";
-  if gm <= 1.0 then begin
-    incr failures;
-    Report.kv "FAIL" "decoded dispatch is not faster than interpretive"
-  end
+  emit_json ~file:"BENCH_micro.json" ~benchmark:"micro_engines"
+    [
+      ( "workloads",
+        json_array
+          (List.map
+             (fun (n, ti, td, s) ->
+               Printf.sprintf
+                 "    { \"name\": %S, \"interpretive_s\": %.6f, \
+                  \"decoded_s\": %.6f, \"speedup\": %.4f }"
+                 n ti td s)
+             rows) );
+      ("geomean_speedup", Printf.sprintf "%.4f" gm);
+    ];
+  if gm <= 1.0 then fail "decoded dispatch is not faster than interpretive"
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the simulator's hot paths *)
@@ -1037,85 +1041,203 @@ let tracesmoke () =
         [ "app"; "cycles"; "events"; "dropped"; "jsonl"; "chrome"; "lockstep" ]
   in
   let artifact = ref None in
-  List.iter
-    (fun (e : Workloads.Registry.entry) ->
-      let img = e.build () in
-      let ctrl = Softcache.Controller.create (mk_cfg ()) img in
-      let tr = Trace.create () in
-      Softcache.Controller.attach_tracer ctrl tr;
-      let outcome = Softcache.Controller.run ctrl in
-      if outcome <> Machine.Cpu.Halted then begin
-        incr failures;
-        Report.kv "FAIL" (e.name ^ ": did not halt")
-      end;
-      if !artifact = None then artifact := Some tr;
-      if not (Trace.conserved tr ~total:ctrl.cpu.cycles) then begin
-        incr failures;
-        Report.kv "FAIL"
-          (Printf.sprintf "%s: attribution does not conserve (sum %d vs %d)"
-             e.name (Trace.summary tr).Trace.s_total ctrl.cpu.cycles)
-      end;
-      let jsonl_str =
-        match Trace.Schema.validate_jsonl (Trace.to_jsonl tr) with
-        | Ok n -> Printf.sprintf "ok (%d lines)" n
-        | Error err ->
-          incr failures;
-          Report.kv "FAIL" (e.name ^ " jsonl: " ^ err);
-          "FAIL"
-      in
-      let chrome_str =
-        match Trace.Schema.validate_chrome (Trace.to_chrome tr) with
-        | Ok n -> Printf.sprintf "ok (%d events)" n
-        | Error err ->
-          incr failures;
-          Report.kv "FAIL" (e.name ^ " chrome: " ^ err);
-          "FAIL"
-      in
-      let lockstep_str =
-        match Check.Lockstep.trace ~fuel:150_000 (fun () -> mk_cfg ()) img with
-        | Check.Lockstep.Engines_equivalent { steps } ->
-          Printf.sprintf "ok (%d steps)" steps
-        | Check.Lockstep.Engines_out_of_fuel { steps } ->
-          Printf.sprintf "ok (fuel, %d steps)" steps
-        | v ->
-          incr failures;
-          let s = Format.asprintf "%a" Check.Lockstep.pp_engine_verdict v in
-          Report.kv "FAIL" (e.name ^ " lockstep: " ^ s);
-          s
-      in
-      Report.Table.add_row t
-        [
-          e.name;
-          string_of_int ctrl.cpu.cycles;
-          string_of_int (Trace.emitted tr);
-          string_of_int (Trace.dropped tr);
-          jsonl_str;
-          chrome_str;
-          lockstep_str;
-        ])
-    Workloads.Registry.all;
+  let (_ : unit list) =
+    over_registry (fun e img ->
+        let ctrl = Softcache.Controller.create (mk_cfg ()) img in
+        let tr = Trace.create () in
+        Softcache.Controller.attach_tracer ctrl tr;
+        let outcome = Softcache.Controller.run ctrl in
+        if outcome <> Machine.Cpu.Halted then fail "%s: did not halt" e.name;
+        if !artifact = None then artifact := Some tr;
+        if not (Trace.conserved tr ~total:ctrl.cpu.cycles) then
+          fail "%s: attribution does not conserve (sum %d vs %d)" e.name
+            (Trace.summary tr).Trace.s_total ctrl.cpu.cycles;
+        let jsonl_str =
+          match Trace.Schema.validate_jsonl (Trace.to_jsonl tr) with
+          | Ok n -> Printf.sprintf "ok (%d lines)" n
+          | Error err ->
+            fail "%s jsonl: %s" e.name err;
+            "FAIL"
+        in
+        let chrome_str =
+          match Trace.Schema.validate_chrome (Trace.to_chrome tr) with
+          | Ok n -> Printf.sprintf "ok (%d events)" n
+          | Error err ->
+            fail "%s chrome: %s" e.name err;
+            "FAIL"
+        in
+        let lockstep_str =
+          lockstep_cell ~name:e.name
+            (Check.Lockstep.trace ~fuel:150_000 (fun () -> mk_cfg ()) img)
+        in
+        Report.Table.add_row t
+          [
+            e.name;
+            string_of_int ctrl.cpu.cycles;
+            string_of_int (Trace.emitted tr);
+            string_of_int (Trace.dropped tr);
+            jsonl_str;
+            chrome_str;
+            lockstep_str;
+          ])
+  in
   Report.Table.print t;
   (* artifacts: export the first workload's trace in both formats and
      validate what actually landed on disk *)
   match !artifact with
-  | None ->
-    incr failures;
-    Report.kv "FAIL" "no trace to export"
+  | None -> fail "no trace to export"
   | Some tr ->
     let slurp f = In_channel.with_open_text f In_channel.input_all in
     Trace.export tr ~format:`Jsonl "BENCH_trace.jsonl";
     Trace.export tr ~format:`Chrome "BENCH_trace_chrome.json";
     (match Trace.Schema.validate_jsonl (slurp "BENCH_trace.jsonl") with
     | Ok _ -> ()
-    | Error err ->
-      incr failures;
-      Report.kv "FAIL" ("BENCH_trace.jsonl: " ^ err));
+    | Error err -> fail "BENCH_trace.jsonl: %s" err);
     (match Trace.Schema.validate_chrome (slurp "BENCH_trace_chrome.json") with
     | Ok _ -> ()
-    | Error err ->
-      incr failures;
-      Report.kv "FAIL" ("BENCH_trace_chrome.json: " ^ err));
+    | Error err -> fail "BENCH_trace_chrome.json: %s" err);
     Report.kv "written" "BENCH_trace.jsonl, BENCH_trace_chrome.json"
+
+(* ------------------------------------------------------------------ *)
+(* Replacement-policy sweep: policy x tcache size over the paging
+   workloads, plus the CI gate — at sub-working-set sizes a recency
+   policy must never translate more than the FIFO sweep it defers to,
+   and the whole policy registry must be architecturally equivalent
+   (Check.Lockstep.policies). Emits BENCH_policy.json.
+
+   The numbers to expect are modest by design: block entries are only
+   observable at trap granularity (patched direct branches bypass the
+   controller entirely), so LRU/RRIP deviate from the sweep only when
+   it is about to kill a block with recent observed reuse. Few
+   deviations, but each one saves re-translations — and never costs
+   any, which is what the gate checks. *)
+
+let policysweep () =
+  Report.section
+    "Policy sweep: eviction policy x tcache size (gate: lru/rrip \
+     translations <= fifo at sub-working-set sizes; full-registry \
+     lockstep equivalence)";
+  let sizes = [ 2048; 4096; 8192 ] in
+  let gate_workloads = [ "compress95"; "mpeg2enc" ] in
+  let t =
+    Report.Table.create ~title:"policy x tcache size"
+      ~columns:
+        [ "app"; "tcache"; "policy"; "cycles"; "translations"; "evicted";
+          "outputs" ]
+  in
+  let grid = ref [] in
+  let (_ : unit list) =
+    over_registry (fun e img ->
+        if not (List.mem e.name gate_workloads) then ()
+        else begin
+          let native = Softcache.Runner.native img in
+          List.iter
+            (fun bytes ->
+              List.iter
+                (fun (pname, ev) ->
+                  let cfg =
+                    Softcache.Config.make ~tcache_bytes:bytes ~eviction:ev ()
+                  in
+                  match Softcache.Runner.cached cfg img with
+                  | cached, ctrl ->
+                    let ok = cached.outputs = native.outputs in
+                    if not ok then
+                      fail "%s/%s/%dB: outputs diverge from native" e.name
+                        pname bytes;
+                    Report.Table.add_row t
+                      [
+                        e.name;
+                        Report.fmt_bytes bytes;
+                        pname;
+                        string_of_int cached.cycles;
+                        string_of_int ctrl.stats.translations;
+                        string_of_int ctrl.stats.evicted_blocks;
+                        (if ok then "ok" else "MISMATCH");
+                      ];
+                    grid :=
+                      (e.name, bytes, pname, cached.cycles,
+                       ctrl.stats.translations, ctrl.stats.evicted_blocks, ok)
+                      :: !grid
+                  | exception Softcache.Controller.Chunk_too_large _ ->
+                    (* flush-all cannot place this workload's largest
+                       chunk at this size; that is a configuration
+                       limit, not a gate failure *)
+                    Report.Table.add_row t
+                      [ e.name; Report.fmt_bytes bytes; pname;
+                        "chunk too large"; "-"; "-"; "-" ])
+                Softcache.Config.eviction_table)
+            sizes
+        end)
+  in
+  Report.Table.print t;
+  (* the gate: at every size where both completed, a recency policy
+     must not translate more than fifo *)
+  let translations name bytes pname =
+    List.find_map
+      (fun (n, b, p, _, tr, _, _) ->
+        if n = name && b = bytes && p = pname then Some tr else None)
+      !grid
+  in
+  List.iter
+    (fun name ->
+      List.iter
+        (fun bytes ->
+          match translations name bytes "fifo" with
+          | None -> ()
+          | Some fifo_tr ->
+            List.iter
+              (fun pname ->
+                match translations name bytes pname with
+                | Some tr when tr > fifo_tr ->
+                  fail "%s/%dB: %s translates more than fifo (%d > %d)" name
+                    bytes pname tr fifo_tr
+                | Some _ | None -> ())
+              [ "lru"; "rrip" ])
+        sizes)
+    gate_workloads;
+  (* full-registry architectural equivalence, every policy vs native
+     and vs each other, with the invariant auditor attached *)
+  let lt =
+    Report.Table.create ~title:"lockstep: all policies vs native"
+      ~columns:[ "app"; "verdict" ]
+  in
+  let lockstep_rows =
+    over_registry (fun e img ->
+        let mk_cfg () = Softcache.Config.make ~tcache_bytes:8192 () in
+        let v =
+          Check.Lockstep.policies ~fuel:8_000_000 ~audit:(e.name = "sensor_modes")
+            mk_cfg img
+        in
+        let ok =
+          match v with Check.Lockstep.Policies_equivalent _ -> true | _ -> false
+        in
+        let s = Format.asprintf "%a" Check.Lockstep.pp_policies_verdict v in
+        if not ok then fail "%s policies lockstep: %s" e.name s;
+        Report.Table.add_row lt [ e.name; s ];
+        (e.name, ok, s))
+  in
+  Report.Table.print lt;
+  emit_json ~file:"BENCH_policy.json" ~benchmark:"policysweep"
+    [
+      ( "grid",
+        json_array
+          (List.rev_map
+             (fun (n, b, p, cyc, tr, ev, ok) ->
+               Printf.sprintf
+                 "    { \"name\": %S, \"tcache_bytes\": %d, \"policy\": %S, \
+                  \"cycles\": %d, \"translations\": %d, \"evicted\": %d, \
+                  \"outputs_ok\": %b }"
+                 n b p cyc tr ev ok)
+             !grid) );
+      ( "lockstep",
+        json_array
+          (List.map
+             (fun (n, ok, s) ->
+               Printf.sprintf "    { \"name\": %S, \"ok\": %b, \"verdict\": %S }"
+                 n ok s)
+             lockstep_rows) );
+      ("gate_failures", string_of_int !failures);
+    ]
 
 (* ------------------------------------------------------------------ *)
 
@@ -1139,6 +1261,7 @@ let experiments =
     ("netsweep", netsweep);
     ("faultsweep", faultsweep);
     ("prefetchsweep", prefetchsweep);
+    ("policysweep", policysweep);
     ("tracesmoke", tracesmoke);
     ("micro", micro);
   ]

@@ -43,10 +43,19 @@ let chunking_arg =
          Softcache.Config.Basic_block
        & info [ "chunking" ] ~docv:"MODE" ~doc)
 
+(* Both the accepted values and the self-documentation come from
+   [Config.eviction_table], so a policy added there is immediately
+   accepted, listed in --help, and rejected-with-the-valid-set when
+   misspelled — no second list to keep in sync. *)
 let eviction_arg =
-  let doc = "Eviction policy: $(b,fifo) or $(b,flush)." in
-  Arg.(value & opt (enum [ ("fifo", Softcache.Config.Fifo);
-                           ("flush", Softcache.Config.Flush_all) ])
+  let doc =
+    Printf.sprintf "Eviction policy: %s."
+      (String.concat " or "
+         (List.map
+            (fun (n, _) -> Printf.sprintf "$(b,%s)" n)
+            Softcache.Config.eviction_table))
+  in
+  Arg.(value & opt (enum Softcache.Config.eviction_table)
          Softcache.Config.Fifo
        & info [ "eviction" ] ~docv:"POLICY" ~doc)
 
@@ -279,6 +288,14 @@ let run_cmd =
         ~crc_failures:ctrl.stats.prefetch_crc_failures
         ~batches:ctrl.stats.batches ~batch_chunks:ctrl.stats.batch_chunks
         ~max_batch_chunks:ctrl.stats.max_batch_chunks;
+      (let module P = (val ctrl.policy : Softcache.Policy.S) in
+       Report.policy ~name:P.name ~entries:ctrl.stats.policy_entries
+         ~victim:ctrl.stats.evicted_victim
+         ~collateral:ctrl.stats.evicted_collateral
+         ~stub_growth:ctrl.stats.evicted_stub_growth
+         ~invalidated:ctrl.stats.evicted_invalidated
+         ~flushed:ctrl.stats.evicted_flushed
+         ~ages:(Softcache.Stats.victim_ages ctrl.stats));
       (match !audits with
       | Some n -> Report.kv "audit" (Printf.sprintf "on, %d audits passed" !n)
       | None -> ());

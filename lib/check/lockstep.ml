@@ -72,7 +72,7 @@ let untag x = if x land 1 = 0 then Load (x lsr 1) else Store (x lsr 1)
 
 exception Stop
 
-let run ?cost ?(fuel = 2_000_000) ?(ops = []) ?(audit = false)
+let run ?cost ?(fuel = 2_000_000) ?(ops = []) ?(audit = false) ?on_controller
     (cfg : Config.t) img : verdict =
   (* native reference run, trace collected *)
   let ncpu = Machine.Cpu.of_image ?cost img in
@@ -86,6 +86,7 @@ let run ?cost ?(fuel = 2_000_000) ?(ops = []) ?(audit = false)
     (* cached run, compared in-hook *)
     let ctrl = Controller.create ?cost cfg img in
     if audit then ignore (Audit.install ctrl);
+    (match on_controller with Some f -> f ctrl | None -> ());
     let idx = ref 0 in
     let div = ref None in
     let check tag ev =
@@ -380,3 +381,89 @@ let trace ?cost ?(fuel = 2_000_000) ?(ops = []) ?(audit = false) mk_cfg img
             = %d"
            (Trace.summary tr).Trace.s_total traced.cpu.cycles)
     else verdict
+
+(* Every replacement policy, against the same reference.
+
+   The policy only decides *which* block dies; it must never change
+   what the program computes. So each policy in the registry
+   ([Config.eviction_table]) is run in data-access lockstep against
+   the native execution ([run]), and then the policies are compared
+   against each other on the observables that are comparable across
+   policies: the output stream and the final data segment. Cycle
+   counts, retired instructions and code placement legitimately differ
+   — different victims mean different stub and trap sequences — so
+   none of those participate. *)
+
+type policies_verdict =
+  | Policies_equivalent of { policies : string list; events : int }
+      (** per-policy events counts are equal by construction: every
+          policy matched the same native access stream *)
+  | Policy_diverged of { policy : string; verdict : verdict }
+  | Policies_mismatch of { policy : string; baseline : string; detail : string }
+
+let pp_policies_verdict ppf = function
+  | Policies_equivalent { policies; events } ->
+    Format.fprintf ppf "%d policies equivalent (%s; %d events)"
+      (List.length policies)
+      (String.concat ", " policies)
+      events
+  | Policy_diverged { policy; verdict } ->
+    Format.fprintf ppf "policy '%s' diverged from native: %a" policy
+      pp_verdict verdict
+  | Policies_mismatch { policy; baseline; detail } ->
+    Format.fprintf ppf "policy '%s' disagrees with '%s': %s" policy baseline
+      detail
+
+let policies ?cost ?(fuel = 2_000_000) ?(ops = []) ?(audit = false) mk_cfg
+    img : policies_verdict =
+  let data_lo = img.Isa.Image.data_base in
+  let data_hi = data_lo + Bytes.length img.Isa.Image.data in
+  let observe (name, ev) =
+    (* fresh Config per policy: own Netmodel state, own tcache *)
+    let cfg = { (mk_cfg ()) with Config.eviction = ev } in
+    let ctrl = ref None in
+    let v =
+      run ?cost ~fuel ~ops ~audit
+        ~on_controller:(fun c -> ctrl := Some c)
+        cfg img
+    in
+    (name, v, !ctrl)
+  in
+  let results = List.map observe Config.eviction_table in
+  match
+    List.find_opt
+      (fun (_, v, _) -> match v with Equivalent _ -> false | _ -> true)
+      results
+  with
+  | Some (name, v, _) -> Policy_diverged { policy = name; verdict = v }
+  | None -> (
+    let observables (c : Controller.t) =
+      ( Machine.Cpu.outputs c.cpu,
+        Machine.Memory.hash c.cpu.mem ~lo:data_lo ~hi:data_hi )
+    in
+    match results with
+    | (bname, Equivalent { events }, Some bc) :: rest ->
+      let bouts, bhash = observables bc in
+      let rec cmp = function
+        | [] ->
+          Policies_equivalent
+            { policies = List.map (fun (n, _, _) -> n) results; events }
+        | (name, _, Some c) :: rest ->
+          let outs, hash = observables c in
+          if outs <> bouts then
+            Policies_mismatch
+              { policy = name; baseline = bname; detail = "output streams differ" }
+          else if hash <> bhash then
+            Policies_mismatch
+              {
+                policy = name;
+                baseline = bname;
+                detail = "final data segment differs";
+              }
+          else cmp rest
+        | (_, _, None) :: _ ->
+          (* on_controller fires before the cached drive begins *)
+          assert false
+      in
+      cmp rest
+    | _ -> assert false)

@@ -31,6 +31,7 @@ val run :
   ?fuel:int ->
   ?ops:(Softcache.Controller.t -> unit) list ->
   ?audit:bool ->
+  ?on_controller:(Softcache.Controller.t -> unit) ->
   Softcache.Config.t ->
   Isa.Image.t ->
   verdict
@@ -38,8 +39,10 @@ val run :
     the cached controller at evenly spaced fuel slices — use them to
     invalidate or flush mid-run and check that execution still tracks
     the native stream. [audit] additionally installs {!Audit.install}
-    on the cached controller. Default [fuel] is 2M instructions per
-    side. *)
+    on the cached controller. [on_controller] receives the cached
+    controller right after construction (so callers can inspect its
+    final state once [run] returns — {!policies} reads the data
+    segment this way). Default [fuel] is 2M instructions per side. *)
 
 val pp_event : Format.formatter -> event -> unit
 val pp_verdict : Format.formatter -> verdict -> unit
@@ -124,3 +127,45 @@ val trace :
     applied to both controllers at evenly spaced fuel slices; [audit]
     installs {!Audit.install} on the traced side. Default [fuel] is 2M
     instructions. *)
+
+(** {2 Replacement-policy equivalence}
+
+    The replacement policy decides {e which} block dies on a miss; it
+    must never change what the program computes. {!policies} runs the
+    entire policy registry ({!Softcache.Config.eviction_table}) —
+    each policy in data-access lockstep against the native execution,
+    then all policies against each other on the cross-policy-comparable
+    observables: the output stream and the final data segment. Cycle
+    counts, retired-instruction counts and tcache placement are
+    excluded by design — different victims produce different stub and
+    trap sequences, so those numbers legitimately differ. *)
+
+type policies_verdict =
+  | Policies_equivalent of { policies : string list; events : int }
+      (** every registered policy matched the native access stream and
+          all agree on outputs and final data; [events] is the length
+          of the (shared) native access stream *)
+  | Policy_diverged of { policy : string; verdict : verdict }
+      (** this policy's cached run diverged from native *)
+  | Policies_mismatch of { policy : string; baseline : string; detail : string }
+      (** every policy matched native, yet two disagree on a terminal
+          observable — should be impossible; kept as a separate arm so
+          a bug here is named, not lumped into divergence *)
+
+val policies :
+  ?cost:Machine.Cost.t ->
+  ?fuel:int ->
+  ?ops:(Softcache.Controller.t -> unit) list ->
+  ?audit:bool ->
+  (unit -> Softcache.Config.t) ->
+  Isa.Image.t ->
+  policies_verdict
+(** [policies mk_cfg img] runs one native-vs-cached {!run} per policy
+    in {!Softcache.Config.eviction_table}, overriding only
+    [Config.eviction] on a fresh [mk_cfg ()] each time (own transport
+    state per run). [ops] and [audit] are passed through to each
+    {!run}. Pick a configuration every policy can execute — e.g. a
+    tcache large enough that [Flush_all] does not hit
+    [Chunk_too_large]. *)
+
+val pp_policies_verdict : Format.formatter -> policies_verdict -> unit

@@ -1,0 +1,140 @@
+(* Shared controller state: the record every cc_* module operates on,
+   the public exceptions, and the small primitives (event/trace
+   emission, cycle charging, stub-table and incoming-pointer
+   bookkeeping) the other layers build on. The public surface is
+   re-exported by [Controller]; everything here is reachable as
+   [Softcache.Cc_state] for white-box tests. *)
+
+type event =
+  | Translated of int
+  | Evicted of int
+  | Flushed
+  | Invalidated
+  | Patched
+
+type staged = { st_bytes : Bytes.t; st_crc : int }
+
+type t = {
+  cfg : Config.t;
+  image : Isa.Image.t;
+  cpu : Machine.Cpu.t;
+  tc : Tcache.t;
+  stats : Stats.t;
+  policy : Policy.t;
+      (* the replacement policy's private bookkeeping; constructed
+         from [cfg.eviction] at [create] and consulted nowhere else *)
+  install_cycle : (int, int) Hashtbl.t;
+      (* block id -> cycle counter at install, for the victim-age
+         histogram; entries die with their block *)
+  staging : (int, staged) Hashtbl.t;
+  staging_order : int Queue.t;
+  mutable prefetch_ranker : (lo:int -> hi:int -> int) option;
+  mutable stubs : Stub.t array;
+  mutable nstubs : int;
+  ret_stubs : (int, int * int) Hashtbl.t;
+  stack_top : int;
+  mutable next_block_id : int;
+  mutable started : bool;
+  mutable ra_regions : (int * int) list;
+      (* registered non-stack storage holding return addresses *)
+  mutable free_stubs : int list;
+      (* recycled stub-table entries from evicted blocks *)
+  mutable live_stubs : int;
+  mutable on_event : (event -> unit) option;
+  mutable tracer : Trace.t option;
+  mutable alloc_guard : int;
+      (* bound on translate's re-allocation rounds when eviction
+         processing keeps growing the persistent stub area into the
+         fresh placement; mutable as a test hook so the exhaustion
+         exception is reachable without a pathological workload *)
+  mutable chaos_drop_incoming : int;
+      (* test hook: silently skip the next N incoming-pointer records,
+         seeding the bookkeeping bug the auditor must catch *)
+}
+
+exception Chunk_too_large of int
+exception Tcache_too_small
+exception Chunk_unavailable of { vaddr : int; attempts : int }
+
+exception
+  Alloc_guard_exhausted of {
+    loops : int;  (* the guard value the loop started from *)
+    base : int;  (* code region is [base, persist_base) *)
+    persist_base : int;  (* stub region is [persist_base, top) *)
+    top : int;
+  }
+
+let emit_event t ev = match t.on_event with Some f -> f ev | None -> ()
+let trace t ev = match t.tracer with Some tr -> Trace.emit tr ev | None -> ()
+
+let log_src =
+  Logs.Src.create "softcache.controller"
+    ~doc:"SoftCache cache-controller events"
+
+module Log = (val Logs.src_log log_src)
+
+let enc = Isa.Encode.encode
+
+(* Every explicit client-side charge is labelled with its attribution
+   category so an attached tracer can conserve: the labelled categories
+   plus the execute residual sum exactly to [cpu.cycles]. *)
+let charge t cat c =
+  (match t.tracer with Some tr -> Trace.attribute tr cat c | None -> ());
+  t.cpu.cycles <- t.cpu.cycles + c
+
+let write_word t addr w = Machine.Memory.write32 t.cpu.mem addr w
+
+let add_stub t make =
+  t.live_stubs <- t.live_stubs + 1;
+  match t.free_stubs with
+  | k :: rest ->
+    t.free_stubs <- rest;
+    t.stubs.(k) <- make k;
+    k
+  | [] ->
+    if t.nstubs = Array.length t.stubs then begin
+      let bigger =
+        Array.make (max 64 (2 * t.nstubs)) (Stub.Computed { rs = Isa.Reg.ra })
+      in
+      Array.blit t.stubs 0 bigger 0 t.nstubs;
+      t.stubs <- bigger
+    end;
+    let k = t.nstubs in
+    t.stubs.(k) <- make k;
+    t.nstubs <- k + 1;
+    k
+
+let free_stub_list t ks =
+  List.iter
+    (fun k ->
+      t.free_stubs <- k :: t.free_stubs;
+      t.live_stubs <- t.live_stubs - 1)
+    ks
+
+(* A dead block's stub entries can never fire again (its memory is
+   unreachable once the resume redirect has run), so they are recycled
+   — this is what keeps CC metadata proportional to residency. *)
+let free_block_stubs t victims =
+  List.iter (fun (b : Tcache.block) -> free_stub_list t b.stubs) victims
+
+let record_incoming t (b : Tcache.block) ~from_block ~site_paddr ~revert_word
+    =
+  if t.chaos_drop_incoming > 0 then
+    t.chaos_drop_incoming <- t.chaos_drop_incoming - 1
+  else
+    b.incoming <-
+      { Tcache.from_block; site_paddr; revert_word } :: b.incoming
+
+let resident_oracle t v =
+  match Tcache.lookup t.tc v with
+  | Some b -> Some (b.id, b.paddr)
+  | None -> None
+
+let bytes_of_words (words : int array) =
+  let b = Bytes.create (4 * Array.length words) in
+  Array.iteri (fun i w -> Bytes.set_int32_le b (4 * i) (Int32.of_int w)) words;
+  b
+
+let words_of_bytes b =
+  Array.init (Bytes.length b / 4) (fun i ->
+      Int32.to_int (Bytes.get_int32_le b (4 * i)) land 0xFFFFFFFF)

@@ -1,0 +1,194 @@
+(* The miss path: chunk acquisition (staged prefetch or the wire),
+   placement in the tcache under the configured replacement policy,
+   rewriting, and installation. The policy is a parameter here — the
+   only [Config.eviction] dispatch in the whole controller is the
+   [Policy.create] call at construction time. *)
+
+open Cc_state
+
+(* Find room for [words_needed] words under an evicting policy.
+
+   Free space first: placing at the sweep point without evicting keeps
+   the policy out of the loop while the cache is filling (a policy
+   victim exists as soon as anything is resident — consulting it on a
+   cold cache would evict needlessly). Only when the sweep point is
+   blocked does the policy pick the victim; seeding the circular sweep
+   at the victim's placement reclaims that block first, and anything
+   else the placement runs over is collateral.
+
+   Processing the evictions can grow the persistent stub area down into
+   the range we just reserved (stack scrubbing creates return stubs);
+   re-allocate until the placement is clear, bounded by
+   [t.alloc_guard] rounds. *)
+let alloc_evicting t ~vaddr ~words_needed =
+  let module P = (val t.policy : Policy.S) in
+  let rec alloc_loop guard =
+    if guard = 0 then
+      raise
+        (Alloc_guard_exhausted
+           {
+             loops = t.alloc_guard;
+             base = Tcache.base t.tc;
+             persist_base = Tcache.persist_base t.tc;
+             top = Tcache.top t.tc;
+           })
+    else begin
+      let p, victims, chosen =
+        match Tcache.alloc_append t.tc ~words:words_needed with
+        | Ok p -> (p, [], None)
+        | Error `Too_large -> raise (Chunk_too_large vaddr)
+        | Error `Full -> (
+          let chosen = P.victim t.tc in
+          let placed =
+            match chosen with
+            | None -> Tcache.alloc_fifo t.tc ~words:words_needed
+            | Some vb ->
+              Tcache.alloc_seeded t.tc ~seed:vb.Tcache.paddr
+                ~words:words_needed
+          in
+          match placed with
+          | Error `Too_large -> raise (Chunk_too_large vaddr)
+          | Error `Full -> raise Tcache_too_small
+          | Ok (p, victims) -> (p, victims, chosen))
+      in
+      Cc_evict.process_evicted t victims
+        ~reason_of:(fun (b : Tcache.block) ->
+          match chosen with
+          | Some (vb : Tcache.block) when b.id <> vb.id -> Policy.Collateral
+          | Some _ | None -> Policy.Victim);
+      if p + (4 * words_needed) <= Tcache.persist_base t.tc then p
+      else alloc_loop (guard - 1)
+    end
+  in
+  alloc_loop t.alloc_guard
+
+(* Flush-all never evicts single blocks: append until the region is
+   exhausted, then flush everything and retry once. *)
+let alloc_flushing t ~vaddr ~words_needed =
+  match Tcache.alloc_append t.tc ~words:words_needed with
+  | Ok p -> p
+  | Error `Too_large -> raise (Chunk_too_large vaddr)
+  | Error `Full -> (
+    Cc_evict.do_flush t;
+    match Tcache.alloc_append t.tc ~words:words_needed with
+    | Ok p -> p
+    | Error `Too_large -> raise (Chunk_too_large vaddr)
+    | Error `Full ->
+      (* post-flush only pinned blocks remain in the way: a chunk
+         that fits the region's capacity is being crowded out *)
+      raise Tcache_too_small)
+
+let translate t v =
+  trace t (Trace.Cc_miss { pc = v });
+  (* a staged prefetched copy of this chunk skips the wire entirely;
+     a corrupted one is discarded and the miss pays the round trip *)
+  let chunk, from_staging =
+    match Cc_staging.take_staged t v with
+    | None -> (Chunker.chunk_at t.image t.cfg.chunking v, false)
+    | Some s -> (
+      match Cc_staging.chunk_of_staged v s with
+      | Some c ->
+        t.stats.prefetch_installs <- t.stats.prefetch_installs + 1;
+        trace t (Trace.Cc_staged_install { chunk = v });
+        (c, true)
+      | None ->
+        t.stats.prefetch_crc_failures <- t.stats.prefetch_crc_failures + 1;
+        (Chunker.chunk_at t.image t.cfg.chunking v, false))
+  in
+  let words_needed = Rewriter.layout_words chunk in
+  let module P = (val t.policy : Policy.S) in
+  let base =
+    match P.kind with
+    | `Evict -> alloc_evicting t ~vaddr:v ~words_needed
+    | `Flush_all -> alloc_flushing t ~vaddr:v ~words_needed
+  in
+  trace t (Trace.Tc_alloc { chunk = v; base; bytes = 4 * words_needed });
+  let id = t.next_block_id in
+  t.next_block_id <- id + 1;
+  let resident =
+    if t.cfg.bind_at_translate then resident_oracle t else fun _ -> None
+  in
+  let allocated = ref [] in
+  let alloc_stub make =
+    let k = add_stub t make in
+    allocated := k :: !allocated;
+    k
+  in
+  let emission =
+    Rewriter.translate chunk ~block_id:id ~base ~resident ~alloc_stub
+  in
+  (* the rewritten words travel MC -> CC over the link (unless a staged
+     prefetch already delivered the chunk body); a chunk that cannot be
+     delivered intact within the retry budget must leave the cache
+     state exactly as it was (minus any evictions already done) *)
+  let words =
+    if from_staging then emission.words
+    else
+      let prefetch =
+        List.map
+          (fun (c : Chunker.t) ->
+            (c.vaddr, bytes_of_words (Array.map enc c.instrs)))
+          (Cc_staging.prefetch_candidates t chunk)
+      in
+      match Cc_staging.fetch_chunk t ~vaddr:v ~words:emission.words ~prefetch with
+      | w -> w
+      | exception (Chunk_unavailable _ as e) ->
+        free_stub_list t !allocated;
+        raise e
+  in
+  Array.iteri (fun i w -> write_word t (base + (4 * i)) w) words;
+  let emitted = Array.length emission.words in
+  let block =
+    {
+      Tcache.id;
+      vaddr = v;
+      paddr = base;
+      words = emitted;
+      orig_words = Array.length chunk.instrs;
+      incoming = [];
+      pads = emission.pads;
+      resume = emission.resume;
+      stubs = !allocated;
+    }
+  in
+  Tcache.register t.tc block;
+  P.on_install block;
+  Hashtbl.replace t.install_cycle id t.cpu.cycles;
+  List.iter
+    (fun (tb, site_paddr, revert_word) ->
+      match Tcache.find_by_id t.tc tb with
+      | Some target_block ->
+        record_incoming t target_block ~from_block:id ~site_paddr
+          ~revert_word
+      | None -> assert false (* resident during this translation *))
+    emission.bound;
+  Log.debug (fun m ->
+      m "translate v=0x%x -> @0x%x (%d words, id=%d)" v base emitted id);
+  t.stats.translations <- t.stats.translations + 1;
+  t.stats.translated_words <- t.stats.translated_words + emitted;
+  t.stats.overhead_words <- t.stats.overhead_words + emission.overhead_words;
+  t.stats.max_resident_blocks <-
+    max t.stats.max_resident_blocks (Tcache.resident_blocks t.tc);
+  t.stats.max_occupied_bytes <-
+    max t.stats.max_occupied_bytes (Tcache.occupied_bytes t.tc);
+  charge t Trace.Translate
+    (t.cfg.miss_fixed_cycles + (t.cfg.translate_cycles_per_word * emitted));
+  trace t (Trace.Cc_translated { chunk = v; base; words = emitted });
+  emit_event t (Translated v);
+  block
+
+(* The single block-entry observation point. Every control transfer the
+   controller mediates — computed jumps, indirect calls, return stubs,
+   unresolved direct exits — lands here; transfers along already-patched
+   direct branches never trap, so the policy cannot see them. That is
+   the paper's bargain made explicit: the cache state is encoded in the
+   branches, so recency is observed only at trap granularity, at zero
+   per-instruction cost. *)
+let ensure_resident t v =
+  match Tcache.lookup t.tc v with
+  | Some b ->
+    let module P = (val t.policy : Policy.S) in
+    P.on_entry b;
+    t.stats.policy_entries <- t.stats.policy_entries + 1;
+    b
+  | None -> translate t v

@@ -1,0 +1,98 @@
+(* Trap dispatch: every [Trap] the rewriter planted lands here —
+   unresolved direct exits (translate + backpatch), computed jumps and
+   indirect calls (tcache-map lookup), and persistent return stubs. *)
+
+open Cc_state
+
+let patch_exit t k ~block ~site_paddr ~kind ~revert_word
+    (target_block : Tcache.block) =
+  if Tcache.is_alive t.tc block then begin
+    let patched =
+      match kind with
+      | Stub.Patch_jmp ->
+        write_word t site_paddr (enc (Isa.Instr.Jmp target_block.paddr));
+        record_incoming t target_block ~from_block:block ~site_paddr
+          ~revert_word;
+        true
+      | Stub.Patch_jal ->
+        write_word t site_paddr (enc (Isa.Instr.Jal target_block.paddr));
+        record_incoming t target_block ~from_block:block ~site_paddr
+          ~revert_word;
+        true
+      | Stub.Patch_br -> (
+        match
+          Isa.Encode.decode (Machine.Memory.read32 t.cpu.mem site_paddr)
+        with
+        | Some (Isa.Instr.Br (c, r1, r2, _)) ->
+          let d = (target_block.paddr - site_paddr) asr 2 in
+          if Isa.Encode.branch_offset_fits d then begin
+            write_word t site_paddr (enc (Isa.Instr.Br (c, r1, r2, d)));
+            record_incoming t target_block ~from_block:block ~site_paddr
+              ~revert_word;
+            true
+          end
+          else begin
+            (* out of reach: specialise the island (where we trapped)
+               into a direct jump instead *)
+            let island = t.cpu.pc in
+            write_word t island (enc (Isa.Instr.Jmp target_block.paddr));
+            record_incoming t target_block ~from_block:block
+              ~site_paddr:island
+              ~revert_word:(enc (Isa.Instr.Trap k));
+            true
+          end
+        | Some _ | None -> false)
+    in
+    if patched then begin
+      t.stats.patches <- t.stats.patches + 1;
+      charge t Trace.Patch t.cfg.patch_cycles;
+      trace t
+        (Trace.Cc_backpatch { site = site_paddr; target = target_block.paddr });
+      emit_event t Patched
+    end
+  end
+
+let handle_trap t k =
+  (* the CPU has already added [trap_dispatch] to the cycle counter
+     before handing control to us *)
+  (match t.tracer with
+  | Some tr -> Trace.attribute_included tr Trace.Trap t.cpu.cost.trap_dispatch
+  | None -> ());
+  match t.stubs.(k) with
+  | Stub.Exit { block; site_paddr; kind; target; revert_word } ->
+    let b = Cc_translate.ensure_resident t target in
+    patch_exit t k ~block ~site_paddr ~kind ~revert_word b;
+    t.cpu.pc <- b.paddr
+  | Stub.Computed { rs } ->
+    t.stats.lookups <- t.stats.lookups + 1;
+    charge t Trace.Lookup t.cfg.lookup_cycles;
+    let target = Machine.Cpu.reg t.cpu rs in
+    let b = Cc_translate.ensure_resident t target in
+    t.cpu.pc <- b.paddr
+  | Stub.Icall { rd; rs; pad_paddr } ->
+    t.stats.lookups <- t.stats.lookups + 1;
+    charge t Trace.Lookup t.cfg.lookup_cycles;
+    let target = Machine.Cpu.reg t.cpu rs in
+    Machine.Cpu.set_reg t.cpu rd pad_paddr;
+    let b = Cc_translate.ensure_resident t target in
+    t.cpu.pc <- b.paddr
+  | Stub.Ret_stub { site_paddr; target } ->
+    t.stats.lookups <- t.stats.lookups + 1;
+    charge t Trace.Lookup t.cfg.lookup_cycles;
+    let b = Cc_translate.ensure_resident t target in
+    (* specialise this stub into a direct jump while the target lives,
+       unless a flush has re-purposed the stub area in the meantime *)
+    (match Hashtbl.find_opt t.ret_stubs target with
+    | Some (p, _) when p = site_paddr ->
+      write_word t site_paddr (enc (Isa.Instr.Jmp b.paddr));
+      (match Tcache.find_by_id t.tc b.id with
+      | Some tb ->
+        record_incoming t tb ~from_block:(-1) ~site_paddr
+          ~revert_word:(enc (Isa.Instr.Trap k));
+        t.stats.patches <- t.stats.patches + 1;
+        charge t Trace.Patch t.cfg.patch_cycles;
+        trace t (Trace.Cc_backpatch { site = site_paddr; target = b.paddr });
+        emit_event t Patched
+      | None -> ())
+    | Some _ | None -> ());
+    t.cpu.pc <- b.paddr

@@ -1,5 +1,19 @@
 type chunking = Basic_block | Procedure
-type eviction = Flush_all | Fifo
+type eviction = Flush_all | Fifo | Lru | Rrip
+
+(* The one place the CLI flag, the pretty-printer and the policy sweep
+   all draw the valid-policy set from; adding a policy here is what
+   makes it exist everywhere. *)
+let eviction_table =
+  [ ("fifo", Fifo); ("flush", Flush_all); ("lru", Lru); ("rrip", Rrip) ]
+
+let eviction_name ev =
+  match List.find_opt (fun (_, e) -> e = ev) eviction_table with
+  | Some (n, _) -> n
+  | None -> assert false (* the table is total by construction *)
+
+let eviction_of_name n =
+  List.assoc_opt n eviction_table
 
 type t = {
   tcache_bytes : int;
@@ -77,7 +91,7 @@ let pp ppf t =
     (match t.chunking with
     | Basic_block -> "basic-block"
     | Procedure -> "procedure")
-    (match t.eviction with Flush_all -> "flush-all" | Fifo -> "fifo")
+    (eviction_name t.eviction)
     (match t.engine with
     | Machine.Cpu.Decoded -> ""
     | Machine.Cpu.Interpretive -> ", interpretive dispatch")

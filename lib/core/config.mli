@@ -16,6 +16,26 @@ type eviction =
       (** invalidate the whole tcache when full, the strategy of the
           dynamic rewriters the paper cites (Dynamo, Shade, Embra) *)
   | Fifo  (** evict oldest blocks in allocation order, one at a time *)
+  | Lru
+      (** evict the least-recently-*entered* block: recency is tracked
+          over the block-entry events the controller already observes
+          (translations, computed jumps, indirect calls, return stubs),
+          so there is no per-instruction cost — the paper's "cache
+          state encoded in the branches" *)
+  | Rrip
+      (** 2-bit re-reference interval prediction over the same observed
+          entry events (in the spirit of TRRIP): blocks insert at RRPV
+          2, reset to 0 on entry, and the victim is the max-RRPV block *)
+
+val eviction_table : (string * eviction) list
+(** The canonical name <-> policy mapping. The CLI [--eviction] enum,
+    [pp], and the bench policy sweep are all generated from this table,
+    so the valid-value set can never drift between them. *)
+
+val eviction_name : eviction -> string
+(** Flag-style name of a policy, per [eviction_table]. *)
+
+val eviction_of_name : string -> eviction option
 
 type t = {
   tcache_bytes : int;  (** CC translation-cache memory, bytes *)

@@ -1,18 +1,29 @@
-type event =
+(* The controller facade. The implementation lives in cohesive
+   submodules — [Cc_state] (shared record + primitives), [Cc_evict]
+   (eviction, scrubbing, flush), [Cc_staging] (prefetch staging +
+   transport), [Cc_translate] (the miss path under a pluggable
+   replacement policy) and [Cc_trap] (trap dispatch) — and this module
+   re-exports the state types and stitches the public API together.
+   The record equations ([type t = Cc_state.t = {...}]) keep every
+   existing [t.field] access in tests, benches and tools valid. *)
+
+type event = Cc_state.event =
   | Translated of int
   | Evicted of int
   | Flushed
   | Invalidated
   | Patched
 
-type staged = { st_bytes : Bytes.t; st_crc : int }
+type staged = Cc_state.staged = { st_bytes : Bytes.t; st_crc : int }
 
-type t = {
+type t = Cc_state.t = {
   cfg : Config.t;
   image : Isa.Image.t;
   cpu : Machine.Cpu.t;
   tc : Tcache.t;
   stats : Stats.t;
+  policy : Policy.t;
+  install_cycle : (int, int) Hashtbl.t;
   staging : (int, staged) Hashtbl.t;
   staging_order : int Queue.t;
   mutable prefetch_ranker : (lo:int -> hi:int -> int) option;
@@ -23,713 +34,27 @@ type t = {
   mutable next_block_id : int;
   mutable started : bool;
   mutable ra_regions : (int * int) list;
-      (* registered non-stack storage holding return addresses *)
   mutable free_stubs : int list;
-      (* recycled stub-table entries from evicted blocks *)
   mutable live_stubs : int;
   mutable on_event : (event -> unit) option;
   mutable tracer : Trace.t option;
+  mutable alloc_guard : int;
   mutable chaos_drop_incoming : int;
-      (* test hook: silently skip the next N incoming-pointer records,
-         seeding the bookkeeping bug the auditor must catch *)
 }
 
-exception Chunk_too_large of int
-exception Tcache_too_small
-exception Chunk_unavailable of { vaddr : int; attempts : int }
+exception Chunk_too_large = Cc_state.Chunk_too_large
+exception Tcache_too_small = Cc_state.Tcache_too_small
+exception Chunk_unavailable = Cc_state.Chunk_unavailable
+exception Alloc_guard_exhausted = Cc_state.Alloc_guard_exhausted
 
-let emit_event t ev =
-  match t.on_event with Some f -> f ev | None -> ()
-
-let trace t ev = match t.tracer with Some tr -> Trace.emit tr ev | None -> ()
-
-let log_src =
-  Logs.Src.create "softcache.controller"
-    ~doc:"SoftCache cache-controller events"
-
-module Log = (val Logs.src_log log_src)
-
-let enc = Isa.Encode.encode
-
-(* Every explicit client-side charge is labelled with its attribution
-   category so an attached tracer can conserve: the labelled categories
-   plus the execute residual sum exactly to [cpu.cycles]. *)
-let charge t cat c =
-  (match t.tracer with Some tr -> Trace.attribute tr cat c | None -> ());
-  t.cpu.cycles <- t.cpu.cycles + c
-let write_word t addr w = Machine.Memory.write32 t.cpu.mem addr w
-
-let add_stub t make =
-  t.live_stubs <- t.live_stubs + 1;
-  match t.free_stubs with
-  | k :: rest ->
-    t.free_stubs <- rest;
-    t.stubs.(k) <- make k;
-    k
-  | [] ->
-    if t.nstubs = Array.length t.stubs then begin
-      let bigger =
-        Array.make (max 64 (2 * t.nstubs)) (Stub.Computed { rs = Isa.Reg.ra })
-      in
-      Array.blit t.stubs 0 bigger 0 t.nstubs;
-      t.stubs <- bigger
-    end;
-    let k = t.nstubs in
-    t.stubs.(k) <- make k;
-    t.nstubs <- k + 1;
-    k
-
-(* A dead block's stub entries can never fire again (its memory is
-   unreachable once the resume redirect has run), so they are recycled
-   — this is what keeps CC metadata proportional to residency. *)
-let free_block_stubs t victims =
-  List.iter
-    (fun (b : Tcache.block) ->
-      List.iter
-        (fun k ->
-          t.free_stubs <- k :: t.free_stubs;
-          t.live_stubs <- t.live_stubs - 1)
-        b.stubs)
-    victims
-
-let record_incoming t (b : Tcache.block) ~from_block ~site_paddr ~revert_word
-    =
-  if t.chaos_drop_incoming > 0 then
-    t.chaos_drop_incoming <- t.chaos_drop_incoming - 1
-  else
-    b.incoming <-
-      { Tcache.from_block; site_paddr; revert_word } :: b.incoming
-
-(* Allocate (or reuse) the persistent return stub for a return target.
-   May evict blocks to grow the stub area; [on_evicted] handles them. *)
-let rec persistent_ret_stub t ~on_evicted ret_vaddr =
-  match Hashtbl.find_opt t.ret_stubs ret_vaddr with
-  | Some (paddr, _) -> paddr
-  | None -> (
-    match Tcache.alloc_persistent t.tc ~words:1 with
-    | Error `Too_large -> raise Tcache_too_small
-    | Ok (paddr, victims) ->
-      on_evicted victims;
-      let k =
-        add_stub t (fun _k ->
-            Stub.Ret_stub { site_paddr = paddr; target = ret_vaddr })
-      in
-      write_word t paddr (enc (Isa.Instr.Trap k));
-      Hashtbl.replace t.ret_stubs ret_vaddr (paddr, k);
-      t.stats.ret_stubs <- t.stats.ret_stubs + 1;
-      paddr)
-
-(* Redirect any live landing-pad address held in [ra] or on the stack
-   into a persistent return stub. [padtbl] maps pad paddr -> return
-   vaddr for the pads that just died. *)
-and scrub_stack t ~on_evicted padtbl =
-  let fixup v =
-    match Hashtbl.find_opt padtbl v with
-    | Some ret_vaddr -> Some (persistent_ret_stub t ~on_evicted ret_vaddr)
-    | None -> None
-  in
-  (match fixup (Machine.Cpu.reg t.cpu Isa.Reg.ra) with
-  | Some p -> Machine.Cpu.set_reg t.cpu Isa.Reg.ra p
-  | None -> ());
-  let sp = Machine.Cpu.reg t.cpu Isa.Reg.sp in
-  let scanned = ref 0 in
-  let scan_range lo hi =
-    let addr = ref (lo land lnot 3) in
-    while !addr + 4 <= hi do
-      incr scanned;
-      (match fixup (Machine.Memory.read32 t.cpu.mem !addr) with
-      | Some p -> write_word t !addr p
-      | None -> ());
-      addr := !addr + 4
-    done
-  in
-  scan_range (max 0 sp) t.stack_top;
-  (* "any non-stack storage (e.g. thread control blocks) must be
-     registered with the runtime system" *)
-  List.iter (fun (lo, hi) -> scan_range lo hi) t.ra_regions;
-  t.stats.scrubbed_words <- t.stats.scrubbed_words + !scanned;
-  charge t Trace.Scrub (t.cfg.scrub_cycles_per_word * !scanned)
-
-and debug_check_stale t victims =
-  (* SOFTCACHE_DEBUG: detect return addresses pointing into freed blocks *)
-  let in_victim v =
-    List.exists
-      (fun (b : Tcache.block) ->
-        v >= b.paddr && v < b.paddr + (4 * b.words))
-      victims
-  in
-  let ra = Machine.Cpu.reg t.cpu Isa.Reg.ra in
-  if in_victim ra then
-    Printf.eprintf "STALE ra=0x%x after scrub! pc=0x%x\n%!" ra t.cpu.pc;
-  let sp = max 0 (Machine.Cpu.reg t.cpu Isa.Reg.sp land lnot 3) in
-  let addr = ref sp in
-  while !addr + 4 <= t.stack_top do
-    let v = Machine.Memory.read32 t.cpu.mem !addr in
-    if in_victim v then
-      Printf.eprintf "STALE stack[0x%x]=0x%x after scrub! pc=0x%x sp=0x%x\n%!"
-        !addr v t.cpu.pc sp;
-    addr := !addr + 4
-  done
-
-and revert_incoming t victims =
-  (* unlink: revert every recorded incoming pointer whose own block
-     still exists *)
-  List.iter
-    (fun (b : Tcache.block) ->
-      List.iter
-        (fun (inc : Tcache.incoming) ->
-          if inc.from_block = -1 || Tcache.is_alive t.tc inc.from_block
-          then begin
-            write_word t inc.site_paddr inc.revert_word;
-            t.stats.reverts <- t.stats.reverts + 1;
-            charge t Trace.Patch t.cfg.patch_cycles
-          end)
-        b.incoming)
-    victims
-
-and process_evicted t victims =
-  if victims <> [] then begin
-    let n = List.length victims in
-    Log.debug (fun m ->
-        m "evict %d block(s): %s" n
-          (String.concat ","
-             (List.map
-                (fun (b : Tcache.block) -> Printf.sprintf "v=0x%x" b.vaddr)
-                victims)));
-    t.stats.evicted_blocks <- t.stats.evicted_blocks + n;
-    Stats.record_eviction t.stats ~cycle:t.cpu.cycles ~blocks:n;
-    List.iter
-      (fun (b : Tcache.block) ->
-        trace t
-          (Trace.Cc_evict
-             {
-               chunk = b.vaddr;
-               base = b.paddr;
-               bytes = 4 * b.words;
-               incoming = List.length b.incoming;
-             }))
-      victims;
-    revert_incoming t victims;
-    (* recycle the victims' stub entries right away: once their
-       incoming pointers are reverted nothing references them, and the
-       scrubbing below can itself evict (persistent stub growth) —
-       leaving them allocated across that nested eviction would expose
-       a transiently inconsistent stub table to the event hook *)
-    free_block_stubs t victims;
-    (* landing pads that may be live in return addresses *)
-    let padtbl = Hashtbl.create 16 in
-    List.iter
-      (fun (b : Tcache.block) ->
-        List.iter (fun (p, rv) -> Hashtbl.replace padtbl p rv) b.pads)
-      victims;
-    if Hashtbl.length padtbl > 0 then
-      scrub_stack t ~on_evicted:(process_evicted t) padtbl;
-    (* if the CPU is parked inside a dead block (invalidate between
-       runs), park it on a persistent stub for its resume address *)
-    List.iter
-      (fun (b : Tcache.block) ->
-        let pc = t.cpu.pc in
-        if pc >= b.paddr && pc < b.paddr + (4 * b.words) then
-          let rv = b.resume.((pc - b.paddr) asr 2) in
-          t.cpu.pc <-
-            persistent_ret_stub t ~on_evicted:(process_evicted t) rv)
-      victims;
-    if Sys.getenv_opt "SOFTCACHE_DEBUG" <> None then
-      debug_check_stale t victims;
-    emit_event t (Evicted n)
-  end
-
-let do_flush t =
-  (* collect live pad references before tearing everything down;
-     pinned blocks survive, so their pads stay valid *)
-  let padtbl = Hashtbl.create 64 in
-  List.iter
-    (fun (b : Tcache.block) ->
-      if not (Tcache.is_pinned t.tc b.id) then
-        List.iter (fun (p, rv) -> Hashtbl.replace padtbl p rv) b.pads)
-    (Tcache.blocks t.tc);
-  let ra_ref =
-    Hashtbl.find_opt padtbl (Machine.Cpu.reg t.cpu Isa.Reg.ra)
-  in
-  (* where must the CPU resume if it is parked in doomed code?
-     (persistent return stubs survive the flush, so a pc parked on one
-     needs no fixing) *)
-  let pc_resume =
-    let pc = t.cpu.pc in
-    let in_block =
-      List.find_opt
-        (fun (b : Tcache.block) ->
-          pc >= b.paddr && pc < b.paddr + (4 * b.words))
-        (Tcache.blocks t.tc)
-    in
-    match in_block with
-    | Some b -> Some b.resume.((pc - b.paddr) asr 2)
-    | None -> None
-  in
-  let stack_refs = ref [] in
-  let sp = max 0 (Machine.Cpu.reg t.cpu Isa.Reg.sp land lnot 3) in
-  let scanned = ref 0 in
-  let scan_range lo hi =
-    let addr = ref (lo land lnot 3) in
-    while !addr + 4 <= hi do
-      incr scanned;
-      (match
-         Hashtbl.find_opt padtbl (Machine.Memory.read32 t.cpu.mem !addr)
-       with
-      | Some rv -> stack_refs := (!addr, rv) :: !stack_refs
-      | None -> ());
-      addr := !addr + 4
-    done
-  in
-  scan_range sp t.stack_top;
-  List.iter (fun (lo, hi) -> scan_range lo hi) t.ra_regions;
-  t.stats.scrubbed_words <- t.stats.scrubbed_words + !scanned;
-  charge t Trace.Scrub (t.cfg.scrub_cycles_per_word * !scanned);
-  Log.debug (fun m ->
-      m "flush: %d resident blocks, pc=0x%x" (Tcache.resident_blocks t.tc)
-        t.cpu.pc);
-  let former = Tcache.reset t.tc in
-  (* pinned survivors may have patched exits into flushed blocks *)
-  revert_incoming t former;
-  free_block_stubs t former;
-  t.stats.evicted_blocks <- t.stats.evicted_blocks + List.length former;
-  if former <> [] then
-    Stats.record_eviction t.stats ~cycle:t.cpu.cycles
-      ~blocks:(List.length former);
-  t.stats.flushes <- t.stats.flushes + 1;
-  List.iter
-    (fun (b : Tcache.block) ->
-      trace t
-        (Trace.Cc_evict
-           {
-             chunk = b.vaddr;
-             base = b.paddr;
-             bytes = 4 * b.words;
-             incoming = List.length b.incoming;
-           }))
-    former;
-  trace t (Trace.Cc_flush { chunks = List.length former });
-  (* persistent return stubs survive the flush, but any that had been
-     specialised into direct jumps must trap again *)
-  Hashtbl.iter
-    (fun _rv (paddr, k) -> write_word t paddr (enc (Isa.Instr.Trap k)))
-    t.ret_stubs;
-  let no_evictions victims = assert (victims = []) in
-  (match ra_ref with
-  | Some rv ->
-    Machine.Cpu.set_reg t.cpu Isa.Reg.ra
-      (persistent_ret_stub t ~on_evicted:no_evictions rv)
-  | None -> ());
-  List.iter
-    (fun (a, rv) ->
-      write_word t a (persistent_ret_stub t ~on_evicted:no_evictions rv))
-    !stack_refs;
-  (match pc_resume with
-  | Some rv ->
-    t.cpu.pc <- persistent_ret_stub t ~on_evicted:no_evictions rv
-  | None -> ());
-  emit_event t Flushed
-
-let resident_oracle t v =
-  match Tcache.lookup t.tc v with
-  | Some b -> Some (b.id, b.paddr)
-  | None -> None
-
-let bytes_of_words (words : int array) =
-  let b = Bytes.create (4 * Array.length words) in
-  Array.iteri (fun i w -> Bytes.set_int32_le b (4 * i) (Int32.of_int w)) words;
-  b
-
-let words_of_bytes b =
-  Array.init (Bytes.length b / 4) (fun i ->
-      Int32.to_int (Bytes.get_int32_le b (4 * i)) land 0xFFFFFFFF)
-
-(* -- CC staging buffer for prefetched chunks ------------------------- *)
-
-(* The queue tracks arrival order for bounded FIFO discard; consumed or
-   invalidated entries leave stale vaddrs behind that are skipped here. *)
-let rec make_staging_room t =
-  if Hashtbl.length t.staging >= t.cfg.staging_chunks then
-    match Queue.take_opt t.staging_order with
-    | None -> ()
-    | Some old ->
-      if Hashtbl.mem t.staging old then begin
-        Hashtbl.remove t.staging old;
-        t.stats.prefetch_wasted <- t.stats.prefetch_wasted + 1
-      end;
-      make_staging_room t
-
-let stage_chunk t vaddr st_bytes st_crc =
-  if not (Hashtbl.mem t.staging vaddr) then begin
-    make_staging_room t;
-    Hashtbl.replace t.staging vaddr { st_bytes; st_crc };
-    Queue.add vaddr t.staging_order;
-    t.stats.prefetch_issued <- t.stats.prefetch_issued + 1
-  end
-
-let take_staged t v =
-  match Hashtbl.find_opt t.staging v with
-  | None -> None
-  | Some s ->
-    Hashtbl.remove t.staging v;
-    Some s
-
-let drop_staged_in t ~lo ~hi =
-  let doomed =
-    Hashtbl.fold
-      (fun v (s : staged) acc ->
-        if v < hi && v + Bytes.length s.st_bytes > lo then v :: acc else acc)
-      t.staging []
-  in
-  List.iter
-    (fun v ->
-      Hashtbl.remove t.staging v;
-      t.stats.prefetch_wasted <- t.stats.prefetch_wasted + 1)
-    doomed
-
-(* Ship a rewritten chunk from the MC to the CC through the (possibly
-   faulty) interconnect, with up to [prefetch_degree] speculative chunk
-   bodies riding in the same frame. The MC stamps each segment with a
-   CRC32; the CC verifies the demand segment on receipt, waits out
-   dropped frames, and re-requests with exponential backoff. Prefetched
-   segments are staged unverified — their CRC is checked at install
-   time. All waiting, wire time and backoff are charged through the
-   cost model. *)
-let fetch_chunk t ~vaddr ~(words : int array) ~prefetch =
-  let payload = bytes_of_words words in
-  let crc = Crc32.bytes payload in
-  let pf_segments =
-    List.map (fun (pv, pb) -> (pv, pb, Crc32.bytes pb)) prefetch
-  in
-  let payloads = payload :: List.map (fun (_, pb, _) -> pb) pf_segments in
-  let rec attempt tries =
-    if tries > t.cfg.max_retries then begin
-      t.stats.chunk_failures <- t.stats.chunk_failures + 1;
-      Log.warn (fun m ->
-          m "chunk v=0x%x unavailable after %d attempts" vaddr tries);
-      raise (Chunk_unavailable { vaddr; attempts = tries })
-    end;
-    if tries > 0 then begin
-      t.stats.net_retries <- t.stats.net_retries + 1;
-      t.stats.max_chunk_retries <- max t.stats.max_chunk_retries tries;
-      trace t (Trace.Cc_retry { chunk = vaddr; attempt = tries });
-      charge t Trace.Wire (t.cfg.retry_backoff_cycles * (1 lsl (tries - 1)))
-    end;
-    match Netmodel.transfer_batch t.cfg.net ~payloads with
-    | Error (`Dropped wasted) ->
-      charge t Trace.Wire (wasted + t.cfg.timeout_cycles);
-      t.stats.net_timeouts <- t.stats.net_timeouts + 1;
-      attempt (tries + 1)
-    | Ok (cycles, received) ->
-      charge t Trace.Wire cycles;
-      let demand, rest =
-        match received with d :: r -> (d, r) | [] -> assert false
-      in
-      if Crc32.bytes demand <> crc then begin
-        t.stats.crc_failures <- t.stats.crc_failures + 1;
-        attempt (tries + 1)
-      end
-      else begin
-        if tries > 0 then t.stats.recoveries <- t.stats.recoveries + 1;
-        (demand, rest)
-      end
-  in
-  let demand, rest = attempt 0 in
-  List.iter2
-    (fun (pv, _, pcrc) received -> stage_chunk t pv received pcrc)
-    pf_segments rest;
-  if pf_segments <> [] then begin
-    let n = 1 + List.length pf_segments in
-    t.stats.batches <- t.stats.batches + 1;
-    t.stats.batch_chunks <- t.stats.batch_chunks + n;
-    t.stats.max_batch_chunks <- max t.stats.max_batch_chunks n
-  end;
-  words_of_bytes demand
-
-(* Which chunks should ride along with this demand miss? Static
-   successors of the chunk being translated, minus anything already
-   resident or staged, ranked by the attached hotness oracle (profile
-   samples over the chunk's source span) when there is one. *)
-let prefetch_candidates t (chunk : Chunker.t) =
-  if t.cfg.prefetch_degree = 0 || t.cfg.staging_chunks = 0 then []
-  else begin
-    let cands =
-      Chunker.successors t.image chunk
-      |> List.filter (fun a ->
-             Tcache.lookup t.tc a = None && not (Hashtbl.mem t.staging a))
-      |> List.filter_map (fun a ->
-             match Chunker.chunk_at t.image t.cfg.chunking a with
-             | c -> Some c
-             | exception (Chunker.Bad_address _ | Chunker.Trap_in_source _) ->
-               None)
-    in
-    let rank (c : Chunker.t) =
-      match t.prefetch_ranker with
-      | None -> 0
-      | Some f -> f ~lo:c.vaddr ~hi:(c.vaddr + Chunker.span_bytes c)
-    in
-    let keyed = List.map (fun c -> (rank c, c)) cands in
-    let ranked =
-      List.stable_sort (fun (ka, _) (kb, _) -> compare kb ka) keyed
-    in
-    let rec take n = function
-      | (_, c) :: rest when n > 0 -> c :: take (n - 1) rest
-      | _ -> []
-    in
-    take t.cfg.prefetch_degree ranked
-  end
-
-(* Rebuild a [Chunker.t] from a staged chunk body: CRC-check then
-   decode. [None] means the staged copy is unusable (corrupted in
-   flight) and the miss must go back to the wire. *)
-let chunk_of_staged v (s : staged) =
-  if Crc32.bytes s.st_bytes <> s.st_crc then None
-  else
-    let words = words_of_bytes s.st_bytes in
-    let n = Array.length words in
-    let rec decode_all i acc =
-      if i = n then Some (List.rev acc)
-      else
-        match Isa.Encode.decode words.(i) with
-        | Some instr -> decode_all (i + 1) (instr :: acc)
-        | None -> None
-    in
-    match decode_all 0 [] with
-    | Some (_ :: _ as instrs) ->
-      Some { Chunker.vaddr = v; instrs = Array.of_list instrs }
-    | Some [] | None -> None
-
-let translate t v =
-  trace t (Trace.Cc_miss { pc = v });
-  (* a staged prefetched copy of this chunk skips the wire entirely;
-     a corrupted one is discarded and the miss pays the round trip *)
-  let chunk, from_staging =
-    match take_staged t v with
-    | None -> (Chunker.chunk_at t.image t.cfg.chunking v, false)
-    | Some s -> (
-      match chunk_of_staged v s with
-      | Some c ->
-        t.stats.prefetch_installs <- t.stats.prefetch_installs + 1;
-        trace t (Trace.Cc_staged_install { chunk = v });
-        (c, true)
-      | None ->
-        t.stats.prefetch_crc_failures <- t.stats.prefetch_crc_failures + 1;
-        (Chunker.chunk_at t.image t.cfg.chunking v, false))
-  in
-  let words_needed = Rewriter.layout_words chunk in
-  let base =
-    match t.cfg.eviction with
-    | Config.Fifo ->
-      (* processing the evictions can grow the persistent stub area
-         down into the range we just reserved (stack scrubbing creates
-         return stubs); re-allocate until the placement is clear *)
-      let rec alloc_loop guard =
-        if guard = 0 then raise Tcache_too_small
-        else
-          match Tcache.alloc_fifo t.tc ~words:words_needed with
-          | Error `Too_large -> raise (Chunk_too_large v)
-          | Error `Full -> raise Tcache_too_small
-          | Ok (p, victims) ->
-            process_evicted t victims;
-            if p + (4 * words_needed) <= Tcache.persist_base t.tc then p
-            else alloc_loop (guard - 1)
-      in
-      alloc_loop 64
-    | Config.Flush_all -> (
-      match Tcache.alloc_append t.tc ~words:words_needed with
-      | Ok p -> p
-      | Error `Too_large -> raise (Chunk_too_large v)
-      | Error `Full -> (
-        do_flush t;
-        match Tcache.alloc_append t.tc ~words:words_needed with
-        | Ok p -> p
-        | Error `Too_large -> raise (Chunk_too_large v)
-        | Error `Full ->
-          (* post-flush only pinned blocks remain in the way: a chunk
-             that fits the region's capacity is being crowded out *)
-          raise Tcache_too_small))
-  in
-  trace t (Trace.Tc_alloc { chunk = v; base; bytes = 4 * words_needed });
-  let id = t.next_block_id in
-  t.next_block_id <- id + 1;
-  let resident =
-    if t.cfg.bind_at_translate then resident_oracle t else fun _ -> None
-  in
-  let allocated = ref [] in
-  let alloc_stub make =
-    let k = add_stub t make in
-    allocated := k :: !allocated;
-    k
-  in
-  let emission =
-    Rewriter.translate chunk ~block_id:id ~base ~resident ~alloc_stub
-  in
-  (* the rewritten words travel MC -> CC over the link (unless a staged
-     prefetch already delivered the chunk body); a chunk that cannot be
-     delivered intact within the retry budget must leave the cache
-     state exactly as it was (minus any evictions already done) *)
-  let words =
-    if from_staging then emission.words
-    else
-      let prefetch =
-        List.map
-          (fun (c : Chunker.t) ->
-            (c.vaddr, bytes_of_words (Array.map enc c.instrs)))
-          (prefetch_candidates t chunk)
-      in
-      match fetch_chunk t ~vaddr:v ~words:emission.words ~prefetch with
-      | w -> w
-      | exception (Chunk_unavailable _ as e) ->
-        List.iter
-          (fun k ->
-            t.free_stubs <- k :: t.free_stubs;
-            t.live_stubs <- t.live_stubs - 1)
-          !allocated;
-        raise e
-  in
-  Array.iteri (fun i w -> write_word t (base + (4 * i)) w) words;
-  let emitted = Array.length emission.words in
-  let block =
-    {
-      Tcache.id;
-      vaddr = v;
-      paddr = base;
-      words = emitted;
-      orig_words = Array.length chunk.instrs;
-      incoming = [];
-      pads = emission.pads;
-      resume = emission.resume;
-      stubs = !allocated;
-    }
-  in
-  Tcache.register t.tc block;
-  List.iter
-    (fun (tb, site_paddr, revert_word) ->
-      match Tcache.find_by_id t.tc tb with
-      | Some target_block ->
-        record_incoming t target_block ~from_block:id ~site_paddr
-          ~revert_word
-      | None -> assert false (* resident during this translation *))
-    emission.bound;
-  Log.debug (fun m ->
-      m "translate v=0x%x -> @0x%x (%d words, id=%d)" v base emitted id);
-  t.stats.translations <- t.stats.translations + 1;
-  t.stats.translated_words <- t.stats.translated_words + emitted;
-  t.stats.overhead_words <- t.stats.overhead_words + emission.overhead_words;
-  t.stats.max_resident_blocks <-
-    max t.stats.max_resident_blocks (Tcache.resident_blocks t.tc);
-  t.stats.max_occupied_bytes <-
-    max t.stats.max_occupied_bytes (Tcache.occupied_bytes t.tc);
-  charge t Trace.Translate
-    (t.cfg.miss_fixed_cycles + (t.cfg.translate_cycles_per_word * emitted));
-  trace t (Trace.Cc_translated { chunk = v; base; words = emitted });
-  emit_event t (Translated v);
-  block
-
-let ensure_resident t v =
-  match Tcache.lookup t.tc v with Some b -> b | None -> translate t v
-
-let patch_exit t k ~block ~site_paddr ~kind ~revert_word
-    (target_block : Tcache.block) =
-  if Tcache.is_alive t.tc block then begin
-    let patched =
-      match kind with
-      | Stub.Patch_jmp ->
-        write_word t site_paddr (enc (Isa.Instr.Jmp target_block.paddr));
-        record_incoming t target_block ~from_block:block ~site_paddr
-          ~revert_word;
-        true
-      | Stub.Patch_jal ->
-        write_word t site_paddr (enc (Isa.Instr.Jal target_block.paddr));
-        record_incoming t target_block ~from_block:block ~site_paddr
-          ~revert_word;
-        true
-      | Stub.Patch_br -> (
-        match
-          Isa.Encode.decode (Machine.Memory.read32 t.cpu.mem site_paddr)
-        with
-        | Some (Isa.Instr.Br (c, r1, r2, _)) ->
-          let d = (target_block.paddr - site_paddr) asr 2 in
-          if Isa.Encode.branch_offset_fits d then begin
-            write_word t site_paddr (enc (Isa.Instr.Br (c, r1, r2, d)));
-            record_incoming t target_block ~from_block:block ~site_paddr
-              ~revert_word;
-            true
-          end
-          else begin
-            (* out of reach: specialise the island (where we trapped)
-               into a direct jump instead *)
-            let island = t.cpu.pc in
-            write_word t island (enc (Isa.Instr.Jmp target_block.paddr));
-            record_incoming t target_block ~from_block:block
-              ~site_paddr:island
-              ~revert_word:(enc (Isa.Instr.Trap k));
-            true
-          end
-        | Some _ | None -> false)
-    in
-    if patched then begin
-      t.stats.patches <- t.stats.patches + 1;
-      charge t Trace.Patch t.cfg.patch_cycles;
-      trace t
-        (Trace.Cc_backpatch
-           { site = site_paddr; target = target_block.paddr });
-      emit_event t Patched
-    end
-  end
-
-let handle_trap t k =
-  (* the CPU has already added [trap_dispatch] to the cycle counter
-     before handing control to us *)
-  (match t.tracer with
-  | Some tr -> Trace.attribute_included tr Trace.Trap t.cpu.cost.trap_dispatch
-  | None -> ());
-  match t.stubs.(k) with
-  | Stub.Exit { block; site_paddr; kind; target; revert_word } ->
-    let b = ensure_resident t target in
-    patch_exit t k ~block ~site_paddr ~kind ~revert_word b;
-    t.cpu.pc <- b.paddr
-  | Stub.Computed { rs } ->
-    t.stats.lookups <- t.stats.lookups + 1;
-    charge t Trace.Lookup t.cfg.lookup_cycles;
-    let target = Machine.Cpu.reg t.cpu rs in
-    let b = ensure_resident t target in
-    t.cpu.pc <- b.paddr
-  | Stub.Icall { rd; rs; pad_paddr } ->
-    t.stats.lookups <- t.stats.lookups + 1;
-    charge t Trace.Lookup t.cfg.lookup_cycles;
-    let target = Machine.Cpu.reg t.cpu rs in
-    Machine.Cpu.set_reg t.cpu rd pad_paddr;
-    let b = ensure_resident t target in
-    t.cpu.pc <- b.paddr
-  | Stub.Ret_stub { site_paddr; target } ->
-    t.stats.lookups <- t.stats.lookups + 1;
-    charge t Trace.Lookup t.cfg.lookup_cycles;
-    let b = ensure_resident t target in
-    (* specialise this stub into a direct jump while the target lives,
-       unless a flush has re-purposed the stub area in the meantime *)
-    (match Hashtbl.find_opt t.ret_stubs target with
-    | Some (p, _) when p = site_paddr ->
-      write_word t site_paddr (enc (Isa.Instr.Jmp b.paddr));
-      (match Tcache.find_by_id t.tc b.id with
-      | Some tb ->
-        record_incoming t tb ~from_block:(-1) ~site_paddr
-          ~revert_word:(enc (Isa.Instr.Trap k));
-        t.stats.patches <- t.stats.patches + 1;
-        charge t Trace.Patch t.cfg.patch_cycles;
-        trace t (Trace.Cc_backpatch { site = site_paddr; target = b.paddr });
-        emit_event t Patched
-      | None -> ())
-    | Some _ | None -> ());
-    t.cpu.pc <- b.paddr
+let ensure_resident = Cc_translate.ensure_resident
 
 let create ?cost ?(mem_bytes = 8 * 1024 * 1024) (cfg : Config.t) image =
   let data_end =
     image.Isa.Image.data_base + Bytes.length image.Isa.Image.data
   in
   let tcache_end = cfg.tcache_base + cfg.tcache_bytes in
-  if
-    cfg.tcache_base < data_end && tcache_end > image.Isa.Image.data_base
+  if cfg.tcache_base < data_end && tcache_end > image.Isa.Image.data_base
   then invalid_arg "Controller.create: tcache overlaps data segment";
   if tcache_end > mem_bytes then
     invalid_arg "Controller.create: tcache outside memory";
@@ -743,6 +68,8 @@ let create ?cost ?(mem_bytes = 8 * 1024 * 1024) (cfg : Config.t) image =
       cpu;
       tc = Tcache.create ~base:cfg.tcache_base ~bytes:cfg.tcache_bytes;
       stats = Stats.create ();
+      policy = Policy.create cfg.eviction;
+      install_cycle = Hashtbl.create 256;
       staging = Hashtbl.create 16;
       staging_order = Queue.create ();
       prefetch_ranker = None;
@@ -757,10 +84,11 @@ let create ?cost ?(mem_bytes = 8 * 1024 * 1024) (cfg : Config.t) image =
       live_stubs = 0;
       on_event = None;
       tracer = None;
+      alloc_guard = 64;
       chaos_drop_incoming = 0;
     }
   in
-  cpu.trap_handler <- Some (fun _cpu k -> handle_trap t k);
+  cpu.trap_handler <- Some (fun _cpu k -> Cc_trap.handle_trap t k);
   t
 
 (* Attach the observer last, after any pre-runs that share the config:
@@ -784,9 +112,9 @@ let run ?fuel t =
   Machine.Cpu.run ?fuel t.cpu
 
 let invalidate t ~lo ~hi =
-  Log.info (fun m -> m "invalidate [0x%x, 0x%x)" lo hi);
+  Cc_state.Log.info (fun m -> m "invalidate [0x%x, 0x%x)" lo hi);
   (* staged copies of invalidated source ranges are stale code *)
-  drop_staged_in t ~lo ~hi;
+  Cc_staging.drop_staged_in t ~lo ~hi;
   let victims =
     List.filter
       (fun (b : Tcache.block) ->
@@ -794,11 +122,11 @@ let invalidate t ~lo ~hi =
       (Tcache.blocks t.tc)
   in
   List.iter (Tcache.remove t.tc) victims;
-  process_evicted t victims;
-  trace t (Trace.Cc_invalidate { chunks = List.length victims });
-  emit_event t Invalidated
+  Cc_evict.process_evicted t ~reason_of:(fun _ -> Policy.Invalidated) victims;
+  Cc_state.trace t (Trace.Cc_invalidate { chunks = List.length victims });
+  Cc_state.emit_event t Invalidated
 
-let flush t = do_flush t
+let flush t = Cc_evict.do_flush t
 
 let register_ra_region t ~lo ~hi =
   if lo land 3 <> 0 || hi < lo then

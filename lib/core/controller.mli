@@ -19,28 +19,43 @@
     addresses in [ra] or stack slots are redirected to persistent
     return stubs ("the runtime system must know the layout of all such
     data"). Flush-all resets the whole tcache, preserving return
-    continuity the same way. *)
+    continuity the same way.
 
-type event =
+    Which block dies on a miss is decided by the replacement policy
+    ([Policy.create cfg.eviction], held in the [policy] field) — the
+    controller itself never branches on [Config.eviction]. The
+    implementation is decomposed into [Cc_state] (shared record),
+    [Cc_evict], [Cc_staging], [Cc_translate] and [Cc_trap]; this module
+    re-exports the types and the public API. *)
+
+type event = Cc_state.event =
   | Translated of int  (** a chunk at this vaddr became resident *)
   | Evicted of int  (** this many blocks were just unlinked *)
   | Flushed
   | Invalidated
   | Patched  (** an exit or return stub was specialised in place *)
 
-type staged = {
+type staged = Cc_state.staged = {
   st_bytes : Bytes.t;  (** encoded source instruction words of the chunk *)
   st_crc : int;  (** MC-side CRC32, verified at install time *)
 }
 (** A prefetched chunk body parked in the CC staging buffer, not yet
     rewritten or resident. *)
 
-type t = {
+type t = Cc_state.t = {
   cfg : Config.t;
   image : Isa.Image.t;
   cpu : Machine.Cpu.t;
   tc : Tcache.t;
   stats : Stats.t;
+  policy : Policy.t;
+      (** the replacement policy's bookkeeping, built from
+          [cfg.eviction] at [create]; observes installs, controller-
+          mediated block entries, evictions and flushes, and picks
+          victims — see {!Policy.S} for the invariants it keeps *)
+  install_cycle : (int, int) Hashtbl.t;
+      (** block id -> cycle counter at install, feeding the victim-age
+          histogram in [Stats]; entries die with their block *)
   staging : (int, staged) Hashtbl.t;
       (** staged prefetched chunks keyed by source vaddr; bounded by
           [Config.staging_chunks], consumed on first touch *)
@@ -71,6 +86,13 @@ type t = {
   mutable tracer : Trace.t option;
       (** structured event ring attached by [attach_tracer]; [None]
           (the default) records nothing *)
+  mutable alloc_guard : int;
+      (** rounds the miss path will re-allocate when processing the
+          evictions grows the persistent stub area into the fresh
+          placement (default 64, plenty: each round strictly consumes
+          residents). Exhaustion raises {!Alloc_guard_exhausted}.
+          Mutable as a test hook — lower it to make the exception
+          reachable without a pathological workload. *)
   mutable chaos_drop_incoming : int;
       (** test hook: silently skip the next N incoming-pointer records.
           Seeds a real bookkeeping bug (an unlinked patched exit) so
@@ -83,13 +105,27 @@ exception Chunk_too_large of int
     chunk's virtual address). *)
 
 exception Tcache_too_small
-(** The persistent stub area cannot grow any further. *)
+(** The persistent stub area cannot grow any further, or pinned blocks
+    crowd out every placement for a chunk that would otherwise fit. *)
 
 exception Chunk_unavailable of { vaddr : int; attempts : int }
 (** The interconnect failed to deliver a chunk intact within
     [Config.max_retries] re-requests. The cache state remains
     consistent (allocated stubs are rolled back); [Runner.cached_robust]
     surfaces this as a clean outcome rather than a crash. *)
+
+exception
+  Alloc_guard_exhausted of {
+    loops : int;  (** re-allocation rounds attempted ([alloc_guard]) *)
+    base : int;  (** the code region was [base, persist_base) *)
+    persist_base : int;  (** the stub region was [persist_base, top) *)
+    top : int;
+  }
+(** The miss path re-allocated [loops] times and every round the
+    persistent stub area grew back over the placement. Carries both
+    region bounds at the moment of exhaustion so the failure is
+    diagnosable (a stub region that has consumed the whole tcache shows
+    up as [persist_base] ≈ [base]). *)
 
 val create :
   ?cost:Machine.Cost.t -> ?mem_bytes:int -> Config.t -> Isa.Image.t -> t

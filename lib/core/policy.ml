@@ -1,0 +1,256 @@
+type reason = Victim | Collateral | Stub_growth | Invalidated | Flushed
+
+let reason_name = function
+  | Victim -> "victim"
+  | Collateral -> "collateral"
+  | Stub_growth -> "stub_growth"
+  | Invalidated -> "invalidated"
+  | Flushed -> "flushed"
+
+let reason_names =
+  List.map reason_name [ Victim; Collateral; Stub_growth; Invalidated; Flushed ]
+
+module type S = sig
+  val name : string
+  val kind : [ `Evict | `Flush_all ]
+  val on_install : Tcache.block -> unit
+  val on_entry : Tcache.block -> unit
+  val on_evict : reason -> Tcache.block -> unit
+  val on_flush : unit -> unit
+  val victim : Tcache.t -> Tcache.block option
+  val resident_ids : unit -> int list
+  val debug_state : unit -> string
+end
+
+type t = (module S)
+
+(* Every policy keeps (block, meta) per resident id; the differences
+   are only in what [meta] is, how the hooks update it, and how
+   [victim] orders it. *)
+
+let ids_of tbl = Hashtbl.fold (fun id _ acc -> id :: acc) tbl []
+
+(* [victim] scans the policy's own table, not the tcache: both views
+   are audited equal, and the scan is O(resident blocks) — the same
+   order the allocation sweep already pays. Pinned blocks are skipped;
+   ties break on the smaller key so the choice is deterministic. *)
+let pick_min tbl ~key tc =
+  Hashtbl.fold
+    (fun id (b, m) best ->
+      if Tcache.is_pinned tc id then best
+      else
+        let k = key m in
+        match best with
+        | Some (kb, _) when compare kb k <= 0 -> best
+        | _ -> Some (k, b))
+    tbl None
+  |> Option.map snd
+
+(* Which block would the circular FIFO sweep reclaim next? The first
+   unpinned block whose extent ends past the sweep pointer, lowest
+   placement first; when the sweep is past every block it wraps, so
+   fall back to the lowest-placed unpinned block. Recency policies use
+   this to decide whether deviating from the sweep is worth it at all:
+   block entries are only observable at trap granularity (transfers
+   along patched direct branches are invisible — the cache state is
+   encoded in the branches), so most of the time a recency policy has
+   *no* evidence distinguishing the sweep's candidate from any other
+   block. Deviating without evidence buys nothing and costs a lot:
+   placements seeded away from the sweep point fragment the region,
+   evict collateral neighbours and spill landing pads into persistent
+   stubs. A policy therefore returns a victim only when the sweep is
+   about to kill a block with a recent observed entry. *)
+let sweep_candidate tbl tc =
+  let ptr = Tcache.alloc_ptr tc in
+  let ahead, wrapped =
+    Hashtbl.fold
+      (fun id ((b : Tcache.block), m) (ahead, wrapped) ->
+        if Tcache.is_pinned tc id then (ahead, wrapped)
+        else
+          let ends = b.paddr + (4 * b.words) in
+          let better best =
+            match best with
+            | Some ((bb : Tcache.block), _) when bb.paddr <= b.paddr -> best
+            | _ -> Some (b, m)
+          in
+          if ends > ptr then (better ahead, wrapped)
+          else (ahead, better wrapped))
+      tbl (None, None)
+  in
+  match ahead with Some c -> Some c | None -> wrapped
+
+let fifo_like name kind : t =
+  (module struct
+    let name = name
+    let kind = kind
+    let tbl : (int, Tcache.block * unit) Hashtbl.t = Hashtbl.create 64
+    let on_install (b : Tcache.block) = Hashtbl.replace tbl b.id (b, ())
+    let on_entry _ = ()
+    let on_evict _ (b : Tcache.block) = Hashtbl.remove tbl b.id
+    let on_flush () = ()
+    let victim _ = None
+    let resident_ids () = ids_of tbl
+
+    let debug_state () =
+      Printf.sprintf "%s: %d resident, no per-block state" name
+        (Hashtbl.length tbl)
+  end)
+
+type lru_meta = {
+  mutable stamp : int;  (* last observed install-or-entry tick *)
+  mutable entered : int option;  (* last observed *entry* tick *)
+}
+
+let lru () : t =
+  (module struct
+    let name = "lru"
+    let kind = `Evict
+
+    (* Stamps come from a logical clock ticked on every observed
+       install/entry; strictly increasing, so stamps are unique and
+       the min-stamp victim is deterministic. [entered] tracks entries
+       alone: an entry within the last ~two sweep laps is the evidence
+       [victim] requires before overriding the sweep. *)
+    let tbl : (int, Tcache.block * lru_meta) Hashtbl.t = Hashtbl.create 64
+    let clock = ref 0
+
+    let tick () =
+      incr clock;
+      !clock
+
+    let on_install (b : Tcache.block) =
+      Hashtbl.replace tbl b.id (b, { stamp = tick (); entered = None })
+
+    let on_entry (b : Tcache.block) =
+      match Hashtbl.find_opt tbl b.id with
+      | Some (_, m) ->
+        m.stamp <- tick ();
+        m.entered <- Some m.stamp
+      | None -> ()
+
+    let on_evict _ (b : Tcache.block) = Hashtbl.remove tbl b.id
+    let on_flush () = ()
+
+    (* The clock ticks once per install or entry, so [2 * residents]
+       ticks is roughly two sweep laps: long enough that a block in
+       active reuse re-arms its protection, short enough that a block
+       whose entries have all been patched into direct branches falls
+       back to cold and the policy stops vouching for it. *)
+    let window () = 2 * (Hashtbl.length tbl + 2)
+
+    let fresh m =
+      match m.entered with
+      | Some e -> !clock - e <= window ()
+      | None -> false
+
+    let victim tc =
+      match sweep_candidate tbl tc with
+      | None -> None
+      | Some (sb, sm) ->
+        if not (fresh sm) then None
+        else
+          let lru = pick_min tbl ~key:(fun m -> m.stamp) tc in
+          (match lru with
+          | Some b when b.Tcache.id <> sb.Tcache.id -> Some b
+          | Some _ | None -> None)
+
+    let resident_ids () = ids_of tbl
+
+    let debug_state () =
+      let stamps =
+        Hashtbl.fold
+          (fun id (_, m) acc ->
+            Printf.sprintf "%d@%d%s" id m.stamp
+              (match m.entered with
+              | Some e -> Printf.sprintf "!%d" e
+              | None -> "")
+            :: acc)
+          tbl []
+      in
+      Printf.sprintf "lru: clock=%d window=%d [%s]" !clock (window ())
+        (String.concat " " (List.sort compare stamps))
+  end)
+
+type rrip_meta = {
+  mutable rrpv : int;  (* 2-bit re-reference prediction value *)
+  mutable last_entry : int option;  (* last observed entry tick *)
+  seq : int;  (* insertion order, for deterministic ties *)
+}
+
+let rrip () : t =
+  (module struct
+    let name = "rrip"
+    let kind = `Evict
+
+    (* 2-bit RRPV in the SRRIP mould: insert at 2 ("long re-reference
+       interval"), promote to 0 on an observed entry, evict the block
+       predicted most distant. Hardware SRRIP ages every RRPV until one
+       saturates; here aging is by wall-clock window instead — an entry
+       older than ~two sweep laps has expired and the block reads as
+       distant (RRPV 3) again. The windowed read keeps [victim] a pure
+       query (the auditor calls it freely) while still forgetting
+       blocks whose entries have been patched into silent direct
+       branches. Ties break by insertion order, oldest first. *)
+    let tbl : (int, Tcache.block * rrip_meta) Hashtbl.t = Hashtbl.create 64
+    let clock = ref 0
+
+    let tick () =
+      incr clock;
+      !clock
+
+    let on_install (b : Tcache.block) =
+      let s = tick () in
+      Hashtbl.replace tbl b.id (b, { rrpv = 2; last_entry = None; seq = s })
+
+    let on_entry (b : Tcache.block) =
+      match Hashtbl.find_opt tbl b.id with
+      | Some (_, m) ->
+        m.rrpv <- 0;
+        m.last_entry <- Some (tick ())
+      | None -> ()
+
+    let on_evict _ (b : Tcache.block) = Hashtbl.remove tbl b.id
+    let on_flush () = ()
+    let window () = 2 * (Hashtbl.length tbl + 2)
+
+    (* the aged read: promotion decays once the entry leaves the window *)
+    let effective m =
+      match m.last_entry with
+      | Some e when !clock - e <= window () -> m.rrpv
+      | Some _ -> 3
+      | None -> 3
+
+    let victim tc =
+      match sweep_candidate tbl tc with
+      | None -> None
+      | Some (sb, sm) ->
+        if effective sm >= 3 then None
+        else
+          (* max effective RRPV first, oldest insertion on ties *)
+          let distant =
+            pick_min tbl ~key:(fun m -> (-effective m, m.seq)) tc
+          in
+          (match distant with
+          | Some b when b.Tcache.id <> sb.Tcache.id -> Some b
+          | Some _ | None -> None)
+
+    let resident_ids () = ids_of tbl
+
+    let debug_state () =
+      let rrpvs =
+        Hashtbl.fold
+          (fun id (_, m) acc ->
+            Printf.sprintf "%d:rrpv=%d/eff=%d,seq=%d" id m.rrpv (effective m)
+              m.seq
+            :: acc)
+          tbl []
+      in
+      Printf.sprintf "rrip: clock=%d window=%d [%s]" !clock (window ())
+        (String.concat " " (List.sort compare rrpvs))
+  end)
+
+let create = function
+  | Config.Fifo -> fifo_like "fifo" `Evict
+  | Config.Flush_all -> fifo_like "flush" `Flush_all
+  | Config.Lru -> lru ()
+  | Config.Rrip -> rrip ()

@@ -1,4 +1,5 @@
 let eviction_capacity = 4096
+let age_buckets = 32
 
 type t = {
   mutable translations : int;
@@ -28,6 +29,13 @@ type t = {
   mutable batches : int;
   mutable batch_chunks : int;
   mutable max_batch_chunks : int;
+  mutable policy_entries : int;
+  mutable evicted_victim : int;
+  mutable evicted_collateral : int;
+  mutable evicted_stub_growth : int;
+  mutable evicted_invalidated : int;
+  mutable evicted_flushed : int;
+  victim_age_hist : int array;
 }
 
 let create () =
@@ -59,6 +67,13 @@ let create () =
     batches = 0;
     batch_chunks = 0;
     max_batch_chunks = 0;
+    policy_entries = 0;
+    evicted_victim = 0;
+    evicted_collateral = 0;
+    evicted_stub_growth = 0;
+    evicted_invalidated = 0;
+    evicted_flushed = 0;
+    victim_age_hist = Array.make age_buckets 0;
   }
 
 let reset t =
@@ -88,11 +103,37 @@ let reset t =
   t.prefetch_crc_failures <- 0;
   t.batches <- 0;
   t.batch_chunks <- 0;
-  t.max_batch_chunks <- 0
+  t.max_batch_chunks <- 0;
+  t.policy_entries <- 0;
+  t.evicted_victim <- 0;
+  t.evicted_collateral <- 0;
+  t.evicted_stub_growth <- 0;
+  t.evicted_invalidated <- 0;
+  t.evicted_flushed <- 0;
+  Array.fill t.victim_age_hist 0 age_buckets 0
 
 let miss_rate t ~retired =
   if retired = 0 then 0.0
   else float_of_int t.translations /. float_of_int retired
+
+(* Victim ages land in log2 buckets: bucket k holds ages in
+   [2^k, 2^(k+1)), bucket 0 also takes age <= 1, the last bucket
+   saturates. Cheap enough for every eviction, wide enough for any
+   plausible cycle count. *)
+let record_victim_age t ~age =
+  let k =
+    if age <= 1 then 0 else min (age_buckets - 1) (Bitmath.floor_log2 age)
+  in
+  t.victim_age_hist.(k) <- t.victim_age_hist.(k) + 1
+
+let victim_ages t =
+  let rec go k acc =
+    if k < 0 then acc
+    else
+      let n = t.victim_age_hist.(k) in
+      go (k - 1) (if n = 0 then acc else (1 lsl k, n) :: acc)
+  in
+  go (age_buckets - 1) []
 
 let record_eviction t ~cycle ~blocks =
   t.eviction_ring.(t.eviction_count mod eviction_capacity) <- (cycle, blocks);
@@ -139,4 +180,10 @@ let pp ppf t =
       "@.prefetch: issued=%d, installed=%d, wasted=%d, crc-fail=%d, \
        batches=%d (%d chunks, max %d)"
       t.prefetch_issued t.prefetch_installs t.prefetch_wasted
-      t.prefetch_crc_failures t.batches t.batch_chunks t.max_batch_chunks
+      t.prefetch_crc_failures t.batches t.batch_chunks t.max_batch_chunks;
+  if t.evicted_blocks > 0 || t.policy_entries > 0 then
+    Format.fprintf ppf
+      "@.policy: entries=%d, evicted victim=%d collateral=%d stub-growth=%d \
+       invalidated=%d flushed=%d"
+      t.policy_entries t.evicted_victim t.evicted_collateral
+      t.evicted_stub_growth t.evicted_invalidated t.evicted_flushed

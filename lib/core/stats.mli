@@ -12,6 +12,9 @@
 val eviction_capacity : int
 (** Fixed bound on retained eviction events (4096). *)
 
+val age_buckets : int
+(** Number of log2 buckets in the victim-age histogram (32). *)
+
 type t = {
   mutable translations : int;  (** chunks translated = misses *)
   mutable translated_words : int;  (** words emitted into the tcache *)
@@ -52,6 +55,22 @@ type t = {
   mutable batches : int;  (** demand frames that carried ≥ 1 prefetch *)
   mutable batch_chunks : int;  (** total chunks shipped across batches *)
   mutable max_batch_chunks : int;  (** largest single batched frame *)
+  mutable policy_entries : int;
+      (** block-entry (hit) events the replacement policy observed —
+          the controller-mediated entries only, never one per
+          instruction *)
+  mutable evicted_victim : int;
+      (** blocks evicted because the policy (or the FIFO sweep) chose
+          them *)
+  mutable evicted_collateral : int;
+      (** blocks overlapped by a placement seeded at another victim *)
+  mutable evicted_stub_growth : int;
+      (** blocks run over by the growing persistent-stub area *)
+  mutable evicted_invalidated : int;  (** [Controller.invalidate] range hits *)
+  mutable evicted_flushed : int;  (** unpinned residents of a flush *)
+  victim_age_hist : int array;
+      (** log2-bucketed cycles-resident-at-eviction; use
+          [record_victim_age] / [victim_ages], not the raw array *)
 }
 
 val create : unit -> t
@@ -59,6 +78,14 @@ val reset : t -> unit
 
 val miss_rate : t -> retired:int -> float
 (** Translations per retired instruction — the Fig. 7 metric. *)
+
+val record_victim_age : t -> age:int -> unit
+(** Record one evicted block's residency span (cycles between install
+    and eviction) into the log2 histogram; bucket [k] holds ages in
+    [2^k, 2^(k+1)), the last bucket saturates. *)
+
+val victim_ages : t -> (int * int) list
+(** Non-empty histogram buckets as [(2^k, count)] pairs, ascending. *)
 
 val record_eviction : t -> cycle:int -> blocks:int -> unit
 (** Record one eviction event; overwrites the oldest retained event

@@ -133,6 +133,24 @@ let alloc_fifo t ~words =
     | Ok _ as ok -> ok
     | Error `Full -> Error `Full
 
+(* Seeded variant for victim-directed policies: restart the sweep at
+   the policy's chosen block so that block (and only its immediate
+   neighbourhood) is reclaimed. A seed outside the code area — possible
+   when the persistent stub region grew over the victim between the
+   choice and the placement — is ignored and the sweep just continues,
+   which degrades gracefully to FIFO for this one allocation. *)
+let alloc_seeded t ~seed ~words =
+  let bytes = words * 4 in
+  if bytes > t.persist_base - t.base then Error `Too_large
+  else begin
+    if seed >= t.base && seed < t.persist_base then t.alloc_ptr <- seed;
+    place_skipping_pinned t ~bytes
+      ~budget:(2 * (Hashtbl.length t.pinned + 2))
+      ~can_evict:true
+  end
+
+let alloc_ptr t = t.alloc_ptr
+
 let alloc_append t ~words =
   let bytes = words * 4 in
   if bytes > t.persist_base - t.base then Error `Too_large

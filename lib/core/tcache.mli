@@ -69,6 +69,18 @@ val alloc_fifo :
     [`Full] means it would fit an empty region but pinned blocks crowd
     out every placement. *)
 
+val alloc_seeded :
+  t -> seed:int -> words:int -> (int * block list, [ `Full | `Too_large ]) result
+(** Like {!alloc_fifo}, but restart the circular sweep at [seed] — the
+    physical address of a victim block chosen by a replacement policy —
+    so the placement reclaims that block first. A [seed] outside the
+    current code area is ignored (the sweep continues where it was),
+    degrading gracefully to FIFO for this allocation. *)
+
+val alloc_ptr : t -> int
+(** Current position of the circular allocation sweep (diagnostic; also
+    used by tests that emulate pathological stub growth). *)
+
 val alloc_append : t -> words:int -> (int, [ `Full | `Too_large ]) result
 (** Allocate without evicting (flush-all policy): fail when the sweep
     pointer cannot fit the block before the persistent region. Skips

@@ -154,6 +154,25 @@ let prefetch ~issued ~installs ~wasted ~crc_failures ~batches ~batch_chunks
          max_batch_chunks)
   end
 
+let policy ~name ~entries ~victim ~collateral ~stub_growth ~invalidated
+    ~flushed ~ages =
+  let evicted = victim + collateral + stub_growth + invalidated + flushed in
+  if entries + evicted > 0 then begin
+    kv "replacement policy"
+      (Printf.sprintf "%s (%d observed block entries)" name entries);
+    kv "evictions by reason"
+      (Printf.sprintf
+         "%d victim, %d collateral, %d stub-growth, %d invalidated, %d \
+          flushed"
+         victim collateral stub_growth invalidated flushed);
+    if ages <> [] then
+      kv "victim age (cycles)"
+        (String.concat ", "
+           (List.map
+              (fun (lo, n) -> Printf.sprintf "%d+:%d" lo n)
+              ages))
+  end
+
 let trace_summary ~total ~execute ~translate ~wire ~trap ~dcache ~patch
     ~scrub ~lookup ~events ~dropped ~capacity =
   let pct c =

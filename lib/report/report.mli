@@ -95,6 +95,22 @@ val prefetch :
 (** Prefetch and batching summary as [kv] rows. Prints nothing when
     every counter is zero, so prefetch-off runs stay unchanged. *)
 
+val policy :
+  name:string ->
+  entries:int ->
+  victim:int ->
+  collateral:int ->
+  stub_growth:int ->
+  invalidated:int ->
+  flushed:int ->
+  ages:(int * int) list ->
+  unit
+(** Replacement-policy summary as [kv] rows: observed block entries,
+    eviction counts broken down by reason, and the victim-age
+    histogram ([Stats.victim_ages] pairs, printed as "lo+:count").
+    Prints nothing when no entries were observed and nothing was
+    evicted, so eviction-free runs stay unchanged. *)
+
 val trace_summary :
   total:int ->
   execute:int ->

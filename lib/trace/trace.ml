@@ -4,7 +4,16 @@ type event =
   | Cc_miss of { pc : int }
   | Cc_translated of { chunk : int; base : int; words : int }
   | Cc_backpatch of { site : int; target : int }
-  | Cc_evict of { chunk : int; base : int; bytes : int; incoming : int }
+  | Cc_evict of {
+      chunk : int;
+      base : int;
+      bytes : int;
+      incoming : int;
+      reason : string;
+          (* why the block died: "victim" | "collateral" | "stub_growth"
+             | "invalidated" | "flushed" — a string rather than
+             [Policy.reason] because the trace layer sits below core *)
+    }
   | Cc_flush of { chunks : int }
   | Cc_invalidate of { chunks : int }
   | Cc_staged_install of { chunk : int }
@@ -52,7 +61,7 @@ let fields = function
   | Cc_translated { chunk; base; words } ->
       [ ("chunk", chunk); ("base", base); ("words", words) ]
   | Cc_backpatch { site; target } -> [ ("site", site); ("target", target) ]
-  | Cc_evict { chunk; base; bytes; incoming } ->
+  | Cc_evict { chunk; base; bytes; incoming; reason = _ } ->
       [ ("chunk", chunk); ("base", base); ("bytes", bytes);
         ("incoming", incoming) ]
   | Cc_flush { chunks } -> [ ("chunks", chunks) ]
@@ -88,10 +97,14 @@ let schema_fields = function
   | "dc_spill" | "dc_refill" -> Some [ "words" ]
   | _ -> None
 
+let evict_reasons =
+  [ "victim"; "collateral"; "stub_growth"; "invalidated"; "flushed" ]
+
 let pp_event ppf ev =
   Format.fprintf ppf "%s" (event_type ev);
   (match ev with
   | Net_fault { fault } -> Format.fprintf ppf " fault=%s" (fault_name fault)
+  | Cc_evict { reason; _ } -> Format.fprintf ppf " reason=%s" reason
   | _ -> ());
   List.iter (fun (k, v) -> Format.fprintf ppf " %s=%d" k v) (fields ev)
 
@@ -245,6 +258,10 @@ let add_event_fields b ev =
   | Net_fault { fault } ->
       Buffer.add_string b ",\"fault\":\"";
       json_escape b (fault_name fault);
+      Buffer.add_string b "\""
+  | Cc_evict { reason; _ } ->
+      Buffer.add_string b ",\"reason\":\"";
+      json_escape b reason;
       Buffer.add_string b "\""
   | _ -> ());
   List.iter
@@ -555,7 +572,8 @@ module Schema = struct
                         (fun (k, _) ->
                           (not (List.mem k required))
                           && k <> "cycle" && k <> "type"
-                          && not (ty = "net_fault" && k = "fault"))
+                          && not (ty = "net_fault" && k = "fault")
+                          && not (ty = "cc_evict" && k = "reason"))
                         kvs
                     in
                     if missing <> [] then
@@ -574,6 +592,13 @@ module Schema = struct
                           false
                       | _ -> true
                     then Error "net_fault: bad \"fault\" value"
+                    else if
+                      ty = "cc_evict"
+                      &&
+                      match Json.member "reason" v with
+                      | Some (Json.Str r) -> not (List.mem r evict_reasons)
+                      | _ -> true
+                    then Error "cc_evict: bad \"reason\" value"
                     else Ok ())
             | _ -> Error "missing or non-string \"type\""))
     | _ -> Error "event is not an object"

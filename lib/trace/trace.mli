@@ -30,8 +30,21 @@ type event =
       (** chunk [chunk] rewritten into the tcache at [base] *)
   | Cc_backpatch of { site : int; target : int }
       (** exit at [site] rewritten to jump straight to [target] *)
-  | Cc_evict of { chunk : int; base : int; bytes : int; incoming : int }
-      (** FIFO victim unlinked ([incoming] = inbound sites reverted) *)
+  | Cc_evict of {
+      chunk : int;
+      base : int;
+      bytes : int;
+      incoming : int;
+      reason : string;
+    }
+      (** block unlinked ([incoming] = inbound sites reverted).
+          [reason] says why it died: ["victim"] (chosen by the
+          replacement policy or the FIFO sweep), ["collateral"]
+          (overlapped by a placement seeded at another victim),
+          ["stub_growth"] (run over by the persistent-stub area),
+          ["invalidated"], or ["flushed"]. A string rather than a
+          policy type because the trace layer sits below core; see
+          {!evict_reasons}. *)
   | Cc_flush of { chunks : int }  (** whole-tcache flush of [chunks] chunks *)
   | Cc_invalidate of { chunks : int }
       (** image-write invalidation dropping [chunks] chunks *)
@@ -55,6 +68,10 @@ type event =
 val event_type : event -> string
 (** Stable snake_case tag, e.g. ["cc_miss"] — the ["type"] field of the
     JSONL schema and the Chrome event name. *)
+
+val evict_reasons : string list
+(** The admissible [Cc_evict.reason] values, in no particular order;
+    the schema validator rejects anything outside this set. *)
 
 val pp_event : Format.formatter -> event -> unit
 

@@ -64,7 +64,7 @@ let test_audit_clean_thrashing () =
      stubs — the auditor must stay silent through all of it *)
   let img = (Option.get (Workloads.Registry.find "cjpeg")).build () in
   List.iter
-    (fun eviction ->
+    (fun (pname, eviction) ->
       let ctrl =
         Softcache.Controller.create
           (small_cfg ~tcache_bytes:2048 ~eviction ())
@@ -72,11 +72,13 @@ let test_audit_clean_thrashing () =
       in
       let audits = Check.Audit.install ctrl in
       let outcome = Softcache.Controller.run ~fuel:3_000_000 ctrl in
-      Alcotest.(check bool) "halts" true (outcome = Machine.Cpu.Halted);
-      Alcotest.(check bool) "auditor exercised" true (!audits > 100);
-      Alcotest.(check bool) "cache actually thrashed" true
+      Alcotest.(check bool) (pname ^ " halts") true
+        (outcome = Machine.Cpu.Halted);
+      Alcotest.(check bool) (pname ^ " auditor exercised") true
+        (!audits > 100);
+      Alcotest.(check bool) (pname ^ " cache actually thrashed") true
         (ctrl.stats.evicted_blocks > 0))
-    [ Softcache.Config.Fifo; Softcache.Config.Flush_all ]
+    Softcache.Config.eviction_table
 
 let test_audit_counts_events () =
   let ctrl = Softcache.Controller.create (small_cfg ()) (prog_sum 50) in
@@ -194,6 +196,22 @@ let test_lockstep_native_fuel () =
   | v ->
     Alcotest.failf "expected Native_out_of_fuel, got %a"
       Check.Lockstep.pp_verdict v
+
+let test_lockstep_policies () =
+  (* the whole replacement-policy registry against native, with the
+     auditor (including its policy-view section) on each cached side *)
+  match
+    Check.Lockstep.policies ~audit:true (fun () -> small_cfg ()) (prog_fib 12)
+  with
+  | Check.Lockstep.Policies_equivalent { policies; events } ->
+    Alcotest.(check (list string))
+      "covers the registry"
+      (List.map fst Softcache.Config.eviction_table)
+      policies;
+    Alcotest.(check bool) "compared something" true (events > 0)
+  | v ->
+    Alcotest.failf "expected policy equivalence, got %a"
+      Check.Lockstep.pp_policies_verdict v
 
 (* ------------------------------------------------------------------ *)
 (* Decoded vs interpretive dispatch in lockstep *)
@@ -322,6 +340,8 @@ let () =
             test_lockstep_unavailable;
           Alcotest.test_case "native fuel exhaustion" `Quick
             test_lockstep_native_fuel;
+          Alcotest.test_case "policy registry equivalence" `Quick
+            test_lockstep_policies;
         ] );
       ( "engines",
         [

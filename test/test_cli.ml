@@ -137,6 +137,32 @@ let test_dcache_traced () =
   expect_contains out "conservation marker" "(conserved)";
   Alcotest.(check bool) "file is non-empty" true (String.length trace_text > 0)
 
+let test_eviction_flag_accepted () =
+  (* every name in the policy registry is a valid --eviction value and
+     shows up in the report's policy row; the list is intentionally a
+     literal so a registry rename breaks a golden test *)
+  List.iter
+    (fun name ->
+      let code, out =
+        run_cli
+          [ "run"; "sensor_modes"; "--tcache"; "2048"; "--eviction"; name ]
+      in
+      Alcotest.(check int) (name ^ " exit code") 0 code;
+      expect_contains out "policy row" "replacement policy";
+      expect_contains out (name ^ " policy name") name;
+      expect_contains out "outputs" "outputs match")
+    [ "fifo"; "flush"; "lru"; "rrip" ]
+
+let test_eviction_flag_rejected () =
+  let code, out =
+    run_cli [ "run"; "sensor_modes"; "--eviction"; "clock" ]
+  in
+  Alcotest.(check bool) "unknown policy rejected" true (code <> 0);
+  (* cmdliner's enum conv names the offending value and the valid set *)
+  expect_contains out "offending value" "clock";
+  expect_contains out "valid set mentions fifo" "fifo";
+  expect_contains out "valid set mentions rrip" "rrip"
+
 let test_bad_faults_spec_rejected () =
   let code, _ =
     run_cli [ "run"; "sensor_modes"; "--faults"; "drop=eleven" ]
@@ -159,6 +185,10 @@ let () =
             test_run_dead_link_exit_3;
           Alcotest.test_case "bad --faults rejected" `Quick
             test_bad_faults_spec_rejected;
+          Alcotest.test_case "--eviction accepts the registry" `Quick
+            test_eviction_flag_accepted;
+          Alcotest.test_case "--eviction rejects unknown policies" `Quick
+            test_eviction_flag_rejected;
         ] );
       ( "trace",
         [
