@@ -178,6 +178,23 @@ let trace_format_arg =
   Arg.(value & opt (enum [ ("jsonl", `Jsonl); ("chrome", `Chrome) ]) `Jsonl
        & info [ "trace-format" ] ~docv:"FMT" ~doc)
 
+let chain_arg =
+  let doc =
+    "Eagerly chain resident blocks: when a chunk installs, every unresolved \
+     exit branch already targeting it is patched tcache-direct immediately, \
+     instead of each branch paying one trap on first use."
+  in
+  Arg.(value & flag & info [ "chain" ] ~doc)
+
+let superblock_arg =
+  let doc =
+    "Fuse profile-hot chunk chains into contiguously laid-out superblocks \
+     when the chain's edge counts reach $(docv) (0 disables; a non-zero \
+     value implies $(b,--chain)). A profiling pre-run supplies the edge \
+     temperatures."
+  in
+  Arg.(value & opt int 0 & info [ "superblock-threshold" ] ~docv:"N" ~doc)
+
 let trace_limit_arg =
   let doc =
     "Trace ring capacity: at most $(docv) events are retained; on overflow \
@@ -194,15 +211,18 @@ let print_trace_summary ~total tr =
     ~dropped:s.Trace.s_dropped ~capacity:s.Trace.s_capacity
 
 let make_config ?faults ?(audit = false) ?(engine = Machine.Cpu.Decoded)
-    ?(prefetch = 0) ?(staging = 8) ?(trace_limit = 65_536) tcache chunking
-    eviction network =
+    ?(prefetch = 0) ?(staging = 8) ?(trace_limit = 65_536) ?(chain = false)
+    ?(superblock_threshold = 0) tcache chunking eviction network =
   let net =
     match network with
     | `Local -> Netmodel.local ?faults ()
     | `Ethernet -> Netmodel.ethernet_10mbps ?faults ()
   in
+  (* a superblock threshold implies chaining on the command line *)
+  let chain = chain || superblock_threshold > 0 in
   Softcache.Config.make ~tcache_bytes:tcache ~chunking ~eviction ~net ~audit
-    ~engine ~prefetch_degree:prefetch ~staging_chunks:staging ~trace_limit ()
+    ~engine ~prefetch_degree:prefetch ~staging_chunks:staging ~trace_limit
+    ~chain ~superblock_threshold ()
 
 let list_cmd =
   let run () =
@@ -216,7 +236,8 @@ let list_cmd =
 
 let run_cmd =
   let run name tcache chunking eviction network faults audit engine prefetch
-      staging trace_out trace_format trace_limit verbose =
+      staging chain superblock_threshold trace_out trace_format trace_limit
+      verbose =
     setup_logs verbose;
     match find_workload name with
     | Error e -> prerr_endline e; 1
@@ -226,21 +247,38 @@ let run_cmd =
       let native = Softcache.Runner.native img in
       let cfg =
         make_config ?faults ~audit ~engine ~prefetch ~staging ~trace_limit
-          tcache chunking eviction network
+          ~chain ~superblock_threshold tcache chunking eviction network
       in
-      (* profile-guided prefetch ranking: a profiling pre-run supplies
-         the hot-set oracle the MC ranks candidates with *)
+      (* profile-guided oracles: one profiling pre-run supplies both the
+         prefetch hot-set ranker and the superblock edge temperatures *)
+      let prof =
+        if prefetch > 0 || superblock_threshold > 0 then
+          Some (fst (Profiler.profile img))
+        else None
+      in
       let ranker =
-        if prefetch > 0 then begin
-          let prof, _ = Profiler.profile img in
-          Some (fun ~lo ~hi -> Profiler.samples_in prof ~lo ~hi)
-        end
+        if prefetch > 0 then
+          Option.map
+            (fun p -> fun ~lo ~hi -> Profiler.samples_in p ~lo ~hi)
+            prof
+        else None
+      in
+      let oracle =
+        if superblock_threshold > 0 then
+          Option.map
+            (fun p ->
+              Softcache.Cc_chain.oracle_of_profile ~image:img
+                ~chunking:cfg.Softcache.Config.chunking
+                ~edges_from:(Profiler.edges_from p)
+                ~samples_at:(fun a -> Profiler.samples_in p ~lo:a ~hi:(a + 4)))
+            prof
         else None
       in
       let audits = ref None in
       let tracer = ref None in
       let prepare (ctrl : Softcache.Controller.t) =
         ctrl.prefetch_ranker <- ranker;
+        ctrl.chain_oracle <- oracle;
         (match trace_out with
         | Some _ ->
           let tr = Trace.create ~limit:cfg.trace_limit () in
@@ -317,8 +355,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run a workload natively and under the SoftCache")
     Term.(const run $ workload_arg $ tcache_arg $ chunking_arg $ eviction_arg
           $ network_arg $ faults_arg $ audit_arg $ engine_arg $ prefetch_arg
-          $ staging_arg $ trace_out_arg $ trace_format_arg $ trace_limit_arg
-          $ verbose_arg)
+          $ staging_arg $ chain_arg $ superblock_arg $ trace_out_arg
+          $ trace_format_arg $ trace_limit_arg $ verbose_arg)
 
 let profile_cmd =
   let run name =

@@ -51,11 +51,28 @@ let alloc_evicting t ~vaddr ~words_needed =
           | Error `Full -> raise Tcache_too_small
           | Ok (p, victims) -> (p, victims, chosen))
       in
+      (* label the victims: the block the policy chose — or, when the
+         sweep chose implicitly, the lowest-placed block the placement
+         ran over — is the victim; everything else the placement
+         consumed is collateral. (Labelling every implicit-sweep victim
+         [Victim] was a latent bug: multi-block placements hid their
+         collateral damage from policies, stats and auditors.) *)
+      let primary =
+        match chosen with
+        | Some (vb : Tcache.block) -> vb.id
+        | None -> (
+          match victims with
+          | [] -> -1
+          | v0 :: rest ->
+            (List.fold_left
+               (fun (best : Tcache.block) (b : Tcache.block) ->
+                 if b.paddr < best.paddr then b else best)
+               v0 rest)
+              .id)
+      in
       Cc_evict.process_evicted t victims
         ~reason_of:(fun (b : Tcache.block) ->
-          match chosen with
-          | Some (vb : Tcache.block) when b.id <> vb.id -> Policy.Collateral
-          | Some _ | None -> Policy.Victim);
+          if b.id = primary then Policy.Victim else Policy.Collateral);
       if p + (4 * words_needed) <= Tcache.persist_base t.tc then p
       else alloc_loop (guard - 1)
     end
@@ -78,7 +95,9 @@ let alloc_flushing t ~vaddr ~words_needed =
          that fits the region's capacity is being crowded out *)
       raise Tcache_too_small)
 
-let translate t v =
+(* Translate one chunk. [placed] hands in a pre-reserved placement
+   (superblock group allocation) instead of allocating here. *)
+let translate_one ?placed t v =
   trace t (Trace.Cc_miss { pc = v });
   (* a staged prefetched copy of this chunk skips the wire entirely;
      a corrupted one is discarded and the miss pays the round trip *)
@@ -98,9 +117,12 @@ let translate t v =
   let words_needed = Rewriter.layout_words chunk in
   let module P = (val t.policy : Policy.S) in
   let base =
-    match P.kind with
-    | `Evict -> alloc_evicting t ~vaddr:v ~words_needed
-    | `Flush_all -> alloc_flushing t ~vaddr:v ~words_needed
+    match placed with
+    | Some base -> base
+    | None -> (
+      match P.kind with
+      | `Evict -> alloc_evicting t ~vaddr:v ~words_needed
+      | `Flush_all -> alloc_flushing t ~vaddr:v ~words_needed)
   in
   trace t (Trace.Tc_alloc { chunk = v; base; bytes = 4 * words_needed });
   let id = t.next_block_id in
@@ -155,13 +177,14 @@ let translate t v =
   P.on_install block;
   Hashtbl.replace t.install_cycle id t.cpu.cycles;
   List.iter
-    (fun (tb, site_paddr, revert_word) ->
+    (fun (tb, site_paddr, revert_word, stub) ->
       match Tcache.find_by_id t.tc tb with
       | Some target_block ->
         record_incoming t target_block ~from_block:id ~site_paddr
-          ~revert_word
+          ~revert_word ~stub
       | None -> assert false (* resident during this translation *))
     emission.bound;
+  Cc_chain.register_pending t block;
   Log.debug (fun m ->
       m "translate v=0x%x -> @0x%x (%d words, id=%d)" v base emitted id);
   t.stats.translations <- t.stats.translations + 1;
@@ -175,7 +198,80 @@ let translate t v =
     (t.cfg.miss_fixed_cycles + (t.cfg.translate_cycles_per_word * emitted));
   trace t (Trace.Cc_translated { chunk = v; base; words = emitted });
   emit_event t (Translated v);
+  (* eager chaining: patch every exit already waiting for this chunk *)
+  Cc_chain.chain_install t block;
   block
+
+(* Follow the profile's hottest-successor edges from [v] while they
+   stay at or above the temperature threshold, collecting the chain a
+   superblock would fuse. Stops at already-resident chunks (their
+   placement is fixed), repeats, unchunkable successors, and
+   [max_superblock_members]. *)
+let superblock_chain t v =
+  match t.chain_oracle with
+  | None -> [ v ]
+  | Some oracle ->
+    let threshold = t.cfg.superblock_threshold in
+    let rec grow acc cur n =
+      if n = 0 then List.rev acc
+      else
+        match oracle cur with
+        | Some (succ, heat)
+          when heat >= threshold
+               && (not (List.mem succ acc))
+               && Tcache.lookup t.tc succ = None -> (
+          match Chunker.chunk_at t.image t.cfg.chunking succ with
+          | exception _ -> List.rev acc
+          | _ -> grow (succ :: acc) succ (n - 1))
+        | _ -> List.rev acc
+    in
+    grow [ v ] v (Cc_chain.max_superblock_members - 1)
+
+(* Promote a hot chain: one contiguous reservation sized for every
+   member, then the members install adjacently in chain order.
+   Backward edges bind at translate time (the earlier members are
+   resident by then) and forward edges chain eagerly as each member
+   lands, so the whole group runs trap-free internally from the start.
+   Any sizing or reservation failure abandons the promotion and the
+   caller falls back to a plain translation. *)
+let translate_superblock t v members =
+  match
+    List.map
+      (fun m ->
+        (m, Rewriter.layout_words (Chunker.chunk_at t.image t.cfg.chunking m)))
+      members
+  with
+  | exception _ -> None
+  | sized -> (
+    let total = List.fold_left (fun a (_, w) -> a + w) 0 sized in
+    let module P = (val t.policy : Policy.S) in
+    match
+      match P.kind with
+      | `Evict -> alloc_evicting t ~vaddr:v ~words_needed:total
+      | `Flush_all -> alloc_flushing t ~vaddr:v ~words_needed:total
+    with
+    | exception (Chunk_too_large _ | Tcache_too_small) -> None
+    | base ->
+      let _, rev_blocks =
+        List.fold_left
+          (fun (off, acc) (m, w) ->
+            let b = translate_one ~placed:(base + (4 * off)) t m in
+            (off + w, b :: acc))
+          (0, []) sized
+      in
+      let blocks = List.rev rev_blocks in
+      ignore (Cc_chain.register_superblock t ~head:v blocks);
+      (match blocks with b :: _ -> Some b | [] -> None))
+
+let translate t v =
+  if t.cfg.superblock_threshold > 0 then
+    match superblock_chain t v with
+    | [] | [ _ ] -> translate_one t v
+    | members -> (
+      match translate_superblock t v members with
+      | Some b -> b
+      | None -> translate_one t v)
+  else translate_one t v
 
 (* The single block-entry observation point. Every control transfer the
    controller mediates — computed jumps, indirect calls, return stubs,

@@ -35,6 +35,8 @@ type t = {
   prefetch_degree : int;
   staging_chunks : int;
   trace_limit : int;
+  chain : bool;
+  superblock_threshold : int;
 }
 
 let make ?(tcache_bytes = 48 * 1024) ?(tcache_base = 0x10000)
@@ -44,7 +46,8 @@ let make ?(tcache_bytes = 48 * 1024) ?(tcache_base = 0x10000)
     ?(bind_at_translate = true) ?net ?(max_retries = 8)
     ?(retry_backoff_cycles = 64) ?(timeout_cycles = 1000) ?(audit = false)
     ?(engine = Machine.Cpu.Decoded) ?(prefetch_degree = 0)
-    ?(staging_chunks = 8) ?(trace_limit = 65536) () =
+    ?(staging_chunks = 8) ?(trace_limit = 65536) ?(chain = false)
+    ?(superblock_threshold = 0) () =
   let net = match net with Some n -> n | None -> Netmodel.local () in
   if tcache_bytes < 64 then invalid_arg "Config.make: tcache too small";
   if tcache_base land 3 <> 0 then invalid_arg "Config.make: unaligned base";
@@ -55,6 +58,10 @@ let make ?(tcache_bytes = 48 * 1024) ?(tcache_base = 0x10000)
     invalid_arg "Config.make: negative prefetch_degree";
   if staging_chunks < 0 then invalid_arg "Config.make: negative staging_chunks";
   if trace_limit <= 0 then invalid_arg "Config.make: trace_limit must be positive";
+  if superblock_threshold < 0 then
+    invalid_arg "Config.make: negative superblock_threshold";
+  if superblock_threshold > 0 && not chain then
+    invalid_arg "Config.make: superblock formation requires chaining";
   {
     tcache_bytes;
     tcache_base;
@@ -75,6 +82,8 @@ let make ?(tcache_bytes = 48 * 1024) ?(tcache_base = 0x10000)
     prefetch_degree;
     staging_chunks;
     trace_limit;
+    chain;
+    superblock_threshold;
   }
 
 let sparc_prototype ?tcache_bytes () =
@@ -94,4 +103,9 @@ let pp ppf t =
     (eviction_name t.eviction)
     (match t.engine with
     | Machine.Cpu.Decoded -> ""
-    | Machine.Cpu.Interpretive -> ", interpretive dispatch")
+    | Machine.Cpu.Interpretive -> ", interpretive dispatch");
+  if t.chain then
+    Format.fprintf ppf ", chaining%s"
+      (if t.superblock_threshold > 0 then
+         Printf.sprintf " + superblocks (threshold %d)" t.superblock_threshold
+       else "")

@@ -91,6 +91,22 @@ type t = {
           attached ([Controller.attach_tracer] / CLI [--trace]); the
           oldest events are overwritten past this bound and reported as
           dropped *)
+  chain : bool;
+      (** eager branch chaining: whenever a chunk becomes resident, every
+          unresolved exit branch of an already-resident block that
+          targets it is patched tcache-direct immediately, instead of
+          waiting for that branch to trap once (the paper's rewrite rule
+          applied at install time). Off by default — the lazy
+          patch-on-trap behaviour is the baseline the golden cycle
+          numbers pin down *)
+  superblock_threshold : int;
+      (** edge-temperature threshold for superblock formation (0 = off;
+          requires [chain]). On a miss, the controller consults the
+          profile-derived chain oracle ([Controller.t.chain_oracle]) and
+          fuses the chain of chunks whose successor edges were observed
+          at least this many times into one contiguous group allocation,
+          installing the members adjacently in chain order with all
+          internal edges bound directly *)
 }
 
 val make :
@@ -113,16 +129,19 @@ val make :
   ?prefetch_degree:int ->
   ?staging_chunks:int ->
   ?trace_limit:int ->
+  ?chain:bool ->
+  ?superblock_threshold:int ->
   unit ->
   t
 (** Defaults: 48 KiB tcache at [0x10000], basic-block chunking, FIFO
     eviction, lookup 12, patch 4, miss fixed 30, translate 2/word,
     scrub 2/word, local (SPARC-style) interconnect, 8 retries with a
     64-cycle backoff base and a 1000-cycle drop timeout, audit off,
-    decoded dispatch, prefetch off with an 8-chunk staging buffer, and
-    a 65536-event trace ring.
+    decoded dispatch, prefetch off with an 8-chunk staging buffer, a
+    65536-event trace ring, and chaining/superblocks off.
     @raise Invalid_argument on out-of-range values (including
-    [trace_limit <= 0]). *)
+    [trace_limit <= 0] and [superblock_threshold > 0] without
+    [chain]). *)
 
 val sparc_prototype : ?tcache_bytes:int -> unit -> t
 (** Basic-block chunking, local MC (no network), FIFO eviction. *)

@@ -17,6 +17,8 @@ module type S = sig
   val on_entry : Tcache.block -> unit
   val on_evict : reason -> Tcache.block -> unit
   val on_flush : unit -> unit
+  val on_superblock : int -> Tcache.block list -> unit
+  val on_superblock_evict : int -> unit
   val victim : Tcache.t -> Tcache.block option
   val resident_ids : unit -> int list
   val debug_state : unit -> string
@@ -88,6 +90,8 @@ let fifo_like name kind : t =
     let on_entry _ = ()
     let on_evict _ (b : Tcache.block) = Hashtbl.remove tbl b.id
     let on_flush () = ()
+    let on_superblock _ _ = ()
+    let on_superblock_evict _ = ()
     let victim _ = None
     let resident_ids () = ids_of tbl
 
@@ -130,6 +134,8 @@ let lru () : t =
 
     let on_evict _ (b : Tcache.block) = Hashtbl.remove tbl b.id
     let on_flush () = ()
+    let on_superblock _ _ = ()
+    let on_superblock_evict _ = ()
 
     (* The clock ticks once per install or entry, so [2 * residents]
        ticks is roughly two sweep laps: long enough that a block in
@@ -211,6 +217,8 @@ let rrip () : t =
 
     let on_evict _ (b : Tcache.block) = Hashtbl.remove tbl b.id
     let on_flush () = ()
+    let on_superblock _ _ = ()
+    let on_superblock_evict _ = ()
     let window () = 2 * (Hashtbl.length tbl + 2)
 
     (* the aged read: promotion decays once the entry leaves the window *)

@@ -6,8 +6,13 @@ type t = {
   mutable translated_words : int;
   mutable overhead_words : int;
   mutable lookups : int;
+  mutable traps : int;
   mutable patches : int;
+  mutable chained : int;
   mutable reverts : int;
+  mutable superblocks : int;
+  mutable superblock_blocks : int;
+  mutable depromotions : int;
   mutable evicted_blocks : int;
   eviction_ring : (int * int) array;
   mutable eviction_count : int;
@@ -44,8 +49,13 @@ let create () =
     translated_words = 0;
     overhead_words = 0;
     lookups = 0;
+    traps = 0;
     patches = 0;
+    chained = 0;
     reverts = 0;
+    superblocks = 0;
+    superblock_blocks = 0;
+    depromotions = 0;
     evicted_blocks = 0;
     eviction_ring = Array.make eviction_capacity (0, 0);
     eviction_count = 0;
@@ -81,8 +91,13 @@ let reset t =
   t.translated_words <- 0;
   t.overhead_words <- 0;
   t.lookups <- 0;
+  t.traps <- 0;
   t.patches <- 0;
+  t.chained <- 0;
   t.reverts <- 0;
+  t.superblocks <- 0;
+  t.superblock_blocks <- 0;
+  t.depromotions <- 0;
   t.evicted_blocks <- 0;
   Array.fill t.eviction_ring 0 eviction_capacity (0, 0);
   t.eviction_count <- 0;
@@ -181,6 +196,11 @@ let pp ppf t =
        batches=%d (%d chunks, max %d)"
       t.prefetch_issued t.prefetch_installs t.prefetch_wasted
       t.prefetch_crc_failures t.batches t.batch_chunks t.max_batch_chunks;
+  if t.chained > 0 || t.superblocks > 0 then
+    Format.fprintf ppf
+      "@.chaining: traps=%d, eager patches=%d, superblocks=%d (%d blocks), \
+       de-promotions=%d"
+      t.traps t.chained t.superblocks t.superblock_blocks t.depromotions;
   if t.evicted_blocks > 0 || t.policy_entries > 0 then
     Format.fprintf ppf
       "@.policy: entries=%d, evicted victim=%d collateral=%d stub-growth=%d \

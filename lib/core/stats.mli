@@ -22,8 +22,20 @@ type t = {
       (** emitted words beyond the original instruction count (pads,
           islands, fall-through slots) *)
   mutable lookups : int;  (** runtime hash-table lookups *)
+  mutable traps : int;
+      (** stub traps dispatched — every controller-mediated control
+          transfer (exit misses, computed jumps, indirect calls, return
+          stubs); the trap-elimination metric chaining is gated on *)
   mutable patches : int;  (** words rewritten to point into the tcache *)
-  mutable reverts : int;  (** words rewritten back to miss stubs *)
+  mutable chained : int;
+      (** eager chain patches: exits patched at target-install time
+          rather than on their own first trap (subset of [patches]) *)
+  mutable reverts : int;  (** words rewritten back to miss stubs (unpatches) *)
+  mutable superblocks : int;  (** hot chains promoted to superblocks *)
+  mutable superblock_blocks : int;
+      (** total member blocks across all promotions *)
+  mutable depromotions : int;
+      (** superblocks dissolved because a member was evicted *)
   mutable evicted_blocks : int;
   eviction_ring : (int * int) array;
       (** bounded ring of (cycle stamp, blocks evicted); use

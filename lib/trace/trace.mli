@@ -30,6 +30,15 @@ type event =
       (** chunk [chunk] rewritten into the tcache at [base] *)
   | Cc_backpatch of { site : int; target : int }
       (** exit at [site] rewritten to jump straight to [target] *)
+  | Cc_unpatch of { site : int; target : int }
+      (** patched exit at [site] reverted to its miss stub because the
+          block at [target] is being evicted *)
+  | Cc_promote of { head : int; members : int; bytes : int }
+      (** hot chain starting at chunk [head] fused into a contiguous
+          superblock of [members] blocks occupying [bytes] *)
+  | Cc_depromote of { head : int; members : int }
+      (** superblock dissolved (a member was evicted); survivors revert
+          to independent baseline blocks *)
   | Cc_evict of {
       chunk : int;
       base : int;
