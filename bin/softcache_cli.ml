@@ -7,6 +7,7 @@
      sweep    <workload>       tcache miss-rate curve
      hwsweep  <workload>       hardware-cache miss-rate curve
      dcache   <workload>       run under the software data cache
+     fleet    <workload>       one MC serving N clients over a shared link
      asm      <file.s>         assemble and run an ERISC source file *)
 
 open Cmdliner
@@ -279,6 +280,8 @@ let run_cmd =
       let prepare (ctrl : Softcache.Controller.t) =
         ctrl.prefetch_ranker <- ranker;
         ctrl.chain_oracle <- oracle;
+        ctrl.dynamic_text_hint <-
+          Option.map (fun p -> Profiler.dynamic_text_bytes p) prof;
         (match trace_out with
         | Some _ ->
           let tr = Trace.create ~limit:cfg.trace_limit () in
@@ -499,6 +502,94 @@ let fullsystem_cmd =
        ~doc:"Run with the complete memory system: tcache + scache + dcache")
     Term.(const run $ workload_arg $ tcache_arg)
 
+let fleet_cmd =
+  let clients_arg =
+    let doc = "Number of CC clients sharing the one MC uplink." in
+    Arg.(value & opt int 4 & info [ "clients" ] ~docv:"N" ~doc)
+  in
+  let fairness_arg =
+    let doc =
+      Printf.sprintf "Link scheduling across clients: %s."
+        (String.concat " or "
+           (List.map
+              (fun (n, _) -> Printf.sprintf "$(b,%s)" n)
+              Fleet.fairness_table))
+    in
+    Arg.(value & opt (enum Fleet.fairness_table) Fleet.Fifo
+         & info [ "fairness" ] ~docv:"POLICY" ~doc)
+  in
+  let no_dedup_arg =
+    let doc =
+      "Disable the MC's shared content-addressed chunk cache (each client's \
+       requests are chunked, CRC-stamped and coalesced independently)."
+    in
+    Arg.(value & flag & info [ "no-dedup" ] ~doc)
+  in
+  let no_batching_arg =
+    let doc =
+      "Disable frame batching: concurrent requests never piggyback on an \
+       open frame."
+    in
+    Arg.(value & flag & info [ "no-batching" ] ~doc)
+  in
+  let cache_arg =
+    let doc = "Bound on the MC shared chunk cache, in chunks." in
+    Arg.(value & opt int 256 & info [ "cache-chunks" ] ~docv:"N" ~doc)
+  in
+  let quantum_arg =
+    let doc = "Scheduler quantum: instructions a session runs per turn." in
+    Arg.(value & opt int 256 & info [ "quantum" ] ~docv:"N" ~doc)
+  in
+  let fuel_arg =
+    let doc = "Instruction budget per client." in
+    Arg.(value & opt int 2_000_000 & info [ "fuel" ] ~docv:"N" ~doc)
+  in
+  let run name clients fairness no_dedup no_batching cache_chunks quantum
+      fuel tcache chunking eviction network faults audit verbose =
+    setup_logs verbose;
+    match find_workload name with
+    | Error e -> prerr_endline e; 1
+    | Ok entry -> (
+      let img = entry.build () in
+      let net =
+        match network with
+        | `Local -> Netmodel.local ?faults ()
+        | `Ethernet -> Netmodel.ethernet_10mbps ?faults ()
+      in
+      let mk_cfg _ =
+        Softcache.Config.make ~tcache_bytes:tcache ~chunking ~eviction ~net ()
+      in
+      match
+        Fleet.config ~clients ~fairness ~dedup:(not no_dedup)
+          ~batching:(not no_batching) ~cache_chunks ~quantum ()
+      with
+      | exception Invalid_argument m -> prerr_endline m; 1
+      | config ->
+        let fl = Fleet.create ~config ~net mk_cfg [| img |] in
+        Fleet.run ~fuel fl;
+        Fleet.print_summary fl;
+        if audit then begin
+          let violations = Check.Audit.fleet fl in
+          Report.kv "audit"
+            (if violations = [] then "clean"
+             else Printf.sprintf "%d violations" (List.length violations));
+          List.iter
+            (fun v ->
+              Format.printf "  audit violation: %a@." Check.Audit.pp_violation
+                v)
+            violations;
+          if violations <> [] then 2 else 0
+        end
+        else 0)
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:"Simulate one MC serving N clients over a shared link")
+    Term.(const run $ workload_arg $ clients_arg $ fairness_arg $ no_dedup_arg
+          $ no_batching_arg $ cache_arg $ quantum_arg $ fuel_arg $ tcache_arg
+          $ chunking_arg $ eviction_arg $ network_arg $ faults_arg $ audit_arg
+          $ verbose_arg)
+
 let trace_cmd =
   let out_arg =
     Arg.(value & opt (some string) None
@@ -607,4 +698,5 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ list_cmd; run_cmd; profile_cmd; sweep_cmd; hwsweep_cmd;
-            dcache_cmd; fullsystem_cmd; disasm_cmd; trace_cmd; asm_cmd ]))
+            dcache_cmd; fullsystem_cmd; fleet_cmd; disasm_cmd; trace_cmd;
+            asm_cmd ]))

@@ -611,3 +611,88 @@ let install (t : Controller.t) =
 
 let install_if_configured (t : Controller.t) =
   if t.cfg.audit then Some (install t) else None
+
+(* ---- fleet-level invariants ---------------------------------------
+
+   The per-controller sections above still apply to every session; on
+   top of them the fleet MC keeps books that must balance:
+
+   - the shared chunk cache respects its entry bound (and stays empty
+     when dedup is off);
+   - every demand attempt was served in exactly one way — its own
+     frame, a piggyback ride, or a coalesced join — and the
+     per-session counters sum to the MC's;
+   - the shared link minted one message per dispatched frame (plus
+     fault-injected duplicates) and none for piggybacks or joins;
+   - isolation: no session holds (resident or staged) a chunk it never
+     requested — the multi-tenant property a shared MC must not
+     violate. *)
+
+let fleet (f : Fleet.t) : violation list =
+  let viols = ref [] in
+  let add invariant fmt =
+    Format.kasprintf
+      (fun detail -> viols := { invariant; detail } :: !viols)
+      fmt
+  in
+  let cfg = Fleet.config_of f in
+  let entries = Fleet.cache_entries f in
+  if cfg.Fleet.dedup && cfg.Fleet.cache_chunks > 0 then begin
+    if entries > cfg.Fleet.cache_chunks then
+      add "fleet-cache" "shared cache holds %d entries, bound %d" entries
+        cfg.Fleet.cache_chunks
+  end
+  else if entries > 0 then
+    add "fleet-cache" "dedup disabled yet shared cache holds %d entries"
+      entries;
+  let attempts = Fleet.attempts f
+  and frames = Fleet.frames f
+  and piggybacked = Fleet.piggybacked f
+  and coalesced = Fleet.coalesced f in
+  if attempts <> frames + piggybacked + coalesced then
+    add "fleet-conserve"
+      "attempts %d <> frames %d + piggybacked %d + coalesced %d" attempts
+      frames piggybacked coalesced;
+  let sessions = Fleet.sessions f in
+  let sum get = Array.fold_left (fun a s -> a + get s) 0 sessions in
+  let sf = sum Fleet.fetches in
+  if sf <> attempts then
+    add "fleet-conserve" "session fetches sum to %d, MC saw %d attempts" sf
+      attempts;
+  let sc = sum Fleet.session_coalesced in
+  if sc <> coalesced then
+    add "fleet-conserve" "session coalesced sum to %d, MC counted %d" sc
+      coalesced;
+  let msgs = Fleet.messages_delta f and dups = Fleet.duplicates_delta f in
+  if msgs <> frames + dups then
+    add "fleet-messages"
+      "link minted %d messages, expected frames %d + duplicates %d" msgs
+      frames dups;
+  Array.iter
+    (fun s ->
+      let c = Fleet.controller s in
+      let id = Fleet.session_id s in
+      List.iter
+        (fun (b : Tcache.block) ->
+          if not (Fleet.requested s b.vaddr) then
+            add "fleet-isolation"
+              "client %d resident chunk 0x%x was never requested by it" id
+              b.vaddr)
+        (Tcache.blocks c.tc);
+      Hashtbl.iter
+        (fun v (_ : Controller.staged) ->
+          if not (Fleet.requested s v) then
+            add "fleet-isolation"
+              "client %d staged chunk 0x%x was never requested by it" id v)
+        c.staging)
+    sessions;
+  (* every session's own tcache invariants, prefixed per client *)
+  Array.iter
+    (fun s ->
+      let id = Fleet.session_id s in
+      List.iter
+        (fun v ->
+          add "fleet-session" "client %d: [%s] %s" id v.invariant v.detail)
+        (run (Fleet.controller s)))
+    sessions;
+  List.rev !viols

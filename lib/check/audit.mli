@@ -54,3 +54,14 @@ val install : Softcache.Controller.t -> int ref
 
 val install_if_configured : Softcache.Controller.t -> int ref option
 (** [install] if the controller's [Config.audit] flag is set. *)
+
+val fleet : Fleet.t -> violation list
+(** Audit a whole fleet: the shared chunk cache respects its bound (and
+    is empty when dedup is off); request conservation holds at the MC
+    ([attempts = frames + piggybacked + coalesced], with the per-session
+    counters summing to the MC's); the shared link minted exactly one
+    message per dispatched frame plus fault-injected duplicates (none
+    for piggybacks or coalesced joins); no session holds — resident or
+    staged — a chunk it never requested; and every session passes the
+    full per-controller audit ({!run}), reported with a
+    ["fleet-session"] prefix. *)

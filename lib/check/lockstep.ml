@@ -389,6 +389,54 @@ let trace ?cost ?(fuel = 2_000_000) ?(ops = []) ?(audit = false) mk_cfg img
            (Trace.summary tr).Trace.s_total traced.cpu.cycles)
     else verdict
 
+(* 1-client fleet vs the plain single-controller path.
+
+   The fleet layer must be a strict generalisation: with one client
+   there is nobody to queue behind, coalesce with or piggyback onto,
+   and the shared chunk cache memoizes CRC values it would have
+   computed anyway — so the fleet-hosted controller must be *cycle*-
+   and *counter*-identical to a plain [Controller] over the same
+   config, not merely equivalent. Each side gets its own Config (and
+   thus its own Netmodel rng), exactly as in [trace]. *)
+let fleet ?cost ?(fuel = 2_000_000) ?(ops = []) ?(audit = false) mk_cfg img
+    : engine_verdict =
+  let solo = Controller.create ?cost (mk_cfg ()) img in
+  let fcfg = mk_cfg () in
+  let fl =
+    Fleet.create ?cost
+      ~config:(Fleet.config ~clients:1 ())
+      ~net:fcfg.Config.net
+      (fun _ -> fcfg)
+      [| img |]
+  in
+  let hosted = Fleet.controller (Fleet.sessions fl).(0) in
+  if audit then ignore (Audit.install hosted);
+  let verdict =
+    drive_pair ~fuel ~ops ~labels:("fleet", "solo") ~compare_cycles:true
+      hosted solo
+  in
+  match verdict with
+  | Engines_diverged _ | Engines_unavailable _ -> verdict
+  | Engines_equivalent { steps } | Engines_out_of_fuel { steps } ->
+    let diverged detail = Engines_diverged { step = steps; detail } in
+    let net_counters (c : Controller.t) =
+      let n = c.cfg.Config.net in
+      ( Netmodel.messages n,
+        Netmodel.payload_bytes n,
+        Netmodel.total_bytes n,
+        Netmodel.drops n,
+        Netmodel.corruptions n,
+        Netmodel.duplicates n,
+        Netmodel.delay_spikes n )
+    in
+    if hosted.stats <> solo.stats then
+      diverged
+        (Format.asprintf "stats differ: %a (fleet) vs %a (solo)" Stats.pp
+           hosted.stats Stats.pp solo.stats)
+    else if net_counters hosted <> net_counters solo then
+      diverged "interconnect counters differ"
+    else verdict
+
 (* Chaining modes against the native reference.
 
    Chaining equivalence is *observational*, not step-wise: an

@@ -128,6 +128,28 @@ val trace :
     installs {!Audit.install} on the traced side. Default [fuel] is 2M
     instructions. *)
 
+val fleet :
+  ?cost:Machine.Cost.t ->
+  ?fuel:int ->
+  ?ops:(Softcache.Controller.t -> unit) list ->
+  ?audit:bool ->
+  (unit -> Softcache.Config.t) ->
+  Isa.Image.t ->
+  engine_verdict
+(** [fleet mk_cfg img] proves the fleet layer is a strict
+    generalisation of the single-client path: a 1-client {!Fleet.t}
+    (dedup and batching enabled) hosting a controller over [mk_cfg ()]
+    is driven in instruction lockstep against a plain
+    [Softcache.Controller] over another [mk_cfg ()], with cycle counts
+    included in the per-step comparison. With one client, queueing
+    wait is provably zero, coalescing and piggybacking cannot trigger,
+    and the shared chunk cache only memoizes CRC values the MC would
+    have computed anyway — so {e everything} must match: per-step
+    architectural state, end-of-run statistics and every interconnect
+    counter (the same epilogue {!trace} runs). [ops] are applied to
+    both sides at evenly spaced fuel slices; [audit] installs
+    {!Audit.install} on the fleet-hosted side. *)
+
 (** {2 Chaining-mode equivalence}
 
     Chaining equivalence is observational, not step-wise: an unresolved

@@ -54,12 +54,20 @@ let drop_staged_in t ~lo ~hi =
    time. All waiting, wire time and backoff are charged through the
    cost model. *)
 let fetch_chunk t ~vaddr ~(words : int array) ~prefetch =
+  (* MC-side CRC stamping goes through the [mc_crc] hook when set: a
+     fleet MC memoizes stamps in its shared chunk cache, so identical
+     content requested by many clients is CRC-computed once *)
+  let stamp b = match t.mc_crc with Some f -> f b | None -> Crc32.bytes b in
   let payload = bytes_of_words words in
-  let crc = Crc32.bytes payload in
-  let pf_segments =
-    List.map (fun (pv, pb) -> (pv, pb, Crc32.bytes pb)) prefetch
-  in
+  let crc = stamp payload in
+  let pf_segments = List.map (fun (pv, pb) -> (pv, pb, stamp pb)) prefetch in
   let payloads = payload :: List.map (fun (_, pb, _) -> pb) pf_segments in
+  let prefetch_vaddrs = List.map (fun (pv, _, _) -> pv) pf_segments in
+  let send () =
+    match t.mc_transport with
+    | None -> Netmodel.transfer_batch t.cfg.net ~payloads
+    | Some f -> f ~vaddr ~prefetch_vaddrs ~payloads
+  in
   let rec attempt tries =
     if tries > t.cfg.max_retries then begin
       t.stats.chunk_failures <- t.stats.chunk_failures + 1;
@@ -73,7 +81,7 @@ let fetch_chunk t ~vaddr ~(words : int array) ~prefetch =
       trace t (Trace.Cc_retry { chunk = vaddr; attempt = tries });
       charge t Trace.Wire (t.cfg.retry_backoff_cycles * (1 lsl (tries - 1)))
     end;
-    match Netmodel.transfer_batch t.cfg.net ~payloads with
+    match send () with
     | Error (`Dropped wasted) ->
       charge t Trace.Wire (wasted + t.cfg.timeout_cycles);
       t.stats.net_timeouts <- t.stats.net_timeouts + 1;
@@ -93,11 +101,20 @@ let fetch_chunk t ~vaddr ~(words : int array) ~prefetch =
       end
   in
   let demand, rest = attempt 0 in
-  List.iter2
-    (fun (pv, _, pcrc) received -> stage_chunk t pv received pcrc)
-    pf_segments rest;
-  if pf_segments <> [] then begin
-    let n = 1 + List.length pf_segments in
+  (* pair up to the shorter list: a coalesced fleet delivery carries the
+     demand segment only (nothing new went on the wire, so no prefetch
+     riders arrive); the direct path always returns the full batch *)
+  let rec stage_pairs pfs rs =
+    match (pfs, rs) with
+    | (pv, _, pcrc) :: pfs', received :: rs' ->
+      stage_chunk t pv received pcrc;
+      stage_pairs pfs' rs'
+    | _, [] | [], _ -> ()
+  in
+  stage_pairs pf_segments rest;
+  let staged = min (List.length pf_segments) (List.length rest) in
+  if staged > 0 then begin
+    let n = 1 + staged in
     t.stats.batches <- t.stats.batches + 1;
     t.stats.batch_chunks <- t.stats.batch_chunks + n;
     t.stats.max_batch_chunks <- max t.stats.max_batch_chunks n

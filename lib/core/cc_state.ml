@@ -42,6 +42,11 @@ type t = {
       (* chunk vaddr -> hottest observed successor chunk and its edge
          temperature, from an offline profile; consulted on misses when
          [cfg.superblock_threshold > 0] *)
+  mutable dynamic_text_hint : int option;
+      (* profile-measured distinct executed code bytes
+         ([Profiler.dynamic_text_bytes]), set alongside [chain_oracle];
+         the promotion guard's working-set estimate — see
+         [Cc_translate.promotion_guarded] *)
   links : (int, link list) Hashtbl.t;
       (* reverse link map: source block id -> every site of that block
          currently patched tcache-direct; the mirror of the per-target
@@ -74,6 +79,22 @@ type t = {
   mutable chaos_drop_incoming : int;
       (* test hook: silently skip the next N incoming-pointer records,
          seeding the bookkeeping bug the auditor must catch *)
+  mutable mc_transport :
+    (vaddr:int ->
+    prefetch_vaddrs:int list ->
+    payloads:Bytes.t list ->
+    (int * Bytes.t list, Netmodel.error) result)
+    option;
+      (* server-side transport interposition: when set (a fleet MC
+         multiplexing a shared link), demand frames dispatch through it
+         instead of going straight to [cfg.net]. [None] (the default)
+         is the direct single-client path. The reply may carry fewer
+         segments than were offered — a coalesced delivery returns the
+         demand segment only *)
+  mutable mc_crc : (Bytes.t -> int) option;
+      (* server-side CRC stamping; a fleet MC memoizes through its
+         shared chunk cache so identical content across clients is
+         chunked and CRC-computed once. [None] computes directly *)
 }
 
 exception Chunk_too_large of int

@@ -227,6 +227,54 @@ let superblock_chain t v =
     in
     grow [ v ] v (Cc_chain.max_superblock_members - 1)
 
+(* Churn guard for superblock promotion — the working-set-knee fix. A
+   superblock's contiguous reservation is large; at full occupancy,
+   carving it out mass-evicts whatever stands in its way. Whether that
+   is tolerable depends on the regime. In deep thrash (capacity far
+   below the working set) residents turn over fast and die before
+   they accumulate incoming patches; the reservation's victims were
+   about to die anyway and fusing the hot chain is a large net win.
+   When the working set fits outright, reservations evict nothing and
+   promotions are free. At the knee in between, the resident set *is*
+   the working set: blocks live long enough to become richly chained,
+   every block a reservation kills traps straight back in, and the
+   re-installs trigger further promotions — pure churn (mpeg2enc at
+   16 KB paid +66% traps over chain-only for exactly this).
+
+   The knee is identified offline, from the same profile that feeds
+   the chain oracle: promotion is suppressed when the profiled
+   dynamic text (distinct executed source bytes) is between 0.6x and
+   1.2x the tcache size — with the rewriter's measured ~1.6-2x code
+   expansion, that is precisely the band where the rewritten working
+   set marginally exceeds capacity. On the workload suite the regimes
+   separate cleanly in those units: working-set fit sits at <= 0.45x
+   (compress95 at 16 KB, where promotion halves residual traps),
+   the knee at ~0.8x (mpeg2enc at 16 KB), deep thrash at >= 1.6x
+   (everything at 2-4 KB, where promotion cuts traps by half or
+   more).
+
+   An offline verdict is deliberate: no online churn statistic
+   managed to make this call, because the promotion storm poisons
+   every signal that would detect it. Global revert-per-eviction
+   ratio and resident-age quantiles separate the regimes 10x under
+   chain-only dynamics, but promotions begin at the very first traps
+   of a cold run, and storm-churned victims die young and unlinked —
+   the knee run measurably never develops the signal (the guard sat
+   at zero fires). Attributing reverts to group reservations alone
+   fails the same way: knee reservations usually carve transiently
+   free space (the storm keeps occupancy oscillating) and the
+   eviction damage lands on later ordinary allocations. And recency
+   at trap granularity is inverted: a chained hot block re-enters
+   through patched branches the controller never sees, so the
+   longest-lived blocks have the stalest controller-visible
+   entries. *)
+let promotion_guarded t =
+  match t.dynamic_text_hint with
+  | None -> false
+  | Some text ->
+    let c = t.cfg.tcache_bytes in
+    5 * text >= 3 * c && 5 * text <= 6 * c
+
 (* Promote a hot chain: one contiguous reservation sized for every
    member, then the members install adjacently in chain order.
    Backward edges bind at translate time (the earlier members are
@@ -244,7 +292,13 @@ let translate_superblock t v members =
   | exception _ -> None
   | sized -> (
     let total = List.fold_left (fun a (_, w) -> a + w) 0 sized in
+    if promotion_guarded t then begin
+      t.stats.superblock_guard_skips <- t.stats.superblock_guard_skips + 1;
+      None
+    end
+    else
     let module P = (val t.policy : Policy.S) in
+    let reverts_before = t.stats.reverts in
     match
       match P.kind with
       | `Evict -> alloc_evicting t ~vaddr:v ~words_needed:total
@@ -252,6 +306,9 @@ let translate_superblock t v members =
     with
     | exception (Chunk_too_large _ | Tcache_too_small) -> None
     | base ->
+      t.stats.superblock_collateral_reverts <-
+        t.stats.superblock_collateral_reverts
+        + (t.stats.reverts - reverts_before);
       let _, rev_blocks =
         List.fold_left
           (fun (off, acc) (m, w) ->

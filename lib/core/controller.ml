@@ -36,6 +36,7 @@ type t = Cc_state.t = {
   staging_order : int Queue.t;
   mutable prefetch_ranker : (lo:int -> hi:int -> int) option;
   mutable chain_oracle : (int -> (int * int) option) option;
+  mutable dynamic_text_hint : int option;
   links : (int, link list) Hashtbl.t;
   pending_exits : (int, (int, unit) Hashtbl.t) Hashtbl.t;
   superblocks : (int, superblock) Hashtbl.t;
@@ -54,6 +55,13 @@ type t = Cc_state.t = {
   mutable tracer : Trace.t option;
   mutable alloc_guard : int;
   mutable chaos_drop_incoming : int;
+  mutable mc_transport :
+    (vaddr:int ->
+    prefetch_vaddrs:int list ->
+    payloads:Bytes.t list ->
+    (int * Bytes.t list, Netmodel.error) result)
+    option;
+  mutable mc_crc : (Bytes.t -> int) option;
 }
 
 exception Chunk_too_large = Cc_state.Chunk_too_large
@@ -88,6 +96,7 @@ let create ?cost ?(mem_bytes = 8 * 1024 * 1024) (cfg : Config.t) image =
       staging_order = Queue.create ();
       prefetch_ranker = None;
       chain_oracle = None;
+      dynamic_text_hint = None;
       links = Hashtbl.create 64;
       pending_exits = Hashtbl.create 64;
       superblocks = Hashtbl.create 16;
@@ -106,6 +115,8 @@ let create ?cost ?(mem_bytes = 8 * 1024 * 1024) (cfg : Config.t) image =
       tracer = None;
       alloc_guard = 64;
       chaos_drop_incoming = 0;
+      mc_transport = None;
+      mc_crc = None;
     }
   in
   cpu.trap_handler <- Some (fun _cpu k -> Cc_trap.handle_trap t k);

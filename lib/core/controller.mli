@@ -90,6 +90,14 @@ type t = Cc_state.t = {
           chunk and its edge temperature (typically built by
           [Cc_chain.oracle_of_profile]); consulted by superblock
           formation when [cfg.superblock_threshold > 0] *)
+  mutable dynamic_text_hint : int option;
+      (** profile-measured distinct executed code bytes
+          ([Profiler.dynamic_text_bytes]), set alongside [chain_oracle]
+          by profile-guided callers; the promotion churn guard's
+          working-set estimate. When the rewritten working set would
+          marginally exceed the tcache (the knee), superblock
+          reservations are suppressed — [None] (the default) never
+          suppresses *)
   links : (int, link list) Hashtbl.t;
       (** reverse link map: source block id -> its patched exit sites.
           Maintained by [record_incoming]/eviction symmetrically with
@@ -136,6 +144,27 @@ type t = Cc_state.t = {
           Seeds a real bookkeeping bug (an unlinked patched exit) so
           tests can prove the auditor's invariants are not vacuous.
           Leave at 0 in production. *)
+  mutable mc_transport :
+    (vaddr:int ->
+    prefetch_vaddrs:int list ->
+    payloads:Bytes.t list ->
+    (int * Bytes.t list, Netmodel.error) result)
+    option;
+      (** server-side transport interposition. When set (a fleet MC
+          multiplexing a shared link across clients — see [Fleet]),
+          every demand frame dispatches through it instead of calling
+          [Netmodel.transfer_batch] on [cfg.net] directly; the hook is
+          handed the demand chunk's vaddr, the prefetch riders' vaddrs
+          and the MC-stamped payload segments, and returns the usual
+          transfer result. A coalesced delivery may carry fewer
+          segments than offered (the demand segment only). [None] (the
+          default) is the direct single-client path, byte- and
+          draw-identical to before the hook existed. *)
+  mutable mc_crc : (Bytes.t -> int) option;
+      (** server-side CRC stamping hook; a fleet MC memoizes through
+          its shared content-addressed chunk cache so identical content
+          requested by many clients is chunked and CRC-computed once.
+          [None] (the default) computes [Crc32.bytes] directly. *)
 }
 
 exception Chunk_too_large of int

@@ -13,6 +13,8 @@ type t = {
   mutable superblocks : int;
   mutable superblock_blocks : int;
   mutable depromotions : int;
+  mutable superblock_guard_skips : int;
+  mutable superblock_collateral_reverts : int;
   mutable evicted_blocks : int;
   eviction_ring : (int * int) array;
   mutable eviction_count : int;
@@ -56,6 +58,8 @@ let create () =
     superblocks = 0;
     superblock_blocks = 0;
     depromotions = 0;
+    superblock_guard_skips = 0;
+    superblock_collateral_reverts = 0;
     evicted_blocks = 0;
     eviction_ring = Array.make eviction_capacity (0, 0);
     eviction_count = 0;
@@ -98,6 +102,8 @@ let reset t =
   t.superblocks <- 0;
   t.superblock_blocks <- 0;
   t.depromotions <- 0;
+  t.superblock_guard_skips <- 0;
+  t.superblock_collateral_reverts <- 0;
   t.evicted_blocks <- 0;
   Array.fill t.eviction_ring 0 eviction_capacity (0, 0);
   t.eviction_count <- 0;

@@ -36,6 +36,15 @@ type t = {
       (** total member blocks across all promotions *)
   mutable depromotions : int;
       (** superblocks dissolved because a member was evicted *)
+  mutable superblock_guard_skips : int;
+      (** promotions skipped by the churn guard because the profiled
+          working set sits at the tcache knee, where group reservations
+          mass-evict established blocks (see
+          [Cc_translate.promotion_guarded]) *)
+  mutable superblock_collateral_reverts : int;
+      (** patched branches reverted while carving superblock
+          reservations (subset of [reverts]); diagnostic for how much
+          live chain linkage group reservations tear down *)
   mutable evicted_blocks : int;
   eviction_ring : (int * int) array;
       (** bounded ring of (cycle stamp, blocks evicted); use

@@ -1,0 +1,221 @@
+(** Multi-client MC fleet service, as a deterministic discrete-event
+    simulation.
+
+    One memory controller serves [N] cache-controller clients — each a
+    full [Softcache.Controller] session running its own workload —
+    multiplexed over a single shared [Netmodel] link. The fleet layer
+    owns what the paper's one-client MC never needed:
+
+    - {b per-client sessions}: each client keeps its own tcache,
+      statistics and virtual clock ([cpu.cycles]); the fleet advances
+      them in bounded slices under a pluggable fairness policy;
+    - {b a shared server-side chunk cache with content dedup}: CRC
+      stamps are memoized by exact payload content, so identical chunks
+      requested by many clients are chunked and CRC-computed once
+      (wired into the controllers through [Controller.mc_crc]);
+    - {b request coalescing}: a miss for content identical to a frame
+      already in flight joins that frame — it waits until the frame
+      lands and reads the same delivered bytes, putting nothing new on
+      the wire;
+    - {b frame batching}: a miss that (in virtual time) arrives before
+      the frame occupying the link has departed rides it as piggyback
+      segments at marginal per-byte cost — no latency, no per-message
+      overhead ([Netmodel.transfer_piggyback]);
+    - {b link serialization}: the shared link carries one frame at a
+      time; a request finding the link busy queues until it frees, and
+      the queueing wait is charged to the requesting client's clock.
+
+    Everything is deterministic: same seed, same config, same workloads
+    — same byte-for-byte summary. A 1-client fleet is {e cycle-identical}
+    to the plain single-controller path ([Check.Lockstep.fleet] proves
+    it): queueing wait is provably zero, coalescing and batching cannot
+    trigger, and the dedup cache memoizes values it would have computed
+    anyway. *)
+
+(** {1 Fairness policies} *)
+
+type fairness =
+  | Fifo  (** least-advanced virtual clock runs next (ties: lowest id) *)
+  | Round_robin  (** strict cyclic order over runnable sessions *)
+
+val fairness_table : (string * fairness) list
+(** The one place CLI flags, printers and sweeps draw the valid set
+    from — the [Config.eviction_table] idiom. *)
+
+val fairness_name : fairness -> string
+val fairness_of_name : string -> fairness option
+
+(** {1 Configuration} *)
+
+type config = private {
+  clients : int;  (** number of CC sessions (>= 1) *)
+  fairness : fairness;
+  dedup : bool;
+      (** shared chunk cache + request coalescing; off = the baseline
+          every dedup gate compares against *)
+  batching : bool;  (** cross-client frame piggybacking *)
+  cache_chunks : int;
+      (** bound on shared chunk-cache entries (content-addressed,
+          FIFO-evicted); 0 disables the cache even with [dedup] *)
+  quantum : int;  (** instructions per scheduling slice *)
+}
+
+val config :
+  ?clients:int ->
+  ?fairness:fairness ->
+  ?dedup:bool ->
+  ?batching:bool ->
+  ?cache_chunks:int ->
+  ?quantum:int ->
+  unit ->
+  config
+(** Defaults: 4 clients, [Fifo], dedup and batching on, 256 cache
+    entries, 256-instruction quantum.
+    @raise Invalid_argument on [clients < 1], [quantum < 1] or
+    [cache_chunks < 0]. *)
+
+(** {1 Sessions} *)
+
+type outcome =
+  | Running
+  | Halted
+  | Out_of_fuel
+  | Unavailable of { vaddr : int; attempts : int }
+      (** the shared link gave up on a chunk for this client; the other
+          sessions keep running *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+type session
+
+val session_id : session -> int
+val controller : session -> Softcache.Controller.t
+val outcome : session -> outcome
+
+val requested : session -> int -> bool
+(** Has this session ever requested the chunk at this vaddr (as a
+    demand miss or as a prefetch rider on one of its own frames)? The
+    isolation invariant [Check.Audit.fleet] enforces: every block
+    resident or staged in a session maps to a requested vaddr. *)
+
+val fetches : session -> int
+(** Demand transport attempts this session made against the MC. *)
+
+val session_coalesced : session -> int
+(** How many of those attempts were served by joining an in-flight
+    frame. *)
+
+val stall_samples : session -> float list
+(** Cycles this session stalled per transport attempt (queueing wait +
+    wire time, or wait-until-landing for coalesced joins), in attempt
+    order — the input to the p50/p99 metrics. *)
+
+(** {1 The fleet} *)
+
+type t
+
+val create :
+  ?cost:Machine.Cost.t ->
+  ?config:config ->
+  net:Netmodel.t ->
+  (int -> Softcache.Config.t) ->
+  Isa.Image.t array ->
+  t
+(** [create ~net mk_cfg images] builds [config.clients] sessions;
+    session [i] runs [images.(i mod length)] under [mk_cfg i] with its
+    [Config.net] replaced by the shared link [net] (pass the net from
+    one of the configs to share its fault schedule). The sessions'
+    [mc_transport] and [mc_crc] hooks are pointed at the fleet MC; no
+    session starts executing until {!run}.
+    @raise Invalid_argument if [images] is empty. *)
+
+val run : ?fuel:int -> t -> unit
+(** Drive every session to halt (or [fuel] retired instructions per
+    client, default 2M; or chunk unavailability) in
+    [config.quantum]-instruction slices ordered by the fairness
+    policy. Deterministic; idempotent once every session has left
+    [Running]. *)
+
+val attach_tracer : t -> Trace.t -> unit
+(** Attach a structured-event observer: fleet events (requests,
+    coalesced joins, frames, piggybacks) and shared-link frame/fault
+    events are recorded, stamped by the fleet's virtual clock (the
+    clock of the session being served). Observational only. *)
+
+(** {1 Introspection (audit surface)} *)
+
+val config_of : t -> config
+val net : t -> Netmodel.t
+val sessions : t -> session array
+
+val attempts : t -> int
+(** Demand transport attempts that reached the MC, across sessions. *)
+
+val frames : t -> int
+(** Frames actually dispatched on the shared link (including dropped
+    ones). *)
+
+val coalesced : t -> int
+(** Attempts served by joining an in-flight frame (no wire traffic). *)
+
+val piggybacked : t -> int
+(** Attempts that rode a frame still occupying the link. *)
+
+val cache_hits : t -> int
+val cache_misses : t -> int
+val cache_entries : t -> int
+val cache_evictions : t -> int
+
+val messages_delta : t -> int
+(** Shared-link messages accounted since {!create} — with the fleet as
+    the link's only user this must equal [frames + duplicates_delta]
+    (piggybacks account no message), the conservation law
+    [Check.Audit.fleet] checks. *)
+
+val duplicates_delta : t -> int
+
+(** {1 Metrics} *)
+
+type client_stats = {
+  c_id : int;
+  c_outcome : outcome;
+  c_cycles : int;
+  c_retired : int;
+  c_translations : int;
+  c_traps : int;
+  c_fetches : int;
+  c_coalesced : int;
+  c_stall_p50 : float;  (** 0 when the session never touched the wire *)
+  c_stall_p99 : float;
+}
+
+type summary = {
+  f_clients : int;
+  f_fairness : fairness;
+  f_dedup : bool;
+  f_batching : bool;
+  f_attempts : int;
+  f_frames : int;
+  f_coalesced : int;
+  f_piggybacked : int;
+  f_cache_hits : int;
+  f_cache_misses : int;
+  f_cache_entries : int;
+  f_messages : int;  (** shared-link messages since [create] *)
+  f_payload_bytes : int;  (** shared-link payload bytes since [create] *)
+  f_wire_bytes : int;
+      (** payload + per-message protocol overhead since [create] — the
+          aggregate-wire-bytes fleet metric *)
+  f_per_client : client_stats list;  (** ascending by [c_id] *)
+}
+
+val summary : t -> summary
+
+val summary_fields : t -> (string * string) list
+(** The summary as a stable, ordered key/value row — exactly what the
+    fleetsweep bench writes to BENCH_fleet.json, and what the
+    determinism test compares byte-for-byte across two runs.
+    Per-client values are ";"-joined in session order. *)
+
+val print_summary : t -> unit
+(** Render {!summary} as [Report.kv] lines. *)

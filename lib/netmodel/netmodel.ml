@@ -134,6 +134,27 @@ let request t ~payload_bytes =
 
 type error = [ `Dropped of int ]
 
+(* One bit of [payload] flipped, chosen by the rng — in a copy; the
+   sender's buffer is never touched. *)
+let flip_one_bit t payload =
+  let len = Bytes.length payload in
+  let received = Bytes.copy payload in
+  let bit = Rng.int t.rng (8 * len) in
+  let byte = bit lsr 3 in
+  Bytes.set received byte
+    (Char.chr (Char.code (Bytes.get received byte) lxor (1 lsl (bit land 7))));
+  received
+
+(* Slice a received frame back into the per-segment view, one segment
+   per original payload. *)
+let slice_segments received payloads =
+  List.fold_left
+    (fun (off, acc) p ->
+      let len = Bytes.length p in
+      (off + len, Bytes.sub received off len :: acc))
+    (0, []) payloads
+  |> snd |> List.rev
+
 (* [segments] only annotates the trace events; a batched frame is
    otherwise indistinguishable from a plain transfer. *)
 let transfer_frame t ~segments ~payload =
@@ -177,11 +198,7 @@ let transfer_frame t ~segments ~payload =
     else if corrupted && len > 0 then begin
       t.corruptions <- t.corruptions + 1;
       trace t (Trace.Net_fault { fault = Trace.Corrupt });
-      let received = Bytes.copy payload in
-      let bit = Rng.int t.rng (8 * len) in
-      let byte = bit lsr 3 in
-      Bytes.set received byte
-        (Char.chr (Char.code (Bytes.get received byte) lxor (1 lsl (bit land 7))));
+      let received = flip_one_bit t payload in
       trace t (Trace.Net_recv { bytes = len; cycles = !cost });
       Ok (!cost, received)
     end
@@ -201,16 +218,36 @@ let transfer_batch t ~payloads =
   let frame = Bytes.concat Bytes.empty payloads in
   match transfer_frame t ~segments:(List.length payloads) ~payload:frame with
   | Error _ as e -> e
-  | Ok (cost, received) ->
-      let segments =
-        List.fold_left
-          (fun (off, acc) p ->
-            let len = Bytes.length p in
-            (off + len, Bytes.sub received off len :: acc))
-          (0, []) payloads
-        |> snd |> List.rev
-      in
-      Ok (cost, segments)
+  | Ok (cost, received) -> Ok (cost, slice_segments received payloads)
+
+(* Rider segments appended to a frame that is already occupying the
+   link (fleet frame batching across clients). The host frame paid the
+   round-trip latency and the per-message protocol overhead; the rider
+   pays the marginal wire time of its own bytes only, and no new
+   message is accounted. A rider shares its host frame's fate — the
+   fleet only piggybacks onto frames known delivered, so there is no
+   independent drop, duplicate or delay roll — but the rider's bytes
+   take their own corruption roll (each extra byte on the wire is a
+   fresh chance to flip). Deterministic given the seed and the call
+   sequence, like every other transfer. *)
+let transfer_piggyback t ~payloads =
+  let frame = Bytes.concat Bytes.empty payloads in
+  let len = Bytes.length frame in
+  t.payload <- t.payload + len;
+  trace t (Trace.Net_send { bytes = len; segments = List.length payloads });
+  let cost = t.cycles_per_byte * len in
+  let f = t.faults in
+  let received =
+    if f.Faults.corrupt > 0. && Rng.float t.rng < f.Faults.corrupt && len > 0
+    then begin
+      t.corruptions <- t.corruptions + 1;
+      trace t (Trace.Net_fault { fault = Trace.Corrupt });
+      flip_one_bit t frame
+    end
+    else frame
+  in
+  trace t (Trace.Net_recv { bytes = len; cycles = cost });
+  (cost, slice_segments received payloads)
 
 let faults t = t.faults
 let messages t = t.messages

@@ -99,6 +99,16 @@ val transfer_batch :
     payload). A single-segment batch is indistinguishable from
     [transfer], including the rng draw stream. *)
 
+val transfer_piggyback : t -> payloads:Bytes.t list -> int * Bytes.t list
+(** Rider segments appended to a frame already occupying the link
+    (fleet frame batching across clients). The host frame paid latency
+    and per-message overhead, so the rider costs only the marginal wire
+    time of its own bytes and accounts {e no} new message — just
+    payload. A rider shares its host frame's fate: there is no
+    independent drop, duplicate or delay roll (callers only piggyback
+    onto frames known delivered), but the rider's bytes take their own
+    corruption roll. Cannot fail; returns [(cycles, segments)]. *)
+
 val faults : t -> Faults.t
 val messages : t -> int
 val payload_bytes : t -> int

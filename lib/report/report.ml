@@ -115,6 +115,21 @@ let geomean ?(on_nonpositive = `Error) l =
       (List.fold_left (fun a x -> a +. log x) 0.0 l
       /. float_of_int (List.length l))
 
+(* Exact nearest-rank percentile: sort, take element ceil(p/100 * n)
+   (1-based), no interpolation — p50 of [1;2;3;4] is 2, not 2.5. The
+   exactness matters for determinism gates: the same sample multiset
+   always yields the same element, bit-for-bit. *)
+let percentile p l =
+  if l = [] then invalid_arg "Report.percentile: empty sample list";
+  if p < 0.0 || p > 100.0 then
+    invalid_arg (Printf.sprintf "Report.percentile: %g not in [0,100]" p);
+  let sorted = List.sort compare l in
+  let n = List.length sorted in
+  let rank =
+    max 1 (int_of_float (ceil (p /. 100.0 *. float_of_int n)))
+  in
+  List.nth sorted (rank - 1)
+
 let fmt_bytes n =
   if n < 1024 then Printf.sprintf "%d B" n
   else if n < 1024 * 1024 then Printf.sprintf "%.1f KB" (float_of_int n /. 1024.)

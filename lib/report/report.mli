@@ -57,6 +57,15 @@ val geomean : ?on_nonpositive:[ `Error | `Skip ] -> float list -> float
     dropped and the mean is taken over the remaining positive values
     (0 if none remain). *)
 
+val percentile : float -> float list -> float
+(** [percentile p samples] — the exact nearest-rank percentile: the
+    element of rank [max 1 (ceil (p/100 * n))] (1-based) of the sorted
+    samples. No interpolation, so the result is always a member of the
+    input — p50 of [[1;2;3;4]] is [2.], p100 is the maximum, p0 the
+    minimum. Deterministic: the same sample multiset yields the same
+    element bit-for-bit, which the fleet-determinism gates rely on.
+    @raise Invalid_argument on an empty list or [p] outside [0,100]. *)
+
 val fmt_bytes : int -> string
 (** "800 B", "24.0 KB", "1.5 MB". *)
 

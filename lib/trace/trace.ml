@@ -25,6 +25,10 @@ type event =
   | Net_send of { bytes : int; segments : int }
   | Net_recv of { bytes : int; cycles : int }
   | Net_fault of { fault : fault }
+  | Fl_request of { client : int; chunk : int }
+  | Fl_coalesce of { client : int; chunk : int; wait : int }
+  | Fl_frame of { client : int; segments : int; queued : int }
+  | Fl_piggyback of { client : int; bytes : int }
   | Dc_specialise of { site : int }
   | Dc_deopt of { site : int }
   | Dc_miss of { addr : int }
@@ -53,6 +57,10 @@ let event_type = function
   | Net_send _ -> "net_send"
   | Net_recv _ -> "net_recv"
   | Net_fault _ -> "net_fault"
+  | Fl_request _ -> "fl_request"
+  | Fl_coalesce _ -> "fl_coalesce"
+  | Fl_frame _ -> "fl_frame"
+  | Fl_piggyback _ -> "fl_piggyback"
   | Dc_specialise _ -> "dc_specialise"
   | Dc_deopt _ -> "dc_deopt"
   | Dc_miss _ -> "dc_miss"
@@ -85,6 +93,13 @@ let fields = function
       [ ("bytes", bytes); ("segments", segments) ]
   | Net_recv { bytes; cycles } -> [ ("bytes", bytes); ("cycles", cycles) ]
   | Net_fault _ -> []
+  | Fl_request { client; chunk } -> [ ("client", client); ("chunk", chunk) ]
+  | Fl_coalesce { client; chunk; wait } ->
+      [ ("client", client); ("chunk", chunk); ("wait", wait) ]
+  | Fl_frame { client; segments; queued } ->
+      [ ("client", client); ("segments", segments); ("queued", queued) ]
+  | Fl_piggyback { client; bytes } ->
+      [ ("client", client); ("bytes", bytes) ]
   | Dc_specialise { site } -> [ ("site", site) ]
   | Dc_deopt { site } -> [ ("site", site) ]
   | Dc_miss { addr } -> [ ("addr", addr) ]
@@ -105,6 +120,10 @@ let schema_fields = function
   | "net_send" -> Some [ "bytes"; "segments" ]
   | "net_recv" -> Some [ "bytes"; "cycles" ]
   | "net_fault" -> Some []
+  | "fl_request" -> Some [ "client"; "chunk" ]
+  | "fl_coalesce" -> Some [ "client"; "chunk"; "wait" ]
+  | "fl_frame" -> Some [ "client"; "segments"; "queued" ]
+  | "fl_piggyback" -> Some [ "client"; "bytes" ]
   | "dc_specialise" | "dc_deopt" -> Some [ "site" ]
   | "dc_miss" -> Some [ "addr" ]
   | "dc_spill" | "dc_refill" -> Some [ "words" ]
@@ -306,6 +325,7 @@ let tid_of_event ev =
   | Tc_alloc _ -> 2
   | Net_send _ | Net_recv _ | Net_fault _ -> 3
   | Dc_specialise _ | Dc_deopt _ | Dc_miss _ | Dc_spill _ | Dc_refill _ -> 4
+  | Fl_request _ | Fl_coalesce _ | Fl_frame _ | Fl_piggyback _ -> 6
 
 let residency_tid = 5
 
@@ -332,6 +352,7 @@ let to_chrome t =
       (3, "network");
       (4, "dcache");
       (residency_tid, "tcache residency");
+      (6, "fleet");
     ];
   let open_spans = Hashtbl.create 64 in
   let span ph cycle chunk =

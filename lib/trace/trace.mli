@@ -68,6 +68,17 @@ type event =
   | Net_recv of { bytes : int; cycles : int }
       (** frame delivered after [cycles] on the wire *)
   | Net_fault of { fault : fault }  (** scheduled fault fired *)
+  | Fl_request of { client : int; chunk : int }
+      (** a fleet session's demand fetch reached the shared MC *)
+  | Fl_coalesce of { client : int; chunk : int; wait : int }
+      (** the request joined an in-flight frame for identical content:
+          no new wire traffic, [wait] cycles until that frame lands *)
+  | Fl_frame of { client : int; segments : int; queued : int }
+      (** a frame dispatched on the shared link for this client after
+          [queued] cycles waiting for the link to free up *)
+  | Fl_piggyback of { client : int; bytes : int }
+      (** the request rode a frame still occupying the link, adding
+          [bytes] of rider segments at marginal wire cost *)
   | Dc_specialise of { site : int }  (** site rewritten to a direct access *)
   | Dc_deopt of { site : int }  (** specialised site torn down *)
   | Dc_miss of { addr : int }  (** software data cache miss *)
