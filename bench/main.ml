@@ -1114,9 +1114,10 @@ let tracesmoke () =
 
 let policysweep () =
   Report.section
-    "Policy sweep: eviction policy x tcache size (gate: lru/rrip \
-     translations <= fifo at sub-working-set sizes; full-registry \
-     lockstep equivalence)";
+    "Policy sweep: eviction policy x tcache size (gate: lru/rrip/trrip \
+     translations <= fifo at sub-working-set sizes; profiled trrip <= rrip \
+     everywhere and strictly better on >= 3 cells; full-registry lockstep \
+     equivalence)";
   let sizes = [ 2048; 4096; 8192 ] in
   let gate_workloads = [ "compress95"; "mpeg2enc" ] in
   let t =
@@ -1131,6 +1132,25 @@ let policysweep () =
         if not (List.mem e.name gate_workloads) then ()
         else begin
           let native = Softcache.Runner.native img in
+          (* one profiling pre-run per workload: the trrip rows attach
+             its temperature classifier, every other policy ignores it *)
+          let prof, _ = Profiler.profile img in
+          let classify = Profiler.temperature_classifier prof in
+          let oracle ~lo ~hi =
+            match classify ~lo ~hi with
+            | Profiler.Hot -> Softcache.Policy.Hot
+            | Profiler.Warm -> Softcache.Policy.Warm
+            | Profiler.Cold -> Softcache.Policy.Cold
+          in
+          (* the sizing estimate decides where the prior pays: primed
+             only in deep thrash, unprimed (= plain rrip) around and
+             above the knee *)
+          let est =
+            Softcache.Sizing.estimate ~image:img
+              ~chunking:Softcache.Config.Basic_block
+              ~samples_in:(fun ~lo ~hi -> Profiler.samples_in prof ~lo ~hi)
+              ~sizes ()
+          in
           List.iter
             (fun bytes ->
               List.iter
@@ -1138,9 +1158,20 @@ let policysweep () =
                   let cfg =
                     Softcache.Config.make ~tcache_bytes:bytes ~eviction:ev ()
                   in
-                  match Softcache.Runner.cached cfg img with
-                  | cached, ctrl ->
-                    let ok = cached.outputs = native.outputs in
+                  let prepare c =
+                    if
+                      ev = Softcache.Config.Trrip
+                      && Softcache.Sizing.deep_thrash est ~tcache_bytes:bytes
+                    then
+                      Softcache.Controller.set_temperature_oracle c
+                        (Some oracle)
+                  in
+                  match Softcache.Runner.cached_robust ~prepare cfg img with
+                  | r, ctrl ->
+                    let ok =
+                      r.status = Softcache.Runner.Finished Machine.Cpu.Halted
+                      && r.outputs = native.outputs
+                    in
                     if not ok then
                       fail "%s/%s/%dB: outputs diverge from native" e.name
                         pname bytes;
@@ -1149,13 +1180,13 @@ let policysweep () =
                         e.name;
                         Report.fmt_bytes bytes;
                         pname;
-                        string_of_int cached.cycles;
+                        string_of_int r.cycles;
                         string_of_int ctrl.stats.translations;
                         string_of_int ctrl.stats.evicted_blocks;
                         (if ok then "ok" else "MISMATCH");
                       ];
                     grid :=
-                      (e.name, bytes, pname, cached.cycles,
+                      (e.name, bytes, pname, r.cycles,
                        ctrl.stats.translations, ctrl.stats.evicted_blocks, ok)
                       :: !grid
                   | exception Softcache.Controller.Chunk_too_large _ ->
@@ -1192,9 +1223,35 @@ let policysweep () =
                   fail "%s/%dB: %s translates more than fifo (%d > %d)" name
                     bytes pname tr fifo_tr
                 | Some _ | None -> ())
-              [ "lru"; "rrip" ])
+              [ "lru"; "rrip"; "trrip" ])
         sizes)
     gate_workloads;
+  (* trrip rides a real profile on every gate cell, so the temperature
+     prior must pay for itself: never more translations than plain
+     rrip anywhere, strictly fewer on at least three cells *)
+  let trrip_wins = ref 0 and trrip_cells = ref 0 in
+  List.iter
+    (fun name ->
+      List.iter
+        (fun bytes ->
+          match
+            (translations name bytes "rrip", translations name bytes "trrip")
+          with
+          | Some rrip_tr, Some trrip_tr ->
+            incr trrip_cells;
+            if trrip_tr > rrip_tr then
+              fail "%s/%dB: trrip translates more than rrip (%d > %d)" name
+                bytes trrip_tr rrip_tr
+            else if trrip_tr < rrip_tr then incr trrip_wins
+          | _ -> ())
+        sizes)
+    gate_workloads;
+  Report.kv "trrip vs rrip"
+    (Printf.sprintf "strictly fewer translations on %d of %d profiled cells"
+       !trrip_wins !trrip_cells);
+  if !trrip_wins < 3 then
+    fail "trrip strictly beat rrip on only %d of %d profiled cells (need >= 3)"
+      !trrip_wins !trrip_cells;
   (* full-registry architectural equivalence, every policy vs native
      and vs each other, with the invariant auditor attached *)
   let lt =
@@ -1236,6 +1293,129 @@ let policysweep () =
                Printf.sprintf "    { \"name\": %S, \"ok\": %b, \"verdict\": %S }"
                  n ok s)
              lockstep_rows) );
+      ("trrip_cells", string_of_int !trrip_cells);
+      ("trrip_wins", string_of_int !trrip_wins);
+      ("gate_failures", string_of_int !failures);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Analytic sizing: the dominant-block estimator against the measured
+   Fig. 7 knee, plus the CI gate — the predicted knee must land within
+   one ladder step of the measured knee on at least 6 of the 8 registry
+   workloads. Emits BENCH_sizing.json.
+
+   The measured knee is read off the fifo translation curve: the
+   smallest tcache size whose translation count sits within 2x of the
+   count at the largest completing size — where the Fig. 7 curve has
+   gone flat, capacity misses are gone and what remains is the cold
+   footprint. *)
+
+let sizing () =
+  Report.section
+    "Sizing: dominant-block analytic knee vs measured Fig. 7 knee (gate: \
+     within one ladder step on >= 6 of 8 registry workloads)";
+  let ladder = Array.of_list sweep_sizes in
+  let step_of bytes =
+    let rec go i =
+      if i >= Array.length ladder then -1
+      else if ladder.(i) = bytes then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let t =
+    Report.Table.create ~title:"predicted vs measured tcache knee"
+      ~columns:
+        [ "app"; "chunks"; "dominant"; "dom tcache"; "predicted"; "knee";
+          "measured"; "steps off"; "verdict" ]
+  in
+  let hits = ref 0 in
+  let rows =
+    over_registry (fun e img ->
+        let prof, _ = Profiler.profile img in
+        let est =
+          Softcache.Sizing.estimate ~image:img
+            ~chunking:Softcache.Config.Basic_block
+            ~samples_in:(fun ~lo ~hi -> Profiler.samples_in prof ~lo ~hi)
+            ~sizes:sweep_sizes ()
+        in
+        let curve =
+          List.filter_map
+            (fun bytes ->
+              let cfg =
+                Softcache.Config.sparc_prototype ~tcache_bytes:bytes ()
+              in
+              match Softcache.Runner.cached cfg img with
+              | cached, ctrl ->
+                if cached.outputs <> (Softcache.Runner.native img).outputs
+                then fail "%s/%dB: outputs diverge from native" e.name bytes;
+                Some (bytes, ctrl.stats.translations)
+              | exception Softcache.Controller.Chunk_too_large _ -> None)
+            sweep_sizes
+        in
+        let measured =
+          match List.rev curve with
+          | [] -> None
+          | (_, tail_tr) :: _ ->
+            List.find_map
+              (fun (bytes, tr) ->
+                if tr <= 2 * tail_tr then Some bytes else None)
+              curve
+        in
+        let delta =
+          match (est.predicted_knee, measured) with
+          | Some p, Some m -> Some (abs (step_of p - step_of m))
+          | _ -> None
+        in
+        let ok = match delta with Some d -> d <= 1 | None -> false in
+        if ok then incr hits;
+        let fmt_opt = function Some b -> Report.fmt_bytes b | None -> "-" in
+        Report.Table.add_row t
+          [
+            e.name;
+            string_of_int est.chunks_walked;
+            string_of_int est.dominant_chunks;
+            Report.fmt_bytes est.dominant_tcache_bytes;
+            Report.fmt_bytes est.predicted_bytes;
+            fmt_opt est.predicted_knee;
+            fmt_opt measured;
+            (match delta with Some d -> string_of_int d | None -> "-");
+            (if ok then "ok" else "OFF");
+          ];
+        (e.name, est, measured, delta, ok))
+  in
+  Report.Table.print t;
+  Report.kv "knee accuracy"
+    (Printf.sprintf "within one ladder step on %d of %d workloads" !hits
+       (List.length rows));
+  if !hits < 6 then
+    fail "sizing knee within one step on only %d of %d workloads (need >= 6)"
+      !hits (List.length rows);
+  emit_json ~file:"BENCH_sizing.json" ~benchmark:"sizing"
+    [
+      ( "workloads",
+        json_array
+          (List.map
+             (fun (n, (est : Softcache.Sizing.estimate), measured, delta, ok) ->
+               Printf.sprintf
+                 "    { \"name\": %S, \"chunks_walked\": %d, \
+                  \"dominant_chunks\": %d, \"dominant_tcache_bytes\": %d, \
+                  \"predicted_bytes\": %d, \"predicted_knee\": %s, \
+                  \"measured_knee\": %s, \"step_delta\": %s, \"ok\": %b }"
+                 n est.chunks_walked est.dominant_chunks
+                 est.dominant_tcache_bytes est.predicted_bytes
+                 (match est.predicted_knee with
+                 | Some b -> string_of_int b
+                 | None -> "null")
+                 (match measured with
+                 | Some b -> string_of_int b
+                 | None -> "null")
+                 (match delta with
+                 | Some d -> string_of_int d
+                 | None -> "null")
+                 ok)
+             rows) );
+      ("knee_hits", string_of_int !hits);
       ("gate_failures", string_of_int !failures);
     ]
 
@@ -1625,6 +1805,7 @@ let experiments =
     ("faultsweep", faultsweep);
     ("prefetchsweep", prefetchsweep);
     ("policysweep", policysweep);
+    ("sizing", sizing);
     ("chainsweep", chainsweep);
     ("fleetsweep", fleetsweep);
     ("tracesmoke", tracesmoke);

@@ -5,6 +5,7 @@
      run      <workload>       run natively and under the SoftCache
      profile  <workload>       flat profile + footprint numbers
      sweep    <workload>       tcache miss-rate curve
+     sizing   <workload>       analytic tcache-size prediction (Fig. 7 knee)
      hwsweep  <workload>       hardware-cache miss-rate curve
      dcache   <workload>       run under the software data cache
      fleet    <workload>       one MC serving N clients over a shared link
@@ -250,11 +251,14 @@ let run_cmd =
         make_config ?faults ~audit ~engine ~prefetch ~staging ~trace_limit
           ~chain ~superblock_threshold tcache chunking eviction network
       in
-      (* profile-guided oracles: one profiling pre-run supplies both the
-         prefetch hot-set ranker and the superblock edge temperatures *)
+      (* profile-guided oracles: one profiling pre-run supplies the
+         prefetch hot-set ranker, the superblock edge temperatures and
+         the trrip block-temperature prior *)
       let prof =
-        if prefetch > 0 || superblock_threshold > 0 then
-          Some (fst (Profiler.profile img))
+        if
+          prefetch > 0 || superblock_threshold > 0
+          || eviction = Softcache.Config.Trrip
+        then Some (fst (Profiler.profile img))
         else None
       in
       let ranker =
@@ -275,11 +279,45 @@ let run_cmd =
             prof
         else None
       in
+      (* trrip primes its temperature prior only in deep thrash: the
+         sizing estimate decides, and around or above the knee the
+         unprimed policy decides exactly like rrip *)
+      let temperature, trrip_note =
+        match (eviction, prof) with
+        | Softcache.Config.Trrip, Some p ->
+          let est =
+            Softcache.Sizing.estimate ~image:img
+              ~chunking:cfg.Softcache.Config.chunking
+              ~samples_in:(fun ~lo ~hi -> Profiler.samples_in p ~lo ~hi)
+              ~sizes:[] ()
+          in
+          if Softcache.Sizing.deep_thrash est ~tcache_bytes:tcache then
+            let classify = Profiler.temperature_classifier p in
+            ( Some
+                (fun ~lo ~hi ->
+                  match classify ~lo ~hi with
+                  | Profiler.Hot -> Softcache.Policy.Hot
+                  | Profiler.Warm -> Softcache.Policy.Warm
+                  | Profiler.Cold -> Softcache.Policy.Cold),
+              Some
+                (Printf.sprintf
+                   "primed (predicted need %d B, tcache %d B: deep thrash)"
+                   est.Softcache.Sizing.predicted_bytes tcache) )
+          else
+            ( None,
+              Some
+                (Printf.sprintf
+                   "unprimed (predicted need %d B, tcache %d B: deciding as \
+                    rrip)"
+                   est.Softcache.Sizing.predicted_bytes tcache) )
+        | _ -> (None, None)
+      in
       let audits = ref None in
       let tracer = ref None in
       let prepare (ctrl : Softcache.Controller.t) =
         ctrl.prefetch_ranker <- ranker;
         ctrl.chain_oracle <- oracle;
+        Softcache.Controller.set_temperature_oracle ctrl temperature;
         ctrl.dynamic_text_hint <-
           Option.map (fun p -> Profiler.dynamic_text_bytes p) prof;
         (match trace_out with
@@ -337,6 +375,9 @@ let run_cmd =
          ~invalidated:ctrl.stats.evicted_invalidated
          ~flushed:ctrl.stats.evicted_flushed
          ~ages:(Softcache.Stats.victim_ages ctrl.stats));
+      (match trrip_note with
+      | Some s -> Report.kv "trrip prior" s
+      | None -> ());
       (match !audits with
       | Some n -> Report.kv "audit" (Printf.sprintf "on, %d audits passed" !n)
       | None -> ());
@@ -408,6 +449,77 @@ let sweep_cmd =
   in
   Cmd.v (Cmd.info "sweep" ~doc:"Software-cache miss rate vs tcache size")
     Term.(const run $ workload_arg $ chunking_arg)
+
+let threshold_arg =
+  let doc =
+    "Dominant-set cumulative sample share (the paper's gprof 90% rule)."
+  in
+  Arg.(value & opt float 0.9 & info [ "threshold" ] ~docv:"SHARE" ~doc)
+
+let headroom_arg =
+  let doc =
+    "Inflation over the rewritten dominant footprint, covering the \
+     persistent stub area, sweep fragmentation and tail duplication."
+  in
+  Arg.(value & opt float 1.4 & info [ "headroom" ] ~docv:"FACTOR" ~doc)
+
+let sizing_cmd =
+  let run name chunking threshold headroom =
+    match find_workload name with
+    | Error e -> prerr_endline e; 1
+    | Ok entry -> (
+      let img = entry.build () in
+      let prof, _ = Profiler.profile img in
+      match
+        Softcache.Sizing.estimate ~threshold ~headroom ~image:img ~chunking
+          ~samples_in:(fun ~lo ~hi -> Profiler.samples_in prof ~lo ~hi)
+          ~sizes:[ 256; 512; 1024; 2048; 4096; 8192; 16384; 32768; 65536 ]
+          ()
+      with
+      | exception Invalid_argument m -> prerr_endline m; 1
+      | est ->
+        Report.kv "chunks walked" (string_of_int est.chunks_walked);
+        Report.kv "dominant chunks"
+          (Printf.sprintf "%d (%.0f%% of samples)" est.dominant_chunks
+             (100.0 *. threshold));
+        Report.kv "dominant source"
+          (Report.fmt_bytes est.dominant_source_bytes);
+        Report.kv "dominant rewritten"
+          (Report.fmt_bytes est.dominant_tcache_bytes);
+        Report.kv "predicted tcache need"
+          (Report.fmt_bytes est.predicted_bytes);
+        Report.kv "predicted knee"
+          (match est.predicted_knee with
+          | Some b -> Report.fmt_bytes b
+          | None -> "beyond 64 KB");
+        (* deep_thrash holds exactly below half the predicted need *)
+        Report.kv "trrip prior primed below"
+          (Report.fmt_bytes (est.predicted_bytes / 2));
+        let t =
+          Report.Table.create ~title:"hottest chunks"
+            ~columns:[ "vaddr"; "source"; "rewritten"; "samples" ]
+        in
+        List.iteri
+          (fun i (c : Softcache.Sizing.chunk_info) ->
+            if i < 12 && c.ci_samples > 0 then
+              Report.Table.add_row t
+                [
+                  Printf.sprintf "0x%x" c.ci_vaddr;
+                  Report.fmt_bytes c.ci_span_bytes;
+                  Report.fmt_bytes c.ci_tcache_bytes;
+                  string_of_int c.ci_samples;
+                ])
+          est.chunks;
+        Report.Table.print t;
+        0)
+  in
+  Cmd.v
+    (Cmd.info "sizing"
+       ~doc:
+         "Predict the smallest acceptable tcache size from a static CFG \
+          walk plus a profiling pre-run (the Fig. 7 knee, analytically)")
+    Term.(const run $ workload_arg $ chunking_arg $ threshold_arg
+          $ headroom_arg)
 
 let hwsweep_cmd =
   let run name =
@@ -697,6 +809,6 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ list_cmd; run_cmd; profile_cmd; sweep_cmd; hwsweep_cmd;
-            dcache_cmd; fullsystem_cmd; fleet_cmd; disasm_cmd; trace_cmd;
-            asm_cmd ]))
+          [ list_cmd; run_cmd; profile_cmd; sweep_cmd; sizing_cmd;
+            hwsweep_cmd; dcache_cmd; fullsystem_cmd; fleet_cmd; disasm_cmd;
+            trace_cmd; asm_cmd ]))

@@ -1,11 +1,12 @@
 type chunking = Basic_block | Procedure
-type eviction = Flush_all | Fifo | Lru | Rrip
+type eviction = Flush_all | Fifo | Lru | Rrip | Trrip
 
 (* The one place the CLI flag, the pretty-printer and the policy sweep
    all draw the valid-policy set from; adding a policy here is what
    makes it exist everywhere. *)
 let eviction_table =
-  [ ("fifo", Fifo); ("flush", Flush_all); ("lru", Lru); ("rrip", Rrip) ]
+  [ ("fifo", Fifo); ("flush", Flush_all); ("lru", Lru); ("rrip", Rrip);
+    ("trrip", Trrip) ]
 
 let eviction_name ev =
   match List.find_opt (fun (_, e) -> e = ev) eviction_table with

@@ -26,6 +26,13 @@ type eviction =
       (** 2-bit re-reference interval prediction over the same observed
           entry events (in the spirit of TRRIP): blocks insert at RRPV
           2, reset to 0 on entry, and the victim is the max-RRPV block *)
+  | Trrip
+      (** temperature-aware RRIP: like [Rrip], but a profile-derived
+          temperature oracle ([Controller.set_temperature_oracle]) sets
+          the insertion RRPV per block — hot 0, warm 2, cold 3 — so
+          profile-hot blocks survive the sweep before their first
+          observed entry. With no oracle attached every block reads
+          cold and the policy's decisions are exactly [Rrip]'s *)
 
 val eviction_table : (string * eviction) list
 (** The canonical name <-> policy mapping. The CLI [--eviction] enum,

@@ -133,6 +133,13 @@ let attach_tracer t tr =
   Trace.set_clock tr (fun () -> t.cpu.cycles);
   Netmodel.set_tracer t.cfg.net (Some tr)
 
+(* Temperature is profile data threaded in the same post-create way as
+   [prefetch_ranker]: the profiler lives above lib/core, so the caller
+   hands us a closure over its classifier. Only trrip listens. *)
+let set_temperature_oracle t f =
+  let module P = (val t.policy : Policy.S) in
+  P.set_temperature_oracle f
+
 let start t =
   let b = ensure_resident t t.image.Isa.Image.entry in
   t.cpu.pc <- b.paddr;

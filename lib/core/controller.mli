@@ -212,6 +212,17 @@ val attach_tracer : t -> Trace.t -> unit
     draw stream ([Check.Lockstep.trace] proves this). Attach before
     [start] so the ledger covers the whole run. *)
 
+val set_temperature_oracle :
+  t -> (lo:int -> hi:int -> Policy.temperature) option -> unit
+(** Attach a profile-derived temperature oracle to the replacement
+    policy — the [trrip] insertion prior. A no-op on every other
+    policy, so callers may attach unconditionally. Like
+    [prefetch_ranker], this threads profiling-pre-run data into the
+    dependency-inverted core: build the classifier with
+    [Profiler.temperature_classifier] and convert its temperature type
+    to {!Policy.temperature} at the call site. Attach before [start] —
+    the prior is sampled when a block installs. *)
+
 val start : t -> unit
 (** Translate the entry chunk and point the CPU at it. *)
 

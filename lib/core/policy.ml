@@ -10,9 +10,18 @@ let reason_name = function
 let reason_names =
   List.map reason_name [ Victim; Collateral; Stub_growth; Invalidated; Flushed ]
 
+type temperature = Hot | Warm | Cold
+
+let temperature_name = function Hot -> "hot" | Warm -> "warm" | Cold -> "cold"
+
+(* The TRRIP insertion mapping: hot blocks insert protected, warm at
+   the usual SRRIP "long re-reference", cold already distant. *)
+let rrpv_of_temperature = function Hot -> 0 | Warm -> 2 | Cold -> 3
+
 module type S = sig
   val name : string
   val kind : [ `Evict | `Flush_all ]
+  val set_temperature_oracle : (lo:int -> hi:int -> temperature) option -> unit
   val on_install : Tcache.block -> unit
   val on_entry : Tcache.block -> unit
   val on_evict : reason -> Tcache.block -> unit
@@ -35,7 +44,9 @@ let ids_of tbl = Hashtbl.fold (fun id _ acc -> id :: acc) tbl []
 (* [victim] scans the policy's own table, not the tcache: both views
    are audited equal, and the scan is O(resident blocks) — the same
    order the allocation sweep already pays. Pinned blocks are skipped;
-   ties break on the smaller key so the choice is deterministic. *)
+   ties break on the smaller key, and exact key ties on the smaller
+   block id — never on Hashtbl.fold visit order, which depends on
+   table history rather than on any stable property of the blocks. *)
 let pick_min tbl ~key tc =
   Hashtbl.fold
     (fun id (b, m) best ->
@@ -43,7 +54,9 @@ let pick_min tbl ~key tc =
       else
         let k = key m in
         match best with
-        | Some (kb, _) when compare kb k <= 0 -> best
+        | Some (kb, (bb : Tcache.block))
+          when compare kb k < 0 || (compare kb k = 0 && bb.id < id) ->
+          best
         | _ -> Some (k, b))
     tbl None
   |> Option.map snd
@@ -72,7 +85,10 @@ let sweep_candidate tbl tc =
           let ends = b.paddr + (4 * b.words) in
           let better best =
             match best with
-            | Some ((bb : Tcache.block), _) when bb.paddr <= b.paddr -> best
+            | Some ((bb : Tcache.block), _)
+              when bb.paddr < b.paddr || (bb.paddr = b.paddr && bb.id < b.id)
+              ->
+              best
             | _ -> Some (b, m)
           in
           if ends > ptr then (better ahead, wrapped)
@@ -85,6 +101,7 @@ let fifo_like name kind : t =
   (module struct
     let name = name
     let kind = kind
+    let set_temperature_oracle _ = ()
     let tbl : (int, Tcache.block * unit) Hashtbl.t = Hashtbl.create 64
     let on_install (b : Tcache.block) = Hashtbl.replace tbl b.id (b, ())
     let on_entry _ = ()
@@ -109,6 +126,7 @@ let lru () : t =
   (module struct
     let name = "lru"
     let kind = `Evict
+    let set_temperature_oracle _ = ()
 
     (* Stamps come from a logical clock ticked on every observed
        install/entry; strictly increasing, so stamps are unique and
@@ -187,6 +205,7 @@ let rrip () : t =
   (module struct
     let name = "rrip"
     let kind = `Evict
+    let set_temperature_oracle _ = ()
 
     (* 2-bit RRPV in the SRRIP mould: insert at 2 ("long re-reference
        interval"), promote to 0 on an observed entry, evict the block
@@ -234,12 +253,19 @@ let rrip () : t =
       | Some (sb, sm) ->
         if effective sm >= 3 then None
         else
-          (* max effective RRPV first, oldest insertion on ties *)
+          (* max effective RRPV first, oldest insertion on ties — and
+             only a fully distant block is worth deviating to: the
+             seeded allocation restarts the sweep at the victim, so
+             evicting anything with expected reuse just teleports the
+             pointer for no benefit *)
           let distant =
             pick_min tbl ~key:(fun m -> (-effective m, m.seq)) tc
           in
           (match distant with
-          | Some b when b.Tcache.id <> sb.Tcache.id -> Some b
+          | Some b when b.Tcache.id <> sb.Tcache.id -> (
+            match Hashtbl.find_opt tbl b.id with
+            | Some (_, m) when effective m >= 3 -> Some b
+            | Some _ | None -> None)
           | Some _ | None -> None)
 
     let resident_ids () = ids_of tbl
@@ -257,8 +283,116 @@ let rrip () : t =
         (String.concat " " (List.sort compare rrpvs))
   end)
 
+type trrip_meta = {
+  mutable t_rrpv : int;
+  mutable t_last_entry : int option;
+  t_seq : int;
+  t_prior : int;  (* profile prior: the RRPV this block decays back to *)
+}
+
+let trrip () : t =
+  (module struct
+    let name = "trrip"
+    let kind = `Evict
+
+    (* Temperature-aware RRIP: [rrip] with one twist. Plain rrip's
+       insertion RRPV is inert — [effective] reads 3 for any block
+       without an in-window entry, and an entry always resets the RRPV
+       to 0, so the stored insertion value is never actually observed.
+       The profile prior therefore has to replace the *fallback*, not
+       just the insertion value: a block with no (or an expired) entry
+       reads as its temperature prior — hot 0, warm 2, cold 3 —
+       instead of a hard-coded 3. Hot blocks stay protected before
+       their first observed entry and after their entries have been
+       patched into silent direct branches, which is exactly where
+       rrip is blind. With no oracle every prior is 3 and [effective]
+       collapses to rrip's: the decision stream is identical. *)
+    let tbl : (int, Tcache.block * trrip_meta) Hashtbl.t = Hashtbl.create 64
+    let clock = ref 0
+    let oracle : (lo:int -> hi:int -> temperature) option ref = ref None
+    let set_temperature_oracle f = oracle := f
+
+    let tick () =
+      incr clock;
+      !clock
+
+    (* the prior is sampled once at install: the profile is static, and
+       a fixed prior keeps [victim] a pure query *)
+    let prior_of (b : Tcache.block) =
+      match !oracle with
+      | None -> 3
+      | Some f ->
+        rrpv_of_temperature
+          (f ~lo:b.vaddr ~hi:(b.vaddr + (4 * b.orig_words)))
+
+    let on_install (b : Tcache.block) =
+      let s = tick () in
+      let p = prior_of b in
+      Hashtbl.replace tbl b.id
+        (b, { t_rrpv = p; t_last_entry = None; t_seq = s; t_prior = p })
+
+    let on_entry (b : Tcache.block) =
+      match Hashtbl.find_opt tbl b.id with
+      | Some (_, m) ->
+        m.t_rrpv <- 0;
+        m.t_last_entry <- Some (tick ())
+      | None -> ()
+
+    let on_evict _ (b : Tcache.block) = Hashtbl.remove tbl b.id
+    let on_flush () = ()
+    let on_superblock _ _ = ()
+    let on_superblock_evict _ = ()
+    let window () = 2 * (Hashtbl.length tbl + 2)
+
+    (* aged read: an in-window entry speaks for itself; otherwise the
+       block decays to its profile prior rather than to "distant" *)
+    let effective m =
+      match m.t_last_entry with
+      | Some e when !clock - e <= window () -> m.t_rrpv
+      | Some _ | None -> m.t_prior
+
+    let victim tc =
+      match sweep_candidate tbl tc with
+      | None -> None
+      | Some (sb, sm) ->
+        if effective sm >= 3 then None
+        else
+          (* max effective RRPV first, oldest insertion on ties — and
+             the victim must read strictly colder than the candidate,
+             or the seeded sweep restart costs more than the candidate
+             was worth. Without an oracle effective is two-valued
+             ({0,3}) and "strictly colder than a protected candidate"
+             is exactly rrip's "fully distant" condition. *)
+          let distant =
+            pick_min tbl ~key:(fun m -> (-effective m, m.t_seq)) tc
+          in
+          (match distant with
+          | Some b when b.Tcache.id <> sb.Tcache.id -> (
+            match Hashtbl.find_opt tbl b.id with
+            | Some (_, m) when effective m > effective sm -> Some b
+            | Some _ | None -> None)
+          | Some _ | None -> None)
+
+    let resident_ids () = ids_of tbl
+
+    let debug_state () =
+      let rrpvs =
+        Hashtbl.fold
+          (fun id (_, m) acc ->
+            Printf.sprintf "%d:rrpv=%d/eff=%d/prior=%d,seq=%d" id m.t_rrpv
+              (effective m) m.t_prior m.t_seq
+            :: acc)
+          tbl []
+      in
+      Printf.sprintf "trrip: clock=%d window=%d oracle=%s [%s]" !clock
+        (window ())
+        (match !oracle with Some _ -> "yes" | None -> "no")
+        (String.concat " " (List.sort compare rrpvs))
+  end)
+
 let create = function
   | Config.Fifo -> fifo_like "fifo" `Evict
   | Config.Flush_all -> fifo_like "flush" `Flush_all
   | Config.Lru -> lru ()
   | Config.Rrip -> rrip ()
+  | Config.Trrip -> trrip ()

@@ -43,6 +43,19 @@ val reason_name : reason -> string
 val reason_names : string list
 (** All valid {!reason_name} values (for schema validation). *)
 
+type temperature = Hot | Warm | Cold
+(** Profile-derived block temperature, the TRRIP classification. The
+    policy layer defines its own copy of this type (rather than using
+    the profiler's) because [lib/core] must not depend on
+    [lib/profiler]; the glue converting one to the other lives with
+    whoever attaches the oracle (CLI, bench, tests). *)
+
+val temperature_name : temperature -> string
+(** "hot" / "warm" / "cold". *)
+
+val rrpv_of_temperature : temperature -> int
+(** The TRRIP insertion mapping: hot 0, warm 2, cold 3. *)
+
 module type S = sig
   val name : string
   (** The [Config.eviction_name] this instance was created from. *)
@@ -51,6 +64,13 @@ module type S = sig
   (** [`Evict]: make room by evicting blocks ([victim] seeds the
       sweep). [`Flush_all]: never evict incrementally — the controller
       flushes the whole tcache when allocation fails. *)
+
+  val set_temperature_oracle :
+    (lo:int -> hi:int -> temperature) option -> unit
+  (** Attach (or detach, with [None]) a profile temperature oracle
+      classifying a source address range [\[lo, hi)]. Only [trrip]
+      consults it — a no-op on every other policy. Attach it before
+      execution starts (the prior is sampled at install time). *)
 
   val on_install : Tcache.block -> unit
   (** A freshly translated block became resident. *)
@@ -95,3 +115,27 @@ type t = (module S)
 val create : Config.eviction -> t
 (** Fresh policy state for one controller. The returned module closes
     over its own tables; never share an instance between controllers. *)
+
+(** {2 Selection primitives}
+
+    Exposed so the tie-break discipline can be unit-tested directly:
+    both must be deterministic in the *contents* of the table, never in
+    [Hashtbl.fold]'s visit order (which depends on insertion history). *)
+
+val pick_min :
+  (int, Tcache.block * 'm) Hashtbl.t ->
+  key:('m -> 'k) ->
+  Tcache.t ->
+  Tcache.block option
+(** Unpinned resident with the smallest key ([compare] order); exact
+    key ties break on the smaller block id. [None] if every resident
+    is pinned (or the table is empty). *)
+
+val sweep_candidate :
+  (int, Tcache.block * 'm) Hashtbl.t ->
+  Tcache.t ->
+  (Tcache.block * 'm) option
+(** The block the circular FIFO allocation sweep would reclaim next:
+    the lowest-placed unpinned block whose extent ends past the sweep
+    pointer, else (wrapped) the lowest-placed unpinned block overall;
+    placement ties break on the smaller block id. *)

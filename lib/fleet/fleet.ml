@@ -334,22 +334,68 @@ let attach_tracer t tr =
 
 (* --- scheduling ----------------------------------------------------- *)
 
-let runnable s = s.s_outcome = Running
+(* Binary min-heap of (virtual clock, session id) keys, compared
+   lexicographically — the Fifo scheduler's pick structure. The old
+   linear scan rescanned every session per quantum pick, O(N) each; the
+   heap makes a pick O(log N). The lexicographic order is exactly the
+   scan's fold (strict [<] on clocks, first-visited — i.e. lowest id —
+   wins ties), so the two are pick-identical; the qcheck equivalence
+   property in test_fleet drives both against random schedules. *)
+module Clockheap = struct
+  type t = { mutable keys : (int * int) array; mutable len : int }
 
-(* Fifo = serve the least-advanced virtual clock first (the shared-link
-   arrival order a real MC would observe); ties break to the lowest
-   session id so the schedule is total and deterministic. *)
-let pick_fifo t =
-  Array.fold_left
-    (fun best s ->
-      if not (runnable s) then best
-      else
-        match best with
-        | None -> Some s
-        | Some b ->
-            if s.s_ctrl.cpu.cycles < b.s_ctrl.cpu.cycles then Some s
-            else best)
-    None t.sessions
+  let create ?(capacity = 16) () =
+    { keys = Array.make (max 1 capacity) (0, 0); len = 0 }
+
+  let length h = h.len
+  let is_empty h = h.len = 0
+  let lt (c1, i1) (c2, i2) = c1 < c2 || (c1 = c2 && i1 < i2)
+
+  let swap h i j =
+    let tmp = h.keys.(i) in
+    h.keys.(i) <- h.keys.(j);
+    h.keys.(j) <- tmp
+
+  let rec sift_up h i =
+    if i > 0 then begin
+      let p = (i - 1) / 2 in
+      if lt h.keys.(i) h.keys.(p) then begin
+        swap h i p;
+        sift_up h p
+      end
+    end
+
+  let rec sift_down h i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let m = if l < h.len && lt h.keys.(l) h.keys.(i) then l else i in
+    let m = if r < h.len && lt h.keys.(r) h.keys.(m) then r else m in
+    if m <> i then begin
+      swap h i m;
+      sift_down h m
+    end
+
+  let push h ~clock ~id =
+    if h.len = Array.length h.keys then begin
+      let bigger = Array.make (2 * h.len) (0, 0) in
+      Array.blit h.keys 0 bigger 0 h.len;
+      h.keys <- bigger
+    end;
+    h.keys.(h.len) <- (clock, id);
+    h.len <- h.len + 1;
+    sift_up h (h.len - 1)
+
+  let pop h =
+    if h.len = 0 then None
+    else begin
+      let top = h.keys.(0) in
+      h.len <- h.len - 1;
+      h.keys.(0) <- h.keys.(h.len);
+      if h.len > 0 then sift_down h 0;
+      Some top
+    end
+end
+
+let runnable s = s.s_outcome = Running
 
 let pick_rr t =
   let n = Array.length t.sessions in
@@ -365,30 +411,76 @@ let pick_rr t =
   in
   scan 0
 
-let run ?(fuel = 2_000_000) t =
-  let pick () =
-    match t.fc.fairness with Fifo -> pick_fifo t | Round_robin -> pick_rr t
-  in
+(* One quantum for session [s]. Returns true while the session should
+   stay in the schedule. *)
+let step ~fuel t s =
+  let left = fuel - s.s_ctrl.cpu.retired in
+  if left <= 0 then begin
+    s.s_outcome <- Out_of_fuel;
+    false
+  end
+  else begin
+    let slice = min t.fc.quantum left in
+    t.now <- s.s_ctrl.cpu.cycles;
+    match Controller.run ~fuel:slice s.s_ctrl with
+    | Machine.Cpu.Halted ->
+        s.s_outcome <- Halted;
+        false
+    | Machine.Cpu.Out_of_fuel ->
+        if fuel - s.s_ctrl.cpu.retired <= 0 then begin
+          s.s_outcome <- Out_of_fuel;
+          false
+        end
+        else true
+    | exception Controller.Chunk_unavailable { vaddr; attempts } ->
+        s.s_outcome <- Unavailable { vaddr; attempts };
+        false
+  end
+
+(* Fifo = serve the least-advanced virtual clock first (the shared-link
+   arrival order a real MC would observe); ties break to the lowest
+   session id so the schedule is total and deterministic. Heap keys
+   cannot go stale while queued — a session's clock only advances when
+   it is picked and run, and it is re-pushed with the fresh clock — but
+   resumed [run] calls rebuild the heap, and the staleness check keeps
+   the pick honest should a future hook ever move a waiting clock. *)
+let run_fifo ~fuel t =
+  let heap = Clockheap.create ~capacity:(Array.length t.sessions) () in
+  Array.iter
+    (fun s ->
+      if runnable s then
+        Clockheap.push heap ~clock:s.s_ctrl.cpu.cycles ~id:s.s_id)
+    t.sessions;
   let rec loop () =
-    match pick () with
+    match Clockheap.pop heap with
     | None -> ()
-    | Some s ->
-        let left = fuel - s.s_ctrl.cpu.retired in
-        if left <= 0 then s.s_outcome <- Out_of_fuel
+    | Some (clock, id) ->
+        let s = t.sessions.(id) in
+        if not (runnable s) then loop ()
+        else if s.s_ctrl.cpu.cycles <> clock then begin
+          Clockheap.push heap ~clock:s.s_ctrl.cpu.cycles ~id;
+          loop ()
+        end
         else begin
-          let slice = min t.fc.quantum left in
-          t.now <- s.s_ctrl.cpu.cycles;
-          match Controller.run ~fuel:slice s.s_ctrl with
-          | Machine.Cpu.Halted -> s.s_outcome <- Halted
-          | Machine.Cpu.Out_of_fuel ->
-              if fuel - s.s_ctrl.cpu.retired <= 0 then
-                s.s_outcome <- Out_of_fuel
-          | exception Controller.Chunk_unavailable { vaddr; attempts } ->
-              s.s_outcome <- Unavailable { vaddr; attempts }
-        end;
-        loop ()
+          if step ~fuel t s then
+            Clockheap.push heap ~clock:s.s_ctrl.cpu.cycles ~id;
+          loop ()
+        end
   in
   loop ()
+
+let run ?(fuel = 2_000_000) t =
+  match t.fc.fairness with
+  | Fifo -> run_fifo ~fuel t
+  | Round_robin ->
+      let rec loop () =
+        match pick_rr t with
+        | None -> ()
+        | Some s ->
+            let (_ : bool) = step ~fuel t s in
+            loop ()
+      in
+      loop ()
 
 (* --- introspection -------------------------------------------------- *)
 

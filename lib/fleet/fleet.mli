@@ -32,6 +32,30 @@
     trigger, and the dedup cache memoizes values it would have computed
     anyway. *)
 
+(** {1 Scheduler pick structure} *)
+
+(** Binary min-heap of [(virtual clock, session id)] keys in
+    lexicographic order — the Fifo scheduler's O(log N) replacement for
+    the old O(N) rescan-everything pick. Exposed so the qcheck
+    equivalence property can drive it against the linear-scan reference
+    over random schedules. *)
+module Clockheap : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** Empty heap; [capacity] (default 16) is a hint, the array grows. *)
+
+  val length : t -> int
+  val is_empty : t -> bool
+
+  val push : t -> clock:int -> id:int -> unit
+
+  val pop : t -> (int * int) option
+  (** Remove and return the minimal [(clock, id)] key: lowest clock,
+      ties to the lowest id — exactly the fold order of a linear scan
+      keeping the strictly-smaller clock with first-visited wins. *)
+end
+
 (** {1 Fairness policies} *)
 
 type fairness =

@@ -139,18 +139,88 @@ let entries t =
   in
   List.sort (fun a b -> compare b.samples a.samples) all
 
+(* The cumulative cut is computed in integer samples, not accumulated
+   float fractions: summing fractions can land at 0.999... for a
+   threshold of 1.0 (returning a partial set) and a zero-sample profile
+   would divide 0/0. [ceil] maps a threshold to the smallest sample
+   count that covers it; a zero-sample profile has nothing hot. *)
 let hot_set ?(threshold = 0.9) t =
-  let rec take acc cum = function
-    | [] -> List.rev acc
-    | e :: rest ->
-      let cum = cum +. e.fraction in
-      if cum >= threshold then List.rev (e :: acc)
-      else take (e :: acc) cum rest
-  in
-  take [] 0.0 (entries t)
+  if t.total = 0 then []
+  else
+    let need =
+      max 1 (int_of_float (ceil (threshold *. float_of_int t.total)))
+    in
+    let rec take acc cum = function
+      | [] -> List.rev acc
+      | e :: rest ->
+        let cum = cum + e.samples in
+        if cum >= need then List.rev (e :: acc)
+        else take (e :: acc) cum rest
+    in
+    take [] 0 (entries t)
 
 let hot_bytes ?threshold t =
   List.fold_left (fun a e -> a + e.size_bytes) 0 (hot_set ?threshold t)
+
+type temperature = Hot | Warm | Cold
+
+let temperature_name = function Hot -> "hot" | Warm -> "warm" | Cold -> "cold"
+
+(* Cumulative-share bands over the per-word sample counts, the same
+   machinery as [hot_set] but at word rather than symbol granularity:
+   sort the executed words hottest first and find the per-word count at
+   which the cumulative share crosses [hot] (and [warm]) — every word
+   at or above that count is in the band. A range classifies [Hot]
+   ([Warm]) when the majority of *its own* execution mass lives in
+   hot-band (warm-band) words, so a basic block inside the loop nest
+   reads hot even when the enclosing symbol dilutes it with a run-once
+   prologue. All in integer samples — no float accumulation, no 0/0.
+
+   Degenerate profiles rank nothing: with zero samples, or when every
+   executed word has the same count (a flat profile has no contrast),
+   the classifier is constantly [Cold] — the one prior that invents no
+   information, so trrip built on it decides exactly like rrip. *)
+let temperature_classifier ?(hot = 0.5) ?(warm = 0.9) t =
+  if not (0.0 <= hot && hot <= warm && warm <= 1.0) then
+    invalid_arg "Profiler.temperature_classifier: want 0 <= hot <= warm <= 1";
+  let nonzero =
+    Array.to_list t.counts
+    |> List.filter (fun c -> c > 0)
+    |> List.sort (fun a b -> compare b a)
+  in
+  match nonzero with
+  | [] -> fun ~lo:_ ~hi:_ -> Cold
+  | first :: rest when List.for_all (fun c -> c = first) rest ->
+    fun ~lo:_ ~hi:_ -> Cold
+  | _ ->
+    let csum = List.fold_left ( + ) 0 nonzero in
+    let cut share =
+      let need = max 1 (int_of_float (ceil (share *. float_of_int csum))) in
+      let rec go cum = function
+        | [] -> 1
+        | c :: rest ->
+          let cum = cum + c in
+          if cum >= need then c else go cum rest
+      in
+      go 0 nonzero
+    in
+    let hot_cut = cut hot and warm_cut = cut warm in
+    let base = t.image.code_base in
+    fun ~lo ~hi ->
+      let i0 = max 0 ((lo - base) asr 2) in
+      (* round up: an unaligned [hi] still covers part of its final word *)
+      let i1 = min (Array.length t.counts) ((hi - base + 3) asr 2) in
+      let s = ref 0 and s_hot = ref 0 and s_warm = ref 0 in
+      for i = i0 to i1 - 1 do
+        let c = t.counts.(i) in
+        s := !s + c;
+        if c >= hot_cut then s_hot := !s_hot + c;
+        if c >= warm_cut then s_warm := !s_warm + c
+      done;
+      if !s = 0 then Cold
+      else if 2 * !s_hot >= !s then Hot
+      else if 2 * !s_warm >= !s then Warm
+      else Cold
 
 let dynamic_text_bytes t =
   Array.fold_left (fun a c -> if c > 0 then a + 4 else a) 0 t.counts

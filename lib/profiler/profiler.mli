@@ -34,10 +34,36 @@ val entries : t -> entry list
 
 val hot_set : ?threshold:float -> t -> entry list
 (** Smallest prefix of the flat profile covering at least [threshold]
-    (default 0.9) of all samples — the paper's 90% rule. *)
+    (default 0.9) of all samples — the paper's 90% rule. The cut is
+    computed in integer samples (never accumulated float fractions), so
+    the edge cases are exact: a zero-sample profile yields [[]], and
+    [threshold:1.0] yields every sample-bearing entry. *)
 
 val hot_bytes : ?threshold:float -> t -> int
 (** Static footprint of the hot set. *)
+
+type temperature = Hot | Warm | Cold
+
+val temperature_name : temperature -> string
+(** "hot" / "warm" / "cold". *)
+
+val temperature_classifier :
+  ?hot:float -> ?warm:float -> t -> lo:int -> hi:int -> temperature
+(** Classify source ranges by cumulative-share bands over the per-word
+    sample counts ([samples_in] granularity, the [hot_set] machinery at
+    word level): executed words are ranked hottest first, and the
+    per-word counts at which the cumulative share crosses [hot]
+    (default 0.5) and [warm] (default 0.9) delimit the hot and warm
+    bands. A range is [Hot] ([Warm]) when the majority of its own
+    execution mass lives in hot-band (warm-band) words — so a loop
+    block reads hot even when the surrounding symbol dilutes it with
+    run-once code — and [Cold] otherwise (including never-executed
+    ranges). Degenerate profiles — zero samples, or every executed word
+    equally hot — classify everything [Cold], the prior under which
+    [trrip] decides exactly like [rrip]. Feeds
+    [Controller.set_temperature_oracle] (convert to
+    [Policy.temperature] at the call site).
+    @raise Invalid_argument unless [0 <= hot <= warm <= 1]. *)
 
 val dynamic_text_bytes : t -> int
 (** Bytes of distinct instructions fetched at least once — Table 1's

@@ -136,6 +136,95 @@ let test_piggyback_deterministic () =
     (Netmodel.corruptions n2)
 
 (* ------------------------------------------------------------------ *)
+(* Clockheap: the Fifo scheduler's O(log N) pick structure. The pick
+   must be indistinguishable from the old linear rescan — strictly
+   smaller clock wins, ties to the first-visited (lowest) id — so the
+   fleet's deterministic bench rows cannot move. *)
+
+let test_clockheap_order () =
+  let h = Fleet.Clockheap.create ~capacity:2 () in
+  Alcotest.(check bool) "fresh heap empty" true (Fleet.Clockheap.is_empty h);
+  Alcotest.(check (option (pair int int))) "pop on empty" None
+    (Fleet.Clockheap.pop h);
+  List.iter
+    (fun (c, i) -> Fleet.Clockheap.push h ~clock:c ~id:i)
+    [ (5, 2); (3, 7); (5, 1); (3, 4); (9, 0); (3, 9) ];
+  Alcotest.(check int) "length counts pushes" 6 (Fleet.Clockheap.length h);
+  let rec drain acc =
+    match Fleet.Clockheap.pop h with
+    | Some k -> drain (k :: acc)
+    | None -> List.rev acc
+  in
+  Alcotest.(check (list (pair int int)))
+    "lexicographic (clock, id) order"
+    [ (3, 4); (3, 7); (3, 9); (5, 1); (5, 2); (9, 0) ]
+    (drain []);
+  Alcotest.(check bool) "drained" true (Fleet.Clockheap.is_empty h)
+
+let test_clockheap_grows () =
+  (* past the initial capacity hint the array doubles transparently *)
+  let h = Fleet.Clockheap.create ~capacity:2 () in
+  for i = 99 downto 0 do
+    Fleet.Clockheap.push h ~clock:(i * 7 mod 13) ~id:i
+  done;
+  Alcotest.(check int) "all pushed" 100 (Fleet.Clockheap.length h);
+  let rec drain prev n =
+    match Fleet.Clockheap.pop h with
+    | None -> n
+    | Some k ->
+      Alcotest.(check bool) "non-decreasing keys" true (prev <= k);
+      drain k (n + 1)
+  in
+  Alcotest.(check int) "all popped" 100 (drain (min_int, min_int) 0)
+
+(* the old pick: one linear scan over the session array in id order,
+   keeping the strictly smaller clock (first visited wins ties) *)
+let linear_scan_pick clocks active =
+  let best = ref None in
+  Array.iteri
+    (fun id c ->
+      if active.(id) then
+        match !best with
+        | Some (bc, _) when bc <= c -> ()
+        | _ -> best := Some (c, id))
+    clocks;
+  !best
+
+let prop_clockheap_pick_identity =
+  QCheck.Test.make ~count:400
+    ~name:"Clockheap pick = linear-scan pick over random schedules"
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 1 12) (int_bound 1_000))
+        (small_list (pair (int_bound 500) bool)))
+    (fun (init, ops) ->
+      (* the run_fifo shape: pop the minimal session, advance its clock
+         by a quantum's worth of cycles, re-push unless it left the
+         schedule — checking every pick against the linear scan *)
+      let clocks = Array.of_list init in
+      let active = Array.make (Array.length clocks) true in
+      let h = Fleet.Clockheap.create () in
+      Array.iteri (fun id c -> Fleet.Clockheap.push h ~clock:c ~id) clocks;
+      let ok = ref true in
+      let rec drive ops =
+        match Fleet.Clockheap.pop h with
+        | None -> if linear_scan_pick clocks active <> None then ok := false
+        | Some (clock, id) -> (
+          (match linear_scan_pick clocks active with
+          | Some (rc, rid) when rc = clock && rid = id -> ()
+          | _ -> ok := false);
+          match ops with
+          | [] -> ()
+          | (quantum_cycles, stays) :: rest ->
+            clocks.(id) <- clocks.(id) + quantum_cycles;
+            if stays then Fleet.Clockheap.push h ~clock:clocks.(id) ~id
+            else active.(id) <- false;
+            drive rest)
+      in
+      drive ops;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
 (* fleet behaviour *)
 
 let compress_img =
@@ -281,6 +370,13 @@ let () =
             test_piggyback_marginal_cost;
           Alcotest.test_case "piggyback deterministic" `Quick
             test_piggyback_deterministic;
+        ] );
+      ( "clockheap",
+        [
+          Alcotest.test_case "lexicographic pop order" `Quick
+            test_clockheap_order;
+          Alcotest.test_case "capacity growth" `Quick test_clockheap_grows;
+          QCheck_alcotest.to_alcotest prop_clockheap_pick_identity;
         ] );
       ( "fleet",
         [

@@ -136,6 +136,73 @@ let test_profiler_threshold () =
   Alcotest.(check bool) "higher threshold, more bytes" true (b100 >= b50);
   Alcotest.(check bool) "50% is just the loop" true (b50 <= 40)
 
+(* Edge cases the temperature oracle builds on: a zero-sample profile
+   must yield an empty (not NaN-poisoned) hot set, and threshold 1.0
+   must return every sample-bearing entry exactly — float fraction
+   accumulation could stop short of 1.0. *)
+let test_profiler_hot_set_edges () =
+  let img = profiled_image 50 in
+  (* never run: zero samples *)
+  let empty = Profiler.create img in
+  Alcotest.(check int) "zero-sample profile: no samples" 0
+    (Profiler.total_samples empty);
+  Alcotest.(check bool) "zero-sample hot set is empty" true
+    (Profiler.hot_set empty = []);
+  Alcotest.(check int) "zero-sample hot bytes" 0 (Profiler.hot_bytes empty);
+  Alcotest.(check bool) "zero-sample, threshold 1.0, still empty" true
+    (Profiler.hot_set ~threshold:1.0 empty = []);
+  (* a real run: the 100% set must cover every sample exactly *)
+  let prof, _ = Profiler.profile img in
+  let all = Profiler.hot_set ~threshold:1.0 prof in
+  let covered =
+    List.fold_left (fun a (e : Profiler.entry) -> a + e.samples) 0 all
+  in
+  Alcotest.(check int) "threshold 1.0 covers every sample"
+    (Profiler.total_samples prof)
+    covered;
+  Alcotest.(check bool) "threshold 1.0 includes the cold entry" true
+    (List.exists (fun (e : Profiler.entry) -> e.name = "cold") all)
+
+let sym_range img name =
+  let s =
+    List.find (fun (s : Isa.Image.symbol) -> s.sym_name = name)
+      img.Isa.Image.symbols
+  in
+  (s.sym_addr, s.sym_addr + s.sym_size)
+
+let test_temperature_classifier () =
+  let img = profiled_image 5000 in
+  let prof, _ = Profiler.profile img in
+  let classify = Profiler.temperature_classifier prof in
+  let hot_lo, hot_hi = sym_range img "hot" in
+  let cold_lo, cold_hi = sym_range img "cold" in
+  Alcotest.(check string) "loop body is hot" "hot"
+    (Profiler.temperature_name (classify ~lo:hot_lo ~hi:hot_hi));
+  Alcotest.(check string) "run-once code is cold" "cold"
+    (Profiler.temperature_name (classify ~lo:cold_lo ~hi:cold_hi));
+  Alcotest.(check string) "never-executed range is cold" "cold"
+    (Profiler.temperature_name (classify ~lo:0 ~hi:4));
+  (* degenerate profiles rank nothing: everything reads cold *)
+  let empty = Profiler.create img in
+  let classify0 = Profiler.temperature_classifier empty in
+  Alcotest.(check string) "zero-sample profile: cold" "cold"
+    (Profiler.temperature_name (classify0 ~lo:hot_lo ~hi:hot_hi));
+  (* n=1 executes every reached instruction exactly once — a flat
+     profile with no contrast *)
+  let flat, _ = Profiler.profile (profiled_image 1) in
+  let classifyf = Profiler.temperature_classifier flat in
+  Alcotest.(check string) "flat profile: even the loop is cold" "cold"
+    (Profiler.temperature_name (classifyf ~lo:hot_lo ~hi:hot_hi));
+  Alcotest.(check bool) "invalid bands rejected" true
+    (match
+       let (_ : lo:int -> hi:int -> Profiler.temperature) =
+         Profiler.temperature_classifier ~hot:0.9 ~warm:0.5 prof
+       in
+       false
+     with
+    | ok -> ok
+    | exception Invalid_argument _ -> true)
+
 (* ------------------------------------------------------------------ *)
 (* Powermodel *)
 
@@ -290,6 +357,10 @@ let () =
           Alcotest.test_case "dynamic text" `Quick test_profiler_dynamic_text;
           Alcotest.test_case "hook chaining" `Quick test_profiler_hook_chaining;
           Alcotest.test_case "threshold" `Quick test_profiler_threshold;
+          Alcotest.test_case "hot set edge cases" `Quick
+            test_profiler_hot_set_edges;
+          Alcotest.test_case "temperature classifier" `Quick
+            test_temperature_classifier;
           Alcotest.test_case "unaligned range rounds up" `Quick
             test_profiler_unaligned_range;
         ] );

@@ -95,7 +95,7 @@ let test_registry_names () =
       Alcotest.(check bool) "kind matches constructor" true
         (match (ev, P.kind) with
         | Softcache.Config.Flush_all, `Flush_all -> true
-        | (Softcache.Config.Fifo | Lru | Rrip), `Evict -> true
+        | (Softcache.Config.Fifo | Lru | Rrip | Trrip), `Evict -> true
         | _ -> false);
       Alcotest.(check (list int)) "empty resident view" [] (P.resident_ids ());
       Alcotest.(check bool) "debug state prints" true
@@ -158,6 +158,244 @@ let test_rrip_promotes_on_entry () =
   Softcache.Tcache.pin tc (List.nth blocks 1);
   Alcotest.(check (option int)) "never a pinned block" (Some 2)
     (victim_id p tc)
+
+(* ------------------------------------------------------------------ *)
+(* Tie-break determinism: equal keys must resolve on the smaller block
+   id — never on Hashtbl.fold visit order, which depends on the table's
+   insertion history. Same residents, both insertion orders, same
+   answer. *)
+
+let test_pick_min_tie_breaks_on_id () =
+  let tc = Softcache.Tcache.create ~base:0x10000 ~bytes:4096 in
+  let pick order =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun id ->
+        let b =
+          mk_block ~id ~vaddr:(id * 64) ~paddr:(0x10000 + (id * 64)) ~words:8
+        in
+        (* every resident carries the same key *)
+        Hashtbl.replace tbl id (b, 42))
+      order;
+    Option.map
+      (fun (b : Softcache.Tcache.block) -> b.id)
+      (Softcache.Policy.pick_min tbl ~key:(fun m -> m) tc)
+  in
+  let ids = [ 3; 9; 4; 7; 12; 5 ] in
+  Alcotest.(check (option int)) "forward insertion" (Some 3) (pick ids);
+  Alcotest.(check (option int)) "reverse insertion" (Some 3)
+    (pick (List.rev ids));
+  Alcotest.(check (option int)) "two residents, 1 then 5" (Some 1)
+    (pick [ 1; 5 ]);
+  Alcotest.(check (option int)) "two residents, 5 then 1" (Some 1)
+    (pick [ 5; 1 ]);
+  (* pinning the tie-break winner promotes the next id *)
+  let b3 = mk_block ~id:3 ~vaddr:192 ~paddr:(0x10000 + 192) ~words:8 in
+  Softcache.Tcache.register tc b3;
+  Softcache.Tcache.pin tc b3;
+  Alcotest.(check (option int)) "pinned winner skipped" (Some 4) (pick ids)
+
+let test_sweep_candidate_tie_breaks_on_id () =
+  let tc = Softcache.Tcache.create ~base:0x10000 ~bytes:4096 in
+  let pick order =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun id ->
+        (* all at the same placement: live blocks never overlap, but
+           the selection must be syntactically deterministic anyway *)
+        let b = mk_block ~id ~vaddr:(id * 64) ~paddr:0x10100 ~words:8 in
+        Hashtbl.replace tbl id (b, ()))
+      order;
+    Option.map
+      (fun ((b : Softcache.Tcache.block), ()) -> b.id)
+      (Softcache.Policy.sweep_candidate tbl tc)
+  in
+  Alcotest.(check (option int)) "forward insertion" (Some 2) (pick [ 2; 8; 5 ]);
+  Alcotest.(check (option int)) "reverse insertion" (Some 2) (pick [ 5; 8; 2 ])
+
+(* ------------------------------------------------------------------ *)
+(* trrip: temperature-aware rrip *)
+
+let trrip_oracle f p =
+  let module P = (val p : Softcache.Policy.S) in
+  P.set_temperature_oracle f
+
+let test_trrip_no_oracle_acts_like_rrip () =
+  (* the exact scenario of test_rrip_promotes_on_entry, on trrip with
+     no oracle attached: decisions must match rrip's *)
+  let tc, p, blocks = synthetic Softcache.Config.Trrip in
+  let module P = (val p : Softcache.Policy.S) in
+  Alcotest.(check (option int)) "cold cache: defer" None (victim_id p tc);
+  P.on_entry (List.hd blocks);
+  Alcotest.(check (option int)) "evicts most distant, oldest first" (Some 1)
+    (victim_id p tc);
+  Softcache.Tcache.pin tc (List.nth blocks 1);
+  Alcotest.(check (option int)) "never a pinned block" (Some 2)
+    (victim_id p tc)
+
+let test_trrip_hot_prior_protects_unentered () =
+  (* block 0 (vaddr 0) classifies hot; no entries were ever observed.
+     rrip is blind here and defers to the sweep, killing the hot block;
+     trrip's prior protects it and offers the oldest cold block. *)
+  let tc = Softcache.Tcache.create ~base:0x10000 ~bytes:4096 in
+  let p = Softcache.Policy.create Softcache.Config.Trrip in
+  let module P = (val p : Softcache.Policy.S) in
+  P.set_temperature_oracle
+    (Some
+       (fun ~lo ~hi:_ ->
+         if lo < 64 then Softcache.Policy.Hot else Softcache.Policy.Cold));
+  let blocks =
+    List.map
+      (fun i ->
+        mk_block ~id:i ~vaddr:(i * 64) ~paddr:(0x10000 + (i * 64)) ~words:8)
+      [ 0; 1; 2 ]
+  in
+  List.iter
+    (fun b ->
+      Softcache.Tcache.register tc b;
+      P.on_install b)
+    blocks;
+  Alcotest.(check (option int)) "protects the hot block before any entry"
+    (Some 1) (victim_id p tc);
+  Softcache.Tcache.pin tc (List.nth blocks 1);
+  Alcotest.(check (option int)) "never a pinned block" (Some 2)
+    (victim_id p tc);
+  Alcotest.(check (option int)) "pure query" (Some 2) (victim_id p tc)
+
+let test_trrip_constant_cold_oracle_is_rrip () =
+  (* the classifier degrades flat profiles to constant Cold; under that
+     oracle trrip must still decide exactly like rrip *)
+  let tc, p, blocks = synthetic Softcache.Config.Trrip in
+  let module P = (val p : Softcache.Policy.S) in
+  trrip_oracle (Some (fun ~lo:_ ~hi:_ -> Softcache.Policy.Cold)) p;
+  Alcotest.(check (option int)) "cold cache: defer" None (victim_id p tc);
+  P.on_entry (List.hd blocks);
+  Alcotest.(check (option int)) "same decision as rrip" (Some 1)
+    (victim_id p tc)
+
+(* Decision-identity property: over random install/entry/evict/flush
+   schedules, trrip with no oracle (and with the constant-cold oracle a
+   degenerate profile produces) must make exactly rrip's victim choice
+   after every event, with identical resident views. *)
+let trrip_rrip_identity ~cold_oracle ops =
+  let tc = Softcache.Tcache.create ~base:0x10000 ~bytes:4096 in
+  let rr = Softcache.Policy.create Softcache.Config.Rrip in
+  let tr = Softcache.Policy.create Softcache.Config.Trrip in
+  let module R = (val rr : Softcache.Policy.S) in
+  let module T = (val tr : Softcache.Policy.S) in
+  if cold_oracle then
+    T.set_temperature_oracle
+      (Some (fun ~lo:_ ~hi:_ -> Softcache.Policy.Cold));
+  let next_id = ref 0 in
+  let residents = ref [] in
+  let apply op =
+    match op land 3 with
+    | 0 ->
+      let id = !next_id in
+      incr next_id;
+      let b =
+        mk_block ~id ~vaddr:(id * 64)
+          ~paddr:(0x10000 + (id mod 12 * 320))
+          ~words:8
+      in
+      Softcache.Tcache.register tc b;
+      residents := b :: !residents;
+      R.on_install b;
+      T.on_install b
+    | 1 -> (
+      match !residents with
+      | [] -> ()
+      | l ->
+        let b = List.nth l (op lsr 2 mod List.length l) in
+        R.on_entry b;
+        T.on_entry b)
+    | 2 -> (
+      match !residents with
+      | [] -> ()
+      | l ->
+        let b = List.nth l (op lsr 2 mod List.length l) in
+        residents :=
+          List.filter
+            (fun (x : Softcache.Tcache.block) -> x.id <> b.id)
+            l;
+        Softcache.Tcache.remove tc b;
+        R.on_evict Softcache.Policy.Victim b;
+        T.on_evict Softcache.Policy.Victim b)
+    | _ ->
+      List.iter
+        (fun b ->
+          Softcache.Tcache.remove tc b;
+          R.on_evict Softcache.Policy.Flushed b;
+          T.on_evict Softcache.Policy.Flushed b)
+        !residents;
+      residents := [];
+      R.on_flush ();
+      T.on_flush ()
+  in
+  List.for_all
+    (fun op ->
+      apply op;
+      victim_id rr tc = victim_id tr tc
+      && List.sort compare (R.resident_ids ())
+         = List.sort compare (T.resident_ids ()))
+    ops
+
+let prop_trrip_identity =
+  QCheck.Test.make ~count:200 ~name:"trrip = rrip without temperature signal"
+    QCheck.(list_of_size (Gen.int_range 1 60) (int_bound 4095))
+    (fun ops ->
+      trrip_rrip_identity ~cold_oracle:false ops
+      && trrip_rrip_identity ~cold_oracle:true ops)
+
+(* End-to-end: without an oracle a full trrip run is cycle-identical to
+   rrip on real workloads; with a real profile oracle attached (and the
+   auditor on) it still computes the right outputs. *)
+let test_trrip_runner_identity () =
+  List.iter
+    (fun wname ->
+      let img = (Option.get (Workloads.Registry.find wname)).build () in
+      let run eviction =
+        let cfg = Softcache.Config.make ~tcache_bytes:2048 ~eviction () in
+        let cached, ctrl = Softcache.Runner.cached cfg img in
+        (cached.cycles, ctrl.stats.translations, cached.outputs)
+      in
+      let rc, rt, ro = run Softcache.Config.Rrip in
+      let tc_, tt, to_ = run Softcache.Config.Trrip in
+      Alcotest.(check int) (wname ^ " cycles identical") rc tc_;
+      Alcotest.(check int) (wname ^ " translations identical") rt tt;
+      Alcotest.(check (list int)) (wname ^ " outputs identical") ro to_)
+    [ "compress95"; "mpeg2enc"; "sensor_modes" ]
+
+let policy_temp = function
+  | Profiler.Hot -> Softcache.Policy.Hot
+  | Profiler.Warm -> Softcache.Policy.Warm
+  | Profiler.Cold -> Softcache.Policy.Cold
+
+let test_trrip_profiled_audited_run () =
+  let img = (Option.get (Workloads.Registry.find "mpeg2enc")).build () in
+  let native = Softcache.Runner.native img in
+  let prof, _ = Profiler.profile img in
+  let classify = Profiler.temperature_classifier prof in
+  let cfg =
+    Softcache.Config.make ~tcache_bytes:4096
+      ~eviction:Softcache.Config.Trrip ~audit:true ()
+  in
+  let audits = ref None in
+  let prepare (ctrl : Softcache.Controller.t) =
+    Softcache.Controller.set_temperature_oracle ctrl
+      (Some (fun ~lo ~hi -> policy_temp (classify ~lo ~hi)));
+    audits := Check.Audit.install_if_configured ctrl
+  in
+  let cached, ctrl = Softcache.Runner.cached_robust ~prepare cfg img in
+  Alcotest.(check bool) "halted" true
+    (cached.status = Softcache.Runner.Finished Machine.Cpu.Halted);
+  Alcotest.(check (list int)) "outputs match native" native.outputs
+    cached.outputs;
+  (match !audits with
+  | Some n -> Alcotest.(check bool) "audits ran" true (!n > 0)
+  | None -> Alcotest.fail "auditor was not installed");
+  Alcotest.(check bool) "the profile actually evicted something" true
+    (ctrl.stats.evicted_victim + ctrl.stats.evicted_collateral > 0)
 
 let test_policy_view_tracks_evictions () =
   List.iter
@@ -388,8 +626,26 @@ let () =
             test_lru_overrides_sweep_for_fresh_block;
           Alcotest.test_case "rrip promotes on entry" `Quick
             test_rrip_promotes_on_entry;
+          Alcotest.test_case "pick_min ties break on block id" `Quick
+            test_pick_min_tie_breaks_on_id;
+          Alcotest.test_case "sweep candidate ties break on block id" `Quick
+            test_sweep_candidate_tie_breaks_on_id;
           Alcotest.test_case "resident view tracks evictions" `Quick
             test_policy_view_tracks_evictions;
+        ] );
+      ( "trrip",
+        [
+          Alcotest.test_case "no oracle acts like rrip" `Quick
+            test_trrip_no_oracle_acts_like_rrip;
+          Alcotest.test_case "hot prior protects unentered blocks" `Quick
+            test_trrip_hot_prior_protects_unentered;
+          Alcotest.test_case "constant-cold oracle is rrip" `Quick
+            test_trrip_constant_cold_oracle_is_rrip;
+          QCheck_alcotest.to_alcotest prop_trrip_identity;
+          Alcotest.test_case "runner identity without oracle" `Slow
+            test_trrip_runner_identity;
+          Alcotest.test_case "profiled audited run" `Slow
+            test_trrip_profiled_audited_run;
         ] );
       ( "edges",
         [

@@ -1,0 +1,180 @@
+(* Sizing-estimator tests: the dominant-block analytic model that
+   predicts the Fig. 7 miss-rate knee from a static CFG walk plus a
+   profiling pre-run. Covers the structure of the estimate (walk
+   coverage, hottest-first ranking, dominant-set share), monotonicity
+   in the two knobs, degenerate profiles and argument validation. The
+   predicted-vs-measured accuracy gate runs in the bench ([sizing]
+   experiment), not here. *)
+
+let ladder = [ 256; 512; 1024; 2048; 4096; 8192; 16384; 32768; 65536 ]
+let build name = (Option.get (Workloads.Registry.find name)).build ()
+
+let compress =
+  lazy
+    (let img = build "compress95" in
+     let prof, _ = Profiler.profile img in
+     (img, prof))
+
+let estimate ?threshold ?headroom ?(sizes = ladder) img prof =
+  Softcache.Sizing.estimate ?threshold ?headroom ~image:img
+    ~chunking:Softcache.Config.Basic_block
+    ~samples_in:(fun ~lo ~hi -> Profiler.samples_in prof ~lo ~hi)
+    ~sizes ()
+
+let dom_prefix (e : Softcache.Sizing.estimate) =
+  List.filteri (fun i _ -> i < e.dominant_chunks) e.chunks
+
+let test_estimate_structure () =
+  let img, prof = Lazy.force compress in
+  let e = estimate img prof in
+  Alcotest.(check bool) "walk found chunks" true (e.chunks_walked > 0);
+  Alcotest.(check int) "chunk list is the walk" e.chunks_walked
+    (List.length e.chunks);
+  Alcotest.(check bool) "dominant set nonempty" true (e.dominant_chunks > 0);
+  Alcotest.(check bool) "dominant <= walked" true
+    (e.dominant_chunks <= e.chunks_walked);
+  let rec hottest_first = function
+    | (a : Softcache.Sizing.chunk_info) :: (b :: _ as rest) ->
+      a.ci_samples >= b.ci_samples && hottest_first rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "chunks ranked hottest first" true
+    (hottest_first e.chunks);
+  (* the dominant prefix really covers the threshold share (default 0.9) *)
+  let samples l =
+    List.fold_left (fun a (c : Softcache.Sizing.chunk_info) -> a + c.ci_samples) 0 l
+  in
+  let total = samples e.chunks and dom = samples (dom_prefix e) in
+  Alcotest.(check bool)
+    (Printf.sprintf "dominant samples %d cover 90%% of %d" dom total)
+    true
+    (10 * dom >= 9 * total);
+  (* and it is priced consistently *)
+  let dom_tc =
+    List.fold_left
+      (fun a (c : Softcache.Sizing.chunk_info) -> a + c.ci_tcache_bytes)
+      0 (dom_prefix e)
+  in
+  Alcotest.(check int) "dominant tcache bytes = prefix sum" dom_tc
+    e.dominant_tcache_bytes;
+  Alcotest.(check bool) "rewritten >= source footprint" true
+    (e.dominant_tcache_bytes >= e.dominant_source_bytes);
+  Alcotest.(check bool) "headroom inflates" true
+    (e.predicted_bytes > e.dominant_tcache_bytes);
+  (* the knee is the smallest ladder entry covering the prediction *)
+  match e.predicted_knee with
+  | None -> Alcotest.fail "compress95 prediction fell off the Fig. 7 ladder"
+  | Some k ->
+    Alcotest.(check bool) "knee on the ladder" true (List.mem k ladder);
+    Alcotest.(check bool) "knee covers prediction" true (k >= e.predicted_bytes);
+    List.iter
+      (fun s ->
+        if s < k then
+          Alcotest.(check bool)
+            (Printf.sprintf "%d below knee %d is too small" s k)
+            true (s < e.predicted_bytes))
+      ladder
+
+let test_threshold_monotone () =
+  let img, prof = Lazy.force compress in
+  let at t = (estimate ~threshold:t img prof).Softcache.Sizing.dominant_tcache_bytes in
+  let a = at 0.5 and b = at 0.9 and c = at 1.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "dominant bytes monotone in threshold: %d <= %d <= %d" a b c)
+    true
+    (a <= b && b <= c)
+
+let test_headroom_monotone () =
+  let img, prof = Lazy.force compress in
+  let at h = (estimate ~headroom:h img prof).Softcache.Sizing.predicted_bytes in
+  let a = at 1.0 and b = at 1.4 and c = at 2.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "prediction monotone in headroom: %d <= %d <= %d" a b c)
+    true
+    (a <= b && b <= c);
+  (* headroom 1.0 is the identity on the dominant footprint *)
+  let e = estimate ~headroom:1.0 img prof in
+  Alcotest.(check int) "headroom 1.0 adds nothing" e.Softcache.Sizing.dominant_tcache_bytes
+    e.predicted_bytes
+
+let test_unsorted_ladder () =
+  let img, prof = Lazy.force compress in
+  let a = estimate img prof in
+  let b = estimate ~sizes:(List.rev ladder) img prof in
+  Alcotest.(check (option int)) "ladder order is irrelevant"
+    a.Softcache.Sizing.predicted_knee b.Softcache.Sizing.predicted_knee
+
+let test_ladder_too_small () =
+  let img, prof = Lazy.force compress in
+  let e = estimate ~sizes:[ 64; 128 ] img prof in
+  Alcotest.(check (option int)) "prediction off the ladder" None
+    e.Softcache.Sizing.predicted_knee
+
+let test_zero_sample_profile () =
+  (* no profile signal: nothing dominates, the prediction is zero and
+     the knee degenerates to the smallest ladder entry *)
+  let img, _ = Lazy.force compress in
+  let e =
+    Softcache.Sizing.estimate ~image:img
+      ~chunking:Softcache.Config.Basic_block
+      ~samples_in:(fun ~lo:_ ~hi:_ -> 0)
+      ~sizes:ladder ()
+  in
+  Alcotest.(check bool) "walk still covers the CFG" true (e.chunks_walked > 0);
+  Alcotest.(check int) "empty dominant set" 0 e.dominant_chunks;
+  Alcotest.(check int) "zero dominant bytes" 0 e.dominant_tcache_bytes;
+  Alcotest.(check int) "zero prediction" 0 e.predicted_bytes;
+  Alcotest.(check (option int)) "knee = smallest size" (Some 256)
+    e.predicted_knee
+
+let test_deep_thrash () =
+  (* compress95 predicts ~11.5 KB: primed two steps below, unprimed in
+     the transition zone and above *)
+  let img, prof = Lazy.force compress in
+  let e = estimate img prof in
+  Alcotest.(check bool) "deep thrash far below the knee" true
+    (Softcache.Sizing.deep_thrash e ~tcache_bytes:4096);
+  Alcotest.(check bool) "transition zone is unprimed" false
+    (Softcache.Sizing.deep_thrash e ~tcache_bytes:8192);
+  Alcotest.(check bool) "above the knee is unprimed" false
+    (Softcache.Sizing.deep_thrash e ~tcache_bytes:65536);
+  (* monotone: shrinking the tcache never leaves the regime *)
+  let rec monotone prev = function
+    | [] -> true
+    | s :: rest ->
+      let d = Softcache.Sizing.deep_thrash e ~tcache_bytes:s in
+      ((not prev) || d) && monotone d rest
+  in
+  Alcotest.(check bool) "monotone in size" true
+    (monotone false (List.rev ladder))
+
+let test_invalid_args () =
+  let img, prof = Lazy.force compress in
+  let check_rejects name f =
+    match f () with
+    | (_ : Softcache.Sizing.estimate) ->
+      Alcotest.failf "%s: expected Invalid_argument" name
+    | exception Invalid_argument _ -> ()
+  in
+  check_rejects "threshold 0" (fun () -> estimate ~threshold:0.0 img prof);
+  check_rejects "threshold > 1" (fun () -> estimate ~threshold:1.5 img prof);
+  check_rejects "headroom < 1" (fun () -> estimate ~headroom:0.5 img prof)
+
+let () =
+  Alcotest.run "sizing"
+    [
+      ( "estimate",
+        [
+          Alcotest.test_case "structure on compress95" `Quick
+            test_estimate_structure;
+          Alcotest.test_case "threshold monotone" `Quick test_threshold_monotone;
+          Alcotest.test_case "headroom monotone" `Quick test_headroom_monotone;
+          Alcotest.test_case "ladder order irrelevant" `Quick
+            test_unsorted_ladder;
+          Alcotest.test_case "ladder too small" `Quick test_ladder_too_small;
+          Alcotest.test_case "zero-sample profile" `Quick
+            test_zero_sample_profile;
+          Alcotest.test_case "deep-thrash regime" `Quick test_deep_thrash;
+          Alcotest.test_case "invalid arguments" `Quick test_invalid_args;
+        ] );
+    ]
