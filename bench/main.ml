@@ -1783,6 +1783,173 @@ let fleetsweep () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Granularity sweep: block vs whole-function caching units across a
+   tcache-size ladder — the function-granularity pitch is fewer, larger
+   MC round trips once the tcache can hold whole functions, at the cost
+   of thrashing (and degradation) when it cannot. Gates: every cell is
+   output-equivalent to native and audits clean (PLT section included);
+   at the largest tcache, function mode must send strictly fewer wire
+   messages than block mode on at least half the registry; and
+   Check.Lockstep.granularity proves block/function observational
+   equivalence registry-wide. Emits BENCH_gran.json. *)
+
+let gransweep () =
+  Report.section
+    "Granularity sweep: block vs whole-function caching units x tcache \
+     size (gate: at the largest tcache, function mode cuts wire messages \
+     on >= half the registry; every cell audits clean and matches native \
+     outputs; registry-wide block/function lockstep)";
+  let sizes = [ 2048; 8192; 65536 ] in
+  let large = List.fold_left max 0 sizes in
+  let t =
+    Report.Table.create ~title:"granularity x tcache size"
+      ~columns:
+        [ "app"; "tcache"; "granularity"; "cycles"; "translations"; "traps";
+          "messages"; "plt slots"; "degraded"; "outputs" ]
+  in
+  let grid = ref [] in
+  let (_ : unit list) =
+    over_registry (fun e img ->
+        let native = Softcache.Runner.native img in
+        List.iter
+          (fun bytes ->
+            List.iter
+              (fun (gname, g) ->
+                let net = Netmodel.ethernet_10mbps () in
+                let cfg =
+                  Softcache.Config.make ~tcache_bytes:bytes ~net
+                    ~chunking:Softcache.Config.Basic_block ~granularity:g ()
+                in
+                let r, ctrl = Softcache.Runner.cached_robust cfg img in
+                let ok =
+                  r.status = Softcache.Runner.Finished Machine.Cpu.Halted
+                  && r.outputs = native.outputs
+                in
+                if not ok then
+                  fail "%s/%s/%dB: outputs diverge from native" e.name gname
+                    bytes;
+                (match Check.Audit.run ctrl with
+                | [] -> ()
+                | v :: _ as vs ->
+                  fail "%s/%s/%dB audit: %d violations (first: %s)" e.name
+                    gname bytes (List.length vs)
+                    (Format.asprintf "%a" Check.Audit.pp_violation v));
+                let msgs = Netmodel.messages net in
+                Report.Table.add_row t
+                  [
+                    e.name;
+                    Report.fmt_bytes bytes;
+                    gname;
+                    string_of_int r.cycles;
+                    string_of_int ctrl.stats.translations;
+                    string_of_int ctrl.stats.traps;
+                    string_of_int msgs;
+                    string_of_int ctrl.stats.plt_slots;
+                    string_of_int ctrl.stats.gran_degraded;
+                    (if ok then "ok" else "MISMATCH");
+                  ];
+                grid :=
+                  (e.name, bytes, gname, r.cycles, ctrl.stats.translations,
+                   ctrl.stats.traps, msgs, ctrl.stats.plt_slots,
+                   ctrl.stats.gran_degraded, ok)
+                  :: !grid)
+              Softcache.Config.granularity_table)
+          sizes)
+  in
+  Report.Table.print t;
+  (* wire gate: whole-function units amortize the per-message overhead
+     (frame header + latency) over more payload, so once the tcache
+     stops thrashing, function mode should need fewer MC round trips
+     for most workloads *)
+  let msgs_of name gname =
+    List.find_map
+      (fun (n, b, m, _, _, _, ms, _, _, _) ->
+        if n = name && b = large && m = gname then Some ms else None)
+      !grid
+  in
+  let names =
+    List.map
+      (fun (e : Workloads.Registry.entry) -> e.name)
+      Workloads.Registry.all
+  in
+  let wins =
+    List.filter
+      (fun n ->
+        match
+          ( msgs_of n (Softcache.Config.granularity_name Softcache.Config.Block),
+            msgs_of n
+              (Softcache.Config.granularity_name Softcache.Config.Function) )
+        with
+        | Some bm, Some fm -> fm < bm
+        | _ -> false)
+      names
+  in
+  Report.kv
+    (Printf.sprintf "wire-message wins at %s" (Report.fmt_bytes large))
+    (Printf.sprintf "%d/%d workloads (%s)" (List.length wins)
+       (List.length names)
+       (String.concat ", " wins));
+  if 2 * List.length wins < List.length names then
+    fail
+      "function granularity cut wire messages on only %d/%d workloads at \
+       %d B"
+      (List.length wins) (List.length names) large;
+  (* equivalence gate: block and function granularity, each in
+     data-access lockstep with native, then cross-compared — over the
+     whole registry, at a mid-ladder size where function mode both
+     fits whole functions and occasionally degrades *)
+  let lt =
+    Report.Table.create ~title:"lockstep: granularities vs native"
+      ~columns:[ "app"; "verdict" ]
+  in
+  let lockstep_rows =
+    over_registry (fun e img ->
+        let mk_cfg () =
+          Softcache.Config.make ~tcache_bytes:8192
+            ~chunking:Softcache.Config.Basic_block ()
+        in
+        let v =
+          Check.Lockstep.granularity ~fuel:12_000_000
+            ~audit:(e.name = "sensor_modes")
+            mk_cfg img
+        in
+        let ok =
+          match v with Check.Lockstep.Modes_equivalent _ -> true | _ -> false
+        in
+        let s = Format.asprintf "%a" Check.Lockstep.pp_modes_verdict v in
+        if not ok then fail "%s granularity lockstep: %s" e.name s;
+        Report.Table.add_row lt [ e.name; s ];
+        (e.name, ok, s))
+  in
+  Report.Table.print lt;
+  emit_json ~file:"BENCH_gran.json" ~benchmark:"gransweep"
+    [
+      ( "grid",
+        json_array
+          (List.rev_map
+             (fun (n, b, m, cyc, tr, tp, ms, pl, dg, ok) ->
+               Printf.sprintf
+                 "    { \"name\": %S, \"tcache_bytes\": %d, \
+                  \"granularity\": %S, \"cycles\": %d, \"translations\": %d, \
+                  \"traps\": %d, \"messages\": %d, \"plt_slots\": %d, \
+                  \"degraded\": %d, \"outputs_ok\": %b }"
+                 n b m cyc tr tp ms pl dg ok)
+             !grid) );
+      ( "lockstep",
+        json_array
+          (List.map
+             (fun (n, ok, s) ->
+               Printf.sprintf
+                 "    { \"name\": %S, \"ok\": %b, \"verdict\": %S }" n ok s)
+             lockstep_rows) );
+      ( "wire_message_wins",
+        Printf.sprintf "[%s]"
+          (String.concat ", " (List.map (Printf.sprintf "%S") wins)) );
+      ("gate_tcache_bytes", string_of_int large);
+      ("gate_failures", string_of_int !failures);
+    ]
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1808,6 +1975,7 @@ let experiments =
     ("sizing", sizing);
     ("chainsweep", chainsweep);
     ("fleetsweep", fleetsweep);
+    ("gransweep", gransweep);
     ("tracesmoke", tracesmoke);
     ("micro", micro);
   ]

@@ -61,6 +61,23 @@ let eviction_arg =
          Softcache.Config.Fifo
        & info [ "eviction" ] ~docv:"POLICY" ~doc)
 
+(* Same table-driven scheme as --eviction: values, --help text and the
+   misspelling message all come from [Config.granularity_table]. *)
+let granularity_arg =
+  let doc =
+    Printf.sprintf
+      "Caching unit: %s. $(b,function) caches whole-function units and \
+       routes calls through a PLT-style indirection table; functions too \
+       large to cache degrade to block granularity individually."
+      (String.concat " or "
+         (List.map
+            (fun (n, _) -> Printf.sprintf "$(b,%s)" n)
+            Softcache.Config.granularity_table))
+  in
+  Arg.(value & opt (enum Softcache.Config.granularity_table)
+         Softcache.Config.Block
+       & info [ "granularity" ] ~docv:"UNIT" ~doc)
+
 let network_arg =
   let doc = "Interconnect: $(b,local) (SPARC prototype) or $(b,ethernet) \
              (ARM prototype, 10 Mbps)." in
@@ -214,7 +231,8 @@ let print_trace_summary ~total tr =
 
 let make_config ?faults ?(audit = false) ?(engine = Machine.Cpu.Decoded)
     ?(prefetch = 0) ?(staging = 8) ?(trace_limit = 65_536) ?(chain = false)
-    ?(superblock_threshold = 0) tcache chunking eviction network =
+    ?(superblock_threshold = 0) ?(granularity = Softcache.Config.Block)
+    tcache chunking eviction network =
   let net =
     match network with
     | `Local -> Netmodel.local ?faults ()
@@ -224,7 +242,7 @@ let make_config ?faults ?(audit = false) ?(engine = Machine.Cpu.Decoded)
   let chain = chain || superblock_threshold > 0 in
   Softcache.Config.make ~tcache_bytes:tcache ~chunking ~eviction ~net ~audit
     ~engine ~prefetch_degree:prefetch ~staging_chunks:staging ~trace_limit
-    ~chain ~superblock_threshold ()
+    ~chain ~superblock_threshold ~granularity ()
 
 let list_cmd =
   let run () =
@@ -237,9 +255,9 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List the workload suite") Term.(const run $ const ())
 
 let run_cmd =
-  let run name tcache chunking eviction network faults audit engine prefetch
-      staging chain superblock_threshold trace_out trace_format trace_limit
-      verbose =
+  let run name tcache chunking eviction granularity network faults audit
+      engine prefetch staging chain superblock_threshold trace_out
+      trace_format trace_limit verbose =
     setup_logs verbose;
     match find_workload name with
     | Error e -> prerr_endline e; 1
@@ -249,7 +267,8 @@ let run_cmd =
       let native = Softcache.Runner.native img in
       let cfg =
         make_config ?faults ~audit ~engine ~prefetch ~staging ~trace_limit
-          ~chain ~superblock_threshold tcache chunking eviction network
+          ~chain ~superblock_threshold ~granularity tcache chunking eviction
+          network
       in
       (* profile-guided oracles: one profiling pre-run supplies the
          prefetch hot-set ranker, the superblock edge temperatures and
@@ -398,9 +417,10 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run a workload natively and under the SoftCache")
     Term.(const run $ workload_arg $ tcache_arg $ chunking_arg $ eviction_arg
-          $ network_arg $ faults_arg $ audit_arg $ engine_arg $ prefetch_arg
-          $ staging_arg $ chain_arg $ superblock_arg $ trace_out_arg
-          $ trace_format_arg $ trace_limit_arg $ verbose_arg)
+          $ granularity_arg $ network_arg $ faults_arg $ audit_arg
+          $ engine_arg $ prefetch_arg $ staging_arg $ chain_arg
+          $ superblock_arg $ trace_out_arg $ trace_format_arg
+          $ trace_limit_arg $ verbose_arg)
 
 let profile_cmd =
   let run name =
@@ -657,7 +677,7 @@ let fleet_cmd =
     Arg.(value & opt int 2_000_000 & info [ "fuel" ] ~docv:"N" ~doc)
   in
   let run name clients fairness no_dedup no_batching cache_chunks quantum
-      fuel tcache chunking eviction network faults audit verbose =
+      fuel tcache chunking eviction granularity network faults audit verbose =
     setup_logs verbose;
     match find_workload name with
     | Error e -> prerr_endline e; 1
@@ -669,7 +689,8 @@ let fleet_cmd =
         | `Ethernet -> Netmodel.ethernet_10mbps ?faults ()
       in
       let mk_cfg _ =
-        Softcache.Config.make ~tcache_bytes:tcache ~chunking ~eviction ~net ()
+        Softcache.Config.make ~tcache_bytes:tcache ~chunking ~eviction
+          ~granularity ~net ()
       in
       match
         Fleet.config ~clients ~fairness ~dedup:(not no_dedup)
@@ -699,8 +720,8 @@ let fleet_cmd =
        ~doc:"Simulate one MC serving N clients over a shared link")
     Term.(const run $ workload_arg $ clients_arg $ fairness_arg $ no_dedup_arg
           $ no_batching_arg $ cache_arg $ quantum_arg $ fuel_arg $ tcache_arg
-          $ chunking_arg $ eviction_arg $ network_arg $ faults_arg $ audit_arg
-          $ verbose_arg)
+          $ chunking_arg $ eviction_arg $ granularity_arg $ network_arg
+          $ faults_arg $ audit_arg $ verbose_arg)
 
 let trace_cmd =
   let out_arg =

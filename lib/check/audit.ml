@@ -201,6 +201,9 @@ let run (t : Controller.t) : violation list =
     | Stub.Ret_stub _ ->
       add "stub" "block v=0x%x owns stub %d, which is a return stub"
         b.Tcache.vaddr k
+    | Stub.Plt _ ->
+      add "stub" "block v=0x%x owns stub %d, which is a PLT slot"
+        b.Tcache.vaddr k
   in
   List.iter
     (fun (b : Tcache.block) ->
@@ -215,7 +218,15 @@ let run (t : Controller.t) : violation list =
   (* -- reverse scan: every encoded branch out of a block lands on a
         block start and is recorded there.  This is the completeness
         direction — it catches incoming pointers that were created but
-        never recorded, the bug class [chaos_drop_incoming] seeds. ----- *)
+        never recorded, the bug class [chaos_drop_incoming] seeds.
+        Function-granularity calls are the one legitimate exception: a
+        [Jal] into a PLT slot targets the persistent-stub area, never a
+        block start, and needs no record (the slot word, not the call
+        site, is what the controller patches). ----- *)
+  let plt_slot_paddrs = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun _fv (paddr, _) -> Hashtbl.replace plt_slot_paddrs paddr ())
+    t.plt;
   List.iter
     (fun (b : Tcache.block) ->
       for i = 0 to b.words - 1 do
@@ -231,10 +242,11 @@ let run (t : Controller.t) : violation list =
                  without an incoming record"
                 site b.vaddr tb.vaddr p
           | None ->
-            add "wild"
-              "word at 0x%x (block v=0x%x) branches to 0x%x, which is not \
-               a block start"
-              site b.vaddr p)
+            if not (Hashtbl.mem plt_slot_paddrs p) then
+              add "wild"
+                "word at 0x%x (block v=0x%x) branches to 0x%x, which is \
+                 neither a block start nor a PLT slot"
+                site b.vaddr p)
         | Some _ | None -> ());
         match Isa.Encode.decode w with
         | Some (Isa.Instr.Trap j) ->
@@ -288,12 +300,53 @@ let run (t : Controller.t) : violation list =
         add "ret-stub" "return stub 0x%x holds neither trap nor jump" paddr)
     t.ret_stubs;
 
+  (* -- PLT slot table ------------------------------------------------ *)
+  (* One persistent slot per function the cached code calls through:
+     the slot sits in the stub area, its stub entry mirrors the table,
+     and the slot word encodes residency exactly — a trap to its own
+     stub while the function is absent, a recorded direct jump to the
+     resident unit while it is present. The safe directions only: an
+     unpatched slot over a resident target is legal (install and slot
+     patch are distinct steps), a patched slot over a dead target is
+     the wild-branch bug this section exists to catch. *)
+  Hashtbl.iter
+    (fun fv (paddr, k) ->
+      if paddr < pb || paddr >= top then
+        add "plt" "slot for v=0x%x at 0x%x outside stub area" fv paddr;
+      (if k < 0 || k >= t.nstubs then
+         add "plt" "slot for v=0x%x has bad stub index %d" fv k
+       else
+         match t.stubs.(k) with
+         | Stub.Plt { slot_paddr; target } ->
+           if slot_paddr <> paddr || target <> fv then
+             add "plt" "stub %d disagrees with the PLT table" k
+         | _ ->
+           add "plt" "stub %d for function v=0x%x is not a PLT slot" k fv);
+      match Isa.Encode.decode (word t paddr) with
+      | Some (Isa.Instr.Trap j) ->
+        if j <> k then
+          add "plt" "slot 0x%x traps to %d, expected %d" paddr j k
+      | Some (Isa.Instr.Jmp p) -> (
+        match Tcache.lookup tc fv with
+        | Some tb when tb.paddr = p ->
+          if not (has_incoming tb ~site_paddr:paddr) then
+            add "incoming" "patched PLT slot 0x%x not recorded on v=0x%x"
+              paddr fv
+        | Some tb ->
+          add "plt" "slot 0x%x jumps to 0x%x but v=0x%x resides at 0x%x"
+            paddr p fv tb.paddr
+        | None ->
+          add "plt" "slot 0x%x patched for dead function v=0x%x" paddr fv)
+      | _ -> add "plt" "slot 0x%x holds neither trap nor jump" paddr)
+    t.plt;
+
   (* -- stub-table accounting ---------------------------------------- *)
   let owned =
     List.fold_left
       (fun acc (b : Tcache.block) -> acc + List.length b.stubs)
       0 blocks
     + Hashtbl.length t.ret_stubs
+    + Hashtbl.length t.plt
   in
   if t.live_stubs <> owned then
     add "accounting" "live_stubs=%d but blocks+return stubs own %d"
@@ -320,8 +373,10 @@ let run (t : Controller.t) : violation list =
   Hashtbl.iter
     (fun _ (_, k) -> check_live_not_free "a return stub" k)
     t.ret_stubs;
+  Hashtbl.iter (fun _ (_, k) -> check_live_not_free "a PLT slot" k) t.plt;
   let expected_md =
     (Tcache.map_entries tc * 12) + (t.live_stubs * 8)
+    + (Hashtbl.length t.plt * 12)
   in
   if Controller.metadata_bytes t <> expected_md then
     add "accounting" "metadata_bytes=%d, recomputed %d"

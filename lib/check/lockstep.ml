@@ -621,3 +621,73 @@ let policies ?cost ?(fuel = 2_000_000) ?(ops = []) ?(audit = false) mk_cfg
       in
       cmp rest
     | _ -> assert false)
+
+(* Block vs whole-function granularity, against the same reference.
+
+   Function granularity changes the unit shape, the call linkage (PLT
+   slots instead of per-site call patching) and tcache placement
+   wholesale, so — exactly as for chaining modes — equivalence is
+   observational: each granularity in [Config.granularity_table] runs
+   in data-access lockstep against the native execution, then the
+   granularities are cross-compared on the output stream and the final
+   data segment. [eviction] pins the replacement policy so callers can
+   sweep the whole policy × granularity grid. *)
+
+let granularity ?cost ?(fuel = 2_000_000) ?(ops = []) ?(audit = false)
+    ?eviction mk_cfg img : modes_verdict =
+  let data_lo = img.Isa.Image.data_base in
+  let data_hi = data_lo + Bytes.length img.Isa.Image.data in
+  let observe (name, g) =
+    (* fresh Config per granularity: own Netmodel state, own tcache *)
+    let cfg = { (mk_cfg ()) with Config.granularity = g } in
+    let cfg =
+      match eviction with
+      | Some ev -> { cfg with Config.eviction = ev }
+      | None -> cfg
+    in
+    let ctrl = ref None in
+    let v =
+      run ?cost ~fuel ~ops ~audit
+        ~on_controller:(fun c -> ctrl := Some c)
+        cfg img
+    in
+    (name, v, !ctrl)
+  in
+  let results = List.map observe Config.granularity_table in
+  match
+    List.find_opt
+      (fun (_, v, _) -> match v with Equivalent _ -> false | _ -> true)
+      results
+  with
+  | Some (name, v, _) -> Mode_diverged { mode = name; verdict = v }
+  | None -> (
+    let observables (c : Controller.t) =
+      ( Machine.Cpu.outputs c.cpu,
+        Machine.Memory.hash c.cpu.mem ~lo:data_lo ~hi:data_hi )
+    in
+    match results with
+    | (bname, Equivalent { events }, Some bc) :: rest ->
+      let bouts, bhash = observables bc in
+      let rec cmp = function
+        | [] ->
+          Modes_equivalent
+            { modes = List.map (fun (n, _, _) -> n) results; events }
+        | (name, _, Some c) :: rest ->
+          let outs, hash = observables c in
+          if outs <> bouts then
+            Modes_mismatch
+              { mode = name; baseline = bname; detail = "output streams differ" }
+          else if hash <> bhash then
+            Modes_mismatch
+              {
+                mode = name;
+                baseline = bname;
+                detail = "final data segment differs";
+              }
+          else cmp rest
+        | (_, _, None) :: _ ->
+          (* on_controller fires before the cached drive begins *)
+          assert false
+      in
+      cmp rest
+    | _ -> assert false)

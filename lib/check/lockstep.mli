@@ -242,3 +242,35 @@ val policies :
     [Chunk_too_large]. *)
 
 val pp_policies_verdict : Format.formatter -> policies_verdict -> unit
+
+(** {2 Granularity equivalence}
+
+    Block vs whole-function caching units. Function granularity changes
+    the unit shape, the call linkage (persistent PLT slots instead of
+    per-site call patching) and tcache placement wholesale, so — as for
+    {!chain_modes} — equivalence is observational: each granularity in
+    {!Softcache.Config.granularity_table} runs in data-access lockstep
+    against the native execution, then the granularities are compared
+    on the output stream and the final data segment. Cycle counts,
+    retire counts and placement legitimately differ (one large unit
+    versus many small blocks produces entirely different trap and stub
+    sequences). *)
+
+val granularity :
+  ?cost:Machine.Cost.t ->
+  ?fuel:int ->
+  ?ops:(Softcache.Controller.t -> unit) list ->
+  ?audit:bool ->
+  ?eviction:Softcache.Config.eviction ->
+  (unit -> Softcache.Config.t) ->
+  Isa.Image.t ->
+  modes_verdict
+(** [granularity mk_cfg img] runs one native-vs-cached {!run} per
+    granularity, overriding only [Config.granularity] (and, when
+    [eviction] is given, [Config.eviction] — so callers can sweep the
+    full policy × granularity grid) on a fresh [mk_cfg ()] each time.
+    [ops] and [audit] pass through to each {!run}; the audit includes
+    the PLT-slot section, so a function-mode run is also checked for
+    slot-table/residency agreement at every controller event. Pick a
+    tcache large enough that the workload's functions fit or degrade
+    cleanly. *)

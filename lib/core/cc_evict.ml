@@ -193,6 +193,29 @@ and process_evicted t ~reason_of victims =
     emit_event t (Evicted n)
   end
 
+(* Allocate (or reuse) the persistent PLT slot for a function entry.
+   Call sites in function-granularity mode jump here instead of at the
+   callee directly; the slot holds [Trap k] while the function is
+   absent and a direct [Jmp] while it is resident. Same growth
+   discipline as return stubs: may evict blocks, [on_evicted] handles
+   them. *)
+let plt_slot t ~on_evicted fn_vaddr =
+  match Hashtbl.find_opt t.plt fn_vaddr with
+  | Some (paddr, _) -> paddr
+  | None -> (
+    match Tcache.alloc_persistent t.tc ~words:1 with
+    | Error `Too_large -> raise Tcache_too_small
+    | Ok (paddr, victims) ->
+      on_evicted victims;
+      let k =
+        add_stub t (fun _k ->
+            Stub.Plt { slot_paddr = paddr; target = fn_vaddr })
+      in
+      write_word t paddr (enc (Isa.Instr.Trap k));
+      Hashtbl.replace t.plt fn_vaddr (paddr, k);
+      t.stats.plt_slots <- t.stats.plt_slots + 1;
+      paddr)
+
 let do_flush t =
   (* collect live pad references before tearing everything down;
      pinned blocks survive, so their pads stay valid *)
@@ -259,6 +282,12 @@ let do_flush t =
   Hashtbl.iter
     (fun _rv (paddr, k) -> write_word t paddr (enc (Isa.Instr.Trap k)))
     t.ret_stubs;
+  (* PLT slots follow the same discipline: persistent, but any slot
+     specialised to a flushed function must trap again (slots aimed at
+     pinned survivors re-specialise lazily on their next call) *)
+  Hashtbl.iter
+    (fun _fv (paddr, k) -> write_word t paddr (enc (Isa.Instr.Trap k)))
+    t.plt;
   let no_evictions victims = assert (victims = []) in
   (match ra_ref with
   | Some rv ->

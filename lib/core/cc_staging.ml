@@ -128,12 +128,20 @@ let fetch_chunk t ~vaddr ~(words : int array) ~prefetch =
 let prefetch_candidates t (chunk : Chunker.t) =
   if t.cfg.prefetch_degree = 0 || t.cfg.staging_chunks = 0 then []
   else begin
+    let succs =
+      match t.cfg.granularity with
+      | Config.Block -> Chunker.successors t.image chunk
+      | Config.Function ->
+        (* internal block heads are already part of this unit; only
+           edges leaving the span can miss next *)
+        Chunker.external_successors t.image chunk
+    in
     let cands =
-      Chunker.successors t.image chunk
+      succs
       |> List.filter (fun a ->
              Tcache.lookup t.tc a = None && not (Hashtbl.mem t.staging a))
       |> List.filter_map (fun a ->
-             match Chunker.chunk_at t.image t.cfg.chunking a with
+             match chunk_for t a with
              | c -> Some c
              | exception (Chunker.Bad_address _ | Chunker.Trap_in_source _) ->
                None)

@@ -61,6 +61,20 @@ type t = {
   mutable stubs : Stub.t array;
   mutable nstubs : int;
   ret_stubs : (int, int * int) Hashtbl.t;
+  plt : (int, int * int) Hashtbl.t;
+      (* function vaddr -> (slot paddr, stub index); the PLT-style
+         indirection table of function-granularity mode. Slots are
+         persistent (call sites address them directly), hold [Trap k]
+         while the function is absent and [Jmp paddr] while resident;
+         patched on install, reverted through the target's incoming
+         list on eviction *)
+  gran_degraded : (int, int) Hashtbl.t;
+      (* function entry vaddr -> end of its contiguous extent, for
+         functions whose whole-body unit could not be cached (too big
+         for the tcache, or not contiguously decodable): every miss
+         inside a recorded extent chunks at block granularity instead.
+         Sticky — degradation is a property of the function, not of a
+         particular cache state *)
   stack_top : int;
   mutable next_block_id : int;
   mutable started : bool;
@@ -79,6 +93,12 @@ type t = {
   mutable chaos_drop_incoming : int;
       (* test hook: silently skip the next N incoming-pointer records,
          seeding the bookkeeping bug the auditor must catch *)
+  mutable chaos_evict_bound : bool;
+      (* test hook: evict the first bound-exit target block between
+         translation and incoming-pointer recording, making the
+         "resident during this translation" invariant of the bound loop
+         false — proves [Internal_invariant_broken] is raised, not an
+         anonymous assert *)
   mutable mc_transport :
     (vaddr:int ->
     prefetch_vaddrs:int list ->
@@ -100,6 +120,10 @@ type t = {
 exception Chunk_too_large of int
 exception Tcache_too_small
 exception Chunk_unavailable of { vaddr : int; attempts : int }
+
+exception Internal_invariant_broken of { chunk : int; detail : string }
+(* a controller bookkeeping invariant failed while processing this
+   chunk — diagnosable (unlike a bare assert) in audit-off runs *)
 
 exception
   Alloc_guard_exhausted of {
@@ -233,6 +257,50 @@ let record_incoming ?stub t (b : Tcache.block) ~from_block ~site_paddr
       add_link t ~from_block ~site_paddr ~target_id:b.id ~stub:k
     | Some _ | None -> ()
   end
+
+(* ---- granularity ----
+   The single effective-granularity chunk acquisition point. Block mode
+   defers to the configured chunking untouched. Function mode chunks
+   the whole enclosing function as one unit, except for functions that
+   have been degraded to block granularity: a unit that cannot be
+   cached (more instructions than [Chunker.max_function_instrs], a body
+   the tcache can never hold, or a non-contiguously-decodable extent)
+   is recorded in [gran_degraded] and every miss inside its extent —
+   this one and all later ones — chunks as a basic block instead.
+   Degradation is sticky because it is a property of the function
+   (size, decodability, capacity), not of a particular cache state. *)
+
+let record_degraded t v hi =
+  Hashtbl.replace t.gran_degraded v (max hi (v + 4));
+  t.stats.gran_degraded <- t.stats.gran_degraded + 1;
+  trace t (Trace.Cc_degrade { chunk = v; bytes = max hi (v + 4) - v })
+
+let in_degraded_extent t v =
+  Hashtbl.fold
+    (fun lo hi acc -> acc || (v >= lo && v < hi))
+    t.gran_degraded false
+
+let chunk_for t v =
+  match t.cfg.granularity with
+  | Config.Block -> Chunker.chunk_at t.image t.cfg.chunking v
+  | Config.Function ->
+    if in_degraded_extent t v then
+      Chunker.chunk_at t.image Config.Basic_block v
+    else begin
+      let degrade_to_block hi =
+        record_degraded t v hi;
+        Chunker.chunk_at t.image Config.Basic_block v
+      in
+      match Chunker.chunk_function t.image v with
+      | c ->
+        if Array.length c.instrs > Chunker.max_function_instrs then
+          degrade_to_block (v + Chunker.span_bytes c)
+        else c
+      | exception Chunker.Bad_address a when a > v -> degrade_to_block a
+      | exception Chunker.Trap_in_source a when a > v -> degrade_to_block a
+      (* carried address = [v]: the requested address itself is bad —
+         that is the caller's error in any granularity, propagate *)
+    end
 
 let resident_oracle t v =
   match Tcache.lookup t.tc v with

@@ -97,13 +97,13 @@ let alloc_flushing t ~vaddr ~words_needed =
 
 (* Translate one chunk. [placed] hands in a pre-reserved placement
    (superblock group allocation) instead of allocating here. *)
-let translate_one ?placed t v =
+let translate_unit ?placed t v =
   trace t (Trace.Cc_miss { pc = v });
   (* a staged prefetched copy of this chunk skips the wire entirely;
      a corrupted one is discarded and the miss pays the round trip *)
   let chunk, from_staging =
     match Cc_staging.take_staged t v with
-    | None -> (Chunker.chunk_at t.image t.cfg.chunking v, false)
+    | None -> (chunk_for t v, false)
     | Some s -> (
       match Cc_staging.chunk_of_staged v s with
       | Some c ->
@@ -112,9 +112,23 @@ let translate_one ?placed t v =
         (c, true)
       | None ->
         t.stats.prefetch_crc_failures <- t.stats.prefetch_crc_failures + 1;
-        (Chunker.chunk_at t.image t.cfg.chunking v, false))
+        (chunk_for t v, false))
   in
-  let words_needed = Rewriter.layout_words chunk in
+  (* function granularity: every external callee of this unit calls
+     through a persistent PLT slot. The slots must exist before layout
+     (they determine which external [Jal]s need islands) and before
+     placement (growing the slot area during translation could evict a
+     block the rewriter already bound against). *)
+  (if t.cfg.granularity = Config.Function then
+     let on_stub_growth =
+       Cc_evict.process_evicted t ~reason_of:(fun _ -> Policy.Stub_growth)
+     in
+     List.iter
+       (fun fv ->
+         ignore (Cc_evict.plt_slot t ~on_evicted:on_stub_growth fv))
+       (Chunker.call_targets t.image chunk));
+  let plt_of tv = Option.map fst (Hashtbl.find_opt t.plt tv) in
+  let words_needed = Rewriter.layout_words ~plt_of chunk in
   let module P = (val t.policy : Policy.S) in
   let base =
     match placed with
@@ -137,7 +151,7 @@ let translate_one ?placed t v =
     k
   in
   let emission =
-    Rewriter.translate chunk ~block_id:id ~base ~resident ~alloc_stub
+    Rewriter.translate ~plt_of chunk ~block_id:id ~base ~resident ~alloc_stub
   in
   (* the rewritten words travel MC -> CC over the link (unless a staged
      prefetch already delivered the chunk body); a chunk that cannot be
@@ -176,13 +190,36 @@ let translate_one ?placed t v =
   Tcache.register t.tc block;
   P.on_install block;
   Hashtbl.replace t.install_cycle id t.cpu.cycles;
+  (* test hook: evict a bound target between translation and the
+     incoming-record loop, falsifying the loop's residency invariant *)
+  (if t.chaos_evict_bound then
+     match emission.bound with
+     | (tb, _, _, _) :: _ -> (
+       t.chaos_evict_bound <- false;
+       match Tcache.find_by_id t.tc tb with
+       | Some victim -> Tcache.remove t.tc victim
+       | None -> ())
+     | [] -> () (* keep the hook armed until a translation binds *));
   List.iter
     (fun (tb, site_paddr, revert_word, stub) ->
       match Tcache.find_by_id t.tc tb with
       | Some target_block ->
         record_incoming t target_block ~from_block:id ~site_paddr
           ~revert_word ~stub
-      | None -> assert false (* resident during this translation *))
+      | None ->
+        (* the rewriter bound this exit against a block the resident
+           oracle reported during this very translation; nothing may
+           evict between translation and here *)
+        raise
+          (Internal_invariant_broken
+             {
+               chunk = v;
+               detail =
+                 Printf.sprintf
+                   "bound exit target block %d vanished before its \
+                    incoming pointer was recorded"
+                   tb;
+             }))
     emission.bound;
   Cc_chain.register_pending t block;
   Log.debug (fun m ->
@@ -198,9 +235,39 @@ let translate_one ?placed t v =
     (t.cfg.miss_fixed_cycles + (t.cfg.translate_cycles_per_word * emitted));
   trace t (Trace.Cc_translated { chunk = v; base; words = emitted });
   emit_event t (Translated v);
+  (* function granularity: specialise this unit's own PLT slot into a
+     direct jump. Unconditional — the unit was absent a moment ago, so
+     its slot (if any) is trapping — and byte-reversible: the incoming
+     record restores the trap when the unit is evicted. *)
+  (match Hashtbl.find_opt t.plt v with
+  | Some (slot_paddr, k) ->
+    write_word t slot_paddr (enc (Isa.Instr.Jmp base));
+    record_incoming t block ~from_block:(-1) ~site_paddr:slot_paddr
+      ~revert_word:(enc (Isa.Instr.Trap k));
+    t.stats.patches <- t.stats.patches + 1;
+    t.stats.plt_patches <- t.stats.plt_patches + 1;
+    charge t Trace.Patch t.cfg.patch_cycles;
+    trace t (Trace.Cc_backpatch { site = slot_paddr; target = base });
+    emit_event t Patched
+  | None -> ());
   (* eager chaining: patch every exit already waiting for this chunk *)
   Cc_chain.chain_install t block;
   block
+
+(* The degradation rule: a whole-function unit the tcache can never
+   hold must not abort the run — the function falls back to block
+   granularity (sticky, via [gran_degraded]) and the miss retranslates
+   small. Only a genuinely-too-large *block* still raises. *)
+let rec translate_one ?placed t v =
+  try translate_unit ?placed t v with
+  | Chunk_too_large a
+    when a = v
+         && t.cfg.granularity = Config.Function
+         && not (in_degraded_extent t v) ->
+    (match Chunker.chunk_function t.image v with
+    | c -> record_degraded t v (v + Chunker.span_bytes c)
+    | exception _ -> record_degraded t v (v + 4));
+    translate_one ?placed t v
 
 (* Follow the profile's hottest-successor edges from [v] while they
    stay at or above the temperature threshold, collecting the chain a
@@ -321,7 +388,9 @@ let translate_superblock t v members =
       (match blocks with b :: _ -> Some b | [] -> None))
 
 let translate t v =
-  if t.cfg.superblock_threshold > 0 then
+  (* superblock promotion fuses hot block chains; whole-function units
+     already subsume it, so function granularity takes the plain path *)
+  if t.cfg.superblock_threshold > 0 && t.cfg.granularity = Config.Block then
     match superblock_chain t v with
     | [] | [ _ ] -> translate_one t v
     | members -> (

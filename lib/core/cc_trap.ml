@@ -52,3 +52,27 @@ let handle_trap t k =
       | None -> ())
     | Some _ | None -> ());
     t.cpu.pc <- b.paddr
+  | Stub.Plt { slot_paddr; target } ->
+    t.stats.lookups <- t.stats.lookups + 1;
+    charge t Trace.Lookup t.cfg.lookup_cycles;
+    let b = Cc_translate.ensure_resident t target in
+    (* translating a missing callee patches its slot on install, so
+       this trap usually resumes through an already-patched slot; only
+       a call whose target was resident all along (a pinned flush
+       survivor under a re-trapped slot) still finds the trap word in
+       place and specialises it here *)
+    (if Machine.Memory.read32 t.cpu.mem slot_paddr = enc (Isa.Instr.Trap k)
+     then
+       match Tcache.find_by_id t.tc b.id with
+       | Some tb ->
+         write_word t slot_paddr (enc (Isa.Instr.Jmp tb.paddr));
+         record_incoming t tb ~from_block:(-1) ~site_paddr:slot_paddr
+           ~revert_word:(enc (Isa.Instr.Trap k));
+         t.stats.patches <- t.stats.patches + 1;
+         t.stats.plt_patches <- t.stats.plt_patches + 1;
+         charge t Trace.Patch t.cfg.patch_cycles;
+         trace t
+           (Trace.Cc_backpatch { site = slot_paddr; target = tb.paddr });
+         emit_event t Patched
+       | None -> ());
+    t.cpu.pc <- b.paddr

@@ -48,6 +48,67 @@ let chunk_at img mode v =
 
 let span_bytes t = Array.length t.instrs * Isa.Instr.word_size
 
+(* Whole-function extraction for [Config.granularity = Function]: a
+   CFG worklist walk over the basic blocks reachable from [v] inside
+   the enclosing symbol (or the rest of the text segment when there is
+   no symbol), closed over fall-throughs — a [Jal]/[Jalr] continues the
+   walk at its return site, the callee being its own unit — and then
+   decoded as ONE contiguous chunk covering [v, hi) where hi is the
+   highest byte any reachable block touches. Contiguity is what lets
+   the rewriter keep every internal edge branch-direct: the unit is a
+   plain (large) chunk, no new instruction forms.
+
+   A decode failure or embedded trap in the contiguous span raises
+   exactly as [chunk_at] would; callers distinguish "the requested
+   address is bad" (carried address = [v]) from "the function body is
+   not contiguously decodable" (carried address > [v]) and degrade the
+   latter to block granularity. *)
+let max_function_instrs = 8192
+
+let chunk_function img v =
+  if v land 3 <> 0 || not (Isa.Image.contains_code img v) then
+    raise (Bad_address v);
+  let cap =
+    match Isa.Image.symbol_at img v with
+    | Some s -> min (s.sym_addr + s.sym_size) (Isa.Image.code_end img)
+    | None -> Isa.Image.code_end img
+  in
+  let seen = Hashtbl.create 16 in
+  let queue = Queue.create () in
+  let push a =
+    if a >= v && a < cap && a land 3 = 0 && not (Hashtbl.mem seen a) then begin
+      Hashtbl.add seen a ();
+      Queue.add a queue
+    end
+  in
+  push v;
+  let hi = ref (v + 4) in
+  while not (Queue.is_empty queue) do
+    let a = Queue.pop queue in
+    let instrs = scan img a cap in
+    let n = Array.length instrs in
+    if n > 0 then begin
+      hi := max !hi (a + (4 * n));
+      let last_addr = a + (4 * (n - 1)) in
+      match instrs.(n - 1) with
+      | Isa.Instr.Br (_, _, _, off) ->
+        push (last_addr + (4 * off));
+        push (last_addr + 4)
+      | Isa.Instr.Jmp target -> push target
+      | Isa.Instr.Jal _ | Isa.Instr.Jalr _ ->
+        (* fall-through closure: the return site belongs to this unit *)
+        push (last_addr + 4)
+      | Isa.Instr.Jr _ | Isa.Instr.Halt | Isa.Instr.Trap _ -> ()
+      | _ -> () (* scan hit [cap] without a terminator *)
+    end
+  done;
+  (* no truncation: the caller applies the degradation rule against
+     [max_function_instrs], so it must see the unit's true extent *)
+  let len = (!hi - v) / 4 in
+  let instrs = Array.init len (fun i -> decode_at img (v + (4 * i))) in
+  if Array.length instrs = 0 then raise (Bad_address v);
+  { vaddr = v; instrs }
+
 let successors img t =
   let n = Array.length t.instrs in
   let fallthrough = t.vaddr + (n * 4) in
@@ -84,6 +145,36 @@ let successors img t =
         true
       end)
     static_exits
+
+(* Successors outside the unit's own span — in function mode the
+   internal block heads are already part of this chunk, so only
+   external edges are prefetch candidates or sizing-walk seeds. *)
+let external_successors img t =
+  let lo = t.vaddr and hi = t.vaddr + span_bytes t in
+  List.filter (fun a -> a < lo || a >= hi) (successors img t)
+
+(* Direct-call targets leaving the unit: the set of PLT slots the
+   rewritten unit will call through. Internal targets are excluded —
+   the rewriter resolves any [Jal] landing inside the unit's own span
+   as a direct branch, so only external callees route through the
+   indirection table. *)
+let call_targets img t =
+  let lo = t.vaddr and hi = t.vaddr + span_bytes t in
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  Array.iter
+    (fun instr ->
+      match instr with
+      | Isa.Instr.Jal target
+        when (target < lo || target >= hi)
+             && target land 3 = 0
+             && Isa.Image.contains_code img target
+             && not (Hashtbl.mem seen target) ->
+        Hashtbl.add seen target ();
+        acc := target :: !acc
+      | _ -> ())
+    t.instrs;
+  List.rev !acc
 
 let pp ppf t =
   Format.fprintf ppf "chunk 0x%x (%d instrs)" t.vaddr (Array.length t.instrs)

@@ -35,6 +35,38 @@ val chunk_at : Isa.Image.t -> Config.chunking -> int -> t
 val span_bytes : t -> int
 (** Original footprint of the chunk in the source image. *)
 
+val max_function_instrs : int
+(** Degradation bound on whole-function units (8192 instructions):
+    3n emitted words stay within the 16-bit branch-offset range, and
+    anything larger is degraded to block granularity by the controller
+    rather than cached as one unit. [chunk_function] itself does not
+    enforce it — callers compare against the returned length. *)
+
+val chunk_function : Isa.Image.t -> int -> t
+(** Whole-function extraction for [Config.granularity = Function]: a
+    CFG worklist walk over the basic blocks reachable from the entry
+    inside the enclosing symbol (or the rest of the text segment when
+    there is no symbol), closed over call fall-throughs — a call's
+    return site belongs to this unit, the callee is its own unit — and
+    decoded as ONE contiguous chunk covering the entry up to the
+    highest byte any reachable block touches.
+
+    @raise Bad_address with the entry address if the entry itself is
+    unaligned or outside the text segment; with a higher address (or
+    [Trap_in_source]) if the contiguous extent is not cleanly
+    decodable — callers degrade the latter to block granularity. *)
+
+val external_successors : Isa.Image.t -> t -> int list
+(** [successors] restricted to addresses outside the chunk's own span —
+    in function mode the internal block heads are already part of the
+    unit, so only external edges are prefetch candidates. *)
+
+val call_targets : Isa.Image.t -> t -> int list
+(** Deduplicated direct-call ([Jal]) targets leaving the unit's span,
+    in first-occurrence order, restricted to aligned text-segment
+    addresses: the set of PLT slots a function-granularity translation
+    of this chunk calls through. *)
+
 val successors : Isa.Image.t -> t -> int list
 (** Static successor chunk addresses — the MC's prefetch candidates:
     the fallthrough continuation (unless the chunk ends in an

@@ -16,6 +16,19 @@ let eviction_name ev =
 let eviction_of_name n =
   List.assoc_opt n eviction_table
 
+type granularity = Block | Function
+
+(* Same single-table discipline as [eviction_table]: the CLI flag, the
+   pretty-printer and the gransweep grid all read this. *)
+let granularity_table = [ ("block", Block); ("function", Function) ]
+
+let granularity_name g =
+  match List.find_opt (fun (_, x) -> x = g) granularity_table with
+  | Some (n, _) -> n
+  | None -> assert false (* the table is total by construction *)
+
+let granularity_of_name n = List.assoc_opt n granularity_table
+
 type t = {
   tcache_bytes : int;
   tcache_base : int;
@@ -38,6 +51,7 @@ type t = {
   trace_limit : int;
   chain : bool;
   superblock_threshold : int;
+  granularity : granularity;
 }
 
 let make ?(tcache_bytes = 48 * 1024) ?(tcache_base = 0x10000)
@@ -48,7 +62,7 @@ let make ?(tcache_bytes = 48 * 1024) ?(tcache_base = 0x10000)
     ?(retry_backoff_cycles = 64) ?(timeout_cycles = 1000) ?(audit = false)
     ?(engine = Machine.Cpu.Decoded) ?(prefetch_degree = 0)
     ?(staging_chunks = 8) ?(trace_limit = 65536) ?(chain = false)
-    ?(superblock_threshold = 0) () =
+    ?(superblock_threshold = 0) ?(granularity = Block) () =
   let net = match net with Some n -> n | None -> Netmodel.local () in
   if tcache_bytes < 64 then invalid_arg "Config.make: tcache too small";
   if tcache_base land 3 <> 0 then invalid_arg "Config.make: unaligned base";
@@ -63,6 +77,10 @@ let make ?(tcache_bytes = 48 * 1024) ?(tcache_base = 0x10000)
     invalid_arg "Config.make: negative superblock_threshold";
   if superblock_threshold > 0 && not chain then
     invalid_arg "Config.make: superblock formation requires chaining";
+  if granularity = Function && chunking = Procedure then
+    invalid_arg
+      "Config.make: function granularity subsumes procedure chunking; use \
+       basic-block chunking";
   {
     tcache_bytes;
     tcache_base;
@@ -85,6 +103,7 @@ let make ?(tcache_bytes = 48 * 1024) ?(tcache_base = 0x10000)
     trace_limit;
     chain;
     superblock_threshold;
+    granularity;
   }
 
 let sparc_prototype ?tcache_bytes () =
@@ -109,4 +128,6 @@ let pp ppf t =
     Format.fprintf ppf ", chaining%s"
       (if t.superblock_threshold > 0 then
          Printf.sprintf " + superblocks (threshold %d)" t.superblock_threshold
-       else "")
+       else "");
+  if t.granularity = Function then
+    Format.fprintf ppf ", function granularity (PLT)"

@@ -44,6 +44,25 @@ val eviction_name : eviction -> string
 
 val eviction_of_name : string -> eviction option
 
+type granularity =
+  | Block  (** cache units are chunker output (basic blocks / procedures) *)
+  | Function
+      (** cache units are whole functions: a CFG walk from the entry
+          point closes over the contiguous body (fall-through closure),
+          call sites are rewritten through a PLT-style indirection table
+          owned by the controller, and returns need no patching. A
+          function whose rewritten body cannot fit the tcache degrades
+          to block granularity for that function only *)
+
+val granularity_table : (string * granularity) list
+(** Canonical name <-> granularity mapping, in the style of
+    [eviction_table]: the CLI [--granularity] enum, [pp] and the bench
+    gransweep grid are all generated from it. *)
+
+val granularity_name : granularity -> string
+
+val granularity_of_name : string -> granularity option
+
 type t = {
   tcache_bytes : int;  (** CC translation-cache memory, bytes *)
   tcache_base : int;  (** physical base of the tcache region *)
@@ -114,6 +133,11 @@ type t = {
           at least this many times into one contiguous group allocation,
           installing the members adjacently in chain order with all
           internal edges bound directly *)
+  granularity : granularity;
+      (** caching unit size: [Block] (default) caches chunker output;
+          [Function] caches whole functions behind a PLT-style
+          indirection table (see {!granularity}). Incompatible with
+          [Procedure] chunking — function mode already subsumes it *)
 }
 
 val make :
@@ -138,6 +162,7 @@ val make :
   ?trace_limit:int ->
   ?chain:bool ->
   ?superblock_threshold:int ->
+  ?granularity:granularity ->
   unit ->
   t
 (** Defaults: 48 KiB tcache at [0x10000], basic-block chunking, FIFO
@@ -145,10 +170,11 @@ val make :
     scrub 2/word, local (SPARC-style) interconnect, 8 retries with a
     64-cycle backoff base and a 1000-cycle drop timeout, audit off,
     decoded dispatch, prefetch off with an 8-chunk staging buffer, a
-    65536-event trace ring, and chaining/superblocks off.
+    65536-event trace ring, chaining/superblocks off, and block
+    granularity.
     @raise Invalid_argument on out-of-range values (including
-    [trace_limit <= 0] and [superblock_threshold > 0] without
-    [chain]). *)
+    [trace_limit <= 0], [superblock_threshold > 0] without [chain],
+    and [Function] granularity combined with [Procedure] chunking). *)
 
 val sparc_prototype : ?tcache_bytes:int -> unit -> t
 (** Basic-block chunking, local MC (no network), FIFO eviction. *)

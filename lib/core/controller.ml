@@ -45,6 +45,8 @@ type t = Cc_state.t = {
   mutable stubs : Stub.t array;
   mutable nstubs : int;
   ret_stubs : (int, int * int) Hashtbl.t;
+  plt : (int, int * int) Hashtbl.t;
+  gran_degraded : (int, int) Hashtbl.t;
   stack_top : int;
   mutable next_block_id : int;
   mutable started : bool;
@@ -55,6 +57,7 @@ type t = Cc_state.t = {
   mutable tracer : Trace.t option;
   mutable alloc_guard : int;
   mutable chaos_drop_incoming : int;
+  mutable chaos_evict_bound : bool;
   mutable mc_transport :
     (vaddr:int ->
     prefetch_vaddrs:int list ->
@@ -68,6 +71,7 @@ exception Chunk_too_large = Cc_state.Chunk_too_large
 exception Tcache_too_small = Cc_state.Tcache_too_small
 exception Chunk_unavailable = Cc_state.Chunk_unavailable
 exception Alloc_guard_exhausted = Cc_state.Alloc_guard_exhausted
+exception Internal_invariant_broken = Cc_state.Internal_invariant_broken
 
 let ensure_resident = Cc_translate.ensure_resident
 
@@ -105,6 +109,8 @@ let create ?cost ?(mem_bytes = 8 * 1024 * 1024) (cfg : Config.t) image =
       stubs = [||];
       nstubs = 0;
       ret_stubs = Hashtbl.create 64;
+      plt = Hashtbl.create 64;
+      gran_degraded = Hashtbl.create 8;
       stack_top = mem_bytes - 16;
       next_block_id = 0;
       started = false;
@@ -115,6 +121,7 @@ let create ?cost ?(mem_bytes = 8 * 1024 * 1024) (cfg : Config.t) image =
       tracer = None;
       alloc_guard = 64;
       chaos_drop_incoming = 0;
+      chaos_evict_bound = false;
       mc_transport = None;
       mc_crc = None;
     }
@@ -192,6 +199,8 @@ let preload t ~lo ~hi =
     v := !v + (4 * b.orig_words)
   done
 
-let metadata_bytes t = (Tcache.map_entries t.tc * 12) + (t.live_stubs * 8)
+let metadata_bytes t =
+  (Tcache.map_entries t.tc * 12) + (t.live_stubs * 8)
+  + (Hashtbl.length t.plt * 12)
 
 let resident t v = Tcache.lookup t.tc v <> None

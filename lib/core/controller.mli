@@ -116,6 +116,20 @@ type t = Cc_state.t = {
   ret_stubs : (int, int * int) Hashtbl.t;
       (** return vaddr -> (stub paddr, stub index); persistent across
           flushes because program stacks may hold the addresses *)
+  plt : (int, int * int) Hashtbl.t;
+      (** function vaddr -> (slot paddr, stub index); the PLT-style
+          indirection table of function-granularity mode
+          ([Config.granularity = Function]). One persistent one-word
+          slot per called function: [Trap] while the function is
+          absent, [Jmp paddr] while resident. Rewritten call sites jump
+          through the slot, so installing or evicting a function
+          patches exactly this word — byte-reversibly, through the same
+          incoming-pointer discipline as chained exits *)
+  gran_degraded : (int, int) Hashtbl.t;
+      (** function entry vaddr -> extent end, for functions degraded to
+          block granularity (whole-body unit too large for the tcache,
+          or body not contiguously decodable); misses inside a recorded
+          extent chunk as basic blocks. Sticky for the run *)
   stack_top : int;
   mutable next_block_id : int;
   mutable started : bool;
@@ -144,6 +158,12 @@ type t = Cc_state.t = {
           Seeds a real bookkeeping bug (an unlinked patched exit) so
           tests can prove the auditor's invariants are not vacuous.
           Leave at 0 in production. *)
+  mutable chaos_evict_bound : bool;
+      (** test hook: evict the first translate-time-bound exit target
+          between translation and incoming-pointer recording, breaking
+          the "bound targets stay resident through [translate_one]"
+          invariant so the {!Internal_invariant_broken} raise path is
+          testable. Leave [false] in production. *)
   mutable mc_transport :
     (vaddr:int ->
     prefetch_vaddrs:int list ->
@@ -193,6 +213,13 @@ exception
     region bounds at the moment of exhaustion so the failure is
     diagnosable (a stub region that has consumed the whole tcache shows
     up as [persist_base] ≈ [base]). *)
+
+exception Internal_invariant_broken of { chunk : int; detail : string }
+(** A controller bookkeeping invariant failed while processing the
+    chunk at this virtual address — e.g. a translate-time-bound exit
+    target vanished before its incoming pointer could be recorded.
+    Replaces what used to be a bare assertion, so audit-off production
+    runs fail with the failing chunk identified. *)
 
 val create :
   ?cost:Machine.Cost.t -> ?mem_bytes:int -> Config.t -> Isa.Image.t -> t
@@ -276,10 +303,11 @@ val preload : t -> lo:int -> hi:int -> unit
 
 val metadata_bytes : t -> int
 (** CC-side bookkeeping footprint: tcache map entries plus *live* stub
-    table entries (12 bytes per map entry, 8 per stub). Stub entries
-    are recycled when their block is evicted, so this stays
-    proportional to residency — the paper's "adjustable tradeoff" —
-    rather than growing with run length. *)
+    table entries (12 bytes per map entry, 8 per stub) plus PLT table
+    entries (12 bytes each: function vaddr, slot paddr, stub index).
+    Stub entries are recycled when their block is evicted, so this
+    stays proportional to residency — the paper's "adjustable
+    tradeoff" — rather than growing with run length. *)
 
 val resident : t -> int -> bool
 (** Is the chunk at this virtual address in the tcache? *)

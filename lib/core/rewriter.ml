@@ -27,8 +27,11 @@ let is_internal (c : Chunker.t) tv =
   tv >= c.vaddr && tv < c.vaddr + (4 * len) && (tv - c.vaddr) land 3 = 0
 
 (* Offsets of each source instruction in the emission, plus the
-   fall-slot offset (-1 if none) and the first island offset. *)
-let layout (c : Chunker.t) =
+   fall-slot offset (-1 if none) and the first island offset.
+   [plt_of], when given, is the PLT slot map of function-granularity
+   mode: an external [Jal] whose target has a slot calls through it
+   directly and needs no island. *)
+let layout ?(plt_of = fun _ -> None) (c : Chunker.t) =
   let len = Array.length c.instrs in
   let off = Array.make len 0 in
   let pos = ref 0 in
@@ -39,7 +42,7 @@ let layout (c : Chunker.t) =
   let fall_off = if needs_fall_slot c.instrs.(len - 1) then !pos else -1 in
   if fall_off >= 0 then incr pos;
   let islands_start = !pos in
-  (* islands: one per Br/Jal with an external target *)
+  (* islands: one per Br/Jal with an external target (minus PLT calls) *)
   let n_islands = ref 0 in
   Array.iteri
     (fun idx i ->
@@ -47,21 +50,23 @@ let layout (c : Chunker.t) =
       match (i : Isa.Instr.t) with
       | Br (_, _, _, boff) when not (is_internal c (vi + (4 * boff))) ->
         incr n_islands
-      | Jal tv when not (is_internal c tv) -> incr n_islands
+      | Jal tv when (not (is_internal c tv)) && plt_of tv = None ->
+        incr n_islands
       | _ -> ())
     c.instrs;
   (off, fall_off, islands_start, islands_start + !n_islands)
 
-let layout_words c =
-  let _, _, _, total = layout c in
+let layout_words ?plt_of c =
+  let _, _, _, total = layout ?plt_of c in
   total
 
 let fits = Isa.Encode.branch_offset_fits
 let enc = Isa.Encode.encode
 
-let translate (c : Chunker.t) ~block_id ~base ~resident ~alloc_stub =
+let translate ?(plt_of = fun _ -> None) (c : Chunker.t) ~block_id ~base
+    ~resident ~alloc_stub =
   let len = Array.length c.instrs in
-  let off, fall_off, islands_start, total = layout c in
+  let off, fall_off, islands_start, total = layout ~plt_of c in
   let words = Array.make total (enc Isa.Instr.Nop) in
   (* source vaddr at which execution can safely resume for each emitted
      word; pads resume at their return target, islands at the branch
@@ -154,27 +159,34 @@ let translate (c : Chunker.t) ~block_id ~base ~resident ~alloc_stub =
         if is_internal c tv then
           words.(oi) <- enc (Isa.Instr.Jal (paddr_of (off_of tv)))
         else begin
-          let io = !next_island in
-          incr next_island;
-          resume.(io) <- tv;
-          let to_island = Isa.Instr.Jal (paddr_of io) in
-          let k =
-            alloc_stub (fun _k ->
-                Stub.Exit
-                  {
-                    block = block_id;
-                    site_paddr = site;
-                    kind = Stub.Patch_jal;
-                    target = tv;
-                    revert_word = enc to_island;
-                  })
-          in
-          words.(io) <- enc (Isa.Instr.Trap k);
-          match resident tv with
-          | Some (tb, tp) ->
-            words.(oi) <- enc (Isa.Instr.Jal tp);
-            bound := (tb, site, enc to_island, k) :: !bound
-          | None -> words.(oi) <- enc to_island
+          match plt_of tv with
+          | Some slot ->
+            (* function-granularity call: link to the pad as usual, jump
+               through the callee's PLT slot — the slot is the only word
+               the controller patches, so this site never reverts *)
+            words.(oi) <- enc (Isa.Instr.Jal slot)
+          | None -> (
+            let io = !next_island in
+            incr next_island;
+            resume.(io) <- tv;
+            let to_island = Isa.Instr.Jal (paddr_of io) in
+            let k =
+              alloc_stub (fun _k ->
+                  Stub.Exit
+                    {
+                      block = block_id;
+                      site_paddr = site;
+                      kind = Stub.Patch_jal;
+                      target = tv;
+                      revert_word = enc to_island;
+                    })
+            in
+            words.(io) <- enc (Isa.Instr.Trap k);
+            match resident tv with
+            | Some (tb, tp) ->
+              words.(oi) <- enc (Isa.Instr.Jal tp);
+              bound := (tb, site, enc to_island, k) :: !bound
+            | None -> words.(oi) <- enc to_island)
         end;
         emit_pad (oi + 1) rv ~ret_internal
       | Jalr (rd, rs) ->

@@ -47,11 +47,14 @@ type emission = {
   overhead_words : int;  (** words beyond the source instruction count *)
 }
 
-val layout_words : Chunker.t -> int
+val layout_words : ?plt_of:(int -> int option) -> Chunker.t -> int
 (** Emitted size of a chunk, computable before placement (it does not
-    depend on cache state). *)
+    depend on cache state). [plt_of] is the function-granularity PLT
+    slot map: an external [Jal] whose target has a slot needs no call
+    island, so it must be the same map later given to {!translate}. *)
 
 val translate :
+  ?plt_of:(int -> int option) ->
   Chunker.t ->
   block_id:int ->
   base:int ->
@@ -61,5 +64,8 @@ val translate :
 (** Rewrite a chunk for placement at physical address [base].
     [resident v] returns [(block id, paddr)] for chunks already in the
     tcache. [alloc_stub make] allocates a stub-table index [k] and
-    stores [make k].
+    stores [make k]. [plt_of tv], when it returns a slot paddr, turns
+    an external [Jal tv] into a direct call through that PLT slot: no
+    island, no exit stub, and the call site itself is never patched —
+    only the controller-owned slot word is.
     @raise Rewrite_error as above. *)

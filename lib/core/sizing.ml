@@ -31,13 +31,20 @@ type estimate = {
   chunks : chunk_info list;
 }
 
-(* Breadth-first over [Chunker.successors], seeded at the image entry
-   and every symbol start (computed-jump targets are statically
-   unknowable, so symbol starts stand in for them — the same
-   approximation the MC's prefetch predictor lives with). Chunks the
-   chunker rejects are skipped: an unreachable data-looking successor
-   must not sink the estimate. *)
-let walk_chunks image chunking =
+(* Breadth-first over the unit graph, seeded at the image entry and
+   every symbol start (computed-jump targets are statically unknowable,
+   so symbol starts stand in for them — the same approximation the MC's
+   prefetch predictor lives with). Chunks the chunker rejects are
+   skipped: an unreachable data-looking successor must not sink the
+   estimate.
+
+   In function granularity the unit is the whole-function chunk and the
+   edges are its external successors; a function the controller would
+   degrade (oversized, or a body that is not cleanly decodable) is
+   priced as its entry basic block, mirroring the runtime degradation
+   rule one block at a time — the walk reaches the rest of the degraded
+   extent through ordinary block successors. *)
+let walk_units image chunking granularity =
   let visited = Hashtbl.create 256 in
   let acc = ref [] in
   let queue = Queue.create () in
@@ -46,24 +53,53 @@ let walk_chunks image chunking =
   List.iter
     (fun (s : Isa.Image.symbol) -> seed s.sym_addr)
     image.Isa.Image.symbols;
+  let unit_at v =
+    match granularity with
+    | Config.Block -> (Chunker.chunk_at image chunking v, Config.Block)
+    | Config.Function -> (
+      let degraded () = (Chunker.chunk_at image Config.Basic_block v, Config.Block) in
+      match Chunker.chunk_function image v with
+      | c when Array.length c.instrs <= Chunker.max_function_instrs ->
+        (c, Config.Function)
+      | _ -> degraded ()
+      | exception Chunker.Bad_address a when a > v -> degraded ()
+      | exception Chunker.Trap_in_source a when a > v -> degraded ())
+  in
   while not (Queue.is_empty queue) do
     let v = Queue.pop queue in
     if not (Hashtbl.mem visited v) then begin
       Hashtbl.replace visited v ();
-      match Chunker.chunk_at image chunking v with
-      | chunk ->
+      match unit_at v with
+      | chunk, g ->
         acc := chunk :: !acc;
-        List.iter seed (Chunker.successors image chunk)
+        let succs =
+          match g with
+          | Config.Function -> Chunker.external_successors image chunk
+          | Config.Block -> Chunker.successors image chunk
+        in
+        List.iter seed succs
       | exception (Chunker.Bad_address _ | Chunker.Trap_in_source _) -> ()
     end
   done;
   List.rev !acc
 
-let estimate ?(threshold = 0.9) ?(headroom = 1.4) ~image ~chunking
-    ~samples_in ~sizes () =
+let estimate ?(threshold = 0.9) ?(headroom = 1.4)
+    ?(granularity = Config.Block) ~image ~chunking ~samples_in ~sizes () =
   if not (0.0 < threshold && threshold <= 1.0) then
     invalid_arg "Sizing.estimate: want 0 < threshold <= 1";
   if headroom < 1.0 then invalid_arg "Sizing.estimate: headroom < 1";
+  (* in function mode the controller pre-allocates a PLT slot for every
+     external call target, so the rewriter emits no trap island for
+     those Jals; price layouts under the same assumption (the slot paddr
+     itself is irrelevant to the word count) *)
+  let plt_of =
+    match granularity with
+    | Config.Block -> fun _ -> None
+    | Config.Function ->
+      fun tv ->
+        if tv land 3 = 0 && Isa.Image.contains_code image tv then Some 0
+        else None
+  in
   let chunks =
     List.map
       (fun (c : Chunker.t) ->
@@ -71,10 +107,10 @@ let estimate ?(threshold = 0.9) ?(headroom = 1.4) ~image ~chunking
         {
           ci_vaddr = c.vaddr;
           ci_span_bytes = span;
-          ci_tcache_bytes = 4 * Rewriter.layout_words c;
+          ci_tcache_bytes = 4 * Rewriter.layout_words ~plt_of c;
           ci_samples = samples_in ~lo:c.vaddr ~hi:(c.vaddr + span);
         })
-      (walk_chunks image chunking)
+      (walk_units image chunking granularity)
   in
   (* hottest first; density would overweight tiny blocks — the tcache
      pays for whole chunks, so rank by total samples, ties on address *)

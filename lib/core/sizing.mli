@@ -39,6 +39,7 @@ type estimate = {
 val estimate :
   ?threshold:float ->
   ?headroom:float ->
+  ?granularity:Config.granularity ->
   image:Isa.Image.t ->
   chunking:Config.chunking ->
   samples_in:(lo:int -> hi:int -> int) ->
@@ -48,12 +49,18 @@ val estimate :
 (** [threshold] (default 0.9) is the dominant-set cumulative-sample
     share; [headroom] (default 1.4) inflates the rewritten footprint to
     cover what the static model cannot see — the persistent stub area
-    growing down from the tcache top, allocation-sweep fragmentation,
-    and tail-duplicated chunks translated once per branch target. The
-    walk seeds at the image entry and every symbol start (standing in
-    for statically unknowable computed-jump targets) and skips
-    addresses the chunker rejects. A zero-sample profile yields an
-    empty dominant set and [predicted_bytes = 0].
+    growing down from the tcache top (including PLT slots in function
+    mode), allocation-sweep fragmentation, and tail-duplicated chunks
+    translated once per branch target. [granularity] (default [Block])
+    selects the caching unit the walk enumerates and prices: under
+    [Function] the units are whole-function chunks linked by external
+    successors, layouts are priced assuming every external call goes
+    through a PLT slot (no per-call trap island), and a function the
+    controller would degrade is priced as basic blocks, mirroring the
+    runtime rule. The walk seeds at the image entry and every symbol
+    start (standing in for statically unknowable computed-jump targets)
+    and skips addresses the chunker rejects. A zero-sample profile
+    yields an empty dominant set and [predicted_bytes = 0].
     @raise Invalid_argument unless [0 < threshold <= 1] and
     [headroom >= 1]. *)
 

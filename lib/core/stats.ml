@@ -21,6 +21,9 @@ type t = {
   mutable flushes : int;
   mutable scrubbed_words : int;
   mutable ret_stubs : int;
+  mutable plt_slots : int;
+  mutable plt_patches : int;
+  mutable gran_degraded : int;
   mutable max_resident_blocks : int;
   mutable max_occupied_bytes : int;
   mutable net_retries : int;
@@ -66,6 +69,9 @@ let create () =
     flushes = 0;
     scrubbed_words = 0;
     ret_stubs = 0;
+    plt_slots = 0;
+    plt_patches = 0;
+    gran_degraded = 0;
     max_resident_blocks = 0;
     max_occupied_bytes = 0;
     net_retries = 0;
@@ -110,6 +116,9 @@ let reset t =
   t.flushes <- 0;
   t.scrubbed_words <- 0;
   t.ret_stubs <- 0;
+  t.plt_slots <- 0;
+  t.plt_patches <- 0;
+  t.gran_degraded <- 0;
   t.max_resident_blocks <- 0;
   t.max_occupied_bytes <- 0;
   t.net_retries <- 0;
@@ -207,6 +216,10 @@ let pp ppf t =
       "@.chaining: traps=%d, eager patches=%d, superblocks=%d (%d blocks), \
        de-promotions=%d"
       t.traps t.chained t.superblocks t.superblock_blocks t.depromotions;
+  if t.plt_slots > 0 || t.gran_degraded > 0 then
+    Format.fprintf ppf
+      "@.plt: slots=%d, slot patches=%d, degraded functions=%d" t.plt_slots
+      t.plt_patches t.gran_degraded;
   if t.evicted_blocks > 0 || t.policy_entries > 0 then
     Format.fprintf ppf
       "@.policy: entries=%d, evicted victim=%d collateral=%d stub-growth=%d \

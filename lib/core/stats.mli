@@ -54,6 +54,14 @@ type t = {
   mutable flushes : int;  (** whole-tcache invalidations *)
   mutable scrubbed_words : int;  (** stack words scanned for live pads *)
   mutable ret_stubs : int;  (** persistent return stubs created *)
+  mutable plt_slots : int;  (** persistent PLT slots created (function mode) *)
+  mutable plt_patches : int;
+      (** PLT slot specialisations — slot words patched from trap to
+          direct jump, at install time or on a slot trap (subset of
+          [patches]) *)
+  mutable gran_degraded : int;
+      (** functions degraded from function to block granularity because
+          their whole-body unit could not be cached *)
   mutable max_resident_blocks : int;
   mutable max_occupied_bytes : int;
   mutable net_retries : int;  (** chunk re-requests after a transport fault *)

@@ -11,6 +11,7 @@ type t =
   | Computed of { rs : Isa.Reg.t }
   | Icall of { rd : Isa.Reg.t; rs : Isa.Reg.t; pad_paddr : int }
   | Ret_stub of { site_paddr : int; target : int }
+  | Plt of { slot_paddr : int; target : int }
 
 let pp_kind ppf = function
   | Patch_jmp -> Format.pp_print_string ppf "jmp"
@@ -27,3 +28,5 @@ let pp ppf = function
       c.pad_paddr
   | Ret_stub r ->
     Format.fprintf ppf "ret-stub site=0x%x target=0x%x" r.site_paddr r.target
+  | Plt p ->
+    Format.fprintf ppf "plt slot=0x%x target=0x%x" p.slot_paddr p.target

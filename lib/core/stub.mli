@@ -37,5 +37,11 @@ type t =
   | Ret_stub of { site_paddr : int; target : int }
       (** persistent return stub planted by stack scrubbing when a
           block with live landing pads is evicted *)
+  | Plt of { slot_paddr : int; target : int }
+      (** function-granularity PLT slot: the one-word indirection every
+          direct call to function [target] jumps through. Holds
+          [Trap k] while the function is absent, [Jmp paddr] while it
+          is resident; persistent like a return stub because rewritten
+          call sites address it directly *)
 
 val pp : Format.formatter -> t -> unit

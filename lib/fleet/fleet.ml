@@ -186,7 +186,12 @@ let open_window t key ~completes ~content =
 
 (* --- the MC transport --------------------------------------------- *)
 
-let sample s cycles = s.s_stalls <- cycles :: s.s_stalls
+(* Every stall sample also lands in the trace, so the exported timeline
+   carries the same population the summary's percentiles are computed
+   from. [trace] charges nothing — conservation is untouched. *)
+let sample t s cycles =
+  s.s_stalls <- cycles :: s.s_stalls;
+  trace t (Trace.Fl_stall { client = s.s_id; cycles })
 
 (* One demand frame from session [s]. [payloads] is the MC-stamped
    demand segment followed by its prefetch riders; whatever we return
@@ -218,7 +223,7 @@ let transport t s ~vaddr ~prefetch_vaddrs ~payloads =
       let wait = w.w_completes - now in
       t.f_coalesced <- t.f_coalesced + 1;
       s.s_coalesced <- s.s_coalesced + 1;
-      sample s wait;
+      sample t s wait;
       trace t (Trace.Fl_coalesce { client = s.s_id; chunk = vaddr; wait });
       Ok (wait, [ Bytes.copy w.w_content ])
   | None ->
@@ -237,7 +242,7 @@ let transport t s ~vaddr ~prefetch_vaddrs ~payloads =
         | received :: _ ->
             open_window t key ~completes:t.link_free_at ~content:received
         | [] -> ());
-        sample s total_wait;
+        sample t s total_wait;
         trace t
           (Trace.Fl_piggyback
              { client = s.s_id; bytes = Bytes.length demand });
@@ -254,7 +259,7 @@ let transport t s ~vaddr ~prefetch_vaddrs ~payloads =
                landed, so nothing to coalesce onto *)
             t.link_free_at <- dispatch_at + wasted;
             t.frame_open_until <- -1;
-            sample s (queued + wasted);
+            sample t s (queued + wasted);
             Error (`Dropped (queued + wasted))
         | Ok (cost, segments) ->
             t.link_free_at <- dispatch_at + cost;
@@ -263,7 +268,7 @@ let transport t s ~vaddr ~prefetch_vaddrs ~payloads =
             | received :: _ ->
                 open_window t key ~completes:t.link_free_at ~content:received
             | [] -> ());
-            sample s (queued + cost);
+            sample t s (queued + cost);
             Ok (queued + cost, segments)
       end
 
@@ -516,8 +521,13 @@ type client_stats = {
   c_traps : int;
   c_fetches : int;
   c_coalesced : int;
-  c_stall_p50 : float;
-  c_stall_p99 : float;
+  c_stall_p50 : float option;
+      (** [None] when the client recorded no stall samples — e.g. every
+          chunk arrived via another client's dedup window before this
+          one ever touched the wire. Masking the empty case as 0.0
+          would be indistinguishable from a genuinely stall-free
+          population; [Report.percentile] itself stays strict. *)
+  c_stall_p99 : float option;
 }
 
 type summary = {
@@ -541,7 +551,7 @@ type summary = {
 let client_stats s =
   let c = s.s_ctrl in
   let stalls = stall_samples s in
-  let pct p = if stalls = [] then 0.0 else Report.percentile p stalls in
+  let pct p = if stalls = [] then None else Some (Report.percentile p stalls) in
   {
     c_id = s.s_id;
     c_outcome = s.s_outcome;
@@ -574,6 +584,10 @@ let summary t =
     f_per_client = Array.to_list (Array.map client_stats t.sessions);
   }
 
+let stall_str = function
+  | Some v -> Printf.sprintf "%.0f" v
+  | None -> "n/a"
+
 let summary_fields t =
   let s = summary t in
   let joined f =
@@ -600,8 +614,8 @@ let summary_fields t =
     ("retired", joined (fun c -> string_of_int c.c_retired));
     ("translations", joined (fun c -> string_of_int c.c_translations));
     ("traps", joined (fun c -> string_of_int c.c_traps));
-    ("stall_p50", joined (fun c -> Printf.sprintf "%.0f" c.c_stall_p50));
-    ("stall_p99", joined (fun c -> Printf.sprintf "%.0f" c.c_stall_p99));
+    ("stall_p50", joined (fun c -> stall_str c.c_stall_p50));
+    ("stall_p99", joined (fun c -> stall_str c.c_stall_p99));
   ]
 
 let print_summary t =

@@ -209,8 +209,11 @@ type client_stats = {
   c_traps : int;
   c_fetches : int;
   c_coalesced : int;
-  c_stall_p50 : float;  (** 0 when the session never touched the wire *)
-  c_stall_p99 : float;
+  c_stall_p50 : float option;
+      (** [None] when the session recorded no stall samples (it never
+          touched the wire) — rendered as ["n/a"] by [summary_fields],
+          never masked as 0 *)
+  c_stall_p99 : float option;
 }
 
 type summary = {

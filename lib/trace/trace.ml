@@ -21,6 +21,9 @@ type event =
   | Cc_invalidate of { chunks : int }
   | Cc_staged_install of { chunk : int }
   | Cc_retry of { chunk : int; attempt : int }
+  | Cc_degrade of { chunk : int; bytes : int }
+    (* a function-granularity unit fell back to block granularity;
+       [bytes] is the extent of the degraded function *)
   | Tc_alloc of { chunk : int; base : int; bytes : int }
   | Net_send of { bytes : int; segments : int }
   | Net_recv of { bytes : int; cycles : int }
@@ -29,6 +32,9 @@ type event =
   | Fl_coalesce of { client : int; chunk : int; wait : int }
   | Fl_frame of { client : int; segments : int; queued : int }
   | Fl_piggyback of { client : int; bytes : int }
+  | Fl_stall of { client : int; cycles : int }
+    (* one client-observed transport stall sample, emitted where the
+       fleet records it for the stall percentiles *)
   | Dc_specialise of { site : int }
   | Dc_deopt of { site : int }
   | Dc_miss of { addr : int }
@@ -53,6 +59,7 @@ let event_type = function
   | Cc_invalidate _ -> "cc_invalidate"
   | Cc_staged_install _ -> "cc_staged_install"
   | Cc_retry _ -> "cc_retry"
+  | Cc_degrade _ -> "cc_degrade"
   | Tc_alloc _ -> "tc_alloc"
   | Net_send _ -> "net_send"
   | Net_recv _ -> "net_recv"
@@ -61,6 +68,7 @@ let event_type = function
   | Fl_coalesce _ -> "fl_coalesce"
   | Fl_frame _ -> "fl_frame"
   | Fl_piggyback _ -> "fl_piggyback"
+  | Fl_stall _ -> "fl_stall"
   | Dc_specialise _ -> "dc_specialise"
   | Dc_deopt _ -> "dc_deopt"
   | Dc_miss _ -> "dc_miss"
@@ -87,6 +95,7 @@ let fields = function
   | Cc_invalidate { chunks } -> [ ("chunks", chunks) ]
   | Cc_staged_install { chunk } -> [ ("chunk", chunk) ]
   | Cc_retry { chunk; attempt } -> [ ("chunk", chunk); ("attempt", attempt) ]
+  | Cc_degrade { chunk; bytes } -> [ ("chunk", chunk); ("bytes", bytes) ]
   | Tc_alloc { chunk; base; bytes } ->
       [ ("chunk", chunk); ("base", base); ("bytes", bytes) ]
   | Net_send { bytes; segments } ->
@@ -100,6 +109,8 @@ let fields = function
       [ ("client", client); ("segments", segments); ("queued", queued) ]
   | Fl_piggyback { client; bytes } ->
       [ ("client", client); ("bytes", bytes) ]
+  | Fl_stall { client; cycles } ->
+      [ ("client", client); ("cycles", cycles) ]
   | Dc_specialise { site } -> [ ("site", site) ]
   | Dc_deopt { site } -> [ ("site", site) ]
   | Dc_miss { addr } -> [ ("addr", addr) ]
@@ -116,6 +127,7 @@ let schema_fields = function
   | "cc_flush" | "cc_invalidate" -> Some [ "chunks" ]
   | "cc_staged_install" -> Some [ "chunk" ]
   | "cc_retry" -> Some [ "chunk"; "attempt" ]
+  | "cc_degrade" -> Some [ "chunk"; "bytes" ]
   | "tc_alloc" -> Some [ "chunk"; "base"; "bytes" ]
   | "net_send" -> Some [ "bytes"; "segments" ]
   | "net_recv" -> Some [ "bytes"; "cycles" ]
@@ -124,6 +136,7 @@ let schema_fields = function
   | "fl_coalesce" -> Some [ "client"; "chunk"; "wait" ]
   | "fl_frame" -> Some [ "client"; "segments"; "queued" ]
   | "fl_piggyback" -> Some [ "client"; "bytes" ]
+  | "fl_stall" -> Some [ "client"; "cycles" ]
   | "dc_specialise" | "dc_deopt" -> Some [ "site" ]
   | "dc_miss" -> Some [ "addr" ]
   | "dc_spill" | "dc_refill" -> Some [ "words" ]
@@ -320,12 +333,13 @@ let tid_of_event ev =
   match ev with
   | Cc_miss _ | Cc_translated _ | Cc_backpatch _ | Cc_unpatch _
   | Cc_promote _ | Cc_depromote _ | Cc_evict _ | Cc_flush _
-  | Cc_invalidate _ | Cc_staged_install _ | Cc_retry _ ->
+  | Cc_invalidate _ | Cc_staged_install _ | Cc_retry _ | Cc_degrade _ ->
       1
   | Tc_alloc _ -> 2
   | Net_send _ | Net_recv _ | Net_fault _ -> 3
   | Dc_specialise _ | Dc_deopt _ | Dc_miss _ | Dc_spill _ | Dc_refill _ -> 4
-  | Fl_request _ | Fl_coalesce _ | Fl_frame _ | Fl_piggyback _ -> 6
+  | Fl_request _ | Fl_coalesce _ | Fl_frame _ | Fl_piggyback _ | Fl_stall _ ->
+      6
 
 let residency_tid = 5
 

@@ -61,6 +61,11 @@ type event =
       (** prefetched chunk installed from the staging buffer *)
   | Cc_retry of { chunk : int; attempt : int }
       (** re-request after a dropped or corrupted frame *)
+  | Cc_degrade of { chunk : int; bytes : int }
+      (** the function at [chunk] fell back from function to block
+          granularity — its whole-body unit of [bytes] could not be
+          cached (oversized, non-contiguously decodable, or larger
+          than the tcache can ever hold) *)
   | Tc_alloc of { chunk : int; base : int; bytes : int }
       (** tcache placement decision for a chunk body *)
   | Net_send of { bytes : int; segments : int }
@@ -79,6 +84,10 @@ type event =
   | Fl_piggyback of { client : int; bytes : int }
       (** the request rode a frame still occupying the link, adding
           [bytes] of rider segments at marginal wire cost *)
+  | Fl_stall of { client : int; cycles : int }
+      (** one client-observed transport stall sample of [cycles],
+          emitted exactly where the fleet records it for the per-client
+          stall percentiles — the trace view of the summary's p50/p99 *)
   | Dc_specialise of { site : int }  (** site rewritten to a direct access *)
   | Dc_deopt of { site : int }  (** specialised site torn down *)
   | Dc_miss of { addr : int }  (** software data cache miss *)

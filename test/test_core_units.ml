@@ -296,7 +296,8 @@ let test_rewriter_invariants =
              | Softcache.Stub.Exit x -> in_block x.site_paddr
              | Softcache.Stub.Icall x -> in_block x.pad_paddr
              | Softcache.Stub.Computed _ -> true
-             | Softcache.Stub.Ret_stub _ -> false (* never emitted here *))
+             | Softcache.Stub.Ret_stub _ | Softcache.Stub.Plt _ ->
+               false (* never emitted here *))
            !stubs
       && List.for_all (fun (p, _) -> in_block p) e.pads
       && List.for_all (fun (tb, site, _, _) -> tb = 2 && in_block site) e.bound)
