@@ -1783,6 +1783,195 @@ let fleetsweep () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Shard sweep: harts x tcache size on one shared tcache. N hart
+   contexts replay the workload under the seeded interleaving
+   scheduler; concurrent misses for the same chunk coalesce onto the
+   in-flight fill, so the shared tcache should need far fewer wire
+   messages than N independent solo caches. Gates: the 1-hart sharded
+   run is cycle-identical to the solo controller on every registry
+   workload (Check.Lockstep.shards); every grid cell passes the full
+   shard audit (Check.Audit.shards); and 4-hart coalescing cuts wire
+   messages vs 4 independent solo runs on >= half the registry.
+   Emits BENCH_shard.json. *)
+
+let shardsweep () =
+  Report.section
+    "Shard sweep: harts x tcache size on one shared tcache (gates: 1-hart \
+     sharded run cycle-identical to solo registry-wide; every cell audits \
+     clean; 4-hart coalescing cuts wire messages vs 4 solo runs on >= \
+     half the registry)";
+  let app = "compress95" in
+  let img =
+    match Workloads.Registry.find app with
+    | Some e -> e.build ()
+    | None -> assert false
+  in
+  let harts_axis = [ 1; 2; 4; 8 ] in
+  let sizes = [ 4096; 16384 ] in
+  let fuel = 800_000 in
+  let cell ~harts ~tcache =
+    let net = Netmodel.ethernet_10mbps () in
+    let cfg =
+      Softcache.Config.make ~tcache_bytes:tcache
+        ~chunking:Softcache.Config.Basic_block ~net ~harts
+        ~shards:(if harts >= 4 then 2 else 1) ~sched_seed:7 ()
+    in
+    let ctrl = Softcache.Controller.create cfg img in
+    let sh = Softcache.Shard.attach ctrl in
+    ignore (Softcache.Shard.run ~fuel sh);
+    (match Check.Audit.shards sh with
+    | [] -> ()
+    | v :: _ as vs ->
+      fail "shard audit %s/%d harts/%d B: %d violations (first: %s)" app
+        harts tcache (List.length vs)
+        (Format.asprintf "%a" Check.Audit.pp_violation v));
+    (sh, ctrl, Netmodel.messages net)
+  in
+  let t =
+    Report.Table.create ~title:"shard: harts x tcache size"
+      ~columns:
+        [ "app"; "harts"; "tcache"; "makespan"; "total cycles"; "fills";
+          "coalesced"; "fill-wait"; "mc-wait"; "wire msgs" ]
+  in
+  let rows = ref [] in
+  List.iter
+    (fun tcache ->
+      List.iter
+        (fun harts ->
+          let sh, ctrl, msgs = cell ~harts ~tcache in
+          let stats = ctrl.Softcache.Controller.stats in
+          Report.Table.add_row t
+            [
+              app; string_of_int harts; string_of_int tcache;
+              string_of_int (Softcache.Shard.makespan sh);
+              string_of_int (Softcache.Shard.total_cycles sh);
+              string_of_int stats.Softcache.Stats.fills;
+              string_of_int stats.Softcache.Stats.fills_coalesced;
+              string_of_int stats.Softcache.Stats.fill_wait_cycles;
+              string_of_int stats.Softcache.Stats.mc_wait_cycles;
+              string_of_int msgs;
+            ];
+          rows :=
+            (harts, tcache, Softcache.Shard.makespan sh,
+             Softcache.Shard.total_cycles sh, stats.Softcache.Stats.fills,
+             stats.Softcache.Stats.fills_coalesced, msgs)
+            :: !rows)
+        harts_axis)
+    sizes;
+  Report.Table.print t;
+  (* gate: a 4-hart shared tcache puts fewer messages on the wire than
+     4 independent solo caches would, on >= half the registry — the
+     whole point of fill coalescing over shared code *)
+  let n = 4 in
+  let coalesce_fuel = 600_000 in
+  let ct =
+    Report.Table.create ~title:"coalescing: 4-hart shared vs 4x solo"
+      ~columns:[ "app"; "shared msgs"; "4x solo msgs"; "cut" ]
+  in
+  let coalesce_rows =
+    over_registry (fun e img ->
+        let shard_net = Netmodel.ethernet_10mbps () in
+        let cfg =
+          Softcache.Config.make ~tcache_bytes:8192
+            ~chunking:Softcache.Config.Basic_block ~net:shard_net ~harts:n
+            ~sched_seed:5 ()
+        in
+        let ctrl = Softcache.Controller.create cfg img in
+        let sh = Softcache.Shard.attach ctrl in
+        ignore (Softcache.Shard.run ~fuel:coalesce_fuel sh);
+        (match Check.Audit.shards sh with
+        | [] -> ()
+        | v :: _ as vs ->
+          fail "shard audit %s/coalescing: %d violations (first: %s)" e.name
+            (List.length vs)
+            (Format.asprintf "%a" Check.Audit.pp_violation v));
+        let shared = Netmodel.messages shard_net in
+        (* the N solo runs are identical, so run one and scale *)
+        let solo_net = Netmodel.ethernet_10mbps () in
+        let solo_cfg =
+          Softcache.Config.make ~tcache_bytes:8192
+            ~chunking:Softcache.Config.Basic_block ~net:solo_net ()
+        in
+        let solo_ctrl = Softcache.Controller.create solo_cfg img in
+        ignore (Softcache.Controller.run ~fuel:coalesce_fuel solo_ctrl);
+        let solo = n * Netmodel.messages solo_net in
+        let win = shared < solo in
+        Report.Table.add_row ct
+          [
+            e.name; string_of_int shared; string_of_int solo;
+            (if solo = 0 then "n/a"
+             else
+               Printf.sprintf "%.1f%%"
+                 (100.0 *. float_of_int (solo - shared) /. float_of_int solo));
+          ];
+        (e.name, shared, solo, win))
+  in
+  Report.Table.print ct;
+  let wins = List.length (List.filter (fun (_, _, _, w) -> w) coalesce_rows) in
+  let total = List.length coalesce_rows in
+  Report.kv "coalescing wins"
+    (Printf.sprintf "%d of %d workloads" wins total);
+  if 2 * wins < total then
+    fail "4-hart coalescing beat 4x solo on only %d of %d workloads" wins
+      total;
+  (* gate: the sharded engine with one hart is the solo controller,
+     cycle for cycle, on every registry workload *)
+  let lt =
+    Report.Table.create ~title:"lockstep: 1-hart sharded vs solo"
+      ~columns:[ "app"; "verdict" ]
+  in
+  let lockstep_rows =
+    over_registry (fun e img ->
+        let mk_cfg () =
+          Softcache.Config.make ~tcache_bytes:4096
+            ~chunking:Softcache.Config.Basic_block ()
+        in
+        let v = Check.Lockstep.shards ~fuel:2_000_000 mk_cfg img in
+        let s = lockstep_cell ~name:(e.name ^ " shard") v in
+        Report.Table.add_row lt [ e.name; s ];
+        let ok =
+          match v with
+          | Check.Lockstep.Engines_equivalent _
+          | Check.Lockstep.Engines_out_of_fuel _ -> true
+          | _ -> false
+        in
+        (e.name, ok, s))
+  in
+  Report.Table.print lt;
+  emit_json ~file:"BENCH_shard.json" ~benchmark:"shardsweep"
+    [
+      ( "grid",
+        json_array
+          (List.rev_map
+             (fun (harts, tcache, makespan, total_cycles, fills, coalesced,
+                   msgs) ->
+               Printf.sprintf
+                 "    { \"name\": %S, \"harts\": %d, \"tcache\": %d, \
+                  \"makespan\": %d, \"total_cycles\": %d, \"fills\": %d, \
+                  \"coalesced\": %d, \"wire_messages\": %d }"
+                 app harts tcache makespan total_cycles fills coalesced msgs)
+             !rows) );
+      ( "coalescing",
+        json_array
+          (List.map
+             (fun (name, shared, solo, win) ->
+               Printf.sprintf
+                 "    { \"name\": %S, \"shared_messages\": %d, \
+                  \"solo_messages\": %d, \"win\": %b }"
+                 name shared solo win)
+             coalesce_rows) );
+      ( "lockstep",
+        json_array
+          (List.map
+             (fun (name, ok, s) ->
+               Printf.sprintf
+                 "    { \"name\": %S, \"ok\": %b, \"verdict\": %S }" name ok
+                 s)
+             lockstep_rows) );
+      ("gate_failures", string_of_int !failures);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Granularity sweep: block vs whole-function caching units across a
    tcache-size ladder — the function-granularity pitch is fewer, larger
    MC round trips once the tcache can hold whole functions, at the cost
@@ -1975,6 +2164,7 @@ let experiments =
     ("sizing", sizing);
     ("chainsweep", chainsweep);
     ("fleetsweep", fleetsweep);
+    ("shardsweep", shardsweep);
     ("gransweep", gransweep);
     ("tracesmoke", tracesmoke);
     ("micro", micro);

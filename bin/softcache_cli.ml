@@ -214,6 +214,29 @@ let superblock_arg =
   in
   Arg.(value & opt int 0 & info [ "superblock-threshold" ] ~docv:"N" ~doc)
 
+let harts_arg =
+  let doc =
+    "Run the CC sharded across $(docv) hart contexts sharing one tcache: a \
+     deterministic seeded scheduler interleaves them, concurrent misses for \
+     the same chunk coalesce onto the in-flight fill, and suspended harts \
+     hold read leases on their parked blocks. 1 = the solo controller."
+  in
+  Arg.(value & opt int 1 & info [ "harts" ] ~docv:"N" ~doc)
+
+let shards_arg =
+  let doc =
+    "Partition the tcache into $(docv) per-shard arenas (chunks home by \
+     address, lookups cross shards). 1 = one shared arena."
+  in
+  Arg.(value & opt int 1 & info [ "shards" ] ~docv:"K" ~doc)
+
+let sched_seed_arg =
+  let doc =
+    "Seed for the hart interleaving scheduler; the schedule (and thus the \
+     whole run) is deterministic in it."
+  in
+  Arg.(value & opt int 1 & info [ "sched-seed" ] ~docv:"SEED" ~doc)
+
 let trace_limit_arg =
   let doc =
     "Trace ring capacity: at most $(docv) events are retained; on overflow \
@@ -232,7 +255,8 @@ let print_trace_summary ~total tr =
 let make_config ?faults ?(audit = false) ?(engine = Machine.Cpu.Decoded)
     ?(prefetch = 0) ?(staging = 8) ?(trace_limit = 65_536) ?(chain = false)
     ?(superblock_threshold = 0) ?(granularity = Softcache.Config.Block)
-    tcache chunking eviction network =
+    ?(harts = 1) ?(shards = 1) ?(sched_seed = 1) tcache chunking eviction
+    network =
   let net =
     match network with
     | `Local -> Netmodel.local ?faults ()
@@ -242,7 +266,7 @@ let make_config ?faults ?(audit = false) ?(engine = Machine.Cpu.Decoded)
   let chain = chain || superblock_threshold > 0 in
   Softcache.Config.make ~tcache_bytes:tcache ~chunking ~eviction ~net ~audit
     ~engine ~prefetch_degree:prefetch ~staging_chunks:staging ~trace_limit
-    ~chain ~superblock_threshold ~granularity ()
+    ~chain ~superblock_threshold ~granularity ~harts ~shards ~sched_seed ()
 
 let list_cmd =
   let run () =
@@ -256,8 +280,8 @@ let list_cmd =
 
 let run_cmd =
   let run name tcache chunking eviction granularity network faults audit
-      engine prefetch staging chain superblock_threshold trace_out
-      trace_format trace_limit verbose =
+      engine prefetch staging chain superblock_threshold harts shards
+      sched_seed trace_out trace_format trace_limit verbose =
     setup_logs verbose;
     match find_workload name with
     | Error e -> prerr_endline e; 1
@@ -267,8 +291,8 @@ let run_cmd =
       let native = Softcache.Runner.native img in
       let cfg =
         make_config ?faults ~audit ~engine ~prefetch ~staging ~trace_limit
-          ~chain ~superblock_threshold ~granularity tcache chunking eviction
-          network
+          ~chain ~superblock_threshold ~granularity ~harts ~shards
+          ~sched_seed tcache chunking eviction network
       in
       (* profile-guided oracles: one profiling pre-run supplies the
          prefetch hot-set ranker, the superblock edge temperatures and
@@ -347,6 +371,53 @@ let run_cmd =
         | None -> ());
         audits := Check.Audit.install_if_configured ctrl
       in
+      if harts > 1 then begin
+        (* sharded multi-hart path: N hart contexts replay the workload
+           over one shared tcache under the seeded interleaving
+           scheduler; Runner's solo drive does not apply *)
+        let ctrl = Softcache.Controller.create cfg img in
+        prepare ctrl;
+        let sh = Softcache.Shard.attach ctrl in
+        ignore (Softcache.Shard.run sh);
+        Report.kv "native cycles" (string_of_int native.cycles);
+        Report.kv "harts"
+          (Printf.sprintf "%d over %d tcache shard(s), sched seed %d" harts
+             shards sched_seed);
+        Report.kv "makespan" (string_of_int (Softcache.Shard.makespan sh));
+        Report.kv "total cpu cycles"
+          (string_of_int (Softcache.Shard.total_cycles sh));
+        List.iter
+          (fun (h : Softcache.Shard.hart) ->
+            Format.printf "  %a@." Softcache.Shard.pp_hart h)
+          (Softcache.Shard.harts sh);
+        Report.kv "fills"
+          (Printf.sprintf "%d (+%d coalesced joins)" ctrl.stats.fills
+             ctrl.stats.fills_coalesced);
+        let ok =
+          List.for_all
+            (fun (h : Softcache.Shard.hart) ->
+              h.h_cpu.halted && Machine.Cpu.outputs h.h_cpu = native.outputs)
+            (Softcache.Shard.harts sh)
+        in
+        Report.kv "outputs match (all harts)" (string_of_bool ok);
+        (match !audits with
+        | Some n ->
+          Report.kv "audit" (Printf.sprintf "on, %d audits passed" !n)
+        | None -> ());
+        let shard_viols = if audit then Check.Audit.shards sh else [] in
+        if audit then
+          Report.kv "shard audit"
+            (if shard_viols = [] then "clean"
+             else Printf.sprintf "%d violations" (List.length shard_viols));
+        List.iter
+          (fun v ->
+            Format.printf "  audit violation: %a@." Check.Audit.pp_violation
+              v)
+          shard_viols;
+        Format.printf "  stats: %a@." Softcache.Stats.pp ctrl.stats;
+        if ok && shard_viols = [] then 0 else 2
+      end
+      else begin
       let cached, ctrl = Softcache.Runner.cached_robust ~prepare cfg img in
       Report.kv "native cycles" (string_of_int native.cycles);
       Report.kv "softcache cycles" (string_of_int cached.cycles);
@@ -413,14 +484,15 @@ let run_cmd =
       (match cached.status with
       | Softcache.Runner.Unavailable _ -> 3
       | Softcache.Runner.Finished _ -> if ok then 0 else 2)
+      end
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a workload natively and under the SoftCache")
     Term.(const run $ workload_arg $ tcache_arg $ chunking_arg $ eviction_arg
           $ granularity_arg $ network_arg $ faults_arg $ audit_arg
           $ engine_arg $ prefetch_arg $ staging_arg $ chain_arg
-          $ superblock_arg $ trace_out_arg $ trace_format_arg
-          $ trace_limit_arg $ verbose_arg)
+          $ superblock_arg $ harts_arg $ shards_arg $ sched_seed_arg
+          $ trace_out_arg $ trace_format_arg $ trace_limit_arg $ verbose_arg)
 
 let profile_cmd =
   let run name =
@@ -676,13 +748,48 @@ let fleet_cmd =
     let doc = "Instruction budget per client." in
     Arg.(value & opt int 2_000_000 & info [ "fuel" ] ~docv:"N" ~doc)
   in
+  let workloads_arg =
+    let doc =
+      "Heterogeneous fleet: comma-separated workload names assigned \
+       round-robin to the clients (client $(i,i) runs the $(i,i) mod \
+       $(i,len)-th name). Overrides the positional workload."
+    in
+    Arg.(value & opt (some string) None
+         & info [ "workloads" ] ~docv:"W1,W2,..." ~doc)
+  in
+  let auto_size_arg =
+    let doc =
+      "Size each client's tcache by the analytic model: a profiling \
+       pre-run of its workload feeds $(b,Sizing.estimate), and a client \
+       configured below the predicted need is admitted at the predicted \
+       size instead. The summary reports predicted vs configured."
+    in
+    Arg.(value & flag & info [ "auto-size" ] ~doc)
+  in
   let run name clients fairness no_dedup no_batching cache_chunks quantum
-      fuel tcache chunking eviction granularity network faults audit verbose =
+      fuel tcache chunking eviction granularity harts shards sched_seed
+      workloads auto_size network faults audit verbose =
     setup_logs verbose;
-    match find_workload name with
+    let named =
+      match workloads with
+      | None -> Ok [ name ]
+      | Some s ->
+        Ok (List.filter (fun w -> w <> "") (String.split_on_char ',' s))
+    in
+    let resolve acc n =
+      match (acc, find_workload n) with
+      | (Error _ as e), _ -> e
+      | Ok _, Error e -> Error e
+      | Ok es, Ok e -> Ok (es @ [ e ])
+    in
+    match Result.bind named (List.fold_left resolve (Ok [])) with
     | Error e -> prerr_endline e; 1
-    | Ok entry -> (
-      let img = entry.build () in
+    | Ok [] -> prerr_endline "no workloads given"; 1
+    | Ok entries -> (
+      let images =
+        Array.of_list
+          (List.map (fun (e : Workloads.Registry.entry) -> e.build ()) entries)
+      in
       let net =
         match network with
         | `Local -> Netmodel.local ?faults ()
@@ -690,7 +797,31 @@ let fleet_cmd =
       in
       let mk_cfg _ =
         Softcache.Config.make ~tcache_bytes:tcache ~chunking ~eviction
-          ~granularity ~net ()
+          ~granularity ~harts ~shards ~sched_seed ~net ()
+      in
+      (* the analytic admission model: one profiling pre-run per distinct
+         image (memoized), then Sizing.estimate's predicted need *)
+      let sizing =
+        if not auto_size then None
+        else begin
+          let memo = Hashtbl.create 4 in
+          Some
+            (fun i ->
+              let img = images.(i mod Array.length images) in
+              match Hashtbl.find_opt memo img.Isa.Image.name with
+              | Some p -> p
+              | None ->
+                let prof, _ = Profiler.profile img in
+                let est =
+                  Softcache.Sizing.estimate ~image:img ~chunking
+                    ~samples_in:(fun ~lo ~hi ->
+                      Profiler.samples_in prof ~lo ~hi)
+                    ~sizes:[] ()
+                in
+                let p = Some est.Softcache.Sizing.predicted_bytes in
+                Hashtbl.replace memo img.Isa.Image.name p;
+                p)
+        end
       in
       match
         Fleet.config ~clients ~fairness ~dedup:(not no_dedup)
@@ -698,7 +829,7 @@ let fleet_cmd =
       with
       | exception Invalid_argument m -> prerr_endline m; 1
       | config ->
-        let fl = Fleet.create ~config ~net mk_cfg [| img |] in
+        let fl = Fleet.create ~config ?sizing ~net mk_cfg images in
         Fleet.run ~fuel fl;
         Fleet.print_summary fl;
         if audit then begin
@@ -720,8 +851,9 @@ let fleet_cmd =
        ~doc:"Simulate one MC serving N clients over a shared link")
     Term.(const run $ workload_arg $ clients_arg $ fairness_arg $ no_dedup_arg
           $ no_batching_arg $ cache_arg $ quantum_arg $ fuel_arg $ tcache_arg
-          $ chunking_arg $ eviction_arg $ granularity_arg $ network_arg
-          $ faults_arg $ audit_arg $ verbose_arg)
+          $ chunking_arg $ eviction_arg $ granularity_arg $ harts_arg
+          $ shards_arg $ sched_seed_arg $ workloads_arg $ auto_size_arg
+          $ network_arg $ faults_arg $ audit_arg $ verbose_arg)
 
 let trace_cmd =
   let out_arg =

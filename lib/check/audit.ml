@@ -54,18 +54,40 @@ let run (t : Controller.t) : violation list =
   let tc = t.tc in
   let blocks = Tcache.blocks tc in
   let base = Tcache.base tc in
-  let pb = Tcache.persist_base tc in
   let top = Tcache.top tc in
+  (* is [p] inside some shard's persistent stub area?  (the whole
+     region when unsharded — shard 0's [persist_base, top)) *)
+  let in_stub_area p =
+    p >= base && p < top
+    &&
+    let sh = Tcache.shard_of_paddr tc p in
+    let _, sh_top = Tcache.shard_bounds tc sh in
+    p >= Tcache.persist_base ~shard:sh tc && p < sh_top
+  in
   let by_paddr = Hashtbl.create 64 in
   List.iter (fun (b : Tcache.block) -> Hashtbl.replace by_paddr b.paddr b) blocks;
 
-  (* -- blocks sit inside the code area and never overlap ------------- *)
+  (* -- blocks sit inside their home shard's code area and never
+        overlap.  The home-shard routing is part of the invariant: a
+        block placed in the right byte range but the wrong arena means
+        the allocator and the policy's ?shard filtering disagree about
+        who owns it. *)
   List.iter
     (fun (b : Tcache.block) ->
       let lo, hi = block_range b in
-      if lo < base || hi > pb then
-        add "region" "block v=0x%x [0x%x,0x%x) outside code area [0x%x,0x%x)"
-          b.vaddr lo hi base pb)
+      if lo < base || hi > top then
+        add "region" "block v=0x%x [0x%x,0x%x) outside tcache [0x%x,0x%x)"
+          b.vaddr lo hi base top
+      else begin
+        let sh = Tcache.home_shard tc b.vaddr in
+        let sh_lo, _ = Tcache.shard_bounds tc sh in
+        let sh_pb = Tcache.persist_base ~shard:sh tc in
+        if lo < sh_lo || hi > sh_pb then
+          add "region"
+            "block v=0x%x [0x%x,0x%x) outside its home shard %d code area \
+             [0x%x,0x%x)"
+            b.vaddr lo hi sh sh_lo sh_pb
+      end)
     blocks;
   let sorted =
     List.sort
@@ -103,6 +125,13 @@ let run (t : Controller.t) : violation list =
       if not (Tcache.is_alive tc id) then
         add "pinned" "pinned id=%d is not resident" id)
     (Tcache.pinned_ids tc);
+
+  (* -- leased ids name resident blocks ------------------------------ *)
+  List.iter
+    (fun id ->
+      if not (Tcache.is_alive tc id) then
+        add "leased" "leased id=%d is not resident" id)
+    (Tcache.leased_ids tc);
 
   (* -- every recorded incoming pointer decodes sensibly ------------- *)
   List.iter
@@ -264,7 +293,7 @@ let run (t : Controller.t) : violation list =
   (* -- persistent return stubs -------------------------------------- *)
   Hashtbl.iter
     (fun rv (paddr, k) ->
-      if paddr < pb || paddr >= top then
+      if not (in_stub_area paddr) then
         add "ret-stub" "return stub for v=0x%x at 0x%x outside stub area"
           rv paddr;
       (if k < 0 || k >= t.nstubs then
@@ -311,7 +340,7 @@ let run (t : Controller.t) : violation list =
      the wild-branch bug this section exists to catch. *)
   Hashtbl.iter
     (fun fv (paddr, k) ->
-      if paddr < pb || paddr >= top then
+      if not (in_stub_area paddr) then
         add "plt" "slot for v=0x%x at 0x%x outside stub area" fv paddr;
       (if k < 0 || k >= t.nstubs then
          add "plt" "slot for v=0x%x has bad stub index %d" fv k
@@ -636,7 +665,13 @@ let run (t : Controller.t) : violation list =
   (match t.tracer with
   | None -> ()
   | Some tr ->
-    if not (Trace.conserved tr ~total:t.cpu.cycles) then begin
+    (* with harts attached the tracer's clock hops between per-hart
+       cycle counters, so the single-counter conservation law does not
+       apply — the per-hart ledger in [shards] replaces it *)
+    if
+      Array.length t.harts = 0
+      && not (Trace.conserved tr ~total:t.cpu.cycles)
+    then begin
       let s = Trace.summary tr in
       add "trace"
         "attribution does not conserve: categories sum to %d, cpu.cycles=%d"
@@ -666,6 +701,179 @@ let install (t : Controller.t) =
 
 let install_if_configured (t : Controller.t) =
   if t.cfg.audit then Some (install t) else None
+
+(* ---- multi-hart (sharded CC) invariants ---------------------------
+
+   On top of the full per-controller audit, the shard layer's own
+   books: the fill state machine (single-owner fills, nothing in
+   flight at a quiescent point), the suspension-lease discipline
+   (every parked hart's lease covers the block its pc sits in, and the
+   tcache's lease counts are exactly the sum of hart leases), and the
+   per-hart cycle ledger (run + fill-wait + mc-wait = the hart's cycle
+   counter — the multi-hart replacement for the solo trace
+   conservation law). *)
+
+let shards (s : Shard.t) : violation list =
+  let viols = ref [] in
+  let add invariant fmt =
+    Format.kasprintf
+      (fun detail -> viols := { invariant; detail } :: !viols)
+      fmt
+  in
+  let c = Shard.controller s in
+  let tc = c.tc in
+  let blocks = Tcache.blocks tc in
+  let harts = Shard.harts s in
+  let n = List.length harts in
+
+  (* -- no two resident blocks map the same backing chunk ------------ *)
+  let seen_v = Hashtbl.create 64 in
+  List.iter
+    (fun (b : Tcache.block) ->
+      (match Hashtbl.find_opt seen_v b.vaddr with
+      | Some id ->
+        add "shard-unique"
+          "chunk v=0x%x resident twice (block ids %d and %d)" b.vaddr id
+          b.id
+      | None -> ());
+      Hashtbl.replace seen_v b.vaddr b.id)
+    blocks;
+
+  (* -- fill state machine: single owners, quiescent in-flight set --- *)
+  List.iter
+    (fun (f : Shard.fill) ->
+      if f.f_owner < 0 || f.f_owner >= n then
+        add "shard-fill" "fill for v=0x%x owned by out-of-range hart %d"
+          f.f_vaddr f.f_owner;
+      match f.f_state with
+      | Shard.Resident ->
+        if f.f_done = max_int then
+          add "shard-fill" "resident fill for v=0x%x has no completion stamp"
+            f.f_vaddr
+      | Shard.Requested | Shard.Filling ->
+        if f.f_done <> max_int then
+          add "shard-fill" "in-flight fill for v=0x%x carries stamp %d"
+            f.f_vaddr f.f_done)
+    (Shard.fills s);
+  List.iter
+    (fun (f : Shard.fill) ->
+      add "shard-fill" "fill for v=0x%x still %s at a quiescent point"
+        f.f_vaddr
+        (Shard.state_name f.f_state))
+    (Shard.in_flight s);
+
+  (* -- lease discipline --------------------------------------------- *)
+  let block_of pc =
+    List.find_opt
+      (fun (b : Tcache.block) ->
+        pc >= b.paddr && pc < b.paddr + (4 * b.words))
+      blocks
+  in
+  List.iter
+    (fun (h : Shard.hart) ->
+      match h.h_lease with
+      | Some b ->
+        if h.h_cpu.halted then
+          add "shard-lease" "halted hart %d still holds a lease on id=%d"
+            h.h_id b.id;
+        if not (Tcache.is_alive tc b.id) then
+          add "shard-lease" "hart %d leases dead block id=%d" h.h_id b.id
+        else begin
+          if Tcache.lease_count tc b.id < 1 then
+            add "shard-lease"
+              "hart %d's lease on id=%d is not counted by the tcache"
+              h.h_id b.id;
+          if not (h.h_cpu.pc >= b.paddr && h.h_cpu.pc < b.paddr + (4 * b.words))
+          then
+            add "shard-lease"
+              "hart %d parked at 0x%x outside its leased block id=%d" h.h_id
+              h.h_cpu.pc b.id
+        end
+      | None ->
+        if (not h.h_cpu.halted) && block_of h.h_cpu.pc <> None then
+          add "shard-lease"
+            "hart %d parked at 0x%x inside a resident block without a lease"
+            h.h_id h.h_cpu.pc)
+    harts;
+  (* conservation: the tcache's per-block lease counts are exactly the
+     hart leases, block by block *)
+  let hart_leases = Hashtbl.create 8 in
+  List.iter
+    (fun (h : Shard.hart) ->
+      match h.h_lease with
+      | Some b ->
+        Hashtbl.replace hart_leases b.Tcache.id
+          (1
+          + Option.value ~default:0 (Hashtbl.find_opt hart_leases b.Tcache.id))
+      | None -> ())
+    harts;
+  List.iter
+    (fun (b : Tcache.block) ->
+      let want = Option.value ~default:0 (Hashtbl.find_opt hart_leases b.id) in
+      let got = Tcache.lease_count tc b.id in
+      if got <> want then
+        add "shard-lease" "block id=%d holds %d lease(s), harts account for %d"
+          b.id got want)
+    blocks;
+  List.iter
+    (fun id ->
+      if not (Hashtbl.mem hart_leases id) then
+        add "shard-lease" "leased id=%d is not held by any hart" id)
+    (Tcache.leased_ids tc);
+
+  (* -- per-hart cycle ledger ----------------------------------------- *)
+  List.iter
+    (fun (h : Shard.hart) ->
+      if h.h_run < 0 || h.h_wait_fill < 0 || h.h_wait_mc < 0 then
+        add "shard-ledger" "hart %d has a negative ledger entry (%d/%d/%d)"
+          h.h_id h.h_run h.h_wait_fill h.h_wait_mc;
+      let sum = h.h_run + h.h_wait_fill + h.h_wait_mc in
+      if sum <> h.h_cpu.cycles then
+        add "shard-ledger"
+          "hart %d ledger run=%d + fill-wait=%d + mc-wait=%d = %d <> cycles=%d"
+          h.h_id h.h_run h.h_wait_fill h.h_wait_mc sum h.h_cpu.cycles)
+    harts;
+  (* the aggregate statistics are the exact sums of the hart ledgers *)
+  let sum get = List.fold_left (fun a h -> a + get h) 0 harts in
+  let check_sum name stat get =
+    let s = sum get in
+    if stat <> s then
+      add "shard-ledger" "stats.%s=%d but hart ledgers sum to %d" name stat s
+  in
+  check_sum "fills" c.stats.fills (fun (h : Shard.hart) -> h.h_fills);
+  check_sum "fills_coalesced" c.stats.fills_coalesced (fun h -> h.h_joins);
+  check_sum "fill_wait_cycles" c.stats.fill_wait_cycles (fun h -> h.h_wait_fill);
+  check_sum "mc_wait_cycles" c.stats.mc_wait_cycles (fun h -> h.h_wait_mc);
+  let makespan =
+    List.fold_left (fun a (h : Shard.hart) -> max a h.h_cpu.cycles) 0 harts
+  in
+  if Shard.mc_free_at s > makespan then
+    add "shard-ledger" "mc busy until %d, past every hart clock (max %d)"
+      (Shard.mc_free_at s) makespan;
+
+  (* -- per-hart policy attribution ------------------------------------ *)
+  (let module P = (val c.policy : Softcache.Policy.S) in
+   let touches = P.hart_touches () in
+   List.iter
+     (fun (hart, cnt) ->
+       if hart < 0 || hart >= n then
+         add "shard-policy" "policy '%s' recorded touches for bad hart %d"
+           P.name hart;
+       if cnt <= 0 then
+         add "shard-policy" "policy '%s' records %d touches for hart %d"
+           P.name cnt hart)
+     touches;
+   let total = List.fold_left (fun a (_, k) -> a + k) 0 touches in
+   if total > c.stats.traps then
+     add "shard-policy"
+       "policy '%s' hart touches sum to %d, more than %d traps dispatched"
+       P.name total c.stats.traps);
+
+  (* plus the full per-controller audit of the shared cache *)
+  List.rev !viols @ run c
+
+let shards_exn s =
+  match shards s with [] -> () | vs -> raise (Audit_failure vs)
 
 (* ---- fleet-level invariants ---------------------------------------
 
@@ -727,27 +935,48 @@ let fleet (f : Fleet.t) : violation list =
     (fun s ->
       let c = Fleet.controller s in
       let id = Fleet.session_id s in
+      let img = Fleet.image s in
+      (* under mixed workloads the request log alone can't catch
+         cross-client leakage (two clients may legitimately request the
+         same vaddr); every cached chunk must also decode from *this*
+         client's text segment *)
       List.iter
         (fun (b : Tcache.block) ->
           if not (Fleet.requested s b.vaddr) then
             add "fleet-isolation"
               "client %d resident chunk 0x%x was never requested by it" id
-              b.vaddr)
+              b.vaddr;
+          if not (Isa.Image.contains_code img b.vaddr) then
+            add "fleet-isolation"
+              "client %d resident chunk 0x%x is outside its workload %s" id
+              b.vaddr img.Isa.Image.name)
         (Tcache.blocks c.tc);
       Hashtbl.iter
         (fun v (_ : Controller.staged) ->
           if not (Fleet.requested s v) then
             add "fleet-isolation"
-              "client %d staged chunk 0x%x was never requested by it" id v)
+              "client %d staged chunk 0x%x was never requested by it" id v;
+          if not (Isa.Image.contains_code img v) then
+            add "fleet-isolation"
+              "client %d staged chunk 0x%x is outside its workload %s" id v
+              img.Isa.Image.name)
         c.staging)
     sessions;
-  (* every session's own tcache invariants, prefixed per client *)
+  (* every session's own tcache invariants, prefixed per client; a
+     multi-hart session gets the full shard audit (which itself ends in
+     the per-controller [run]) *)
   Array.iter
     (fun s ->
       let id = Fleet.session_id s in
+      let vs =
+        match Fleet.shard s with
+        | Some sh -> shards sh
+        | None -> run (Fleet.controller s)
+      in
       List.iter
         (fun v ->
           add "fleet-session" "client %d: [%s] %s" id v.invariant v.detail)
-        (run (Fleet.controller s)))
+        vs)
     sessions;
   List.rev !viols
+

@@ -62,6 +62,26 @@ val fleet : Fleet.t -> violation list
     counters summing to the MC's); the shared link minted exactly one
     message per dispatched frame plus fault-injected duplicates (none
     for piggybacks or coalesced joins); no session holds — resident or
-    staged — a chunk it never requested; and every session passes the
-    full per-controller audit ({!run}), reported with a
-    ["fleet-session"] prefix. *)
+    staged — a chunk it never requested {e or that falls outside its
+    own workload's text segment} (the mixed-workload isolation check);
+    and every session passes the full per-controller audit ({!run}) —
+    or, for multi-hart sessions, the full {!shards} audit — reported
+    with a ["fleet-session"] prefix. *)
+
+val shards : Softcache.Shard.t -> violation list
+(** Audit a multi-hart (sharded) session at a quiescent point (between
+    {!Softcache.Shard.run} calls): no two resident blocks map the same
+    backing chunk; every fill has a single in-range owner, in-flight
+    fills carry no completion stamp and none remain in flight; the
+    suspension-lease discipline holds (every non-halted hart parked
+    inside a resident block holds exactly one lease on that block,
+    halted harts hold none, and the tcache's per-block lease counts
+    equal the per-hart leases block by block); every hart's cycle
+    ledger conserves ([h_run + h_wait_fill + h_wait_mc = cycles]) and
+    the aggregate fill statistics are the exact sums of the hart
+    ledgers; the policy's per-hart touch attribution names only real
+    harts. Includes the full per-controller audit ({!run}) of the
+    shared cache. *)
+
+val shards_exn : Softcache.Shard.t -> unit
+(** @raise Audit_failure if {!shards} reports anything. *)

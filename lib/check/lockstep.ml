@@ -231,12 +231,20 @@ let state_mismatch ?(labels = ("decoded", "interpretive"))
    [hash_range] restricts the final memory comparison — pass the data
    segment when the two sides legitimately hold different code bytes
    (e.g. chained vs unchained tcache contents). *)
-let drive_pair ?hash_range ~fuel ~ops ~labels ~compare_cycles
+let drive_pair ?hash_range ?step_a ~fuel ~ops ~labels ~compare_cycles
     (ca : Controller.t) (cb : Controller.t) : engine_verdict =
+  (* [step_a] lets side a advance through a different front end over
+     the same controller (the shard layer's scheduler loop); the
+     default is the plain controller step *)
+  let step_a =
+    match step_a with
+    | Some f -> f
+    | None -> fun () -> Controller.run ~fuel:1 ca
+  in
   let steps = ref 0 in
   let step_pair () =
     (* run returns immediately once halted, so over-stepping is safe *)
-    let oa = Controller.run ~fuel:1 ca in
+    let oa = step_a () in
     let ob = Controller.run ~fuel:1 cb in
     incr steps;
     (oa, ob)
@@ -436,6 +444,73 @@ let fleet ?cost ?(fuel = 2_000_000) ?(ops = []) ?(audit = false) mk_cfg img
     else if net_counters hosted <> net_counters solo then
       diverged "interconnect counters differ"
     else verdict
+
+(* 1-hart sharded CC vs the plain solo controller.
+
+   The multi-hart layer must be a strict generalisation too: with one
+   hart there is nobody to coalesce with or wait behind — the lone
+   hart holds no lease while controller code runs (leases live only
+   across suspensions, and nothing else runs during one), and its own
+   fills always complete before its next miss — so the shard-hosted
+   run must be *cycle*-identical to a plain [Controller] over the
+   same config, step for step. The fill state machine's own
+   bookkeeping ([Stats.fills] and friends) is the one legitimate
+   difference: the solo path bypasses it entirely. On top of the
+   drive, the lone hart must have been charged zero wait cycles, and
+   the final state must pass the full [Audit.shards] suite. *)
+let shards ?cost ?(fuel = 2_000_000) ?(ops = []) ?(audit = false) mk_cfg img
+    : engine_verdict =
+  let solo = Controller.create ?cost (mk_cfg ()) img in
+  let hcfg = { (mk_cfg ()) with Config.harts = 1 } in
+  let hosted = Controller.create ?cost hcfg img in
+  let sh = Shard.attach hosted in
+  if audit then ignore (Audit.install hosted);
+  let verdict =
+    drive_pair
+      ~step_a:(fun () -> Shard.run ~fuel:1 sh)
+      ~fuel ~ops ~labels:("sharded", "solo") ~compare_cycles:true hosted solo
+  in
+  match verdict with
+  | Engines_diverged _ | Engines_unavailable _ -> verdict
+  | Engines_equivalent { steps } | Engines_out_of_fuel { steps } ->
+    let diverged detail = Engines_diverged { step = steps; detail } in
+    let net_counters (c : Controller.t) =
+      let n = c.cfg.Config.net in
+      ( Netmodel.messages n,
+        Netmodel.payload_bytes n,
+        Netmodel.total_bytes n,
+        Netmodel.drops n,
+        Netmodel.corruptions n,
+        Netmodel.duplicates n,
+        Netmodel.delay_spikes n )
+    in
+    let neutral (s : Stats.t) =
+      {
+        s with
+        Stats.fills = 0;
+        fills_coalesced = 0;
+        fill_wait_cycles = 0;
+        mc_wait_cycles = 0;
+      }
+    in
+    let h = Shard.hart sh 0 in
+    if h.Shard.h_wait_fill <> 0 || h.Shard.h_wait_mc <> 0 || h.Shard.h_joins <> 0
+    then
+      diverged
+        (Printf.sprintf
+           "lone hart was charged waits: fill=%d mc=%d joins=%d"
+           h.Shard.h_wait_fill h.Shard.h_wait_mc h.Shard.h_joins)
+    else if neutral hosted.stats <> neutral solo.stats then
+      diverged
+        (Format.asprintf "stats differ: %a (sharded) vs %a (solo)" Stats.pp
+           hosted.stats Stats.pp solo.stats)
+    else if net_counters hosted <> net_counters solo then
+      diverged "interconnect counters differ"
+    else (
+      match Audit.shards sh with
+      | [] -> verdict
+      | v :: _ ->
+        diverged (Format.asprintf "shard audit: %a" Audit.pp_violation v))
 
 (* Chaining modes against the native reference.
 

@@ -150,6 +150,29 @@ val fleet :
     both sides at evenly spaced fuel slices; [audit] installs
     {!Audit.install} on the fleet-hosted side. *)
 
+val shards :
+  ?cost:Machine.Cost.t ->
+  ?fuel:int ->
+  ?ops:(Softcache.Controller.t -> unit) list ->
+  ?audit:bool ->
+  (unit -> Softcache.Config.t) ->
+  Isa.Image.t ->
+  engine_verdict
+(** [shards mk_cfg img] proves the multi-hart layer is a strict
+    generalisation of the solo path: a 1-hart {!Softcache.Shard}
+    session over [mk_cfg ()] is driven in instruction lockstep
+    against a plain [Softcache.Controller] over another [mk_cfg ()],
+    with cycle counts included in the per-step comparison. With one
+    hart, no lease is ever held while controller code runs and every
+    fill completes before the hart's next miss, so everything must
+    match: per-step architectural state, end-of-run statistics
+    (modulo the fill counters the solo path bypasses) and every
+    interconnect counter. The epilogue additionally requires the lone
+    hart's wait ledger to be zero and the final state to pass
+    {!Audit.shards}. [ops] are applied to both sides at evenly spaced
+    fuel slices; [audit] installs {!Audit.install} on the
+    shard-hosted side. *)
+
 (** {2 Chaining-mode equivalence}
 
     Chaining equivalence is observational, not step-wise: an unresolved

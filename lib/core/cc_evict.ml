@@ -42,13 +42,25 @@ let note_evicted t ~(reason : Policy.reason) (b : Tcache.block) =
          reason = Policy.reason_name reason;
        })
 
+(* Every CPU this controller is responsible for: the solo CPU, or all
+   harts of a multi-hart run. Stack scrubs, parked-pc redirects and
+   flush fix-ups must cover each one — every hart's private stack may
+   hold landing-pad addresses into the shared tcache. *)
+let cpus t =
+  if Array.length t.harts = 0 then [ t.cpu ] else Array.to_list t.harts
+
 (* Allocate (or reuse) the persistent return stub for a return target.
-   May evict blocks to grow the stub area; [on_evicted] handles them. *)
+   Routed to the return vaddr's home shard so persistent growth stays
+   within one arena. May evict blocks to grow the stub area;
+   [on_evicted] handles them. *)
 let rec persistent_ret_stub t ~on_evicted ret_vaddr =
   match Hashtbl.find_opt t.ret_stubs ret_vaddr with
   | Some (paddr, _) -> paddr
   | None -> (
-    match Tcache.alloc_persistent t.tc ~words:1 with
+    match
+      Tcache.alloc_persistent ~shard:(Tcache.home_shard t.tc ret_vaddr) t.tc
+        ~words:1
+    with
     | Error `Too_large -> raise Tcache_too_small
     | Ok (paddr, victims) ->
       on_evicted victims;
@@ -70,25 +82,31 @@ and scrub_stack t ~on_evicted padtbl =
     | Some ret_vaddr -> Some (persistent_ret_stub t ~on_evicted ret_vaddr)
     | None -> None
   in
-  (match fixup (Machine.Cpu.reg t.cpu Isa.Reg.ra) with
-  | Some p -> Machine.Cpu.set_reg t.cpu Isa.Reg.ra p
-  | None -> ());
-  let sp = Machine.Cpu.reg t.cpu Isa.Reg.sp in
   let scanned = ref 0 in
-  let scan_range lo hi =
-    let addr = ref (lo land lnot 3) in
-    while !addr + 4 <= hi do
-      incr scanned;
-      (match fixup (Machine.Memory.read32 t.cpu.mem !addr) with
-      | Some p -> write_word t !addr p
+  (* every hart's ra and private stack can hold a doomed landing pad;
+     stack words live in the hart's own memory, so the fixed-up word is
+     written back there (no mirroring — stacks are private data) *)
+  List.iter
+    (fun (cpu : Machine.Cpu.t) ->
+      (match fixup (Machine.Cpu.reg cpu Isa.Reg.ra) with
+      | Some p -> Machine.Cpu.set_reg cpu Isa.Reg.ra p
       | None -> ());
-      addr := !addr + 4
-    done
-  in
-  scan_range (max 0 sp) t.stack_top;
-  (* "any non-stack storage (e.g. thread control blocks) must be
-     registered with the runtime system" *)
-  List.iter (fun (lo, hi) -> scan_range lo hi) t.ra_regions;
+      let sp = Machine.Cpu.reg cpu Isa.Reg.sp in
+      let scan_range lo hi =
+        let addr = ref (lo land lnot 3) in
+        while !addr + 4 <= hi do
+          incr scanned;
+          (match fixup (Machine.Memory.read32 cpu.mem !addr) with
+          | Some p -> Machine.Memory.write32 cpu.mem !addr p
+          | None -> ());
+          addr := !addr + 4
+        done
+      in
+      scan_range (max 0 sp) t.stack_top;
+      (* "any non-stack storage (e.g. thread control blocks) must be
+         registered with the runtime system" *)
+      List.iter (fun (lo, hi) -> scan_range lo hi) t.ra_regions)
+    (cpus t);
   t.stats.scrubbed_words <- t.stats.scrubbed_words + !scanned;
   charge t Trace.Scrub (t.cfg.scrub_cycles_per_word * !scanned)
 
@@ -100,18 +118,22 @@ and debug_check_stale t victims =
         v >= b.paddr && v < b.paddr + (4 * b.words))
       victims
   in
-  let ra = Machine.Cpu.reg t.cpu Isa.Reg.ra in
-  if in_victim ra then
-    Printf.eprintf "STALE ra=0x%x after scrub! pc=0x%x\n%!" ra t.cpu.pc;
-  let sp = max 0 (Machine.Cpu.reg t.cpu Isa.Reg.sp land lnot 3) in
-  let addr = ref sp in
-  while !addr + 4 <= t.stack_top do
-    let v = Machine.Memory.read32 t.cpu.mem !addr in
-    if in_victim v then
-      Printf.eprintf "STALE stack[0x%x]=0x%x after scrub! pc=0x%x sp=0x%x\n%!"
-        !addr v t.cpu.pc sp;
-    addr := !addr + 4
-  done
+  List.iter
+    (fun (cpu : Machine.Cpu.t) ->
+      let ra = Machine.Cpu.reg cpu Isa.Reg.ra in
+      if in_victim ra then
+        Printf.eprintf "STALE ra=0x%x after scrub! pc=0x%x\n%!" ra cpu.pc;
+      let sp = max 0 (Machine.Cpu.reg cpu Isa.Reg.sp land lnot 3) in
+      let addr = ref sp in
+      while !addr + 4 <= t.stack_top do
+        let v = Machine.Memory.read32 cpu.mem !addr in
+        if in_victim v then
+          Printf.eprintf
+            "STALE stack[0x%x]=0x%x after scrub! pc=0x%x sp=0x%x\n%!" !addr v
+            cpu.pc sp;
+        addr := !addr + 4
+      done)
+    (cpus t)
 
 and revert_incoming t victims =
   (* unlink: revert every recorded incoming pointer whose own block
@@ -179,14 +201,18 @@ and process_evicted t ~reason_of victims =
     in
     if Hashtbl.length padtbl > 0 then
       scrub_stack t ~on_evicted:on_stub_growth padtbl;
-    (* if the CPU is parked inside a dead block (invalidate between
-       runs), park it on a persistent stub for its resume address *)
+    (* if a CPU is parked inside a dead block (invalidate between runs,
+       or a suspended hart whose lease a flush/invalidate overrode),
+       park it on a persistent stub for its resume address *)
     List.iter
       (fun (b : Tcache.block) ->
-        let pc = t.cpu.pc in
-        if pc >= b.paddr && pc < b.paddr + (4 * b.words) then
-          let rv = b.resume.((pc - b.paddr) asr 2) in
-          t.cpu.pc <- persistent_ret_stub t ~on_evicted:on_stub_growth rv)
+        List.iter
+          (fun (cpu : Machine.Cpu.t) ->
+            let pc = cpu.pc in
+            if pc >= b.paddr && pc < b.paddr + (4 * b.words) then
+              let rv = b.resume.((pc - b.paddr) asr 2) in
+              cpu.pc <- persistent_ret_stub t ~on_evicted:on_stub_growth rv)
+          (cpus t))
       victims;
     if Sys.getenv_opt "SOFTCACHE_DEBUG" <> None then
       debug_check_stale t victims;
@@ -203,7 +229,10 @@ let plt_slot t ~on_evicted fn_vaddr =
   match Hashtbl.find_opt t.plt fn_vaddr with
   | Some (paddr, _) -> paddr
   | None -> (
-    match Tcache.alloc_persistent t.tc ~words:1 with
+    match
+      Tcache.alloc_persistent ~shard:(Tcache.home_shard t.tc fn_vaddr) t.tc
+        ~words:1
+    with
     | Error `Too_large -> raise Tcache_too_small
     | Ok (paddr, victims) ->
       on_evicted victims;
@@ -225,39 +254,50 @@ let do_flush t =
       if not (Tcache.is_pinned t.tc b.id) then
         List.iter (fun (p, rv) -> Hashtbl.replace padtbl p rv) b.pads)
     (Tcache.blocks t.tc);
-  let ra_ref = Hashtbl.find_opt padtbl (Machine.Cpu.reg t.cpu Isa.Reg.ra) in
-  (* where must the CPU resume if it is parked in doomed code?
-     (persistent return stubs survive the flush, so a pc parked on one
-     needs no fixing) *)
-  let pc_resume =
-    let pc = t.cpu.pc in
-    let in_block =
-      List.find_opt
-        (fun (b : Tcache.block) ->
-          pc >= b.paddr && pc < b.paddr + (4 * b.words))
-        (Tcache.blocks t.tc)
-    in
-    match in_block with
-    | Some b -> Some b.resume.((pc - b.paddr) asr 2)
-    | None -> None
-  in
-  let stack_refs = ref [] in
-  let sp = max 0 (Machine.Cpu.reg t.cpu Isa.Reg.sp land lnot 3) in
+  (* per-CPU pre-flush captures: ra reference, parked-pc resume vaddr
+     (a flush overrides any read lease a suspended hart holds — the
+     writer takes every arena exclusively and the parked reader is
+     redirected through its resume address; persistent return stubs
+     survive the flush, so a pc parked on one needs no fixing), and
+     the stack slots holding doomed landing pads *)
   let scanned = ref 0 in
-  let scan_range lo hi =
-    let addr = ref (lo land lnot 3) in
-    while !addr + 4 <= hi do
-      incr scanned;
-      (match
-         Hashtbl.find_opt padtbl (Machine.Memory.read32 t.cpu.mem !addr)
-       with
-      | Some rv -> stack_refs := (!addr, rv) :: !stack_refs
-      | None -> ());
-      addr := !addr + 4
-    done
+  let captures =
+    List.map
+      (fun (cpu : Machine.Cpu.t) ->
+        let ra_ref =
+          Hashtbl.find_opt padtbl (Machine.Cpu.reg cpu Isa.Reg.ra)
+        in
+        let pc_resume =
+          let pc = cpu.pc in
+          let in_block =
+            List.find_opt
+              (fun (b : Tcache.block) ->
+                pc >= b.paddr && pc < b.paddr + (4 * b.words))
+              (Tcache.blocks t.tc)
+          in
+          match in_block with
+          | Some b -> Some b.resume.((pc - b.paddr) asr 2)
+          | None -> None
+        in
+        let stack_refs = ref [] in
+        let sp = max 0 (Machine.Cpu.reg cpu Isa.Reg.sp land lnot 3) in
+        let scan_range lo hi =
+          let addr = ref (lo land lnot 3) in
+          while !addr + 4 <= hi do
+            incr scanned;
+            (match
+               Hashtbl.find_opt padtbl (Machine.Memory.read32 cpu.mem !addr)
+             with
+            | Some rv -> stack_refs := (!addr, rv) :: !stack_refs
+            | None -> ());
+            addr := !addr + 4
+          done
+        in
+        scan_range sp t.stack_top;
+        List.iter (fun (lo, hi) -> scan_range lo hi) t.ra_regions;
+        (cpu, ra_ref, pc_resume, !stack_refs))
+      (cpus t)
   in
-  scan_range sp t.stack_top;
-  List.iter (fun (lo, hi) -> scan_range lo hi) t.ra_regions;
   t.stats.scrubbed_words <- t.stats.scrubbed_words + !scanned;
   charge t Trace.Scrub (t.cfg.scrub_cycles_per_word * !scanned);
   Log.debug (fun m ->
@@ -289,16 +329,21 @@ let do_flush t =
     (fun _fv (paddr, k) -> write_word t paddr (enc (Isa.Instr.Trap k)))
     t.plt;
   let no_evictions victims = assert (victims = []) in
-  (match ra_ref with
-  | Some rv ->
-    Machine.Cpu.set_reg t.cpu Isa.Reg.ra
-      (persistent_ret_stub t ~on_evicted:no_evictions rv)
-  | None -> ());
   List.iter
-    (fun (a, rv) ->
-      write_word t a (persistent_ret_stub t ~on_evicted:no_evictions rv))
-    !stack_refs;
-  (match pc_resume with
-  | Some rv -> t.cpu.pc <- persistent_ret_stub t ~on_evicted:no_evictions rv
-  | None -> ());
+    (fun ((cpu : Machine.Cpu.t), ra_ref, pc_resume, stack_refs) ->
+      (match ra_ref with
+      | Some rv ->
+        Machine.Cpu.set_reg cpu Isa.Reg.ra
+          (persistent_ret_stub t ~on_evicted:no_evictions rv)
+      | None -> ());
+      List.iter
+        (fun (a, rv) ->
+          Machine.Memory.write32 cpu.mem a
+            (persistent_ret_stub t ~on_evicted:no_evictions rv))
+        stack_refs;
+      match pc_resume with
+      | Some rv ->
+        cpu.pc <- persistent_ret_stub t ~on_evicted:no_evictions rv
+      | None -> ())
+    captures;
   emit_event t Flushed

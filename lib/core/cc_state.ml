@@ -26,7 +26,16 @@ type superblock = { sb_head : int; sb_members : int list }
 type t = {
   cfg : Config.t;
   image : Isa.Image.t;
-  cpu : Machine.Cpu.t;
+  mutable cpu : Machine.Cpu.t;
+      (* the CPU currently advancing under this controller. Solo runs
+         never reassign it; the shard layer points it at whichever hart
+         is scheduled, so cycle charges, stack scrubs and parked-pc
+         redirects all land on the active hart *)
+  mutable harts : Machine.Cpu.t array;
+      (* every hart sharing this controller ([||] in solo runs; set by
+         [Shard.attach]). Each hart owns a private memory whose tcache
+         region is kept byte-identical by [write_word] mirroring —
+         coherent shared code over private data *)
   tc : Tcache.t;
   stats : Stats.t;
   policy : Policy.t;
@@ -151,7 +160,22 @@ let charge t cat c =
   (match t.tracer with Some tr -> Trace.attribute tr cat c | None -> ());
   t.cpu.cycles <- t.cpu.cycles + c
 
-let write_word t addr w = Machine.Memory.write32 t.cpu.mem addr w
+(* Code writes into the tcache region are mirrored into every hart's
+   private memory (through [Memory.write32], so each hart's decode
+   cache invalidates): the simulated harts share the tcache coherently
+   while keeping data memory private. Writes outside the tcache region
+   (stack scrubs, program stores) touch only the active CPU. *)
+let write_word t addr w =
+  Machine.Memory.write32 t.cpu.mem addr w;
+  if
+    Array.length t.harts > 0
+    && addr >= t.cfg.tcache_base
+    && addr < t.cfg.tcache_base + t.cfg.tcache_bytes
+  then
+    Array.iter
+      (fun (h : Machine.Cpu.t) ->
+        if h != t.cpu then Machine.Memory.write32 h.mem addr w)
+      t.harts
 
 let add_stub t make =
   t.live_stubs <- t.live_stubs + 1;

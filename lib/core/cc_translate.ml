@@ -22,28 +22,30 @@ open Cc_state
    [t.alloc_guard] rounds. *)
 let alloc_evicting t ~vaddr ~words_needed =
   let module P = (val t.policy : Policy.S) in
+  let shard = Tcache.home_shard t.tc vaddr in
+  let sh_lo, sh_top = Tcache.shard_bounds t.tc shard in
   let rec alloc_loop guard =
     if guard = 0 then
       raise
         (Alloc_guard_exhausted
            {
              loops = t.alloc_guard;
-             base = Tcache.base t.tc;
-             persist_base = Tcache.persist_base t.tc;
-             top = Tcache.top t.tc;
+             base = sh_lo;
+             persist_base = Tcache.persist_base ~shard t.tc;
+             top = sh_top;
            })
     else begin
       let p, victims, chosen =
-        match Tcache.alloc_append t.tc ~words:words_needed with
+        match Tcache.alloc_append ~shard t.tc ~words:words_needed with
         | Ok p -> (p, [], None)
         | Error `Too_large -> raise (Chunk_too_large vaddr)
         | Error `Full -> (
-          let chosen = P.victim t.tc in
+          let chosen = P.victim ~shard t.tc in
           let placed =
             match chosen with
-            | None -> Tcache.alloc_fifo t.tc ~words:words_needed
+            | None -> Tcache.alloc_fifo ~shard t.tc ~words:words_needed
             | Some vb ->
-              Tcache.alloc_seeded t.tc ~seed:vb.Tcache.paddr
+              Tcache.alloc_seeded ~shard t.tc ~seed:vb.Tcache.paddr
                 ~words:words_needed
           in
           match placed with
@@ -73,7 +75,7 @@ let alloc_evicting t ~vaddr ~words_needed =
       Cc_evict.process_evicted t victims
         ~reason_of:(fun (b : Tcache.block) ->
           if b.id = primary then Policy.Victim else Policy.Collateral);
-      if p + (4 * words_needed) <= Tcache.persist_base t.tc then p
+      if p + (4 * words_needed) <= Tcache.persist_base ~shard t.tc then p
       else alloc_loop (guard - 1)
     end
   in
@@ -82,12 +84,13 @@ let alloc_evicting t ~vaddr ~words_needed =
 (* Flush-all never evicts single blocks: append until the region is
    exhausted, then flush everything and retry once. *)
 let alloc_flushing t ~vaddr ~words_needed =
-  match Tcache.alloc_append t.tc ~words:words_needed with
+  let shard = Tcache.home_shard t.tc vaddr in
+  match Tcache.alloc_append ~shard t.tc ~words:words_needed with
   | Ok p -> p
   | Error `Too_large -> raise (Chunk_too_large vaddr)
   | Error `Full -> (
     Cc_evict.do_flush t;
-    match Tcache.alloc_append t.tc ~words:words_needed with
+    match Tcache.alloc_append ~shard t.tc ~words:words_needed with
     | Ok p -> p
     | Error `Too_large -> raise (Chunk_too_large vaddr)
     | Error `Full ->

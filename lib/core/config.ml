@@ -52,6 +52,10 @@ type t = {
   chain : bool;
   superblock_threshold : int;
   granularity : granularity;
+  harts : int;
+  shards : int;
+  sched_seed : int;
+  quantum : int;
 }
 
 let make ?(tcache_bytes = 48 * 1024) ?(tcache_base = 0x10000)
@@ -62,7 +66,8 @@ let make ?(tcache_bytes = 48 * 1024) ?(tcache_base = 0x10000)
     ?(retry_backoff_cycles = 64) ?(timeout_cycles = 1000) ?(audit = false)
     ?(engine = Machine.Cpu.Decoded) ?(prefetch_degree = 0)
     ?(staging_chunks = 8) ?(trace_limit = 65536) ?(chain = false)
-    ?(superblock_threshold = 0) ?(granularity = Block) () =
+    ?(superblock_threshold = 0) ?(granularity = Block) ?(harts = 1)
+    ?(shards = 1) ?(sched_seed = 1) ?(quantum = 64) () =
   let net = match net with Some n -> n | None -> Netmodel.local () in
   if tcache_bytes < 64 then invalid_arg "Config.make: tcache too small";
   if tcache_base land 3 <> 0 then invalid_arg "Config.make: unaligned base";
@@ -81,6 +86,15 @@ let make ?(tcache_bytes = 48 * 1024) ?(tcache_base = 0x10000)
     invalid_arg
       "Config.make: function granularity subsumes procedure chunking; use \
        basic-block chunking";
+  if harts < 1 then invalid_arg "Config.make: harts must be >= 1";
+  if shards < 1 then invalid_arg "Config.make: shards must be >= 1";
+  if shards > 1 && tcache_bytes < 16 * shards then
+    invalid_arg "Config.make: tcache too small for that many shards";
+  if shards > 1 && superblock_threshold > 0 then
+    invalid_arg
+      "Config.make: superblock group reservations are contiguous and break \
+       home-shard routing; use shards=1 or superblock_threshold=0";
+  if quantum < 1 then invalid_arg "Config.make: quantum must be >= 1";
   {
     tcache_bytes;
     tcache_base;
@@ -104,6 +118,10 @@ let make ?(tcache_bytes = 48 * 1024) ?(tcache_base = 0x10000)
     chain;
     superblock_threshold;
     granularity;
+    harts;
+    shards;
+    sched_seed;
+    quantum;
   }
 
 let sparc_prototype ?tcache_bytes () =
@@ -130,4 +148,6 @@ let pp ppf t =
          Printf.sprintf " + superblocks (threshold %d)" t.superblock_threshold
        else "");
   if t.granularity = Function then
-    Format.fprintf ppf ", function granularity (PLT)"
+    Format.fprintf ppf ", function granularity (PLT)";
+  if t.harts > 1 then Format.fprintf ppf ", %d harts" t.harts;
+  if t.shards > 1 then Format.fprintf ppf ", %d shards" t.shards

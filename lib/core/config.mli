@@ -138,6 +138,25 @@ type t = {
           [Function] caches whole functions behind a PLT-style
           indirection table (see {!granularity}). Incompatible with
           [Procedure] chunking — function mode already subsumes it *)
+  harts : int;
+      (** CPU hart contexts sharing this controller's tcache (default
+          1 = the solo single-threaded CC of the paper). With more, the
+          run is driven by the shard layer ([Softcache.Shard]): a
+          deterministic seeded scheduler interleaves the harts, misses
+          go through the explicit fill state machine, and duplicate
+          misses coalesce onto in-flight fills *)
+  shards : int;
+      (** tcache arenas (default 1 = one shared arena). [K > 1]
+          partitions the tcache into K arenas with deterministic
+          home-shard chunk routing and a global (cross-shard) lookup
+          map. Incompatible with superblock formation, whose contiguous
+          group reservations would break home-shard routing *)
+  sched_seed : int;
+      (** seed of the deterministic hart-interleaving scheduler; the
+          same seed replays the same interleaving byte-identically *)
+  quantum : int;
+      (** scheduler quantum: cycles a hart may advance before the
+          scheduler re-picks (smaller = finer interleaving) *)
 }
 
 val make :
@@ -163,6 +182,10 @@ val make :
   ?chain:bool ->
   ?superblock_threshold:int ->
   ?granularity:granularity ->
+  ?harts:int ->
+  ?shards:int ->
+  ?sched_seed:int ->
+  ?quantum:int ->
   unit ->
   t
 (** Defaults: 48 KiB tcache at [0x10000], basic-block chunking, FIFO
@@ -170,11 +193,13 @@ val make :
     scrub 2/word, local (SPARC-style) interconnect, 8 retries with a
     64-cycle backoff base and a 1000-cycle drop timeout, audit off,
     decoded dispatch, prefetch off with an 8-chunk staging buffer, a
-    65536-event trace ring, chaining/superblocks off, and block
-    granularity.
+    65536-event trace ring, chaining/superblocks off, block
+    granularity, one hart, one shard, scheduler seed 1 with a 64-cycle
+    quantum.
     @raise Invalid_argument on out-of-range values (including
     [trace_limit <= 0], [superblock_threshold > 0] without [chain],
-    and [Function] granularity combined with [Procedure] chunking). *)
+    [Function] granularity combined with [Procedure] chunking, and
+    [shards > 1] combined with superblock formation). *)
 
 val sparc_prototype : ?tcache_bytes:int -> unit -> t
 (** Basic-block chunking, local MC (no network), FIFO eviction. *)

@@ -27,7 +27,8 @@ type superblock = Cc_state.superblock = {
 type t = Cc_state.t = {
   cfg : Config.t;
   image : Isa.Image.t;
-  cpu : Machine.Cpu.t;
+  mutable cpu : Machine.Cpu.t;
+  mutable harts : Machine.Cpu.t array;
   tc : Tcache.t;
   stats : Stats.t;
   policy : Policy.t;
@@ -92,7 +93,10 @@ let create ?cost ?(mem_bytes = 8 * 1024 * 1024) (cfg : Config.t) image =
       cfg;
       image;
       cpu;
-      tc = Tcache.create ~base:cfg.tcache_base ~bytes:cfg.tcache_bytes;
+      harts = [||];
+      tc =
+        Tcache.create_sharded ~shards:cfg.shards ~base:cfg.tcache_base
+          ~bytes:cfg.tcache_bytes;
       stats = Stats.create ();
       policy = Policy.create cfg.eviction;
       install_cycle = Hashtbl.create 256;

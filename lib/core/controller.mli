@@ -65,7 +65,15 @@ type superblock = Cc_state.superblock = {
 type t = Cc_state.t = {
   cfg : Config.t;
   image : Isa.Image.t;
-  cpu : Machine.Cpu.t;
+  mutable cpu : Machine.Cpu.t;
+      (** the CPU currently advancing under this controller. Solo runs
+          never reassign it; the multi-hart shard layer points it at
+          the scheduled hart so cycle charges, stack scrubs and
+          parked-pc redirects land on the active hart *)
+  mutable harts : Machine.Cpu.t array;
+      (** every hart sharing this controller ([[||]] in solo runs; set
+          by [Shard.attach]). Tcache-region code writes are mirrored
+          byte-identically into each hart's private memory *)
   tc : Tcache.t;
   stats : Stats.t;
   policy : Policy.t;

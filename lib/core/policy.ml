@@ -24,12 +24,14 @@ module type S = sig
   val set_temperature_oracle : (lo:int -> hi:int -> temperature) option -> unit
   val on_install : Tcache.block -> unit
   val on_entry : Tcache.block -> unit
+  val on_hart_entry : hart:int -> Tcache.block -> unit
   val on_evict : reason -> Tcache.block -> unit
   val on_flush : unit -> unit
   val on_superblock : int -> Tcache.block list -> unit
   val on_superblock_evict : int -> unit
-  val victim : Tcache.t -> Tcache.block option
+  val victim : ?shard:int -> Tcache.t -> Tcache.block option
   val resident_ids : unit -> int list
+  val hart_touches : unit -> (int * int) list
   val debug_state : unit -> string
 end
 
@@ -41,16 +43,44 @@ type t = (module S)
 
 let ids_of tbl = Hashtbl.fold (fun id _ acc -> id :: acc) tbl []
 
+(* Per-hart touch bookkeeping, shared by every policy: the multi-hart
+   controller announces which hart produced each observable entry, and
+   the policy keeps a per-hart counter the shard audit (and
+   debug_state) can read back. Purely observational — no eviction
+   decision consults it, so solo decision streams are untouched. *)
+let hart_counter () =
+  let tbl : (int, int) Hashtbl.t = Hashtbl.create 4 in
+  let touch ~hart (_ : Tcache.block) =
+    Hashtbl.replace tbl hart
+      (1 + Option.value ~default:0 (Hashtbl.find_opt tbl hart))
+  in
+  let dump () =
+    List.sort compare (Hashtbl.fold (fun h n acc -> (h, n) :: acc) tbl [])
+  in
+  (touch, dump)
+
+(* A block is a legal victim only if nothing makes it immovable (pins
+   and read leases both do) and, under a sharded tcache, it lives in
+   the arena the allocation is headed for. *)
+let eligible ?shard tc id (b : Tcache.block) =
+  (not (Tcache.is_pinned tc id))
+  && (not (Tcache.is_leased tc id))
+  &&
+  match shard with
+  | None -> true
+  | Some s -> Tcache.shard_of_paddr tc b.paddr = s
+
 (* [victim] scans the policy's own table, not the tcache: both views
    are audited equal, and the scan is O(resident blocks) — the same
-   order the allocation sweep already pays. Pinned blocks are skipped;
-   ties break on the smaller key, and exact key ties on the smaller
-   block id — never on Hashtbl.fold visit order, which depends on
-   table history rather than on any stable property of the blocks. *)
-let pick_min tbl ~key tc =
+   order the allocation sweep already pays. Pinned and leased blocks
+   are skipped; ties break on the smaller key, and exact key ties on
+   the smaller block id — never on Hashtbl.fold visit order, which
+   depends on table history rather than on any stable property of the
+   blocks. *)
+let pick_min ?shard tbl ~key tc =
   Hashtbl.fold
     (fun id (b, m) best ->
-      if Tcache.is_pinned tc id then best
+      if not (eligible ?shard tc id b) then best
       else
         let k = key m in
         match best with
@@ -75,12 +105,12 @@ let pick_min tbl ~key tc =
    evict collateral neighbours and spill landing pads into persistent
    stubs. A policy therefore returns a victim only when the sweep is
    about to kill a block with a recent observed entry. *)
-let sweep_candidate tbl tc =
-  let ptr = Tcache.alloc_ptr tc in
+let sweep_candidate ?shard tbl tc =
+  let ptr = Tcache.alloc_ptr ?shard tc in
   let ahead, wrapped =
     Hashtbl.fold
       (fun id ((b : Tcache.block), m) (ahead, wrapped) ->
-        if Tcache.is_pinned tc id then (ahead, wrapped)
+        if not (eligible ?shard tc id b) then (ahead, wrapped)
         else
           let ends = b.paddr + (4 * b.words) in
           let better best =
@@ -105,11 +135,12 @@ let fifo_like name kind : t =
     let tbl : (int, Tcache.block * unit) Hashtbl.t = Hashtbl.create 64
     let on_install (b : Tcache.block) = Hashtbl.replace tbl b.id (b, ())
     let on_entry _ = ()
+    let on_hart_entry, hart_touches = hart_counter ()
     let on_evict _ (b : Tcache.block) = Hashtbl.remove tbl b.id
     let on_flush () = ()
     let on_superblock _ _ = ()
     let on_superblock_evict _ = ()
-    let victim _ = None
+    let victim ?shard:_ _ = None
     let resident_ids () = ids_of tbl
 
     let debug_state () =
@@ -150,6 +181,7 @@ let lru () : t =
         m.entered <- Some m.stamp
       | None -> ()
 
+    let on_hart_entry, hart_touches = hart_counter ()
     let on_evict _ (b : Tcache.block) = Hashtbl.remove tbl b.id
     let on_flush () = ()
     let on_superblock _ _ = ()
@@ -167,13 +199,13 @@ let lru () : t =
       | Some e -> !clock - e <= window ()
       | None -> false
 
-    let victim tc =
-      match sweep_candidate tbl tc with
+    let victim ?shard tc =
+      match sweep_candidate ?shard tbl tc with
       | None -> None
       | Some (sb, sm) ->
         if not (fresh sm) then None
         else
-          let lru = pick_min tbl ~key:(fun m -> m.stamp) tc in
+          let lru = pick_min ?shard tbl ~key:(fun m -> m.stamp) tc in
           (match lru with
           | Some b when b.Tcache.id <> sb.Tcache.id -> Some b
           | Some _ | None -> None)
@@ -234,6 +266,7 @@ let rrip () : t =
         m.last_entry <- Some (tick ())
       | None -> ()
 
+    let on_hart_entry, hart_touches = hart_counter ()
     let on_evict _ (b : Tcache.block) = Hashtbl.remove tbl b.id
     let on_flush () = ()
     let on_superblock _ _ = ()
@@ -247,8 +280,8 @@ let rrip () : t =
       | Some _ -> 3
       | None -> 3
 
-    let victim tc =
-      match sweep_candidate tbl tc with
+    let victim ?shard tc =
+      match sweep_candidate ?shard tbl tc with
       | None -> None
       | Some (sb, sm) ->
         if effective sm >= 3 then None
@@ -259,7 +292,7 @@ let rrip () : t =
              evicting anything with expected reuse just teleports the
              pointer for no benefit *)
           let distant =
-            pick_min tbl ~key:(fun m -> (-effective m, m.seq)) tc
+            pick_min ?shard tbl ~key:(fun m -> (-effective m, m.seq)) tc
           in
           (match distant with
           | Some b when b.Tcache.id <> sb.Tcache.id -> (
@@ -338,6 +371,7 @@ let trrip () : t =
         m.t_last_entry <- Some (tick ())
       | None -> ()
 
+    let on_hart_entry, hart_touches = hart_counter ()
     let on_evict _ (b : Tcache.block) = Hashtbl.remove tbl b.id
     let on_flush () = ()
     let on_superblock _ _ = ()
@@ -351,8 +385,8 @@ let trrip () : t =
       | Some e when !clock - e <= window () -> m.t_rrpv
       | Some _ | None -> m.t_prior
 
-    let victim tc =
-      match sweep_candidate tbl tc with
+    let victim ?shard tc =
+      match sweep_candidate ?shard tbl tc with
       | None -> None
       | Some (sb, sm) ->
         if effective sm >= 3 then None
@@ -364,7 +398,7 @@ let trrip () : t =
              ({0,3}) and "strictly colder than a protected candidate"
              is exactly rrip's "fully distant" condition. *)
           let distant =
-            pick_min tbl ~key:(fun m -> (-effective m, m.t_seq)) tc
+            pick_min ?shard tbl ~key:(fun m -> (-effective m, m.t_seq)) tc
           in
           (match distant with
           | Some b when b.Tcache.id <> sb.Tcache.id -> (

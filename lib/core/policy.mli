@@ -78,6 +78,13 @@ module type S = sig
   val on_entry : Tcache.block -> unit
   (** Control observably entered a resident block (hit). *)
 
+  val on_hart_entry : hart:int -> Tcache.block -> unit
+  (** Multi-hart attribution of an observable entry: hart [hart]
+      entered the block. Fired by the shard layer alongside the
+      controller's own [on_entry]; purely observational — no eviction
+      decision may consult it (solo and 1-hart decision streams must
+      stay identical). *)
+
   val on_evict : reason -> Tcache.block -> unit
   (** The block left the tcache. Fired on every removal path,
       including flushes (once per unpinned former resident). *)
@@ -96,14 +103,20 @@ module type S = sig
       member's own [on_evict] fires separately; surviving members stay
       resident as independent blocks). *)
 
-  val victim : Tcache.t -> Tcache.block option
+  val victim : ?shard:int -> Tcache.t -> Tcache.block option
   (** Which resident block should the allocator reclaim first? [None]
       = no preference, continue the FIFO sweep. Must be pure and must
-      never name a pinned block. *)
+      never name a pinned or leased block. Under a sharded tcache the
+      allocator passes the arena it is placing into and the victim
+      must live there; without [shard] every arena is considered. *)
 
   val resident_ids : unit -> int list
   (** The policy's view of residency, unordered — audited against the
       tcache's own block set. *)
+
+  val hart_touches : unit -> (int * int) list
+  (** Per-hart observable-entry counts [(hart, touches)], ascending by
+      hart — the read-back of {!on_hart_entry}. Empty in solo runs. *)
 
   val debug_state : unit -> string
   (** One-line dump of the policy's internal state (stamps, RRPVs) for
@@ -123,19 +136,22 @@ val create : Config.eviction -> t
     [Hashtbl.fold]'s visit order (which depends on insertion history). *)
 
 val pick_min :
+  ?shard:int ->
   (int, Tcache.block * 'm) Hashtbl.t ->
   key:('m -> 'k) ->
   Tcache.t ->
   Tcache.block option
-(** Unpinned resident with the smallest key ([compare] order); exact
-    key ties break on the smaller block id. [None] if every resident
-    is pinned (or the table is empty). *)
+(** Unpinned, unleased resident with the smallest key ([compare]
+    order); exact key ties break on the smaller block id. [None] if
+    every resident is immovable (or the table is empty). [shard]
+    restricts candidates to one arena of a sharded tcache. *)
 
 val sweep_candidate :
+  ?shard:int ->
   (int, Tcache.block * 'm) Hashtbl.t ->
   Tcache.t ->
   (Tcache.block * 'm) option
-(** The block the circular FIFO allocation sweep would reclaim next:
-    the lowest-placed unpinned block whose extent ends past the sweep
-    pointer, else (wrapped) the lowest-placed unpinned block overall;
-    placement ties break on the smaller block id. *)
+(** The block the shard's circular FIFO allocation sweep would reclaim
+    next: the lowest-placed unpinned, unleased block whose extent ends
+    past the sweep pointer, else (wrapped) the lowest-placed such
+    block overall; placement ties break on the smaller block id. *)

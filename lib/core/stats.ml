@@ -45,6 +45,10 @@ type t = {
   mutable evicted_stub_growth : int;
   mutable evicted_invalidated : int;
   mutable evicted_flushed : int;
+  mutable fills : int;
+  mutable fills_coalesced : int;
+  mutable fill_wait_cycles : int;
+  mutable mc_wait_cycles : int;
   victim_age_hist : int array;
 }
 
@@ -93,6 +97,10 @@ let create () =
     evicted_stub_growth = 0;
     evicted_invalidated = 0;
     evicted_flushed = 0;
+    fills = 0;
+    fills_coalesced = 0;
+    fill_wait_cycles = 0;
+    mc_wait_cycles = 0;
     victim_age_hist = Array.make age_buckets 0;
   }
 
@@ -140,6 +148,10 @@ let reset t =
   t.evicted_stub_growth <- 0;
   t.evicted_invalidated <- 0;
   t.evicted_flushed <- 0;
+  t.fills <- 0;
+  t.fills_coalesced <- 0;
+  t.fill_wait_cycles <- 0;
+  t.mc_wait_cycles <- 0;
   Array.fill t.victim_age_hist 0 age_buckets 0
 
 let miss_rate t ~retired =
@@ -225,4 +237,8 @@ let pp ppf t =
       "@.policy: entries=%d, evicted victim=%d collateral=%d stub-growth=%d \
        invalidated=%d flushed=%d"
       t.policy_entries t.evicted_victim t.evicted_collateral
-      t.evicted_stub_growth t.evicted_invalidated t.evicted_flushed
+      t.evicted_stub_growth t.evicted_invalidated t.evicted_flushed;
+  if t.fills > 0 then
+    Format.fprintf ppf
+      "@.harts: fills=%d, coalesced=%d, fill-wait=%d, mc-wait=%d" t.fills
+      t.fills_coalesced t.fill_wait_cycles t.mc_wait_cycles

@@ -97,6 +97,18 @@ type t = {
       (** blocks run over by the growing persistent-stub area *)
   mutable evicted_invalidated : int;  (** [Controller.invalidate] range hits *)
   mutable evicted_flushed : int;  (** unpinned residents of a flush *)
+  mutable fills : int;
+      (** multi-hart fill-state-machine activations: misses that owned
+          a wire fetch ([Absent -> Requested -> Filling -> Resident]);
+          0 in solo runs, where the fill machinery is bypassed *)
+  mutable fills_coalesced : int;
+      (** duplicate misses from other harts that joined an in-flight
+          fill instead of re-requesting over the wire *)
+  mutable fill_wait_cycles : int;
+      (** cycles harts spent suspended on fills owned by other harts *)
+  mutable mc_wait_cycles : int;
+      (** cycles harts spent waiting for the shared MC link to free up
+          before issuing their own fill *)
   victim_age_hist : int array;
       (** log2-bucketed cycles-resident-at-eviction; use
           [record_victim_age] / [victim_ages], not the raw array *)

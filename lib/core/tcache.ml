@@ -12,31 +12,80 @@ type block = {
   stubs : int list; (* stub-table entries owned by this block *)
 }
 
-type t = {
-  base : int;
-  top : int;  (* one past the region *)
-  mutable alloc_ptr : int;  (* next candidate placement *)
-  mutable persist_base : int;  (* persistent stubs occupy [persist_base, top) *)
-  by_vaddr : (int, block) Hashtbl.t;
-  by_id : (int, block) Hashtbl.t;
-  pinned : (int, unit) Hashtbl.t;  (* block ids exempt from eviction *)
+(* One allocation arena. The unsharded tcache is a single region
+   spanning the whole [base, top) range; [--shards K] partitions the
+   range into K equal regions, each with its own circular sweep pointer
+   and its own persistent-stub area growing down from its top. *)
+type region = {
+  r_lo : int;
+  r_top : int;  (* one past the region *)
+  mutable r_alloc_ptr : int;  (* next candidate placement *)
+  mutable r_persist_base : int;  (* stubs occupy [r_persist_base, r_top) *)
 }
 
-let create ~base ~bytes =
+type t = {
+  base : int;
+  top : int;  (* one past the whole tcache *)
+  regions : region array;
+  span : int;  (* bytes per region *)
+  by_vaddr : (int, block) Hashtbl.t;  (* global: cross-shard lookup *)
+  by_id : (int, block) Hashtbl.t;
+  pinned : (int, unit) Hashtbl.t;  (* block ids exempt from eviction *)
+  leased : (int, int) Hashtbl.t;
+      (* block id -> read-lease count. A leased block has a suspended
+         hart executing inside it: the allocation sweep must hop over
+         it exactly as it hops over pins. Unlike pins, leases do not
+         survive flushes or invalidation — those writers take the
+         region by force and the parked-pc redirect re-routes the
+         reader (the lease is re-established on a live block when the
+         hart next suspends). *)
+}
+
+let create_sharded ~shards ~base ~bytes =
   if base land 3 <> 0 then invalid_arg "Tcache.create: unaligned base";
-  if bytes < 16 then invalid_arg "Tcache.create: region too small";
+  if shards < 1 then invalid_arg "Tcache.create: shards must be >= 1";
+  if bytes < 16 * shards then invalid_arg "Tcache.create: region too small";
+  let span = (bytes land lnot 3) / shards land lnot 3 in
+  let regions =
+    Array.init shards (fun i ->
+        let lo = base + (i * span) in
+        {
+          r_lo = lo;
+          r_top = lo + span;
+          r_alloc_ptr = lo;
+          r_persist_base = lo + span;
+        })
+  in
   {
     base;
-    top = base + (bytes land lnot 3);
-    alloc_ptr = base;
-    persist_base = base + (bytes land lnot 3);
+    top = base + (shards * span);
+    regions;
+    span;
     by_vaddr = Hashtbl.create 256;
     by_id = Hashtbl.create 256;
     pinned = Hashtbl.create 8;
+    leased = Hashtbl.create 8;
   }
 
+let create ~base ~bytes = create_sharded ~shards:1 ~base ~bytes
 let base t = t.base
 let top t = t.top
+let shards t = Array.length t.regions
+
+(* Deterministic home routing: which shard's arena a chunk is placed
+   in. Any pure function of the vaddr works; word-granularity modulo
+   spreads consecutive chunks across shards. *)
+let home_shard t vaddr = (vaddr lsr 2) mod Array.length t.regions
+
+let shard_of_paddr t paddr =
+  if paddr < t.base || paddr >= t.top then
+    invalid_arg "Tcache.shard_of_paddr: outside the tcache"
+  else min (Array.length t.regions - 1) ((paddr - t.base) / t.span)
+
+let shard_bounds t i =
+  let r = t.regions.(i) in
+  (r.r_lo, r.r_top)
+
 let lookup t vaddr = Hashtbl.find_opt t.by_vaddr vaddr
 let find_by_id t id = Hashtbl.find_opt t.by_id id
 let is_alive t id = Hashtbl.mem t.by_id id
@@ -53,8 +102,33 @@ let is_pinned t id = Hashtbl.mem t.pinned id
 let pinned_blocks t = Hashtbl.length t.pinned
 let pinned_ids t = Hashtbl.fold (fun id () acc -> id :: acc) t.pinned []
 
+let lease t (b : block) =
+  if Hashtbl.mem t.by_id b.id then
+    Hashtbl.replace t.leased b.id
+      (1 + Option.value ~default:0 (Hashtbl.find_opt t.leased b.id))
+
+let release t (b : block) =
+  match Hashtbl.find_opt t.leased b.id with
+  | Some n when n > 1 -> Hashtbl.replace t.leased b.id (n - 1)
+  | Some _ -> Hashtbl.remove t.leased b.id
+  | None -> ()
+
+let lease_count t id =
+  Option.value ~default:0 (Hashtbl.find_opt t.leased id)
+
+let is_leased t id = Hashtbl.mem t.leased id
+let leased_blocks t = Hashtbl.length t.leased
+
+let leased_ids t =
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.leased []
+
+(* sweep obstacles: blocks the allocator may never reclaim *)
+let is_obstacle t id = Hashtbl.mem t.pinned id || Hashtbl.mem t.leased id
+let obstacles t = Hashtbl.length t.pinned + Hashtbl.length t.leased
+
 let remove t b =
   Hashtbl.remove t.pinned b.id;
+  Hashtbl.remove t.leased b.id;
   (match Hashtbl.find_opt t.by_vaddr b.vaddr with
   | Some b' when b'.id = b.id -> Hashtbl.remove t.by_vaddr b.vaddr
   | Some _ | None -> ());
@@ -67,7 +141,8 @@ let occupied_bytes t =
   let code =
     Hashtbl.fold (fun _ b acc -> acc + (b.words * 4)) t.by_id 0
   in
-  code + (t.top - t.persist_base)
+  Array.fold_left (fun acc r -> acc + (r.r_top - r.r_persist_base)) code
+    t.regions
 
 let map_entries t = Hashtbl.length t.by_vaddr
 
@@ -83,51 +158,57 @@ let evict_range t lo hi =
   List.iter (remove t) victims;
   victims
 
-(* Pinned blocks are immovable obstacles for the sweep: when the
-   candidate range would overlap one, skip past it. [budget] bounds the
-   number of skips so a region crowded with pins terminates in
-   [`Full] — the chunk would fit an empty region, the pins are what is
-   in the way. *)
-let rec place_skipping_pinned t ~bytes ~budget ~can_evict =
+(* Pinned and leased blocks are immovable obstacles for the sweep: when
+   the candidate range would overlap one, skip past it. [budget] bounds
+   the number of skips so a region crowded with obstacles terminates in
+   [`Full] — the chunk would fit an empty region, the obstacles are
+   what is in the way. *)
+let rec place_skipping_pinned t (r : region) ~bytes ~budget ~can_evict =
   if budget = 0 then Error `Full
-  else if t.alloc_ptr + bytes > t.persist_base then
+  else if r.r_alloc_ptr + bytes > r.r_persist_base then
     if can_evict then begin
-      t.alloc_ptr <- t.base;
-      place_skipping_pinned t ~bytes ~budget:(budget - 1) ~can_evict
+      r.r_alloc_ptr <- r.r_lo;
+      place_skipping_pinned t r ~bytes ~budget:(budget - 1) ~can_evict
     end
     else Error `Full
   else
-    let lo = t.alloc_ptr in
+    let lo = r.r_alloc_ptr in
     let hi = lo + bytes in
     let overlapping = overlapping t lo hi in
-    let pinned_overlap =
-      List.filter (fun b -> is_pinned t b.id) overlapping
+    let obstacle_overlap =
+      List.filter (fun b -> is_obstacle t b.id) overlapping
     in
-    match pinned_overlap with
+    match obstacle_overlap with
     | [] ->
       if overlapping <> [] && not can_evict then Error `Full
       else begin
         List.iter (remove t) overlapping;
-        t.alloc_ptr <- hi;
+        r.r_alloc_ptr <- hi;
         Ok (lo, overlapping)
       end
     | _ ->
-      (* hop past the furthest pinned obstacle *)
+      (* hop past the furthest immovable obstacle *)
       let skip_to =
         List.fold_left
           (fun acc b -> max acc (b.paddr + (b.words * 4)))
-          lo pinned_overlap
+          lo obstacle_overlap
       in
-      t.alloc_ptr <- skip_to;
-      place_skipping_pinned t ~bytes ~budget:(budget - 1) ~can_evict
+      r.r_alloc_ptr <- skip_to;
+      place_skipping_pinned t r ~bytes ~budget:(budget - 1) ~can_evict
 
-let alloc_fifo t ~words =
+let region t shard =
+  if shard < 0 || shard >= Array.length t.regions then
+    invalid_arg "Tcache: shard out of range"
+  else t.regions.(shard)
+
+let alloc_fifo ?(shard = 0) t ~words =
+  let r = region t shard in
   let bytes = words * 4 in
-  if bytes > t.persist_base - t.base then Error `Too_large
+  if bytes > r.r_persist_base - r.r_lo then Error `Too_large
   else
     match
-      place_skipping_pinned t ~bytes
-        ~budget:(2 * (Hashtbl.length t.pinned + 2))
+      place_skipping_pinned t r ~bytes
+        ~budget:(2 * (obstacles t + 2))
         ~can_evict:true
     with
     | Ok _ as ok -> ok
@@ -139,25 +220,27 @@ let alloc_fifo t ~words =
    when the persistent stub region grew over the victim between the
    choice and the placement — is ignored and the sweep just continues,
    which degrades gracefully to FIFO for this one allocation. *)
-let alloc_seeded t ~seed ~words =
+let alloc_seeded ?(shard = 0) t ~seed ~words =
+  let r = region t shard in
   let bytes = words * 4 in
-  if bytes > t.persist_base - t.base then Error `Too_large
+  if bytes > r.r_persist_base - r.r_lo then Error `Too_large
   else begin
-    if seed >= t.base && seed < t.persist_base then t.alloc_ptr <- seed;
-    place_skipping_pinned t ~bytes
-      ~budget:(2 * (Hashtbl.length t.pinned + 2))
+    if seed >= r.r_lo && seed < r.r_persist_base then r.r_alloc_ptr <- seed;
+    place_skipping_pinned t r ~bytes
+      ~budget:(2 * (obstacles t + 2))
       ~can_evict:true
   end
 
-let alloc_ptr t = t.alloc_ptr
+let alloc_ptr ?(shard = 0) t = (region t shard).r_alloc_ptr
 
-let alloc_append t ~words =
+let alloc_append ?(shard = 0) t ~words =
+  let r = region t shard in
   let bytes = words * 4 in
-  if bytes > t.persist_base - t.base then Error `Too_large
+  if bytes > r.r_persist_base - r.r_lo then Error `Too_large
   else
     match
-      place_skipping_pinned t ~bytes
-        ~budget:(Hashtbl.length t.pinned + 2)
+      place_skipping_pinned t r ~bytes
+        ~budget:(obstacles t + 2)
         ~can_evict:false
     with
     | Ok (lo, victims) ->
@@ -165,35 +248,47 @@ let alloc_append t ~words =
       Ok lo
     | Error _ as e -> e
 
-let persist_base t = t.persist_base
+let persist_base ?(shard = 0) t = (region t shard).r_persist_base
 
-let alloc_persistent t ~words =
+let alloc_persistent ?(shard = 0) t ~words =
+  let r = region t shard in
   let bytes = words * 4 in
-  if bytes > t.persist_base - t.base then Error `Too_large
+  if bytes > r.r_persist_base - r.r_lo then Error `Too_large
   else begin
-    let lo = t.persist_base - bytes in
-    let victims = evict_range t lo t.persist_base in
-    t.persist_base <- lo;
+    let lo = r.r_persist_base - bytes in
+    let victims = evict_range t lo r.r_persist_base in
+    r.r_persist_base <- lo;
     (* keep the FIFO sweep out of the shrunken code area *)
-    if t.alloc_ptr > t.persist_base then t.alloc_ptr <- t.base;
+    if r.r_alloc_ptr > r.r_persist_base then r.r_alloc_ptr <- r.r_lo;
     Ok (lo, victims)
   end
 
 let reset t =
-  (* pinned blocks survive the flush *)
+  (* pinned blocks survive the flush; leases do not — the flush writer
+     takes every region by force and parked readers are redirected *)
   let former = List.filter (fun b -> not (is_pinned t b.id)) (blocks t) in
   List.iter
     (fun b ->
       Hashtbl.remove t.pinned b.id;
+      Hashtbl.remove t.leased b.id;
       (match Hashtbl.find_opt t.by_vaddr b.vaddr with
       | Some b' when b'.id = b.id -> Hashtbl.remove t.by_vaddr b.vaddr
       | Some _ | None -> ());
       Hashtbl.remove t.by_id b.id)
     former;
-  t.alloc_ptr <- t.base;
+  Array.iter (fun r -> r.r_alloc_ptr <- r.r_lo) t.regions;
   former
 
 let pp ppf t =
-  Format.fprintf ppf
-    "tcache [0x%x,0x%x): %d blocks, ptr=0x%x, persist=0x%x" t.base t.top
-    (resident_blocks t) t.alloc_ptr t.persist_base
+  if Array.length t.regions = 1 then
+    Format.fprintf ppf
+      "tcache [0x%x,0x%x): %d blocks, ptr=0x%x, persist=0x%x" t.base t.top
+      (resident_blocks t) t.regions.(0).r_alloc_ptr
+      t.regions.(0).r_persist_base
+  else
+    Format.fprintf ppf "tcache [0x%x,0x%x): %d blocks, %d shards%s" t.base
+      t.top (resident_blocks t)
+      (Array.length t.regions)
+      (if leased_blocks t > 0 then
+         Printf.sprintf ", %d leased" (leased_blocks t)
+       else "")

@@ -7,11 +7,22 @@
     the time they are created" so that eviction can unlink a block), and
     the landing pads that may be live in return addresses.
 
-    The region is split in two: translated blocks are allocated upward
-    from the base with a circular (FIFO) sweep; persistent return stubs
-    grow downward from the top and survive block eviction. This module
-    only does bookkeeping; the controller performs the actual memory
-    writes. *)
+    Each allocation arena is split in two: translated blocks are
+    allocated upward from its base with a circular (FIFO) sweep;
+    persistent return stubs grow downward from its top and survive
+    block eviction. A sharded tcache ({!create_sharded}) partitions the
+    region into [K] such arenas with a deterministic {!home_shard}
+    routing of chunks to arenas; the tcache *map* stays global, so a
+    lookup finds a block regardless of which shard holds it
+    (cross-shard lookup). This module only does bookkeeping; the
+    controller performs the actual memory writes.
+
+    On top of pins, the multi-hart controller takes {e read leases} on
+    blocks that suspended harts are executing inside: a leased block is
+    an immovable obstacle for the allocation sweep exactly like a
+    pinned one, but leases are dropped by flushes and invalidation
+    (those writers assert exclusive hold and the parked harts are
+    redirected through resume addresses). *)
 
 type incoming = {
   from_block : int;  (** block id containing the site; -1 = persistent *)
@@ -28,7 +39,7 @@ type block = {
   mutable incoming : incoming list;
   pads : (int * int) list;  (** (pad paddr, return vaddr) *)
   resume : int array;
-      (** per emitted word: the source vaddr execution resumes at if the
+      (** per emitted word: the source vaddr execution resumes at if a
           CPU is parked on that word when the block dies *)
   stubs : int list;
       (** stub-table indices allocated for this block's sites; recycled
@@ -39,6 +50,14 @@ type block = {
 type t
 
 val create : base:int -> bytes:int -> t
+(** A single-arena (unsharded) tcache — [create_sharded ~shards:1]. *)
+
+val create_sharded : shards:int -> base:int -> bytes:int -> t
+(** Partition [bytes] into [shards] equal arenas. Each arena has its
+    own sweep pointer and persistent-stub area; the vaddr map is
+    global.
+    @raise Invalid_argument on [shards < 1], an unaligned base, or a
+    region too small to give every shard a useful arena. *)
 
 val base : t -> int
 (** Physical base of the tcache region. *)
@@ -46,8 +65,22 @@ val base : t -> int
 val top : t -> int
 (** One past the end of the tcache region. *)
 
+val shards : t -> int
+(** Number of arenas (1 for an unsharded tcache). *)
+
+val home_shard : t -> int -> int
+(** [home_shard t vaddr] — the shard whose arena the chunk at [vaddr]
+    is placed in. Deterministic pure routing. *)
+
+val shard_of_paddr : t -> int -> int
+(** Which shard's arena contains this physical tcache address.
+    @raise Invalid_argument outside [\[base, top)]. *)
+
+val shard_bounds : t -> int -> int * int
+(** [\[lo, top)] extent of one shard's arena. *)
+
 val lookup : t -> int -> block option
-(** tcache-map probe by chunk virtual address. *)
+(** tcache-map probe by chunk virtual address (global across shards). *)
 
 val find_by_id : t -> int -> block option
 val is_alive : t -> int -> bool
@@ -57,42 +90,53 @@ val blocks : t -> block list
 
 val resident_blocks : t -> int
 val occupied_bytes : t -> int
-(** Blocks plus persistent stubs. *)
+(** Blocks plus persistent stubs, summed across shards. *)
 
 val map_entries : t -> int
 
 val alloc_fifo :
-  t -> words:int -> (int * block list, [ `Full | `Too_large ]) result
-(** Allocate with the circular FIFO sweep. Returns the placement and
-    the blocks that had to be evicted (already deregistered).
-    [`Too_large] means the chunk exceeds the region's capacity outright;
-    [`Full] means it would fit an empty region but pinned blocks crowd
-    out every placement. *)
+  ?shard:int ->
+  t ->
+  words:int ->
+  (int * block list, [ `Full | `Too_large ]) result
+(** Allocate with the circular FIFO sweep of [shard] (default 0).
+    Returns the placement and the blocks that had to be evicted
+    (already deregistered). [`Too_large] means the chunk exceeds the
+    arena's capacity outright; [`Full] means it would fit an empty
+    arena but pinned or leased blocks crowd out every placement. *)
 
 val alloc_seeded :
-  t -> seed:int -> words:int -> (int * block list, [ `Full | `Too_large ]) result
+  ?shard:int ->
+  t ->
+  seed:int ->
+  words:int ->
+  (int * block list, [ `Full | `Too_large ]) result
 (** Like {!alloc_fifo}, but restart the circular sweep at [seed] — the
     physical address of a victim block chosen by a replacement policy —
     so the placement reclaims that block first. A [seed] outside the
-    current code area is ignored (the sweep continues where it was),
-    degrading gracefully to FIFO for this allocation. *)
+    shard's current code area is ignored (the sweep continues where it
+    was), degrading gracefully to FIFO for this allocation. *)
 
-val alloc_ptr : t -> int
-(** Current position of the circular allocation sweep (diagnostic; also
-    used by tests that emulate pathological stub growth). *)
+val alloc_ptr : ?shard:int -> t -> int
+(** Current position of the shard's circular allocation sweep
+    (diagnostic; also used by tests that emulate pathological stub
+    growth). *)
 
-val alloc_append : t -> words:int -> (int, [ `Full | `Too_large ]) result
+val alloc_append : ?shard:int -> t -> words:int -> (int, [ `Full | `Too_large ]) result
 (** Allocate without evicting (flush-all policy): fail when the sweep
     pointer cannot fit the block before the persistent region. Skips
-    over pinned blocks left behind by a flush. *)
+    over pinned and leased blocks left behind by a flush. *)
 
-val persist_base : t -> int
-(** Lower bound of the persistent stub area — block placements must end
-    at or below it. *)
+val persist_base : ?shard:int -> t -> int
+(** Lower bound of the shard's persistent stub area — block placements
+    in that shard must end at or below it. *)
 
-val alloc_persistent : t -> words:int -> (int * block list, [ `Too_large ]) result
-(** Carve words off the top of the region for persistent return stubs,
-    evicting any blocks the stub area grows over. *)
+val alloc_persistent :
+  ?shard:int -> t -> words:int -> (int * block list, [ `Too_large ]) result
+(** Carve words off the top of the shard's arena for persistent return
+    stubs, evicting any blocks the stub area grows over (leases do not
+    protect against persistent growth — the writer holds the region
+    exclusively and parked readers are redirected). *)
 
 val pin : t -> block -> unit
 (** Exempt a resident block from eviction and flushes. The allocator
@@ -106,14 +150,36 @@ val pinned_ids : t -> int list
 (** The raw pin set, for invariant auditing (every pinned id must name
     a resident block). *)
 
+val lease : t -> block -> unit
+(** Take one read lease on a resident block: a suspended hart is
+    executing inside it, so the allocation sweep must not reclaim it.
+    Counted — [lease] twice needs [release] twice. No-op if the block
+    is not resident. *)
+
+val release : t -> block -> unit
+(** Drop one read lease (no-op below zero). *)
+
+val lease_count : t -> int -> int
+(** Outstanding read leases on a block id (0 when none). *)
+
+val is_leased : t -> int -> bool
+val leased_blocks : t -> int
+(** Distinct block ids currently holding at least one lease. *)
+
+val leased_ids : t -> int list
+(** The raw lease set, for invariant auditing. *)
+
 val remove : t -> block -> unit
-(** Deregister one block (invalidation; also clears its pin). Its
-    space is reclaimed when the FIFO sweep passes over it. *)
+(** Deregister one block (invalidation; also clears its pin and any
+    leases). Its space is reclaimed when the FIFO sweep passes over
+    it. *)
 
 val reset : t -> block list
-(** Flush: deregister every unpinned block, rewind the FIFO sweep, and
-    return the former residents. Pinned blocks and the persistent stub
-    region are preserved — return addresses saved on program stacks may
-    reference the latter across flushes. *)
+(** Flush: deregister every unpinned block, rewind every shard's FIFO
+    sweep, and return the former residents. Pinned blocks and the
+    persistent stub areas are preserved — return addresses saved on
+    program stacks may reference the latter across flushes. All leases
+    on flushed blocks are dropped (the flush holds every arena
+    exclusively; parked harts are redirected by the controller). *)
 
 val pp : Format.formatter -> t -> unit

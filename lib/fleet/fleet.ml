@@ -59,6 +59,16 @@ let pp_outcome ppf = function
 type session = {
   s_id : int;
   s_ctrl : Controller.t;
+  s_image : Isa.Image.t;
+      (* the workload this client runs — under heterogeneous fleets the
+         audit checks every cached chunk against *this* image's text
+         segment, not just the request log *)
+  s_shard : Shard.t option;
+      (* multi-hart client: the controller is wrapped by the shard
+         layer and advanced through its scheduler ([Config.harts > 1]) *)
+  s_predicted : int option;
+      (* [Sizing]-predicted tcache bytes fed into admission; [None]
+         when auto-sizing was not requested for this client *)
   mutable s_outcome : outcome;
   s_requested : (int, unit) Hashtbl.t;
       (* every vaddr this session asked the MC for, demand or prefetch
@@ -276,7 +286,12 @@ let transport t s ~vaddr ~prefetch_vaddrs ~payloads =
 
 let default_config = config ()
 
-let create ?cost ?(config = default_config) ~net mk_cfg images =
+(* [sizing] is the auto-size admission hook: for client [i] it returns
+   the [Sizing.estimate]-predicted smallest acceptable tcache in bytes
+   (the caller runs the analytic model — the profiler lives above this
+   layer). An under-provisioned client is admitted at the predicted
+   size instead of its configured one; the summary reports both. *)
+let create ?cost ?(config = default_config) ?sizing ~net mk_cfg images =
   if Array.length images = 0 then invalid_arg "Fleet.create: no images";
   let t =
     {
@@ -310,13 +325,25 @@ let create ?cost ?(config = default_config) ~net mk_cfg images =
   t.sessions <-
     Array.init config.clients (fun i ->
         let cfg = { (mk_cfg i) with Config.net } in
-        let ctrl =
-          Controller.create ?cost cfg images.(i mod Array.length images)
+        let predicted = match sizing with Some f -> f i | None -> None in
+        let cfg =
+          match predicted with
+          | Some p when p > cfg.Config.tcache_bytes ->
+              { cfg with Config.tcache_bytes = (p + 15) land lnot 15 }
+          | Some _ | None -> cfg
+        in
+        let image = images.(i mod Array.length images) in
+        let ctrl = Controller.create ?cost cfg image in
+        let shard =
+          if cfg.Config.harts > 1 then Some (Shard.attach ctrl) else None
         in
         let s =
           {
             s_id = i;
             s_ctrl = ctrl;
+            s_image = image;
+            s_shard = shard;
+            s_predicted = predicted;
             s_outcome = Running;
             s_requested = Hashtbl.create 64;
             s_stalls = [];
@@ -402,6 +429,22 @@ end
 
 let runnable s = s.s_outcome = Running
 
+(* Multi-hart sessions retire instructions on several cpus; fuel
+   accounting uses the furthest hart (the shard scheduler hands each
+   hart the same per-call fuel, so the max is what bounds progress). *)
+let session_retired s =
+  match s.s_shard with
+  | None -> s.s_ctrl.Controller.cpu.retired
+  | Some sh ->
+      List.fold_left
+        (fun acc (h : Shard.hart) -> max acc h.h_cpu.retired)
+        0 (Shard.harts sh)
+
+let session_run ~fuel s =
+  match s.s_shard with
+  | None -> Controller.run ~fuel s.s_ctrl
+  | Some sh -> Shard.run ~fuel sh
+
 let pick_rr t =
   let n = Array.length t.sessions in
   let rec scan k =
@@ -419,7 +462,7 @@ let pick_rr t =
 (* One quantum for session [s]. Returns true while the session should
    stay in the schedule. *)
 let step ~fuel t s =
-  let left = fuel - s.s_ctrl.cpu.retired in
+  let left = fuel - session_retired s in
   if left <= 0 then begin
     s.s_outcome <- Out_of_fuel;
     false
@@ -427,12 +470,12 @@ let step ~fuel t s =
   else begin
     let slice = min t.fc.quantum left in
     t.now <- s.s_ctrl.cpu.cycles;
-    match Controller.run ~fuel:slice s.s_ctrl with
+    match session_run ~fuel:slice s with
     | Machine.Cpu.Halted ->
         s.s_outcome <- Halted;
         false
     | Machine.Cpu.Out_of_fuel ->
-        if fuel - s.s_ctrl.cpu.retired <= 0 then begin
+        if fuel - session_retired s <= 0 then begin
           s.s_outcome <- Out_of_fuel;
           false
         end
@@ -491,6 +534,9 @@ let run ?(fuel = 2_000_000) t =
 
 let session_id s = s.s_id
 let controller s = s.s_ctrl
+let image s = s.s_image
+let shard s = s.s_shard
+let predicted_tcache s = s.s_predicted
 let outcome s = s.s_outcome
 let requested s v = Hashtbl.mem s.s_requested v
 let fetches s = s.s_fetches
@@ -521,6 +567,12 @@ type client_stats = {
   c_traps : int;
   c_fetches : int;
   c_coalesced : int;
+  c_workload : string;
+  c_harts : int;
+  c_tcache_bytes : int;  (* the size the client was admitted at *)
+  c_predicted_bytes : int option;
+      (** [Sizing]-predicted smallest acceptable tcache under
+          [create ?sizing]; [None] when auto-sizing was off *)
   c_stall_p50 : float option;
       (** [None] when the client recorded no stall samples — e.g. every
           chunk arrived via another client's dedup window before this
@@ -552,15 +604,30 @@ let client_stats s =
   let c = s.s_ctrl in
   let stalls = stall_samples s in
   let pct p = if stalls = [] then None else Some (Report.percentile p stalls) in
+  (* a multi-hart client's wall clock is the shard makespan and its
+     work is the sum over harts, not the scheduler-resident cpu *)
+  let cycles, retired =
+    match s.s_shard with
+    | None -> (c.cpu.cycles, c.cpu.retired)
+    | Some sh ->
+        ( Shard.makespan sh,
+          List.fold_left
+            (fun acc (h : Shard.hart) -> acc + h.h_cpu.retired)
+            0 (Shard.harts sh) )
+  in
   {
     c_id = s.s_id;
     c_outcome = s.s_outcome;
-    c_cycles = c.cpu.cycles;
-    c_retired = c.cpu.retired;
+    c_cycles = cycles;
+    c_retired = retired;
     c_translations = c.stats.Stats.translations;
     c_traps = c.stats.Stats.traps;
     c_fetches = s.s_fetches;
     c_coalesced = s.s_coalesced;
+    c_workload = s.s_image.Isa.Image.name;
+    c_harts = c.cfg.Config.harts;
+    c_tcache_bytes = c.cfg.Config.tcache_bytes;
+    c_predicted_bytes = s.s_predicted;
     c_stall_p50 = pct 50.0;
     c_stall_p99 = pct 99.0;
   }
@@ -614,6 +681,14 @@ let summary_fields t =
     ("retired", joined (fun c -> string_of_int c.c_retired));
     ("translations", joined (fun c -> string_of_int c.c_translations));
     ("traps", joined (fun c -> string_of_int c.c_traps));
+    ("workloads", joined (fun c -> c.c_workload));
+    ("harts", joined (fun c -> string_of_int c.c_harts));
+    ("tcache_bytes", joined (fun c -> string_of_int c.c_tcache_bytes));
+    ( "predicted_bytes",
+      joined (fun c ->
+          match c.c_predicted_bytes with
+          | Some p -> string_of_int p
+          | None -> "n/a") );
     ("stall_p50", joined (fun c -> stall_str c.c_stall_p50));
     ("stall_p99", joined (fun c -> stall_str c.c_stall_p99));
   ]

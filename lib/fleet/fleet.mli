@@ -114,6 +114,22 @@ type session
 
 val session_id : session -> int
 val controller : session -> Softcache.Controller.t
+
+val image : session -> Isa.Image.t
+(** The workload this session runs — under a heterogeneous fleet
+    ([Fleet.create] with several images) each client's isolation is
+    audited against {e its own} image's text segment. *)
+
+val shard : session -> Softcache.Shard.t option
+(** The multi-hart wrapper, when the session's [Config.harts > 1]; such
+    sessions advance through [Shard.run] (their controller's cpu is only
+    one hart among several). [None] for single-hart clients. *)
+
+val predicted_tcache : session -> int option
+(** The [Sizing]-predicted smallest acceptable tcache in bytes that the
+    [?sizing] admission hook returned for this client; [None] when
+    auto-sizing was off. *)
+
 val outcome : session -> outcome
 
 val requested : session -> int -> bool
@@ -141,6 +157,7 @@ type t
 val create :
   ?cost:Machine.Cost.t ->
   ?config:config ->
+  ?sizing:(int -> int option) ->
   net:Netmodel.t ->
   (int -> Softcache.Config.t) ->
   Isa.Image.t array ->
@@ -151,6 +168,18 @@ val create :
     one of the configs to share its fault schedule). The sessions'
     [mc_transport] and [mc_crc] hooks are pointed at the fleet MC; no
     session starts executing until {!run}.
+
+    [sizing] is the auto-size admission hook: for client [i] it returns
+    the [Sizing.estimate]-predicted smallest acceptable tcache in bytes
+    (the caller runs the analytic model — the profiler lives above this
+    layer). A client whose configured [tcache_bytes] falls below the
+    prediction is admitted at the predicted size (rounded up to a
+    16-byte boundary) instead; the per-client stats report both sizes.
+    Sizing never shrinks a configured tcache.
+
+    A client whose config asks for [harts > 1] is wrapped in a
+    {!Softcache.Shard} and advanced through the shard scheduler; its
+    fuel is measured on the furthest hart.
     @raise Invalid_argument if [images] is empty. *)
 
 val run : ?fuel:int -> t -> unit
@@ -204,11 +233,19 @@ type client_stats = {
   c_id : int;
   c_outcome : outcome;
   c_cycles : int;
-  c_retired : int;
+      (** single-hart: the session cpu's cycle clock; multi-hart: the
+          shard makespan (max over hart clocks) *)
+  c_retired : int;  (** summed over harts for multi-hart sessions *)
   c_translations : int;
   c_traps : int;
   c_fetches : int;
   c_coalesced : int;
+  c_workload : string;  (** [Isa.Image.name] of the session's image *)
+  c_harts : int;
+  c_tcache_bytes : int;  (** the size the client was admitted at *)
+  c_predicted_bytes : int option;
+      (** [Sizing]-predicted smallest acceptable tcache under
+          [create ?sizing]; [None] when auto-sizing was off *)
   c_stall_p50 : float option;
       (** [None] when the session recorded no stall samples (it never
           touched the wire) — rendered as ["n/a"] by [summary_fields],
@@ -235,6 +272,8 @@ type summary = {
           aggregate-wire-bytes fleet metric *)
   f_per_client : client_stats list;  (** ascending by [c_id] *)
 }
+
+val client_stats : session -> client_stats
 
 val summary : t -> summary
 

@@ -35,6 +35,12 @@ type event =
   | Fl_stall of { client : int; cycles : int }
     (* one client-observed transport stall sample, emitted where the
        fleet records it for the stall percentiles *)
+  | Sh_fill of { hart : int; chunk : int; wait : int }
+    (* a hart owned a fill: Absent -> Requested -> Filling -> Resident;
+       [wait] is the MC-serialization wait it paid before issuing *)
+  | Sh_coalesce of { hart : int; chunk : int; wait : int }
+    (* a duplicate miss joined another hart's in-flight fill instead of
+       re-requesting over the wire; [wait] until that fill lands *)
   | Dc_specialise of { site : int }
   | Dc_deopt of { site : int }
   | Dc_miss of { addr : int }
@@ -69,6 +75,8 @@ let event_type = function
   | Fl_frame _ -> "fl_frame"
   | Fl_piggyback _ -> "fl_piggyback"
   | Fl_stall _ -> "fl_stall"
+  | Sh_fill _ -> "sh_fill"
+  | Sh_coalesce _ -> "sh_coalesce"
   | Dc_specialise _ -> "dc_specialise"
   | Dc_deopt _ -> "dc_deopt"
   | Dc_miss _ -> "dc_miss"
@@ -111,6 +119,10 @@ let fields = function
       [ ("client", client); ("bytes", bytes) ]
   | Fl_stall { client; cycles } ->
       [ ("client", client); ("cycles", cycles) ]
+  | Sh_fill { hart; chunk; wait } ->
+      [ ("hart", hart); ("chunk", chunk); ("wait", wait) ]
+  | Sh_coalesce { hart; chunk; wait } ->
+      [ ("hart", hart); ("chunk", chunk); ("wait", wait) ]
   | Dc_specialise { site } -> [ ("site", site) ]
   | Dc_deopt { site } -> [ ("site", site) ]
   | Dc_miss { addr } -> [ ("addr", addr) ]
@@ -137,6 +149,7 @@ let schema_fields = function
   | "fl_frame" -> Some [ "client"; "segments"; "queued" ]
   | "fl_piggyback" -> Some [ "client"; "bytes" ]
   | "fl_stall" -> Some [ "client"; "cycles" ]
+  | "sh_fill" | "sh_coalesce" -> Some [ "hart"; "chunk"; "wait" ]
   | "dc_specialise" | "dc_deopt" -> Some [ "site" ]
   | "dc_miss" -> Some [ "addr" ]
   | "dc_spill" | "dc_refill" -> Some [ "words" ]
@@ -340,6 +353,7 @@ let tid_of_event ev =
   | Dc_specialise _ | Dc_deopt _ | Dc_miss _ | Dc_spill _ | Dc_refill _ -> 4
   | Fl_request _ | Fl_coalesce _ | Fl_frame _ | Fl_piggyback _ | Fl_stall _ ->
       6
+  | Sh_fill _ | Sh_coalesce _ -> 7
 
 let residency_tid = 5
 
@@ -367,6 +381,7 @@ let to_chrome t =
       (4, "dcache");
       (residency_tid, "tcache residency");
       (6, "fleet");
+      (7, "harts");
     ];
   let open_spans = Hashtbl.create 64 in
   let span ph cycle chunk =

@@ -88,6 +88,13 @@ type event =
       (** one client-observed transport stall sample of [cycles],
           emitted exactly where the fleet records it for the per-client
           stall percentiles — the trace view of the summary's p50/p99 *)
+  | Sh_fill of { hart : int; chunk : int; wait : int }
+      (** a hart owned a fill through the multi-hart state machine
+          ([Absent -> Requested -> Filling -> Resident]); [wait] is the
+          MC-serialization wait paid before the request was issued *)
+  | Sh_coalesce of { hart : int; chunk : int; wait : int }
+      (** a duplicate miss joined another hart's in-flight fill
+          instead of re-requesting over the wire *)
   | Dc_specialise of { site : int }  (** site rewritten to a direct access *)
   | Dc_deopt of { site : int }  (** specialised site torn down *)
   | Dc_miss of { addr : int }  (** software data cache miss *)

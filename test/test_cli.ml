@@ -173,6 +173,83 @@ let test_bad_faults_spec_rejected () =
   in
   Alcotest.(check bool) "unknown key rejected" true (code2 <> 0)
 
+(* ------------------------------------------------------------------ *)
+(* sizing subcommand: golden rows, determinism, argument surface *)
+
+let test_sizing_golden () =
+  let code, out = run_cli [ "sizing"; "compress95" ] in
+  Alcotest.(check int) "exit code" 0 code;
+  expect_contains out "chunk walk row" "chunks walked";
+  expect_contains out "dominant set row" "dominant chunks";
+  expect_contains out "dominant share" "(90% of samples)";
+  expect_contains out "source footprint row" "dominant source";
+  expect_contains out "rewritten footprint row" "dominant rewritten";
+  expect_contains out "prediction row" "predicted tcache need";
+  expect_contains out "knee row" "predicted knee";
+  expect_contains out "trrip coupling row" "trrip prior primed below";
+  expect_contains out "hot chunk table" "hottest chunks";
+  expect_contains out "table columns" "rewritten"
+
+let test_sizing_deterministic () =
+  (* the analytic model is a pure function of the image and profile:
+     two invocations must emit byte-identical reports *)
+  let _, a = run_cli [ "sizing"; "compress95" ] in
+  let _, b = run_cli [ "sizing"; "compress95" ] in
+  Alcotest.(check string) "byte-identical output" a b
+
+let test_sizing_options () =
+  let code, out =
+    run_cli
+      [ "sizing"; "cjpeg"; "--chunking"; "proc"; "--threshold"; "0.8";
+        "--headroom"; "1.2" ]
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  expect_contains out "dominant share follows --threshold" "(80% of samples)"
+
+let test_sizing_unknown_workload () =
+  let code, out = run_cli [ "sizing"; "no_such_app" ] in
+  Alcotest.(check int) "exit code" 1 code;
+  expect_contains out "offending name" "no_such_app";
+  expect_contains out "suggests the registry" "compress95"
+
+(* ------------------------------------------------------------------ *)
+(* sharded multi-hart run + heterogeneous auto-sized fleet *)
+
+let test_run_harts () =
+  let code, out =
+    run_cli
+      [ "run"; "sensor_modes"; "--tcache"; "2048"; "--harts"; "2";
+        "--shards"; "2"; "--audit" ]
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  expect_contains out "hart row" "2 over 2 tcache shard(s)";
+  expect_contains out "makespan row" "makespan";
+  expect_contains out "outputs row" "outputs match (all harts)";
+  expect_contains out "outputs value" ": true";
+  expect_contains out "shard audit row" "shard audit";
+  expect_contains out "shard audit value" "clean"
+
+let test_fleet_workloads_autosize () =
+  let code, out =
+    run_cli
+      [ "fleet"; "sensor_modes"; "--workloads"; "sensor_modes,adpcm_encode";
+        "--auto-size"; "--clients"; "2"; "--tcache"; "2048";
+        "--fuel"; "100000"; "--audit" ]
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  expect_contains out "per-client workloads row" "sensor_modes;adpcm_encode";
+  expect_contains out "prediction row" "predicted_bytes";
+  expect_contains out "audit row" "audit";
+  expect_contains out "audit verdict" "clean"
+
+let test_fleet_unknown_workload_rejected () =
+  let code, out =
+    run_cli
+      [ "fleet"; "sensor_modes"; "--workloads"; "sensor_modes,bogus" ]
+  in
+  Alcotest.(check int) "exit code" 1 code;
+  expect_contains out "offending name" "bogus"
+
 let () =
   Alcotest.run "cli"
     [
@@ -201,5 +278,23 @@ let () =
           Alcotest.test_case "bad --trace-format rejected" `Quick
             test_bad_trace_args_rejected;
           Alcotest.test_case "dcache --trace" `Quick test_dcache_traced;
+        ] );
+      ( "sizing",
+        [
+          Alcotest.test_case "golden report rows" `Quick test_sizing_golden;
+          Alcotest.test_case "deterministic output" `Quick
+            test_sizing_deterministic;
+          Alcotest.test_case "threshold/headroom/chunking flags" `Quick
+            test_sizing_options;
+          Alcotest.test_case "unknown workload rejected" `Quick
+            test_sizing_unknown_workload;
+        ] );
+      ( "shard",
+        [
+          Alcotest.test_case "--harts multi-hart run" `Quick test_run_harts;
+          Alcotest.test_case "fleet --workloads --auto-size" `Quick
+            test_fleet_workloads_autosize;
+          Alcotest.test_case "fleet unknown workload rejected" `Quick
+            test_fleet_unknown_workload_rejected;
         ] );
     ]

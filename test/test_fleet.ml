@@ -310,6 +310,108 @@ let test_fleet_audit_clean () =
     Alcotest.failf "fleet audit violation: %a" Check.Audit.pp_violation v
 
 (* ------------------------------------------------------------------ *)
+(* auto-size admission, heterogeneous workloads, multi-hart sessions *)
+
+let adpcm_img =
+  lazy ((Option.get (Workloads.Registry.find "adpcm_encode")).build ())
+
+let test_fleet_autosize_admission () =
+  (* the sizing hook grows an under-provisioned client to the predicted
+     need (rounded up to 16) and never shrinks an over-provisioned one *)
+  let net = shared_link () in
+  let mk_cfg _ =
+    Softcache.Config.make ~tcache_bytes:4096
+      ~chunking:Softcache.Config.Basic_block ~net ()
+  in
+  let sizing = function
+    | 0 -> Some 10_001 (* above configured: grow, round to 10016 *)
+    | 1 -> Some 2048 (* below configured: keep 4096 *)
+    | _ -> None
+  in
+  let fl =
+    Fleet.create
+      ~config:(Fleet.config ~clients:3 ())
+      ~sizing ~net mk_cfg
+      [| Lazy.force compress_img |]
+  in
+  let stats =
+    List.map Fleet.client_stats (Array.to_list (Fleet.sessions fl))
+  in
+  Alcotest.(check (list int))
+    "admitted tcache sizes"
+    [ 10_016; 4096; 4096 ]
+    (List.map (fun c -> c.Fleet.c_tcache_bytes) stats);
+  Alcotest.(check (list (option int)))
+    "predicted sizes reported"
+    [ Some 10_001; Some 2048; None ]
+    (List.map (fun c -> c.Fleet.c_predicted_bytes) stats);
+  (* and the admitted fleet still runs and audits clean *)
+  Fleet.run ~fuel:200_000 fl;
+  match Check.Audit.fleet fl with
+  | [] -> ()
+  | v :: _ ->
+    Alcotest.failf "auto-sized fleet audit: %a" Check.Audit.pp_violation v
+
+let test_fleet_heterogeneous_workloads () =
+  (* mixed-workload fleet: images assigned round-robin, every client's
+     cached chunks stay inside its own image's text segment, and the
+     audit (which checks exactly that) is clean *)
+  let net = shared_link () in
+  let mk_cfg _ =
+    Softcache.Config.make ~tcache_bytes:4096
+      ~chunking:Softcache.Config.Basic_block ~net ()
+  in
+  let images = [| Lazy.force compress_img; Lazy.force adpcm_img |] in
+  let fl =
+    Fleet.create ~config:(Fleet.config ~clients:4 ()) ~net mk_cfg images
+  in
+  Fleet.run ~fuel:200_000 fl;
+  Array.iteri
+    (fun i s ->
+      Alcotest.(check string)
+        (Printf.sprintf "client %d image" i)
+        images.(i mod 2).Isa.Image.name
+        (Fleet.image s).Isa.Image.name)
+    (Fleet.sessions fl);
+  match Check.Audit.fleet fl with
+  | [] -> ()
+  | v :: _ ->
+    Alcotest.failf "heterogeneous fleet audit: %a" Check.Audit.pp_violation v
+
+let test_fleet_multihart_sessions () =
+  (* clients configured with harts > 1 advance through the shard
+     scheduler; the session exposes its shard, the summary reports the
+     makespan, and the audit runs the full shard suite per client *)
+  let net = shared_link () in
+  let mk_cfg _ =
+    Softcache.Config.make ~tcache_bytes:4096
+      ~chunking:Softcache.Config.Basic_block ~harts:2 ~sched_seed:5 ~net ()
+  in
+  let fl =
+    Fleet.create
+      ~config:(Fleet.config ~clients:2 ())
+      ~net mk_cfg
+      [| Lazy.force compress_img |]
+  in
+  Fleet.run ~fuel:150_000 fl;
+  Array.iter
+    (fun s ->
+      (match Fleet.shard s with
+      | None -> Alcotest.fail "2-hart session exposes no shard"
+      | Some sh ->
+        Alcotest.(check int) "two harts" 2
+          (List.length (Softcache.Shard.harts sh));
+        let c = Fleet.client_stats s in
+        Alcotest.(check int) "c_cycles is the shard makespan"
+          (Softcache.Shard.makespan sh) c.Fleet.c_cycles;
+        Alcotest.(check int) "c_harts" 2 c.Fleet.c_harts))
+    (Fleet.sessions fl);
+  match Check.Audit.fleet fl with
+  | [] -> ()
+  | v :: _ ->
+    Alcotest.failf "multi-hart fleet audit: %a" Check.Audit.pp_violation v
+
+(* ------------------------------------------------------------------ *)
 (* superblock working-set-knee regression: at 16 KB mpeg2enc sits at
    the knee (profiled dynamic text ~0.8x the tcache; rewritten, it
    marginally overflows). Unguarded promotion churned the resident
@@ -387,6 +489,12 @@ let () =
           Alcotest.test_case "dedup cuts wire bytes" `Quick
             test_fleet_dedup_cuts_wire;
           Alcotest.test_case "audit clean" `Quick test_fleet_audit_clean;
+          Alcotest.test_case "auto-size admission" `Quick
+            test_fleet_autosize_admission;
+          Alcotest.test_case "heterogeneous workloads" `Quick
+            test_fleet_heterogeneous_workloads;
+          Alcotest.test_case "multi-hart sessions" `Quick
+            test_fleet_multihart_sessions;
         ] );
       ( "superblock-knee",
         [
